@@ -1,0 +1,39 @@
+# Developer entry points. Everything is plain `go` underneath; the targets
+# just pin the invocations the README documents.
+
+GO ?= go
+
+.PHONY: all build test test-short race bench figures check fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Skips the multi-second soak tests.
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every evaluation figure and verify the published shapes.
+figures:
+	$(GO) run ./cmd/specbench -figure all -reps 20 -check
+
+check: vet test-short
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

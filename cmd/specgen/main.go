@@ -1,0 +1,90 @@
+// Command specgen generates a random spectrum market (the §V-A setup) and
+// writes it as JSON, for piping into specmatch or pinning as a fixture.
+//
+// Usage:
+//
+//	specgen -sellers 4 -buyers 10 -seed 7 > market.json
+//	specgen -sellers 8 -buyers 100 -similarity-permute 3
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"specmatch"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "specgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("specgen", flag.ContinueOnError)
+	var (
+		sellers  = fs.Int("sellers", 5, "number of physical sellers")
+		buyers   = fs.Int("buyers", 40, "number of physical buyers")
+		seed     = fs.Int64("seed", 1, "generation seed")
+		permuteM = fs.Int("similarity-permute", -1, "similarity control: permute this many sorted entries (-1 = raw i.i.d.)")
+		area     = fs.Float64("area", 10, "deployment area side")
+		rangeMax = fs.Float64("range", 5, "max channel transmission range")
+		channels = fs.String("channels", "", "comma-separated per-seller channel counts (dummy expansion)")
+		demands  = fs.String("demands", "", "comma-separated per-buyer channel demands (dummy expansion)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help already printed usage
+		}
+		return err
+	}
+
+	cfg := specmatch.MarketConfig{
+		Sellers:  *sellers,
+		Buyers:   *buyers,
+		Seed:     *seed,
+		AreaSide: *area,
+		RangeMax: *rangeMax,
+	}
+	if *permuteM >= 0 {
+		cfg.Similarity = &specmatch.SimilarityConfig{PermuteM: *permuteM}
+	}
+	var err error
+	if cfg.SellerChannels, err = parseCounts(*channels); err != nil {
+		return fmt.Errorf("-channels: %w", err)
+	}
+	if cfg.BuyerDemands, err = parseCounts(*demands); err != nil {
+		return fmt.Errorf("-demands: %w", err)
+	}
+
+	m, err := specmatch.GenerateMarket(cfg)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+func parseCounts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad count %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"specmatch/internal/market"
+)
+
+func TestGenerateRoundTrip(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-sellers", "3", "-buyers", "6", "-seed", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var m market.Market
+	if err := json.Unmarshal([]byte(out.String()), &m); err != nil {
+		t.Fatalf("output is not a valid market: %v", err)
+	}
+	if m.M() != 3 || m.N() != 6 {
+		t.Errorf("dims (%d,%d), want (3,6)", m.M(), m.N())
+	}
+}
+
+func TestGenerateWithExpansion(t *testing.T) {
+	var out strings.Builder
+	args := []string{"-sellers", "2", "-buyers", "2", "-channels", "2,1", "-demands", "1,3"}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	var m market.Market
+	if err := json.Unmarshal([]byte(out.String()), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.M() != 3 || m.N() != 4 {
+		t.Errorf("dims (%d,%d), want (3,4)", m.M(), m.N())
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-channels", "x"}, &out); err == nil {
+		t.Error("bad channel list should fail")
+	}
+	if err := run([]string{"-sellers", "0"}, &out); err == nil {
+		t.Error("empty market should fail")
+	}
+	if err := run([]string{"-channels", "1,2,3"}, &out); err == nil {
+		t.Error("mismatched channel count should fail")
+	}
+}

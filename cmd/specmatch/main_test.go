@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"specmatch"
+)
+
+func TestRunGenerated(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-sellers", "3", "-buyers", "10", "-seed", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"market: 3 sellers × 10 buyers", "welfare:", "nash-stable: yes"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunWithOptimal(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-sellers", "3", "-buyers", "7", "-optimal"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "optimal welfare:") {
+		t.Errorf("output missing optimal line:\n%s", out.String())
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-sellers", "3", "-buyers", "8", "-json", "-optimal"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var payload map[string]any
+	if err := json.Unmarshal([]byte(out.String()), &payload); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	for _, key := range []string{"welfare", "stage_i", "stability", "ratio"} {
+		if _, ok := payload[key]; !ok {
+			t.Errorf("JSON missing key %q", key)
+		}
+	}
+}
+
+func TestRunFromMarketFile(t *testing.T) {
+	m, err := specmatch.GenerateMarket(specmatch.MarketConfig{Sellers: 2, Buyers: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "market.json")
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-market", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "market: 2 sellers × 5 buyers") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-mwis", "bogus"}, &out); err == nil {
+		t.Error("bogus MWIS algorithm should fail")
+	}
+	if err := run([]string{"-market", "/does/not/exist.json"}, &out); err == nil {
+		t.Error("missing market file should fail")
+	}
+	if err := run([]string{"-sellers", "0"}, &out); err == nil {
+		t.Error("empty market should fail")
+	}
+}
+
+func TestRunVerifyFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-sellers", "3", "-buyers", "8", "-verify"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "protocol trace: OK") {
+		t.Errorf("output missing trace verdict:\n%s", out.String())
+	}
+}
+
+func TestRunSwapFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-sellers", "3", "-buyers", "8", "-swap"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "swap stage:") {
+		t.Errorf("output missing swap line:\n%s", out.String())
+	}
+}

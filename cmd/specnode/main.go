@@ -1,0 +1,136 @@
+// Command specnode deploys the matching protocol over real TCP, one process
+// per role: a hub coordinates slots, and each buyer or seller runs its own
+// state machine against a shared market file. All processes must be given
+// the same market JSON (the public parameters: prices are each agent's own,
+// but the simulation distributes the full instance for simplicity).
+//
+// Single-machine demo (ephemeral port, all roles in one process):
+//
+//	specgen -sellers 3 -buyers 8 > market.json
+//	specnode -market market.json -role all
+//
+// Multi-process deployment:
+//
+//	specnode -market market.json -role hub  -addr 127.0.0.1:7600 &
+//	specnode -market market.json -role seller -index 0 -addr 127.0.0.1:7600 &
+//	...one process per participant...
+//	specnode -market market.json -role buyer -index 4 -addr 127.0.0.1:7600
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"specmatch/internal/agent"
+	"specmatch/internal/market"
+	"specmatch/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "specnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("specnode", flag.ContinueOnError)
+	var (
+		marketPath = fs.String("market", "", "market JSON path ('-' = stdin); required")
+		role       = fs.String("role", "all", "hub, buyer, seller, or all (in-process market)")
+		index      = fs.Int("index", 0, "participant index for -role buyer/seller")
+		addr       = fs.String("addr", "", "hub address (listen for hub, dial for nodes); empty = ephemeral localhost for hub/all")
+		buyerRule  = fs.String("buyer-rule", "rule-ii", "buyer transition rule: default, rule-i, rule-ii")
+		sellerRule = fs.String("seller-rule", "probabilistic", "seller transition rule: default, probabilistic")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help already printed usage
+		}
+		return err
+	}
+	if *marketPath == "" {
+		return fmt.Errorf("-market is required")
+	}
+
+	var data []byte
+	var err error
+	if *marketPath == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(*marketPath)
+	}
+	if err != nil {
+		return fmt.Errorf("reading market: %w", err)
+	}
+	var m market.Market
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("decoding market: %w", err)
+	}
+
+	br, err := agent.ParseBuyerRule(*buyerRule)
+	if err != nil {
+		return err
+	}
+	sr, err := agent.ParseSellerRule(*sellerRule)
+	if err != nil {
+		return err
+	}
+	nodeCfg := wire.NodeConfig{Agent: agent.Config{BuyerRule: br, SellerRule: sr}}
+
+	switch *role {
+	case "all":
+		report, err := wire.MatchOverTCP(&m, nodeCfg, wire.HubConfig{Addr: *addr})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "market quiesced after %d slots, %d messages relayed\n", report.Slots, report.Messages)
+		fmt.Fprintf(out, "matching: %v\n", report.Matching)
+		fmt.Fprintf(out, "welfare: %.4f\n", report.Welfare)
+		return nil
+	case "hub":
+		hub, err := wire.NewHub(&m, wire.HubConfig{Addr: *addr})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "hub listening on %s, waiting for %d nodes\n", hub.Addr(), m.M()+m.N())
+		report, err := hub.Serve(&m)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "market quiesced after %d slots, %d messages relayed\n", report.Slots, report.Messages)
+		fmt.Fprintf(out, "matching: %v\n", report.Matching)
+		fmt.Fprintf(out, "welfare: %.4f\n", report.Welfare)
+		return nil
+	case "buyer":
+		if *addr == "" {
+			return fmt.Errorf("-addr is required for node roles")
+		}
+		matched, err := wire.RunBuyerNode(*addr, *index, &m, nodeCfg)
+		if err != nil {
+			return err
+		}
+		if matched == market.Unmatched {
+			fmt.Fprintf(out, "buyer %d: unmatched\n", *index)
+		} else {
+			fmt.Fprintf(out, "buyer %d: matched to seller %d (price %.4f)\n", *index, matched, m.Price(matched, *index))
+		}
+		return nil
+	case "seller":
+		if *addr == "" {
+			return fmt.Errorf("-addr is required for node roles")
+		}
+		coalition, err := wire.RunSellerNode(*addr, *index, &m, nodeCfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "seller %d: coalition %v\n", *index, coalition)
+		return nil
+	default:
+		return fmt.Errorf("unknown role %q (want hub, buyer, seller or all)", *role)
+	}
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"specmatch"
+)
+
+func marketFile(t *testing.T, sellers, buyers int) string {
+	t.Helper()
+	m, err := specmatch.GenerateMarket(specmatch.MarketConfig{Sellers: sellers, Buyers: buyers, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "market.json")
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRoleAll(t *testing.T) {
+	path := marketFile(t, 3, 8)
+	var out strings.Builder
+	if err := run([]string{"-market", path, "-role", "all"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"quiesced", "welfare:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestMultiProcessRoles drives the hub and every node role through the CLI
+// entry points concurrently, as separate processes would.
+func TestMultiProcessRoles(t *testing.T) {
+	const sellers, buyers = 2, 5
+	path := marketFile(t, sellers, buyers)
+
+	// Start the hub on an ephemeral port and scrape its address.
+	addrCh := make(chan string, 1)
+	hubOut := &syncWriter{addrCh: addrCh}
+	hubDone := make(chan error, 1)
+	go func() {
+		hubDone <- run([]string{"-market", path, "-role", "hub"}, hubOut)
+	}()
+	addr := <-addrCh
+
+	var wg sync.WaitGroup
+	errs := make(chan error, sellers+buyers)
+	for i := 0; i < sellers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var out strings.Builder
+			errs <- run([]string{"-market", path, "-role", "seller", "-index", strconv.Itoa(i), "-addr", addr}, &out)
+		}(i)
+	}
+	for j := 0; j < buyers; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			var out strings.Builder
+			errs <- run([]string{"-market", path, "-role", "buyer", "-index", strconv.Itoa(j), "-addr", addr}, &out)
+		}(j)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Errorf("node: %v", err)
+		}
+	}
+	if err := <-hubDone; err != nil {
+		t.Errorf("hub: %v", err)
+	}
+	if !strings.Contains(hubOut.String(), "welfare:") {
+		t.Errorf("hub output:\n%s", hubOut.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{}, &out); err == nil {
+		t.Error("missing market should fail")
+	}
+	path := marketFile(t, 2, 3)
+	if err := run([]string{"-market", path, "-role", "alien"}, &out); err == nil {
+		t.Error("unknown role should fail")
+	}
+	if err := run([]string{"-market", path, "-role", "buyer"}, &out); err == nil {
+		t.Error("node role without -addr should fail")
+	}
+	if err := run([]string{"-market", path, "-buyer-rule", "bogus"}, &out); err == nil {
+		t.Error("bogus rule should fail")
+	}
+}
+
+// syncWriter captures hub output and signals once the listen address line
+// appears.
+type syncWriter struct {
+	mu     sync.Mutex
+	buf    strings.Builder
+	addrCh chan string
+	sent   bool
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Write(p)
+	if !w.sent {
+		s := w.buf.String()
+		if idx := strings.Index(s, "hub listening on "); idx >= 0 {
+			rest := s[idx+len("hub listening on "):]
+			if end := strings.IndexByte(rest, ','); end > 0 {
+				w.addrCh <- rest[:end]
+				w.sent = true
+			}
+		}
+	}
+	return len(p), nil
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}

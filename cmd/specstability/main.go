@@ -1,0 +1,148 @@
+// Command specstability analyzes an arbitrary matching against a market: it
+// verifies every solution concept of the paper's §III (interference-freeness,
+// individual rationality, Nash stability, pairwise stability), prints the
+// witnessing violations, and reports welfare against the matching the
+// two-stage algorithm would produce.
+//
+// Usage:
+//
+//	specgen -sellers 3 -buyers 8 > market.json
+//	specstability -market market.json -matching matching.json
+//	specstability -market market.json            # analyze the algorithm's own output
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"specmatch"
+	"specmatch/internal/market"
+	"specmatch/internal/matching"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "specstability:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("specstability", flag.ContinueOnError)
+	var (
+		marketPath   = fs.String("market", "", "market JSON path ('-' = stdin); required")
+		matchingPath = fs.String("matching", "", "matching JSON path; empty = run the two-stage algorithm")
+		maxWitness   = fs.Int("max-witnesses", 5, "cap on printed violations per property")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help already printed usage
+		}
+		return err
+	}
+	if *marketPath == "" {
+		return fmt.Errorf("-market is required")
+	}
+
+	m, err := readJSON[market.Market](*marketPath)
+	if err != nil {
+		return fmt.Errorf("market: %w", err)
+	}
+
+	var mu *matching.Matching
+	if *matchingPath == "" {
+		res, err := specmatch.Match(m, specmatch.MatchOptions{})
+		if err != nil {
+			return err
+		}
+		mu = res.Matching
+		fmt.Fprintln(out, "analyzing the two-stage algorithm's own output")
+	} else {
+		mu, err = readJSON[matching.Matching](*matchingPath)
+		if err != nil {
+			return fmt.Errorf("matching: %w", err)
+		}
+		if mu.M() != m.M() || mu.N() != m.N() {
+			return fmt.Errorf("matching dims (%d,%d) do not fit market (%d,%d)", mu.M(), mu.N(), m.M(), m.N())
+		}
+	}
+
+	welfare := specmatch.Welfare(m, mu)
+	fmt.Fprintf(out, "market: %d sellers × %d buyers\n", m.M(), m.N())
+	fmt.Fprintf(out, "matching: %v\n", mu)
+	fmt.Fprintf(out, "welfare: %.4f (matched %d/%d)\n\n", welfare, mu.MatchedCount(), mu.N())
+
+	rep := specmatch.CheckStability(m, mu)
+	printProperty(out, "interference-free", rep.InterferenceFree, len(rep.Interference))
+	for k, v := range rep.Interference {
+		if k >= *maxWitness {
+			break
+		}
+		fmt.Fprintf(out, "    %v\n", v)
+	}
+	printProperty(out, "individually rational", rep.IndividuallyRational, len(rep.IR))
+	for k, v := range rep.IR {
+		if k >= *maxWitness {
+			break
+		}
+		fmt.Fprintf(out, "    %v\n", v)
+	}
+	printProperty(out, "nash-stable", rep.NashStable, len(rep.Nash))
+	for k, v := range rep.Nash {
+		if k >= *maxWitness {
+			break
+		}
+		fmt.Fprintf(out, "    %v\n", v)
+	}
+	printProperty(out, "pairwise-stable", rep.PairwiseStable, len(rep.Blocking))
+	for k, v := range rep.Blocking {
+		if k >= *maxWitness {
+			break
+		}
+		fmt.Fprintf(out, "    %v\n", v)
+	}
+
+	if *matchingPath != "" {
+		res, err := specmatch.Match(m, specmatch.MatchOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\ntwo-stage algorithm on this market: welfare %.4f", res.Welfare)
+		if welfare > 0 {
+			fmt.Fprintf(out, " (given matching is %.1f%% of it)", 100*welfare/res.Welfare)
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+func printProperty(out io.Writer, name string, ok bool, violations int) {
+	status := "OK"
+	if !ok {
+		status = fmt.Sprintf("VIOLATED (%d)", violations)
+	}
+	fmt.Fprintf(out, "%-22s %s\n", name+":", status)
+}
+
+// readJSON loads a JSON value from a path or stdin.
+func readJSON[T any](path string) (*T, error) {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	v := new(T)
+	if err := json.Unmarshal(data, v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}

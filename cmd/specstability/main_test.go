@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"specmatch"
+	"specmatch/internal/matching"
+	"specmatch/internal/paperexample"
+)
+
+func writeJSON(t *testing.T, name string, v any) string {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAnalyzeAlgorithmOutput(t *testing.T) {
+	m, err := specmatch.GenerateMarket(specmatch.MarketConfig{Sellers: 3, Buyers: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	marketPath := writeJSON(t, "market.json", m)
+	var out strings.Builder
+	if err := run([]string{"-market", marketPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"interference-free:     OK", "nash-stable:           OK", "welfare:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestAnalyzeGivenMatching(t *testing.T) {
+	m := paperexample.Toy()
+	marketPath := writeJSON(t, "market.json", m)
+	// An intentionally unstable matching: everyone unmatched except one
+	// suboptimal pairing.
+	mu := matching.New(m.M(), m.N())
+	if err := mu.Assign(2, 0); err != nil { // buyer 1 on channel c (worth 3 < 7 on a)
+		t.Fatal(err)
+	}
+	matchingPath := writeJSON(t, "matching.json", mu)
+	var out strings.Builder
+	if err := run([]string{"-market", marketPath, "-matching", matchingPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "nash-stable:           VIOLATED") {
+		t.Errorf("expected Nash violations:\n%s", s)
+	}
+	if !strings.Contains(s, "two-stage algorithm on this market") {
+		t.Errorf("expected algorithm comparison:\n%s", s)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{}, &out); err == nil {
+		t.Error("missing -market should fail")
+	}
+	if err := run([]string{"-market", "/nope.json"}, &out); err == nil {
+		t.Error("missing file should fail")
+	}
+	m := paperexample.Toy()
+	marketPath := writeJSON(t, "market.json", m)
+	wrong := matching.New(9, 9)
+	matchingPath := writeJSON(t, "matching.json", wrong)
+	if err := run([]string{"-market", marketPath, "-matching", matchingPath}, &out); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestToyReplay(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"Stage I — adapted deferred acceptance",
+		"Stage II Phase 1 — transfer",
+		"Stage II Phase 2 — invitation",
+		"welfare 27",
+		"welfare 30",
+		"90.9%",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestCounterexampleReplay(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-counter"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"welfare 62.5",
+		"Nash-stable: true",
+		"Pairwise-stable: false",
+		"1 swap(s), welfare 62.5 → 64.5",
+		"Still Nash-stable: true",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}

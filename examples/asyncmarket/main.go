@@ -1,0 +1,74 @@
+// Asyncmarket runs the fully distributed protocol of §IV: buyers and sellers
+// as independent agents over a simulated lossy network, deciding locally —
+// via the paper's transition rules — when to stop deferred acceptance and
+// start transferring. It contrasts the default worst-case schedule with
+// rules I/II on completion time, then degrades the network to show the
+// protocol surviving message loss.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"specmatch"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("asyncmarket: ")
+
+	m, err := specmatch.GenerateMarket(specmatch.MarketConfig{Sellers: 4, Buyers: 24, Seed: 99})
+	if err != nil {
+		log.Fatalf("generate: %v", err)
+	}
+	sync, err := specmatch.Match(m, specmatch.MatchOptions{})
+	if err != nil {
+		log.Fatalf("sync: %v", err)
+	}
+	fmt.Printf("market: %v — synchronous baseline welfare %.3f\n\n", m, sync.Welfare)
+
+	fmt.Println("transition rules on a reliable network:")
+	fmt.Printf("%-28s  %-8s  %-9s  %-18s\n", "rules", "slots", "welfare", "mean buyer transit")
+	for _, c := range []struct {
+		name string
+		cfg  specmatch.AsyncConfig
+	}{
+		{"default schedule", specmatch.AsyncConfig{}},
+		{"rule I + probabilistic", specmatch.AsyncConfig{
+			BuyerRule: specmatch.BuyerRuleI, SellerRule: specmatch.SellerProbabilistic}},
+		{"rule II + probabilistic", specmatch.AsyncConfig{
+			BuyerRule: specmatch.BuyerRuleII, SellerRule: specmatch.SellerProbabilistic}},
+	} {
+		res, err := specmatch.MatchAsync(m, c.cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", c.name, err)
+		}
+		fmt.Printf("%-28s  %-8d  %-9.3f  slot %.1f (%d/%d early)\n",
+			c.name, res.Slots, res.Welfare, res.MeanBuyerTransition,
+			res.EarlyBuyerTransitions, m.N())
+	}
+
+	fmt.Println()
+	fmt.Println("fault injection (rule II, retransmission enabled):")
+	fmt.Printf("%-8s  %-8s  %-9s  %-9s  %-8s\n", "drop", "slots", "welfare", "ratio", "dropped")
+	for _, drop := range []float64{0, 0.05, 0.15, 0.3} {
+		res, err := specmatch.MatchAsync(m, specmatch.AsyncConfig{
+			BuyerRule:  specmatch.BuyerRuleII,
+			SellerRule: specmatch.SellerProbabilistic,
+			Net:        specmatch.NetConfig{DropProb: drop, Seed: 5},
+		})
+		if err != nil {
+			log.Fatalf("drop %v: %v", drop, err)
+		}
+		if !res.Terminated {
+			log.Fatalf("drop %v: protocol did not terminate", drop)
+		}
+		fmt.Printf("%-8.2f  %-8d  %-9.3f  %-9.3f  %-8d\n",
+			drop, res.Slots, res.Welfare, res.Welfare/sync.Welfare, res.Net.Dropped)
+	}
+
+	fmt.Println()
+	fmt.Println("The protocol keeps terminating and stays interference-free under loss;")
+	fmt.Println("retransmission keeps welfare close to the reliable baseline (losing a")
+	fmt.Println("proposal reroutes the matching, which can shift welfare either way).")
+}

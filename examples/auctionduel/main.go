@@ -1,0 +1,65 @@
+// Auctionduel pits the paper's matching framework against the mechanism it
+// replaces: a TRUST-style group-based truthful double auction, run on the
+// same markets. The paper's argument against double auctions is
+// qualitative — they need a trusted auctioneer and trade efficiency for
+// truthfulness; this example makes the efficiency and fairness halves of
+// that argument concrete with welfare, service count and Jain's fairness
+// index across market sizes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"specmatch"
+	"specmatch/internal/matching"
+	"specmatch/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("auctionduel: ")
+
+	fmt.Println("matching vs group-based double auction (M = 6 channels)")
+	fmt.Println()
+	fmt.Printf("%-6s  %-18s  %-18s  %-14s  %-14s\n",
+		"N", "welfare m / a", "matched m / a", "fairness m", "fairness a")
+
+	for _, n := range []int{30, 60, 120, 240} {
+		m, err := specmatch.GenerateMarket(specmatch.MarketConfig{Sellers: 6, Buyers: n, Seed: 77})
+		if err != nil {
+			log.Fatalf("generate: %v", err)
+		}
+
+		res, err := specmatch.Match(m, specmatch.MatchOptions{})
+		if err != nil {
+			log.Fatalf("match: %v", err)
+		}
+		muAuction, outcome, err := specmatch.DoubleAuction(m, specmatch.AuctionOptions{})
+		if err != nil {
+			log.Fatalf("auction: %v", err)
+		}
+
+		fairMatch := stats.JainIndex(buyerUtilities(m, res.Matching))
+		fairAuction := stats.JainIndex(buyerUtilities(m, muAuction))
+
+		fmt.Printf("%-6d  %7.2f / %-8.2f  %7d / %-8d  %-14.3f  %-14.3f\n",
+			n, res.Welfare, outcome.Welfare,
+			res.Matched, muAuction.MatchedCount(),
+			fairMatch, fairAuction)
+	}
+
+	fmt.Println()
+	fmt.Println("The matching serves more buyers at higher total welfare: group bids")
+	fmt.Println("(size × minimum member bid) discard price heterogeneity, and whole")
+	fmt.Println("groups lose together. The auctioneer the auction requires is exactly")
+	fmt.Println("the third party the paper's free-market setting removes.")
+}
+
+func buyerUtilities(m *specmatch.Market, mu *specmatch.Matching) []float64 {
+	out := make([]float64, m.N())
+	for j := range out {
+		out[j] = matching.BuyerUtilityIn(m, mu, j)
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+// Dynamicmarket exercises the dynamic-market extension: a long-running
+// spectrum market where providers arrive when their traffic peaks and leave
+// when it ebbs. Each churn batch is absorbed by the incremental Stage II
+// repair operator — incumbents keep their channels, newcomers compete
+// through transfers and invitations — and the session is compared against a
+// full re-run of the two-stage algorithm at every step to show the price of
+// never disrupting service.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"specmatch"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dynamicmarket: ")
+
+	m, err := specmatch.GenerateMarket(specmatch.MarketConfig{Sellers: 5, Buyers: 40, Seed: 11})
+	if err != nil {
+		log.Fatalf("generate: %v", err)
+	}
+	session, err := specmatch.NewDynamicSession(m, specmatch.MatchOptions{})
+	if err != nil {
+		log.Fatalf("session: %v", err)
+	}
+
+	r := rand.New(rand.NewSource(8))
+	fmt.Println("dynamic spectrum market: 5 channels, 40 providers, 12 churn epochs")
+	fmt.Println()
+	fmt.Printf("%-6s  %-8s  %-8s  %-8s  %-9s  %-9s  %-7s\n",
+		"epoch", "arrive", "depart", "active", "welfare", "fresh", "ratio")
+
+	var incSum, freshSum float64
+	for epoch := 1; epoch <= 12; epoch++ {
+		var ev specmatch.ChurnEvent
+		for j := 0; j < m.N(); j++ {
+			if session.Active(j) {
+				if r.Float64() < 0.15 {
+					ev.Depart = append(ev.Depart, j)
+				}
+			} else if r.Float64() < 0.35 {
+				ev.Arrive = append(ev.Arrive, j)
+			}
+		}
+		st, err := session.Step(ev)
+		if err != nil {
+			log.Fatalf("epoch %d: %v", epoch, err)
+		}
+		fresh, err := session.Rebuild(false)
+		if err != nil {
+			log.Fatalf("epoch %d rebuild: %v", epoch, err)
+		}
+		incSum += st.Welfare
+		freshSum += fresh
+		ratio := 1.0
+		if fresh > 0 {
+			ratio = st.Welfare / fresh
+		}
+		fmt.Printf("%-6d  %-8d  %-8d  %-8d  %-9.3f  %-9.3f  %-7.3f\n",
+			epoch, st.Arrived, st.Departed, session.ActiveCount(), st.Welfare, fresh, ratio)
+	}
+
+	fmt.Println()
+	fmt.Printf("cumulative: incremental %.2f vs fresh re-runs %.2f (%.1f%%)\n",
+		incSum, freshSum, 100*incSum/freshSum)
+	fmt.Println("Incremental repair never evicts an incumbent, keeps every stability")
+	fmt.Println("guarantee over the active sub-market, and stays within a few percent")
+	fmt.Println("of restarting the whole algorithm at every epoch.")
+}

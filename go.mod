@@ -1,0 +1,3 @@
+module specmatch
+
+go 1.22

@@ -1,0 +1,354 @@
+package agent
+
+import (
+	"testing"
+
+	"specmatch/internal/core"
+	"specmatch/internal/market"
+	"specmatch/internal/paperexample"
+	"specmatch/internal/simnet"
+	"specmatch/internal/stability"
+)
+
+// TestAsyncEqualsSyncOnToy: under the default schedule on a reliable
+// network, the asynchronous protocol reproduces the synchronous engine's
+// result on the paper's toy market exactly.
+func TestAsyncEqualsSyncOnToy(t *testing.T) {
+	m := paperexample.Toy()
+	asyncRes, err := Run(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncRes, err := core.Run(m, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !asyncRes.Matching.Equal(syncRes.Matching) {
+		t.Errorf("async %v != sync %v", asyncRes.Matching, syncRes.Matching)
+	}
+	if asyncRes.Welfare != paperexample.ToyFinalWelfare {
+		t.Errorf("welfare = %v, want %v", asyncRes.Welfare, paperexample.ToyFinalWelfare)
+	}
+	if !asyncRes.Terminated {
+		t.Error("did not terminate")
+	}
+	if asyncRes.DisagreedPairs != 0 {
+		t.Errorf("reliable network produced %d disagreed pairs", asyncRes.DisagreedPairs)
+	}
+}
+
+// TestAsyncEqualsSyncAcrossSeeds: the equivalence holds on random geometric
+// markets of various shapes.
+func TestAsyncEqualsSyncAcrossSeeds(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		cfg := market.Config{Sellers: 3 + int(seed%4), Buyers: 10 + int(seed%25), Seed: seed}
+		m, err := market.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		asyncRes, err := Run(m, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		syncRes, err := core.Run(m, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !asyncRes.Matching.Equal(syncRes.Matching) {
+			t.Errorf("seed %d: async welfare %v != sync welfare %v", seed, asyncRes.Welfare, syncRes.Welfare)
+		}
+		if !asyncRes.Terminated {
+			t.Errorf("seed %d: did not terminate", seed)
+		}
+	}
+}
+
+// TestRulesAccelerateToy reproduces the paper's §IV motivation: on the toy
+// market the default rule takes the full schedule while the local transition
+// rules finish in far fewer slots at the same welfare (the paper's "23 time
+// slots, but in fact, 7 are enough", in our 2-slots-per-round encoding).
+func TestRulesAccelerateToy(t *testing.T) {
+	m := paperexample.Toy()
+	defaultRes, err := Run(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []Config{
+		{BuyerRule: BuyerRuleI, SellerRule: SellerProbabilistic},
+		{BuyerRule: BuyerRuleII, SellerRule: SellerProbabilistic},
+	} {
+		res, err := Run(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Welfare != defaultRes.Welfare {
+			t.Errorf("%v: welfare %v != default %v", cfg.BuyerRule, res.Welfare, defaultRes.Welfare)
+		}
+		if res.Slots >= defaultRes.Slots/2 {
+			t.Errorf("%v: %d slots, want well under default %d", cfg.BuyerRule, res.Slots, defaultRes.Slots)
+		}
+	}
+}
+
+// TestRulesKeepStability: under every transition rule the realized matching
+// stays interference-free and individually rational on random markets, and
+// welfare stays close to the synchronous baseline.
+func TestRulesKeepStability(t *testing.T) {
+	rules := []Config{
+		{BuyerRule: BuyerRuleI, SellerRule: SellerProbabilistic},
+		{BuyerRule: BuyerRuleII, SellerRule: SellerProbabilistic},
+		{BuyerRule: BuyerRuleII, BuyerThreshold: 0.3, SellerRule: SellerProbabilistic, SellerThreshold: 0.3},
+	}
+	for seed := int64(0); seed < 15; seed++ {
+		m, err := market.Generate(market.Config{Sellers: 4, Buyers: 25, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		syncRes, err := core.Run(m, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range rules {
+			res, err := Run(m, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Terminated {
+				t.Errorf("seed %d %v: did not terminate", seed, cfg.BuyerRule)
+			}
+			if v := stability.CheckInterferenceFree(m, res.Matching); len(v) != 0 {
+				t.Errorf("seed %d %v: interference %v", seed, cfg.BuyerRule, v)
+			}
+			if v := stability.CheckIndividualRational(m, res.Matching); len(v) != 0 {
+				t.Errorf("seed %d %v: IR violations %v", seed, cfg.BuyerRule, v)
+			}
+			if res.Welfare < 0.85*syncRes.Welfare {
+				t.Errorf("seed %d %v: welfare %.3f below 85%% of sync %.3f", seed, cfg.BuyerRule, res.Welfare, syncRes.Welfare)
+			}
+		}
+	}
+}
+
+// TestRuleMeansBeatDefault: under rules I/II most buyers transition before
+// the default-schedule slot.
+func TestRuleMeansBeatDefault(t *testing.T) {
+	m, err := market.Generate(market.Config{Sellers: 5, Buyers: 40, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defaultRes, err := Run(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(m, Config{BuyerRule: BuyerRuleII, SellerRule: SellerProbabilistic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EarlyBuyerTransitions < m.N()*3/4 {
+		t.Errorf("only %d of %d buyers transitioned early under rule II", res.EarlyBuyerTransitions, m.N())
+	}
+	if res.MeanBuyerTransition >= defaultRes.MeanBuyerTransition {
+		t.Errorf("mean buyer transition %.1f not below default %.1f", res.MeanBuyerTransition, defaultRes.MeanBuyerTransition)
+	}
+}
+
+// TestFaultTolerance: with message loss the protocol still terminates,
+// produces an interference-free matching, and reports its drops. Welfare may
+// degrade but must stay positive on a healthy market.
+func TestFaultTolerance(t *testing.T) {
+	for _, dropProb := range []float64{0.01, 0.05, 0.2} {
+		for seed := int64(0); seed < 8; seed++ {
+			m, err := market.Generate(market.Config{Sellers: 4, Buyers: 20, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(m, Config{Net: simnet.Config{DropProb: dropProb, Seed: seed}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Terminated {
+				t.Errorf("drop %v seed %d: did not terminate", dropProb, seed)
+			}
+			if v := stability.CheckInterferenceFree(m, res.Matching); len(v) != 0 {
+				t.Errorf("drop %v seed %d: interference %v", dropProb, seed, v)
+			}
+			if dropProb >= 0.1 && res.Net.Dropped == 0 {
+				t.Errorf("drop %v seed %d: no drops recorded", dropProb, seed)
+			}
+			if res.Welfare <= 0 {
+				t.Errorf("drop %v seed %d: welfare %v", dropProb, seed, res.Welfare)
+			}
+		}
+	}
+}
+
+// TestDelayTolerance: bounded extra delays shake the lockstep but the
+// protocol still terminates with a valid matching.
+func TestDelayTolerance(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		m, err := market.Generate(market.Config{Sellers: 4, Buyers: 20, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(m, Config{Net: simnet.Config{DelayMax: 3, Seed: seed}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Terminated {
+			t.Errorf("seed %d: did not terminate under delays", seed)
+		}
+		if v := stability.CheckInterferenceFree(m, res.Matching); len(v) != 0 {
+			t.Errorf("seed %d: interference %v", seed, v)
+		}
+		if res.Matching.Validate() != nil {
+			t.Errorf("seed %d: inconsistent matching", seed)
+		}
+	}
+}
+
+// TestDeterministicRuns: same market, same config, same result.
+func TestDeterministicRuns(t *testing.T) {
+	m, err := market.Generate(market.Config{Sellers: 4, Buyers: 30, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{BuyerRule: BuyerRuleII, SellerRule: SellerProbabilistic, Net: simnet.Config{DropProb: 0.05, Seed: 11}}
+	a, err := Run(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Matching.Equal(b.Matching) || a.Slots != b.Slots || a.Net != b.Net {
+		t.Error("asynchronous run is not deterministic")
+	}
+}
+
+// TestParseRules round-trips the rule name parsers.
+func TestParseRules(t *testing.T) {
+	for _, name := range []string{"default", "rule-i", "rule-ii"} {
+		r, err := ParseBuyerRule(name)
+		if err != nil {
+			t.Fatalf("ParseBuyerRule(%q): %v", name, err)
+		}
+		if r.String() != name {
+			t.Errorf("round trip %q = %q", name, r.String())
+		}
+	}
+	if _, err := ParseBuyerRule("bogus"); err == nil {
+		t.Error("bogus buyer rule should fail")
+	}
+	for _, name := range []string{"default", "probabilistic"} {
+		r, err := ParseSellerRule(name)
+		if err != nil {
+			t.Fatalf("ParseSellerRule(%q): %v", name, err)
+		}
+		if r.String() != name {
+			t.Errorf("round trip %q = %q", name, r.String())
+		}
+	}
+	if _, err := ParseSellerRule("bogus"); err == nil {
+		t.Error("bogus seller rule should fail")
+	}
+	if BuyerRule(77).String() == "" || SellerRule(77).String() == "" {
+		t.Error("unknown rules should still render")
+	}
+}
+
+// TestInvalidNetworkConfig propagates simnet validation.
+func TestInvalidNetworkConfig(t *testing.T) {
+	m := paperexample.Toy()
+	if _, err := Run(m, Config{Net: simnet.Config{DropProb: -1}}); err == nil {
+		t.Error("invalid network config should fail")
+	}
+}
+
+// TestCounterexampleAsync: the async protocol also reproduces the Fig. 4
+// outcome.
+func TestCounterexampleAsync(t *testing.T) {
+	m := paperexample.Counterexample()
+	res, err := Run(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Welfare != paperexample.CounterexampleWelfare {
+		t.Errorf("welfare = %v, want %v", res.Welfare, paperexample.CounterexampleWelfare)
+	}
+}
+
+// TestMaxSlotsAbort: an absurdly small MaxSlots yields an untermination
+// report rather than an error or a hang.
+func TestMaxSlotsAbort(t *testing.T) {
+	m := paperexample.Toy()
+	res, err := Run(m, Config{MaxSlots: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Terminated {
+		t.Error("3 slots cannot complete the toy protocol")
+	}
+	if res.Matching.Validate() != nil {
+		t.Error("partial matching must still be consistent")
+	}
+}
+
+// TestBlackoutLiveness: a mid-protocol outage window drops every message,
+// yet retransmission keeps the protocol live and the result valid.
+func TestBlackoutLiveness(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		m, err := market.Generate(market.Config{Sellers: 3, Buyers: 15, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(m, Config{
+			Net:        simnet.Config{Blackouts: []simnet.Blackout{{From: 3, To: 9}}, Seed: seed},
+			MaxRetries: 6,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Terminated {
+			t.Errorf("seed %d: did not terminate through the blackout", seed)
+		}
+		if res.Net.Dropped == 0 {
+			t.Errorf("seed %d: blackout dropped nothing", seed)
+		}
+		if v := stability.CheckInterferenceFree(m, res.Matching); len(v) != 0 {
+			t.Errorf("seed %d: interference %v", seed, v)
+		}
+		if res.Welfare <= 0 {
+			t.Errorf("seed %d: welfare %v", seed, res.Welfare)
+		}
+	}
+}
+
+// TestLearnCDFRule: rule II with a per-buyer empirical CDF (no common
+// prior) still terminates, keeps the stability guarantees, and yields
+// welfare comparable to the known-prior run.
+func TestLearnCDFRule(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		m, err := market.Generate(market.Config{Sellers: 4, Buyers: 25, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		known, err := Run(m, Config{BuyerRule: BuyerRuleII, SellerRule: SellerProbabilistic})
+		if err != nil {
+			t.Fatal(err)
+		}
+		learned, err := Run(m, Config{BuyerRule: BuyerRuleII, SellerRule: SellerProbabilistic, LearnCDF: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !learned.Terminated {
+			t.Errorf("seed %d: learned-CDF run did not terminate", seed)
+		}
+		if v := stability.CheckInterferenceFree(m, learned.Matching); len(v) != 0 {
+			t.Errorf("seed %d: interference %v", seed, v)
+		}
+		if learned.Welfare < 0.85*known.Welfare {
+			t.Errorf("seed %d: learned welfare %.3f far below known-prior %.3f", seed, learned.Welfare, known.Welfare)
+		}
+	}
+}

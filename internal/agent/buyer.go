@@ -1,0 +1,325 @@
+package agent
+
+import (
+	"sort"
+
+	"specmatch/internal/market"
+	"specmatch/internal/simnet"
+	"specmatch/internal/trace"
+	"specmatch/internal/transition"
+)
+
+// request tracks one in-flight buyer request awaiting a seller's decision.
+type request struct {
+	peer    int
+	sentAt  int
+	retries int
+	// transfer distinguishes a Stage II application from a Stage I proposal.
+	transfer bool
+}
+
+// buyerAgent is the buyer state machine. It only reads its own utility
+// vector, its own interference neighborhoods, and the messages it receives.
+type buyerAgent struct {
+	id    int
+	m     *market.Market
+	cfg   Config
+	sched schedule
+	net   netSender
+
+	stage     int // 1 or 2
+	matchedTo int // believed seller, or market.Unmatched
+
+	proposed map[int]bool // Stage I: sellers proposed to
+	applied  map[int]bool // Stage II: sellers applied to
+
+	// neighbors[i] is this buyer's interference neighborhood on channel i
+	// (local knowledge, e.g. carrier sensing).
+	neighbors [][]int
+
+	// proposersAt[i] accumulates buyers known (via digests and decisions) to
+	// have proposed to seller i; feeds transition rules I and II.
+	proposersAt map[int]map[int]bool
+
+	awaiting       *request
+	pendingInvites []int // sellers that invited this slot
+	sellerNotified bool  // rule III trigger received
+	transitionSlot int   // slot of Stage II entry, -1 while in Stage I
+
+	// priceCDF is the buyer's working estimate of F: the configured prior,
+	// or — under Config.LearnCDF — the empirical CDF of her own utility
+	// vector (a legitimate i.i.d. sample of F in the paper's model).
+	priceCDF transition.CDF
+}
+
+func newBuyerAgent(id int, m *market.Market, cfg Config, sched schedule, net netSender) *buyerAgent {
+	neighbors := make([][]int, m.M())
+	for i := 0; i < m.M(); i++ {
+		neighbors[i] = m.Graph(i).Neighbors(id)
+	}
+	priceCDF := cfg.PriceCDF
+	if cfg.LearnCDF {
+		sample := make([]float64, m.M())
+		for i := range sample {
+			sample[i] = m.Price(i, id)
+		}
+		if empirical, err := transition.NewEmpirical(sample); err == nil {
+			priceCDF = empirical
+		}
+	}
+	return &buyerAgent{
+		id:             id,
+		m:              m,
+		cfg:            cfg,
+		sched:          sched,
+		net:            net,
+		stage:          1,
+		matchedTo:      market.Unmatched,
+		proposed:       make(map[int]bool),
+		applied:        make(map[int]bool),
+		neighbors:      neighbors,
+		proposersAt:    make(map[int]map[int]bool),
+		transitionSlot: -1,
+		priceCDF:       priceCDF,
+	}
+}
+
+func (b *buyerAgent) currentUtility() float64 {
+	if b.matchedTo == market.Unmatched {
+		return 0
+	}
+	return b.m.Price(b.matchedTo, b.id)
+}
+
+func (b *buyerAgent) noteProposers(seller int, proposers []int) {
+	set := b.proposersAt[seller]
+	if set == nil {
+		set = make(map[int]bool)
+		b.proposersAt[seller] = set
+	}
+	for _, j := range proposers {
+		set[j] = true
+	}
+}
+
+// handle processes one delivered message. Decisions that require comparing
+// alternatives are deferred to tick.
+func (b *buyerAgent) handle(msg simnet.Message) {
+	seller := msg.From.Index
+	switch payload := msg.Payload.(type) {
+	case ProposalDecision:
+		if b.awaiting != nil && !b.awaiting.transfer && b.awaiting.peer == seller {
+			b.awaiting = nil
+		}
+		b.noteProposers(seller, payload.Proposers)
+		if payload.Accepted {
+			b.matchedTo = seller
+		} else if b.matchedTo == seller {
+			// An idempotent retry answered "not in waiting list".
+			b.matchedTo = market.Unmatched
+		}
+	case Evict:
+		if b.matchedTo == seller {
+			b.matchedTo = market.Unmatched
+		}
+	case Digest:
+		b.noteProposers(seller, payload.Proposers)
+	case TransferDecision:
+		if b.awaiting != nil && b.awaiting.transfer && b.awaiting.peer == seller {
+			b.awaiting = nil
+		}
+		if payload.Accepted && b.matchedTo != seller {
+			if b.matchedTo != market.Unmatched {
+				b.net.Send(simnet.Message{From: simnet.Buyer(b.id), To: simnet.Seller(b.matchedTo), Payload: Leave{}})
+			}
+			b.matchedTo = seller
+		}
+	case Invite:
+		b.pendingInvites = append(b.pendingInvites, seller)
+	case SellerTransition:
+		if b.matchedTo == seller {
+			b.sellerNotified = true
+		}
+	}
+}
+
+// tick runs the buyer's per-slot action phase.
+func (b *buyerAgent) tick(now int) {
+	b.retryIfStale(now)
+	b.answerInvites(now)
+	if b.stage == 1 && b.shouldTransition(now) {
+		b.stage = 2
+		b.transitionSlot = now
+		b.cfg.Recorder.Record(trace.Event{Round: now, Kind: trace.KindTransition, Buyer: b.id, Seller: -1, Note: "buyer → stage II"})
+	}
+	if b.awaiting != nil {
+		return
+	}
+	switch b.stage {
+	case 1:
+		b.propose(now)
+	case 2:
+		b.applyTransfer(now)
+	}
+}
+
+// retryIfStale retransmits a timed-out request, or gives up after MaxRetries
+// and treats the request as rejected.
+func (b *buyerAgent) retryIfStale(now int) {
+	if b.awaiting == nil || now-b.awaiting.sentAt <= b.cfg.RetryAfter {
+		return
+	}
+	if b.awaiting.retries >= b.cfg.MaxRetries {
+		b.awaiting = nil
+		return
+	}
+	b.awaiting.retries++
+	b.awaiting.sentAt = now
+	price := b.m.Price(b.awaiting.peer, b.id)
+	var payload any = Propose{Price: price}
+	if b.awaiting.transfer {
+		payload = TransferApply{Price: price}
+	}
+	b.net.Send(simnet.Message{From: simnet.Buyer(b.id), To: simnet.Seller(b.awaiting.peer), Payload: payload})
+}
+
+// answerInvites accepts the best strictly improving invitation received this
+// slot and declines the rest (the synchronous engine's semantics).
+func (b *buyerAgent) answerInvites(now int) {
+	if len(b.pendingInvites) == 0 {
+		return
+	}
+	sort.Ints(b.pendingInvites)
+	best := market.Unmatched
+	bestPrice := b.currentUtility()
+	for _, i := range b.pendingInvites {
+		if p := b.m.Price(i, b.id); p > bestPrice {
+			best, bestPrice = i, p
+		}
+	}
+	for _, i := range b.pendingInvites {
+		accepted := i == best || i == b.matchedTo
+		b.net.Send(simnet.Message{From: simnet.Buyer(b.id), To: simnet.Seller(i), Payload: InviteResponse{Accepted: accepted}})
+		if accepted && i == best {
+			if b.matchedTo != market.Unmatched && b.matchedTo != i {
+				b.net.Send(simnet.Message{From: simnet.Buyer(b.id), To: simnet.Seller(b.matchedTo), Payload: Leave{}})
+			}
+			b.matchedTo = i
+			b.cfg.Recorder.Record(trace.Event{Round: now, Kind: trace.KindInviteAccept, Buyer: b.id, Seller: i})
+		}
+	}
+	b.pendingInvites = b.pendingInvites[:0]
+}
+
+// exhausted reports whether Stage I has nothing left to propose.
+func (b *buyerAgent) exhausted() bool {
+	for _, i := range b.m.BuyerPrefOrder(b.id) {
+		if !b.proposed[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// shouldTransition evaluates the buyer's Stage I → Stage II rules (§IV-A).
+func (b *buyerAgent) shouldTransition(now int) bool {
+	// Rule III: the matched seller froze her coalition.
+	if b.sellerNotified {
+		return true
+	}
+	// The default schedule is also the liveness fallback for rules I/II.
+	if now >= b.sched.stageII {
+		return true
+	}
+	// An unmatched buyer with nothing left to propose risks nothing by
+	// transitioning.
+	if b.matchedTo == market.Unmatched {
+		return b.awaiting == nil && b.exhausted()
+	}
+	switch b.cfg.BuyerRule {
+	case BuyerRuleI:
+		return b.outstandingNeighbors() == 0
+	case BuyerRuleII:
+		risk := transition.EvictionRisk(
+			now/2+1, b.m.M(), b.m.M()*b.m.N(),
+			b.outstandingNeighbors(), b.currentUtility(), b.priceCDF)
+		return risk < b.cfg.BuyerThreshold
+	default:
+		return false
+	}
+}
+
+// outstandingNeighbors counts interfering neighbors on the current channel
+// not yet known to have proposed to the current seller — the n of eq. (7).
+func (b *buyerAgent) outstandingNeighbors() int {
+	if b.matchedTo == market.Unmatched {
+		return 0
+	}
+	known := b.proposersAt[b.matchedTo]
+	n := 0
+	for _, j := range b.neighbors[b.matchedTo] {
+		if !known[j] {
+			n++
+		}
+	}
+	return n
+}
+
+// propose sends the Stage I proposal to the best unproposed seller.
+func (b *buyerAgent) propose(now int) {
+	if b.matchedTo != market.Unmatched {
+		return
+	}
+	for _, i := range b.m.BuyerPrefOrder(b.id) {
+		if b.proposed[i] {
+			continue
+		}
+		b.proposed[i] = true
+		b.awaiting = &request{peer: i, sentAt: now}
+		b.net.Send(simnet.Message{From: simnet.Buyer(b.id), To: simnet.Seller(i), Payload: Propose{Price: b.m.Price(i, b.id)}})
+		b.cfg.Recorder.Record(trace.Event{Round: now, Kind: trace.KindPropose, Buyer: b.id, Seller: i})
+		return
+	}
+}
+
+// applyTransfer sends the Stage II application to the best strictly better
+// seller not yet applied to.
+func (b *buyerAgent) applyTransfer(now int) {
+	cur := b.currentUtility()
+	best, bestPrice := market.Unmatched, cur
+	for i := 0; i < b.m.M(); i++ {
+		if b.applied[i] || i == b.matchedTo {
+			continue
+		}
+		if p := b.m.Price(i, b.id); p > bestPrice {
+			best, bestPrice = i, p
+		}
+	}
+	if best == market.Unmatched {
+		return
+	}
+	b.applied[best] = true
+	b.awaiting = &request{peer: best, sentAt: now, transfer: true}
+	b.net.Send(simnet.Message{From: simnet.Buyer(b.id), To: simnet.Seller(best), Payload: TransferApply{Price: b.m.Price(best, b.id)}})
+	b.cfg.Recorder.Record(trace.Event{Round: now, Kind: trace.KindTransferApply, Buyer: b.id, Seller: best})
+}
+
+// idle reports whether the buyer has no pending work: nothing in flight, no
+// unanswered invites, and no next action available.
+func (b *buyerAgent) idle() bool {
+	if b.awaiting != nil || len(b.pendingInvites) > 0 {
+		return false
+	}
+	switch b.stage {
+	case 1:
+		return b.matchedTo != market.Unmatched || b.exhausted()
+	default:
+		cur := b.currentUtility()
+		for i := 0; i < b.m.M(); i++ {
+			if !b.applied[i] && i != b.matchedTo && b.m.Price(i, b.id) > cur {
+				return false
+			}
+		}
+		return true
+	}
+}

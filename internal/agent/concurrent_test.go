@@ -1,0 +1,93 @@
+package agent
+
+import (
+	"testing"
+
+	"specmatch/internal/market"
+	"specmatch/internal/paperexample"
+	"specmatch/internal/simnet"
+	"specmatch/internal/stability"
+)
+
+// TestConcurrentEqualsSequentialReliable: on a reliable network the
+// goroutine-per-agent runner reproduces the sequential runner exactly —
+// same matching, same slots, same transition statistics.
+func TestConcurrentEqualsSequentialReliable(t *testing.T) {
+	configs := []Config{
+		{},
+		{BuyerRule: BuyerRuleI, SellerRule: SellerProbabilistic},
+		{BuyerRule: BuyerRuleII, SellerRule: SellerProbabilistic},
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		m, err := market.Generate(market.Config{Sellers: 4, Buyers: 20, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range configs {
+			seq, err := Run(m, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			conc, err := RunConcurrent(m, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !seq.Matching.Equal(conc.Matching) {
+				t.Errorf("seed %d %v: matchings differ", seed, cfg.BuyerRule)
+			}
+			if seq.Slots != conc.Slots || seq.Welfare != conc.Welfare {
+				t.Errorf("seed %d %v: slots/welfare differ: %d/%.3f vs %d/%.3f",
+					seed, cfg.BuyerRule, seq.Slots, seq.Welfare, conc.Slots, conc.Welfare)
+			}
+			if seq.MeanBuyerTransition != conc.MeanBuyerTransition {
+				t.Errorf("seed %d %v: transition stats differ", seed, cfg.BuyerRule)
+			}
+		}
+	}
+}
+
+// TestConcurrentToyGolden: the concurrent runner also reproduces the
+// paper's toy outcome.
+func TestConcurrentToyGolden(t *testing.T) {
+	m := paperexample.Toy()
+	res, err := RunConcurrent(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Welfare != paperexample.ToyFinalWelfare {
+		t.Errorf("welfare = %v, want %v", res.Welfare, paperexample.ToyFinalWelfare)
+	}
+}
+
+// TestConcurrentDeterministicUnderFaults: with fault injection the
+// concurrent runner is reproducible run-to-run (though it may differ from
+// the sequential runner's fault realization).
+func TestConcurrentDeterministicUnderFaults(t *testing.T) {
+	m, err := market.Generate(market.Config{Sellers: 4, Buyers: 25, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Net: simnet.Config{DropProb: 0.1, DelayMax: 2, Seed: 9}}
+	a, err := RunConcurrent(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunConcurrent(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Matching.Equal(b.Matching) || a.Slots != b.Slots || a.Net != b.Net {
+		t.Error("concurrent runs with identical config diverged")
+	}
+	if v := stability.CheckInterferenceFree(m, a.Matching); len(v) != 0 {
+		t.Errorf("interference under faults: %v", v)
+	}
+}
+
+// TestConcurrentValidatesMarket propagates validation errors.
+func TestConcurrentValidatesMarket(t *testing.T) {
+	m := paperexample.Toy()
+	if _, err := RunConcurrent(m, Config{Net: simnet.Config{DropProb: -2}}); err == nil {
+		t.Error("invalid network config should fail")
+	}
+}

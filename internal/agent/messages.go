@@ -1,0 +1,64 @@
+package agent
+
+// Protocol messages exchanged between buyer and seller agents. All payloads
+// are small value types carried by simnet.Message.
+//
+// Knowledge model (standard for DSA protocols and implicit in §IV): every
+// participant knows the market dimensions M and N and the price distribution
+// F; a buyer knows her own utility vector and her interference neighborhoods
+// (carrier sensing); a seller knows her own channel's interference graph.
+// Nobody observes the global matching state — coordination happens only
+// through these messages.
+
+// Propose is a Stage I proposal (Algorithm 1 line 7).
+type Propose struct {
+	Price float64
+}
+
+// ProposalDecision answers a Propose: Accepted means the buyer is in the
+// seller's waiting list. Proposers is the seller's cumulative proposer set,
+// which matched buyers use for transition rules I and II ("all her
+// interfering neighbors have proposed to her currently matched seller" is
+// observable only if the seller shares who proposed).
+type ProposalDecision struct {
+	Accepted  bool
+	Proposers []int
+}
+
+// Evict tells a previously wait-listed buyer she was displaced by a
+// preferred coalition (Algorithm 1 line 12 aftermath).
+type Evict struct{}
+
+// Digest is the seller's per-slot broadcast to her currently matched buyers:
+// the cumulative set of buyers that have proposed to her so far. It feeds
+// buyer transition rules I and II.
+type Digest struct {
+	Proposers []int
+}
+
+// TransferApply is a Stage II Phase 1 transfer application (Algorithm 2
+// line 8).
+type TransferApply struct {
+	Price float64
+}
+
+// TransferDecision answers a TransferApply.
+type TransferDecision struct {
+	Accepted bool
+}
+
+// Invite is a Stage II Phase 2 invitation (Algorithm 2 line 25).
+type Invite struct{}
+
+// InviteResponse answers an Invite.
+type InviteResponse struct {
+	Accepted bool
+}
+
+// Leave tells a seller that one of her matched buyers moved elsewhere
+// (granted transfer or accepted invitation).
+type Leave struct{}
+
+// SellerTransition notifies a seller's matched buyers that she entered Stage
+// II and will no longer evict them — buyer transition rule III.
+type SellerTransition struct{}

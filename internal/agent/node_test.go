@@ -1,0 +1,277 @@
+package agent
+
+import (
+	"reflect"
+	"testing"
+
+	"specmatch/internal/market"
+	"specmatch/internal/paperexample"
+	"specmatch/internal/simnet"
+)
+
+// The node shells expose the raw state machines, which these tests drive
+// step by step — the micro-level complement to the runner-level suites.
+
+func toyBuyer(t *testing.T, j int) *BuyerNode {
+	t.Helper()
+	return NewBuyerNode(j, paperexample.Toy(), Config{})
+}
+
+func toySeller(t *testing.T, i int) *SellerNode {
+	t.Helper()
+	return NewSellerNode(i, paperexample.Toy(), Config{})
+}
+
+func payloadsTo(msgs []simnet.Message, to simnet.NodeID) []any {
+	var out []any
+	for _, m := range msgs {
+		if m.To == to {
+			out = append(out, m.Payload)
+		}
+	}
+	return out
+}
+
+// TestBuyerProposalOrder: buyer 1 of the toy (prices 7,6,3) proposes to
+// sellers 0, 1, 2 in that order as rejections arrive, exactly once each.
+func TestBuyerProposalOrder(t *testing.T) {
+	b := toyBuyer(t, 0)
+	var sequence []int
+	now := 1
+	for round := 0; round < 4; round++ {
+		out := b.Tick(now)
+		for _, msg := range out {
+			if _, ok := msg.Payload.(Propose); ok {
+				sequence = append(sequence, msg.To.Index)
+				// Reject it to force the next proposal.
+				b.Deliver(simnet.Message{From: msg.To, To: simnet.Buyer(0), Payload: ProposalDecision{Accepted: false}})
+			}
+		}
+		now++
+	}
+	if !reflect.DeepEqual(sequence, []int{0, 1, 2}) {
+		t.Errorf("proposal sequence = %v, want [0 1 2]", sequence)
+	}
+	// Exhausted and unmatched, the buyer self-transitions to Stage II and
+	// keeps working through transfer applications — she must not be idle.
+	if b.Idle() {
+		t.Error("exhausted unmatched buyer should move to Stage II transfers, not idle")
+	}
+}
+
+// TestBuyerStopsWhileAwaiting: a buyer never has two requests in flight.
+func TestBuyerStopsWhileAwaiting(t *testing.T) {
+	b := toyBuyer(t, 0)
+	first := b.Tick(1)
+	if len(first) != 1 {
+		t.Fatalf("tick 1 sent %d messages, want 1", len(first))
+	}
+	if more := b.Tick(2); len(more) != 0 {
+		t.Errorf("tick 2 sent %v while awaiting a decision", more)
+	}
+}
+
+// TestBuyerRetryThenGiveUp: a lost decision triggers bounded retransmission
+// and then the buyer moves on.
+func TestBuyerRetryThenGiveUp(t *testing.T) {
+	m := paperexample.Toy()
+	b := NewBuyerNode(0, m, Config{RetryAfter: 2, MaxRetries: 2})
+	out := b.Tick(1)
+	if len(out) != 1 {
+		t.Fatal("expected initial proposal")
+	}
+	target := out[0].To
+	retries := 0
+	var moved bool
+	for now := 2; now < 20 && !moved; now++ {
+		for _, msg := range b.Tick(now) {
+			if _, ok := msg.Payload.(Propose); !ok {
+				continue
+			}
+			if msg.To == target {
+				retries++
+			} else {
+				moved = true
+			}
+		}
+	}
+	if retries != 2 {
+		t.Errorf("retries to the silent seller = %d, want 2", retries)
+	}
+	if !moved {
+		t.Error("buyer never moved on to the next seller")
+	}
+}
+
+// TestBuyerEvictionResumesProposals: after eviction the buyer continues
+// down her list without re-proposing to the evicting seller.
+func TestBuyerEvictionResumesProposals(t *testing.T) {
+	b := toyBuyer(t, 0)
+	out := b.Tick(1) // proposes to seller 0
+	b.Deliver(simnet.Message{From: out[0].To, To: simnet.Buyer(0), Payload: ProposalDecision{Accepted: true}})
+	if b.MatchedTo() != 0 {
+		t.Fatalf("MatchedTo = %d, want 0", b.MatchedTo())
+	}
+	b.Deliver(simnet.Message{From: simnet.Seller(0), To: simnet.Buyer(0), Payload: Evict{}})
+	if b.MatchedTo() != market.Unmatched {
+		t.Fatal("eviction should unmatch the buyer")
+	}
+	out = b.Tick(2)
+	if len(out) != 1 || out[0].To != simnet.Seller(1) {
+		t.Errorf("post-eviction proposal = %v, want seller 1", out)
+	}
+}
+
+// TestBuyerAcceptsBestInvite: among simultaneous invitations the buyer
+// accepts the best improving one, declines the rest, and leaves her old
+// seller.
+func TestBuyerAcceptsBestInvite(t *testing.T) {
+	b := toyBuyer(t, 0) // prices (7, 6, 3)
+	// Matched to seller 2 (utility 3).
+	out := b.Tick(1)
+	_ = out
+	b.Deliver(simnet.Message{From: simnet.Seller(0), To: simnet.Buyer(0), Payload: ProposalDecision{Accepted: false}})
+	out = b.Tick(2)
+	_ = out
+	b.Deliver(simnet.Message{From: simnet.Seller(1), To: simnet.Buyer(0), Payload: ProposalDecision{Accepted: false}})
+	out = b.Tick(3)
+	_ = out
+	b.Deliver(simnet.Message{From: simnet.Seller(2), To: simnet.Buyer(0), Payload: ProposalDecision{Accepted: true}})
+	if b.MatchedTo() != 2 {
+		t.Fatalf("MatchedTo = %d, want 2", b.MatchedTo())
+	}
+	// Invites from sellers 0 (price 7) and 1 (price 6) in one slot.
+	b.Deliver(simnet.Message{From: simnet.Seller(0), To: simnet.Buyer(0), Payload: Invite{}})
+	b.Deliver(simnet.Message{From: simnet.Seller(1), To: simnet.Buyer(0), Payload: Invite{}})
+	out = b.Tick(4)
+
+	accepts := payloadsTo(out, simnet.Seller(0))
+	declines := payloadsTo(out, simnet.Seller(1))
+	leaves := payloadsTo(out, simnet.Seller(2))
+	if len(accepts) != 1 || accepts[0] != (InviteResponse{Accepted: true}) {
+		t.Errorf("seller 0 should get an acceptance, got %v", accepts)
+	}
+	if len(declines) != 1 || declines[0] != (InviteResponse{Accepted: false}) {
+		t.Errorf("seller 1 should get a decline, got %v", declines)
+	}
+	if len(leaves) != 1 || leaves[0] != (Leave{}) {
+		t.Errorf("seller 2 should get a leave, got %v", leaves)
+	}
+	if b.MatchedTo() != 0 {
+		t.Errorf("MatchedTo = %d, want 0 (the best invite)", b.MatchedTo())
+	}
+}
+
+// TestSellerCoalitionFormation: the seller keeps the best independent set
+// among waiting and new proposers, evicting and rejecting the rest.
+func TestSellerCoalitionFormation(t *testing.T) {
+	s := toySeller(t, 0) // channel a: edges {0,1}, {0,3}; prices 7,6,9,8,1
+	// Buyers 0 and 1 propose (interfering, 7 vs 6): keeps 0.
+	s.Deliver(simnet.Message{From: simnet.Buyer(0), To: simnet.Seller(0), Payload: Propose{Price: 7}})
+	s.Deliver(simnet.Message{From: simnet.Buyer(1), To: simnet.Seller(0), Payload: Propose{Price: 6}})
+	out, err := s.Tick(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := payloadsTo(out, simnet.Buyer(0)); len(got) != 1 || got[0].(ProposalDecision).Accepted != true {
+		t.Errorf("buyer 0 decision = %v, want accept", got)
+	}
+	if got := payloadsTo(out, simnet.Buyer(1)); len(got) != 1 || got[0].(ProposalDecision).Accepted != false {
+		t.Errorf("buyer 1 decision = %v, want reject", got)
+	}
+	if !reflect.DeepEqual(s.Coalition(), []int{0}) {
+		t.Fatalf("coalition = %v, want [0]", s.Coalition())
+	}
+	// Buyer 3 proposes (8, interferes with 0): evicts 0.
+	s.Deliver(simnet.Message{From: simnet.Buyer(3), To: simnet.Seller(0), Payload: Propose{Price: 8}})
+	out, err = s.Tick(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := payloadsTo(out, simnet.Buyer(0)); len(got) != 1 || got[0] != (Evict{}) {
+		t.Errorf("buyer 0 should be evicted, got %v", got)
+	}
+	if !reflect.DeepEqual(s.Coalition(), []int{3}) {
+		t.Errorf("coalition = %v, want [3]", s.Coalition())
+	}
+}
+
+// TestSellerLeaveShrinksCoalition: a Leave removes the buyer immediately.
+func TestSellerLeaveShrinksCoalition(t *testing.T) {
+	s := toySeller(t, 2) // channel c: edge {1,4} only
+	s.Deliver(simnet.Message{From: simnet.Buyer(0), To: simnet.Seller(2), Payload: Propose{Price: 3}})
+	if _, err := s.Tick(1); err != nil {
+		t.Fatal(err)
+	}
+	s.Deliver(simnet.Message{From: simnet.Buyer(0), To: simnet.Seller(2), Payload: Leave{}})
+	if len(s.Coalition()) != 0 {
+		t.Errorf("coalition after leave = %v, want empty", s.Coalition())
+	}
+}
+
+// TestSellerDigestInformsIncumbents: once matched, a buyer receives digests
+// naming later proposers (the observability needed by rules I/II).
+func TestSellerDigestInformsIncumbents(t *testing.T) {
+	s := toySeller(t, 2) // channel c
+	s.Deliver(simnet.Message{From: simnet.Buyer(0), To: simnet.Seller(2), Payload: Propose{Price: 3}})
+	if _, err := s.Tick(1); err != nil {
+		t.Fatal(err)
+	}
+	// Buyer 2 proposes next slot; buyer 0 (incumbent, compatible) must get
+	// a digest naming both proposers.
+	s.Deliver(simnet.Message{From: simnet.Buyer(2), To: simnet.Seller(2), Payload: Propose{Price: 8}})
+	out, err := s.Tick(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var digest *Digest
+	for _, p := range payloadsTo(out, simnet.Buyer(0)) {
+		if d, ok := p.(Digest); ok {
+			digest = &d
+		}
+	}
+	if digest == nil {
+		t.Fatal("incumbent got no digest")
+	}
+	if !reflect.DeepEqual(digest.Proposers, []int{0, 2}) {
+		t.Errorf("digest proposers = %v, want [0 2]", digest.Proposers)
+	}
+}
+
+// TestSellerTransferNoEviction: in Stage II the seller admits compatible
+// applicants but never evicts incumbents, and rejected applicants join the
+// invitation pool.
+func TestSellerTransferNoEviction(t *testing.T) {
+	m := paperexample.Toy()
+	s := NewSellerNode(0, m, Config{}) // channel a: edges {0,1}, {0,3}
+	// Stage I: buyer 0 (price 7) matched.
+	s.Deliver(simnet.Message{From: simnet.Buyer(0), To: simnet.Seller(0), Payload: Propose{Price: 7}})
+	if _, err := s.Tick(1); err != nil {
+		t.Fatal(err)
+	}
+	// Jump to Stage II via the default schedule slot.
+	sched := defaultSchedule(m.M(), m.N())
+	if _, err := s.Tick(sched.stageII); err != nil {
+		t.Fatal(err)
+	}
+	// Buyer 3 (price 8 — interferes with 0) applies: rejected, no eviction.
+	s.Deliver(simnet.Message{From: simnet.Buyer(3), To: simnet.Seller(0), Payload: TransferApply{Price: 8}})
+	out, err := s.Tick(sched.stageII + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := payloadsTo(out, simnet.Buyer(3)); len(got) != 1 || got[0].(TransferDecision).Accepted {
+		t.Errorf("interfering transfer should be rejected, got %v", got)
+	}
+	if !reflect.DeepEqual(s.Coalition(), []int{0}) {
+		t.Errorf("coalition = %v; Stage II must not evict", s.Coalition())
+	}
+	// Buyer 2 (price 9, compatible) applies: granted.
+	s.Deliver(simnet.Message{From: simnet.Buyer(2), To: simnet.Seller(0), Payload: TransferApply{Price: 9}})
+	if _, err := s.Tick(sched.stageII + 2); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.Coalition(), []int{0, 2}) {
+		t.Errorf("coalition = %v, want [0 2]", s.Coalition())
+	}
+}

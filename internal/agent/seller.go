@@ -1,0 +1,421 @@
+package agent
+
+import (
+	"fmt"
+	"sort"
+
+	"specmatch/internal/market"
+	"specmatch/internal/mwis"
+	"specmatch/internal/simnet"
+	"specmatch/internal/trace"
+	"specmatch/internal/transition"
+)
+
+// sellerAgent is the seller state machine for one channel. It knows its own
+// channel's interference graph and learns offered prices from the messages
+// it receives.
+type sellerAgent struct {
+	id    int
+	m     *market.Market
+	cfg   Config
+	sched schedule
+	net   netSender
+
+	stage int // 1 or 2
+	phase int // within stage 2: 1 (transfer) or 2 (invitation)
+
+	coalition map[int]bool // currently matched buyers (the waiting list)
+
+	cumProposers map[int]bool // every buyer that ever proposed here
+	newProposals []int        // proposals delivered this slot
+	gotProposal  bool         // a proposal arrived this slot (seller rule input)
+
+	pendingTransfers []int // applications awaiting processing, arrival order
+	inTransfers      map[int]bool
+
+	inviteList []int // rejected transfer applicants, arrival order
+	inInvites  map[int]bool
+	invited    map[int]bool // buyers already invited (at most once each)
+
+	awaitingInvite *request
+	stage2Start    int
+	done           bool
+
+	prices []float64 // this channel's price row, for MWIS weights
+}
+
+func newSellerAgent(id int, m *market.Market, cfg Config, sched schedule, net netSender) *sellerAgent {
+	prices := make([]float64, m.N())
+	for j := range prices {
+		prices[j] = m.Price(id, j)
+	}
+	return &sellerAgent{
+		id:           id,
+		m:            m,
+		cfg:          cfg,
+		sched:        sched,
+		net:          net,
+		stage:        1,
+		phase:        1,
+		coalition:    make(map[int]bool),
+		cumProposers: make(map[int]bool),
+		inTransfers:  make(map[int]bool),
+		inInvites:    make(map[int]bool),
+		invited:      make(map[int]bool),
+		prices:       prices,
+	}
+}
+
+func (s *sellerAgent) send(to int, payload any) {
+	s.net.Send(simnet.Message{From: simnet.Seller(s.id), To: simnet.Buyer(to), Payload: payload})
+}
+
+func (s *sellerAgent) coalitionMembers() []int {
+	out := make([]int, 0, len(s.coalition))
+	for j := range s.coalition {
+		out = append(out, j)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (s *sellerAgent) proposerList() []int {
+	out := make([]int, 0, len(s.cumProposers))
+	for j := range s.cumProposers {
+		out = append(out, j)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// handle processes one delivered message.
+func (s *sellerAgent) handle(msg simnet.Message) {
+	buyer := msg.From.Index
+	switch msg.Payload.(type) {
+	case Propose:
+		s.cumProposers[buyer] = true
+		if s.stage != 1 {
+			// Stage II sellers no longer grant proposals (§IV-B); answer so
+			// the buyer unblocks. An already-matched buyer retrying keeps
+			// her seat.
+			s.send(buyer, ProposalDecision{Accepted: s.coalition[buyer], Proposers: s.proposerList()})
+			return
+		}
+		s.gotProposal = true
+		if !s.inNewProposals(buyer) {
+			s.newProposals = append(s.newProposals, buyer)
+		}
+	case TransferApply:
+		if s.coalition[buyer] {
+			// Idempotent retry of an already granted transfer.
+			s.send(buyer, TransferDecision{Accepted: true})
+			return
+		}
+		if s.stage == 2 && s.phase == 2 {
+			// Too late to transfer; the buyer joins the invitation pool
+			// (screened when her turn comes).
+			s.send(buyer, TransferDecision{Accepted: false})
+			s.addInvite(buyer)
+			return
+		}
+		if !s.inTransfers[buyer] {
+			s.inTransfers[buyer] = true
+			s.pendingTransfers = append(s.pendingTransfers, buyer)
+		}
+	case Leave:
+		delete(s.coalition, buyer)
+	case InviteResponse:
+		resp, ok := msg.Payload.(InviteResponse)
+		if !ok {
+			return
+		}
+		if s.awaitingInvite == nil || s.awaitingInvite.peer != buyer {
+			return
+		}
+		s.awaitingInvite = nil
+		if resp.Accepted {
+			s.coalition[buyer] = true
+			s.pruneInvitesAround(buyer)
+		}
+	}
+}
+
+func (s *sellerAgent) inNewProposals(buyer int) bool {
+	for _, j := range s.newProposals {
+		if j == buyer {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *sellerAgent) addInvite(buyer int) {
+	if s.inInvites[buyer] || s.invited[buyer] {
+		return
+	}
+	s.inInvites[buyer] = true
+	s.inviteList = append(s.inviteList, buyer)
+	s.done = false // a late arrival reopens the invitation loop
+}
+
+// pruneInvitesAround drops the new member's interfering neighbors from the
+// invitation list (Algorithm 2 line 29).
+func (s *sellerAgent) pruneInvitesAround(member int) {
+	kept := s.inviteList[:0]
+	for _, j := range s.inviteList {
+		if s.m.Interferes(s.id, member, j) {
+			delete(s.inInvites, j)
+			continue
+		}
+		kept = append(kept, j)
+	}
+	s.inviteList = kept
+}
+
+// tick runs the seller's per-slot action phase.
+func (s *sellerAgent) tick(now int) error {
+	switch s.stage {
+	case 1:
+		if err := s.decideProposals(now); err != nil {
+			return err
+		}
+		if s.shouldTransition(now) {
+			s.enterStageII(now)
+		}
+	case 2:
+		if s.phase == 1 {
+			if err := s.decideTransfers(now); err != nil {
+				return err
+			}
+			if now >= s.stage2Start+(s.sched.phase2-s.sched.stageII) {
+				s.enterPhase2(now)
+			}
+		}
+		if s.phase == 2 {
+			s.runInvitations(now)
+		}
+	}
+	s.gotProposal = false
+	return nil
+}
+
+// decideProposals re-forms the waiting list against this slot's proposers
+// (Algorithm 1 lines 11–14) and notifies everyone affected.
+func (s *sellerAgent) decideProposals(now int) error {
+	if len(s.newProposals) == 0 {
+		return nil
+	}
+	candidates := append(s.coalitionMembers(), s.newProposals...)
+	selected, err := mwis.Solve(s.cfg.MWIS, s.m.Graph(s.id), s.prices, candidates)
+	if err != nil {
+		return fmt.Errorf("agent: seller %d coalition: %w", s.id, err)
+	}
+	keep := make(map[int]bool, len(selected))
+	for _, j := range selected {
+		keep[j] = true
+	}
+	proposers := s.proposerList()
+	for _, j := range s.coalitionMembers() {
+		if !keep[j] {
+			delete(s.coalition, j)
+			s.send(j, Evict{})
+			s.cfg.Recorder.Record(trace.Event{Round: now, Kind: trace.KindEvict, Buyer: j, Seller: s.id})
+		}
+	}
+	for _, j := range s.newProposals {
+		accepted := keep[j]
+		s.send(j, ProposalDecision{Accepted: accepted, Proposers: proposers})
+		if accepted {
+			s.coalition[j] = true
+			s.cfg.Recorder.Record(trace.Event{Round: now, Kind: trace.KindAccept, Buyer: j, Seller: s.id})
+		} else {
+			s.cfg.Recorder.Record(trace.Event{Round: now, Kind: trace.KindReject, Buyer: j, Seller: s.id})
+		}
+	}
+	// Keep surviving incumbents informed of who has proposed so far, for
+	// buyer rules I/II.
+	for _, j := range s.coalitionMembers() {
+		if !s.inNewProposals(j) {
+			s.send(j, Digest{Proposers: proposers})
+		}
+	}
+	s.newProposals = s.newProposals[:0]
+	return nil
+}
+
+// shouldTransition evaluates the seller's Stage I → Stage II rule (§IV-B).
+func (s *sellerAgent) shouldTransition(now int) bool {
+	if now >= s.sched.stageII {
+		return true // default schedule, also the liveness fallback
+	}
+	if s.cfg.SellerRule != SellerProbabilistic {
+		return false
+	}
+	// "A seller has to make the stage transition decision if she receives no
+	// proposal but some transfer applications in the current time slot."
+	if s.gotProposal || len(s.pendingTransfers) == 0 {
+		return false
+	}
+	lowest, ok := s.lowestMatchedPrice()
+	if !ok {
+		// Empty coalition: any transfer application is pure gain.
+		return true
+	}
+	candidates := s.unproposedBuyers()
+	theta := transition.EstimateTheta(candidates, s.coalitionMembers(), s.lowestMatchedBuyer(), func(a, b int) bool {
+		return s.m.Interferes(s.id, a, b)
+	})
+	chance := transition.BetterProposalChance(
+		now/2+1, s.m.M(), s.m.M()*s.m.N(),
+		len(candidates), lowest, theta, s.cfg.PriceCDF)
+	return chance < s.cfg.SellerThreshold
+}
+
+func (s *sellerAgent) lowestMatchedPrice() (float64, bool) {
+	found := false
+	lowest := 0.0
+	for j := range s.coalition {
+		if !found || s.prices[j] < lowest {
+			lowest = s.prices[j]
+			found = true
+		}
+	}
+	return lowest, found
+}
+
+func (s *sellerAgent) lowestMatchedBuyer() int {
+	best, bestPrice := -1, 0.0
+	for _, j := range s.coalitionMembers() {
+		if best == -1 || s.prices[j] < bestPrice {
+			best, bestPrice = j, s.prices[j]
+		}
+	}
+	return best
+}
+
+func (s *sellerAgent) unproposedBuyers() []int {
+	out := make([]int, 0, s.m.N())
+	for j := 0; j < s.m.N(); j++ {
+		if !s.cumProposers[j] {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func (s *sellerAgent) enterStageII(now int) {
+	s.stage = 2
+	s.phase = 1
+	s.stage2Start = now
+	s.cfg.Recorder.Record(trace.Event{Round: now, Kind: trace.KindTransition, Buyer: -1, Seller: s.id, Note: "seller → stage II"})
+	// Rule III: matched buyers may safely transition too.
+	for _, j := range s.coalitionMembers() {
+		s.send(j, SellerTransition{})
+	}
+	// Outstanding proposals can no longer be granted.
+	for _, j := range s.newProposals {
+		s.send(j, ProposalDecision{Accepted: s.coalition[j], Proposers: s.proposerList()})
+	}
+	s.newProposals = s.newProposals[:0]
+}
+
+// decideTransfers admits the best independent, coalition-compatible subset
+// of pending applications (Algorithm 2 lines 12–16) without evicting anyone.
+func (s *sellerAgent) decideTransfers(now int) error {
+	if len(s.pendingTransfers) == 0 {
+		return nil
+	}
+	members := s.coalitionMembers()
+	compatible := make([]int, 0, len(s.pendingTransfers))
+	for _, j := range s.pendingTransfers {
+		if !s.m.Graph(s.id).ConflictsWith(j, members) {
+			compatible = append(compatible, j)
+		}
+	}
+	selected, err := mwis.Solve(s.cfg.MWIS, s.m.Graph(s.id), s.prices, compatible)
+	if err != nil {
+		return fmt.Errorf("agent: seller %d transfer coalition: %w", s.id, err)
+	}
+	granted := make(map[int]bool, len(selected))
+	for _, j := range selected {
+		granted[j] = true
+	}
+	for _, j := range s.pendingTransfers {
+		delete(s.inTransfers, j)
+		if granted[j] {
+			s.coalition[j] = true
+			s.send(j, TransferDecision{Accepted: true})
+			s.cfg.Recorder.Record(trace.Event{Round: now, Kind: trace.KindTransferAccept, Buyer: j, Seller: s.id})
+		} else {
+			s.send(j, TransferDecision{Accepted: false})
+			s.addInvite(j)
+			s.cfg.Recorder.Record(trace.Event{Round: now, Kind: trace.KindTransferReject, Buyer: j, Seller: s.id})
+		}
+	}
+	s.pendingTransfers = s.pendingTransfers[:0]
+	return nil
+}
+
+func (s *sellerAgent) enterPhase2(now int) {
+	s.phase = 2
+	s.cfg.Recorder.Record(trace.Event{Round: now, Kind: trace.KindTransition, Buyer: -1, Seller: s.id, Note: "seller → phase 2"})
+	// Screening (Algorithm 2 lines 19–21): keep compatible non-members,
+	// ordered by descending price (ties toward the smaller buyer).
+	members := s.coalitionMembers()
+	kept := s.inviteList[:0]
+	for _, j := range s.inviteList {
+		if s.coalition[j] || s.m.Graph(s.id).ConflictsWith(j, members) {
+			delete(s.inInvites, j)
+			continue
+		}
+		kept = append(kept, j)
+	}
+	s.inviteList = kept
+	sort.SliceStable(s.inviteList, func(a, b int) bool {
+		pa, pb := s.prices[s.inviteList[a]], s.prices[s.inviteList[b]]
+		if pa != pb {
+			return pa > pb
+		}
+		return s.inviteList[a] < s.inviteList[b]
+	})
+}
+
+// runInvitations sends at most one invitation at a time, retrying on
+// timeout, and marks the seller done when the list drains (§IV-C: "each
+// seller will put an end to the matching process when she has no invitation
+// to make").
+func (s *sellerAgent) runInvitations(now int) {
+	if s.awaitingInvite != nil {
+		if now-s.awaitingInvite.sentAt <= s.cfg.RetryAfter {
+			return
+		}
+		if s.awaitingInvite.retries < s.cfg.MaxRetries {
+			s.awaitingInvite.retries++
+			s.awaitingInvite.sentAt = now
+			s.send(s.awaitingInvite.peer, Invite{})
+			return
+		}
+		s.awaitingInvite = nil // give up on an unresponsive buyer
+	}
+	members := s.coalitionMembers()
+	for len(s.inviteList) > 0 {
+		j := s.inviteList[0]
+		s.inviteList = s.inviteList[1:]
+		delete(s.inInvites, j)
+		if s.invited[j] || s.coalition[j] || s.m.Graph(s.id).ConflictsWith(j, members) {
+			continue
+		}
+		s.invited[j] = true
+		s.awaitingInvite = &request{peer: j, sentAt: now}
+		s.send(j, Invite{})
+		s.cfg.Recorder.Record(trace.Event{Round: now, Kind: trace.KindInvite, Buyer: j, Seller: s.id})
+		return
+	}
+	s.done = true
+}
+
+// quiescent reports whether the seller has finished: Stage II Phase 2 with
+// nothing left to invite.
+func (s *sellerAgent) quiescent() bool {
+	return s.done && s.awaitingInvite == nil && len(s.pendingTransfers) == 0
+}

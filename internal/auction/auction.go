@@ -1,0 +1,246 @@
+// Package auction implements a group-based truthful double spectrum auction
+// in the style of TRUST (Zhou & Zheng, INFOCOM 2009), adapted to
+// heterogeneous channels in the spirit of TAHES/TAMES — the mechanism family
+// the paper positions spectrum matching *against*. The paper argues
+// qualitatively that double auctions need a trusted auctioneer and sacrifice
+// efficiency to achieve truthfulness; this baseline makes the efficiency
+// half of that argument measurable on the same market model.
+//
+// Mechanism outline (the classic group-based design):
+//
+//  1. Per channel, buyers are partitioned into interference-free groups
+//     *bid-independently* (greedy coloring in fixed vertex order), so no
+//     buyer can manipulate her grouping.
+//  2. A group's bid for a channel is |group| × (minimum member bid) — the
+//     classic uniform-price group bid that makes truthful bidding a
+//     dominant strategy inside a group.
+//  3. Groups are matched to channels greedily by descending group bid,
+//     subject to each buyer winning at most one channel and the group bid
+//     clearing the channel's ask.
+//  4. Optionally, a McAfee-style trade reduction removes the
+//     lowest-surplus trade, which is what buys truthfulness on the
+//     channel/group boundary at a further efficiency cost.
+//
+// The auctioneer here is exactly the centralized third party the paper
+// wants to remove; the point of the baseline is the welfare comparison in
+// the ablation harness, not a new mechanism.
+package auction
+
+import (
+	"fmt"
+	"sort"
+
+	"specmatch/internal/graph"
+	"specmatch/internal/market"
+	"specmatch/internal/matching"
+)
+
+// Options tunes the auction.
+type Options struct {
+	// Asks are per-channel seller reserve prices; nil means all zeros
+	// (matching the paper's market, where sellers have no reserves).
+	Asks []float64
+	// McAfeeReduction drops the lowest-surplus winning trade, the classic
+	// price-setting sacrifice for truthfulness across the trade boundary.
+	McAfeeReduction bool
+}
+
+// Outcome reports the auction result, including the money flows that make
+// the mechanism's budget balance auditable.
+type Outcome struct {
+	// Welfare is the sum of winning buyers' true valuations — directly
+	// comparable to matching.Welfare on the same market.
+	Welfare float64 `json:"welfare"`
+	// Revenue is the total payment collected from winning groups (each
+	// group pays its group bid, split uniformly so every member pays the
+	// group's minimum bid — the classic TRUST charge).
+	Revenue float64 `json:"revenue"`
+	// SellerIncome is the total paid out to sellers: each winning channel's
+	// ask. With zero asks (the paper's market has no reserves) sellers are
+	// paid nothing by the auctioneer, and the entire revenue is retained.
+	SellerIncome float64 `json:"seller_income"`
+	// AuctioneerSurplus = Revenue − SellerIncome; non-negative by
+	// construction (trades only clear at bid ≥ ask), which is the budget
+	// balance truthful double auctions guarantee.
+	AuctioneerSurplus float64 `json:"auctioneer_surplus"`
+	// BuyerSurplus is Σ (true value − payment) over winners: what buyers
+	// keep after paying the uniform group price.
+	BuyerSurplus float64 `json:"buyer_surplus"`
+	// Trades counts (channel, group) pairs that cleared.
+	Trades int `json:"trades"`
+	// GroupedBuyers counts buyers placed into groups (before winning).
+	GroupedBuyers int `json:"grouped_buyers"`
+}
+
+// Payments returns each winning buyer's charge under mu: members of a
+// winning group each pay the group's minimum bid (the uniform price that
+// makes in-group truthfulness a dominant strategy). Keys are buyer indices.
+func Payments(m *market.Market, mu *matching.Matching) map[int]float64 {
+	out := make(map[int]float64)
+	for i := 0; i < mu.M(); i++ {
+		coalition := mu.Coalition(i)
+		if len(coalition) == 0 {
+			continue
+		}
+		minBid := m.Price(i, coalition[0])
+		for _, j := range coalition[1:] {
+			if p := m.Price(i, j); p < minBid {
+				minBid = p
+			}
+		}
+		for _, j := range coalition {
+			out[j] = minBid
+		}
+	}
+	return out
+}
+
+// FormGroups partitions vertices into interference-free groups by greedy
+// coloring in ascending vertex order. The partition depends only on the
+// graph, never on bids, which is what makes the group stage strategy-proof.
+func FormGroups(g *graph.Graph) [][]int {
+	var groups [][]int
+	for v := 0; v < g.N(); v++ {
+		placed := false
+		for gi, members := range groups {
+			if !g.ConflictsWith(v, members) {
+				groups[gi] = append(members, v)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			groups = append(groups, []int{v})
+		}
+	}
+	return groups
+}
+
+// groupBid is |group| × min member bid, the uniform-price truthful group
+// valuation. Zero-bid members are excluded from the group for bidding (they
+// would zero the whole group).
+func groupBid(m *market.Market, channel int, members []int) (bid float64, bidders []int) {
+	bidders = make([]int, 0, len(members))
+	minBid := 0.0
+	for _, j := range members {
+		p := m.Price(channel, j)
+		if p <= 0 {
+			continue
+		}
+		if len(bidders) == 0 || p < minBid {
+			minBid = p
+		}
+		bidders = append(bidders, j)
+	}
+	if len(bidders) == 0 {
+		return 0, nil
+	}
+	return float64(len(bidders)) * minBid, bidders
+}
+
+// trade is one candidate (channel, group) pairing.
+type trade struct {
+	channel int
+	members []int
+	bid     float64
+}
+
+// Run executes the auction and returns the allocation as a Matching plus
+// the economic outcome.
+func Run(m *market.Market, opts Options) (*matching.Matching, Outcome, error) {
+	asks := opts.Asks
+	if asks == nil {
+		asks = make([]float64, m.M())
+	}
+	if len(asks) != m.M() {
+		return nil, Outcome{}, fmt.Errorf("auction: %d asks for %d channels", len(asks), m.M())
+	}
+
+	var out Outcome
+
+	// Stage 1–2: bid-independent grouping and group bids, per channel.
+	candidates := make([]trade, 0, m.M()*4)
+	grouped := make(map[int]struct{})
+	for i := 0; i < m.M(); i++ {
+		for _, members := range FormGroups(m.Graph(i)) {
+			bid, bidders := groupBid(m, i, members)
+			if bid <= 0 {
+				continue
+			}
+			for _, j := range bidders {
+				grouped[j] = struct{}{}
+			}
+			candidates = append(candidates, trade{channel: i, members: bidders, bid: bid})
+		}
+	}
+	out.GroupedBuyers = len(grouped)
+
+	// Stage 3: clear greedily by descending group bid (ties: smaller
+	// channel, then smaller first member), one channel per group-win, one
+	// channel per buyer.
+	sort.Slice(candidates, func(a, b int) bool {
+		if candidates[a].bid != candidates[b].bid {
+			return candidates[a].bid > candidates[b].bid
+		}
+		if candidates[a].channel != candidates[b].channel {
+			return candidates[a].channel < candidates[b].channel
+		}
+		return candidates[a].members[0] < candidates[b].members[0]
+	})
+
+	mu := matching.New(m.M(), m.N())
+	channelTaken := make([]bool, m.M())
+	var winners []trade
+	for _, c := range candidates {
+		if channelTaken[c.channel] || c.bid < asks[c.channel] {
+			continue
+		}
+		free := true
+		for _, j := range c.members {
+			if mu.IsMatched(j) {
+				free = false
+				break
+			}
+		}
+		if !free {
+			continue
+		}
+		channelTaken[c.channel] = true
+		for _, j := range c.members {
+			if err := mu.Assign(c.channel, j); err != nil {
+				return nil, Outcome{}, fmt.Errorf("auction: assigning buyer %d: %w", j, err)
+			}
+		}
+		winners = append(winners, c)
+	}
+
+	// Stage 4: optional McAfee-style reduction of the lowest-surplus trade.
+	if opts.McAfeeReduction && len(winners) > 0 {
+		worst := 0
+		worstSurplus := winners[0].bid - asks[winners[0].channel]
+		for k, w := range winners[1:] {
+			if s := w.bid - asks[w.channel]; s < worstSurplus {
+				worst, worstSurplus = k+1, s
+			}
+		}
+		for _, j := range winners[worst].members {
+			mu.Unassign(j)
+		}
+		winners = append(winners[:worst], winners[worst+1:]...)
+	}
+
+	for _, w := range winners {
+		out.Trades++
+		out.Revenue += w.bid
+		out.SellerIncome += asks[w.channel]
+		for _, j := range w.members {
+			out.Welfare += m.Price(w.channel, j)
+		}
+	}
+	out.AuctioneerSurplus = out.Revenue - out.SellerIncome
+	for j, charge := range Payments(m, mu) {
+		i := mu.SellerOf(j)
+		out.BuyerSurplus += m.Price(i, j) - charge
+	}
+	return mu, out, nil
+}

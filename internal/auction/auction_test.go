@@ -1,0 +1,266 @@
+package auction
+
+import (
+	"testing"
+	"testing/quick"
+
+	"specmatch/internal/core"
+	"specmatch/internal/graph"
+	"specmatch/internal/market"
+	"specmatch/internal/matching"
+	"specmatch/internal/paperexample"
+	"specmatch/internal/stability"
+)
+
+func TestFormGroupsIndependence(t *testing.T) {
+	g := graph.MustFromEdges(5, [][2]int{{0, 1}, {1, 2}, {3, 4}})
+	groups := FormGroups(g)
+	seen := make(map[int]bool)
+	for _, members := range groups {
+		if !g.IsIndependent(members) {
+			t.Errorf("group %v is not independent", members)
+		}
+		for _, v := range members {
+			if seen[v] {
+				t.Errorf("vertex %d in two groups", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != 5 {
+		t.Errorf("groups cover %d of 5 vertices", len(seen))
+	}
+}
+
+func TestFormGroupsCompleteGraph(t *testing.T) {
+	groups := FormGroups(graph.Complete(4))
+	if len(groups) != 4 {
+		t.Errorf("K4 should split into 4 singleton groups, got %d", len(groups))
+	}
+}
+
+func TestFormGroupsEmptyGraph(t *testing.T) {
+	groups := FormGroups(graph.Empty(6))
+	if len(groups) != 1 || len(groups[0]) != 6 {
+		t.Errorf("edgeless graph should form one group of 6, got %v", groups)
+	}
+}
+
+func TestRunSimpleMarket(t *testing.T) {
+	// One channel, no interference, bids 2/4/6: one group, bid 3×2 = 6,
+	// welfare = 12.
+	m, err := market.New([][]float64{{2, 4, 6}}, []*graph.Graph{graph.Empty(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, out, err := Run(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Trades != 1 || out.Welfare != 12 || out.Revenue != 6 {
+		t.Errorf("outcome = %+v, want 1 trade, welfare 12, revenue 6", out)
+	}
+	if mu.MatchedCount() != 3 {
+		t.Errorf("matched %d of 3", mu.MatchedCount())
+	}
+}
+
+func TestRunAsksFilter(t *testing.T) {
+	m, err := market.New([][]float64{{2, 4, 6}}, []*graph.Graph{graph.Empty(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group bid is 6; an ask of 7 kills the trade.
+	_, out, err := Run(m, Options{Asks: []float64{7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Trades != 0 || out.Welfare != 0 {
+		t.Errorf("outcome = %+v, want no trades above the ask", out)
+	}
+	if _, _, err := Run(m, Options{Asks: []float64{1, 2}}); err == nil {
+		t.Error("mismatched asks length should fail")
+	}
+}
+
+func TestMcAfeeReductionDropsOneTrade(t *testing.T) {
+	// Two channels, two isolated buyers: two singleton trades; the
+	// reduction drops the lower-surplus one.
+	m, err := market.New(
+		[][]float64{{5, 0}, {0, 3}},
+		[]*graph.Graph{graph.Empty(2), graph.Empty(2)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, full, err := Run(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Trades != 2 || full.Welfare != 8 {
+		t.Fatalf("full outcome = %+v", full)
+	}
+	mu, reduced, err := Run(m, Options{McAfeeReduction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reduced.Trades != 1 || reduced.Welfare != 5 {
+		t.Errorf("reduced outcome = %+v, want the bid-3 trade dropped", reduced)
+	}
+	if mu.IsMatched(1) {
+		t.Error("buyer 1's trade should have been reduced away")
+	}
+}
+
+// TestAuctionFeasibleProperty: the auction's allocation is always a valid,
+// interference-free matching whose welfare the matching package agrees on.
+func TestAuctionFeasibleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		m, err := market.Generate(market.Config{Sellers: 4, Buyers: 20, Seed: seed})
+		if err != nil {
+			return false
+		}
+		mu, out, err := Run(m, Options{})
+		if err != nil {
+			return false
+		}
+		if mu.Validate() != nil {
+			return false
+		}
+		if len(stability.CheckInterferenceFree(m, mu)) != 0 {
+			return false
+		}
+		diff := out.Welfare - matching.Welfare(m, mu)
+		return diff < 1e-9 && diff > -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMatchingBeatsAuctionOnAverage quantifies the paper's qualitative
+// argument: on its own market model, per-buyer matching extracts more
+// welfare than group-based double-auction allocation, whose min-bid ×
+// size group bids and exclusive groups leave value on the table.
+func TestMatchingBeatsAuctionOnAverage(t *testing.T) {
+	var matchSum, auctionSum float64
+	const runs = 60
+	for seed := int64(0); seed < runs; seed++ {
+		m, err := market.Generate(market.Config{Sellers: 5, Buyers: 40, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(m, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, out, err := Run(m, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		matchSum += res.Welfare
+		auctionSum += out.Welfare
+	}
+	if matchSum <= auctionSum {
+		t.Errorf("matching welfare %.2f should exceed auction welfare %.2f on average", matchSum, auctionSum)
+	}
+	t.Logf("matching %.2f vs auction %.2f (ratio %.3f)", matchSum, auctionSum, auctionSum/matchSum)
+}
+
+// TestAuctionOnToy: the toy market clears sensibly and below the matching's
+// welfare of 30.
+func TestAuctionOnToy(t *testing.T) {
+	m := paperexample.Toy()
+	mu, out, err := Run(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Welfare <= 0 || out.Welfare > 33 {
+		t.Errorf("auction welfare = %v, want in (0, 33]", out.Welfare)
+	}
+	if v := stability.CheckInterferenceFree(m, mu); len(v) != 0 {
+		t.Errorf("interference: %v", v)
+	}
+}
+
+// TestGroupBidTruthfulnessShape: lowering one member's bid below the group
+// minimum can only lower the group bid — the monotonicity behind the
+// mechanism's truthfulness.
+func TestGroupBidTruthfulnessShape(t *testing.T) {
+	base := [][]float64{{4, 6, 8}}
+	g := []*graph.Graph{graph.Empty(3)}
+	m1, err := market.New(base, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bid1, _ := groupBid(m1, 0, []int{0, 1, 2})
+	m2, err := market.New([][]float64{{2, 6, 8}}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bid2, _ := groupBid(m2, 0, []int{0, 1, 2})
+	if bid2 >= bid1 {
+		t.Errorf("lowering the min bid raised the group bid: %v → %v", bid1, bid2)
+	}
+}
+
+// TestBudgetBalance: the auctioneer never runs a deficit, and every money
+// flow reconciles: revenue = seller income + surplus; buyer payments =
+// revenue; buyer surplus = welfare − revenue.
+func TestBudgetBalance(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		m, err := market.Generate(market.Config{Sellers: 4, Buyers: 25, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		asks := make([]float64, m.M())
+		for i := range asks {
+			asks[i] = 0.1 * float64(i)
+		}
+		mu, out, err := Run(m, Options{Asks: asks})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.AuctioneerSurplus < -1e-9 {
+			t.Errorf("seed %d: auctioneer deficit %v", seed, out.AuctioneerSurplus)
+		}
+		if diff := out.Revenue - out.SellerIncome - out.AuctioneerSurplus; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("seed %d: revenue split does not reconcile (%v)", seed, diff)
+		}
+		var paid float64
+		for _, charge := range Payments(m, mu) {
+			paid += charge
+		}
+		if diff := paid - out.Revenue; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("seed %d: buyer payments %v != revenue %v", seed, paid, out.Revenue)
+		}
+		if diff := out.BuyerSurplus - (out.Welfare - out.Revenue); diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("seed %d: buyer surplus does not reconcile (%v)", seed, diff)
+		}
+		if out.BuyerSurplus < -1e-9 {
+			t.Errorf("seed %d: negative buyer surplus %v (uniform price above someone's value)", seed, out.BuyerSurplus)
+		}
+	}
+}
+
+// TestPaymentsUniformInGroup: every member of a winning coalition pays the
+// same (the group minimum).
+func TestPaymentsUniformInGroup(t *testing.T) {
+	m, err := market.New([][]float64{{2, 4, 6}}, []*graph.Graph{graph.Empty(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, _, err := Run(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pay := Payments(m, mu)
+	for j, charge := range pay {
+		if charge != 2 {
+			t.Errorf("buyer %d pays %v, want the group minimum 2", j, charge)
+		}
+	}
+	if len(pay) != 3 {
+		t.Errorf("payments cover %d buyers, want 3", len(pay))
+	}
+}

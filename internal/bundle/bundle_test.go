@@ -1,0 +1,143 @@
+package bundle
+
+import (
+	"math"
+	"testing"
+
+	"specmatch/internal/core"
+	"specmatch/internal/market"
+	"specmatch/internal/matching"
+	"specmatch/internal/optimal"
+)
+
+func multiDemandMarket(t *testing.T, seed int64) *market.Market {
+	t.Helper()
+	m, err := market.Generate(market.Config{
+		Sellers:      4,
+		Buyers:       4,
+		BuyerDemands: []int{2, 1, 3, 2},
+		Seed:         seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestGammaZeroRecoversAdditive: with γ = 0 the bundle welfare of any
+// matching equals the base welfare, and the bundle optimum equals the
+// additive optimum.
+func TestGammaZeroRecoversAdditive(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		m := multiDemandMarket(t, seed)
+		res, err := core.Run(m, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := Welfare(m, res.Matching, Valuation{}); math.Abs(got-res.Welfare) > 1e-9 {
+			t.Errorf("seed %d: bundle welfare %v != additive %v at γ=0", seed, got, res.Welfare)
+		}
+		bundleOpt, err := Optimal(m, Valuation{}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, addOpt, err := optimal.Solve(m, optimal.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(bundleOpt-addOpt) > 1e-9 {
+			t.Errorf("seed %d: bundle optimum %v != additive optimum %v at γ=0", seed, bundleOpt, addOpt)
+		}
+	}
+}
+
+// TestWelfareSynergyAccounting: a hand-built matching credits γ·C(k,2) per
+// owner.
+func TestWelfareSynergyAccounting(t *testing.T) {
+	m := multiDemandMarket(t, 3)
+	mu := matching.New(m.M(), m.N())
+	// Give physical buyer 2 (virtual dummies 3,4,5) two distinct channels.
+	var placed []int
+	for j := 3; j <= 5 && len(placed) < 2; j++ {
+		for i := 0; i < m.M(); i++ {
+			if m.Graph(i).ConflictsWith(j, mu.Coalition(i)) {
+				continue
+			}
+			if err := mu.Assign(i, j); err != nil {
+				t.Fatal(err)
+			}
+			placed = append(placed, j)
+			break
+		}
+	}
+	if len(placed) != 2 {
+		t.Fatal("could not place two dummies")
+	}
+	base := Welfare(m, mu, Valuation{})
+	withSynergy := Welfare(m, mu, Valuation{Gamma: 0.5})
+	if math.Abs(withSynergy-(base+0.5)) > 1e-9 {
+		t.Errorf("synergy for 2 channels should add γ·1 = 0.5; got %v → %v", base, withSynergy)
+	}
+	withPenalty := Welfare(m, mu, Valuation{Gamma: -0.2})
+	if math.Abs(withPenalty-(base-0.2)) > 1e-9 {
+		t.Errorf("substitute penalty wrong: %v → %v", base, withPenalty)
+	}
+}
+
+// TestOptimalDominatesMatching: the bundle-aware optimum is an upper bound
+// on the additive matching's bundle welfare for any γ.
+func TestOptimalDominatesMatching(t *testing.T) {
+	for _, gamma := range []float64{-0.2, -0.05, 0, 0.1, 0.3} {
+		for seed := int64(0); seed < 8; seed++ {
+			m := multiDemandMarket(t, seed)
+			res, err := core.Run(m, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := Welfare(m, res.Matching, Valuation{Gamma: gamma})
+			opt, err := Optimal(m, Valuation{Gamma: gamma}, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got > opt+1e-9 {
+				t.Errorf("γ=%v seed %d: matching bundle welfare %v exceeds optimum %v", gamma, seed, got, opt)
+			}
+		}
+	}
+}
+
+// TestComplementsWidenTheGap: as complementarity grows, the additive
+// matching leaves (weakly) more bundle welfare on the table relative to the
+// bundle-aware optimum, averaged over seeds.
+func TestComplementsWidenTheGap(t *testing.T) {
+	gap := func(gamma float64) float64 {
+		var total float64
+		const runs = 12
+		for seed := int64(0); seed < runs; seed++ {
+			m := multiDemandMarket(t, seed)
+			res, err := core.Run(m, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := Welfare(m, res.Matching, Valuation{Gamma: gamma})
+			opt, err := Optimal(m, Valuation{Gamma: gamma}, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += opt - got
+		}
+		return total / runs
+	}
+	g0, g3 := gap(0), gap(0.3)
+	if g3 < g0-1e-9 {
+		t.Errorf("gap at γ=0.3 (%v) should be at least the additive gap (%v)", g3, g0)
+	}
+}
+
+// TestOptimalBudget: a tiny budget fails loudly.
+func TestOptimalBudget(t *testing.T) {
+	m := multiDemandMarket(t, 1)
+	if _, err := Optimal(m, Valuation{Gamma: 0.1}, 3); err == nil {
+		t.Error("tiny node budget should fail")
+	}
+}

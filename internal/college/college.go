@@ -1,0 +1,173 @@
+// Package college implements the classic Gale–Shapley college admissions
+// deferred acceptance algorithm — the problem the paper's Stage I adapts
+// (§III-B quotes its mechanics directly). It serves two purposes: an
+// independently-written reference to cross-validate the spectrum engine
+// against (under complete interference graphs, spectrum matching reduces to
+// college admission with unit quotas — Prop. 1's worst case), and a
+// pedagogical baseline showing exactly what the interference constraint
+// changes.
+package college
+
+import (
+	"fmt"
+)
+
+// Unassigned marks a student without a college.
+const Unassigned = -1
+
+// Result of a deferred acceptance run.
+type Result struct {
+	// CollegeOf[s] is student s's college, or Unassigned.
+	CollegeOf []int
+	// Rounds is the number of proposal rounds.
+	Rounds int
+}
+
+// Match runs student-proposing deferred acceptance.
+//
+//   - prefs[s] lists student s's acceptable colleges in descending
+//     preference; colleges absent from the list are never proposed to.
+//   - scores[c][s] is college c's ranking score for student s (greater is
+//     better; ties broken toward the smaller student index).
+//   - quotas[c] is college c's capacity.
+func Match(prefs [][]int, scores [][]float64, quotas []int) (*Result, error) {
+	numStudents := len(prefs)
+	numColleges := len(quotas)
+	if len(scores) != numColleges {
+		return nil, fmt.Errorf("college: %d score rows for %d colleges", len(scores), numColleges)
+	}
+	for c, row := range scores {
+		if len(row) != numStudents {
+			return nil, fmt.Errorf("college: score row %d has %d entries, want %d", c, len(row), numStudents)
+		}
+	}
+	for c, q := range quotas {
+		if q < 0 {
+			return nil, fmt.Errorf("college: negative quota %d for college %d", q, c)
+		}
+	}
+	for s, pref := range prefs {
+		for _, c := range pref {
+			if c < 0 || c >= numColleges {
+				return nil, fmt.Errorf("college: student %d lists college %d outside [0,%d)", s, c, numColleges)
+			}
+		}
+	}
+
+	collegeOf := make([]int, numStudents)
+	next := make([]int, numStudents)
+	for s := range collegeOf {
+		collegeOf[s] = Unassigned
+	}
+	waiting := make([][]int, numColleges)
+
+	res := &Result{}
+	for round := 1; ; round++ {
+		// Proposal step.
+		proposals := make(map[int][]int, numColleges)
+		proposed := false
+		for s := 0; s < numStudents; s++ {
+			if collegeOf[s] != Unassigned || next[s] >= len(prefs[s]) {
+				continue
+			}
+			c := prefs[s][next[s]]
+			next[s]++
+			proposals[c] = append(proposals[c], s)
+			proposed = true
+		}
+		if !proposed {
+			break
+		}
+		res.Rounds = round
+
+		// Each college keeps its top-quota applicants among waiting ∪ new.
+		for c := 0; c < numColleges; c++ {
+			newApplicants := proposals[c]
+			if len(newApplicants) == 0 {
+				continue
+			}
+			candidates := append(append([]int{}, waiting[c]...), newApplicants...)
+			top := topByScore(candidates, scores[c], quotas[c])
+			keep := make(map[int]bool, len(top))
+			for _, s := range top {
+				keep[s] = true
+			}
+			for _, s := range waiting[c] {
+				if !keep[s] {
+					collegeOf[s] = Unassigned
+				}
+			}
+			for _, s := range top {
+				collegeOf[s] = c
+			}
+			waiting[c] = top
+		}
+	}
+	res.CollegeOf = collegeOf
+	return res, nil
+}
+
+// topByScore returns up to q candidates with the highest scores, ties
+// toward the smaller index, preserving a deterministic sorted-by-score
+// order.
+func topByScore(candidates []int, scores []float64, q int) []int {
+	sorted := append([]int(nil), candidates...)
+	// Insertion sort by (score desc, index asc); candidate lists are tiny.
+	for a := 1; a < len(sorted); a++ {
+		for b := a; b > 0; b-- {
+			better := scores[sorted[b]] > scores[sorted[b-1]] ||
+				(scores[sorted[b]] == scores[sorted[b-1]] && sorted[b] < sorted[b-1])
+			if !better {
+				break
+			}
+			sorted[b], sorted[b-1] = sorted[b-1], sorted[b]
+		}
+	}
+	if q > len(sorted) {
+		q = len(sorted)
+	}
+	return sorted[:q]
+}
+
+// BlockingPair is a student-college pair that blocks a matching: both
+// prefer each other to their current assignments.
+type BlockingPair struct {
+	Student int
+	College int
+}
+
+// CheckStable returns all blocking pairs of an assignment; nil means the
+// matching is stable in the classic sense.
+func CheckStable(prefs [][]int, scores [][]float64, quotas []int, collegeOf []int) []BlockingPair {
+	numColleges := len(quotas)
+	load := make([][]int, numColleges)
+	for s, c := range collegeOf {
+		if c != Unassigned {
+			load[c] = append(load[c], s)
+		}
+	}
+	var out []BlockingPair
+	for s, pref := range prefs {
+		for _, c := range pref {
+			if c == collegeOf[s] {
+				break // current college reached: no better option blocks
+			}
+			// Student s prefers c. College c accepts if under quota or if s
+			// outscores its weakest admit.
+			if len(load[c]) < quotas[c] {
+				out = append(out, BlockingPair{Student: s, College: c})
+				continue
+			}
+			weakest, weakestScore := -1, 0.0
+			for _, admitted := range load[c] {
+				if weakest == -1 || scores[c][admitted] < weakestScore {
+					weakest, weakestScore = admitted, scores[c][admitted]
+				}
+			}
+			if weakest != -1 && scores[c][s] > weakestScore {
+				out = append(out, BlockingPair{Student: s, College: c})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package college
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"specmatch/internal/core"
+	"specmatch/internal/graph"
+	"specmatch/internal/market"
+	"specmatch/internal/xrand"
+)
+
+func TestTextbookInstance(t *testing.T) {
+	// Three students, two colleges with quota 1. Student preferences all
+	// favor college 0; college 0 ranks student 2 highest.
+	prefs := [][]int{{0, 1}, {0, 1}, {0, 1}}
+	scores := [][]float64{
+		{1, 2, 3},
+		{3, 2, 1},
+	}
+	res, err := Match(prefs, scores, []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, Unassigned, 0}
+	if !reflect.DeepEqual(res.CollegeOf, want) {
+		t.Errorf("CollegeOf = %v, want %v", res.CollegeOf, want)
+	}
+	if bp := CheckStable(prefs, scores, []int{1, 1}, res.CollegeOf); len(bp) != 0 {
+		t.Errorf("blocking pairs: %v", bp)
+	}
+}
+
+func TestQuotas(t *testing.T) {
+	// One college with quota 2 over three students: keeps the top two.
+	prefs := [][]int{{0}, {0}, {0}}
+	scores := [][]float64{{5, 9, 7}}
+	res, err := Match(prefs, scores, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{Unassigned, 0, 0}
+	if !reflect.DeepEqual(res.CollegeOf, want) {
+		t.Errorf("CollegeOf = %v, want %v", res.CollegeOf, want)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Match([][]int{{0}}, [][]float64{}, []int{1}); err == nil {
+		t.Error("missing score rows should fail")
+	}
+	if _, err := Match([][]int{{0}}, [][]float64{{1, 2}}, []int{1}); err == nil {
+		t.Error("ragged scores should fail")
+	}
+	if _, err := Match([][]int{{5}}, [][]float64{{1}}, []int{1}); err == nil {
+		t.Error("out-of-range preference should fail")
+	}
+	if _, err := Match([][]int{{0}}, [][]float64{{1}}, []int{-1}); err == nil {
+		t.Error("negative quota should fail")
+	}
+}
+
+// TestAlwaysStableProperty: deferred acceptance output has no blocking pair
+// (the Gale–Shapley theorem), on random instances with random quotas.
+func TestAlwaysStableProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := xrand.New(seed)
+		numStudents := 3 + r.Intn(10)
+		numColleges := 2 + r.Intn(4)
+		prefs := make([][]int, numStudents)
+		for s := range prefs {
+			prefs[s] = r.Perm(numColleges)[:1+r.Intn(numColleges)]
+		}
+		scores := make([][]float64, numColleges)
+		for c := range scores {
+			scores[c] = make([]float64, numStudents)
+			for s := range scores[c] {
+				scores[c][s] = r.Float64()
+			}
+		}
+		quotas := make([]int, numColleges)
+		for c := range quotas {
+			quotas[c] = 1 + r.Intn(3)
+		}
+		res, err := Match(prefs, scores, quotas)
+		if err != nil {
+			return false
+		}
+		return len(CheckStable(prefs, scores, quotas, res.CollegeOf)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSpectrumReducesToCollege cross-validates the two engines: under
+// complete interference graphs (unit quotas) the spectrum Stage I matching
+// equals classic deferred acceptance with the same preferences and scores.
+func TestSpectrumReducesToCollege(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		r := xrand.New(seed)
+		numSellers, numBuyers := 4, 6
+		prices := make([][]float64, numSellers)
+		graphs := make([]*graph.Graph, numSellers)
+		for i := range prices {
+			row := make([]float64, numBuyers)
+			for j := range row {
+				row[j] = 0.01 + r.Float64()
+			}
+			prices[i] = row
+			graphs[i] = graph.Complete(numBuyers)
+		}
+		m, err := market.New(prices, graphs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mu, _, err := core.RunStageI(m, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		prefs := make([][]int, numBuyers)
+		for j := range prefs {
+			prefs[j] = m.BuyerPrefOrder(j)
+		}
+		quotas := make([]int, numSellers)
+		for i := range quotas {
+			quotas[i] = 1
+		}
+		ref, err := Match(prefs, prices, quotas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < numBuyers; j++ {
+			want := ref.CollegeOf[j]
+			got := mu.SellerOf(j)
+			if want == Unassigned {
+				want = -1
+			}
+			if got != want {
+				t.Errorf("seed %d: buyer %d — spectrum %d vs college %d", seed, j, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Package core implements the paper's primary contribution: the two-stage
+// distributed spectrum matching algorithm (§III-B).
+//
+//   - Stage I is the adapted deferred acceptance of Algorithm 1: buyers
+//     propose in descending utility order; each seller keeps her
+//     most-preferred coalition — a maximum-weight independent set of her
+//     waiting list plus current proposers on her channel's interference
+//     graph — evicting anyone left out.
+//   - Stage II Phase 1 is the transfer phase of Algorithm 2: buyers apply
+//     once to each seller they strictly prefer to their current match;
+//     sellers admit the best independent subset of applicants compatible
+//     with their (unevictable) current coalition.
+//   - Stage II Phase 2 is the invitation phase: sellers invite
+//     previously-rejected, now-compatible buyers in descending price order.
+//
+// This package is the synchronous, round-driven engine: all buyers and
+// sellers advance in lockstep and stages transition globally, which is the
+// semantics under which the paper proves convergence (Props. 1–2),
+// individual rationality (Prop. 3) and Nash stability (Prop. 4). The
+// asynchronous realization with the §IV local transition rules lives in
+// internal/agent and is checked against this engine.
+package core
+
+import (
+	"fmt"
+
+	"specmatch/internal/market"
+	"specmatch/internal/matching"
+	"specmatch/internal/mwis"
+	"specmatch/internal/trace"
+)
+
+// Options configures a run of the two-stage algorithm.
+type Options struct {
+	// MWIS selects the seller-side coalition solver. Zero means mwis.GWMIN,
+	// the paper's linear-time greedy.
+	MWIS mwis.Algorithm
+
+	// SkipTransfer and SkipInvitation disable Stage II Phase 1 / Phase 2 for
+	// ablations. The paper's algorithm runs both.
+	SkipTransfer   bool
+	SkipInvitation bool
+
+	// Recorder, when non-nil, receives one event per protocol step.
+	Recorder *trace.Recorder
+}
+
+func (o Options) withDefaults() Options {
+	if o.MWIS == 0 {
+		o.MWIS = mwis.GWMIN
+	}
+	return o
+}
+
+// StageStats reports one stage or phase of a run. Welfare is the cumulative
+// social welfare at the end of the stage (the quantity of Fig. 7); Rounds is
+// the stage's own round count (Fig. 8); Messages counts protocol messages
+// initiated during the stage.
+type StageStats struct {
+	Rounds   int     `json:"rounds"`
+	Welfare  float64 `json:"welfare"`
+	Messages int     `json:"messages"`
+}
+
+// Result is the outcome of a full two-stage run.
+type Result struct {
+	Matching *matching.Matching `json:"-"`
+
+	StageI StageStats `json:"stage_i"`
+	Phase1 StageStats `json:"phase_1"`
+	Phase2 StageStats `json:"phase_2"`
+
+	// Welfare is the final social welfare (equals Phase2.Welfare).
+	Welfare float64 `json:"welfare"`
+	// Matched is the number of matched buyers.
+	Matched int `json:"matched"`
+}
+
+// TotalRounds returns the end-to-end round count across all stages.
+func (r *Result) TotalRounds() int {
+	return r.StageI.Rounds + r.Phase1.Rounds + r.Phase2.Rounds
+}
+
+// Run executes the full two-stage algorithm on the market.
+func Run(m *market.Market, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+
+	mu, stage1, err := RunStageI(m, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: stage I: %w", err)
+	}
+	res := &Result{Matching: mu, StageI: stage1}
+
+	var inviteLists [][]int
+	if !opts.SkipTransfer {
+		var phase1 StageStats
+		inviteLists, phase1, err = runTransfer(m, mu, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: stage II phase 1: %w", err)
+		}
+		res.Phase1 = phase1
+	}
+	res.Phase1.Welfare = matching.Welfare(m, mu)
+
+	if !opts.SkipInvitation {
+		phase2, err := runInvitation(m, mu, inviteLists, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: stage II phase 2: %w", err)
+		}
+		res.Phase2 = phase2
+	}
+	res.Phase2.Welfare = matching.Welfare(m, mu)
+
+	res.Welfare = res.Phase2.Welfare
+	res.Matched = mu.MatchedCount()
+	return res, nil
+}

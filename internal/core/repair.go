@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+
+	"specmatch/internal/market"
+	"specmatch/internal/matching"
+)
+
+// Repair runs Stage II (transfer, then invitation) from an arbitrary
+// interference-free starting matching, mutating mu in place.
+//
+// The two-stage algorithm's Stage II never relies on how Stage I produced
+// its input — only on the input being interference-free — so the same
+// machinery doubles as an incremental repair operator: after buyers arrive
+// (unmatched) or depart (unassigned), a Repair pass restores Nash stability
+// without restarting deferred acceptance and without evicting any incumbent.
+// Package online builds dynamic-market sessions on top of this.
+func Repair(m *market.Market, mu *matching.Matching, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	if err := mu.Validate(); err != nil {
+		return Result{}, fmt.Errorf("core: repair input: %w", err)
+	}
+	for i := 0; i < m.M(); i++ {
+		coalition := mu.Coalition(i)
+		if !m.Graph(i).IsIndependent(coalition) {
+			return Result{}, fmt.Errorf("core: repair input has interference in coalition %d", i)
+		}
+	}
+
+	res := Result{Matching: mu}
+	res.StageI.Welfare = matching.Welfare(m, mu)
+
+	var inviteLists [][]int
+	if !opts.SkipTransfer {
+		var err error
+		var phase1 StageStats
+		inviteLists, phase1, err = runTransfer(m, mu, opts)
+		if err != nil {
+			return Result{}, fmt.Errorf("core: repair transfer: %w", err)
+		}
+		res.Phase1 = phase1
+	}
+	res.Phase1.Welfare = matching.Welfare(m, mu)
+
+	if !opts.SkipInvitation {
+		phase2, err := runInvitation(m, mu, inviteLists, opts)
+		if err != nil {
+			return Result{}, fmt.Errorf("core: repair invitation: %w", err)
+		}
+		res.Phase2 = phase2
+	}
+	res.Phase2.Welfare = matching.Welfare(m, mu)
+
+	res.Welfare = res.Phase2.Welfare
+	res.Matched = mu.MatchedCount()
+	return res, nil
+}

@@ -1,0 +1,106 @@
+package core_test
+
+import (
+	"testing"
+
+	"specmatch/internal/core"
+	"specmatch/internal/market"
+	"specmatch/internal/matching"
+	"specmatch/internal/stability"
+)
+
+// TestRepairAfterStageIEqualsFullRun: running Repair on Stage I's output is
+// exactly the full two-stage algorithm.
+func TestRepairAfterStageIEqualsFullRun(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		m := generate(t, market.Config{Sellers: 4, Buyers: 25, Seed: seed})
+		mu, _, err := core.RunStageI(m, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		repaired, err := core.Repair(m, mu, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := run(t, m, core.Options{})
+		if !mu.Equal(full.Matching) {
+			t.Errorf("seed %d: repair-from-stage-I diverges from the full run", seed)
+		}
+		if repaired.Welfare != full.Welfare {
+			t.Errorf("seed %d: welfare %v vs %v", seed, repaired.Welfare, full.Welfare)
+		}
+	}
+}
+
+// TestRepairFromEmptyMatching: Stage II from scratch matches buyers through
+// transfers alone and yields a Nash-stable state.
+func TestRepairFromEmptyMatching(t *testing.T) {
+	m := generate(t, market.Config{Sellers: 4, Buyers: 15, Seed: 3})
+	mu := matching.New(m.M(), m.N())
+	res, err := core.Repair(m, mu, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matched == 0 {
+		t.Error("repair from empty matched nobody")
+	}
+	rep := stability.Check(m, mu)
+	if !rep.InterferenceFree || !rep.NashStable {
+		t.Errorf("repair-from-empty: %v", rep)
+	}
+}
+
+// TestRepairRejectsInterferingInput: Stage II's guarantees need an
+// interference-free start; a poisoned input must be rejected.
+func TestRepairRejectsInterferingInput(t *testing.T) {
+	m := generate(t, market.Config{Sellers: 3, Buyers: 20, Seed: 1})
+	mu := matching.New(m.M(), m.N())
+	// Find an interfering pair on channel 0 and co-locate them.
+	found := false
+	for a := 0; a < m.N() && !found; a++ {
+		for b := a + 1; b < m.N(); b++ {
+			if m.Interferes(0, a, b) {
+				if err := mu.Assign(0, a); err != nil {
+					t.Fatal(err)
+				}
+				if err := mu.Assign(0, b); err != nil {
+					t.Fatal(err)
+				}
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Skip("no interfering pair on channel 0 for this seed")
+	}
+	if _, err := core.Repair(m, mu, core.Options{}); err == nil {
+		t.Error("interfering input should be rejected")
+	}
+}
+
+// TestRepairNeverLowersUtility: repair is voluntary for everyone already
+// matched.
+func TestRepairNeverLowersUtility(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		m := generate(t, market.Config{Sellers: 5, Buyers: 30, Seed: seed})
+		full := run(t, m, core.Options{})
+		mu := full.Matching.Clone()
+		// Perturb: release three buyers.
+		for j := 0; j < 3; j++ {
+			mu.Unassign(j)
+		}
+		before := make([]float64, m.N())
+		for j := range before {
+			before[j] = matching.BuyerUtilityIn(m, mu, j)
+		}
+		if _, err := core.Repair(m, mu, core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		for j := range before {
+			if after := matching.BuyerUtilityIn(m, mu, j); after < before[j]-1e-12 {
+				t.Errorf("seed %d: buyer %d lost utility in repair: %v → %v", seed, j, before[j], after)
+			}
+		}
+	}
+}

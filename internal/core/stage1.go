@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+
+	"specmatch/internal/market"
+	"specmatch/internal/matching"
+	"specmatch/internal/mwis"
+	"specmatch/internal/trace"
+)
+
+// RunStageI executes Algorithm 1 (adapted deferred acceptance) and returns
+// the resulting interference-free matching. It is exported separately so
+// ablations can measure Stage I alone.
+//
+// Each round, every unmatched buyer with a non-empty unproposed-seller list
+// proposes to her most-preferred remaining seller; every seller that received
+// proposals re-forms her waiting list as the most-preferred coalition among
+// the old waiting list and the new proposers — a maximum-weight independent
+// set on her channel's interference graph — evicting buyers no longer
+// selected. The loop ends when no proposal is made, which Prop. 1 bounds at
+// O(MN) rounds.
+func RunStageI(m *market.Market, opts Options) (*matching.Matching, StageStats, error) {
+	opts = opts.withDefaults()
+	numSellers, numBuyers := m.M(), m.N()
+	mu := matching.New(numSellers, numBuyers)
+
+	prefOrder := make([][]int, numBuyers)
+	next := make([]int, numBuyers) // cursor into prefOrder[j]: first unproposed seller
+	for j := 0; j < numBuyers; j++ {
+		prefOrder[j] = m.BuyerPrefOrder(j)
+	}
+	waiting := make([][]int, numSellers) // L_i, always independent on G_i
+	rows := priceRows(m)
+	var stats StageStats
+
+	// Prop. 1 bounds the run at O(MN) rounds; the +2 guard turns a logic bug
+	// into an error instead of an endless loop.
+	maxRounds := numSellers*numBuyers + 2
+	for round := 1; ; round++ {
+		if round > maxRounds {
+			return nil, stats, fmt.Errorf("stage I exceeded its O(MN)=%d round bound", maxRounds)
+		}
+
+		// Proposal step: one proposal per unmatched buyer with options left.
+		proposers := make(map[int][]int, numSellers) // seller → new proposers, in buyer order
+		for j := 0; j < numBuyers; j++ {
+			if mu.IsMatched(j) || next[j] >= len(prefOrder[j]) {
+				continue
+			}
+			i := prefOrder[j][next[j]]
+			next[j]++
+			proposers[i] = append(proposers[i], j)
+			stats.Messages++
+			opts.Recorder.Record(trace.Event{Round: round, Kind: trace.KindPropose, Buyer: j, Seller: i})
+		}
+		if len(proposers) == 0 {
+			break // every unmatched buyer has exhausted her list
+		}
+		stats.Rounds = round
+
+		// Decision step: each seller keeps her most-preferred coalition.
+		for i := 0; i < numSellers; i++ {
+			newProposers := proposers[i]
+			if len(newProposers) == 0 {
+				continue
+			}
+			candidates := make([]int, 0, len(waiting[i])+len(newProposers))
+			candidates = append(candidates, waiting[i]...)
+			candidates = append(candidates, newProposers...)
+			selected, err := mwis.Solve(opts.MWIS, m.Graph(i), rows[i], candidates)
+			if err != nil {
+				return nil, stats, fmt.Errorf("seller %d coalition: %w", i, err)
+			}
+			keep := make(map[int]struct{}, len(selected))
+			for _, j := range selected {
+				keep[j] = struct{}{}
+			}
+			for _, j := range waiting[i] { // evictions
+				if _, ok := keep[j]; !ok {
+					mu.Unassign(j)
+					opts.Recorder.Record(trace.Event{Round: round, Kind: trace.KindEvict, Buyer: j, Seller: i})
+				}
+			}
+			for _, j := range newProposers { // rejections and admissions
+				if _, ok := keep[j]; !ok {
+					opts.Recorder.Record(trace.Event{Round: round, Kind: trace.KindReject, Buyer: j, Seller: i})
+				}
+			}
+			for _, j := range selected {
+				if mu.SellerOf(j) != i {
+					if err := mu.Assign(i, j); err != nil {
+						return nil, stats, fmt.Errorf("assigning buyer %d to seller %d: %w", j, i, err)
+					}
+					opts.Recorder.Record(trace.Event{Round: round, Kind: trace.KindAccept, Buyer: j, Seller: i})
+				}
+			}
+			waiting[i] = selected
+		}
+	}
+
+	stats.Welfare = matching.Welfare(m, mu)
+	return mu, stats, nil
+}
+
+// priceRows materializes the per-channel weight vectors b_{i,·} once per run.
+func priceRows(m *market.Market) [][]float64 {
+	rows := make([][]float64, m.M())
+	for i := range rows {
+		row := make([]float64, m.N())
+		for j := range row {
+			row[j] = m.Price(i, j)
+		}
+		rows[i] = row
+	}
+	return rows
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"specmatch/internal/market"
+	"specmatch/internal/matching"
+	"specmatch/internal/mwis"
+	"specmatch/internal/trace"
+)
+
+// currentUtility is buyer j's utility under mu. All matchings this engine
+// handles are interference-free, so it is her matched price or zero.
+func currentUtility(m *market.Market, mu *matching.Matching, j int) float64 {
+	i := mu.SellerOf(j)
+	if i == market.Unmatched {
+		return 0
+	}
+	return m.Price(i, j)
+}
+
+// runTransfer executes Stage II Phase 1 (Algorithm 2 lines 4–17), mutating mu
+// in place. It returns each seller's accumulated invitation list R_i: the
+// transfer applicants she rejected, in arrival order without duplicates.
+//
+// Semantics fixed by the paper's worked example (Fig. 2): within a round all
+// sellers decide against the coalition snapshot taken at the start of the
+// round, then all granted transfers take effect simultaneously — seller c
+// rejects buyer 5 against µ(c) = {1,2} even though buyer 2's simultaneous
+// transfer to seller a is granted in the same round.
+func runTransfer(m *market.Market, mu *matching.Matching, opts Options) ([][]int, StageStats, error) {
+	opts = opts.withDefaults()
+	numSellers, numBuyers := m.M(), m.N()
+	rows := priceRows(m)
+	var stats StageStats
+
+	// T_j is consumed through a cursor into the buyer's descending
+	// preference order. Entries no better than the buyer's current utility
+	// are skipped dynamically: applications go out best-first, so once one
+	// is granted every remaining entry is worse than the new match.
+	prefOrder := make([][]int, numBuyers)
+	next := make([]int, numBuyers)
+	for j := 0; j < numBuyers; j++ {
+		prefOrder[j] = m.BuyerPrefOrder(j)
+	}
+
+	inviteLists := make([][]int, numSellers) // R_i, in arrival order
+	inInvite := make([]map[int]struct{}, numSellers)
+	for i := range inInvite {
+		inInvite[i] = make(map[int]struct{})
+	}
+
+	// Each buyer applies at most M times, so M rounds suffice (Prop. 2).
+	maxRounds := numSellers + 2
+	for round := 1; ; round++ {
+		if round > maxRounds {
+			return nil, stats, fmt.Errorf("phase 1 exceeded its O(M)=%d round bound", maxRounds)
+		}
+
+		// Application step: one application per buyer with a strictly
+		// better seller left to try.
+		applicants := make(map[int][]int, numSellers)
+		for j := 0; j < numBuyers; j++ {
+			cur := currentUtility(m, mu, j)
+			target := market.Unmatched
+			for next[j] < len(prefOrder[j]) {
+				i := prefOrder[j][next[j]]
+				next[j]++
+				if m.Price(i, j) > cur && i != mu.SellerOf(j) {
+					target = i
+					break
+				}
+			}
+			if target == market.Unmatched {
+				continue
+			}
+			applicants[target] = append(applicants[target], j)
+			stats.Messages++
+			opts.Recorder.Record(trace.Event{Round: round, Kind: trace.KindTransferApply, Buyer: j, Seller: target})
+		}
+		if len(applicants) == 0 {
+			break
+		}
+		stats.Rounds = round
+
+		// Snapshot all coalitions before any seller decides.
+		snapshot := make([][]int, numSellers)
+		for i := 0; i < numSellers; i++ {
+			snapshot[i] = mu.Coalition(i)
+		}
+
+		// Decision step: each seller admits the best independent subset of
+		// applicants compatible with her (unevictable) snapshot coalition.
+		for i := 0; i < numSellers; i++ {
+			applied := applicants[i]
+			if len(applied) == 0 {
+				continue
+			}
+			compatible := make([]int, 0, len(applied))
+			for _, j := range applied {
+				if !m.Graph(i).ConflictsWith(j, snapshot[i]) {
+					compatible = append(compatible, j)
+				}
+			}
+			selected, err := mwis.Solve(opts.MWIS, m.Graph(i), rows[i], compatible)
+			if err != nil {
+				return nil, stats, fmt.Errorf("seller %d transfer coalition: %w", i, err)
+			}
+			granted := make(map[int]struct{}, len(selected))
+			for _, j := range selected {
+				granted[j] = struct{}{}
+				if err := mu.Assign(i, j); err != nil {
+					return nil, stats, fmt.Errorf("transferring buyer %d to seller %d: %w", j, i, err)
+				}
+				opts.Recorder.Record(trace.Event{Round: round, Kind: trace.KindTransferAccept, Buyer: j, Seller: i})
+			}
+			for _, j := range applied {
+				if _, ok := granted[j]; ok {
+					continue
+				}
+				opts.Recorder.Record(trace.Event{Round: round, Kind: trace.KindTransferReject, Buyer: j, Seller: i})
+				if _, dup := inInvite[i][j]; !dup {
+					inInvite[i][j] = struct{}{}
+					inviteLists[i] = append(inviteLists[i], j)
+				}
+			}
+		}
+	}
+
+	stats.Welfare = matching.Welfare(m, mu)
+	return inviteLists, stats, nil
+}
+
+// runInvitation executes Stage II Phase 2 (Algorithm 2 lines 18–33), mutating
+// mu in place. Each seller first screens her invitation list down to buyers
+// compatible with her current coalition, then each round invites her
+// highest-price remaining candidate; a buyer accepts the best strictly
+// improving invitation she holds. After an acceptance the seller drops the
+// new member's interfering neighbors from her list (Algorithm 2 line 29).
+func runInvitation(m *market.Market, mu *matching.Matching, inviteLists [][]int, opts Options) (StageStats, error) {
+	opts = opts.withDefaults()
+	numSellers := m.M()
+	var stats StageStats
+
+	// Screening (Algorithm 2 lines 19–21).
+	pending := make([][]int, numSellers)
+	totalPending := 0
+	for i := 0; i < numSellers; i++ {
+		if i >= len(inviteLists) {
+			break
+		}
+		coalition := mu.Coalition(i)
+		for _, j := range inviteLists[i] {
+			if mu.SellerOf(j) == i {
+				continue // transferred here after the rejection
+			}
+			if !m.Graph(i).ConflictsWith(j, coalition) {
+				pending[i] = append(pending[i], j)
+			}
+		}
+		// Invite in descending price order, ties toward the smaller buyer.
+		sort.Slice(pending[i], func(a, b int) bool {
+			pa, pb := m.Price(i, pending[i][a]), m.Price(i, pending[i][b])
+			if pa != pb {
+				return pa > pb
+			}
+			return pending[i][a] < pending[i][b]
+		})
+		totalPending += len(pending[i])
+	}
+
+	maxRounds := totalPending + 2
+	for round := 1; ; round++ {
+		if round > maxRounds {
+			return stats, fmt.Errorf("phase 2 exceeded its %d round bound", maxRounds)
+		}
+
+		// Invitation step: each seller invites her best remaining candidate.
+		inviters := make(map[int][]int) // buyer → sellers inviting this round
+		invitedAny := false
+		for i := 0; i < numSellers; i++ {
+			if len(pending[i]) == 0 {
+				continue
+			}
+			j := pending[i][0]
+			pending[i] = pending[i][1:] // removed regardless of outcome (line 31)
+			inviters[j] = append(inviters[j], i)
+			invitedAny = true
+			stats.Messages++
+			opts.Recorder.Record(trace.Event{Round: round, Kind: trace.KindInvite, Buyer: j, Seller: i})
+		}
+		if !invitedAny {
+			break
+		}
+		stats.Rounds = round
+
+		// Acceptance step: each invited buyer takes the best strictly
+		// improving offer that is still interference-free for her.
+		buyers := make([]int, 0, len(inviters))
+		for j := range inviters {
+			buyers = append(buyers, j)
+		}
+		sort.Ints(buyers)
+		for _, j := range buyers {
+			best := market.Unmatched
+			bestPrice := currentUtility(m, mu, j)
+			for _, i := range inviters[j] {
+				if m.Price(i, j) <= bestPrice {
+					opts.Recorder.Record(trace.Event{Round: round, Kind: trace.KindInviteDecline, Buyer: j, Seller: i})
+					continue
+				}
+				if m.Graph(i).ConflictsWith(j, mu.Coalition(i)) {
+					// A buyer accepted earlier this round now interferes;
+					// the paper's line-29 pruning is applied below, but a
+					// same-round race is re-checked here for safety.
+					opts.Recorder.Record(trace.Event{Round: round, Kind: trace.KindInviteDecline, Buyer: j, Seller: i})
+					continue
+				}
+				best, bestPrice = i, m.Price(i, j)
+			}
+			if best == market.Unmatched {
+				continue
+			}
+			if err := mu.Assign(best, j); err != nil {
+				return stats, fmt.Errorf("inviting buyer %d to seller %d: %w", j, best, err)
+			}
+			opts.Recorder.Record(trace.Event{Round: round, Kind: trace.KindInviteAccept, Buyer: j, Seller: best})
+			// Algorithm 2 line 29: drop the new member's interfering
+			// neighbors from the accepting seller's list.
+			kept := pending[best][:0]
+			for _, j2 := range pending[best] {
+				if !m.Interferes(best, j, j2) {
+					kept = append(kept, j2)
+				}
+			}
+			pending[best] = kept
+		}
+	}
+
+	stats.Welfare = matching.Welfare(m, mu)
+	return stats, nil
+}

@@ -1,0 +1,137 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"specmatch/internal/core"
+	"specmatch/internal/matching"
+	"specmatch/internal/paperexample"
+	"specmatch/internal/stability"
+	"specmatch/internal/trace"
+)
+
+// TestToyStageI replays Fig. 1: the adapted deferred acceptance on the Fig. 3
+// toy market must converge in 4 proposal rounds to µ(a)={4}, µ(b)={3,5},
+// µ(c)={1,2} with welfare 27.
+func TestToyStageI(t *testing.T) {
+	m := paperexample.Toy()
+	mu, stats, err := core.RunStageI(m, core.Options{})
+	if err != nil {
+		t.Fatalf("RunStageI: %v", err)
+	}
+	if stats.Rounds != 4 {
+		t.Errorf("Stage I rounds = %d, want 4 (Fig. 1 shows four proposal rounds)", stats.Rounds)
+	}
+	if stats.Welfare != paperexample.ToyStageIWelfare {
+		t.Errorf("Stage I welfare = %v, want %v", stats.Welfare, paperexample.ToyStageIWelfare)
+	}
+	assertCoalitions(t, mu, paperexample.ToyStageIMatching())
+}
+
+// TestToyStageIProposalSequence checks the exact proposal order of Fig. 1:
+// round 1: 1→a, 2→a, 3→b, 4→b, 5→c; round 2: 2→b, 4→a; round 3: 1→b, 2→c;
+// round 4: 1→c, 5→b (0-indexed below).
+func TestToyStageIProposalSequence(t *testing.T) {
+	m := paperexample.Toy()
+	rec := trace.NewRecorder()
+	if _, _, err := core.RunStageI(m, core.Options{Recorder: rec}); err != nil {
+		t.Fatalf("RunStageI: %v", err)
+	}
+	type prop struct{ round, buyer, seller int }
+	want := []prop{
+		{1, 0, 0}, {1, 1, 0}, {1, 2, 1}, {1, 3, 1}, {1, 4, 2},
+		{2, 1, 1}, {2, 3, 0},
+		{3, 0, 1}, {3, 1, 2},
+		{4, 0, 2}, {4, 4, 1},
+	}
+	var got []prop
+	for _, e := range rec.Filter(trace.KindPropose) {
+		got = append(got, prop{e.Round, e.Buyer, e.Seller})
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("proposal sequence mismatch:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestToyFullRun replays Fig. 2: Stage II lifts the toy market to
+// µ(a)={2,4}, µ(b)={3}, µ(c)={1,5} with welfare 30, and the result is
+// individually rational and Nash-stable (Props. 3–4).
+func TestToyFullRun(t *testing.T) {
+	m := paperexample.Toy()
+	res, err := core.Run(m, core.Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Welfare != paperexample.ToyFinalWelfare {
+		t.Errorf("final welfare = %v, want %v", res.Welfare, paperexample.ToyFinalWelfare)
+	}
+	if res.StageI.Welfare != paperexample.ToyStageIWelfare {
+		t.Errorf("Stage I welfare = %v, want %v", res.StageI.Welfare, paperexample.ToyStageIWelfare)
+	}
+	assertCoalitions(t, res.Matching, paperexample.ToyFinalMatching())
+
+	rep := stability.Check(m, res.Matching)
+	if !rep.InterferenceFree {
+		t.Errorf("result not interference-free: %v", rep.Interference)
+	}
+	if !rep.IndividuallyRational {
+		t.Errorf("result not individually rational: %v", rep.IR)
+	}
+	if !rep.NashStable {
+		t.Errorf("result not Nash-stable: %v", rep.Nash)
+	}
+}
+
+// TestToyStageIIEvents checks the published Stage II trace: buyer 2's
+// transfer to seller a is the only granted transfer, and seller c's
+// invitation of buyer 5 is the only invitation, accepted.
+func TestToyStageIIEvents(t *testing.T) {
+	m := paperexample.Toy()
+	rec := trace.NewRecorder()
+	if _, err := core.Run(m, core.Options{Recorder: rec}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	accepts := rec.Filter(trace.KindTransferAccept)
+	if len(accepts) != 1 || accepts[0].Buyer != 1 || accepts[0].Seller != 0 {
+		t.Errorf("transfer accepts = %v, want exactly buyer 1 → seller 0", accepts)
+	}
+	invites := rec.Filter(trace.KindInvite)
+	if len(invites) != 1 || invites[0].Buyer != 4 || invites[0].Seller != 2 {
+		t.Errorf("invites = %v, want exactly seller 2 → buyer 4", invites)
+	}
+	inviteAccepts := rec.Filter(trace.KindInviteAccept)
+	if len(inviteAccepts) != 1 || inviteAccepts[0].Buyer != 4 {
+		t.Errorf("invite accepts = %v, want buyer 4 accepting", inviteAccepts)
+	}
+}
+
+// TestToyPhase2Indispensable reproduces the paper's observation that Phase 2,
+// though a minor welfare contributor, is required: skipping it on the toy
+// leaves buyer 5 matched below her Nash-stable position.
+func TestToyPhase2Indispensable(t *testing.T) {
+	m := paperexample.Toy()
+	res, err := core.Run(m, core.Options{SkipInvitation: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Welfare >= paperexample.ToyFinalWelfare {
+		t.Errorf("welfare without Phase 2 = %v; want < %v", res.Welfare, paperexample.ToyFinalWelfare)
+	}
+	if devs := stability.CheckNashStable(m, res.Matching); len(devs) == 0 {
+		t.Error("matching without Phase 2 should not be Nash-stable on the toy market")
+	}
+}
+
+func assertCoalitions(t *testing.T, mu *matching.Matching, want [][]int) {
+	t.Helper()
+	for i, coalition := range want {
+		got := mu.Coalition(i)
+		if len(got) == 0 && len(coalition) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, coalition) {
+			t.Errorf("µ(%d) = %v, want %v", i, got, coalition)
+		}
+	}
+}

@@ -1,0 +1,556 @@
+package experiment
+
+import (
+	"fmt"
+
+	"specmatch/internal/agent"
+	"specmatch/internal/auction"
+	"specmatch/internal/bundle"
+	"specmatch/internal/core"
+	"specmatch/internal/market"
+	"specmatch/internal/matching"
+	"specmatch/internal/mwis"
+	"specmatch/internal/online"
+	"specmatch/internal/optimal"
+	"specmatch/internal/outage"
+	"specmatch/internal/simnet"
+	"specmatch/internal/swap"
+	"specmatch/internal/xrand"
+)
+
+// AblationMWIS compares the seller coalition solvers (GWMIN, GWMIN2, GWMAX,
+// greedy-best, exact) by final welfare over the same market sweep. The
+// paper adopts the Sakai et al. greedy family; this quantifies how much
+// welfare the choice costs against exact coalition formation.
+func AblationMWIS(cfg RunConfig) (*Figure, error) {
+	algs := []mwis.Algorithm{mwis.GWMIN, mwis.GWMIN2, mwis.GWMAX, mwis.GreedyBest, mwis.Exact}
+	series := make([]string, len(algs))
+	for k, a := range algs {
+		series[k] = a.String()
+	}
+	var points []sweepPoint
+	for n := 40; n <= 120; n += 20 {
+		n := n
+		points = append(points, sweepPoint{
+			x: float64(n),
+			run: func(seed int64) (measurement, error) {
+				m, err := market.Generate(market.Config{Sellers: 6, Buyers: n, Seed: seed})
+				if err != nil {
+					return measurement{}, err
+				}
+				values := make(map[string]float64, len(algs))
+				for _, alg := range algs {
+					res, err := core.Run(m, core.Options{MWIS: alg})
+					if err != nil {
+						return measurement{}, fmt.Errorf("experiment: %v: %w", alg, err)
+					}
+					values[alg.String()] = res.Welfare
+				}
+				return measurement{values: values}, nil
+			},
+		})
+	}
+	pts, err := runSweep(cfg, series, points)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID: "ablation-mwis", Title: "MWIS strategy vs final welfare, M = 6",
+		XLabel: "buyers N", YLabel: "social welfare",
+		Series: series, Points: pts,
+	}, nil
+}
+
+// AblationStage2 quantifies each Stage II phase: welfare with Stage I only,
+// Stage I + Phase 1, and the full algorithm — the decomposition behind
+// Fig. 7's "most of the improvement comes from Phase 1".
+func AblationStage2(cfg RunConfig) (*Figure, error) {
+	series := []string{"stage I only", "+ phase 1", "full"}
+	var points []sweepPoint
+	for n := 50; n <= 250; n += 50 {
+		n := n
+		points = append(points, sweepPoint{
+			x: float64(n),
+			run: func(seed int64) (measurement, error) {
+				m, err := market.Generate(market.Config{Sellers: 8, Buyers: n, Seed: seed})
+				if err != nil {
+					return measurement{}, err
+				}
+				full, err := core.Run(m, core.Options{})
+				if err != nil {
+					return measurement{}, err
+				}
+				return measurement{values: map[string]float64{
+					"stage I only": full.StageI.Welfare,
+					"+ phase 1":    full.Phase1.Welfare,
+					"full":         full.Welfare,
+				}}, nil
+			},
+		})
+	}
+	pts, err := runSweep(cfg, series, points)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID: "ablation-stage2", Title: "Stage II phase contributions, M = 8",
+		XLabel: "buyers N", YLabel: "social welfare",
+		Series: series, Points: pts,
+	}, nil
+}
+
+// AblationAsync compares the asynchronous protocol's transition rules: slots
+// to completion and mean buyer transition slot, at equal welfare. This is
+// the quantitative version of the paper's §IV "23 slots default vs 7 needed"
+// example.
+func AblationAsync(cfg RunConfig) (*Figure, error) {
+	type ruleCase struct {
+		name string
+		acfg agent.Config
+	}
+	cases := []ruleCase{
+		{name: "default", acfg: agent.Config{}},
+		{name: "rule-i", acfg: agent.Config{BuyerRule: agent.BuyerRuleI, SellerRule: agent.SellerProbabilistic}},
+		{name: "rule-ii", acfg: agent.Config{BuyerRule: agent.BuyerRuleII, SellerRule: agent.SellerProbabilistic}},
+	}
+	series := make([]string, 0, 3*len(cases))
+	for _, c := range cases {
+		series = append(series, c.name+" slots", c.name+" welfare", c.name+" mean transition")
+	}
+	var points []sweepPoint
+	for n := 20; n <= 60; n += 20 {
+		n := n
+		points = append(points, sweepPoint{
+			x: float64(n),
+			run: func(seed int64) (measurement, error) {
+				m, err := market.Generate(market.Config{Sellers: 5, Buyers: n, Seed: seed})
+				if err != nil {
+					return measurement{}, err
+				}
+				values := make(map[string]float64, 2*len(cases))
+				for _, c := range cases {
+					res, err := agent.Run(m, c.acfg)
+					if err != nil {
+						return measurement{}, fmt.Errorf("experiment: async %s: %w", c.name, err)
+					}
+					values[c.name+" slots"] = float64(res.Slots)
+					values[c.name+" welfare"] = res.Welfare
+					values[c.name+" mean transition"] = res.MeanBuyerTransition
+				}
+				return measurement{values: values}, nil
+			},
+		})
+	}
+	pts, err := runSweep(cfg, series, points)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID: "ablation-async", Title: "Asynchronous transition rules, M = 5",
+		XLabel: "buyers N", YLabel: "slots / welfare",
+		Series: series, Points: pts,
+	}, nil
+}
+
+// AblationSwap measures the coordinated-exchange extension (the paper's
+// §III-D future work, package swap): two-stage welfare, welfare after the
+// swap stage, and the exact optimum, on small markets where the optimum is
+// computable.
+func AblationSwap(cfg RunConfig) (*Figure, error) {
+	series := []string{"two-stage", "+ swaps", "optimal"}
+	var points []sweepPoint
+	for n := 6; n <= 14; n += 2 {
+		n := n
+		points = append(points, sweepPoint{
+			x: float64(n),
+			run: func(seed int64) (measurement, error) {
+				m, err := market.Generate(market.Config{Sellers: 4, Buyers: n, Seed: seed})
+				if err != nil {
+					return measurement{}, err
+				}
+				res, err := core.Run(m, core.Options{})
+				if err != nil {
+					return measurement{}, err
+				}
+				base := res.Welfare
+				st, err := swap.Improve(m, res.Matching, swap.Options{})
+				if err != nil {
+					return measurement{}, err
+				}
+				_, opt, err := optimal.Solve(m, optimal.Options{})
+				if err != nil {
+					return measurement{}, err
+				}
+				return measurement{values: map[string]float64{
+					"two-stage": base,
+					"+ swaps":   st.FinalWelfare,
+					"optimal":   opt,
+				}}, nil
+			},
+		})
+	}
+	pts, err := runSweep(cfg, series, points)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID: "ablation-swap", Title: "Coordinated-exchange extension, M = 4",
+		XLabel: "buyers N", YLabel: "social welfare",
+		Series: series, Points: pts,
+	}, nil
+}
+
+// AblationAuction compares the matching framework against the mechanism
+// family the paper replaces: a TRUST-style group-based truthful double
+// auction (package auction), with and without McAfee trade reduction, on
+// the same markets. This quantifies the efficiency argument the paper makes
+// qualitatively in §VI.
+func AblationAuction(cfg RunConfig) (*Figure, error) {
+	series := []string{"matching", "auction", "auction (mcafee)"}
+	var points []sweepPoint
+	for n := 40; n <= 200; n += 40 {
+		n := n
+		points = append(points, sweepPoint{
+			x: float64(n),
+			run: func(seed int64) (measurement, error) {
+				m, err := market.Generate(market.Config{Sellers: 6, Buyers: n, Seed: seed})
+				if err != nil {
+					return measurement{}, err
+				}
+				res, err := core.Run(m, core.Options{})
+				if err != nil {
+					return measurement{}, err
+				}
+				_, plain, err := auction.Run(m, auction.Options{})
+				if err != nil {
+					return measurement{}, err
+				}
+				_, reduced, err := auction.Run(m, auction.Options{McAfeeReduction: true})
+				if err != nil {
+					return measurement{}, err
+				}
+				return measurement{values: map[string]float64{
+					"matching":         res.Welfare,
+					"auction":          plain.Welfare,
+					"auction (mcafee)": reduced.Welfare,
+				}}, nil
+			},
+		})
+	}
+	pts, err := runSweep(cfg, series, points)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID: "ablation-auction", Title: "Matching vs group-based double auction, M = 6",
+		XLabel: "buyers N", YLabel: "social welfare",
+		Series: series, Points: pts,
+	}, nil
+}
+
+// AblationOnline measures the dynamic-market extension (package online):
+// welfare of incremental Stage II repair under churn versus a fresh
+// two-stage re-run at each step, sweeping the churn rate. The gap is the
+// price of never disrupting incumbents.
+func AblationOnline(cfg RunConfig) (*Figure, error) {
+	series := []string{"incremental", "fresh re-run", "repair rounds"}
+	var points []sweepPoint
+	for _, churn := range []float64{0.05, 0.1, 0.2, 0.3, 0.5} {
+		churn := churn
+		points = append(points, sweepPoint{
+			x: churn,
+			run: func(seed int64) (measurement, error) {
+				m, err := market.Generate(market.Config{Sellers: 5, Buyers: 40, Seed: seed})
+				if err != nil {
+					return measurement{}, err
+				}
+				s, err := online.NewSession(m, core.Options{})
+				if err != nil {
+					return measurement{}, err
+				}
+				r := xrand.New(xrand.Split(seed, 1))
+				var incSum, freshSum, moves float64
+				const steps = 15
+				for step := 0; step < steps; step++ {
+					var ev online.Event
+					for j := 0; j < m.N(); j++ {
+						if s.Active(j) {
+							if r.Float64() < churn {
+								ev.Depart = append(ev.Depart, j)
+							}
+						} else if r.Float64() < 2*churn {
+							ev.Arrive = append(ev.Arrive, j)
+						}
+					}
+					st, err := s.Step(ev)
+					if err != nil {
+						return measurement{}, err
+					}
+					fresh, err := s.Rebuild(false)
+					if err != nil {
+						return measurement{}, err
+					}
+					incSum += st.Welfare
+					freshSum += fresh
+					moves += float64(st.RepairMoves)
+				}
+				return measurement{values: map[string]float64{
+					"incremental":   incSum / steps,
+					"fresh re-run":  freshSum / steps,
+					"repair rounds": moves / steps,
+				}}, nil
+			},
+		})
+	}
+	pts, err := runSweep(cfg, series, points)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID: "ablation-online", Title: "Dynamic market: incremental repair vs fresh re-run, M = 5, N = 40",
+		XLabel: "churn rate", YLabel: "mean welfare / rounds",
+		Series: series, Points: pts,
+	}, nil
+}
+
+// AblationOutage audits the final matching at the physical layer (package
+// outage): aggregate-SINR outage rate of the interference-free matching
+// versus an everyone-on-one-channel strawman as the market densifies. The
+// residual outage of the matching is the protocol-model gap — pairwise
+// predicates cannot see summed interference.
+func AblationOutage(cfg RunConfig) (*Figure, error) {
+	series := []string{"matching outage", "single-channel outage", "median SINR (dB)"}
+	var points []sweepPoint
+	for n := 20; n <= 100; n += 20 {
+		n := n
+		points = append(points, sweepPoint{
+			x: float64(n),
+			run: func(seed int64) (measurement, error) {
+				m, err := market.Generate(market.Config{Sellers: 5, Buyers: n, Seed: seed})
+				if err != nil {
+					return measurement{}, err
+				}
+				res, err := core.Run(m, core.Options{})
+				if err != nil {
+					return measurement{}, err
+				}
+				rep, err := outage.ValidateMatching(m, res.Matching, outage.LinkParams{})
+				if err != nil {
+					return measurement{}, err
+				}
+				naive := matching.New(m.M(), m.N())
+				for j := 0; j < m.N(); j++ {
+					if err := naive.Assign(0, j); err != nil {
+						return measurement{}, err
+					}
+				}
+				nrep, err := outage.ValidateMatching(m, naive, outage.LinkParams{})
+				if err != nil {
+					return measurement{}, err
+				}
+				return measurement{values: map[string]float64{
+					"matching outage":       rep.OutageRate,
+					"single-channel outage": nrep.OutageRate,
+					"median SINR (dB)":      rep.MedianSINRDB,
+				}}, nil
+			},
+		})
+	}
+	pts, err := runSweep(cfg, series, points)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID: "ablation-outage", Title: "Physical-layer audit: aggregate-SINR outage, M = 5",
+		XLabel: "buyers N", YLabel: "outage rate / dB",
+		Series: series, Points: pts,
+	}, nil
+}
+
+// AblationThresholds sweeps the P^k / Q^k thresholds of the probabilistic
+// transition rules (§IV): higher thresholds mean earlier, riskier
+// transitions. Measured: mean buyer transition slot, completion slots, and
+// welfare relative to the synchronous baseline.
+func AblationThresholds(cfg RunConfig) (*Figure, error) {
+	series := []string{"mean transition", "slots", "welfare ratio"}
+	var points []sweepPoint
+	for _, threshold := range []float64{0.01, 0.05, 0.1, 0.2, 0.4, 0.8} {
+		threshold := threshold
+		points = append(points, sweepPoint{
+			x: threshold,
+			run: func(seed int64) (measurement, error) {
+				m, err := market.Generate(market.Config{Sellers: 5, Buyers: 40, Seed: seed})
+				if err != nil {
+					return measurement{}, err
+				}
+				sync, err := core.Run(m, core.Options{})
+				if err != nil {
+					return measurement{}, err
+				}
+				res, err := agent.Run(m, agent.Config{
+					BuyerRule:       agent.BuyerRuleII,
+					SellerRule:      agent.SellerProbabilistic,
+					BuyerThreshold:  threshold,
+					SellerThreshold: threshold,
+				})
+				if err != nil {
+					return measurement{}, err
+				}
+				ratio := 1.0
+				if sync.Welfare > 0 {
+					ratio = res.Welfare / sync.Welfare
+				}
+				return measurement{values: map[string]float64{
+					"mean transition": res.MeanBuyerTransition,
+					"slots":           float64(res.Slots),
+					"welfare ratio":   ratio,
+				}}, nil
+			},
+		})
+	}
+	pts, err := runSweep(cfg, series, points)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID: "ablation-thresholds", Title: "Transition-rule thresholds (rule II + probabilistic), M = 5, N = 40",
+		XLabel: "threshold", YLabel: "slots / ratio",
+		Series: series, Points: pts,
+	}, nil
+}
+
+// AblationBundle sweeps the pairwise channel synergy γ of the footnote-1
+// extension (package bundle): the additive matching's welfare evaluated
+// under bundle valuations versus the bundle-aware optimum. Complements
+// (γ > 0) widen the gap — the additivity assumption's price.
+func AblationBundle(cfg RunConfig) (*Figure, error) {
+	series := []string{"matching (bundle value)", "bundle optimum"}
+	var points []sweepPoint
+	for _, gamma := range []float64{-0.2, -0.1, 0, 0.1, 0.2, 0.3} {
+		gamma := gamma
+		points = append(points, sweepPoint{
+			x: gamma,
+			run: func(seed int64) (measurement, error) {
+				m, err := market.Generate(market.Config{
+					Sellers: 4, Buyers: 4,
+					BuyerDemands: []int{2, 1, 3, 2},
+					Seed:         seed,
+				})
+				if err != nil {
+					return measurement{}, err
+				}
+				res, err := core.Run(m, core.Options{})
+				if err != nil {
+					return measurement{}, err
+				}
+				v := bundle.Valuation{Gamma: gamma}
+				opt, err := bundle.Optimal(m, v, 0)
+				if err != nil {
+					return measurement{}, err
+				}
+				return measurement{values: map[string]float64{
+					"matching (bundle value)": bundle.Welfare(m, res.Matching, v),
+					"bundle optimum":          opt,
+				}}, nil
+			},
+		})
+	}
+	pts, err := runSweep(cfg, series, points)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID: "ablation-bundle", Title: "Channel synergy (footnote-1 extension), multi-demand market",
+		XLabel: "gamma", YLabel: "bundle welfare",
+		Series: series, Points: pts,
+	}, nil
+}
+
+// AblationRadio sweeps the physical-layer interference model (package
+// radio) around the paper's disk calibration: the operating I/N threshold
+// offset changes interference density, and the sweep shows how welfare, the
+// optimality ratio, and service counts respond — i.e., how sensitive the
+// paper's conclusions are to its interference abstraction.
+func AblationRadio(cfg RunConfig) (*Figure, error) {
+	series := []string{"welfare", "optimal", "matched"}
+	var points []sweepPoint
+	for _, deltaDB := range []float64{-9, -6, -3, 0, 3, 6, 9} {
+		deltaDB := deltaDB
+		points = append(points, sweepPoint{
+			x: deltaDB,
+			run: func(seed int64) (measurement, error) {
+				m, err := market.Generate(market.Config{
+					Sellers: 4, Buyers: 10, Seed: seed,
+					Radio: &market.RadioConfig{DeltaDB: deltaDB},
+				})
+				if err != nil {
+					return measurement{}, err
+				}
+				res, err := core.Run(m, core.Options{})
+				if err != nil {
+					return measurement{}, err
+				}
+				_, opt, err := optimal.Solve(m, optimal.Options{})
+				if err != nil {
+					return measurement{}, err
+				}
+				return measurement{values: map[string]float64{
+					"welfare": res.Welfare,
+					"optimal": opt,
+					"matched": float64(res.Matched),
+				}}, nil
+			},
+		})
+	}
+	pts, err := runSweep(cfg, series, points)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID: "ablation-radio", Title: "SINR threshold sweep around disk calibration, M = 4, N = 10",
+		XLabel: "delta dB", YLabel: "welfare / count",
+		Series: series, Points: pts,
+	}, nil
+}
+
+// AblationFaults sweeps message-loss probability and reports realized
+// welfare and voided pairings of the asynchronous protocol — behavior
+// outside the paper's idealized channel.
+func AblationFaults(cfg RunConfig) (*Figure, error) {
+	series := []string{"welfare", "welfare (reliable)", "disagreed pairs"}
+	var points []sweepPoint
+	for _, drop := range []float64{0, 0.02, 0.05, 0.1, 0.2, 0.3} {
+		drop := drop
+		points = append(points, sweepPoint{
+			x: drop,
+			run: func(seed int64) (measurement, error) {
+				m, err := market.Generate(market.Config{Sellers: 5, Buyers: 40, Seed: seed})
+				if err != nil {
+					return measurement{}, err
+				}
+				reliable, err := agent.Run(m, agent.Config{})
+				if err != nil {
+					return measurement{}, err
+				}
+				lossy, err := agent.Run(m, agent.Config{Net: simnet.Config{DropProb: drop, Seed: seed + 1}})
+				if err != nil {
+					return measurement{}, err
+				}
+				return measurement{values: map[string]float64{
+					"welfare":            lossy.Welfare,
+					"welfare (reliable)": reliable.Welfare,
+					"disagreed pairs":    float64(lossy.DisagreedPairs),
+				}}, nil
+			},
+		})
+	}
+	pts, err := runSweep(cfg, series, points)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID: "ablation-faults", Title: "Welfare under message loss, M = 5, N = 40",
+		XLabel: "drop probability", YLabel: "welfare / count",
+		Series: series, Points: pts,
+	}, nil
+}

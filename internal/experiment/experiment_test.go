@@ -1,0 +1,299 @@
+package experiment
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// Shape tests run each figure at reduced replication and assert the paper's
+// qualitative findings — who wins, what grows, what stays small — rather
+// than absolute values. Full-replication numbers live in EXPERIMENTS.md and
+// the bench harness.
+
+func TestCatalogComplete(t *testing.T) {
+	catalog := Catalog()
+	for _, id := range IDs() {
+		spec, ok := catalog[id]
+		if !ok {
+			t.Errorf("IDs() lists %q but Catalog() lacks it", id)
+			continue
+		}
+		if spec.ID != id || spec.Description == "" || spec.Run == nil {
+			t.Errorf("catalog entry %q incomplete: %+v", id, spec)
+		}
+	}
+	if len(catalog) != len(IDs()) {
+		t.Errorf("catalog has %d entries, IDs() has %d", len(catalog), len(IDs()))
+	}
+}
+
+// TestFig6HeadlineClaim: the distributed algorithm achieves ≥ 90% of optimal
+// welfare on average across the Fig. 6(a) sweep — the paper's headline.
+func TestFig6HeadlineClaim(t *testing.T) {
+	fig, err := Fig6a(RunConfig{Seed: 42, Reps: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ratioSum float64
+	for k := range fig.Points {
+		opt := fig.Value(k, SeriesOptimal)
+		prop := fig.Value(k, SeriesProposed)
+		if prop > opt+1e-9 {
+			t.Fatalf("point %d: proposed %v beats optimal %v", k, prop, opt)
+		}
+		ratioSum += prop / opt
+	}
+	if avg := ratioSum / float64(len(fig.Points)); avg < 0.9 {
+		t.Errorf("average proposed/optimal = %.3f, want ≥ 0.9 (paper's headline)", avg)
+	}
+}
+
+// TestFig6aWelfareGrowsWithBuyers: both series increase from N = 6 to
+// N = 10 (Fig. 6a's visible trend).
+func TestFig6aWelfareGrowsWithBuyers(t *testing.T) {
+	fig, err := Fig6a(RunConfig{Seed: 7, Reps: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := fig.Points[0], fig.Points[len(fig.Points)-1]
+	for _, s := range fig.Series {
+		if last.Values[s].Mean <= first.Values[s].Mean {
+			t.Errorf("series %q does not grow with N: %.3f → %.3f", s, first.Values[s].Mean, last.Values[s].Mean)
+		}
+	}
+}
+
+// TestFig6bWelfareGrowsWithSellers: welfare increases from M = 2 to M = 6.
+func TestFig6bWelfareGrowsWithSellers(t *testing.T) {
+	fig, err := Fig6b(RunConfig{Seed: 7, Reps: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := fig.Points[0], fig.Points[len(fig.Points)-1]
+	for _, s := range fig.Series {
+		if last.Values[s].Mean <= first.Values[s].Mean {
+			t.Errorf("series %q does not grow with M: %.3f → %.3f", s, first.Values[s].Mean, last.Values[s].Mean)
+		}
+	}
+}
+
+// TestFig6cSimilarityAxis: the measured-SRCC x coordinates are (weakly)
+// increasing across the permutation sweep and span ≈ [0, 1].
+func TestFig6cSimilarityAxis(t *testing.T) {
+	fig, err := Fig6c(RunConfig{Seed: 3, Reps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Points[0].X > 0.45 {
+		t.Errorf("most-permuted point has SRCC %.3f, want near 0", fig.Points[0].X)
+	}
+	if last := fig.Points[len(fig.Points)-1].X; last < 0.99 {
+		t.Errorf("unpermuted point has SRCC %.3f, want 1", last)
+	}
+}
+
+// TestFig7CumulativeOrdering: at every sweep point, welfare accumulates
+// stage I ≤ +phase 1 ≤ +phase 2, with phase 1 carrying most of the Stage II
+// gain (the paper's main Fig. 7 observation).
+func TestFig7CumulativeOrdering(t *testing.T) {
+	fig, err := Fig7a(RunConfig{Seed: 5, Reps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, p := range fig.Points {
+		s1 := p.Values[SeriesStageI].Mean
+		p1 := p.Values[SeriesPhase1].Mean
+		p2 := p.Values[SeriesPhase2].Mean
+		if !(s1 <= p1+1e-9 && p1 <= p2+1e-9) {
+			t.Errorf("point %d: cumulative ordering violated: %.3f, %.3f, %.3f", k, s1, p1, p2)
+		}
+		phase1Gain := p1 - s1
+		phase2Gain := p2 - p1
+		if phase2Gain > phase1Gain+1e-9 && phase1Gain > 0 {
+			t.Errorf("point %d: phase 2 gain %.3f exceeds phase 1 gain %.3f", k, phase2Gain, phase1Gain)
+		}
+	}
+}
+
+// TestFig7WelfareGrowsWithScale: total welfare grows along both the buyer
+// and the seller sweeps.
+func TestFig7WelfareGrowsWithScale(t *testing.T) {
+	figA, err := Fig7a(RunConfig{Seed: 9, Reps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last, first := figA.Points[len(figA.Points)-1], figA.Points[0]; last.Values[SeriesPhase2].Mean <= first.Values[SeriesPhase2].Mean {
+		t.Error("Fig 7a: welfare does not grow with N")
+	}
+	figB, err := Fig7b(RunConfig{Seed: 9, Reps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last, first := figB.Points[len(figB.Points)-1], figB.Points[0]; last.Values[SeriesPhase2].Mean <= first.Values[SeriesPhase2].Mean {
+		t.Error("Fig 7b: welfare does not grow with M")
+	}
+}
+
+// TestFig8Shapes: Stage II Phase 1 rounds grow with M and stay flat in N
+// (its bound is O(M)); Phase 2 runs only a few rounds (invitations are
+// rare); Stage I, with N ≫ M, is driven by M rather than N.
+func TestFig8Shapes(t *testing.T) {
+	figA, err := Fig8a(RunConfig{Seed: 11, Reps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, p := range figA.Points {
+		if p.Values[SeriesPhase2].Mean > 5 {
+			t.Errorf("Fig 8a point %d: phase 2 rounds %.2f, want a few", k, p.Values[SeriesPhase2].Mean)
+		}
+	}
+	// Phase 1 flat in N: last vs first within a 2.5-round band.
+	firstP1 := figA.Points[0].Values[SeriesPhase1].Mean
+	lastP1 := figA.Points[len(figA.Points)-1].Values[SeriesPhase1].Mean
+	if diff := lastP1 - firstP1; diff > 2.5 || diff < -2.5 {
+		t.Errorf("Fig 8a: phase 1 rounds vary with N by %.2f, want ≈ flat", diff)
+	}
+
+	figB, err := Fig8b(RunConfig{Seed: 11, Reps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1 grows with M.
+	firstP1 = figB.Points[0].Values[SeriesPhase1].Mean
+	lastP1 = figB.Points[len(figB.Points)-1].Values[SeriesPhase1].Mean
+	if lastP1 <= firstP1 {
+		t.Errorf("Fig 8b: phase 1 rounds do not grow with M: %.2f → %.2f", firstP1, lastP1)
+	}
+}
+
+// TestSweepDeterminism: identical RunConfig yields identical figures,
+// regardless of worker count.
+func TestSweepDeterminism(t *testing.T) {
+	a, err := Fig6a(RunConfig{Seed: 13, Reps: 4, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig6a(RunConfig{Seed: 13, Reps: 4, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("sweep results depend on worker count")
+	}
+}
+
+// TestAblationStage2Ordering: the decomposition is monotone by construction
+// and full equals +phase2.
+func TestAblationStage2Ordering(t *testing.T) {
+	fig, err := AblationStage2(RunConfig{Seed: 2, Reps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, p := range fig.Points {
+		if !(p.Values["stage I only"].Mean <= p.Values["+ phase 1"].Mean+1e-9) ||
+			!(p.Values["+ phase 1"].Mean <= p.Values["full"].Mean+1e-9) {
+			t.Errorf("point %d not monotone: %+v", k, p.Values)
+		}
+	}
+}
+
+// TestAblationMWISExactDominates: exact coalition formation never loses to a
+// single greedy by more than noise... in fact the *final* welfare is not
+// guaranteed monotone in coalition quality (better Stage I coalitions can
+// steer Stage II differently), so assert only that every strategy lands
+// within 15% of exact.
+func TestAblationMWISExactDominates(t *testing.T) {
+	fig, err := AblationMWIS(RunConfig{Seed: 2, Reps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, p := range fig.Points {
+		exact := p.Values["exact"].Mean
+		for _, s := range fig.Series {
+			if v := p.Values[s].Mean; v < 0.85*exact {
+				t.Errorf("point %d: %s welfare %.3f below 85%% of exact %.3f", k, s, v, exact)
+			}
+		}
+	}
+}
+
+// TestAblationFaultsDegradesGracefully: reliable welfare is an upper bound
+// (up to noise) and welfare stays positive at 30% loss.
+func TestAblationFaultsDegradesGracefully(t *testing.T) {
+	fig, err := AblationFaults(RunConfig{Seed: 4, Reps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, p := range fig.Points {
+		if p.Values["welfare"].Mean <= 0 {
+			t.Errorf("point %d: welfare %.3f under loss", k, p.Values["welfare"].Mean)
+		}
+	}
+	last := fig.Points[len(fig.Points)-1]
+	if last.Values["welfare"].Mean > last.Values["welfare (reliable)"].Mean*1.05 {
+		t.Error("lossy welfare implausibly exceeds reliable welfare at 30% loss")
+	}
+}
+
+// TestFormat renders a figure table.
+func TestFormat(t *testing.T) {
+	fig, err := Fig6b(RunConfig{Seed: 1, Reps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fig.Format()
+	for _, want := range []string{"Figure 6b", "sellers M", SeriesOptimal, SeriesProposed, "±"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Format() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestEveryCatalogEntryRuns executes every experiment in the catalog at
+// minimal replication and validates the resulting figure's structure:
+// non-empty points, every declared series present with the right
+// replication count, and usable renderings. Skipped under -short (the full
+// catalog takes several seconds).
+func TestEveryCatalogEntryRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full catalog sweep")
+	}
+	cfg := RunConfig{Seed: 99, Reps: 2}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			fig, err := Catalog()[id].Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fig.ID != id {
+				t.Errorf("figure ID %q, want %q", fig.ID, id)
+			}
+			if len(fig.Points) == 0 || len(fig.Series) == 0 {
+				t.Fatalf("empty figure: %+v", fig)
+			}
+			for k, p := range fig.Points {
+				for _, s := range fig.Series {
+					v, ok := p.Values[s]
+					if !ok {
+						t.Fatalf("point %d missing series %q", k, s)
+					}
+					if v.N != cfg.Reps {
+						t.Errorf("point %d series %q has %d reps, want %d", k, s, v.N, cfg.Reps)
+					}
+				}
+			}
+			if fig.Format() == "" || fig.Plot(30, 8) == "" {
+				t.Error("empty rendering")
+			}
+			if _, err := fig.CSV(); err != nil {
+				t.Errorf("CSV: %v", err)
+			}
+			if _, err := fig.JSON(); err != nil {
+				t.Errorf("JSON: %v", err)
+			}
+		})
+	}
+}

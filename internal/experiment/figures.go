@@ -1,0 +1,269 @@
+package experiment
+
+import (
+	"fmt"
+
+	"specmatch/internal/core"
+	"specmatch/internal/market"
+	"specmatch/internal/optimal"
+)
+
+// Series names shared across figures.
+const (
+	SeriesOptimal  = "optimal"
+	SeriesProposed = "proposed"
+	SeriesStageI   = "stage I"
+	SeriesPhase1   = "stage II phase 1"
+	SeriesPhase2   = "stage II phase 2"
+)
+
+// fig6Measure runs both the optimal benchmark and the proposed algorithm on
+// one generated market.
+func fig6Measure(cfg market.Config) (measurement, error) {
+	m, err := market.Generate(cfg)
+	if err != nil {
+		return measurement{}, fmt.Errorf("experiment: generating market: %w", err)
+	}
+	_, opt, err := optimal.Solve(m, optimal.Options{})
+	if err != nil {
+		return measurement{}, fmt.Errorf("experiment: optimal: %w", err)
+	}
+	res, err := core.Run(m, core.Options{})
+	if err != nil {
+		return measurement{}, fmt.Errorf("experiment: proposed: %w", err)
+	}
+	return measurement{values: map[string]float64{
+		SeriesOptimal:  opt,
+		SeriesProposed: res.Welfare,
+	}}, nil
+}
+
+// Fig6a regenerates Fig. 6(a): social welfare of optimal vs proposed as the
+// number of buyers grows, with M = 4 sellers.
+func Fig6a(cfg RunConfig) (*Figure, error) {
+	var points []sweepPoint
+	for n := 6; n <= 10; n++ {
+		n := n
+		points = append(points, sweepPoint{
+			x: float64(n),
+			run: func(seed int64) (measurement, error) {
+				return fig6Measure(market.Config{Sellers: 4, Buyers: n, Seed: seed})
+			},
+		})
+	}
+	series := []string{SeriesOptimal, SeriesProposed}
+	pts, err := runSweep(cfg, series, points)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID: "6a", Title: "Optimal vs proposed, M = 4",
+		XLabel: "buyers N", YLabel: "social welfare",
+		Series: series, Points: pts,
+	}, nil
+}
+
+// Fig6b regenerates Fig. 6(b): welfare as the number of sellers grows, with
+// N = 8 buyers.
+func Fig6b(cfg RunConfig) (*Figure, error) {
+	var points []sweepPoint
+	for m := 2; m <= 6; m++ {
+		m := m
+		points = append(points, sweepPoint{
+			x: float64(m),
+			run: func(seed int64) (measurement, error) {
+				return fig6Measure(market.Config{Sellers: m, Buyers: 8, Seed: seed})
+			},
+		})
+	}
+	series := []string{SeriesOptimal, SeriesProposed}
+	pts, err := runSweep(cfg, series, points)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID: "6b", Title: "Optimal vs proposed, N = 8",
+		XLabel: "sellers M", YLabel: "social welfare",
+		Series: series, Points: pts,
+	}, nil
+}
+
+// Fig6c regenerates Fig. 6(c): welfare versus price similarity (measured
+// average pairwise SRCC), with M = 5 and N = 8. The sweep drives the
+// sort-then-permute knob of §V-A; the x coordinate is the realized SRCC.
+func Fig6c(cfg RunConfig) (*Figure, error) {
+	const numSellers, numBuyers = 5, 8
+	var points []sweepPoint
+	for permuteM := numSellers; permuteM >= 0; permuteM-- {
+		permuteM := permuteM
+		points = append(points, sweepPoint{
+			x: float64(numSellers - permuteM),
+			run: func(seed int64) (measurement, error) {
+				mcfg := market.Config{
+					Sellers: numSellers, Buyers: numBuyers,
+					Similarity: &market.SimilarityConfig{PermuteM: permuteM},
+					Seed:       seed,
+				}
+				m, err := market.Generate(mcfg)
+				if err != nil {
+					return measurement{}, err
+				}
+				rho, err := m.AvgSimilarity()
+				if err != nil {
+					return measurement{}, err
+				}
+				out, err := fig6Measure(mcfg)
+				if err != nil {
+					return measurement{}, err
+				}
+				out.x, out.hasX = rho, true
+				return out, nil
+			},
+		})
+	}
+	series := []string{SeriesOptimal, SeriesProposed}
+	pts, err := runSweep(cfg, series, points)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID: "6c", Title: "Optimal vs proposed vs price similarity, M = 5, N = 8",
+		XLabel: "similarity", YLabel: "social welfare",
+		Series: series, Points: pts,
+	}, nil
+}
+
+// stageMeasure runs the proposed algorithm and reports cumulative welfare
+// (Fig. 7) or per-stage rounds (Fig. 8) for one market.
+func stageMeasure(cfg market.Config, rounds bool) (measurement, error) {
+	m, err := market.Generate(cfg)
+	if err != nil {
+		return measurement{}, fmt.Errorf("experiment: generating market: %w", err)
+	}
+	res, err := core.Run(m, core.Options{})
+	if err != nil {
+		return measurement{}, fmt.Errorf("experiment: proposed: %w", err)
+	}
+	if rounds {
+		return measurement{values: map[string]float64{
+			SeriesStageI: float64(res.StageI.Rounds),
+			SeriesPhase1: float64(res.Phase1.Rounds),
+			SeriesPhase2: float64(res.Phase2.Rounds),
+		}}, nil
+	}
+	return measurement{values: map[string]float64{
+		SeriesStageI: res.StageI.Welfare,
+		SeriesPhase1: res.Phase1.Welfare,
+		SeriesPhase2: res.Phase2.Welfare,
+	}}, nil
+}
+
+var stageSeries = []string{SeriesStageI, SeriesPhase1, SeriesPhase2}
+
+// buyerSweep builds the N = 200..320 sweep of Figs. 7(a)/8(a) with M = 10.
+func buyerSweep(rounds bool) []sweepPoint {
+	var points []sweepPoint
+	for n := 200; n <= 320; n += 20 {
+		n := n
+		points = append(points, sweepPoint{
+			x: float64(n),
+			run: func(seed int64) (measurement, error) {
+				return stageMeasure(market.Config{Sellers: 10, Buyers: n, Seed: seed}, rounds)
+			},
+		})
+	}
+	return points
+}
+
+// sellerSweep builds the M = 4..16 sweep of Figs. 7(b)/8(b) with N = 500.
+func sellerSweep(rounds bool) []sweepPoint {
+	var points []sweepPoint
+	for m := 4; m <= 16; m += 2 {
+		m := m
+		points = append(points, sweepPoint{
+			x: float64(m),
+			run: func(seed int64) (measurement, error) {
+				return stageMeasure(market.Config{Sellers: m, Buyers: 500, Seed: seed}, rounds)
+			},
+		})
+	}
+	return points
+}
+
+// similaritySweep builds the SRCC sweep of Figs. 7(c)/8(c) with M = 8,
+// N = 300.
+func similaritySweep(rounds bool) []sweepPoint {
+	const numSellers, numBuyers = 8, 300
+	var points []sweepPoint
+	for _, permuteM := range []int{numSellers, 6, 4, 3, 2, 0} {
+		permuteM := permuteM
+		points = append(points, sweepPoint{
+			x: float64(numSellers - permuteM),
+			run: func(seed int64) (measurement, error) {
+				mcfg := market.Config{
+					Sellers: numSellers, Buyers: numBuyers,
+					Similarity: &market.SimilarityConfig{PermuteM: permuteM},
+					Seed:       seed,
+				}
+				m, err := market.Generate(mcfg)
+				if err != nil {
+					return measurement{}, err
+				}
+				rho, err := m.AvgSimilarity()
+				if err != nil {
+					return measurement{}, err
+				}
+				out, err := stageMeasure(mcfg, rounds)
+				if err != nil {
+					return measurement{}, err
+				}
+				out.x, out.hasX = rho, true
+				return out, nil
+			},
+		})
+	}
+	return points
+}
+
+func stageFigure(cfg RunConfig, id, title, xLabel, yLabel string, points []sweepPoint) (*Figure, error) {
+	pts, err := runSweep(cfg, stageSeries, points)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID: id, Title: title, XLabel: xLabel, YLabel: yLabel,
+		Series: stageSeries, Points: pts,
+	}, nil
+}
+
+// Fig7a regenerates Fig. 7(a): cumulative welfare per stage, M = 10.
+func Fig7a(cfg RunConfig) (*Figure, error) {
+	return stageFigure(cfg, "7a", "Cumulative welfare per stage, M = 10", "buyers N", "social welfare", buyerSweep(false))
+}
+
+// Fig7b regenerates Fig. 7(b): cumulative welfare per stage, N = 500.
+func Fig7b(cfg RunConfig) (*Figure, error) {
+	return stageFigure(cfg, "7b", "Cumulative welfare per stage, N = 500", "sellers M", "social welfare", sellerSweep(false))
+}
+
+// Fig7c regenerates Fig. 7(c): cumulative welfare per stage versus
+// similarity, M = 8, N = 300.
+func Fig7c(cfg RunConfig) (*Figure, error) {
+	return stageFigure(cfg, "7c", "Cumulative welfare vs similarity, M = 8, N = 300", "similarity", "social welfare", similaritySweep(false))
+}
+
+// Fig8a regenerates Fig. 8(a): per-stage rounds, M = 10.
+func Fig8a(cfg RunConfig) (*Figure, error) {
+	return stageFigure(cfg, "8a", "Running time per stage, M = 10", "buyers N", "rounds", buyerSweep(true))
+}
+
+// Fig8b regenerates Fig. 8(b): per-stage rounds, N = 500.
+func Fig8b(cfg RunConfig) (*Figure, error) {
+	return stageFigure(cfg, "8b", "Running time per stage, N = 500", "sellers M", "rounds", sellerSweep(true))
+}
+
+// Fig8c regenerates Fig. 8(c): per-stage rounds versus similarity, M = 8,
+// N = 300.
+func Fig8c(cfg RunConfig) (*Figure, error) {
+	return stageFigure(cfg, "8c", "Running time vs similarity, M = 8, N = 300", "similarity", "rounds", similaritySweep(true))
+}

@@ -1,0 +1,134 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Plot renders the figure as an ASCII line chart sized width×height
+// (plot-area cells, excluding axes). Each series gets a marker letter;
+// overlapping points render as '*'. Useful for eyeballing shapes (growth,
+// crossover, flatness) straight from the terminal.
+func (f *Figure) Plot(width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	if len(f.Points) == 0 || len(f.Series) == 0 {
+		return fmt.Sprintf("Figure %s — %s (no data)\n", f.ID, f.Title)
+	}
+
+	xMin, xMax := f.Points[0].X, f.Points[0].X
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, p := range f.Points {
+		xMin = math.Min(xMin, p.X)
+		xMax = math.Max(xMax, p.X)
+		for _, s := range f.Series {
+			v := p.Values[s].Mean
+			yMin = math.Min(yMin, v)
+			yMax = math.Max(yMax, v)
+		}
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	// Pad the y range slightly so extreme points do not sit on the frame.
+	pad := (yMax - yMin) * 0.05
+	yMin -= pad
+	yMax += pad
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	markers := "abcdefghijklmnopqrstuvwxyz"
+	for si, s := range f.Series {
+		marker := rune(markers[si%len(markers)])
+		for _, p := range f.Points {
+			col := int(math.Round((p.X - xMin) / (xMax - xMin) * float64(width-1)))
+			v := p.Values[s].Mean
+			row := height - 1 - int(math.Round((v-yMin)/(yMax-yMin)*float64(height-1)))
+			if col < 0 || col >= width || row < 0 || row >= height {
+				continue
+			}
+			if grid[row][col] != ' ' && grid[row][col] != marker {
+				grid[row][col] = '*'
+			} else {
+				grid[row][col] = marker
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %s — %s\n", f.ID, f.Title)
+	yLabelW := 10
+	for r, row := range grid {
+		// Label top, middle and bottom rows with y values.
+		label := strings.Repeat(" ", yLabelW)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*.3f", yLabelW, yMax)
+		case height / 2:
+			label = fmt.Sprintf("%*.3f", yLabelW, (yMax+yMin)/2)
+		case height - 1:
+			label = fmt.Sprintf("%*.3f", yLabelW, yMin)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s+\n", strings.Repeat(" ", yLabelW), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*.3f%*.3f  (%s)\n",
+		strings.Repeat(" ", yLabelW), width/2, xMin, width-width/2, xMax, f.XLabel)
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "%s  %c = %s\n", strings.Repeat(" ", yLabelW), markers[si%len(markers)], s)
+	}
+	return b.String()
+}
+
+// CSV renders the figure as comma-separated values: one header row
+// (x label, then per-series mean and ci95 columns) and one row per point.
+func (f *Figure) CSV() (string, error) {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s+" mean", s+" ci95")
+	}
+	if err := w.Write(header); err != nil {
+		return "", fmt.Errorf("experiment: csv header: %w", err)
+	}
+	for _, p := range f.Points {
+		row := []string{strconv.FormatFloat(p.X, 'g', -1, 64)}
+		for _, s := range f.Series {
+			v := p.Values[s]
+			row = append(row,
+				strconv.FormatFloat(v.Mean, 'g', -1, 64),
+				strconv.FormatFloat(v.CI95(), 'g', -1, 64))
+		}
+		if err := w.Write(row); err != nil {
+			return "", fmt.Errorf("experiment: csv row: %w", err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return "", fmt.Errorf("experiment: csv flush: %w", err)
+	}
+	return b.String(), nil
+}
+
+// JSON renders the figure as indented JSON.
+func (f *Figure) JSON() (string, error) {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("experiment: json: %w", err)
+	}
+	return string(data) + "\n", nil
+}

@@ -1,0 +1,123 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"specmatch/internal/stats"
+)
+
+func fixtureFigure() *Figure {
+	mk := func(v float64) stats.Summary { return stats.Summarize([]float64{v, v}) }
+	return &Figure{
+		ID: "fx", Title: "fixture", XLabel: "n", YLabel: "w",
+		Series: []string{"alpha", "beta"},
+		Points: []Point{
+			{X: 1, Values: map[string]stats.Summary{"alpha": mk(1), "beta": mk(4)}},
+			{X: 2, Values: map[string]stats.Summary{"alpha": mk(2), "beta": mk(3)}},
+			{X: 3, Values: map[string]stats.Summary{"alpha": mk(5), "beta": mk(2)}},
+		},
+	}
+}
+
+func TestPlotContainsMarkersAndAxes(t *testing.T) {
+	fig := fixtureFigure()
+	s := fig.Plot(40, 10)
+	for _, want := range []string{"Figure fx", "a = alpha", "b = beta", "(n)", "+----"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("plot missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.ContainsAny(s, "ab*") {
+		t.Error("plot has no data markers")
+	}
+	// Extremes labeled on the y axis.
+	if !strings.Contains(s, "1.") || !strings.Contains(s, "5.") {
+		t.Errorf("plot missing y labels:\n%s", s)
+	}
+}
+
+func TestPlotDegenerate(t *testing.T) {
+	empty := &Figure{ID: "e", Title: "empty"}
+	if s := empty.Plot(40, 10); !strings.Contains(s, "no data") {
+		t.Errorf("empty plot = %q", s)
+	}
+	// Constant series and a single point must not divide by zero.
+	mk := func(v float64) stats.Summary { return stats.Summarize([]float64{v}) }
+	single := &Figure{
+		ID: "s", Title: "single", Series: []string{"a"},
+		Points: []Point{{X: 5, Values: map[string]stats.Summary{"a": mk(7)}}},
+	}
+	if s := single.Plot(2, 2); s == "" {
+		t.Error("single-point plot empty")
+	}
+}
+
+func TestCSVRoundTrips(t *testing.T) {
+	fig := fixtureFigure()
+	out, err := fig.CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	if len(records) != 4 {
+		t.Fatalf("rows = %d, want header + 3", len(records))
+	}
+	if records[0][0] != "n" || records[0][1] != "alpha mean" {
+		t.Errorf("header = %v", records[0])
+	}
+	if records[1][0] != "1" || records[3][1] != "5" {
+		t.Errorf("data rows = %v", records[1:])
+	}
+}
+
+func TestJSONRoundTrips(t *testing.T) {
+	fig := fixtureFigure()
+	out, err := fig.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Figure
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if decoded.ID != "fx" || len(decoded.Points) != 3 || decoded.Points[2].Values["alpha"].Mean != 5 {
+		t.Errorf("decoded = %+v", decoded)
+	}
+}
+
+func TestVerifyShapesOnRealFigures(t *testing.T) {
+	cfg := RunConfig{Seed: 21, Reps: 8}
+	for _, id := range []string{"6a", "6b"} {
+		fig, err := Catalog()[id].Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := VerifyShapes(fig); len(v) != 0 {
+			t.Errorf("%s: shape violations: %v", id, v)
+		}
+	}
+	// Ablations have no reference shape.
+	if v := VerifyShapes(&Figure{ID: "ablation-mwis"}); v != nil {
+		t.Errorf("ablation should have no shape reference, got %v", v)
+	}
+}
+
+func TestVerifyShapesCatchesViolations(t *testing.T) {
+	mk := func(v float64) map[string]stats.Summary {
+		return map[string]stats.Summary{
+			SeriesOptimal:  stats.Summarize([]float64{v}),
+			SeriesProposed: stats.Summarize([]float64{v * 2}), // proposed beats optimal: impossible
+		}
+	}
+	bad := &Figure{ID: "6a", Series: []string{SeriesOptimal, SeriesProposed},
+		Points: []Point{{X: 1, Values: mk(1)}, {X: 2, Values: mk(2)}}}
+	if v := VerifyShapes(bad); len(v) == 0 {
+		t.Error("impossible figure passed the shape check")
+	}
+}

@@ -1,0 +1,101 @@
+package experiment
+
+import "fmt"
+
+// VerifyShapes checks a regenerated figure against the paper's qualitative
+// claims for it — who wins, what grows, what stays small — and returns one
+// message per violated expectation (empty means the reproduction matches
+// the published shape). specbench -check surfaces these after each figure;
+// the same expectations back the test suite.
+func VerifyShapes(f *Figure) []string {
+	switch f.ID {
+	case "6a", "6b", "6c":
+		return verifyFig6(f)
+	case "7a", "7b":
+		return verifyFig7Growth(f)
+	case "7c":
+		return verifyCumulative(f)
+	case "8a", "8b", "8c":
+		return verifyFig8(f)
+	default:
+		return nil // ablations have no published reference shape
+	}
+}
+
+func verifyFig6(f *Figure) []string {
+	var out []string
+	var ratioSum float64
+	for k, p := range f.Points {
+		opt := p.Values[SeriesOptimal].Mean
+		prop := p.Values[SeriesProposed].Mean
+		if prop > opt+1e-9 {
+			out = append(out, fmt.Sprintf("point %d: proposed %.3f exceeds optimal %.3f", k, prop, opt))
+		}
+		if opt > 0 {
+			ratioSum += prop / opt
+		}
+	}
+	if avg := ratioSum / float64(len(f.Points)); avg < 0.9 {
+		out = append(out, fmt.Sprintf("mean proposed/optimal %.3f below the paper's 0.9 headline", avg))
+	}
+	if f.ID != "6c" { // 6a/6b: welfare grows along the sweep
+		first, last := f.Points[0], f.Points[len(f.Points)-1]
+		if last.Values[SeriesProposed].Mean <= first.Values[SeriesProposed].Mean {
+			out = append(out, fmt.Sprintf("welfare does not grow along the sweep (%.3f → %.3f)",
+				first.Values[SeriesProposed].Mean, last.Values[SeriesProposed].Mean))
+		}
+	}
+	return out
+}
+
+func verifyCumulative(f *Figure) []string {
+	var out []string
+	for k, p := range f.Points {
+		s1 := p.Values[SeriesStageI].Mean
+		p1 := p.Values[SeriesPhase1].Mean
+		p2 := p.Values[SeriesPhase2].Mean
+		if !(s1 <= p1+1e-9 && p1 <= p2+1e-9) {
+			out = append(out, fmt.Sprintf("point %d: cumulative welfare not monotone (%.3f, %.3f, %.3f)", k, s1, p1, p2))
+		}
+		if gain1, gain2 := p1-s1, p2-p1; gain2 > gain1+1e-9 && gain1 > 0 {
+			out = append(out, fmt.Sprintf("point %d: phase 2 gain %.4f exceeds phase 1 gain %.4f", k, gain2, gain1))
+		}
+	}
+	return out
+}
+
+func verifyFig7Growth(f *Figure) []string {
+	out := verifyCumulative(f)
+	first, last := f.Points[0], f.Points[len(f.Points)-1]
+	if last.Values[SeriesPhase2].Mean <= first.Values[SeriesPhase2].Mean {
+		out = append(out, fmt.Sprintf("total welfare does not grow along the sweep (%.3f → %.3f)",
+			first.Values[SeriesPhase2].Mean, last.Values[SeriesPhase2].Mean))
+	}
+	return out
+}
+
+func verifyFig8(f *Figure) []string {
+	var out []string
+	for k, p := range f.Points {
+		if rounds := p.Values[SeriesPhase2].Mean; rounds > 5 {
+			out = append(out, fmt.Sprintf("point %d: phase 2 runs %.2f rounds; the paper reports only a few", k, rounds))
+		}
+	}
+	switch f.ID {
+	case "8a":
+		// Phase 1 is O(M), insensitive to N: flat across the buyer sweep.
+		first := f.Points[0].Values[SeriesPhase1].Mean
+		last := f.Points[len(f.Points)-1].Values[SeriesPhase1].Mean
+		if diff := last - first; diff > 2.5 || diff < -2.5 {
+			out = append(out, fmt.Sprintf("phase 1 rounds vary by %.2f across N; expected ≈ flat", diff))
+		}
+	case "8b":
+		// Phase 1 grows with M.
+		first := f.Points[0].Values[SeriesPhase1].Mean
+		last := f.Points[len(f.Points)-1].Values[SeriesPhase1].Mean
+		if last <= first {
+			out = append(out, fmt.Sprintf("phase 1 rounds do not grow with M (%.2f → %.2f)", first, last))
+		}
+	}
+	return out
+}

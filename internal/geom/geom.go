@@ -1,0 +1,70 @@
+// Package geom provides the 2-D geometry substrate for geometric interference
+// graphs: points, distances, and uniform placement inside a square deployment
+// area (the paper places buyers uniformly at random in a 10×10 area, §V-A).
+package geom
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Point is a location in the deployment plane.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return math.Hypot(dx, dy)
+}
+
+// DistSq returns the squared Euclidean distance between p and q. It avoids
+// the square root for pure threshold comparisons.
+func (p Point) DistSq(q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return dx*dx + dy*dy
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.3f, %.3f)", p.X, p.Y)
+}
+
+// Area is a square deployment area [0, Side] × [0, Side].
+type Area struct {
+	Side float64 `json:"side"`
+}
+
+// PaperArea is the 10×10 deployment area used throughout the paper's
+// evaluation (§V-A).
+func PaperArea() Area { return Area{Side: 10} }
+
+// Contains reports whether p lies inside the area (boundary inclusive).
+func (a Area) Contains(p Point) bool {
+	return p.X >= 0 && p.X <= a.Side && p.Y >= 0 && p.Y <= a.Side
+}
+
+// RandomPoint draws a point uniformly at random from the area.
+func (a Area) RandomPoint(r *rand.Rand) Point {
+	return Point{X: r.Float64() * a.Side, Y: r.Float64() * a.Side}
+}
+
+// RandomPoints draws n independent uniform points from the area.
+func (a Area) RandomPoints(r *rand.Rand, n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = a.RandomPoint(r)
+	}
+	return pts
+}
+
+// MaxDist returns the diameter of the area (corner-to-corner distance); no
+// two points inside the area can be farther apart.
+func (a Area) MaxDist() float64 {
+	return a.Side * math.Sqrt2
+}

@@ -1,0 +1,98 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"specmatch/internal/xrand"
+)
+
+func TestDist(t *testing.T) {
+	tests := []struct {
+		p, q Point
+		want float64
+	}{
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{1, 1}, Point{1, 1}, 0},
+		{Point{-1, 0}, Point{2, 4}, 5},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Dist(tt.q); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Dist(%v,%v) = %v, want %v", tt.p, tt.q, got, tt.want)
+		}
+		if got := tt.q.Dist(tt.p); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Dist not symmetric for %v,%v", tt.p, tt.q)
+		}
+	}
+}
+
+func TestDistSqConsistent(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a := Point{X: math.Mod(ax, 100), Y: math.Mod(ay, 100)}
+		b := Point{X: math.Mod(bx, 100), Y: math.Mod(by, 100)}
+		d := a.Dist(b)
+		return math.Abs(a.DistSq(b)-d*d) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAreaContains(t *testing.T) {
+	a := PaperArea()
+	if a.Side != 10 {
+		t.Fatalf("paper area side = %v, want 10", a.Side)
+	}
+	if !a.Contains(Point{0, 0}) || !a.Contains(Point{10, 10}) || !a.Contains(Point{5, 5}) {
+		t.Error("boundary and interior points must be contained")
+	}
+	if a.Contains(Point{-0.1, 5}) || a.Contains(Point{5, 10.1}) {
+		t.Error("outside points must not be contained")
+	}
+}
+
+func TestRandomPointsInside(t *testing.T) {
+	a := PaperArea()
+	r := xrand.New(1)
+	for _, p := range a.RandomPoints(r, 500) {
+		if !a.Contains(p) {
+			t.Fatalf("random point %v outside area", p)
+		}
+	}
+}
+
+func TestRandomPointsCoverage(t *testing.T) {
+	// Quadrant coverage: uniform sampling should hit all four quadrants.
+	a := PaperArea()
+	r := xrand.New(2)
+	var quadrants [4]int
+	for _, p := range a.RandomPoints(r, 400) {
+		q := 0
+		if p.X > 5 {
+			q++
+		}
+		if p.Y > 5 {
+			q += 2
+		}
+		quadrants[q]++
+	}
+	for q, count := range quadrants {
+		if count < 50 {
+			t.Errorf("quadrant %d hit %d times of 400; sampling not uniform", q, count)
+		}
+	}
+}
+
+func TestMaxDist(t *testing.T) {
+	a := Area{Side: 10}
+	if got := a.MaxDist(); math.Abs(got-10*math.Sqrt2) > 1e-12 {
+		t.Errorf("MaxDist = %v", got)
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if s := (Point{X: 1.5, Y: 2}).String(); s != "(1.500, 2.000)" {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,198 @@
+// Package graph implements the undirected interference graphs at the heart of
+// spectrum matching (§II-A of the paper). Each channel i has its own graph
+// G_i = (V, E_i) over the set of virtual buyers; an edge connects two buyers
+// that may not reuse channel i simultaneously.
+//
+// Vertices are dense integer IDs [0, N). The representation keeps both an
+// adjacency-set index (O(1) edge queries, needed by preference relations and
+// stability checks) and degree bookkeeping (needed by the greedy MWIS
+// heuristics in package mwis).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a simple undirected graph over vertices 0..n-1. The zero value is
+// not usable; construct with New.
+type Graph struct {
+	n     int
+	adj   []map[int]struct{}
+	edges int
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	adj := make([]map[int]struct{}, n)
+	for i := range adj {
+		adj[i] = make(map[int]struct{})
+	}
+	return &Graph{n: n, adj: adj}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.edges }
+
+// validVertex reports whether v is a vertex of g.
+func (g *Graph) validVertex(v int) bool { return v >= 0 && v < g.n }
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops and out-of-range
+// vertices are reported as errors; duplicate insertions are idempotent.
+func (g *Graph) AddEdge(u, v int) error {
+	if !g.validVertex(u) || !g.validVertex(v) {
+		return fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop on vertex %d", u)
+	}
+	if _, ok := g.adj[u][v]; ok {
+		return nil
+	}
+	g.adj[u][v] = struct{}{}
+	g.adj[v][u] = struct{}{}
+	g.edges++
+	return nil
+}
+
+// HasEdge reports whether {u, v} is an edge. Out-of-range queries and
+// self-queries return false.
+func (g *Graph) HasEdge(u, v int) bool {
+	if !g.validVertex(u) || !g.validVertex(v) || u == v {
+		return false
+	}
+	_, ok := g.adj[u][v]
+	return ok
+}
+
+// Degree returns the number of neighbors of v, or 0 for out-of-range v.
+func (g *Graph) Degree(v int) int {
+	if !g.validVertex(v) {
+		return 0
+	}
+	return len(g.adj[v])
+}
+
+// Neighbors returns the neighbors of v in ascending order. The slice is a
+// fresh copy the caller may retain.
+func (g *Graph) Neighbors(v int) []int {
+	if !g.validVertex(v) {
+		return nil
+	}
+	out := make([]int, 0, len(g.adj[v]))
+	for u := range g.adj[v] {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// EachNeighbor calls fn for every neighbor of v in unspecified order,
+// stopping early if fn returns false. It performs no allocation.
+func (g *Graph) EachNeighbor(v int, fn func(u int) bool) {
+	if !g.validVertex(v) {
+		return
+	}
+	for u := range g.adj[v] {
+		if !fn(u) {
+			return
+		}
+	}
+}
+
+// IsIndependent reports whether no two vertices of set are adjacent. The
+// empty set and singletons are independent.
+func (g *Graph) IsIndependent(set []int) bool {
+	for a := 0; a < len(set); a++ {
+		for b := a + 1; b < len(set); b++ {
+			if g.HasEdge(set[a], set[b]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ConflictsWith reports whether vertex v is adjacent to any vertex in set.
+func (g *Graph) ConflictsWith(v int, set []int) bool {
+	for _, u := range set {
+		if g.HasEdge(v, u) {
+			return true
+		}
+	}
+	return false
+}
+
+// Edges returns all edges as ordered pairs (u < v), sorted lexicographically.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, g.edges)
+	for u := 0; u < g.n; u++ {
+		for v := range g.adj[u] {
+			if u < v {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for u := 0; u < g.n; u++ {
+		for v := range g.adj[u] {
+			if u < v {
+				c.adj[u][v] = struct{}{}
+				c.adj[v][u] = struct{}{}
+			}
+		}
+	}
+	c.edges = g.edges
+	return c
+}
+
+// Complement returns the complement graph on the same vertex set.
+func (g *Graph) Complement() *Graph {
+	c := New(g.n)
+	for u := 0; u < g.n; u++ {
+		for v := u + 1; v < g.n; v++ {
+			if !g.HasEdge(u, v) {
+				// Vertices are in range by construction, so AddEdge cannot fail.
+				_ = c.AddEdge(u, v)
+			}
+		}
+	}
+	return c
+}
+
+// InducedDegree returns the number of neighbors of v inside the given vertex
+// subset (membership given as a bitset-like boolean slice of length N).
+func (g *Graph) InducedDegree(v int, in []bool) int {
+	if !g.validVertex(v) {
+		return 0
+	}
+	d := 0
+	for u := range g.adj[v] {
+		if u < len(in) && in[u] {
+			d++
+		}
+	}
+	return d
+}
+
+// String returns a compact human-readable description.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph(n=%d, m=%d)", g.n, g.edges)
+}

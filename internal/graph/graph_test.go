@@ -1,0 +1,319 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"specmatch/internal/geom"
+	"specmatch/internal/xrand"
+)
+
+func TestNewEmpty(t *testing.T) {
+	g := New(5)
+	if g.N() != 5 || g.M() != 0 {
+		t.Errorf("New(5) = %v, want n=5 m=0", g)
+	}
+	if g.HasEdge(0, 1) {
+		t.Error("empty graph has an edge")
+	}
+}
+
+func TestNewNegative(t *testing.T) {
+	g := New(-3)
+	if g.N() != 0 {
+		t.Errorf("New(-3).N() = %d, want 0", g.N())
+	}
+}
+
+func TestAddEdge(t *testing.T) {
+	g := New(4)
+	if err := g.AddEdge(0, 2); err != nil {
+		t.Fatalf("AddEdge(0,2): %v", err)
+	}
+	if !g.HasEdge(0, 2) || !g.HasEdge(2, 0) {
+		t.Error("edge not symmetric")
+	}
+	if g.M() != 1 {
+		t.Errorf("M() = %d, want 1", g.M())
+	}
+}
+
+func TestAddEdgeIdempotent(t *testing.T) {
+	g := New(3)
+	for k := 0; k < 3; k++ {
+		if err := g.AddEdge(1, 2); err != nil {
+			t.Fatalf("AddEdge: %v", err)
+		}
+	}
+	if g.M() != 1 {
+		t.Errorf("M() after duplicate inserts = %d, want 1", g.M())
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(3)
+	tests := []struct {
+		name string
+		u, v int
+	}{
+		{"self-loop", 1, 1},
+		{"negative", -1, 0},
+		{"out of range", 0, 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := g.AddEdge(tt.u, tt.v); err == nil {
+				t.Errorf("AddEdge(%d,%d) succeeded, want error", tt.u, tt.v)
+			}
+		})
+	}
+}
+
+func TestHasEdgeOutOfRange(t *testing.T) {
+	g := Complete(3)
+	if g.HasEdge(0, 5) || g.HasEdge(-1, 0) || g.HasEdge(2, 2) {
+		t.Error("out-of-range or self queries must be false")
+	}
+}
+
+func TestDegreeAndNeighbors(t *testing.T) {
+	g := MustFromEdges(5, [][2]int{{0, 1}, {0, 2}, {0, 4}, {3, 4}})
+	if got := g.Degree(0); got != 3 {
+		t.Errorf("Degree(0) = %d, want 3", got)
+	}
+	if got := g.Neighbors(0); !reflect.DeepEqual(got, []int{1, 2, 4}) {
+		t.Errorf("Neighbors(0) = %v, want [1 2 4]", got)
+	}
+	if got := g.Neighbors(3); !reflect.DeepEqual(got, []int{4}) {
+		t.Errorf("Neighbors(3) = %v, want [4]", got)
+	}
+	if g.Neighbors(99) != nil {
+		t.Error("Neighbors out of range should be nil")
+	}
+}
+
+func TestEachNeighborEarlyStop(t *testing.T) {
+	g := Complete(6)
+	count := 0
+	g.EachNeighbor(0, func(int) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("EachNeighbor visited %d, want early stop at 2", count)
+	}
+}
+
+func TestIsIndependent(t *testing.T) {
+	g := MustFromEdges(5, [][2]int{{0, 1}, {2, 3}})
+	tests := []struct {
+		set  []int
+		want bool
+	}{
+		{nil, true},
+		{[]int{0}, true},
+		{[]int{0, 2}, true},
+		{[]int{0, 1}, false},
+		{[]int{0, 2, 4}, true},
+		{[]int{1, 2, 3}, false},
+	}
+	for _, tt := range tests {
+		if got := g.IsIndependent(tt.set); got != tt.want {
+			t.Errorf("IsIndependent(%v) = %v, want %v", tt.set, got, tt.want)
+		}
+	}
+}
+
+func TestConflictsWith(t *testing.T) {
+	g := MustFromEdges(4, [][2]int{{0, 1}})
+	if !g.ConflictsWith(0, []int{2, 1}) {
+		t.Error("0 should conflict with {2,1}")
+	}
+	if g.ConflictsWith(0, []int{2, 3}) {
+		t.Error("0 should not conflict with {2,3}")
+	}
+	if g.ConflictsWith(0, nil) {
+		t.Error("no conflict with empty set")
+	}
+}
+
+func TestEdgesSorted(t *testing.T) {
+	g := MustFromEdges(4, [][2]int{{3, 1}, {2, 0}, {1, 0}})
+	want := [][2]int{{0, 1}, {0, 2}, {1, 3}}
+	if got := g.Edges(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Edges() = %v, want %v", got, want)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := MustFromEdges(3, [][2]int{{0, 1}})
+	c := g.Clone()
+	if err := c.AddEdge(1, 2); err != nil {
+		t.Fatalf("AddEdge on clone: %v", err)
+	}
+	if g.HasEdge(1, 2) {
+		t.Error("mutating clone mutated original")
+	}
+	if !c.HasEdge(0, 1) {
+		t.Error("clone lost an edge")
+	}
+}
+
+func TestComplement(t *testing.T) {
+	g := Complete(4)
+	c := g.Complement()
+	if c.M() != 0 {
+		t.Errorf("complement of K4 has %d edges, want 0", c.M())
+	}
+	e := Empty(4).Complement()
+	if e.M() != 6 {
+		t.Errorf("complement of empty graph has %d edges, want 6", e.M())
+	}
+}
+
+func TestInducedDegree(t *testing.T) {
+	g := Complete(4)
+	in := []bool{true, false, true, true}
+	if got := g.InducedDegree(0, in); got != 2 {
+		t.Errorf("InducedDegree = %d, want 2", got)
+	}
+	if got := g.InducedDegree(9, in); got != 0 {
+		t.Errorf("InducedDegree out of range = %d, want 0", got)
+	}
+}
+
+func TestCompleteGraph(t *testing.T) {
+	g := Complete(5)
+	if g.M() != 10 {
+		t.Errorf("K5 has %d edges, want 10", g.M())
+	}
+	for v := 0; v < 5; v++ {
+		if g.Degree(v) != 4 {
+			t.Errorf("Degree(%d) = %d, want 4", v, g.Degree(v))
+		}
+	}
+}
+
+func TestGeometricThreshold(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 3, Y: 0}, {X: 0, Y: 4}}
+	g := Geometric(pts, 3) // distances: 0-1: 3, 0-2: 4, 1-2: 5
+	if !g.HasEdge(0, 1) {
+		t.Error("boundary distance must interfere (dist ≤ range)")
+	}
+	if g.HasEdge(0, 2) || g.HasEdge(1, 2) {
+		t.Error("far points must not interfere")
+	}
+}
+
+func TestGeometricCoincidentPoints(t *testing.T) {
+	pts := []geom.Point{{X: 1, Y: 1}, {X: 1, Y: 1}}
+	g := Geometric(pts, 0.001)
+	if !g.HasEdge(0, 1) {
+		t.Error("coincident points interfere at any positive range")
+	}
+}
+
+func TestGnpExtremes(t *testing.T) {
+	r := xrand.New(1)
+	if g := Gnp(r, 10, 0); g.M() != 0 {
+		t.Errorf("G(10,0) has %d edges, want 0", g.M())
+	}
+	if g := Gnp(r, 10, 1); g.M() != 45 {
+		t.Errorf("G(10,1) has %d edges, want 45", g.M())
+	}
+}
+
+func TestGnpDensity(t *testing.T) {
+	r := xrand.New(7)
+	g := Gnp(r, 60, 0.3)
+	total := 60 * 59 / 2
+	frac := float64(g.M()) / float64(total)
+	if frac < 0.2 || frac > 0.4 {
+		t.Errorf("G(60,0.3) edge fraction = %.3f, want ≈ 0.3", frac)
+	}
+}
+
+func TestFromEdgesError(t *testing.T) {
+	if _, err := FromEdges(3, [][2]int{{0, 5}}); err == nil {
+		t.Error("FromEdges with bad edge should fail")
+	}
+}
+
+func TestUnionCliques(t *testing.T) {
+	g, err := UnionCliques(5, []int{0, 0, 1, 1, 1})
+	if err != nil {
+		t.Fatalf("UnionCliques: %v", err)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(2, 3) || !g.HasEdge(2, 4) || !g.HasEdge(3, 4) {
+		t.Error("missing intra-group edges")
+	}
+	if g.HasEdge(0, 2) || g.HasEdge(1, 4) {
+		t.Error("unexpected inter-group edge")
+	}
+	if _, err := UnionCliques(3, []int{0}); err == nil {
+		t.Error("mismatched group slice should fail")
+	}
+}
+
+// TestGeometricMonotoneProperty: growing the range never removes edges.
+func TestGeometricMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pts := geom.PaperArea().RandomPoints(r, 12)
+		small := Geometric(pts, 2)
+		large := Geometric(pts, 4)
+		for _, e := range small.Edges() {
+			if !large.HasEdge(e[0], e[1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCloneEquivalenceProperty: a clone has identical edges.
+func TestCloneEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := Gnp(r, 15, 0.4)
+		return reflect.DeepEqual(g.Edges(), g.Clone().Edges())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGeometricGridEqualsNaive: the grid-accelerated construction produces
+// exactly the naive O(n²) graph for random point sets and ranges, including
+// coincident points and degenerate ranges.
+func TestGeometricGridEqualsNaive(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		r := xrand.New(seed)
+		n := 1 + r.Intn(60)
+		pts := geom.PaperArea().RandomPoints(r, n)
+		if n > 2 {
+			pts[1] = pts[0] // force a coincident pair
+		}
+		rng := r.Float64() * 6
+		fast := Geometric(pts, rng)
+		slow := geometricNaive(pts, rng)
+		if !reflect.DeepEqual(fast.Edges(), slow.Edges()) {
+			t.Fatalf("seed %d (n=%d, r=%.3f): grid and naive graphs differ", seed, n, rng)
+		}
+	}
+}
+
+func TestGeometricDegenerate(t *testing.T) {
+	if g := Geometric(nil, 3); g.N() != 0 {
+		t.Error("empty point set should give an empty graph")
+	}
+	pts := []geom.Point{{X: 1, Y: 1}, {X: 1, Y: 1}}
+	if g := Geometric(pts, 0); g.M() != 0 {
+		t.Error("zero range should give no edges even for coincident points")
+	}
+}

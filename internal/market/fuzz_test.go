@@ -1,0 +1,47 @@
+package market
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzSpecDecode hardens the JSON boundary: arbitrary bytes must either
+// fail to decode or produce a market that validates and round-trips.
+func FuzzSpecDecode(f *testing.F) {
+	m, err := Generate(Config{Sellers: 2, Buyers: 3, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	good, err := json.Marshal(m)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte(`{"prices":[[1,2]],"edges":[[[0,1]]]}`))
+	f.Add([]byte(`{"prices":[[1]],"edges":[[[0,0]]]}`))
+	f.Add([]byte(`{"prices":[],"edges":[]}`))
+	f.Add([]byte(`{"prices":[[1,-2]],"edges":[[]]}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var decoded Market
+		if err := json.Unmarshal(data, &decoded); err != nil {
+			return // rejected, fine
+		}
+		if err := decoded.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid market: %v", err)
+		}
+		re, err := json.Marshal(&decoded)
+		if err != nil {
+			t.Fatalf("accepted market fails to re-encode: %v", err)
+		}
+		var again Market
+		if err := json.Unmarshal(re, &again); err != nil {
+			t.Fatalf("re-encoded market fails to decode: %v", err)
+		}
+		if !reflect.DeepEqual(decoded.Spec().Prices, again.Spec().Prices) {
+			t.Fatal("round trip changed prices")
+		}
+	})
+}

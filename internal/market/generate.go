@@ -1,0 +1,288 @@
+package market
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"specmatch/internal/geom"
+	"specmatch/internal/graph"
+	"specmatch/internal/radio"
+	"specmatch/internal/xrand"
+)
+
+// Config describes a random market in the paper's evaluation setup (§V-A):
+// physical buyers placed uniformly in a square area, one disk-model
+// interference graph per channel with a uniform (0, RangeMax] transmission
+// range, and i.i.d. U[0,1] utility vectors, optionally post-processed for
+// similarity control.
+type Config struct {
+	// Sellers and Buyers are the numbers of physical participants.
+	Sellers int `json:"sellers"`
+	Buyers  int `json:"buyers"`
+
+	// SellerChannels[i] is the number of channels seller i owns (m_i) and
+	// BuyerDemands[j] the number of channels buyer j requests (n_j). Empty
+	// slices mean one each, in which case virtual and physical participants
+	// coincide — the configuration of every figure in the paper, where M and
+	// N count virtual participants directly.
+	SellerChannels []int `json:"seller_channels,omitempty"`
+	BuyerDemands   []int `json:"buyer_demands,omitempty"`
+
+	// AreaSide is the side of the square deployment area; 0 means the
+	// paper's 10. RangeMax bounds the per-channel transmission range drawn
+	// uniformly from (0, RangeMax]; 0 means the paper's 5.
+	AreaSide float64 `json:"area_side,omitempty"`
+	RangeMax float64 `json:"range_max,omitempty"`
+
+	// Similarity, when non-nil, switches utility generation to the paper's
+	// similarity-controlled procedure. Nil keeps raw i.i.d. vectors.
+	Similarity *SimilarityConfig `json:"similarity,omitempty"`
+
+	// Radio, when non-nil, replaces the paper's disk interference predicate
+	// with the SINR-style model of package radio, calibrated so DeltaDB = 0
+	// coincides with the disk rule at each channel's nominal range.
+	Radio *RadioConfig `json:"radio,omitempty"`
+
+	// Hotspots, when non-nil, replaces the paper's uniform buyer placement
+	// with a clustered deployment — the urban pattern the introduction's
+	// workloads actually exhibit, and a stress test for interference
+	// density.
+	Hotspots *HotspotConfig `json:"hotspots,omitempty"`
+
+	// Seed drives all randomness; equal configs generate equal markets.
+	Seed int64 `json:"seed"`
+}
+
+// RadioConfig selects the physical-layer interference model (see package
+// radio): log-distance path loss with exponent PathLossExp, conflicts at an
+// interference-to-noise threshold offset DeltaDB from the calibration that
+// reproduces the disk rule.
+type RadioConfig struct {
+	PathLossExp float64 `json:"path_loss_exp,omitempty"`
+	DeltaDB     float64 `json:"delta_db,omitempty"`
+}
+
+// HotspotConfig clusters buyers around uniformly placed centers with
+// Gaussian spread (clipped to the area).
+type HotspotConfig struct {
+	// Clusters is the number of hotspot centers; must be positive.
+	Clusters int `json:"clusters"`
+	// Spread is the Gaussian standard deviation around a center; zero
+	// means a tenth of the area side.
+	Spread float64 `json:"spread,omitempty"`
+}
+
+// SimilarityConfig controls price similarity across buyers as in §V-A: each
+// buyer's utility vector is sorted ascending (average pairwise SRCC 1), then
+// PermuteM randomly chosen entries are randomly permuted. PermuteM = 0 keeps
+// SRCC at 1; PermuteM = M drives it to roughly 0.
+type SimilarityConfig struct {
+	PermuteM int `json:"permute_m"`
+}
+
+func (c Config) withDefaults() Config {
+	if c.AreaSide == 0 {
+		c.AreaSide = geom.PaperArea().Side
+	}
+	if c.RangeMax == 0 {
+		c.RangeMax = 5
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Sellers <= 0 || c.Buyers <= 0 {
+		return fmt.Errorf("market: need positive seller and buyer counts, got %d and %d", c.Sellers, c.Buyers)
+	}
+	if len(c.SellerChannels) != 0 && len(c.SellerChannels) != c.Sellers {
+		return fmt.Errorf("market: %d seller channel counts for %d sellers", len(c.SellerChannels), c.Sellers)
+	}
+	if len(c.BuyerDemands) != 0 && len(c.BuyerDemands) != c.Buyers {
+		return fmt.Errorf("market: %d buyer demands for %d buyers", len(c.BuyerDemands), c.Buyers)
+	}
+	for i, m := range c.SellerChannels {
+		if m <= 0 {
+			return fmt.Errorf("market: seller %d owns %d channels; must be positive", i, m)
+		}
+	}
+	for j, n := range c.BuyerDemands {
+		if n <= 0 {
+			return fmt.Errorf("market: buyer %d demands %d channels; must be positive", j, n)
+		}
+	}
+	if c.AreaSide < 0 || c.RangeMax < 0 {
+		return fmt.Errorf("market: negative geometry (area %v, range %v)", c.AreaSide, c.RangeMax)
+	}
+	if s := c.Similarity; s != nil && s.PermuteM < 0 {
+		return fmt.Errorf("market: negative similarity permutation size %d", s.PermuteM)
+	}
+	if h := c.Hotspots; h != nil {
+		if h.Clusters <= 0 {
+			return fmt.Errorf("market: hotspot cluster count %d must be positive", h.Clusters)
+		}
+		if h.Spread < 0 {
+			return fmt.Errorf("market: negative hotspot spread %v", h.Spread)
+		}
+	}
+	return nil
+}
+
+// expand maps physical multiplicities to a virtual owner list.
+func expand(count int, multiplicities []int) []int {
+	owners := make([]int, 0, count)
+	for p := 0; p < count; p++ {
+		k := 1
+		if len(multiplicities) != 0 {
+			k = multiplicities[p]
+		}
+		for c := 0; c < k; c++ {
+			owners = append(owners, p)
+		}
+	}
+	return owners
+}
+
+// Generate builds a random market per the configuration. Generation is fully
+// deterministic in cfg (including Seed).
+func Generate(cfg Config) (*Market, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := xrand.New(cfg.Seed)
+
+	sellerOwner := expand(cfg.Sellers, cfg.SellerChannels)
+	buyerOwner := expand(cfg.Buyers, cfg.BuyerDemands)
+	numChannels, numVirtualBuyers := len(sellerOwner), len(buyerOwner)
+
+	// Physical buyer locations; virtual buyers inherit their owner's spot.
+	area := geom.Area{Side: cfg.AreaSide}
+	var physPos []geom.Point
+	if cfg.Hotspots != nil {
+		physPos = hotspotPoints(r, area, cfg.Buyers, *cfg.Hotspots)
+	} else {
+		physPos = area.RandomPoints(r, cfg.Buyers)
+	}
+	buyerPos := make([]geom.Point, numVirtualBuyers)
+	for j, owner := range buyerOwner {
+		buyerPos[j] = physPos[owner]
+	}
+
+	// Utility vectors per physical buyer over channels, shared by dummies.
+	vectors := utilityVectors(r, cfg, cfg.Buyers, numChannels)
+	prices := make([][]float64, numChannels)
+	for i := range prices {
+		row := make([]float64, numVirtualBuyers)
+		for j, owner := range buyerOwner {
+			row[j] = vectors[owner][i]
+		}
+		prices[i] = row
+	}
+
+	// One disk-model interference graph per channel, plus the mandatory
+	// edges between co-owned dummies (distance 0 already implies them under
+	// the disk rule, but they are structural, not geometric, so they are
+	// added explicitly).
+	ranges := make([]float64, numChannels)
+	graphs := make([]*graph.Graph, numChannels)
+	for i := range graphs {
+		ranges[i] = xrand.UniformOpenClosed(r, cfg.RangeMax)
+		var g *graph.Graph
+		if cfg.Radio != nil {
+			model, err := radio.NewModel(ranges[i], radio.Params{PathLossExp: cfg.Radio.PathLossExp})
+			if err != nil {
+				return nil, fmt.Errorf("market: radio model for channel %d: %w", i, err)
+			}
+			g = model.Graph(buyerPos, cfg.Radio.DeltaDB)
+		} else {
+			g = graph.Geometric(buyerPos, ranges[i])
+		}
+		for a := 0; a < numVirtualBuyers; a++ {
+			for b := a + 1; b < numVirtualBuyers; b++ {
+				if buyerOwner[a] == buyerOwner[b] {
+					if err := g.AddEdge(a, b); err != nil {
+						return nil, fmt.Errorf("market: dummy interference edge: %w", err)
+					}
+				}
+			}
+		}
+		graphs[i] = g
+	}
+
+	m := &Market{
+		prices:      prices,
+		graphs:      graphs,
+		sellerOwner: sellerOwner,
+		buyerOwner:  buyerOwner,
+		buyerPos:    buyerPos,
+		ranges:      ranges,
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("market: generated market invalid: %w", err)
+	}
+	return m, nil
+}
+
+// hotspotPoints draws buyer locations clustered around uniformly placed
+// centers, clipping Gaussian offsets to the deployment area.
+func hotspotPoints(r *rand.Rand, area geom.Area, buyers int, cfg HotspotConfig) []geom.Point {
+	spread := cfg.Spread
+	if spread == 0 {
+		spread = area.Side / 10
+	}
+	centers := area.RandomPoints(r, cfg.Clusters)
+	clip := func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		if v > area.Side {
+			return area.Side
+		}
+		return v
+	}
+	points := make([]geom.Point, buyers)
+	for b := range points {
+		c := centers[r.Intn(len(centers))]
+		points[b] = geom.Point{
+			X: clip(c.X + r.NormFloat64()*spread),
+			Y: clip(c.Y + r.NormFloat64()*spread),
+		}
+	}
+	return points
+}
+
+// utilityVectors draws one utility vector per physical buyer. Raw mode is
+// i.i.d. U[0,1]; similarity mode applies the paper's sort-then-permute
+// procedure.
+func utilityVectors(r *rand.Rand, cfg Config, buyers, channels int) [][]float64 {
+	vectors := make([][]float64, buyers)
+	for b := range vectors {
+		vec := make([]float64, channels)
+		for i := range vec {
+			vec[i] = r.Float64()
+		}
+		if cfg.Similarity != nil {
+			sort.Float64s(vec)
+			permuteM := cfg.Similarity.PermuteM
+			if permuteM > channels {
+				permuteM = channels
+			}
+			if permuteM >= 2 {
+				// Choose permuteM distinct positions, then randomly permute
+				// the values held at those positions.
+				positions := r.Perm(channels)[:permuteM]
+				shuffled := r.Perm(permuteM)
+				orig := make([]float64, permuteM)
+				for k, pos := range positions {
+					orig[k] = vec[pos]
+				}
+				for k, pos := range positions {
+					vec[pos] = orig[shuffled[k]]
+				}
+			}
+		}
+		vectors[b] = vec
+	}
+	return vectors
+}

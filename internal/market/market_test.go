@@ -1,0 +1,466 @@
+package market
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"specmatch/internal/graph"
+)
+
+func twoByThree(t *testing.T) *Market {
+	t.Helper()
+	prices := [][]float64{
+		{1, 2, 3},
+		{4, 5, 6},
+	}
+	graphs := []*graph.Graph{
+		graph.MustFromEdges(3, [][2]int{{0, 1}}),
+		graph.Empty(3),
+	}
+	m, err := New(prices, graphs)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func TestNewBasics(t *testing.T) {
+	m := twoByThree(t)
+	if m.M() != 2 || m.N() != 3 {
+		t.Errorf("dims = (%d,%d), want (2,3)", m.M(), m.N())
+	}
+	if m.Price(1, 2) != 6 {
+		t.Errorf("Price(1,2) = %v, want 6", m.Price(1, 2))
+	}
+	if !m.Interferes(0, 0, 1) || m.Interferes(1, 0, 1) {
+		t.Error("interference lookup wrong")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		prices [][]float64
+		graphs []*graph.Graph
+	}{
+		{"no channels", nil, nil},
+		{"ragged prices", [][]float64{{1, 2}, {3}}, []*graph.Graph{graph.Empty(2), graph.Empty(2)}},
+		{"negative price", [][]float64{{-1}}, []*graph.Graph{graph.Empty(1)}},
+		{"graph count", [][]float64{{1}, {2}}, []*graph.Graph{graph.Empty(1)}},
+		{"graph size", [][]float64{{1, 2}}, []*graph.Graph{graph.Empty(9)}},
+		{"nil graph", [][]float64{{1}}, []*graph.Graph{nil}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(tt.prices, tt.graphs); err == nil {
+				t.Error("want validation error")
+			}
+		})
+	}
+}
+
+func TestInterfererIn(t *testing.T) {
+	m := twoByThree(t)
+	if !m.InterfererIn(0, 0, []int{2, 1}) {
+		t.Error("buyer 0 interferes with 1 on channel 0")
+	}
+	if m.InterfererIn(0, 0, []int{0, 2}) {
+		t.Error("self must be skipped; 2 does not interfere")
+	}
+}
+
+func TestBuyerPrefOrder(t *testing.T) {
+	prices := [][]float64{
+		{2, 0},
+		{3, 0},
+		{1, 0},
+	}
+	m, err := New(prices, []*graph.Graph{graph.Empty(2), graph.Empty(2), graph.Empty(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.BuyerPrefOrder(0); !reflect.DeepEqual(got, []int{1, 0, 2}) {
+		t.Errorf("BuyerPrefOrder(0) = %v, want [1 0 2]", got)
+	}
+	if got := m.BuyerPrefOrder(1); len(got) != 0 {
+		t.Errorf("BuyerPrefOrder of all-zero buyer = %v, want empty", got)
+	}
+}
+
+func TestBuyerPrefOrderTieBreak(t *testing.T) {
+	prices := [][]float64{{5}, {5}, {7}}
+	m, err := New(prices, []*graph.Graph{graph.Empty(1), graph.Empty(1), graph.Empty(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.BuyerPrefOrder(0); !reflect.DeepEqual(got, []int{2, 0, 1}) {
+		t.Errorf("tie break = %v, want [2 0 1] (equal prices keep channel order)", got)
+	}
+}
+
+func TestWelfareUpperBound(t *testing.T) {
+	m := twoByThree(t)
+	// Per-buyer maxima: 4, 5, 6.
+	if got := m.WelfareUpperBound(); got != 15 {
+		t.Errorf("WelfareUpperBound = %v, want 15", got)
+	}
+}
+
+func TestGenerateDims(t *testing.T) {
+	m, err := Generate(Config{Sellers: 4, Buyers: 9, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.M() != 4 || m.N() != 9 {
+		t.Errorf("dims = (%d,%d), want (4,9)", m.M(), m.N())
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("generated market invalid: %v", err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Sellers: 3, Buyers: 8, Seed: 42}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Spec(), b.Spec()) {
+		t.Error("same config should generate identical markets")
+	}
+	c, err := Generate(Config{Sellers: 3, Buyers: 8, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Spec(), c.Spec()) {
+		t.Error("different seeds should generate different markets")
+	}
+}
+
+func TestGeneratePricesInUnitInterval(t *testing.T) {
+	m, err := Generate(Config{Sellers: 5, Buyers: 20, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m.M(); i++ {
+		for j := 0; j < m.N(); j++ {
+			if p := m.Price(i, j); p < 0 || p >= 1 {
+				t.Fatalf("price out of [0,1): %v", p)
+			}
+		}
+	}
+}
+
+func TestGenerateGeometry(t *testing.T) {
+	m, err := Generate(Config{Sellers: 3, Buyers: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < m.N(); j++ {
+		p, ok := m.BuyerPos(j)
+		if !ok {
+			t.Fatal("generated market should have geometry")
+		}
+		if p.X < 0 || p.X > 10 || p.Y < 0 || p.Y > 10 {
+			t.Errorf("buyer %d at %v outside the 10×10 area", j, p)
+		}
+	}
+	for i := 0; i < m.M(); i++ {
+		r, ok := m.Range(i)
+		if !ok || r <= 0 || r > 5 {
+			t.Errorf("channel %d range %v, want in (0,5]", i, r)
+		}
+	}
+}
+
+// TestGenerateGraphConsistency: generated interference edges agree with the
+// disk rule dist ≤ range.
+func TestGenerateGraphConsistency(t *testing.T) {
+	m, err := Generate(Config{Sellers: 4, Buyers: 15, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m.M(); i++ {
+		rng, _ := m.Range(i)
+		for a := 0; a < m.N(); a++ {
+			for b := a + 1; b < m.N(); b++ {
+				pa, _ := m.BuyerPos(a)
+				pb, _ := m.BuyerPos(b)
+				want := pa.Dist(pb) <= rng
+				if got := m.Interferes(i, a, b); got != want {
+					t.Errorf("channel %d edge (%d,%d) = %v, want %v (dist %.3f vs range %.3f)",
+						i, a, b, got, want, pa.Dist(pb), rng)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateMultiDemandDummies(t *testing.T) {
+	m, err := Generate(Config{
+		Sellers:        2,
+		Buyers:         3,
+		SellerChannels: []int{2, 1},
+		BuyerDemands:   []int{2, 1, 3},
+		Seed:           3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.M() != 3 || m.N() != 6 {
+		t.Fatalf("dims = (%d,%d), want (3,6)", m.M(), m.N())
+	}
+	if m.SellerOwner(0) != 0 || m.SellerOwner(1) != 0 || m.SellerOwner(2) != 1 {
+		t.Error("seller owners wrong")
+	}
+	wantOwners := []int{0, 0, 1, 2, 2, 2}
+	for j, want := range wantOwners {
+		if m.BuyerOwner(j) != want {
+			t.Errorf("BuyerOwner(%d) = %d, want %d", j, m.BuyerOwner(j), want)
+		}
+	}
+	// Dummies of one buyer interfere on every channel (enforced by Validate,
+	// but assert directly too).
+	for i := 0; i < m.M(); i++ {
+		if !m.Interferes(i, 0, 1) || !m.Interferes(i, 3, 4) || !m.Interferes(i, 4, 5) {
+			t.Errorf("channel %d: co-owned dummies must interfere", i)
+		}
+	}
+	// Dummies share the owner's utility vector.
+	for i := 0; i < m.M(); i++ {
+		if m.Price(i, 3) != m.Price(i, 4) || m.Price(i, 4) != m.Price(i, 5) {
+			t.Errorf("channel %d: dummies of buyer 2 must share prices", i)
+		}
+	}
+}
+
+func TestGenerateValidationErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no sellers", Config{Sellers: 0, Buyers: 5}},
+		{"no buyers", Config{Sellers: 2, Buyers: 0}},
+		{"bad channel counts", Config{Sellers: 2, Buyers: 2, SellerChannels: []int{1}}},
+		{"bad demands", Config{Sellers: 2, Buyers: 2, BuyerDemands: []int{1, 0}}},
+		{"zero channels", Config{Sellers: 1, Buyers: 1, SellerChannels: []int{0}}},
+		{"negative similarity", Config{Sellers: 2, Buyers: 2, Similarity: &SimilarityConfig{PermuteM: -1}}},
+		{"negative area", Config{Sellers: 2, Buyers: 2, AreaSide: -1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Generate(tt.cfg); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestSimilarityExtremes(t *testing.T) {
+	// PermuteM = 0: vectors sorted identically → SRCC exactly 1.
+	m, err := Generate(Config{Sellers: 8, Buyers: 12, Similarity: &SimilarityConfig{PermuteM: 0}, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho, err := m.AvgSimilarity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho-1) > 1e-9 {
+		t.Errorf("PermuteM=0 similarity = %v, want 1", rho)
+	}
+
+	// PermuteM = M: approximately independent → SRCC near 0.
+	m, err = Generate(Config{Sellers: 8, Buyers: 40, Similarity: &SimilarityConfig{PermuteM: 8}, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho, err = m.AvgSimilarity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho) > 0.25 {
+		t.Errorf("PermuteM=M similarity = %v, want ≈ 0", rho)
+	}
+}
+
+// TestSimilarityMonotoneProperty: average SRCC decreases (weakly, up to
+// noise) as PermuteM grows, reproducing the paper's similarity knob.
+func TestSimilarityMonotoneProperty(t *testing.T) {
+	prev := 2.0
+	for _, permuteM := range []int{0, 2, 4, 8} {
+		var sum float64
+		const reps = 10
+		for seed := int64(0); seed < reps; seed++ {
+			m, err := Generate(Config{
+				Sellers: 8, Buyers: 15,
+				Similarity: &SimilarityConfig{PermuteM: permuteM},
+				Seed:       seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rho, err := m.AvgSimilarity()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += rho
+		}
+		avg := sum / reps
+		if avg > prev+0.1 {
+			t.Errorf("similarity at PermuteM=%d is %v, above previous %v", permuteM, avg, prev)
+		}
+		prev = avg
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	m, err := Generate(Config{Sellers: 3, Buyers: 7, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Market
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Spec(), decoded.Spec()) {
+		t.Error("JSON round trip changed the market")
+	}
+}
+
+func TestFromSpecErrors(t *testing.T) {
+	if _, err := FromSpec(Spec{}); err == nil {
+		t.Error("empty spec should fail")
+	}
+	if _, err := FromSpec(Spec{Prices: [][]float64{{1}}, Edges: nil}); err == nil {
+		t.Error("mismatched edge lists should fail")
+	}
+	if _, err := FromSpec(Spec{Prices: [][]float64{{1, 2}}, Edges: [][][2]int{{{0, 9}}}}); err == nil {
+		t.Error("bad edge should fail")
+	}
+}
+
+func TestUnmarshalBadJSON(t *testing.T) {
+	var m Market
+	if err := json.Unmarshal([]byte("{"), &m); err == nil {
+		t.Error("bad JSON should fail")
+	}
+}
+
+// TestGeneratePropertyValid: any legal config yields a valid market whose
+// every channel range respects (0, RangeMax].
+func TestGeneratePropertyValid(t *testing.T) {
+	f := func(seed int64) bool {
+		r := seed % 97
+		m, err := Generate(Config{Sellers: 2 + int(abs(r)%6), Buyers: 2 + int(abs(seed)%20), Seed: seed})
+		if err != nil {
+			return false
+		}
+		return m.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestRadioCalibrationEqualsDisk: at DeltaDB = 0 the SINR predicate is
+// calibrated to coincide with the paper's disk rule, so generation under
+// either model yields identical markets.
+func TestRadioCalibrationEqualsDisk(t *testing.T) {
+	disk, err := Generate(Config{Sellers: 4, Buyers: 15, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinr, err := Generate(Config{Sellers: 4, Buyers: 15, Seed: 6, Radio: &RadioConfig{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(disk.Spec(), sinr.Spec()) {
+		t.Error("calibrated SINR generation should equal disk generation")
+	}
+}
+
+// TestRadioDeltaChangesDensity: a laxer threshold strictly prunes edges, a
+// stricter one adds them.
+func TestRadioDeltaChangesDensity(t *testing.T) {
+	edgeCount := func(deltaDB float64) int {
+		m, err := Generate(Config{Sellers: 4, Buyers: 20, Seed: 3, Radio: &RadioConfig{DeltaDB: deltaDB}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for i := 0; i < m.M(); i++ {
+			total += m.Graph(i).M()
+		}
+		return total
+	}
+	lax, base, strict := edgeCount(6), edgeCount(0), edgeCount(-6)
+	if !(lax < base && base < strict) {
+		t.Errorf("edge counts lax/base/strict = %d/%d/%d, want increasing", lax, base, strict)
+	}
+}
+
+// TestRadioBadParams propagates model validation.
+func TestRadioBadParams(t *testing.T) {
+	if _, err := Generate(Config{Sellers: 2, Buyers: 4, Radio: &RadioConfig{PathLossExp: 0.2}}); err == nil {
+		t.Error("absurd path loss exponent should fail")
+	}
+}
+
+// TestHotspotPlacement: clustered deployment stays inside the area, densifies
+// interference versus uniform placement, and validates.
+func TestHotspotPlacement(t *testing.T) {
+	uniform, err := Generate(Config{Sellers: 4, Buyers: 60, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clustered, err := Generate(Config{Sellers: 4, Buyers: 60, Seed: 8, Hotspots: &HotspotConfig{Clusters: 2, Spread: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < clustered.N(); j++ {
+		p, ok := clustered.BuyerPos(j)
+		if !ok || p.X < 0 || p.X > 10 || p.Y < 0 || p.Y > 10 {
+			t.Fatalf("buyer %d at %v outside the area", j, p)
+		}
+	}
+	edges := func(m *Market) int {
+		total := 0
+		for i := 0; i < m.M(); i++ {
+			total += m.Graph(i).M()
+		}
+		return total
+	}
+	if edges(clustered) <= edges(uniform) {
+		t.Errorf("tight hotspots should densify interference: %d vs uniform %d",
+			edges(clustered), edges(uniform))
+	}
+}
+
+// TestHotspotValidation rejects bad hotspot configs.
+func TestHotspotValidation(t *testing.T) {
+	if _, err := Generate(Config{Sellers: 2, Buyers: 4, Hotspots: &HotspotConfig{Clusters: 0}}); err == nil {
+		t.Error("zero clusters should fail")
+	}
+	if _, err := Generate(Config{Sellers: 2, Buyers: 4, Hotspots: &HotspotConfig{Clusters: 2, Spread: -1}}); err == nil {
+		t.Error("negative spread should fail")
+	}
+}

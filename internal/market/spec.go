@@ -1,0 +1,97 @@
+package market
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"specmatch/internal/geom"
+	"specmatch/internal/graph"
+)
+
+// Spec is the JSON interchange form of a market, used by the CLIs to pass
+// concrete instances between tools and to pin fixtures in tests.
+type Spec struct {
+	// Prices[i][j] = b_{i,j}.
+	Prices [][]float64 `json:"prices"`
+	// Edges[i] lists interference edges of channel i as [u, v] buyer pairs.
+	Edges [][][2]int `json:"edges"`
+	// SellerOwner and BuyerOwner map virtual to physical participants;
+	// empty means identity.
+	SellerOwner []int `json:"seller_owner,omitempty"`
+	BuyerOwner  []int `json:"buyer_owner,omitempty"`
+	// Optional geometry for generated markets.
+	BuyerPos []geom.Point `json:"buyer_pos,omitempty"`
+	Ranges   []float64    `json:"ranges,omitempty"`
+}
+
+// Spec exports the market to its interchange form.
+func (m *Market) Spec() Spec {
+	s := Spec{
+		Prices:      m.prices,
+		Edges:       make([][][2]int, len(m.graphs)),
+		SellerOwner: m.sellerOwner,
+		BuyerOwner:  m.buyerOwner,
+		BuyerPos:    m.buyerPos,
+		Ranges:      m.ranges,
+	}
+	for i, g := range m.graphs {
+		s.Edges[i] = g.Edges()
+	}
+	return s
+}
+
+// FromSpec builds and validates a market from its interchange form.
+func FromSpec(s Spec) (*Market, error) {
+	if len(s.Prices) == 0 || len(s.Prices[0]) == 0 {
+		return nil, fmt.Errorf("market: spec has no prices")
+	}
+	if len(s.Edges) != len(s.Prices) {
+		return nil, fmt.Errorf("market: spec has %d edge lists for %d channels", len(s.Edges), len(s.Prices))
+	}
+	n := len(s.Prices[0])
+	graphs := make([]*graph.Graph, len(s.Edges))
+	for i, edges := range s.Edges {
+		g, err := graph.FromEdges(n, edges)
+		if err != nil {
+			return nil, fmt.Errorf("market: spec channel %d: %w", i, err)
+		}
+		graphs[i] = g
+	}
+	m := &Market{
+		prices:      s.Prices,
+		graphs:      graphs,
+		sellerOwner: s.SellerOwner,
+		buyerOwner:  s.BuyerOwner,
+		buyerPos:    s.BuyerPos,
+		ranges:      s.Ranges,
+	}
+	if len(m.sellerOwner) == 0 {
+		m.sellerOwner = identity(len(s.Prices))
+	}
+	if len(m.buyerOwner) == 0 {
+		m.buyerOwner = identity(n)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// MarshalJSON implements json.Marshaler via the interchange form.
+func (m *Market) MarshalJSON() ([]byte, error) {
+	return json.Marshal(m.Spec())
+}
+
+// UnmarshalJSON implements json.Unmarshaler via the interchange form.
+func (m *Market) UnmarshalJSON(data []byte) error {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("market: decoding spec: %w", err)
+	}
+	decoded, err := FromSpec(s)
+	if err != nil {
+		return err
+	}
+	*m = *decoded
+	return nil
+}

@@ -1,0 +1,33 @@
+package matching
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzSpecDecode: arbitrary bytes must either fail to decode or produce a
+// matching whose bidirectional invariant holds.
+func FuzzSpecDecode(f *testing.F) {
+	mu := New(2, 4)
+	_ = mu.Assign(0, 1)
+	_ = mu.Assign(1, 3)
+	good, err := json.Marshal(mu)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte(`{"m":1,"n":2,"coalitions":[[0,0]]}`))
+	f.Add([]byte(`{"m":2,"n":2,"coalitions":[[0],[0]]}`))
+	f.Add([]byte(`{"m":-1,"n":5}`))
+	f.Add([]byte(`{"m":1,"n":1,"coalitions":[[9]]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var decoded Matching
+		if err := json.Unmarshal(data, &decoded); err != nil {
+			return
+		}
+		if err := decoded.Validate(); err != nil {
+			t.Fatalf("decoder accepted an inconsistent matching: %v", err)
+		}
+	})
+}

@@ -1,0 +1,172 @@
+// Package matching defines the matching function µ of Definition 1 and the
+// coalition preference relations of eqs. (5)–(6), the vocabulary shared by
+// the matching engine (internal/core), the optimal baseline
+// (internal/optimal) and the stability checkers (internal/stability).
+//
+// A spectrum coalition is a seller together with the buyers matched to her.
+// Peer effects enter through interference: a buyer in a coalition obtains her
+// full channel utility b_{i,j} if none of her interfering neighbors share the
+// coalition, and zero utility otherwise (§III-A).
+package matching
+
+import (
+	"fmt"
+	"sort"
+
+	"specmatch/internal/market"
+)
+
+// Matching is the function µ: buyers map to at most one seller, sellers to a
+// set of buyers. The zero value is not usable; construct with New.
+type Matching struct {
+	sellerOf []int              // per buyer: seller index or market.Unmatched
+	buyersOf []map[int]struct{} // per seller: matched buyer set
+}
+
+// New returns an empty matching for a market with m sellers and n buyers.
+func New(m, n int) *Matching {
+	sellerOf := make([]int, n)
+	for j := range sellerOf {
+		sellerOf[j] = market.Unmatched
+	}
+	buyersOf := make([]map[int]struct{}, m)
+	for i := range buyersOf {
+		buyersOf[i] = make(map[int]struct{})
+	}
+	return &Matching{sellerOf: sellerOf, buyersOf: buyersOf}
+}
+
+// M returns the number of sellers.
+func (mu *Matching) M() int { return len(mu.buyersOf) }
+
+// N returns the number of buyers.
+func (mu *Matching) N() int { return len(mu.sellerOf) }
+
+// SellerOf returns the seller buyer j is matched to, or market.Unmatched.
+func (mu *Matching) SellerOf(j int) int { return mu.sellerOf[j] }
+
+// IsMatched reports whether buyer j holds a channel.
+func (mu *Matching) IsMatched(j int) bool { return mu.sellerOf[j] != market.Unmatched }
+
+// Coalition returns µ(i), the buyers matched to seller i, sorted ascending.
+func (mu *Matching) Coalition(i int) []int {
+	out := make([]int, 0, len(mu.buyersOf[i]))
+	for j := range mu.buyersOf[i] {
+		out = append(out, j)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// CoalitionSize returns |µ(i)| without allocating.
+func (mu *Matching) CoalitionSize(i int) int { return len(mu.buyersOf[i]) }
+
+// Contains reports whether buyer j ∈ µ(i).
+func (mu *Matching) Contains(i, j int) bool {
+	_, ok := mu.buyersOf[i][j]
+	return ok
+}
+
+// EachMember calls fn for every buyer in µ(i) in unspecified order, stopping
+// early if fn returns false. It performs no allocation.
+func (mu *Matching) EachMember(i int, fn func(j int) bool) {
+	for j := range mu.buyersOf[i] {
+		if !fn(j) {
+			return
+		}
+	}
+}
+
+// Assign matches buyer j to seller i, detaching j from any previous seller.
+func (mu *Matching) Assign(i, j int) error {
+	if i < 0 || i >= mu.M() {
+		return fmt.Errorf("matching: seller %d out of range [0,%d)", i, mu.M())
+	}
+	if j < 0 || j >= mu.N() {
+		return fmt.Errorf("matching: buyer %d out of range [0,%d)", j, mu.N())
+	}
+	mu.Unassign(j)
+	mu.sellerOf[j] = i
+	mu.buyersOf[i][j] = struct{}{}
+	return nil
+}
+
+// Unassign detaches buyer j from her seller, if any.
+func (mu *Matching) Unassign(j int) {
+	if prev := mu.sellerOf[j]; prev != market.Unmatched {
+		delete(mu.buyersOf[prev], j)
+		mu.sellerOf[j] = market.Unmatched
+	}
+}
+
+// Clone returns a deep copy of the matching.
+func (mu *Matching) Clone() *Matching {
+	c := New(mu.M(), mu.N())
+	copy(c.sellerOf, mu.sellerOf)
+	for i, set := range mu.buyersOf {
+		for j := range set {
+			c.buyersOf[i][j] = struct{}{}
+		}
+	}
+	return c
+}
+
+// Equal reports whether two matchings assign every buyer identically.
+func (mu *Matching) Equal(other *Matching) bool {
+	if mu.N() != other.N() || mu.M() != other.M() {
+		return false
+	}
+	for j, s := range mu.sellerOf {
+		if other.sellerOf[j] != s {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchedCount returns the number of matched buyers.
+func (mu *Matching) MatchedCount() int {
+	count := 0
+	for _, s := range mu.sellerOf {
+		if s != market.Unmatched {
+			count++
+		}
+	}
+	return count
+}
+
+// Validate checks the bidirectional consistency invariant of Definition 1:
+// µ(j) = {i} iff j ∈ µ(i).
+func (mu *Matching) Validate() error {
+	for j, i := range mu.sellerOf {
+		if i == market.Unmatched {
+			continue
+		}
+		if i < 0 || i >= mu.M() {
+			return fmt.Errorf("matching: buyer %d matched to out-of-range seller %d", j, i)
+		}
+		if !mu.Contains(i, j) {
+			return fmt.Errorf("matching: buyer %d claims seller %d but is not in her coalition", j, i)
+		}
+	}
+	for i, set := range mu.buyersOf {
+		for j := range set {
+			if mu.sellerOf[j] != i {
+				return fmt.Errorf("matching: seller %d lists buyer %d whose seller is %d", i, j, mu.sellerOf[j])
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the matching compactly, e.g. "µ(0)={1,3} µ(1)={}".
+func (mu *Matching) String() string {
+	out := ""
+	for i := 0; i < mu.M(); i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("µ(%d)=%v", i, mu.Coalition(i))
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package matching
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"specmatch/internal/graph"
+	"specmatch/internal/market"
+	"specmatch/internal/xrand"
+)
+
+func TestNewEmpty(t *testing.T) {
+	mu := New(2, 3)
+	if mu.M() != 2 || mu.N() != 3 {
+		t.Errorf("dims = (%d,%d), want (2,3)", mu.M(), mu.N())
+	}
+	for j := 0; j < 3; j++ {
+		if mu.IsMatched(j) {
+			t.Errorf("buyer %d matched in empty matching", j)
+		}
+		if mu.SellerOf(j) != market.Unmatched {
+			t.Errorf("SellerOf(%d) = %d, want Unmatched", j, mu.SellerOf(j))
+		}
+	}
+	if mu.MatchedCount() != 0 {
+		t.Error("MatchedCount of empty should be 0")
+	}
+}
+
+func TestAssignUnassign(t *testing.T) {
+	mu := New(2, 3)
+	if err := mu.Assign(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if mu.SellerOf(1) != 0 || !mu.Contains(0, 1) {
+		t.Error("Assign did not link both directions")
+	}
+	// Re-assign moves the buyer.
+	if err := mu.Assign(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if mu.Contains(0, 1) {
+		t.Error("re-Assign left buyer in old coalition")
+	}
+	if mu.SellerOf(1) != 1 {
+		t.Error("re-Assign did not move buyer")
+	}
+	mu.Unassign(1)
+	if mu.IsMatched(1) || mu.Contains(1, 1) {
+		t.Error("Unassign incomplete")
+	}
+	mu.Unassign(1) // idempotent
+	if err := mu.Validate(); err != nil {
+		t.Errorf("Validate after ops: %v", err)
+	}
+}
+
+func TestAssignErrors(t *testing.T) {
+	mu := New(2, 2)
+	if err := mu.Assign(5, 0); err == nil {
+		t.Error("out-of-range seller should fail")
+	}
+	if err := mu.Assign(0, -1); err == nil {
+		t.Error("out-of-range buyer should fail")
+	}
+}
+
+func TestCoalitionSorted(t *testing.T) {
+	mu := New(1, 5)
+	for _, j := range []int{4, 0, 2} {
+		if err := mu.Assign(0, j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := mu.Coalition(0); !reflect.DeepEqual(got, []int{0, 2, 4}) {
+		t.Errorf("Coalition = %v, want [0 2 4]", got)
+	}
+	if mu.CoalitionSize(0) != 3 {
+		t.Error("CoalitionSize wrong")
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	mu := New(2, 4)
+	_ = mu.Assign(0, 1)
+	_ = mu.Assign(1, 2)
+	c := mu.Clone()
+	if !mu.Equal(c) {
+		t.Error("clone should equal original")
+	}
+	_ = c.Assign(0, 3)
+	if mu.Equal(c) {
+		t.Error("mutated clone should differ")
+	}
+	if mu.Contains(0, 3) {
+		t.Error("mutating clone affected original")
+	}
+	if mu.Equal(New(3, 4)) || mu.Equal(New(2, 5)) {
+		t.Error("dimension mismatch should be unequal")
+	}
+}
+
+func TestString(t *testing.T) {
+	mu := New(2, 3)
+	_ = mu.Assign(1, 0)
+	s := mu.String()
+	if !strings.Contains(s, "µ(1)=[0]") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func toyMarket(t *testing.T) *market.Market {
+	t.Helper()
+	prices := [][]float64{
+		{5, 3, 2},
+		{1, 4, 6},
+	}
+	graphs := []*graph.Graph{
+		graph.MustFromEdges(3, [][2]int{{0, 1}}),
+		graph.Empty(3),
+	}
+	m, err := market.New(prices, graphs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBuyerUtility(t *testing.T) {
+	m := toyMarket(t)
+	if got := BuyerUtility(m, 0, 0, []int{2}); got != 5 {
+		t.Errorf("utility with non-interferer = %v, want 5", got)
+	}
+	if got := BuyerUtility(m, 0, 0, []int{1, 2}); got != 0 {
+		t.Errorf("utility with interferer = %v, want 0", got)
+	}
+	if got := BuyerUtility(m, 0, 0, []int{0, 2}); got != 5 {
+		t.Errorf("self in members must be ignored; got %v", got)
+	}
+	if got := BuyerUtility(m, market.Unmatched, 0, nil); got != 0 {
+		t.Errorf("unmatched utility = %v, want 0", got)
+	}
+}
+
+func TestBuyerUtilityIn(t *testing.T) {
+	m := toyMarket(t)
+	mu := New(2, 3)
+	_ = mu.Assign(0, 0)
+	_ = mu.Assign(0, 2)
+	if got := BuyerUtilityIn(m, mu, 0); got != 5 {
+		t.Errorf("BuyerUtilityIn = %v, want 5", got)
+	}
+	if got := BuyerUtilityIn(m, mu, 1); got != 0 {
+		t.Errorf("unmatched buyer utility = %v, want 0", got)
+	}
+	// Put the interfering pair together: both drop to zero.
+	_ = mu.Assign(0, 1)
+	if BuyerUtilityIn(m, mu, 0) != 0 || BuyerUtilityIn(m, mu, 1) != 0 {
+		t.Error("interfering coalition members must have zero utility")
+	}
+}
+
+func TestBuyerPrefers(t *testing.T) {
+	m := toyMarket(t)
+	// Buyer 0: channel 0 pays 5, channel 1 pays 1.
+	if !BuyerPrefers(m, 0, 0, []int{2}, 1, []int{2}) {
+		t.Error("buyer 0 should prefer channel 0")
+	}
+	// An interfered coalition loses to any interference-free one (case 2 of
+	// eq. (5)).
+	if !BuyerPrefers(m, 0, 1, nil, 0, []int{1}) {
+		t.Error("buyer 0 should prefer clean channel 1 over interfered channel 0")
+	}
+	// Indifference between two zero-utility coalitions.
+	if BuyerPrefers(m, 0, 0, []int{1}, market.Unmatched, nil) {
+		t.Error("interfered vs unmatched should be indifferent, not preferred")
+	}
+}
+
+func TestSellerValueAndPrefers(t *testing.T) {
+	m := toyMarket(t)
+	if got := SellerValue(m, 0, []int{0, 2}); got != 7 {
+		t.Errorf("SellerValue = %v, want 7", got)
+	}
+	if got := SellerValue(m, 0, []int{0, 1}); got != -1 {
+		t.Errorf("interfering coalition value = %v, want -1", got)
+	}
+	if got := SellerValue(m, 0, nil); got != 0 {
+		t.Errorf("empty coalition value = %v, want 0", got)
+	}
+	if !SellerPrefers(m, 0, []int{0}, []int{1}) {
+		t.Error("seller should prefer the higher-price coalition")
+	}
+	if !SellerPrefers(m, 0, nil, []int{0, 1}) {
+		t.Error("seller should prefer empty over interfering (eq. (6) case 2)")
+	}
+	if SellerPrefers(m, 0, []int{0, 1}, []int{1, 0}) {
+		t.Error("two interfering coalitions are indifferent")
+	}
+}
+
+func TestWelfare(t *testing.T) {
+	m := toyMarket(t)
+	mu := New(2, 3)
+	_ = mu.Assign(0, 0) // 5
+	_ = mu.Assign(1, 1) // 4
+	_ = mu.Assign(1, 2) // 6
+	if got := Welfare(m, mu); got != 15 {
+		t.Errorf("Welfare = %v, want 15", got)
+	}
+	if got := SellerRevenue(m, mu, 1); got != 10 {
+		t.Errorf("SellerRevenue = %v, want 10", got)
+	}
+}
+
+// TestWelfareEqualsSumProperty: on interference-free matchings, Welfare
+// equals the direct price sum.
+func TestWelfareEqualsSumProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := xrand.New(seed)
+		m, err := market.Generate(market.Config{Sellers: 3, Buyers: 10, Seed: seed})
+		if err != nil {
+			return false
+		}
+		mu := New(m.M(), m.N())
+		// Greedy random interference-free assignment.
+		var direct float64
+		for j := 0; j < m.N(); j++ {
+			i := r.Intn(m.M())
+			if !m.Graph(i).ConflictsWith(j, mu.Coalition(i)) {
+				if err := mu.Assign(i, j); err != nil {
+					return false
+				}
+				direct += m.Price(i, j)
+			}
+		}
+		return Welfare(m, mu) == direct && mu.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,94 @@
+package matching
+
+import "specmatch/internal/market"
+
+// BuyerUtility returns buyer j's utility in the coalition of seller i with
+// the given members (which may or may not already include j): b_{i,j} if no
+// member interferes with j on channel i, zero otherwise (§III-A). An
+// unmatched buyer's utility is zero; pass i = market.Unmatched.
+func BuyerUtility(m *market.Market, i, j int, members []int) float64 {
+	if i == market.Unmatched {
+		return 0
+	}
+	if m.InterfererIn(i, j, members) {
+		return 0
+	}
+	return m.Price(i, j)
+}
+
+// BuyerUtilityIn returns buyer j's utility under matching mu: her price on
+// her matched channel if her coalition is interference-free around her, else
+// zero.
+func BuyerUtilityIn(m *market.Market, mu *Matching, j int) float64 {
+	i := mu.SellerOf(j)
+	if i == market.Unmatched {
+		return 0
+	}
+	interferes := false
+	mu.EachMember(i, func(j2 int) bool {
+		if j2 != j && m.Interferes(i, j, j2) {
+			interferes = true
+			return false
+		}
+		return true
+	})
+	if interferes {
+		return 0
+	}
+	return m.Price(i, j)
+}
+
+// BuyerPrefers implements the strict preference of eq. (5): buyer j prefers
+// the coalition of seller i1 with members1 over that of seller i2 with
+// members2. Either seller may be market.Unmatched to denote the buyer's
+// singleton coalition. Per the paper, the comparison reduces to comparing
+// peer-effect utilities, with all zero-utility coalitions (interfered,
+// unmatched) mutually indifferent.
+func BuyerPrefers(m *market.Market, j int, i1 int, members1 []int, i2 int, members2 []int) bool {
+	return BuyerUtility(m, i1, j, members1) > BuyerUtility(m, i2, j, members2)
+}
+
+// SellerValue returns seller i's utility for a coalition: the total offered
+// price when the members are pairwise non-interfering on channel i, and -1
+// otherwise. Interfering coalitions are beneath every interference-free one
+// (including the empty coalition, value 0) and mutually indifferent, exactly
+// the two-tier order of eq. (6).
+func SellerValue(m *market.Market, i int, members []int) float64 {
+	if !m.Graph(i).IsIndependent(members) {
+		return -1
+	}
+	total := 0.0
+	for _, j := range members {
+		total += m.Price(i, j)
+	}
+	return total
+}
+
+// SellerPrefers implements the strict preference of eq. (6): seller i prefers
+// coalition members1 over members2.
+func SellerPrefers(m *market.Market, i int, members1, members2 []int) bool {
+	return SellerValue(m, i, members1) > SellerValue(m, i, members2)
+}
+
+// Welfare returns the social welfare of the matching: the sum of matched
+// buyers' peer-effect utilities. For the interference-free matchings the
+// algorithms produce this equals the paper's objective Σ b_{i,j} x_{i,j}.
+func Welfare(m *market.Market, mu *Matching) float64 {
+	total := 0.0
+	for j := 0; j < mu.N(); j++ {
+		total += BuyerUtilityIn(m, mu, j)
+	}
+	return total
+}
+
+// SellerRevenue returns seller i's total offered price under mu, counting
+// only interference-free members at full price (interfered members pay and
+// enjoy nothing).
+func SellerRevenue(m *market.Market, mu *Matching, i int) float64 {
+	total := 0.0
+	mu.EachMember(i, func(j int) bool {
+		total += BuyerUtilityIn(m, mu, j)
+		return true
+	})
+	return total
+}

@@ -1,0 +1,67 @@
+package matching
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Spec is the JSON interchange form of a matching: dimensions plus one
+// sorted buyer list per seller. Unmatched buyers are simply absent.
+type Spec struct {
+	M          int     `json:"m"`
+	N          int     `json:"n"`
+	Coalitions [][]int `json:"coalitions"`
+}
+
+// Spec exports the matching to its interchange form.
+func (mu *Matching) Spec() Spec {
+	s := Spec{M: mu.M(), N: mu.N(), Coalitions: make([][]int, mu.M())}
+	for i := 0; i < mu.M(); i++ {
+		s.Coalitions[i] = mu.Coalition(i)
+	}
+	return s
+}
+
+// FromSpec builds and validates a matching from its interchange form.
+func FromSpec(s Spec) (*Matching, error) {
+	if s.M < 0 || s.N < 0 {
+		return nil, fmt.Errorf("matching: negative dimensions (%d,%d)", s.M, s.N)
+	}
+	if len(s.Coalitions) > s.M {
+		return nil, fmt.Errorf("matching: %d coalitions for %d sellers", len(s.Coalitions), s.M)
+	}
+	mu := New(s.M, s.N)
+	for i, coalition := range s.Coalitions {
+		for _, j := range coalition {
+			if j < 0 || j >= s.N {
+				return nil, fmt.Errorf("matching: buyer %d out of range [0,%d)", j, s.N)
+			}
+			if mu.IsMatched(j) {
+				return nil, fmt.Errorf("matching: buyer %d listed twice", j)
+			}
+			if err := mu.Assign(i, j); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return mu, nil
+}
+
+// MarshalJSON implements json.Marshaler via the interchange form.
+func (mu *Matching) MarshalJSON() ([]byte, error) {
+	return json.Marshal(mu.Spec())
+}
+
+// UnmarshalJSON implements json.Unmarshaler via the interchange form.
+func (mu *Matching) UnmarshalJSON(data []byte) error {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("matching: decoding spec: %w", err)
+	}
+	decoded, err := FromSpec(s)
+	if err != nil {
+		return err
+	}
+	*mu = *decoded
+	return nil
+}

@@ -1,0 +1,50 @@
+package matching
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestSpecRoundTrip(t *testing.T) {
+	mu := New(3, 6)
+	_ = mu.Assign(0, 1)
+	_ = mu.Assign(0, 4)
+	_ = mu.Assign(2, 0)
+	data, err := json.Marshal(mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Matching
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !mu.Equal(&decoded) {
+		t.Errorf("round trip changed the matching: %v vs %v", mu, &decoded)
+	}
+}
+
+func TestFromSpecErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		spec Spec
+	}{
+		{"negative dims", Spec{M: -1, N: 2}},
+		{"too many coalitions", Spec{M: 1, N: 2, Coalitions: [][]int{{0}, {1}}}},
+		{"duplicate buyer", Spec{M: 2, N: 3, Coalitions: [][]int{{0}, {0}}}},
+		{"out of range buyer", Spec{M: 1, N: 2, Coalitions: [][]int{{7}}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := FromSpec(tt.spec); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestUnmarshalBadJSON(t *testing.T) {
+	var mu Matching
+	if err := json.Unmarshal([]byte("{"), &mu); err == nil {
+		t.Error("bad JSON should fail")
+	}
+}

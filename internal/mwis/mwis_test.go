@@ -1,0 +1,333 @@
+package mwis
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"specmatch/internal/graph"
+	"specmatch/internal/xrand"
+)
+
+func allVertices(n int) []int {
+	vs := make([]int, n)
+	for i := range vs {
+		vs[i] = i
+	}
+	return vs
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if GWMIN.String() != "gwmin" || Exact.String() != "exact" {
+		t.Error("Algorithm String names wrong")
+	}
+	if got := Algorithm(99).String(); got != "mwis.Algorithm(99)" {
+		t.Errorf("unknown algorithm String = %q", got)
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	for _, name := range []string{"gwmin", "gwmin2", "gwmax", "greedy-best", "exact"} {
+		a, err := ParseAlgorithm(name)
+		if err != nil {
+			t.Fatalf("ParseAlgorithm(%q): %v", name, err)
+		}
+		if a.String() != name {
+			t.Errorf("round-trip %q = %q", name, a.String())
+		}
+	}
+	if _, err := ParseAlgorithm("nope"); err == nil {
+		t.Error("ParseAlgorithm of junk should fail")
+	}
+}
+
+func TestSolveEmptyCandidates(t *testing.T) {
+	g := graph.Complete(3)
+	w := []float64{1, 2, 3}
+	for _, alg := range []Algorithm{GWMIN, GWMIN2, GWMAX, GreedyBest, Exact} {
+		set, err := Solve(alg, g, w, nil)
+		if err != nil {
+			t.Fatalf("%v on empty candidates: %v", alg, err)
+		}
+		if len(set) != 0 {
+			t.Errorf("%v on empty candidates = %v, want empty", alg, set)
+		}
+	}
+}
+
+func TestSolveBadInputs(t *testing.T) {
+	g := graph.Complete(3)
+	if _, err := Solve(GWMIN, g, []float64{1}, []int{0}); err == nil {
+		t.Error("short weight vector should fail")
+	}
+	if _, err := Solve(GWMIN, g, []float64{1, 2, 3}, []int{5}); err == nil {
+		t.Error("out-of-range candidate should fail")
+	}
+	if _, err := Solve(Algorithm(42), g, []float64{1, 2, 3}, []int{0}); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+}
+
+func TestSolveDropsNonPositiveWeights(t *testing.T) {
+	g := graph.Empty(3)
+	w := []float64{0, -1, 5}
+	set, err := Solve(GWMIN, g, w, allVertices(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(set, []int{2}) {
+		t.Errorf("Solve = %v, want [2]", set)
+	}
+}
+
+func TestSolveDeduplicatesCandidates(t *testing.T) {
+	g := graph.Empty(2)
+	set, err := Solve(Exact, g, []float64{1, 2}, []int{1, 1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(set, []int{0, 1}) {
+		t.Errorf("Solve = %v, want [0 1]", set)
+	}
+}
+
+// TestCompleteGraphPicksHeaviest: on a clique every solver must return the
+// single heaviest candidate.
+func TestCompleteGraphPicksHeaviest(t *testing.T) {
+	g := graph.Complete(5)
+	w := []float64{3, 9, 4, 1, 5}
+	for _, alg := range []Algorithm{GWMIN, GWMIN2, GWMAX, GreedyBest, Exact} {
+		set, err := Solve(alg, g, w, allVertices(5))
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if !reflect.DeepEqual(set, []int{1}) {
+			t.Errorf("%v on K5 = %v, want [1]", alg, set)
+		}
+	}
+}
+
+// TestEmptyGraphTakesAll: with no interference everyone is selected.
+func TestEmptyGraphTakesAll(t *testing.T) {
+	g := graph.Empty(4)
+	w := []float64{1, 2, 3, 4}
+	for _, alg := range []Algorithm{GWMIN, GWMIN2, GWMAX, GreedyBest, Exact} {
+		set, err := Solve(alg, g, w, allVertices(4))
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if !reflect.DeepEqual(set, allVertices(4)) {
+			t.Errorf("%v on empty graph = %v, want all", alg, set)
+		}
+	}
+}
+
+// TestPathGraphExact: on the path 0-1-2 with a heavy middle, Exact must
+// compare {1} against {0,2} correctly.
+func TestPathGraphExact(t *testing.T) {
+	g := graph.MustFromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	tests := []struct {
+		w    []float64
+		want []int
+	}{
+		{[]float64{1, 10, 1}, []int{1}},
+		{[]float64{6, 10, 6}, []int{0, 2}},
+	}
+	for _, tt := range tests {
+		set, err := Solve(Exact, g, tt.w, allVertices(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(set, tt.want) {
+			t.Errorf("Exact(w=%v) = %v, want %v", tt.w, set, tt.want)
+		}
+	}
+}
+
+// TestGWMINKnownApproximation exercises the classic star counterexample:
+// GWMIN keeps the center of a star when its ratio wins, losing to the leaves.
+func TestGWMINStar(t *testing.T) {
+	// Star with center 0 and leaves 1..4.
+	g := graph.MustFromEdges(5, [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	w := []float64{10, 3, 3, 3, 3} // center ratio 10/5 = 2, leaf ratio 3/2 = 1.5
+	set, err := Solve(GWMIN, g, w, allVertices(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(set, []int{0}) {
+		t.Errorf("GWMIN star = %v, want [0] (center wins on ratio)", set)
+	}
+	exact, err := Solve(Exact, g, w, allVertices(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Weight(w, exact) != 12 {
+		t.Errorf("Exact star weight = %v, want 12 (all leaves)", Weight(w, exact))
+	}
+}
+
+// TestCandidateRestriction: solvers only choose among candidates.
+func TestCandidateRestriction(t *testing.T) {
+	g := graph.Empty(5)
+	w := []float64{5, 4, 3, 2, 1}
+	for _, alg := range []Algorithm{GWMIN, GWMIN2, GWMAX, GreedyBest, Exact} {
+		set, err := Solve(alg, g, w, []int{2, 4})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if !reflect.DeepEqual(set, []int{2, 4}) {
+			t.Errorf("%v restricted = %v, want [2 4]", alg, set)
+		}
+	}
+}
+
+func TestWeight(t *testing.T) {
+	w := []float64{1, 2, 3}
+	if got := Weight(w, []int{0, 2}); got != 4 {
+		t.Errorf("Weight = %v, want 4", got)
+	}
+	if got := Weight(w, nil); got != 0 {
+		t.Errorf("Weight(nil) = %v, want 0", got)
+	}
+}
+
+// TestGreedyIndependenceProperty: every solver always returns an independent
+// set drawn from the candidates.
+func TestGreedyIndependenceProperty(t *testing.T) {
+	algs := []Algorithm{GWMIN, GWMIN2, GWMAX, GreedyBest, Exact}
+	f := func(seed int64) bool {
+		r := xrand.New(seed)
+		n := 4 + r.Intn(16)
+		g := graph.Gnp(r, n, 0.35)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = r.Float64()
+		}
+		cands := r.Perm(n)[:1+r.Intn(n)]
+		candSet := make(map[int]bool)
+		for _, c := range cands {
+			candSet[c] = true
+		}
+		for _, alg := range algs {
+			set, err := Solve(alg, g, w, cands)
+			if err != nil {
+				return false
+			}
+			if !g.IsIndependent(set) {
+				return false
+			}
+			for _, v := range set {
+				if !candSet[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGreedyApproximationProperty: greedy solutions never beat Exact, and
+// GreedyBest achieves at least half the exact optimum on small sparse graphs
+// (empirically far better; 0.5 is a conservative floor for the test).
+func TestGreedyApproximationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := xrand.New(seed)
+		n := 4 + r.Intn(12)
+		g := graph.Gnp(r, n, 0.3)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = 0.05 + r.Float64()
+		}
+		exactSet, err := Solve(Exact, g, w, allVertices(n))
+		if err != nil {
+			return false
+		}
+		opt := Weight(w, exactSet)
+		for _, alg := range []Algorithm{GWMIN, GWMIN2, GWMAX, GreedyBest} {
+			set, err := Solve(alg, g, w, allVertices(n))
+			if err != nil {
+				return false
+			}
+			if Weight(w, set) > opt+1e-9 {
+				return false // greedy beating exact means exact is broken
+			}
+		}
+		bestSet, err := Solve(GreedyBest, g, w, allVertices(n))
+		if err != nil {
+			return false
+		}
+		return Weight(w, bestSet) >= 0.5*opt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeterminism: identical inputs give identical outputs.
+func TestDeterminism(t *testing.T) {
+	r := xrand.New(3)
+	g := graph.Gnp(r, 20, 0.3)
+	w := make([]float64, 20)
+	for i := range w {
+		w[i] = r.Float64()
+	}
+	for _, alg := range []Algorithm{GWMIN, GWMIN2, GWMAX, GreedyBest, Exact} {
+		a, err := Solve(alg, g, w, allVertices(20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Solve(alg, g, w, allVertices(20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%v not deterministic: %v vs %v", alg, a, b)
+		}
+	}
+}
+
+// TestExactMatchesBruteForce cross-checks the branch-and-bound against
+// exhaustive enumeration on tiny graphs.
+func TestExactMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		r := xrand.New(seed)
+		n := 3 + r.Intn(8)
+		g := graph.Gnp(r, n, 0.4)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = 0.1 + r.Float64()
+		}
+		set, err := Solve(Exact, g, w, allVertices(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForce(g, w)
+		if math.Abs(Weight(w, set)-want) > 1e-9 {
+			t.Errorf("seed %d: Exact weight %v, brute force %v", seed, Weight(w, set), want)
+		}
+	}
+}
+
+func bruteForce(g *graph.Graph, w []float64) float64 {
+	n := g.N()
+	best := 0.0
+	for mask := 0; mask < 1<<n; mask++ {
+		var set []int
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				set = append(set, v)
+			}
+		}
+		if !g.IsIndependent(set) {
+			continue
+		}
+		if tw := Weight(w, set); tw > best {
+			best = tw
+		}
+	}
+	return best
+}

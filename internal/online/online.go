@@ -1,0 +1,210 @@
+// Package online extends spectrum matching to dynamic markets, where
+// service providers' demand changes over time — the operating regime that
+// motivates DSA in the paper's introduction, though its evaluation is
+// static. A Session holds a long-running matching over a fixed buyer
+// population of which only a subset is active; arrivals and departures are
+// handled *incrementally* with the Stage II repair operator (core.Repair)
+// instead of re-running the whole algorithm:
+//
+//   - a departure releases the buyer's channel,
+//   - an arrival joins unmatched and competes through transfer applications
+//     and invitations, which never evict incumbents.
+//
+// Incremental repair keeps every §III guarantee for the active
+// sub-market — interference-freeness, individual rationality, Nash
+// stability — because Stage II's proofs only need an interference-free
+// starting state. The price of incrementality is welfare: incumbents are
+// never displaced, so a long-lived session can drift below what a fresh
+// two-stage run would achieve; Session.Rebuild and the ablation harness
+// quantify that drift.
+package online
+
+import (
+	"fmt"
+
+	"specmatch/internal/core"
+	"specmatch/internal/market"
+	"specmatch/internal/matching"
+)
+
+// Event is one batch of market churn, applied atomically before a repair
+// pass. Buyer indices refer to the base market's virtual buyers; channel
+// indices to its virtual sellers. Channel churn models the paper's core
+// motivation — a provider sells spare spectrum while her demand is light
+// and reclaims it (ChannelDown) when it grows.
+type Event struct {
+	Arrive      []int `json:"arrive,omitempty"`
+	Depart      []int `json:"depart,omitempty"`
+	ChannelUp   []int `json:"channel_up,omitempty"`
+	ChannelDown []int `json:"channel_down,omitempty"`
+}
+
+// StepStats reports one Step.
+type StepStats struct {
+	Arrived      int `json:"arrived"`
+	Departed     int `json:"departed"`
+	ChannelsUp   int `json:"channels_up"`
+	ChannelsDown int `json:"channels_down"`
+	// Displaced counts buyers who lost their channel to a reclaim this
+	// step (before repair re-seats whoever it can).
+	Displaced   int     `json:"displaced"`
+	Welfare     float64 `json:"welfare"`
+	Matched     int     `json:"matched"`
+	RepairMoves int     `json:"repair_moves"` // transfer + invitation rounds
+}
+
+// Session is a dynamic matching session. The zero value is not usable;
+// construct with NewSession.
+type Session struct {
+	base    *market.Market
+	opts    core.Options
+	active  []bool
+	offline []bool // channels withdrawn from the market
+	mu      *matching.Matching
+}
+
+// NewSession starts a session on the given market with no active buyers and
+// an empty matching.
+func NewSession(m *market.Market, opts core.Options) (*Session, error) {
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("online: invalid market: %w", err)
+	}
+	return &Session{
+		base:    m,
+		opts:    opts,
+		active:  make([]bool, m.N()),
+		offline: make([]bool, m.M()),
+		mu:      matching.New(m.M(), m.N()),
+	}, nil
+}
+
+// ChannelOnline reports whether channel i is currently offered.
+func (s *Session) ChannelOnline(i int) bool { return !s.offline[i] }
+
+// Matching returns the session's current matching. The caller must not
+// mutate it; use Step and Rebuild.
+func (s *Session) Matching() *matching.Matching { return s.mu }
+
+// Active reports whether buyer j is currently in the market.
+func (s *Session) Active(j int) bool { return s.active[j] }
+
+// ActiveCount returns the number of active buyers.
+func (s *Session) ActiveCount() int {
+	count := 0
+	for _, a := range s.active {
+		if a {
+			count++
+		}
+	}
+	return count
+}
+
+// Welfare returns the current social welfare over active buyers.
+func (s *Session) Welfare() float64 {
+	return matching.Welfare(s.effectiveMarket(), s.mu)
+}
+
+// effectiveMarket derives the active sub-market: inactive buyers' price
+// rows and offline channels' rows are zeroed, which removes them from every
+// mechanism (nobody proposes to a zero-value channel, zero-price buyers
+// never qualify for coalitions or invitations) without renumbering anyone.
+func (s *Session) effectiveMarket() *market.Market {
+	spec := s.base.Spec()
+	prices := make([][]float64, len(spec.Prices))
+	for i, row := range spec.Prices {
+		newRow := make([]float64, len(row))
+		if !s.offline[i] {
+			for j, p := range row {
+				if s.active[j] {
+					newRow[j] = p
+				}
+			}
+		}
+		prices[i] = newRow
+	}
+	spec.Prices = prices
+	m, err := market.FromSpec(spec)
+	if err != nil {
+		// The spec came from a validated market and zeroing prices cannot
+		// invalidate it; reaching here is a programming error.
+		panic(fmt.Sprintf("online: effective market invalid: %v", err))
+	}
+	return m
+}
+
+// Step applies one churn event and repairs the matching incrementally.
+func (s *Session) Step(ev Event) (StepStats, error) {
+	var st StepStats
+	for _, j := range ev.Depart {
+		if j < 0 || j >= len(s.active) {
+			return st, fmt.Errorf("online: departing buyer %d out of range [0,%d)", j, len(s.active))
+		}
+		if !s.active[j] {
+			continue
+		}
+		s.active[j] = false
+		s.mu.Unassign(j)
+		st.Departed++
+	}
+	for _, j := range ev.Arrive {
+		if j < 0 || j >= len(s.active) {
+			return st, fmt.Errorf("online: arriving buyer %d out of range [0,%d)", j, len(s.active))
+		}
+		if s.active[j] {
+			continue
+		}
+		s.active[j] = true
+		st.Arrived++
+	}
+	for _, i := range ev.ChannelDown {
+		if i < 0 || i >= len(s.offline) {
+			return st, fmt.Errorf("online: channel %d out of range [0,%d)", i, len(s.offline))
+		}
+		if s.offline[i] {
+			continue
+		}
+		s.offline[i] = true
+		st.ChannelsDown++
+		// The reclaiming seller displaces her whole coalition.
+		for _, j := range s.mu.Coalition(i) {
+			s.mu.Unassign(j)
+			st.Displaced++
+		}
+	}
+	for _, i := range ev.ChannelUp {
+		if i < 0 || i >= len(s.offline) {
+			return st, fmt.Errorf("online: channel %d out of range [0,%d)", i, len(s.offline))
+		}
+		if !s.offline[i] {
+			continue
+		}
+		s.offline[i] = false
+		st.ChannelsUp++
+	}
+
+	em := s.effectiveMarket()
+	res, err := core.Repair(em, s.mu, s.opts)
+	if err != nil {
+		return st, fmt.Errorf("online: repair: %w", err)
+	}
+	st.Welfare = res.Welfare
+	st.Matched = res.Matched
+	st.RepairMoves = res.Phase1.Rounds + res.Phase2.Rounds
+	return st, nil
+}
+
+// Rebuild discards the incremental state and re-runs the full two-stage
+// algorithm over the active sub-market — the "fresh" reference the ablation
+// compares incremental repair against. It returns the fresh welfare without
+// replacing the session state unless adopt is true.
+func (s *Session) Rebuild(adopt bool) (float64, error) {
+	em := s.effectiveMarket()
+	res, err := core.Run(em, s.opts)
+	if err != nil {
+		return 0, fmt.Errorf("online: rebuild: %w", err)
+	}
+	if adopt {
+		s.mu = res.Matching
+	}
+	return res.Welfare, nil
+}

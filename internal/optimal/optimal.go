@@ -1,0 +1,193 @@
+// Package optimal computes the centralized benchmark of §II-B: the matching
+// maximizing social welfare Σ b_{i,j} x_{i,j} subject to each buyer holding
+// at most one channel and no two interfering buyers sharing a channel — the
+// non-linear integer program (1)–(4), which is NP-hard.
+//
+// The paper derives this benchmark by brute force on small markets (footnote
+// 4). Solve improves on plain brute force with branch-and-bound over buyers
+// ordered by descending best price, pruning on the remaining-best-price upper
+// bound; it is exact and practical for the Fig. 6 scales (M ≤ 6, N ≤ 10) and
+// well beyond. Greedy provides the classic centralized linear-time
+// comparator used in ablations.
+package optimal
+
+import (
+	"fmt"
+	"sort"
+
+	"specmatch/internal/market"
+	"specmatch/internal/matching"
+)
+
+// DefaultNodeBudget bounds the branch-and-bound search tree. Fig. 6-scale
+// instances explore a few thousand nodes; the budget exists so misuse on a
+// large market fails loudly instead of hanging.
+const DefaultNodeBudget = 50_000_000
+
+// Options tunes the exact solver.
+type Options struct {
+	// NodeBudget caps explored search nodes; zero means DefaultNodeBudget.
+	NodeBudget int64
+}
+
+// ErrBudgetExceeded reports that the exact search was cut off; the market is
+// too large for the configured node budget.
+type ErrBudgetExceeded struct {
+	Budget int64
+}
+
+// Error implements error.
+func (e *ErrBudgetExceeded) Error() string {
+	return fmt.Sprintf("optimal: exceeded node budget %d; market too large for exact search", e.Budget)
+}
+
+// Solve returns a welfare-maximizing matching and its welfare.
+func Solve(m *market.Market, opts Options) (*matching.Matching, float64, error) {
+	budget := opts.NodeBudget
+	if budget == 0 {
+		budget = DefaultNodeBudget
+	}
+
+	numSellers, numBuyers := m.M(), m.N()
+
+	// Order buyers by descending best price so strong assignments are tried
+	// first and the bound tightens quickly.
+	order := make([]int, numBuyers)
+	bestPrice := make([]float64, numBuyers)
+	for j := 0; j < numBuyers; j++ {
+		order[j] = j
+		for i := 0; i < numSellers; i++ {
+			if p := m.Price(i, j); p > bestPrice[j] {
+				bestPrice[j] = p
+			}
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if bestPrice[order[a]] != bestPrice[order[b]] {
+			return bestPrice[order[a]] > bestPrice[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	// suffixBound[k] = Σ of bestPrice over order[k:]; an admissible bound on
+	// the welfare the remaining buyers can still add.
+	suffixBound := make([]float64, numBuyers+1)
+	for k := numBuyers - 1; k >= 0; k-- {
+		suffixBound[k] = suffixBound[k+1] + bestPrice[order[k]]
+	}
+
+	// Per-buyer channel preference, descending price, pruned of zero prices.
+	channelPref := make([][]int, numBuyers)
+	for j := 0; j < numBuyers; j++ {
+		channelPref[j] = m.BuyerPrefOrder(j)
+	}
+
+	assigned := make([][]int, numSellers) // current coalition per channel
+	current := make([]int, numBuyers)     // buyer → channel or Unmatched
+	for j := range current {
+		current[j] = market.Unmatched
+	}
+
+	var (
+		bestWelfare float64
+		bestAssign  = make([]int, numBuyers)
+		curWelfare  float64
+		nodes       int64
+		overBudget  bool
+		search      func(k int)
+	)
+	copy(bestAssign, current)
+
+	search = func(k int) {
+		if overBudget {
+			return
+		}
+		nodes++
+		if nodes > budget {
+			overBudget = true
+			return
+		}
+		if curWelfare > bestWelfare {
+			bestWelfare = curWelfare
+			copy(bestAssign, current)
+		}
+		if k == numBuyers || curWelfare+suffixBound[k] <= bestWelfare {
+			return
+		}
+		j := order[k]
+		for _, i := range channelPref[j] {
+			if m.Graph(i).ConflictsWith(j, assigned[i]) {
+				continue
+			}
+			assigned[i] = append(assigned[i], j)
+			current[j] = i
+			curWelfare += m.Price(i, j)
+			search(k + 1)
+			curWelfare -= m.Price(i, j)
+			current[j] = market.Unmatched
+			assigned[i] = assigned[i][:len(assigned[i])-1]
+		}
+		// Leaving j unmatched.
+		search(k + 1)
+	}
+	search(0)
+
+	if overBudget {
+		return nil, 0, &ErrBudgetExceeded{Budget: budget}
+	}
+
+	mu := matching.New(numSellers, numBuyers)
+	for j, i := range bestAssign {
+		if i == market.Unmatched {
+			continue
+		}
+		if err := mu.Assign(i, j); err != nil {
+			return nil, 0, fmt.Errorf("optimal: assembling matching: %w", err)
+		}
+	}
+	return mu, bestWelfare, nil
+}
+
+// Greedy returns the matching built by the classic centralized heuristic:
+// scan all (channel, buyer) pairs in descending price order and assign
+// whenever feasible. It is not stable and serves as an ablation baseline.
+func Greedy(m *market.Market) (*matching.Matching, float64) {
+	type pair struct {
+		i, j  int
+		price float64
+	}
+	pairs := make([]pair, 0, m.M()*m.N())
+	for i := 0; i < m.M(); i++ {
+		for j := 0; j < m.N(); j++ {
+			if p := m.Price(i, j); p > 0 {
+				pairs = append(pairs, pair{i: i, j: j, price: p})
+			}
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].price != pairs[b].price {
+			return pairs[a].price > pairs[b].price
+		}
+		if pairs[a].i != pairs[b].i {
+			return pairs[a].i < pairs[b].i
+		}
+		return pairs[a].j < pairs[b].j
+	})
+
+	mu := matching.New(m.M(), m.N())
+	coalitions := make([][]int, m.M())
+	welfare := 0.0
+	for _, p := range pairs {
+		if mu.IsMatched(p.j) {
+			continue
+		}
+		if m.Graph(p.i).ConflictsWith(p.j, coalitions[p.i]) {
+			continue
+		}
+		// Feasible by construction; Assign cannot fail on in-range indices.
+		_ = mu.Assign(p.i, p.j)
+		coalitions[p.i] = append(coalitions[p.i], p.j)
+		welfare += p.price
+	}
+	return mu, welfare
+}

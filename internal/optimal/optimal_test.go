@@ -1,0 +1,207 @@
+package optimal
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"specmatch/internal/graph"
+	"specmatch/internal/market"
+	"specmatch/internal/matching"
+	"specmatch/internal/paperexample"
+	"specmatch/internal/stability"
+)
+
+func TestSolveToyMarket(t *testing.T) {
+	m := paperexample.Toy()
+	mu, welfare, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The optimum of the Fig. 3 instance is 33 — e.g. µ(a)={2,3},
+	// µ(b)={1,4}, µ(c)={5} — strictly above the algorithm's Nash-stable 30
+	// (Fig. 2(d)), so the toy market itself exhibits the paper's ≈90%
+	// optimality gap: 30/33 ≈ 0.909.
+	if welfare != 33 {
+		t.Errorf("optimal welfare = %v, want 33", welfare)
+	}
+	if got := matching.Welfare(m, mu); got != welfare {
+		t.Errorf("returned welfare %v disagrees with matching welfare %v", welfare, got)
+	}
+	if v := stability.CheckInterferenceFree(m, mu); len(v) != 0 {
+		t.Errorf("optimal matching has interference: %v", v)
+	}
+}
+
+func TestSolveSingleBuyer(t *testing.T) {
+	prices := [][]float64{{2}, {7}, {5}}
+	m, err := market.New(prices, []*graph.Graph{graph.Empty(1), graph.Empty(1), graph.Empty(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, welfare, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if welfare != 7 || mu.SellerOf(0) != 1 {
+		t.Errorf("single-buyer optimum = %v on seller %d, want 7 on seller 1", welfare, mu.SellerOf(0))
+	}
+}
+
+func TestSolveCompleteInterference(t *testing.T) {
+	// One channel, complete interference: only the best single buyer wins.
+	prices := [][]float64{{1, 9, 4}}
+	m, err := market.New(prices, []*graph.Graph{graph.Complete(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, welfare, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if welfare != 9 {
+		t.Errorf("welfare = %v, want 9", welfare)
+	}
+}
+
+func TestSolveZeroPrices(t *testing.T) {
+	prices := [][]float64{{0, 0}}
+	m, err := market.New(prices, []*graph.Graph{graph.Empty(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, welfare, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if welfare != 0 || mu.MatchedCount() != 0 {
+		t.Errorf("zero-price market: welfare %v matched %d, want 0 and 0", welfare, mu.MatchedCount())
+	}
+}
+
+func TestSolveBudgetExceeded(t *testing.T) {
+	m, err := market.Generate(market.Config{Sellers: 6, Buyers: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Solve(m, Options{NodeBudget: 10})
+	var budgetErr *ErrBudgetExceeded
+	if !errors.As(err, &budgetErr) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if budgetErr.Budget != 10 {
+		t.Errorf("reported budget = %d, want 10", budgetErr.Budget)
+	}
+}
+
+// TestSolveMatchesBruteForce cross-checks branch-and-bound against exhaustive
+// enumeration of all assignments on tiny markets.
+func TestSolveMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		m, err := market.Generate(market.Config{Sellers: 3, Buyers: 6, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, got, err := Solve(m, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForceWelfare(m)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("seed %d: Solve = %v, brute force = %v", seed, got, want)
+		}
+	}
+}
+
+// bruteForceWelfare enumerates every assignment of buyers to channels (or
+// none) and returns the best feasible welfare.
+func bruteForceWelfare(m *market.Market) float64 {
+	numSellers, numBuyers := m.M(), m.N()
+	assign := make([]int, numBuyers)
+	best := 0.0
+	var rec func(j int)
+	rec = func(j int) {
+		if j == numBuyers {
+			coalitions := make([][]int, numSellers)
+			welfare := 0.0
+			for b, i := range assign {
+				if i == market.Unmatched {
+					continue
+				}
+				coalitions[i] = append(coalitions[i], b)
+				welfare += m.Price(i, b)
+			}
+			for i, c := range coalitions {
+				if !m.Graph(i).IsIndependent(c) {
+					return
+				}
+			}
+			if welfare > best {
+				best = welfare
+			}
+			return
+		}
+		assign[j] = market.Unmatched
+		rec(j + 1)
+		for i := 0; i < numSellers; i++ {
+			assign[j] = i
+			rec(j + 1)
+		}
+		assign[j] = market.Unmatched
+	}
+	rec(0)
+	return best
+}
+
+// TestGreedyFeasibleProperty: the greedy baseline always produces a valid,
+// interference-free matching with welfare ≤ optimal.
+func TestGreedyFeasibleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		m, err := market.Generate(market.Config{Sellers: 3, Buyers: 8, Seed: seed})
+		if err != nil {
+			return false
+		}
+		mu, welfare := Greedy(m)
+		if mu.Validate() != nil {
+			return false
+		}
+		if len(stability.CheckInterferenceFree(m, mu)) != 0 {
+			return false
+		}
+		if math.Abs(welfare-matching.Welfare(m, mu)) > 1e-9 {
+			return false
+		}
+		_, opt, err := Solve(m, Options{})
+		if err != nil {
+			return false
+		}
+		return welfare <= opt+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOptimalDominatesProperty: the exact optimum dominates both greedy and
+// an arbitrary feasible matching built by the buyers' first choices.
+func TestOptimalDominatesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		m, err := market.Generate(market.Config{Sellers: 4, Buyers: 7, Seed: seed})
+		if err != nil {
+			return false
+		}
+		_, opt, err := Solve(m, Options{})
+		if err != nil {
+			return false
+		}
+		if opt > m.WelfareUpperBound()+1e-9 {
+			return false
+		}
+		_, g := Greedy(m)
+		return g <= opt+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,150 @@
+// Package outage audits a matching at the physical layer. The pairwise
+// disk/SINR predicate used during matching considers interferers one at a
+// time; real receivers see the *sum* of all co-channel transmitters.
+// ValidateMatching closes that loop: given a final matching, it computes
+// each link's aggregate SINR under the log-distance model of package radio
+// and reports which links would actually fail — the standard
+// protocol-model vs physical-model gap analysis for DSA mechanisms.
+package outage
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"specmatch/internal/market"
+	"specmatch/internal/matching"
+	"specmatch/internal/radio"
+)
+
+// LinkParams extends Params with the access-link geometry and the decoding
+// requirement.
+type LinkParams struct {
+	radio.Params
+	// LinkDist is each matched buyer's transmitter→receiver distance; zero
+	// means 0.25 (a short access link relative to the paper's 10×10 area).
+	LinkDist float64
+	// LinkFraction, when positive, overrides LinkDist with a per-channel
+	// link length of LinkFraction × the channel's transmission range. This
+	// makes the interference-free SINR identical on every channel
+	// ((1/LinkFraction)^γ), so outage isolates *aggregate interference*
+	// rather than intrinsically weak low-power channels.
+	LinkFraction float64
+	// SINRThresholdDB is the minimum SINR for successful decoding; zero
+	// means 5 dB.
+	SINRThresholdDB float64
+}
+
+func (p LinkParams) withDefaults() (LinkParams, error) {
+	normalized, err := p.Params.Normalized()
+	if err != nil {
+		return LinkParams{}, err
+	}
+	p.Params = normalized
+	if p.LinkDist == 0 {
+		p.LinkDist = 0.25
+	}
+	if p.SINRThresholdDB == 0 {
+		p.SINRThresholdDB = 5
+	}
+	return p, nil
+}
+
+// OutageReport summarizes the physical-layer audit of a matching.
+type OutageReport struct {
+	// Links is the number of matched buyers audited.
+	Links int `json:"links"`
+	// Outages counts links whose aggregate SINR falls below the threshold.
+	Outages int `json:"outages"`
+	// OutageRate is Outages / Links (0 for an empty matching).
+	OutageRate float64 `json:"outage_rate"`
+	// MinSINRDB and MedianSINRDB summarize the link SINR distribution.
+	MinSINRDB    float64 `json:"min_sinr_db"`
+	MedianSINRDB float64 `json:"median_sinr_db"`
+}
+
+// ValidateMatching audits a matching's links under aggregate interference.
+//
+// Power normalization: per channel, transmit power is calibrated so that a
+// single interferer at the channel's nominal range produces exactly
+// noise-floor power at a receiver (I/N = 0 dB at the range boundary, the
+// same calibration the pairwise model uses). Every co-channel transmitter
+// then contributes P·(d0/d)^γ of interference, and
+// SINR = S / (N0 + Σ I_k).
+func ValidateMatching(m *market.Market, mu *matching.Matching, params LinkParams) (OutageReport, error) {
+	params, err := params.withDefaults()
+	if err != nil {
+		return OutageReport{}, err
+	}
+	if params.LinkDist <= 0 {
+		return OutageReport{}, fmt.Errorf("outage: non-positive link distance %v", params.LinkDist)
+	}
+	if params.LinkFraction < 0 {
+		return OutageReport{}, fmt.Errorf("outage: negative link fraction %v", params.LinkFraction)
+	}
+	if _, ok := m.BuyerPos(0); m.N() > 0 && !ok {
+		return OutageReport{}, fmt.Errorf("outage: market has no geometry; generate it with positions")
+	}
+
+	gamma := params.PathLossExp
+	d0 := params.ReferenceDist
+	// Relative received power at distance d from a unit-power transmitter.
+	rx := func(d float64) float64 {
+		if d < d0 {
+			d = d0
+		}
+		return math.Pow(d0/d, gamma)
+	}
+
+	var sinrsDB []float64
+	report := OutageReport{MinSINRDB: math.Inf(1)}
+	for i := 0; i < m.M(); i++ {
+		coalition := mu.Coalition(i)
+		if len(coalition) == 0 {
+			continue
+		}
+		rng, ok := m.Range(i)
+		if !ok || rng <= 0 {
+			return OutageReport{}, fmt.Errorf("outage: channel %d has no transmission range", i)
+		}
+		// Calibration: unit TX power scaled so rx(rng)·P = N0; with N0 = 1,
+		// P = 1/rx(rng).
+		power := 1 / rx(rng)
+		const noise = 1.0
+		linkDist := params.LinkDist
+		if params.LinkFraction > 0 {
+			linkDist = params.LinkFraction * rng
+		}
+		for _, j := range coalition {
+			pj, _ := m.BuyerPos(j)
+			signal := power * rx(linkDist)
+			interference := 0.0
+			for _, k := range coalition {
+				if k == j {
+					continue
+				}
+				pk, _ := m.BuyerPos(k)
+				// Worst case: the receiver sits at the buyer's own
+				// position relative to interferers.
+				interference += power * rx(pj.Dist(pk))
+			}
+			sinrDB := 10 * math.Log10(signal/(noise+interference))
+			sinrsDB = append(sinrsDB, sinrDB)
+			report.Links++
+			if sinrDB < params.SINRThresholdDB {
+				report.Outages++
+			}
+			if sinrDB < report.MinSINRDB {
+				report.MinSINRDB = sinrDB
+			}
+		}
+	}
+	if report.Links == 0 {
+		report.MinSINRDB = 0
+		return report, nil
+	}
+	report.OutageRate = float64(report.Outages) / float64(report.Links)
+	sort.Float64s(sinrsDB)
+	report.MedianSINRDB = sinrsDB[len(sinrsDB)/2]
+	return report, nil
+}

@@ -1,0 +1,186 @@
+package outage
+
+import (
+	"math"
+	"testing"
+
+	"specmatch/internal/core"
+	"specmatch/internal/market"
+	"specmatch/internal/matching"
+	"specmatch/internal/radio"
+)
+
+func generatedMarket(t *testing.T, seed int64) *market.Market {
+	t.Helper()
+	m, err := market.Generate(market.Config{Sellers: 4, Buyers: 30, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestValidateEmptyMatching(t *testing.T) {
+	m := generatedMarket(t, 1)
+	mu := matching.New(m.M(), m.N())
+	rep, err := ValidateMatching(m, mu, LinkParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Links != 0 || rep.Outages != 0 || rep.OutageRate != 0 {
+		t.Errorf("empty matching report: %+v", rep)
+	}
+}
+
+func TestValidateSingleLinkNoOutage(t *testing.T) {
+	m := generatedMarket(t, 2)
+	mu := matching.New(m.M(), m.N())
+	if err := mu.Assign(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ValidateMatching(m, mu, LinkParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Links != 1 || rep.Outages != 0 {
+		t.Errorf("lone link should never be in outage: %+v", rep)
+	}
+	// Sanity: with no interference, SINR = signal/noise =
+	// (range/linkDist)^γ in dB, strongly positive for a short link.
+	if rep.MinSINRDB <= 0 {
+		t.Errorf("lone-link SINR %.2f dB should be positive", rep.MinSINRDB)
+	}
+}
+
+// TestMatchingOutageLowerThanNaive: the interference-aware matching yields
+// (weakly) fewer outages than piling every buyer onto one channel.
+func TestMatchingOutageLowerThanNaive(t *testing.T) {
+	var matchedOutage, naiveOutage float64
+	for seed := int64(0); seed < 10; seed++ {
+		m := generatedMarket(t, seed)
+		res, err := core.Run(m, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := ValidateMatching(m, res.Matching, LinkParams{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		matchedOutage += rep.OutageRate
+
+		naive := matching.New(m.M(), m.N())
+		for j := 0; j < m.N(); j++ {
+			if err := naive.Assign(0, j); err != nil {
+				t.Fatal(err)
+			}
+		}
+		nrep, err := ValidateMatching(m, naive, LinkParams{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		naiveOutage += nrep.OutageRate
+	}
+	if matchedOutage > naiveOutage {
+		t.Errorf("matching outage %.3f should not exceed naive single-channel outage %.3f",
+			matchedOutage/10, naiveOutage/10)
+	}
+	t.Logf("mean outage: matching %.3f vs all-on-one-channel %.3f", matchedOutage/10, naiveOutage/10)
+}
+
+// TestLongerLinksDegrade: stretching the access link lowers SINR
+// monotonically.
+func TestLongerLinksDegrade(t *testing.T) {
+	m := generatedMarket(t, 3)
+	res, err := core.Run(m, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevMin := math.Inf(1)
+	for _, linkDist := range []float64{0.1, 0.25, 0.5, 1, 2} {
+		rep, err := ValidateMatching(m, res.Matching, LinkParams{LinkDist: linkDist})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.MinSINRDB > prevMin+1e-9 {
+			t.Errorf("min SINR rose from %.2f to %.2f as the link stretched to %v",
+				prevMin, rep.MinSINRDB, linkDist)
+		}
+		prevMin = rep.MinSINRDB
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	m := generatedMarket(t, 4)
+	mu := matching.New(m.M(), m.N())
+	if _, err := ValidateMatching(m, mu, LinkParams{LinkDist: -1}); err == nil {
+		t.Error("negative link distance should fail")
+	}
+	if _, err := ValidateMatching(m, mu, LinkParams{Params: radio.Params{PathLossExp: 0.1}}); err == nil {
+		t.Error("absurd exponent should fail")
+	}
+}
+
+// TestLinkFractionNormalizesChannels: with range-proportional links, a lone
+// link's SINR is the same on every channel regardless of its range.
+func TestLinkFractionNormalizesChannels(t *testing.T) {
+	m := generatedMarket(t, 6)
+	var sinrs []float64
+	for i := 0; i < m.M(); i++ {
+		mu := matching.New(m.M(), m.N())
+		if err := mu.Assign(i, 0); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := ValidateMatching(m, mu, LinkParams{LinkFraction: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sinrs = append(sinrs, rep.MinSINRDB)
+	}
+	for _, s := range sinrs[1:] {
+		if math.Abs(s-sinrs[0]) > 1e-6 {
+			t.Fatalf("lone-link SINRs differ across channels: %v", sinrs)
+		}
+	}
+}
+
+// TestMarginReducesInterferenceOutage: with channel-normalized links, a
+// stricter interference predicate (negative dB offset on the calibrated
+// SINR model) reduces aggregate-interference outage on average.
+func TestMarginReducesInterferenceOutage(t *testing.T) {
+	outageAt := func(deltaDB float64) float64 {
+		var total float64
+		const runs = 12
+		for seed := int64(0); seed < runs; seed++ {
+			cfg := market.Config{Sellers: 5, Buyers: 80, Seed: seed}
+			if deltaDB != 0 {
+				cfg.Radio = &market.RadioConfig{DeltaDB: deltaDB}
+			}
+			m, err := market.Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.Run(m, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := ValidateMatching(m, res.Matching, LinkParams{LinkFraction: 0.1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += rep.OutageRate
+		}
+		return total / runs
+	}
+	disk, margin := outageAt(0), outageAt(-6)
+	if margin > disk+0.02 {
+		t.Errorf("6 dB margin raised mean outage: %.3f vs disk %.3f", margin, disk)
+	}
+	t.Logf("mean outage: disk %.3f vs 6 dB margin %.3f", disk, margin)
+}
+
+func TestLinkFractionValidation(t *testing.T) {
+	m := generatedMarket(t, 7)
+	mu := matching.New(m.M(), m.N())
+	if _, err := ValidateMatching(m, mu, LinkParams{LinkFraction: -0.1}); err == nil {
+		t.Error("negative link fraction should fail")
+	}
+}

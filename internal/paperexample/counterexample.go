@@ -1,0 +1,67 @@
+package paperexample
+
+import (
+	"fmt"
+
+	"specmatch/internal/graph"
+	"specmatch/internal/market"
+)
+
+// Counterexample returns the 9-buyer/3-seller instance of Figs. 4–5, which
+// the paper uses to show its algorithm is neither pairwise stable (Def. 4)
+// nor buyer-optimal among Nash-stable matchings (Def. 5).
+//
+// The published figure does not list the interference edges legibly, so the
+// edge sets below are reconstructed to satisfy every constraint the paper
+// states: the four-round Stage I trace of Fig. 4 under the greedy
+// coalition rule, Stage II leaving the matching unchanged, the blocking pair
+// (seller b, buyer 2) with sacrifice set S = {3, 7} (buyer 2 interferes with
+// buyer 4 but not with 3 or 7 on channel b), and the strictly improving
+// Nash-stable swap of buyers 2 and 4 across sellers b and c being enabled
+// precisely because buyer 2 — matched to seller c — interferes with buyer 4
+// on channel c. Each reconstructed edge is forced by one of those published
+// decisions; the golden tests in internal/stability replay all of them.
+//
+// Indexing: the paper's buyers 1..9 are indices 0..8, sellers a, b, c are
+// channels 0, 1, 2.
+func Counterexample() *market.Market {
+	prices := [][]float64{
+		{3, 1, 5, 1, 7, 7, 13, 12, 8},   // channel a
+		{4, 3, 6, 2, 9, 11, 14, 13, 7},  // channel b
+		{5, 2, 7, 3, 8, 6.5, 12, 14, 6}, // channel c
+	}
+	graphs := []*graph.Graph{
+		// channel a: buyer 6 interferes with buyer 9 (round-2 rejection).
+		graph.MustFromEdges(9, [][2]int{{5, 8}}),
+		// channel b: {1,2}, {1,3}, {2,4}, and the {5,6,7} triangle.
+		graph.MustFromEdges(9, [][2]int{{0, 1}, {0, 2}, {1, 3}, {4, 5}, {4, 6}, {5, 6}}),
+		// channel c: {1,8}, {3,4}, {2,4}, {3,5}, {2,5}, {5,6}, {3,6}.
+		graph.MustFromEdges(9, [][2]int{{0, 7}, {2, 3}, {1, 3}, {2, 4}, {1, 4}, {4, 5}, {2, 5}}),
+	}
+	m, err := market.New(prices, graphs)
+	if err != nil {
+		panic(fmt.Sprintf("paperexample: counterexample market invalid: %v", err))
+	}
+	return m
+}
+
+// CounterexampleMatching is the Fig. 4(e) outcome µ(a)={1,5,9},
+// µ(b)={3,4,7}, µ(c)={2,6,8}, 0-indexed: seller → sorted buyers.
+func CounterexampleMatching() [][]int {
+	return [][]int{{0, 4, 8}, {2, 3, 6}, {1, 5, 7}}
+}
+
+// CounterexampleWelfare is the social welfare of the Fig. 4(e) outcome:
+// (3+7+8) + (6+2+14) + (2+6.5+14) = 62.5.
+const CounterexampleWelfare = 62.5
+
+// CounterexampleImproved returns the strictly better Nash-stable matching of
+// §III-D obtained by swapping buyers 2 and 4 across sellers b and c:
+// µ'(a)={1,5,9}, µ'(b)={2,3,7}, µ'(c)={4,6,8}, 0-indexed.
+func CounterexampleImproved() [][]int {
+	return [][]int{{0, 4, 8}, {1, 2, 6}, {3, 5, 7}}
+}
+
+// CounterexampleImprovedWelfare is the welfare of the swapped matching:
+// buyers 2 and 4 each gain 1 over the algorithm's outcome.
+const CounterexampleImprovedWelfare = 64.5

@@ -1,0 +1,69 @@
+// Package paperexample pins the worked examples of the paper as concrete
+// market fixtures, shared by golden tests, examples and CLIs.
+//
+// Toy is the 5-buyer/3-seller instance of Fig. 3, whose Stage I trace
+// (Fig. 1, welfare 27) and Stage II trace (Fig. 2, welfare 30) the paper
+// walks through round by round. The interference edges are reconstructed
+// from that trace; every edge below is forced by a decision in Figs. 1–2.
+//
+// Indexing: the paper's buyers 1..5 are indices 0..4 and sellers a, b, c are
+// channels 0, 1, 2.
+package paperexample
+
+import (
+	"fmt"
+
+	"specmatch/internal/graph"
+	"specmatch/internal/market"
+)
+
+// Toy returns the Fig. 3 market.
+//
+// Utility vectors (b_a, b_b, b_c) per buyer: 1:(7,6,3), 2:(6,5,4),
+// 3:(9,10,8), 4:(8,9,7), 5:(1,2,3).
+//
+// Interference edges implied by the published trace:
+//   - channel a: {1,2} (round 1: seller a keeps only buyer 1),
+//     {1,4} (round 2: accepting buyer 4 evicts buyer 1); buyers 2 and 4 do
+//     not interfere (Stage II grants buyer 2's transfer alongside buyer 4).
+//   - channel b: {3,4} (round 1), {2,3} (round 2 rejection), {1,3} (round 3
+//     rejection); buyers 3 and 5 do not interfere (final µ(b) = {3,5}).
+//   - channel c: {2,5} (round 3: buyer 2 displaces buyer 5); buyers 1,2 and
+//     1,5 do not interfere (final coalitions {1,2} then {1,5}).
+func Toy() *market.Market {
+	prices := [][]float64{
+		{7, 6, 9, 8, 1},  // channel a
+		{6, 5, 10, 9, 2}, // channel b
+		{3, 4, 8, 7, 3},  // channel c
+	}
+	graphs := []*graph.Graph{
+		graph.MustFromEdges(5, [][2]int{{0, 1}, {0, 3}}),         // a
+		graph.MustFromEdges(5, [][2]int{{0, 2}, {1, 2}, {2, 3}}), // b
+		graph.MustFromEdges(5, [][2]int{{1, 4}}),                 // c
+	}
+	m, err := market.New(prices, graphs)
+	if err != nil {
+		// The fixture is a compile-time constant; failure is a programming
+		// error in this package, not a runtime condition.
+		panic(fmt.Sprintf("paperexample: toy market invalid: %v", err))
+	}
+	return m
+}
+
+// ToyStageIWelfare is the social welfare after Stage I in Fig. 1(e).
+const ToyStageIWelfare = 27.0
+
+// ToyFinalWelfare is the social welfare after Stage II in Fig. 2(d).
+const ToyFinalWelfare = 30.0
+
+// ToyStageIMatching returns the Fig. 1(e) matching µ(a)={4}, µ(b)={3,5},
+// µ(c)={1,2} in 0-indexed form: seller → sorted buyers.
+func ToyStageIMatching() [][]int {
+	return [][]int{{3}, {2, 4}, {0, 1}}
+}
+
+// ToyFinalMatching returns the Fig. 2(d) matching µ(a)={2,4}, µ(b)={3},
+// µ(c)={1,5} in 0-indexed form.
+func ToyFinalMatching() [][]int {
+	return [][]int{{1, 3}, {2}, {0, 4}}
+}

@@ -1,0 +1,76 @@
+package paperexample
+
+import (
+	"testing"
+)
+
+func TestToyConsistent(t *testing.T) {
+	m := Toy()
+	if m.M() != 3 || m.N() != 5 {
+		t.Fatalf("toy dims (%d,%d), want (3,5)", m.M(), m.N())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("toy market invalid: %v", err)
+	}
+	// Spot-check prices against Fig. 3(b).
+	if m.Price(0, 0) != 7 || m.Price(1, 2) != 10 || m.Price(2, 4) != 3 {
+		t.Error("toy prices disagree with Fig. 3(b)")
+	}
+	// Edges pinned by the trace.
+	if !m.Interferes(0, 0, 1) || !m.Interferes(1, 2, 3) || !m.Interferes(2, 1, 4) {
+		t.Error("missing a trace-forced interference edge")
+	}
+	// Non-edges pinned by the published coalitions.
+	if m.Interferes(0, 1, 3) || m.Interferes(1, 2, 4) || m.Interferes(2, 0, 1) || m.Interferes(2, 0, 4) {
+		t.Error("an edge forbidden by the published coalitions is present")
+	}
+}
+
+func TestToyExpectedMatchings(t *testing.T) {
+	stage1 := ToyStageIMatching()
+	final := ToyFinalMatching()
+	if len(stage1) != 3 || len(final) != 3 {
+		t.Fatal("matchings must list all 3 sellers")
+	}
+	count := func(mm [][]int) int {
+		total := 0
+		for _, c := range mm {
+			total += len(c)
+		}
+		return total
+	}
+	if count(stage1) != 5 || count(final) != 5 {
+		t.Error("every buyer is matched in both published matchings")
+	}
+}
+
+func TestCounterexampleConsistent(t *testing.T) {
+	m := Counterexample()
+	if m.M() != 3 || m.N() != 9 {
+		t.Fatalf("counterexample dims (%d,%d), want (3,9)", m.M(), m.N())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("counterexample invalid: %v", err)
+	}
+	// The blocking pair's preconditions: buyer 2 (index 1) interferes with
+	// buyer 4 (index 3) but not with buyers 3 or 7 (indices 2, 6) on
+	// channel b (index 1).
+	if !m.Interferes(1, 1, 3) {
+		t.Error("buyers 2 and 4 must interfere on channel b")
+	}
+	if m.Interferes(1, 1, 2) || m.Interferes(1, 1, 6) {
+		t.Error("buyer 2 must not interfere with the sacrifice-exempt set {3,7} on channel b")
+	}
+	// The improving swap's preconditions: buyer 4 compatible with {6,8} on
+	// channel c; buyer 2 (index 1) interferes with buyer 4 on channel c.
+	if m.Interferes(2, 3, 5) || m.Interferes(2, 3, 7) {
+		t.Error("buyer 4 must be compatible with buyers 6 and 8 on channel c")
+	}
+	if !m.Interferes(2, 1, 3) {
+		t.Error("buyers 2 and 4 must interfere on channel c (what blocks the swap)")
+	}
+	// Welfare bookkeeping of the two published matchings.
+	if CounterexampleImprovedWelfare-CounterexampleWelfare != 2 {
+		t.Error("the swap gains exactly 1 per swapped buyer")
+	}
+}

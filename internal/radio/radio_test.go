@@ -1,0 +1,120 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"specmatch/internal/geom"
+	"specmatch/internal/xrand"
+)
+
+func TestNewModelValidation(t *testing.T) {
+	if _, err := NewModel(0, Params{}); err == nil {
+		t.Error("zero nominal range should fail")
+	}
+	if _, err := NewModel(2, Params{PathLossExp: 0.5}); err == nil {
+		t.Error("absurd path loss exponent should fail")
+	}
+	if _, err := NewModel(2, Params{ReferenceDist: -1}); err == nil {
+		t.Error("negative reference distance should fail")
+	}
+}
+
+func TestCalibrationMatchesDisk(t *testing.T) {
+	m, err := NewModel(3, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At calibration (delta 0) the conflict distance equals the nominal
+	// range: the SINR predicate coincides with the paper's disk rule.
+	if got := m.ConflictDistFor(0); math.Abs(got-3) > 1e-12 {
+		t.Errorf("ConflictDistFor(0) = %v, want 3", got)
+	}
+	a, b := geom.Point{X: 0, Y: 0}, geom.Point{X: 3, Y: 0}
+	if !m.Interferes(a, b, 0) {
+		t.Error("boundary pair must conflict at calibration")
+	}
+	if m.Interferes(a, geom.Point{X: 3.01, Y: 0}, 0) {
+		t.Error("beyond-range pair must not conflict at calibration")
+	}
+}
+
+func TestThresholdScaling(t *testing.T) {
+	m, err := NewModel(2, Params{PathLossExp: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 4 dB laxer threshold with γ = 4 shrinks the range by 10^(4/40).
+	want := 2 / math.Pow(10, 0.1)
+	if got := m.ConflictDistFor(4); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ConflictDistFor(4) = %v, want %v", got, want)
+	}
+	// Stricter threshold extends it.
+	if m.ConflictDistFor(-4) <= 2 {
+		t.Error("stricter threshold should extend the conflict range")
+	}
+}
+
+func TestPathLossMonotone(t *testing.T) {
+	m, err := NewModel(2, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, d := range []float64{0.05, 0.1, 0.5, 1, 2, 5, 10} {
+		loss := m.PathLossDB(d)
+		if loss < prev {
+			t.Errorf("path loss at %v is %v, below %v", d, loss, prev)
+		}
+		prev = loss
+	}
+	if m.PathLossDB(0.1) != 0 {
+		t.Errorf("loss at reference distance = %v, want 0", m.PathLossDB(0.1))
+	}
+	// Below the reference distance the loss clamps at 0, not negative.
+	if m.PathLossDB(0.01) != 0 {
+		t.Errorf("loss below reference = %v, want clamped 0", m.PathLossDB(0.01))
+	}
+}
+
+// TestGraphMonotoneInThreshold: stricter thresholds only add edges.
+func TestGraphMonotoneInThreshold(t *testing.T) {
+	f := func(seed int64) bool {
+		r := xrand.New(seed)
+		pts := geom.PaperArea().RandomPoints(r, 15)
+		m, err := NewModel(2.5, Params{})
+		if err != nil {
+			return false
+		}
+		lax := m.Graph(pts, 3)
+		strict := m.Graph(pts, -3)
+		for _, e := range lax.Edges() {
+			if !strict.HasEdge(e[0], e[1]) {
+				return false
+			}
+		}
+		return strict.M() >= lax.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHigherExponentLocalizes: with a higher path loss exponent, the same
+// threshold delta moves the conflict distance less (propagation is more
+// local, so dB margins translate to shorter distances).
+func TestHigherExponentLocalizes(t *testing.T) {
+	low, err := NewModel(3, Params{PathLossExp: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := NewModel(3, Params{PathLossExp: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.ConflictDistFor(6) >= high.ConflictDistFor(6) {
+		t.Errorf("γ=2 shrink %v should be below γ=6 shrink %v",
+			low.ConflictDistFor(6), high.ConflictDistFor(6))
+	}
+}

@@ -1,0 +1,192 @@
+// Package simnet is the message-passing substrate for the asynchronous
+// matching protocol (§IV). The paper's implementation model is
+// slot-synchronous — "each round in the proposed algorithm takes one time
+// slot" — so the network delivers a message sent in slot t at the start of
+// slot t+1 by default. Fault injection (drop probability, bounded extra
+// delay) lets tests and ablations exercise the protocol beyond the paper's
+// idealized channel.
+//
+// Delivery is deterministic: messages due in a slot are handed over sorted
+// by recipient, then sender, then send sequence, so protocol runs are
+// reproducible regardless of scheduling.
+package simnet
+
+import (
+	"fmt"
+	"sort"
+
+	"specmatch/internal/xrand"
+)
+
+// Kind distinguishes the two agent populations.
+type Kind int
+
+// Node kinds.
+const (
+	KindBuyer Kind = iota + 1
+	KindSeller
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindBuyer:
+		return "buyer"
+	case KindSeller:
+		return "seller"
+	default:
+		return fmt.Sprintf("simnet.Kind(%d)", int(k))
+	}
+}
+
+// NodeID addresses an agent.
+type NodeID struct {
+	Kind  Kind
+	Index int
+}
+
+// Buyer returns the NodeID of buyer j.
+func Buyer(j int) NodeID { return NodeID{Kind: KindBuyer, Index: j} }
+
+// Seller returns the NodeID of seller i.
+func Seller(i int) NodeID { return NodeID{Kind: KindSeller, Index: i} }
+
+// String implements fmt.Stringer.
+func (id NodeID) String() string { return fmt.Sprintf("%v#%d", id.Kind, id.Index) }
+
+// less orders NodeIDs: buyers before sellers, then by index.
+func (id NodeID) less(other NodeID) bool {
+	if id.Kind != other.Kind {
+		return id.Kind < other.Kind
+	}
+	return id.Index < other.Index
+}
+
+// Message is a protocol message in flight. Payload types are defined by the
+// protocol layer (internal/agent).
+type Message struct {
+	From    NodeID
+	To      NodeID
+	Payload any
+
+	seq int // send order, for deterministic FIFO tie-breaking
+}
+
+// Blackout is a window of slots during which every sent message is lost —
+// a deterministic outage for liveness testing (e.g. a jammed channel or a
+// crashed relay). Bounds are inclusive.
+type Blackout struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+}
+
+// covers reports whether slot falls inside the window.
+func (b Blackout) covers(slot int) bool { return slot >= b.From && slot <= b.To }
+
+// Config tunes the network.
+type Config struct {
+	// DropProb is the probability each message is silently lost.
+	DropProb float64
+	// DelayMax adds a uniform extra delay in [0, DelayMax] slots on top of
+	// the baseline one-slot latency.
+	DelayMax int
+	// Blackouts are outage windows; messages sent while one is active are
+	// dropped deterministically.
+	Blackouts []Blackout
+	// Seed drives drop and delay randomness.
+	Seed int64
+}
+
+// Stats counts network activity.
+type Stats struct {
+	Sent      int `json:"sent"`
+	Delivered int `json:"delivered"`
+	Dropped   int `json:"dropped"`
+}
+
+// Network is a slot-synchronous network. The zero value is not usable;
+// construct with New.
+type Network struct {
+	cfg     Config
+	rng     interface{ Float64() float64 }
+	rngInt  interface{ Intn(int) int }
+	now     int
+	nextSeq int
+	pending map[int][]Message
+	stats   Stats
+}
+
+// New returns an empty network at slot 0.
+func New(cfg Config) (*Network, error) {
+	if cfg.DropProb < 0 || cfg.DropProb >= 1 {
+		return nil, fmt.Errorf("simnet: drop probability %v outside [0,1)", cfg.DropProb)
+	}
+	if cfg.DelayMax < 0 {
+		return nil, fmt.Errorf("simnet: negative DelayMax %d", cfg.DelayMax)
+	}
+	r := xrand.New(cfg.Seed)
+	return &Network{
+		cfg:     cfg,
+		rng:     r,
+		rngInt:  r,
+		pending: make(map[int][]Message),
+	}, nil
+}
+
+// Now returns the current slot number.
+func (n *Network) Now() int { return n.now }
+
+// Stats returns delivery counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// InFlight returns the number of undelivered, undropped messages.
+func (n *Network) InFlight() int {
+	total := 0
+	for _, msgs := range n.pending {
+		total += len(msgs)
+	}
+	return total
+}
+
+// Send enqueues a message for delivery at the start of a future slot
+// (now + 1 + delay), or drops it per the fault configuration.
+func (n *Network) Send(msg Message) {
+	n.stats.Sent++
+	msg.seq = n.nextSeq
+	n.nextSeq++
+	for _, b := range n.cfg.Blackouts {
+		if b.covers(n.now) {
+			n.stats.Dropped++
+			return
+		}
+	}
+	if n.cfg.DropProb > 0 && n.rng.Float64() < n.cfg.DropProb {
+		n.stats.Dropped++
+		return
+	}
+	delay := 0
+	if n.cfg.DelayMax > 0 {
+		delay = n.rngInt.Intn(n.cfg.DelayMax + 1)
+	}
+	due := n.now + 1 + delay
+	n.pending[due] = append(n.pending[due], msg)
+}
+
+// Step advances to the next slot and returns the messages due in it, in
+// deterministic (recipient, sender, send-order) order.
+func (n *Network) Step() []Message {
+	n.now++
+	due := n.pending[n.now]
+	delete(n.pending, n.now)
+	sort.Slice(due, func(a, b int) bool {
+		if due[a].To != due[b].To {
+			return due[a].To.less(due[b].To)
+		}
+		if due[a].From != due[b].From {
+			return due[a].From.less(due[b].From)
+		}
+		return due[a].seq < due[b].seq
+	})
+	n.stats.Delivered += len(due)
+	return due
+}

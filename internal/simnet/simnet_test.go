@@ -1,0 +1,204 @@
+package simnet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, cfg Config) *Network {
+	t.Helper()
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return n
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{DropProb: -0.1}); err == nil {
+		t.Error("negative drop probability should fail")
+	}
+	if _, err := New(Config{DropProb: 1}); err == nil {
+		t.Error("drop probability 1 should fail (nothing would ever arrive)")
+	}
+	if _, err := New(Config{DelayMax: -1}); err == nil {
+		t.Error("negative delay should fail")
+	}
+}
+
+func TestOneSlotLatency(t *testing.T) {
+	n := mustNew(t, Config{})
+	n.Send(Message{From: Buyer(0), To: Seller(1), Payload: "hi"})
+	if got := n.InFlight(); got != 1 {
+		t.Errorf("InFlight = %d, want 1", got)
+	}
+	due := n.Step()
+	if len(due) != 1 || due[0].Payload != "hi" {
+		t.Fatalf("Step() = %v, want the one message", due)
+	}
+	if n.Now() != 1 {
+		t.Errorf("Now = %d, want 1", n.Now())
+	}
+	if got := n.Step(); len(got) != 0 {
+		t.Errorf("second Step delivered %v, want nothing", got)
+	}
+	if n.InFlight() != 0 {
+		t.Error("InFlight should be 0 after delivery")
+	}
+}
+
+func TestDeterministicOrdering(t *testing.T) {
+	n := mustNew(t, Config{})
+	// Send in scrambled order; delivery is sorted by (To, From, seq).
+	n.Send(Message{From: Buyer(2), To: Seller(1)})
+	n.Send(Message{From: Buyer(0), To: Seller(1)})
+	n.Send(Message{From: Buyer(1), To: Buyer(3)})
+	n.Send(Message{From: Buyer(0), To: Seller(0)})
+	due := n.Step()
+	wantOrder := []struct {
+		to   NodeID
+		from NodeID
+	}{
+		{Buyer(3), Buyer(1)},
+		{Seller(0), Buyer(0)},
+		{Seller(1), Buyer(0)},
+		{Seller(1), Buyer(2)},
+	}
+	if len(due) != len(wantOrder) {
+		t.Fatalf("delivered %d, want %d", len(due), len(wantOrder))
+	}
+	for k, w := range wantOrder {
+		if due[k].To != w.to || due[k].From != w.from {
+			t.Errorf("position %d: got %v→%v, want %v→%v", k, due[k].From, due[k].To, w.from, w.to)
+		}
+	}
+}
+
+func TestFIFOPerPair(t *testing.T) {
+	n := mustNew(t, Config{})
+	n.Send(Message{From: Buyer(0), To: Seller(0), Payload: 1})
+	n.Send(Message{From: Buyer(0), To: Seller(0), Payload: 2})
+	due := n.Step()
+	if due[0].Payload != 1 || due[1].Payload != 2 {
+		t.Errorf("same-pair messages reordered: %v", due)
+	}
+}
+
+func TestDropAll(t *testing.T) {
+	n := mustNew(t, Config{DropProb: 0.999999, Seed: 1})
+	for k := 0; k < 100; k++ {
+		n.Send(Message{From: Buyer(0), To: Seller(0)})
+	}
+	delivered := 0
+	for k := 0; k < 110; k++ {
+		delivered += len(n.Step())
+	}
+	st := n.Stats()
+	if st.Sent != 100 {
+		t.Errorf("Sent = %d, want 100", st.Sent)
+	}
+	if st.Dropped+st.Delivered != 100 || delivered != st.Delivered {
+		t.Errorf("stats inconsistent: %+v, delivered %d", st, delivered)
+	}
+	if st.Dropped < 95 {
+		t.Errorf("Dropped = %d, want nearly all at p≈1", st.Dropped)
+	}
+}
+
+func TestDelayBounds(t *testing.T) {
+	const delayMax = 3
+	n := mustNew(t, Config{DelayMax: delayMax, Seed: 7})
+	const sent = 200
+	for k := 0; k < sent; k++ {
+		n.Send(Message{From: Buyer(0), To: Seller(0), Payload: k})
+	}
+	delivered := 0
+	for slot := 1; slot <= delayMax+1; slot++ {
+		delivered += len(n.Step())
+	}
+	if delivered != sent {
+		t.Errorf("delivered %d within %d slots, want all %d", delivered, delayMax+1, sent)
+	}
+}
+
+func TestDelaySpread(t *testing.T) {
+	n := mustNew(t, Config{DelayMax: 2, Seed: 3})
+	const sent = 300
+	for k := 0; k < sent; k++ {
+		n.Send(Message{From: Buyer(0), To: Seller(0)})
+	}
+	perSlot := make([]int, 3)
+	for slot := 0; slot < 3; slot++ {
+		perSlot[slot] = len(n.Step())
+	}
+	for slot, count := range perSlot {
+		if count < sent/6 {
+			t.Errorf("slot offset %d got %d deliveries; delay not spreading", slot, count)
+		}
+	}
+}
+
+func TestNodeIDHelpers(t *testing.T) {
+	if Buyer(3) != (NodeID{Kind: KindBuyer, Index: 3}) {
+		t.Error("Buyer helper wrong")
+	}
+	if Seller(2) != (NodeID{Kind: KindSeller, Index: 2}) {
+		t.Error("Seller helper wrong")
+	}
+	if Buyer(0).String() != "buyer#0" || Seller(1).String() != "seller#1" {
+		t.Errorf("String: %q %q", Buyer(0).String(), Seller(1).String())
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+// TestConservationProperty: every sent message is eventually delivered or
+// dropped, never duplicated.
+func TestConservationProperty(t *testing.T) {
+	f := func(seed int64, dropRaw uint8, delayRaw uint8) bool {
+		cfg := Config{
+			DropProb: float64(dropRaw%90) / 100,
+			DelayMax: int(delayRaw % 5),
+			Seed:     seed,
+		}
+		n, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		const sent = 50
+		for k := 0; k < sent; k++ {
+			n.Send(Message{From: Buyer(k % 5), To: Seller(k % 3), Payload: k})
+		}
+		delivered := 0
+		for slot := 0; slot < cfg.DelayMax+2; slot++ {
+			delivered += len(n.Step())
+		}
+		st := n.Stats()
+		return st.Sent == sent && st.Delivered == delivered &&
+			st.Delivered+st.Dropped == sent && n.InFlight() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlackoutWindow(t *testing.T) {
+	n := mustNew(t, Config{Blackouts: []Blackout{{From: 1, To: 2}}})
+	n.Send(Message{From: Buyer(0), To: Seller(0), Payload: "pre"}) // slot 0: delivered
+	if got := n.Step(); len(got) != 1 {                            // now slot 1
+		t.Fatalf("pre-blackout message lost: %v", got)
+	}
+	n.Send(Message{From: Buyer(0), To: Seller(0), Payload: "mid1"}) // slot 1: dropped
+	n.Step()                                                        // now slot 2
+	n.Send(Message{From: Buyer(0), To: Seller(0), Payload: "mid2"}) // slot 2: dropped
+	n.Step()                                                        // now slot 3
+	n.Send(Message{From: Buyer(0), To: Seller(0), Payload: "post"}) // slot 3: delivered
+	got := n.Step()
+	if len(got) != 1 || got[0].Payload != "post" {
+		t.Errorf("post-blackout delivery wrong: %v", got)
+	}
+	if st := n.Stats(); st.Dropped != 2 {
+		t.Errorf("dropped %d, want 2 (the in-window sends)", st.Dropped)
+	}
+}

@@ -1,0 +1,213 @@
+package stability_test
+
+import (
+	"reflect"
+	"testing"
+
+	"specmatch/internal/core"
+	"specmatch/internal/market"
+	"specmatch/internal/matching"
+	"specmatch/internal/paperexample"
+	"specmatch/internal/stability"
+)
+
+// buildMatching assembles a matching from seller → buyers lists.
+func buildMatching(t *testing.T, m, n int, coalitions [][]int) *matching.Matching {
+	t.Helper()
+	mu := matching.New(m, n)
+	for i, buyers := range coalitions {
+		for _, j := range buyers {
+			if err := mu.Assign(i, j); err != nil {
+				t.Fatalf("Assign(%d,%d): %v", i, j, err)
+			}
+		}
+	}
+	return mu
+}
+
+// TestCounterexampleStageITrace replays Fig. 4: the algorithm must converge
+// in 4 rounds to µ(a)={1,5,9}, µ(b)={3,4,7}, µ(c)={2,6,8}, and Stage II must
+// leave the matching unchanged (the paper "ignores Stage II since the
+// matching result will not change").
+func TestCounterexampleStageITrace(t *testing.T) {
+	m := paperexample.Counterexample()
+	mu1, stats, err := core.RunStageI(m, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != 4 {
+		t.Errorf("Stage I rounds = %d, want 4", stats.Rounds)
+	}
+	want := paperexample.CounterexampleMatching()
+	for i, coalition := range want {
+		if got := mu1.Coalition(i); !reflect.DeepEqual(got, coalition) {
+			t.Errorf("Stage I µ(%d) = %v, want %v", i, got, coalition)
+		}
+	}
+
+	res, err := core.Run(m, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Matching.Equal(mu1) {
+		t.Error("Stage II changed the counterexample matching; paper says it must not")
+	}
+	if res.Welfare != paperexample.CounterexampleWelfare {
+		t.Errorf("welfare = %v, want %v", res.Welfare, paperexample.CounterexampleWelfare)
+	}
+}
+
+// TestCounterexampleNotPairwiseStable reproduces the paper's Def. 4 claim:
+// seller b (index 1) and buyer 2 (index 1) block the outcome with sacrifice
+// S = {3, 7} — i.e. only buyer 4 (index 3) is displaced.
+func TestCounterexampleNotPairwiseStable(t *testing.T) {
+	m := paperexample.Counterexample()
+	res, err := core.Run(m, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := stability.Check(m, res.Matching)
+	if !rep.NashStable {
+		t.Fatalf("outcome must be Nash-stable (Prop. 4); deviations: %v", rep.Nash)
+	}
+	if !rep.IndividuallyRational || !rep.InterferenceFree {
+		t.Fatalf("outcome must be IR and interference-free: %v", rep)
+	}
+	if rep.PairwiseStable {
+		t.Fatal("outcome must NOT be pairwise stable (Fig. 4/5 counterexample)")
+	}
+	found := false
+	for _, bp := range rep.Blocking {
+		if bp.Seller == 1 && bp.Buyer == 1 {
+			found = true
+			if !reflect.DeepEqual(bp.Sacrifice, []int{3}) {
+				t.Errorf("blocking pair sacrifice = %v, want [3] (only buyer 4 displaced)", bp.Sacrifice)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("expected blocking pair (seller b, buyer 2); got %v", rep.Blocking)
+	}
+}
+
+// TestCounterexampleNotBuyerOptimal reproduces the paper's Def. 5 claim:
+// swapping buyers 2 and 4 across sellers b and c yields another Nash-stable
+// matching in which no buyer is worse off and buyers 2 and 4 are strictly
+// better off.
+func TestCounterexampleNotBuyerOptimal(t *testing.T) {
+	m := paperexample.Counterexample()
+	res, err := core.Run(m, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved := buildMatching(t, m.M(), m.N(), paperexample.CounterexampleImproved())
+
+	if v := stability.CheckInterferenceFree(m, improved); len(v) != 0 {
+		t.Fatalf("improved matching infeasible: %v", v)
+	}
+	if devs := stability.CheckNashStable(m, improved); len(devs) != 0 {
+		t.Fatalf("improved matching must be Nash-stable: %v", devs)
+	}
+	if got := matching.Welfare(m, improved); got != paperexample.CounterexampleImprovedWelfare {
+		t.Errorf("improved welfare = %v, want %v", got, paperexample.CounterexampleImprovedWelfare)
+	}
+
+	strictlyBetter := 0
+	for j := 0; j < m.N(); j++ {
+		before := matching.BuyerUtilityIn(m, res.Matching, j)
+		after := matching.BuyerUtilityIn(m, improved, j)
+		if after < before {
+			t.Errorf("buyer %d worse off: %v → %v", j, before, after)
+		}
+		if after > before {
+			strictlyBetter++
+		}
+	}
+	if strictlyBetter != 2 {
+		t.Errorf("strictly better buyers = %d, want 2 (buyers 2 and 4)", strictlyBetter)
+	}
+}
+
+// TestCheckersOnEmptyMatching: an empty matching is trivially
+// interference-free and IR, and Nash-unstable whenever anyone values any
+// channel.
+func TestCheckersOnEmptyMatching(t *testing.T) {
+	m := paperexample.Toy()
+	mu := matching.New(m.M(), m.N())
+	if len(stability.CheckInterferenceFree(m, mu)) != 0 {
+		t.Error("empty matching cannot have interference")
+	}
+	if len(stability.CheckIndividualRational(m, mu)) != 0 {
+		t.Error("empty matching is trivially IR")
+	}
+	if len(stability.CheckNashStable(m, mu)) == 0 {
+		t.Error("empty matching of the toy market must have profitable deviations")
+	}
+}
+
+// TestInterferenceAndIRViolationsDetected plants violations and checks the
+// checkers find them.
+func TestInterferenceAndIRViolationsDetected(t *testing.T) {
+	m := paperexample.Toy()
+	mu := matching.New(m.M(), m.N())
+	// Buyers 1 and 2 (indices 0,1) interfere on channel a (index 0).
+	if err := mu.Assign(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := mu.Assign(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	iv := stability.CheckInterferenceFree(m, mu)
+	if len(iv) != 1 || iv[0].Seller != 0 || iv[0].BuyerA != 0 || iv[0].BuyerB != 1 {
+		t.Errorf("interference violations = %v", iv)
+	}
+	ir := stability.CheckIndividualRational(m, mu)
+	// The seller blocks (coalition has interference) and both buyers block
+	// (zero utility).
+	var sellerBlocks, buyerBlocks int
+	for _, v := range ir {
+		if v.Buyer == -1 {
+			sellerBlocks++
+		} else {
+			buyerBlocks++
+		}
+	}
+	if sellerBlocks != 1 || buyerBlocks != 2 {
+		t.Errorf("IR violations: %d seller, %d buyer; want 1 and 2 (%v)", sellerBlocks, buyerBlocks, ir)
+	}
+}
+
+// TestReportString smoke-tests the human-readable summary.
+func TestReportString(t *testing.T) {
+	m := paperexample.Toy()
+	res, err := core.Run(m, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := stability.Check(m, res.Matching)
+	s := rep.String()
+	if s == "" {
+		t.Error("empty report string")
+	}
+}
+
+// TestAlgorithmStableAcrossRandomMarkets is the Prop. 3/4 property test: on
+// random geometric markets the algorithm's output is always
+// interference-free, individually rational and Nash-stable.
+func TestAlgorithmStableAcrossRandomMarkets(t *testing.T) {
+	for seed := int64(0); seed < 120; seed++ {
+		cfg := market.Config{Sellers: 2 + int(seed%7), Buyers: 5 + int(seed%23), Seed: seed}
+		m, err := market.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(m, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := stability.Check(m, res.Matching)
+		if !rep.InterferenceFree || !rep.IndividuallyRational || !rep.NashStable {
+			t.Fatalf("seed %d: %v", seed, rep)
+		}
+	}
+}

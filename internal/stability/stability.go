@@ -1,0 +1,258 @@
+// Package stability verifies the solution concepts of §III-C/D against a
+// concrete matching: interference-freeness, individual rationality (Def. 2),
+// Nash stability (Def. 3) and pairwise stability (Def. 4). The checkers
+// return the witnessing violation, so tests and CLIs can print exactly which
+// buyer or seller-buyer pair blocks a matching.
+//
+// Checking pairwise stability naively quantifies over subsets S ⊆ µ(i), but
+// for a fixed (i, j) the seller-optimal sacrifice set is always
+// S* = µ(i) \ N_i(j) — keeping every current member compatible with j — so a
+// blocking pair exists iff b_{i,j} exceeds the total price of the members j
+// would displace. That makes the check polynomial.
+package stability
+
+import (
+	"fmt"
+
+	"specmatch/internal/market"
+	"specmatch/internal/matching"
+)
+
+// InterferenceViolation reports two interfering buyers sharing a channel.
+type InterferenceViolation struct {
+	Seller int
+	BuyerA int
+	BuyerB int
+}
+
+// String implements fmt.Stringer.
+func (v InterferenceViolation) String() string {
+	return fmt.Sprintf("buyers %d and %d interfere on channel %d", v.BuyerA, v.BuyerB, v.Seller)
+}
+
+// CheckInterferenceFree returns all pairs of interfering buyers matched to
+// the same seller; nil means the matching satisfies constraint (3).
+func CheckInterferenceFree(m *market.Market, mu *matching.Matching) []InterferenceViolation {
+	var out []InterferenceViolation
+	for i := 0; i < mu.M(); i++ {
+		coalition := mu.Coalition(i)
+		for a := 0; a < len(coalition); a++ {
+			for b := a + 1; b < len(coalition); b++ {
+				if m.Interferes(i, coalition[a], coalition[b]) {
+					out = append(out, InterferenceViolation{Seller: i, BuyerA: coalition[a], BuyerB: coalition[b]})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// IRViolation reports an individual-rationality block (Def. 2): either a
+// seller who prefers dropping some matched buyers, or a buyer who prefers
+// being unmatched.
+type IRViolation struct {
+	// Seller is set (with Buyer = -1) when the seller blocks by preferring
+	// to drop Drop; Buyer is set (with Seller = her match) when the buyer
+	// blocks.
+	Seller int
+	Buyer  int
+	Drop   []int
+}
+
+// String implements fmt.Stringer.
+func (v IRViolation) String() string {
+	if v.Buyer == -1 {
+		return fmt.Sprintf("seller %d prefers dropping buyers %v", v.Seller, v.Drop)
+	}
+	return fmt.Sprintf("buyer %d prefers being unmatched to seller %d", v.Buyer, v.Seller)
+}
+
+// CheckIndividualRational returns all individual-rationality violations; nil
+// means the matching is individually rational.
+//
+// For an interference-free matching neither side can block: every matched
+// buyer enjoys positive utility, and dropping buyers only lowers a seller's
+// total price. A seller can block only when her coalition contains
+// interference, in which case dropping one side of an interfering pair is an
+// improvement; that is the case this checker hunts for.
+func CheckIndividualRational(m *market.Market, mu *matching.Matching) []IRViolation {
+	var out []IRViolation
+	for i := 0; i < mu.M(); i++ {
+		coalition := mu.Coalition(i)
+		if len(coalition) == 0 {
+			continue
+		}
+		if m.Graph(i).IsIndependent(coalition) {
+			continue
+		}
+		// The coalition has interference: the seller prefers any
+		// interference-free sub-coalition, e.g. greedily keeping a maximal
+		// independent prefix; dropping the rest blocks the matching.
+		keep := make([]int, 0, len(coalition))
+		var drop []int
+		for _, j := range coalition {
+			if m.Graph(i).ConflictsWith(j, keep) {
+				drop = append(drop, j)
+			} else {
+				keep = append(keep, j)
+			}
+		}
+		out = append(out, IRViolation{Seller: i, Buyer: -1, Drop: drop})
+	}
+	for j := 0; j < mu.N(); j++ {
+		i := mu.SellerOf(j)
+		if i == market.Unmatched {
+			continue
+		}
+		// The buyer blocks iff her peer-effect utility is zero, i.e. an
+		// interferer shares her coalition, making unmatched weakly better;
+		// Def. 2 blocks on strict preference, and the paper treats
+		// zero-utility membership as blocked (she is indifferent at zero but
+		// pays her offered price, so participation is irrational).
+		if matching.BuyerUtilityIn(m, mu, j) == 0 {
+			out = append(out, IRViolation{Seller: i, Buyer: j})
+		}
+	}
+	return out
+}
+
+// NashDeviation is a profitable unilateral move (Def. 3): buyer j would gain
+// by joining seller To's coalition (leaving her current seller From, which
+// may be market.Unmatched).
+type NashDeviation struct {
+	Buyer   int
+	From    int
+	To      int
+	Gain    float64 // utility in the target coalition minus current utility
+	Current float64
+}
+
+// String implements fmt.Stringer.
+func (d NashDeviation) String() string {
+	return fmt.Sprintf("buyer %d gains %.4f moving from seller %d to seller %d", d.Buyer, d.Gain, d.From, d.To)
+}
+
+// CheckNashStable returns all profitable unilateral deviations; nil means
+// the matching is Nash-stable (Def. 3).
+func CheckNashStable(m *market.Market, mu *matching.Matching) []NashDeviation {
+	var out []NashDeviation
+	for j := 0; j < mu.N(); j++ {
+		cur := matching.BuyerUtilityIn(m, mu, j)
+		from := mu.SellerOf(j)
+		for i := 0; i < mu.M(); i++ {
+			if i == from {
+				continue
+			}
+			target := mu.Coalition(i)
+			gain := matching.BuyerUtility(m, i, j, target) - cur
+			if gain > 0 {
+				out = append(out, NashDeviation{Buyer: j, From: from, To: i, Gain: gain, Current: cur})
+			}
+		}
+	}
+	return out
+}
+
+// BlockingPair is a pairwise-stability block (Def. 4): seller Seller and
+// buyer Buyer both improve if the seller sacrifices Sacrifice ⊆ µ(Seller)
+// and admits Buyer.
+type BlockingPair struct {
+	Seller     int
+	Buyer      int
+	Sacrifice  []int
+	SellerGain float64
+	BuyerGain  float64
+}
+
+// String implements fmt.Stringer.
+func (b BlockingPair) String() string {
+	return fmt.Sprintf("seller %d and buyer %d block (sacrificing %v; seller +%.4f, buyer +%.4f)",
+		b.Seller, b.Buyer, b.Sacrifice, b.SellerGain, b.BuyerGain)
+}
+
+// CheckPairwiseStable returns all blocking seller-buyer pairs; nil means the
+// matching is pairwise stable (Def. 4). The paper shows the proposed
+// algorithm does not guarantee this property (Figs. 4–5), so a non-empty
+// result on its output is expected in general.
+func CheckPairwiseStable(m *market.Market, mu *matching.Matching) []BlockingPair {
+	var out []BlockingPair
+	for i := 0; i < mu.M(); i++ {
+		coalition := mu.Coalition(i)
+		for j := 0; j < mu.N(); j++ {
+			if mu.Contains(i, j) {
+				continue
+			}
+			// Seller-optimal sacrifice: displace exactly j's interfering
+			// neighbors inside µ(i).
+			var keep, sacrifice []int
+			var sacrificePrice float64
+			for _, j2 := range coalition {
+				if m.Interferes(i, j, j2) {
+					sacrifice = append(sacrifice, j2)
+					sacrificePrice += m.Price(i, j2)
+				} else {
+					keep = append(keep, j2)
+				}
+			}
+			sellerGain := m.Price(i, j) - sacrificePrice
+			if sellerGain <= 0 {
+				continue
+			}
+			buyerGain := matching.BuyerUtility(m, i, j, keep) - matching.BuyerUtilityIn(m, mu, j)
+			if buyerGain <= 0 {
+				continue
+			}
+			out = append(out, BlockingPair{
+				Seller:     i,
+				Buyer:      j,
+				Sacrifice:  sacrifice,
+				SellerGain: sellerGain,
+				BuyerGain:  buyerGain,
+			})
+		}
+	}
+	return out
+}
+
+// Report summarizes every §III property of a matching in one shot.
+type Report struct {
+	InterferenceFree     bool
+	IndividuallyRational bool
+	NashStable           bool
+	PairwiseStable       bool
+
+	Interference []InterferenceViolation
+	IR           []IRViolation
+	Nash         []NashDeviation
+	Blocking     []BlockingPair
+}
+
+// Check runs every checker and assembles a Report.
+func Check(m *market.Market, mu *matching.Matching) Report {
+	r := Report{
+		Interference: CheckInterferenceFree(m, mu),
+		IR:           CheckIndividualRational(m, mu),
+		Nash:         CheckNashStable(m, mu),
+		Blocking:     CheckPairwiseStable(m, mu),
+	}
+	r.InterferenceFree = len(r.Interference) == 0
+	r.IndividuallyRational = len(r.IR) == 0
+	r.NashStable = len(r.Nash) == 0
+	r.PairwiseStable = len(r.Blocking) == 0
+	return r
+}
+
+// String renders the report as a short multi-line summary.
+func (r Report) String() string {
+	flag := func(ok bool) string {
+		if ok {
+			return "yes"
+		}
+		return "NO"
+	}
+	return fmt.Sprintf("interference-free: %s (%d)\nindividually rational: %s (%d)\nnash-stable: %s (%d)\npairwise-stable: %s (%d)",
+		flag(r.InterferenceFree), len(r.Interference),
+		flag(r.IndividuallyRational), len(r.IR),
+		flag(r.NashStable), len(r.Nash),
+		flag(r.PairwiseStable), len(r.Blocking))
+}

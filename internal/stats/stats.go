@@ -1,0 +1,180 @@
+// Package stats provides the statistical substrate for the evaluation:
+// Spearman's rank correlation coefficient (the paper's price-similarity
+// metric, §V-A), and summary statistics used to aggregate replicated
+// simulation runs.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Ranks returns the fractional ranks of xs (1-based; ties receive the average
+// of the ranks they span), the convention required by Spearman's rho.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Positions i..j (0-based) are tied; average rank is the midpoint.
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// SRCC returns Spearman's rank correlation coefficient between xs and ys,
+// computed as Pearson correlation of the fractional ranks (tie-safe).
+func SRCC(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: SRCC over mismatched lengths %d and %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("stats: SRCC needs at least 2 observations, got %d", len(xs))
+	}
+	return Pearson(Ranks(xs), Ranks(ys))
+}
+
+// Pearson returns the Pearson correlation coefficient of xs and ys. When
+// either vector is constant the correlation is undefined; this returns an
+// error so callers surface degenerate inputs instead of silently using NaN.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: Pearson over mismatched lengths %d and %d", len(xs), len(ys))
+	}
+	n := float64(len(xs))
+	if n < 2 {
+		return 0, fmt.Errorf("stats: Pearson needs at least 2 observations, got %d", len(xs))
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, fmt.Errorf("stats: Pearson undefined for constant input")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// AveragePairwiseSRCC computes the mean SRCC over all unordered pairs of
+// vectors, the paper's similarity score for a set of buyer utility vectors.
+func AveragePairwiseSRCC(vectors [][]float64) (float64, error) {
+	if len(vectors) < 2 {
+		return 0, fmt.Errorf("stats: pairwise SRCC needs at least 2 vectors, got %d", len(vectors))
+	}
+	var sum float64
+	var pairs int
+	for a := 0; a < len(vectors); a++ {
+		for b := a + 1; b < len(vectors); b++ {
+			rho, err := SRCC(vectors[a], vectors[b])
+			if err != nil {
+				return 0, fmt.Errorf("stats: pair (%d,%d): %w", a, b, err)
+			}
+			sum += rho
+			pairs++
+		}
+	}
+	return sum / float64(pairs), nil
+}
+
+// Mean returns the arithmetic mean, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance, or 0 for fewer than two
+// observations.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// StdErr returns the standard error of the mean.
+func StdErr(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// Summary aggregates replicated measurements of one quantity.
+type Summary struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"std_dev"`
+	StdErr float64 `json:"std_err"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs), Mean: Mean(xs), StdDev: StdDev(xs), StdErr: StdErr(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	return s
+}
+
+// CI95 returns the half-width of a normal-approximation 95% confidence
+// interval around the mean.
+func (s Summary) CI95() float64 { return 1.96 * s.StdErr }
+
+// JainIndex returns Jain's fairness index (Σx)² / (n·Σx²) of an allocation:
+// 1 when everyone receives the same amount, approaching 1/n as one
+// participant takes everything. Used to compare how evenly matching and the
+// double-auction baseline spread buyer utility. Empty or all-zero input is
+// conventionally perfectly fair (index 1).
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}

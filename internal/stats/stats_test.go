@@ -1,0 +1,227 @@
+package stats
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"specmatch/internal/xrand"
+)
+
+func TestRanksSimple(t *testing.T) {
+	got := Ranks([]float64{10, 30, 20})
+	want := []float64{1, 3, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Ranks = %v, want %v", got, want)
+	}
+}
+
+func TestRanksTies(t *testing.T) {
+	got := Ranks([]float64{1, 2, 2, 3})
+	want := []float64{1, 2.5, 2.5, 4}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Ranks with ties = %v, want %v", got, want)
+	}
+}
+
+func TestRanksAllEqual(t *testing.T) {
+	got := Ranks([]float64{5, 5, 5})
+	want := []float64{2, 2, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Ranks all-equal = %v, want %v", got, want)
+	}
+}
+
+func TestSRCCPerfect(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{10, 20, 30, 40, 50}
+	rho, err := SRCC(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho-1) > 1e-12 {
+		t.Errorf("SRCC of co-monotone vectors = %v, want 1", rho)
+	}
+}
+
+func TestSRCCReversed(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{4, 3, 2, 1}
+	rho, err := SRCC(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho+1) > 1e-12 {
+		t.Errorf("SRCC of anti-monotone vectors = %v, want -1", rho)
+	}
+}
+
+// TestSRCCIsRankInvariant: SRCC depends only on ranks, so any monotone
+// transform of one vector leaves it unchanged.
+func TestSRCCIsRankInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		r := xrand.New(seed)
+		n := 5 + r.Intn(10)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		yT := make([]float64, n)
+		for i := range x {
+			x[i] = r.Float64()
+			y[i] = r.Float64()
+			yT[i] = math.Exp(3 * y[i]) // strictly monotone transform
+		}
+		a, err1 := SRCC(x, y)
+		b, err2 := SRCC(x, yT)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(a-b) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSRCCBounded: |rho| ≤ 1 always.
+func TestSRCCBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		r := xrand.New(seed)
+		n := 3 + r.Intn(12)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = r.Float64()
+			y[i] = r.Float64()
+		}
+		rho, err := SRCC(x, y)
+		if err != nil {
+			return false
+		}
+		return rho >= -1-1e-12 && rho <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSRCCErrors(t *testing.T) {
+	if _, err := SRCC([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+	if _, err := SRCC([]float64{1}, []float64{2}); err == nil {
+		t.Error("single observation should fail")
+	}
+	if _, err := SRCC([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("constant vector (all-tied ranks) should fail as undefined")
+	}
+}
+
+func TestPearsonKnown(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{2, 4, 6}
+	rho, err := Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho-1) > 1e-12 {
+		t.Errorf("Pearson of linear data = %v, want 1", rho)
+	}
+}
+
+func TestAveragePairwiseSRCC(t *testing.T) {
+	vectors := [][]float64{
+		{1, 2, 3},
+		{4, 5, 6},
+		{3, 2, 1},
+	}
+	// Pairs: (0,1)=1, (0,2)=-1, (1,2)=-1 → mean = -1/3.
+	got, err := AveragePairwiseSRCC(vectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-(-1.0/3)) > 1e-12 {
+		t.Errorf("AveragePairwiseSRCC = %v, want -1/3", got)
+	}
+	if _, err := AveragePairwiseSRCC(vectors[:1]); err == nil {
+		t.Error("fewer than 2 vectors should fail")
+	}
+}
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Variance(xs); math.Abs(got-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %v, want 32/7", got)
+	}
+	if got := StdDev(xs); math.Abs(got-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("StdDev = %v", got)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || StdErr(nil) != 0 {
+		t.Error("empty-input statistics should be 0")
+	}
+}
+
+func TestVarianceSingle(t *testing.T) {
+	if Variance([]float64{42}) != 0 {
+		t.Error("single-observation variance should be 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if s.CI95() <= 0 {
+		t.Error("CI95 should be positive for non-constant data")
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Min != 0 || empty.Max != 0 {
+		t.Errorf("Summarize(nil) = %+v", empty)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 1},
+		{"all zero", []float64{0, 0}, 1},
+		{"equal", []float64{2, 2, 2, 2}, 1},
+		{"one hog", []float64{4, 0, 0, 0}, 0.25},
+		{"half", []float64{1, 1, 0, 0}, 0.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := JainIndex(tt.xs); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("JainIndex(%v) = %v, want %v", tt.xs, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestJainIndexBounds: the index always lies in [1/n, 1] for non-negative
+// non-zero allocations.
+func TestJainIndexBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := xrand.New(seed)
+		n := 2 + r.Intn(20)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64()
+		}
+		idx := JainIndex(xs)
+		return idx >= 1/float64(n)-1e-12 && idx <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,169 @@
+// Package swap implements the coordinated-exchange stage the paper leaves as
+// future work (§III-D): "How to enable such a swap, which requires a
+// coordination among different sellers and buyers, is an interesting topic
+// for future works."
+//
+// The paper's counterexample shows the two-stage algorithm's output can be
+// strictly dominated by another Nash-stable matching reachable only through
+// a *simultaneous* exchange: buyer 2 and buyer 4 trade places across sellers
+// b and c, every involved party weakly or strictly gains, yet no unilateral
+// move gets there because each buyer blocks the other's destination. This
+// package adds that coordination as an optional Stage III:
+//
+//   - Relocation: a buyer moves alone to a strictly better, compatible
+//     channel (re-closing Nash stability after swaps shuffle coalitions).
+//   - Pairwise swap: two matched buyers exchange sellers simultaneously.
+//     Both buyers must strictly gain, both sellers must weakly gain (the
+//     free-market voluntariness condition the paper's example satisfies),
+//     and both destinations must be interference-free.
+//
+// Every applied move strictly increases social welfare, so the improvement
+// loop terminates; the result is Nash-stable and two-exchange-stable.
+package swap
+
+import (
+	"fmt"
+
+	"specmatch/internal/market"
+	"specmatch/internal/matching"
+)
+
+// Options tunes the improvement loop.
+type Options struct {
+	// MaxMoves bounds the total applied moves; zero derives M·N + N, far
+	// above anything observed (each move strictly increases welfare).
+	MaxMoves int
+
+	// DisableRelocations restricts the loop to pure swaps, for ablation.
+	DisableRelocations bool
+}
+
+// Stats reports what the improvement loop did.
+type Stats struct {
+	Swaps        int     `json:"swaps"`
+	Relocations  int     `json:"relocations"`
+	WelfareGain  float64 `json:"welfare_gain"`
+	FinalWelfare float64 `json:"final_welfare"`
+}
+
+// Improve applies relocations and pairwise swaps to mu (in place) until no
+// improving move remains. It requires an interference-free starting
+// matching, such as the two-stage algorithm's output.
+func Improve(m *market.Market, mu *matching.Matching, opts Options) (Stats, error) {
+	maxMoves := opts.MaxMoves
+	if maxMoves == 0 {
+		maxMoves = m.M()*m.N() + m.N() + 16
+	}
+	var st Stats
+	before := matching.Welfare(m, mu)
+
+	for moves := 0; ; moves++ {
+		if moves > maxMoves {
+			return st, fmt.Errorf("swap: exceeded %d moves; welfare should have converged", maxMoves)
+		}
+		if !opts.DisableRelocations && applyRelocation(m, mu) {
+			st.Relocations++
+			continue
+		}
+		if applySwap(m, mu) {
+			st.Swaps++
+			continue
+		}
+		break
+	}
+
+	st.FinalWelfare = matching.Welfare(m, mu)
+	st.WelfareGain = st.FinalWelfare - before
+	return st, nil
+}
+
+// applyRelocation performs the first profitable unilateral move (in buyer
+// order, best destination first) and reports whether one was applied.
+func applyRelocation(m *market.Market, mu *matching.Matching) bool {
+	for j := 0; j < mu.N(); j++ {
+		cur := matching.BuyerUtilityIn(m, mu, j)
+		best, bestPrice := market.Unmatched, cur
+		for i := 0; i < mu.M(); i++ {
+			if i == mu.SellerOf(j) {
+				continue
+			}
+			p := m.Price(i, j)
+			if p <= bestPrice {
+				continue
+			}
+			if m.Graph(i).ConflictsWith(j, mu.Coalition(i)) {
+				continue
+			}
+			best, bestPrice = i, p
+		}
+		if best != market.Unmatched {
+			// In-range by construction; Assign cannot fail.
+			_ = mu.Assign(best, j)
+			return true
+		}
+	}
+	return false
+}
+
+// applySwap performs the first feasible, all-parties-agreeable pairwise
+// exchange (in lexicographic buyer order) and reports whether one was
+// applied.
+func applySwap(m *market.Market, mu *matching.Matching) bool {
+	for j1 := 0; j1 < mu.N(); j1++ {
+		i1 := mu.SellerOf(j1)
+		if i1 == market.Unmatched {
+			continue
+		}
+		for j2 := j1 + 1; j2 < mu.N(); j2++ {
+			i2 := mu.SellerOf(j2)
+			if i2 == market.Unmatched || i2 == i1 {
+				continue
+			}
+			if !swapImproves(m, mu, j1, i1, j2, i2) {
+				continue
+			}
+			// Detach both, then re-attach crosswise; Assign cannot fail on
+			// in-range indices.
+			mu.Unassign(j1)
+			mu.Unassign(j2)
+			_ = mu.Assign(i2, j1)
+			_ = mu.Assign(i1, j2)
+			return true
+		}
+	}
+	return false
+}
+
+// swapImproves checks the four voluntariness and two feasibility conditions
+// of exchanging buyers j1 ∈ µ(i1) and j2 ∈ µ(i2).
+func swapImproves(m *market.Market, mu *matching.Matching, j1, i1, j2, i2 int) bool {
+	// Buyers strictly gain.
+	if m.Price(i2, j1) <= m.Price(i1, j1) || m.Price(i1, j2) <= m.Price(i2, j2) {
+		return false
+	}
+	// Sellers weakly gain (the incoming price covers the outgoing one).
+	if m.Price(i1, j2) < m.Price(i1, j1) || m.Price(i2, j1) < m.Price(i2, j2) {
+		return false
+	}
+	// Destinations are interference-free once the counterpart has left.
+	ok1 := true
+	mu.EachMember(i2, func(member int) bool {
+		if member != j2 && m.Interferes(i2, j1, member) {
+			ok1 = false
+			return false
+		}
+		return true
+	})
+	if !ok1 {
+		return false
+	}
+	ok2 := true
+	mu.EachMember(i1, func(member int) bool {
+		if member != j1 && m.Interferes(i1, j2, member) {
+			ok2 = false
+			return false
+		}
+		return true
+	})
+	return ok2
+}

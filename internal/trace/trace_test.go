@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Kind: KindPropose}) // must not panic
+	if r.Events() != nil || r.Len() != 0 || r.String() != "" || r.Filter(KindPropose) != nil {
+		t.Error("nil recorder must behave as empty")
+	}
+}
+
+func TestRecordAndFilter(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{Round: 1, Kind: KindPropose, Buyer: 0, Seller: 1})
+	r.Record(Event{Round: 1, Kind: KindAccept, Buyer: 0, Seller: 1})
+	r.Record(Event{Round: 2, Kind: KindPropose, Buyer: 2, Seller: 0})
+	if r.Len() != 3 {
+		t.Errorf("Len = %d, want 3", r.Len())
+	}
+	proposals := r.Filter(KindPropose)
+	if len(proposals) != 2 || proposals[0].Buyer != 0 || proposals[1].Buyer != 2 {
+		t.Errorf("Filter = %v", proposals)
+	}
+	if len(r.Filter(KindInvite)) != 0 {
+		t.Error("Filter of absent kind should be empty")
+	}
+}
+
+func TestEventOrderPreserved(t *testing.T) {
+	r := NewRecorder()
+	for k := 0; k < 10; k++ {
+		r.Record(Event{Round: k, Kind: KindReject})
+	}
+	for k, e := range r.Events() {
+		if e.Round != k {
+			t.Fatalf("event %d has round %d; order not preserved", k, e.Round)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	tests := map[Kind]string{
+		KindPropose:        "propose",
+		KindEvict:          "evict",
+		KindTransferApply:  "transfer-apply",
+		KindInviteAccept:   "invite-accept",
+		KindTransition:     "transition",
+		KindTransferReject: "transfer-reject",
+	}
+	for k, want := range tests {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+	if got := Kind(99).String(); got != "trace.Kind(99)" {
+		t.Errorf("unknown kind String = %q", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{Round: 3, Kind: KindInvite, Buyer: 4, Seller: 2, Note: "test"})
+	s := r.String()
+	for _, want := range []string{"r003", "invite", "buyer=4", "seller=2", "test"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package trace
+
+import "fmt"
+
+// VerifyOptions tunes protocol verification.
+type VerifyOptions struct {
+	// AllowRetries accepts duplicate requests (the asynchronous runtime
+	// retransmits after timeouts). The synchronous engine never duplicates,
+	// so its logs should verify with the zero value.
+	AllowRetries bool
+}
+
+// Verify lints a recorded protocol log against the rules of Algorithms 1–2
+// that are checkable from the event stream alone:
+//
+//   - a buyer proposes to a seller at most once (Stage I never re-proposes);
+//   - accept/reject answer a proposal from that buyer to that seller;
+//   - evict only removes a buyer previously accepted and not yet evicted;
+//   - a transfer application goes to each seller at most once, and its
+//     grant/denial answers an actual application;
+//   - a seller invites a buyer at most once, and invite responses answer an
+//     actual invitation;
+//   - events never regress to an earlier stage (proposals after transfers,
+//     transfers after invitations), and rounds never decrease within a
+//     stage (each stage restarts its own round counter).
+//
+// It returns one message per violation; an empty slice certifies the log.
+func Verify(events []Event, opts VerifyOptions) []string {
+	type pair struct{ buyer, seller int }
+	var out []string
+
+	proposed := make(map[pair]bool)
+	applied := make(map[pair]bool)
+	invited := make(map[pair]bool)
+	waitlisted := make(map[pair]bool)
+
+	stageOf := func(kind Kind) int {
+		switch kind {
+		case KindPropose, KindAccept, KindReject, KindEvict:
+			return 1
+		case KindTransferApply, KindTransferAccept, KindTransferReject:
+			return 2
+		case KindInvite, KindInviteAccept, KindInviteDecline:
+			return 3
+		default:
+			return 0 // transitions and unknowns carry no ordering obligation
+		}
+	}
+
+	lastRound := 0
+	lastStage := 0
+	for k, e := range events {
+		if stage := stageOf(e.Kind); stage != 0 {
+			if stage < lastStage {
+				out = append(out, fmt.Sprintf("event %d: stage went backwards (%v after stage %d)", k, e.Kind, lastStage))
+			}
+			if stage > lastStage {
+				lastStage = stage
+				lastRound = 0 // each stage restarts its round counter
+			}
+			if e.Round < lastRound {
+				out = append(out, fmt.Sprintf("event %d: round went backwards (%d after %d)", k, e.Round, lastRound))
+			}
+			lastRound = e.Round
+		}
+
+		p := pair{buyer: e.Buyer, seller: e.Seller}
+		switch e.Kind {
+		case KindPropose:
+			if proposed[p] && !opts.AllowRetries {
+				out = append(out, fmt.Sprintf("event %d: buyer %d proposed to seller %d twice", k, e.Buyer, e.Seller))
+			}
+			proposed[p] = true
+		case KindAccept:
+			if !proposed[p] {
+				out = append(out, fmt.Sprintf("event %d: accept without a proposal (buyer %d, seller %d)", k, e.Buyer, e.Seller))
+			}
+			waitlisted[p] = true
+		case KindReject:
+			if !proposed[p] {
+				out = append(out, fmt.Sprintf("event %d: reject without a proposal (buyer %d, seller %d)", k, e.Buyer, e.Seller))
+			}
+		case KindEvict:
+			if !waitlisted[p] {
+				out = append(out, fmt.Sprintf("event %d: evicting buyer %d who is not in seller %d's waiting list", k, e.Buyer, e.Seller))
+			}
+			delete(waitlisted, p)
+		case KindTransferApply:
+			if applied[p] && !opts.AllowRetries {
+				out = append(out, fmt.Sprintf("event %d: buyer %d applied to seller %d twice", k, e.Buyer, e.Seller))
+			}
+			applied[p] = true
+		case KindTransferAccept, KindTransferReject:
+			if !applied[p] {
+				out = append(out, fmt.Sprintf("event %d: transfer decision without an application (buyer %d, seller %d)", k, e.Buyer, e.Seller))
+			}
+			if e.Kind == KindTransferAccept {
+				waitlisted[p] = true
+			}
+		case KindInvite:
+			if invited[p] && !opts.AllowRetries {
+				out = append(out, fmt.Sprintf("event %d: seller %d invited buyer %d twice", k, e.Seller, e.Buyer))
+			}
+			invited[p] = true
+		case KindInviteAccept, KindInviteDecline:
+			if !invited[p] {
+				out = append(out, fmt.Sprintf("event %d: invite response without an invitation (buyer %d, seller %d)", k, e.Buyer, e.Seller))
+			}
+		case KindTransition:
+			// Stage transitions carry no pairwise obligation.
+		default:
+			out = append(out, fmt.Sprintf("event %d: unknown kind %v", k, e.Kind))
+		}
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVerifyCleanSequence(t *testing.T) {
+	events := []Event{
+		{Round: 1, Kind: KindPropose, Buyer: 0, Seller: 1},
+		{Round: 1, Kind: KindAccept, Buyer: 0, Seller: 1},
+		{Round: 2, Kind: KindPropose, Buyer: 2, Seller: 1},
+		{Round: 2, Kind: KindEvict, Buyer: 0, Seller: 1},
+		{Round: 2, Kind: KindAccept, Buyer: 2, Seller: 1},
+		{Round: 3, Kind: KindTransferApply, Buyer: 0, Seller: 1},
+		{Round: 3, Kind: KindTransferReject, Buyer: 0, Seller: 1},
+		{Round: 4, Kind: KindInvite, Buyer: 0, Seller: 1},
+		{Round: 4, Kind: KindInviteAccept, Buyer: 0, Seller: 1},
+	}
+	if v := Verify(events, VerifyOptions{}); len(v) != 0 {
+		t.Errorf("clean sequence flagged: %v", v)
+	}
+}
+
+func TestVerifyCatchesViolations(t *testing.T) {
+	tests := []struct {
+		name   string
+		events []Event
+		want   string
+	}{
+		{
+			"double proposal",
+			[]Event{
+				{Round: 1, Kind: KindPropose, Buyer: 0, Seller: 1},
+				{Round: 2, Kind: KindPropose, Buyer: 0, Seller: 1},
+			},
+			"twice",
+		},
+		{
+			"accept from nowhere",
+			[]Event{{Round: 1, Kind: KindAccept, Buyer: 0, Seller: 1}},
+			"without a proposal",
+		},
+		{
+			"evict a stranger",
+			[]Event{{Round: 1, Kind: KindEvict, Buyer: 3, Seller: 1}},
+			"not in seller",
+		},
+		{
+			"transfer decision from nowhere",
+			[]Event{{Round: 1, Kind: KindTransferAccept, Buyer: 0, Seller: 1}},
+			"without an application",
+		},
+		{
+			"invite response from nowhere",
+			[]Event{{Round: 1, Kind: KindInviteDecline, Buyer: 0, Seller: 1}},
+			"without an invitation",
+		},
+		{
+			"time travel",
+			[]Event{
+				{Round: 5, Kind: KindPropose, Buyer: 0, Seller: 1},
+				{Round: 2, Kind: KindPropose, Buyer: 1, Seller: 1},
+			},
+			"backwards",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			v := Verify(tt.events, VerifyOptions{})
+			if len(v) == 0 {
+				t.Fatal("violation not detected")
+			}
+			found := false
+			for _, msg := range v {
+				if strings.Contains(msg, tt.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("violations %v do not mention %q", v, tt.want)
+			}
+		})
+	}
+}
+
+func TestVerifyAllowRetries(t *testing.T) {
+	events := []Event{
+		{Round: 1, Kind: KindPropose, Buyer: 0, Seller: 1},
+		{Round: 3, Kind: KindPropose, Buyer: 0, Seller: 1}, // retransmission
+	}
+	if v := Verify(events, VerifyOptions{AllowRetries: true}); len(v) != 0 {
+		t.Errorf("retry flagged despite AllowRetries: %v", v)
+	}
+}

@@ -1,0 +1,238 @@
+// Package transition implements the probabilistic stage-transition estimates
+// of §IV: the buyer-side eviction probability P^k of eqs. (7)–(8) and the
+// seller-side better-proposal probability Q^k of eq. (9). Buyers and sellers
+// running the asynchronous protocol (internal/agent) use these to decide
+// locally — without global coordination — when it is safe to move from
+// Stage I to Stage II.
+//
+// Both estimates assume buyers' prices are i.i.d. with a known CDF F (the
+// paper's simulations use U[0,1]) and that an outstanding buyer proposes to
+// a uniformly random channel each round. Binomial terms are computed in the
+// log domain so the estimates stay finite for the paper's largest markets
+// (n up to several hundred).
+package transition
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CDF is a cumulative distribution function over offered prices.
+type CDF interface {
+	// CDF returns P[X ≤ x].
+	CDF(x float64) float64
+}
+
+// Uniform01 is the U[0,1] price distribution of the paper's evaluation.
+type Uniform01 struct{}
+
+// CDF implements CDF.
+func (Uniform01) CDF(x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	default:
+		return x
+	}
+}
+
+// Uniform is the U[lo, hi] distribution, for markets with rescaled prices.
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// CDF implements CDF.
+func (u Uniform) CDF(x float64) float64 {
+	if u.Hi <= u.Lo {
+		if x >= u.Hi {
+			return 1
+		}
+		return 0
+	}
+	switch {
+	case x <= u.Lo:
+		return 0
+	case x >= u.Hi:
+		return 1
+	default:
+		return (x - u.Lo) / (u.Hi - u.Lo)
+	}
+}
+
+// Empirical is the empirical CDF of a price sample, for agents that learn
+// the distribution from observed offers rather than assuming one.
+type Empirical struct {
+	sorted []float64
+}
+
+// NewEmpirical builds an empirical CDF from a sample. It returns an error on
+// an empty sample, which has no distribution.
+func NewEmpirical(sample []float64) (*Empirical, error) {
+	if len(sample) == 0 {
+		return nil, fmt.Errorf("transition: empirical CDF of empty sample")
+	}
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	return &Empirical{sorted: sorted}, nil
+}
+
+// CDF implements CDF.
+func (e *Empirical) CDF(x float64) float64 {
+	// Number of sample points ≤ x.
+	n := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(n) / float64(len(e.sorted))
+}
+
+// logChoose returns log C(n, k) via the log-gamma function.
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	ln1, _ := math.Lgamma(float64(n + 1))
+	lk1, _ := math.Lgamma(float64(k + 1))
+	lnk1, _ := math.Lgamma(float64(n - k + 1))
+	return ln1 - lk1 - lnk1
+}
+
+// binomialPMF returns C(n,x) p^x (1-p)^(n-x), computed stably in log space.
+func binomialPMF(n, x int, p float64) float64 {
+	if x < 0 || x > n {
+		return 0
+	}
+	if p <= 0 {
+		if x == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if x == n {
+			return 1
+		}
+		return 0
+	}
+	logPMF := logChoose(n, x) + float64(x)*math.Log(p) + float64(n-x)*math.Log(1-p)
+	return math.Exp(logPMF)
+}
+
+// clamp01 bounds v into [0, 1] against floating-point drift.
+func clamp01(v float64) float64 {
+	switch {
+	case v < 0:
+		return 0
+	case v > 1:
+		return 1
+	default:
+		return v
+	}
+}
+
+// EvictionRisk evaluates eqs. (7)–(8) for a buyer matched to a channel.
+//
+//   - k is the current round (1-based), numChannels is M, horizon is the
+//     Stage I bound MN.
+//   - unproposed (n in the paper) counts the buyer's interfering neighbors
+//     that have not yet proposed to her current seller.
+//   - price is the buyer's own offered price b_{i,j} on her current channel.
+//
+// It returns P^k, the probability the buyer is evicted in some round from k
+// through the horizon: each round, x of the n outstanding neighbors propose
+// to this channel with probability Binomial(n, 1/M), and at least one of
+// them outbids her with probability 1 − F(b)^x.
+func EvictionRisk(k, numChannels, horizon, unproposed int, price float64, f CDF) float64 {
+	if unproposed <= 0 || k > horizon {
+		return 0
+	}
+	if numChannels <= 0 {
+		return 0
+	}
+	pPropose := 1 / float64(numChannels)
+	fb := clamp01(f.CDF(price))
+	var pk float64
+	for x := 1; x <= unproposed; x++ {
+		pk += binomialPMF(unproposed, x, pPropose) * (1 - math.Pow(fb, float64(x)))
+	}
+	pk = clamp01(pk)
+	// P^k = 1 − (1 − p^k)^(MN − k + 1): survive every remaining round.
+	return clamp01(1 - math.Pow(1-pk, float64(horizon-k+1)))
+}
+
+// BetterProposalChance evaluates eq. (9) and its horizon product for a
+// seller: the probability that, from round k through the horizon, she
+// receives a proposal that beats her currently cheapest matched buyer and
+// fits her coalition.
+//
+//   - lowestPrice is b_{i,j} of her cheapest matched buyer j.
+//   - unproposed (n) counts buyers that have not proposed to her yet.
+//   - theta is the probability an unproposed buyer does not interfere with
+//     anyone in µ(i) except possibly j (estimate with EstimateTheta).
+//
+// Each of y arriving proposals beats the incumbent only if its price
+// exceeds b_{i,j} and it is coalition-compatible, which happens per
+// proposal with probability (1 − F(b))·θ; eq. (9)'s bracket is the
+// complement of all y failing.
+func BetterProposalChance(k, numChannels, horizon, unproposed int, lowestPrice, theta float64, f CDF) float64 {
+	if unproposed <= 0 || k > horizon {
+		return 0
+	}
+	if numChannels <= 0 {
+		return 0
+	}
+	pPropose := 1 / float64(numChannels)
+	fb := clamp01(f.CDF(lowestPrice))
+	theta = clamp01(theta)
+	perProposalFail := clamp01(fb + (1-theta)*(1-fb))
+	var qk float64
+	for y := 1; y <= unproposed; y++ {
+		qk += binomialPMF(unproposed, y, pPropose) * (1 - math.Pow(perProposalFail, float64(y)))
+	}
+	qk = clamp01(qk)
+	return clamp01(1 - math.Pow(1-qk, float64(horizon-k+1)))
+}
+
+// EstimateTheta computes the empirical θ of eq. (9): the fraction of the
+// given candidate buyers that do not interfere (per interferes) with any
+// coalition member other than lowest. The paper calls θ "an empirical value
+// ... estimated by analyzing the interference relationship between buyers in
+// and out of µ(i)"; a seller knows her own channel's interference graph, so
+// she can evaluate this exactly over the buyers yet to propose.
+func EstimateTheta(candidates, coalition []int, lowest int, interferes func(a, b int) bool) float64 {
+	if len(candidates) == 0 {
+		return 1
+	}
+	compatible := 0
+	for _, c := range candidates {
+		ok := true
+		for _, member := range coalition {
+			if member == lowest || member == c {
+				continue
+			}
+			if interferes(c, member) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			compatible++
+		}
+	}
+	return float64(compatible) / float64(len(candidates))
+}
+
+// DefaultRule is the paper's fallback schedule: wait MN slots before Stage
+// II, M more before Phase 2, N more before termination.
+type DefaultRule struct {
+	M, N int
+}
+
+// StageIISlot returns the first slot of Stage II Phase 1.
+func (d DefaultRule) StageIISlot() int { return d.M*d.N + 1 }
+
+// Phase2Slot returns the first slot of Stage II Phase 2.
+func (d DefaultRule) Phase2Slot() int { return d.StageIISlot() + d.M }
+
+// EndSlot returns the slot at which matching terminates.
+func (d DefaultRule) EndSlot() int { return d.Phase2Slot() + d.N }

@@ -1,0 +1,249 @@
+package transition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"specmatch/internal/xrand"
+)
+
+func TestUniform01CDF(t *testing.T) {
+	f := Uniform01{}
+	tests := []struct{ x, want float64 }{
+		{-1, 0}, {0, 0}, {0.25, 0.25}, {1, 1}, {2, 1},
+	}
+	for _, tt := range tests {
+		if got := f.CDF(tt.x); got != tt.want {
+			t.Errorf("Uniform01.CDF(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestUniformCDF(t *testing.T) {
+	f := Uniform{Lo: 2, Hi: 4}
+	tests := []struct{ x, want float64 }{
+		{1, 0}, {2, 0}, {3, 0.5}, {4, 1}, {5, 1},
+	}
+	for _, tt := range tests {
+		if got := f.CDF(tt.x); got != tt.want {
+			t.Errorf("Uniform.CDF(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	deg := Uniform{Lo: 3, Hi: 3}
+	if deg.CDF(2.9) != 0 || deg.CDF(3) != 1 {
+		t.Error("degenerate Uniform should be a step function")
+	}
+}
+
+func TestEmpiricalCDF(t *testing.T) {
+	e, err := NewEmpirical([]float64{0.5, 0.1, 0.9, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct{ x, want float64 }{
+		{0, 0}, {0.1, 0.25}, {0.5, 0.75}, {0.9, 1}, {1, 1},
+	}
+	for _, tt := range tests {
+		if got := e.CDF(tt.x); got != tt.want {
+			t.Errorf("Empirical.CDF(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	if _, err := NewEmpirical(nil); err == nil {
+		t.Error("empty sample should fail")
+	}
+}
+
+// TestEmpiricalApproachesUniform: the empirical CDF of a large U[0,1] sample
+// tracks the uniform CDF.
+func TestEmpiricalApproachesUniform(t *testing.T) {
+	r := xrand.New(1)
+	sample := make([]float64, 20000)
+	for i := range sample {
+		sample[i] = r.Float64()
+	}
+	e, err := NewEmpirical(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		if math.Abs(e.CDF(x)-x) > 0.02 {
+			t.Errorf("empirical CDF(%v) = %v, want ≈ %v", x, e.CDF(x), x)
+		}
+	}
+}
+
+func TestBinomialPMFSanity(t *testing.T) {
+	// C(4,2) 0.5^4 = 6/16.
+	if got := binomialPMF(4, 2, 0.5); math.Abs(got-0.375) > 1e-12 {
+		t.Errorf("binomialPMF(4,2,0.5) = %v, want 0.375", got)
+	}
+	if binomialPMF(4, 5, 0.5) != 0 || binomialPMF(4, -1, 0.5) != 0 {
+		t.Error("out-of-range x should give 0")
+	}
+	if binomialPMF(4, 0, 0) != 1 || binomialPMF(4, 4, 1) != 1 {
+		t.Error("degenerate p edge cases wrong")
+	}
+	// PMF sums to 1.
+	var sum float64
+	for x := 0; x <= 300; x++ {
+		sum += binomialPMF(300, x, 1.0/7)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("PMF sums to %v, want 1", sum)
+	}
+}
+
+func TestEvictionRiskEdgeCases(t *testing.T) {
+	f := Uniform01{}
+	if got := EvictionRisk(1, 5, 50, 0, 0.5, f); got != 0 {
+		t.Errorf("no outstanding neighbors → risk 0, got %v", got)
+	}
+	if got := EvictionRisk(51, 5, 50, 3, 0.5, f); got != 0 {
+		t.Errorf("past horizon → risk 0, got %v", got)
+	}
+	if got := EvictionRisk(1, 0, 50, 3, 0.5, f); got != 0 {
+		t.Errorf("no channels → risk 0, got %v", got)
+	}
+	// With price 1 (top of support), no neighbor can outbid: risk 0.
+	if got := EvictionRisk(1, 5, 50, 10, 1, f); got != 0 {
+		t.Errorf("unbeatable price → risk 0, got %v", got)
+	}
+	// With price 0, any arriving proposal outbids: risk > 0 and ≤ 1.
+	got := EvictionRisk(1, 5, 50, 10, 0, f)
+	if got <= 0 || got > 1 {
+		t.Errorf("zero price risk = %v, want in (0,1]", got)
+	}
+}
+
+// TestEvictionRiskDecreasesWithRound reproduces the paper's observation that
+// P^k decreases with k: transitioning later is safer.
+func TestEvictionRiskDecreasesWithRound(t *testing.T) {
+	f := Uniform01{}
+	prev := 2.0
+	for k := 1; k <= 40; k += 3 {
+		risk := EvictionRisk(k, 4, 40, 5, 0.6, f)
+		if risk > prev+1e-12 {
+			t.Errorf("P^%d = %v increased from %v", k, risk, prev)
+		}
+		prev = risk
+	}
+}
+
+// TestEvictionRiskMonotoneInNeighbors: more outstanding interferers, more
+// risk.
+func TestEvictionRiskMonotoneInNeighbors(t *testing.T) {
+	f := Uniform01{}
+	prev := -1.0
+	for n := 0; n <= 12; n += 2 {
+		risk := EvictionRisk(5, 4, 40, n, 0.6, f)
+		if risk < prev-1e-12 {
+			t.Errorf("risk with n=%d is %v, below %v", n, risk, prev)
+		}
+		prev = risk
+	}
+}
+
+// TestEvictionRiskMonotoneInPrice: a higher own price lowers the risk.
+func TestEvictionRiskMonotoneInPrice(t *testing.T) {
+	f := Uniform01{}
+	prev := 2.0
+	for _, b := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		risk := EvictionRisk(5, 4, 40, 6, b, f)
+		if risk > prev+1e-12 {
+			t.Errorf("risk at price %v is %v, above %v", b, risk, prev)
+		}
+		prev = risk
+	}
+}
+
+// TestEvictionRiskBoundedProperty: P^k ∈ [0, 1] for arbitrary inputs.
+func TestEvictionRiskBoundedProperty(t *testing.T) {
+	f := func(kRaw, nRaw uint8, price float64) bool {
+		k := int(kRaw%60) + 1
+		n := int(nRaw % 40)
+		price = math.Mod(math.Abs(price), 1)
+		risk := EvictionRisk(k, 5, 60, n, price, Uniform01{})
+		return risk >= 0 && risk <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBetterProposalChanceEdgeCases(t *testing.T) {
+	f := Uniform01{}
+	if got := BetterProposalChance(1, 5, 50, 0, 0.5, 0.5, f); got != 0 {
+		t.Errorf("no outstanding buyers → 0, got %v", got)
+	}
+	// θ = 0: nobody compatible, no better proposal possible.
+	if got := BetterProposalChance(1, 5, 50, 10, 0.5, 0, f); got != 0 {
+		t.Errorf("theta 0 → 0, got %v", got)
+	}
+	// Price at top of support: nobody can outbid.
+	if got := BetterProposalChance(1, 5, 50, 10, 1, 1, f); got != 0 {
+		t.Errorf("top price → 0, got %v", got)
+	}
+	got := BetterProposalChance(1, 5, 50, 10, 0.2, 1, f)
+	if got <= 0 || got > 1 {
+		t.Errorf("chance = %v, want in (0,1]", got)
+	}
+}
+
+// TestBetterProposalChanceDecreasesWithRound: Q^k decreases with k.
+func TestBetterProposalChanceDecreasesWithRound(t *testing.T) {
+	f := Uniform01{}
+	prev := 2.0
+	for k := 1; k <= 40; k += 3 {
+		q := BetterProposalChance(k, 4, 40, 8, 0.4, 0.6, f)
+		if q > prev+1e-12 {
+			t.Errorf("Q^%d = %v increased from %v", k, q, prev)
+		}
+		prev = q
+	}
+}
+
+// TestBetterProposalChanceMonotoneInTheta: easier compatibility, higher
+// chance.
+func TestBetterProposalChanceMonotoneInTheta(t *testing.T) {
+	f := Uniform01{}
+	prev := -1.0
+	for _, theta := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		q := BetterProposalChance(3, 4, 40, 8, 0.4, theta, f)
+		if q < prev-1e-12 {
+			t.Errorf("chance at θ=%v is %v, below %v", theta, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestEstimateTheta(t *testing.T) {
+	interferes := func(a, b int) bool {
+		// 0 interferes with everyone; others pairwise free.
+		return a == 0 || b == 0
+	}
+	// Coalition {0, 1} with lowest = 1: candidate 2 conflicts with member 0.
+	if got := EstimateTheta([]int{2, 3}, []int{0, 1}, 1, interferes); got != 0 {
+		t.Errorf("theta = %v, want 0 (member 0 blocks everyone)", got)
+	}
+	// Lowest = 0 is exempt from the check: candidates only face member 1.
+	if got := EstimateTheta([]int{2, 3}, []int{0, 1}, 0, interferes); got != 1 {
+		t.Errorf("theta = %v, want 1 (only member 0 would block, and it is exempt)", got)
+	}
+	if got := EstimateTheta(nil, []int{0}, 0, interferes); got != 1 {
+		t.Errorf("theta of empty candidates = %v, want 1", got)
+	}
+}
+
+func TestDefaultRule(t *testing.T) {
+	d := DefaultRule{M: 3, N: 5}
+	if d.StageIISlot() != 16 {
+		t.Errorf("StageIISlot = %d, want 16", d.StageIISlot())
+	}
+	if d.Phase2Slot() != 19 {
+		t.Errorf("Phase2Slot = %d, want 19", d.Phase2Slot())
+	}
+	if d.EndSlot() != 24 {
+		t.Errorf("EndSlot = %d, want 24", d.EndSlot())
+	}
+}

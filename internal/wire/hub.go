@@ -1,0 +1,212 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"time"
+
+	"specmatch/internal/market"
+	"specmatch/internal/matching"
+)
+
+// HubConfig tunes the coordinator.
+type HubConfig struct {
+	// Addr is the listen address; empty means "127.0.0.1:0" (ephemeral).
+	Addr string
+	// MaxSlots aborts a market that fails to quiesce; zero means 4·M·N +
+	// 4·(M+N) + 200, comfortably above the default schedule.
+	MaxSlots int
+	// IOTimeout bounds each network read/write; zero means 10s.
+	IOTimeout time.Duration
+}
+
+func (c HubConfig) withDefaults(numSellers, numBuyers int) HubConfig {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.MaxSlots == 0 {
+		c.MaxSlots = 4*numSellers*numBuyers + 4*(numSellers+numBuyers) + 200
+	}
+	if c.IOTimeout == 0 {
+		c.IOTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// HubReport is the coordinator's view of a completed market.
+type HubReport struct {
+	Matching *matching.Matching
+	Welfare  float64
+	Slots    int
+	// Messages counts protocol messages relayed between agents.
+	Messages int
+}
+
+// Hub coordinates one matching market over TCP. Create with NewHub, then
+// Serve; nodes connect to Addr().
+type Hub struct {
+	cfg        HubConfig
+	numSellers int
+	numBuyers  int
+	ln         net.Listener
+}
+
+// NewHub starts listening for the given market shape.
+func NewHub(m *market.Market, cfg HubConfig) (*Hub, error) {
+	cfg = cfg.withDefaults(m.M(), m.N())
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: hub listen: %w", err)
+	}
+	return &Hub{cfg: cfg, numSellers: m.M(), numBuyers: m.N(), ln: ln}, nil
+}
+
+// Addr returns the hub's listen address for nodes to dial.
+func (h *Hub) Addr() string { return h.ln.Addr().String() }
+
+// Close releases the listener. Serve closes it on return as well.
+func (h *Hub) Close() error { return h.ln.Close() }
+
+// conn wraps a node connection with framing and deadlines.
+type conn struct {
+	c       net.Conn
+	timeout time.Duration
+}
+
+func (nc *conn) write(f frame) error {
+	if err := nc.c.SetWriteDeadline(time.Now().Add(nc.timeout)); err != nil {
+		return fmt.Errorf("wire: set deadline: %w", err)
+	}
+	return WriteFrame(nc.c, f)
+}
+
+func (nc *conn) read() (frame, error) {
+	if err := nc.c.SetReadDeadline(time.Now().Add(nc.timeout)); err != nil {
+		return frame{}, fmt.Errorf("wire: set deadline: %w", err)
+	}
+	var f frame
+	if err := ReadFrame(nc.c, &f); err != nil {
+		return frame{}, err
+	}
+	return f, nil
+}
+
+// Serve accepts all node connections, runs the slot loop to quiescence, and
+// assembles the final matching from the nodes' closing reports. It closes
+// the listener on return.
+func (h *Hub) Serve(m *market.Market) (HubReport, error) {
+	defer func() { _ = h.ln.Close() }()
+	var report HubReport
+
+	total := h.numSellers + h.numBuyers
+	nodes := make(map[NodeRef]*conn, total)
+	for len(nodes) < total {
+		raw, err := h.ln.Accept()
+		if err != nil {
+			return report, fmt.Errorf("wire: hub accept: %w", err)
+		}
+		nc := &conn{c: raw, timeout: h.cfg.IOTimeout}
+		f, err := nc.read()
+		if err != nil || f.Hello == nil {
+			_ = raw.Close()
+			if err == nil {
+				err = fmt.Errorf("first frame was not hello")
+			}
+			return report, fmt.Errorf("wire: hub handshake: %w", err)
+		}
+		ref := f.Hello.Node
+		if _, dup := nodes[ref]; dup {
+			_ = raw.Close()
+			return report, fmt.Errorf("wire: duplicate registration for %v", ref)
+		}
+		nodes[ref] = nc
+	}
+	defer func() {
+		for _, nc := range nodes {
+			_ = nc.c.Close()
+		}
+	}()
+
+	// Deterministic node order: buyers by index, then sellers.
+	order := make([]NodeRef, 0, total)
+	for ref := range nodes {
+		order = append(order, ref)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].Kind != order[b].Kind {
+			return order[a].Kind < order[b].Kind // "buyer" < "seller"
+		}
+		return order[a].Index < order[b].Index
+	})
+
+	// Slot loop: pending messages sent in slot t deliver in slot t+1.
+	pending := make(map[NodeRef][]WireMsg)
+	for slot := 1; slot <= h.cfg.MaxSlots; slot++ {
+		for _, ref := range order {
+			inbox := pending[ref]
+			delete(pending, ref)
+			if err := nodes[ref].write(frame{Tick: &Tick{Slot: slot, Inbox: inbox}}); err != nil {
+				return report, fmt.Errorf("wire: tick %v: %w", ref, err)
+			}
+		}
+		allIdle := true
+		for _, ref := range order {
+			f, err := nodes[ref].read()
+			if err != nil || f.EndSlot == nil {
+				if err == nil {
+					err = fmt.Errorf("expected end-slot")
+				}
+				return report, fmt.Errorf("wire: end-slot from %v: %w", ref, err)
+			}
+			if !f.EndSlot.Idle {
+				allIdle = false
+			}
+			for _, wm := range f.EndSlot.Outbox {
+				pending[wm.To] = append(pending[wm.To], wm)
+				report.Messages++
+			}
+		}
+		report.Slots = slot
+		if allIdle && len(pending) == 0 {
+			break
+		}
+	}
+
+	// Collect final state.
+	mu := matching.New(h.numSellers, h.numBuyers)
+	buyerView := make([]int, h.numBuyers)
+	coalitions := make([][]int, h.numSellers)
+	for _, ref := range order {
+		if err := nodes[ref].write(frame{Done: &Done{}}); err != nil {
+			return report, fmt.Errorf("wire: done %v: %w", ref, err)
+		}
+	}
+	for _, ref := range order {
+		f, err := nodes[ref].read()
+		if err != nil || f.Final == nil {
+			if err == nil {
+				err = fmt.Errorf("expected final")
+			}
+			return report, fmt.Errorf("wire: final from %v: %w", ref, err)
+		}
+		switch ref.Kind {
+		case "buyer":
+			buyerView[ref.Index] = f.Final.MatchedTo
+		case "seller":
+			coalitions[ref.Index] = f.Final.Coalition
+		}
+	}
+	for i, coalition := range coalitions {
+		for _, j := range coalition {
+			if j >= 0 && j < h.numBuyers && buyerView[j] == i {
+				if err := mu.Assign(i, j); err != nil {
+					return report, fmt.Errorf("wire: assembling matching: %w", err)
+				}
+			}
+		}
+	}
+	report.Matching = mu
+	report.Welfare = matching.Welfare(m, mu)
+	return report, nil
+}

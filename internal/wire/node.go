@@ -1,0 +1,178 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"specmatch/internal/agent"
+	"specmatch/internal/market"
+	"specmatch/internal/simnet"
+)
+
+// NodeConfig tunes a node process.
+type NodeConfig struct {
+	// Agent configures the protocol state machine (transition rules etc.);
+	// its network settings are ignored — TCP is the network.
+	Agent agent.Config
+	// IOTimeout bounds each read/write; zero means 10s.
+	IOTimeout time.Duration
+}
+
+func (c NodeConfig) withDefaults() NodeConfig {
+	if c.IOTimeout == 0 {
+		c.IOTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// RunBuyerNode dials the hub and runs buyer j's state machine until the hub
+// announces completion. It returns the seller the buyer ended up holding,
+// or market.Unmatched.
+func RunBuyerNode(addr string, j int, m *market.Market, cfg NodeConfig) (int, error) {
+	cfg = cfg.withDefaults()
+	node := agent.NewBuyerNode(j, m, cfg.Agent)
+	final := Final{Node: NodeRef{Kind: "buyer", Index: j}}
+	err := runNode(addr, final.Node, cfg.IOTimeout,
+		func(msg simnet.Message) { node.Deliver(msg) },
+		func(now int) ([]simnet.Message, bool, error) {
+			out := node.Tick(now)
+			return out, node.Idle(), nil
+		},
+		func() Final {
+			final.MatchedTo = node.MatchedTo()
+			return final
+		},
+	)
+	if err != nil {
+		return market.Unmatched, err
+	}
+	return node.MatchedTo(), nil
+}
+
+// RunSellerNode dials the hub and runs seller i's state machine until the
+// hub announces completion. It returns the seller's final coalition.
+func RunSellerNode(addr string, i int, m *market.Market, cfg NodeConfig) ([]int, error) {
+	cfg = cfg.withDefaults()
+	node := agent.NewSellerNode(i, m, cfg.Agent)
+	final := Final{Node: NodeRef{Kind: "seller", Index: i}}
+	err := runNode(addr, final.Node, cfg.IOTimeout,
+		func(msg simnet.Message) { node.Deliver(msg) },
+		func(now int) ([]simnet.Message, bool, error) {
+			out, err := node.Tick(now)
+			return out, node.Quiescent(), err
+		},
+		func() Final {
+			final.Coalition = node.Coalition()
+			return final
+		},
+	)
+	if err != nil {
+		return nil, err
+	}
+	return node.Coalition(), nil
+}
+
+// runNode is the shared hub-side loop of both node kinds.
+func runNode(
+	addr string,
+	self NodeRef,
+	timeout time.Duration,
+	deliver func(simnet.Message),
+	tick func(now int) (out []simnet.Message, idle bool, err error),
+	finalState func() Final,
+) error {
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("wire: node dial: %w", err)
+	}
+	defer func() { _ = raw.Close() }()
+	nc := &conn{c: raw, timeout: timeout}
+
+	if err := nc.write(frame{Hello: &Hello{Node: self}}); err != nil {
+		return fmt.Errorf("wire: node hello: %w", err)
+	}
+	for {
+		f, err := nc.read()
+		if err != nil {
+			return fmt.Errorf("wire: node read: %w", err)
+		}
+		switch {
+		case f.Tick != nil:
+			for _, wm := range f.Tick.Inbox {
+				msg, err := DecodeMsg(wm)
+				if err != nil {
+					return err
+				}
+				deliver(msg)
+			}
+			out, idle, err := tick(f.Tick.Slot)
+			if err != nil {
+				return err
+			}
+			end := EndSlot{Idle: idle}
+			for _, msg := range out {
+				wm, err := EncodeMsg(msg)
+				if err != nil {
+					return err
+				}
+				end.Outbox = append(end.Outbox, wm)
+			}
+			if err := nc.write(frame{EndSlot: &end}); err != nil {
+				return fmt.Errorf("wire: node end-slot: %w", err)
+			}
+		case f.Done != nil:
+			final := finalState()
+			if err := nc.write(frame{Final: &final}); err != nil {
+				return fmt.Errorf("wire: node final: %w", err)
+			}
+			return nil
+		default:
+			return fmt.Errorf("wire: node received unexpected frame")
+		}
+	}
+}
+
+// MatchOverTCP runs the full market over real localhost TCP: it starts a
+// hub and one goroutine per participant, each with its own connection, and
+// returns the hub's report. This is the integration entry point; for
+// multi-process or multi-host deployment use NewHub, RunBuyerNode and
+// RunSellerNode directly (see cmd/specnode).
+func MatchOverTCP(m *market.Market, nodeCfg NodeConfig, hubCfg HubConfig) (HubReport, error) {
+	hub, err := NewHub(m, hubCfg)
+	if err != nil {
+		return HubReport{}, err
+	}
+	addr := hub.Addr()
+
+	type nodeErr struct {
+		ref NodeRef
+		err error
+	}
+	errs := make(chan nodeErr, m.M()+m.N())
+	for j := 0; j < m.N(); j++ {
+		go func(j int) {
+			_, err := RunBuyerNode(addr, j, m, nodeCfg)
+			errs <- nodeErr{ref: NodeRef{Kind: "buyer", Index: j}, err: err}
+		}(j)
+	}
+	for i := 0; i < m.M(); i++ {
+		go func(i int) {
+			_, err := RunSellerNode(addr, i, m, nodeCfg)
+			errs <- nodeErr{ref: NodeRef{Kind: "seller", Index: i}, err: err}
+		}(i)
+	}
+
+	report, serveErr := hub.Serve(m)
+	var firstNodeErr error
+	for k := 0; k < m.M()+m.N(); k++ {
+		ne := <-errs
+		if ne.err != nil && firstNodeErr == nil {
+			firstNodeErr = fmt.Errorf("wire: node %v: %w", ne.ref, ne.err)
+		}
+	}
+	if serveErr != nil {
+		return report, serveErr
+	}
+	return report, firstNodeErr
+}

@@ -1,0 +1,229 @@
+package wire
+
+import (
+	"bytes"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"specmatch/internal/agent"
+	"specmatch/internal/core"
+	"specmatch/internal/market"
+	"specmatch/internal/paperexample"
+	"specmatch/internal/simnet"
+	"specmatch/internal/stability"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Tick{Slot: 7, Inbox: []WireMsg{{From: NodeRef{Kind: "buyer", Index: 1}, Type: "leave"}}}
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out Tick
+	if err := ReadFrame(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip: %+v vs %+v", in, out)
+	}
+}
+
+func TestFrameLimits(t *testing.T) {
+	var buf bytes.Buffer
+	big := strings.Repeat("x", MaxFrame+1)
+	if err := WriteFrame(&buf, big); err == nil {
+		t.Error("oversized frame should fail to write")
+	}
+	// A forged oversized prefix must be rejected before allocation.
+	forged := bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0})
+	var v any
+	if err := ReadFrame(forged, &v); err == nil {
+		t.Error("forged oversized prefix should fail")
+	}
+	// Truncated body.
+	trunc := bytes.NewReader([]byte{0, 0, 0, 10, 'x'})
+	if err := ReadFrame(trunc, &v); err == nil {
+		t.Error("truncated body should fail")
+	}
+}
+
+func TestMsgCodecRoundTrip(t *testing.T) {
+	payloads := []any{
+		agent.Propose{Price: 0.5},
+		agent.ProposalDecision{Accepted: true, Proposers: []int{1, 2}},
+		agent.Evict{},
+		agent.Digest{Proposers: []int{3}},
+		agent.TransferApply{Price: 0.25},
+		agent.TransferDecision{Accepted: false},
+		agent.Invite{},
+		agent.InviteResponse{Accepted: true},
+		agent.Leave{},
+		agent.SellerTransition{},
+	}
+	for _, p := range payloads {
+		in := simnet.Message{From: simnet.Buyer(2), To: simnet.Seller(1), Payload: p}
+		wm, err := EncodeMsg(in)
+		if err != nil {
+			t.Fatalf("%T: %v", p, err)
+		}
+		out, err := DecodeMsg(wm)
+		if err != nil {
+			t.Fatalf("%T: %v", p, err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Errorf("%T round trip: %+v vs %+v", p, in, out)
+		}
+	}
+}
+
+func TestMsgCodecErrors(t *testing.T) {
+	if _, err := EncodeMsg(simnet.Message{Payload: 42}); err == nil {
+		t.Error("unregistered payload should fail")
+	}
+	if _, err := DecodeMsg(WireMsg{Type: "nonsense"}); err == nil {
+		t.Error("unknown type should fail")
+	}
+	if _, err := DecodeMsg(WireMsg{Type: "propose", From: NodeRef{Kind: "alien"}}); err == nil {
+		t.Error("unknown node kind should fail")
+	}
+	if _, err := DecodeMsg(WireMsg{Type: "propose", From: NodeRef{Kind: "buyer"}, To: NodeRef{Kind: "seller"}, Payload: []byte("{bad")}); err == nil {
+		t.Error("bad payload JSON should fail")
+	}
+}
+
+// TestMatchOverTCPToy runs the paper's toy market over real localhost TCP
+// and checks it reproduces the published result.
+func TestMatchOverTCPToy(t *testing.T) {
+	m := paperexample.Toy()
+	report, err := MatchOverTCP(m, NodeConfig{}, HubConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Welfare != paperexample.ToyFinalWelfare {
+		t.Errorf("welfare over TCP = %v, want %v", report.Welfare, paperexample.ToyFinalWelfare)
+	}
+	sync, err := core.Run(m, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Matching.Equal(sync.Matching) {
+		t.Errorf("TCP matching %v != sync %v", report.Matching, sync.Matching)
+	}
+}
+
+// TestMatchOverTCPRandomMarkets: TCP execution equals the simulated run on
+// random markets under the rule-based transitions.
+func TestMatchOverTCPRandomMarkets(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		m, err := market.Generate(market.Config{Sellers: 3, Buyers: 12, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		acfg := agent.Config{BuyerRule: agent.BuyerRuleII, SellerRule: agent.SellerProbabilistic}
+		report, err := MatchOverTCP(m, NodeConfig{Agent: acfg}, HubConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := agent.Run(m, acfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !report.Matching.Equal(sim.Matching) {
+			t.Errorf("seed %d: TCP matching differs from simulated run", seed)
+		}
+		if v := stability.CheckInterferenceFree(m, report.Matching); len(v) != 0 {
+			t.Errorf("seed %d: interference %v", seed, v)
+		}
+	}
+}
+
+// TestHubRejectsDuplicateRegistration: two nodes claiming the same identity
+// abort the market.
+func TestHubRejectsDuplicateRegistration(t *testing.T) {
+	m := paperexample.Toy()
+	hub, err := NewHub(m, HubConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := hub.Addr()
+	done := make(chan error, 1)
+	go func() {
+		_, err := hub.Serve(m)
+		done <- err
+	}()
+	// Two buyers with index 0.
+	go func() { _, _ = RunBuyerNode(addr, 0, m, NodeConfig{}) }()
+	go func() { _, _ = RunBuyerNode(addr, 0, m, NodeConfig{}) }()
+	if err := <-done; err == nil {
+		t.Error("duplicate registration should abort Serve")
+	}
+}
+
+// TestHubRejectsGarbageHandshake: a connection whose first frame is not a
+// hello aborts the market instead of hanging.
+func TestHubRejectsGarbageHandshake(t *testing.T) {
+	m := paperexample.Toy()
+	hub, err := NewHub(m, HubConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := hub.Serve(m)
+		done <- err
+	}()
+	conn, err := net.Dial("tcp", hub.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	if err := WriteFrame(conn, frame{Tick: &Tick{Slot: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err == nil {
+		t.Error("non-hello first frame should abort Serve")
+	}
+}
+
+// TestHubTimesOutSilentNode: a registered node that never answers ticks
+// trips the IO timeout rather than hanging the market forever.
+func TestHubTimesOutSilentNode(t *testing.T) {
+	m := paperexample.Toy()
+	hub, err := NewHub(m, HubConfig{IOTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := hub.Addr()
+	done := make(chan error, 1)
+	go func() {
+		_, err := hub.Serve(m)
+		done <- err
+	}()
+	// All sellers and all but one buyer behave; buyer 4 registers then
+	// goes silent.
+	for i := 0; i < m.M(); i++ {
+		go func(i int) { _, _ = RunSellerNode(addr, i, m, NodeConfig{}) }(i)
+	}
+	for j := 0; j < m.N()-1; j++ {
+		go func(j int) { _, _ = RunBuyerNode(addr, j, m, NodeConfig{}) }(j)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	if err := WriteFrame(conn, frame{Hello: &Hello{Node: NodeRef{Kind: "buyer", Index: m.N() - 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("silent node should abort Serve with a timeout error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("hub hung on a silent node")
+	}
+}

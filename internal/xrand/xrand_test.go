@@ -1,0 +1,103 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for k := 0; k < 100; k++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must generate the same sequence")
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	// Adjacent stream indices must produce decorrelated seeds, not
+	// consecutive ones.
+	s0, s1 := Split(1, 0), Split(1, 1)
+	if s0 == s1 {
+		t.Error("adjacent streams share a seed")
+	}
+	if d := s1 - s0; d > -16 && d < 16 {
+		t.Errorf("adjacent stream seeds differ by only %d; not mixed", d)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	if Split(7, 3) != Split(7, 3) {
+		t.Error("Split must be a pure function")
+	}
+	if Split(7, 3) == Split(8, 3) || Split(7, 3) == Split(7, 4) {
+		t.Error("Split must depend on both arguments")
+	}
+}
+
+func TestNewStream(t *testing.T) {
+	a := NewStream(5, 2)
+	b := New(Split(5, 2))
+	for k := 0; k < 20; k++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("NewStream must equal New(Split(...))")
+		}
+	}
+}
+
+func TestSplitMix64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	base := SplitMix64(12345)
+	flipped := SplitMix64(12345 ^ 1)
+	diff := base ^ flipped
+	ones := 0
+	for ; diff != 0; diff &= diff - 1 {
+		ones++
+	}
+	if ones < 16 || ones > 48 {
+		t.Errorf("avalanche flipped %d bits of 64, want near 32", ones)
+	}
+}
+
+func TestUniformOpenClosed(t *testing.T) {
+	r := New(3)
+	for k := 0; k < 10000; k++ {
+		v := UniformOpenClosed(r, 5)
+		if v <= 0 || v > 5 {
+			t.Fatalf("UniformOpenClosed = %v, want in (0, 5]", v)
+		}
+	}
+}
+
+func TestUniformOpenClosedCoverage(t *testing.T) {
+	r := New(4)
+	low, high := 0, 0
+	for k := 0; k < 2000; k++ {
+		if v := UniformOpenClosed(r, 1); v < 0.5 {
+			low++
+		} else {
+			high++
+		}
+	}
+	if low < 800 || high < 800 {
+		t.Errorf("halves hit %d/%d of 2000; not uniform", low, high)
+	}
+}
+
+// TestStreamsUncorrelated: first draws of many streams look uniform.
+func TestStreamsUncorrelated(t *testing.T) {
+	f := func(seed int64) bool {
+		var below int
+		const streams = 64
+		for i := 0; i < streams; i++ {
+			if NewStream(seed, i).Float64() < 0.5 {
+				below++
+			}
+		}
+		// Allow a wide band; catching only gross correlation.
+		return below > 10 && below < 54
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
