@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench figures check fmt vet clean
+.PHONY: all build test test-short race bench benchcheck baseline figures check fmt vet clean
 
 all: build test
 
@@ -22,6 +22,16 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Guard the committed engine baseline: exact welfare goldens plus a
+# side-by-side timing check (default engine must stay within 2x of the
+# plain sequential configuration on this machine).
+benchcheck:
+	RUN_BENCHCHECK=1 $(GO) test -run TestBenchBaseline -count=1 -v .
+
+# Regenerate BENCH_BASELINE.json (run after an intentional behavior change).
+baseline:
+	$(GO) run ./cmd/specbench -baseline BENCH_BASELINE.json
 
 # Regenerate every evaluation figure and verify the published shapes.
 figures:

@@ -1,0 +1,109 @@
+package specmatch_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"specmatch/internal/core"
+	"specmatch/internal/market"
+)
+
+// benchBaseline mirrors the schema cmd/specbench writes to BENCH_BASELINE.json
+// (kept in sync by TestBenchBaseline failing on decode).
+type benchBaseline struct {
+	Cases []struct {
+		Name    string  `json:"name"`
+		Sellers int     `json:"sellers"`
+		Buyers  int     `json:"buyers"`
+		Seed    int64   `json:"seed"`
+		Welfare float64 `json:"welfare"`
+		Matched int     `json:"matched"`
+		Rounds  int     `json:"rounds"`
+	} `json:"cases"`
+}
+
+// TestBenchBaseline guards the committed engine baseline on two axes.
+//
+// Welfare drift (always on): the engine is deterministic, so each baseline
+// case's welfare, matched count, and total rounds must reproduce exactly —
+// any drift means the algorithm changed behavior, which a "performance" PR
+// must not do silently. Regenerate with `go run ./cmd/specbench -baseline
+// BENCH_BASELINE.json` when a behavior change is intentional.
+//
+// Timing regression (RUN_BENCHCHECK=1, `make benchcheck`): the default
+// engine configuration (parallel fan-out + coalition cache) must not run
+// more than 2x slower than the plain sequential configuration measured side
+// by side on the same machine. Both configurations produce identical output,
+// so a welfare-neutral slowdown is exactly what this catches. The committed
+// timings in BENCH_BASELINE.json are informational only; they came from a
+// different machine and are never compared against.
+func TestBenchBaseline(t *testing.T) {
+	data, err := os.ReadFile("BENCH_BASELINE.json")
+	if err != nil {
+		t.Fatalf("reading BENCH_BASELINE.json (regenerate with `go run ./cmd/specbench -baseline BENCH_BASELINE.json`): %v", err)
+	}
+	var base benchBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatalf("decoding BENCH_BASELINE.json: %v", err)
+	}
+	if len(base.Cases) == 0 {
+		t.Fatal("BENCH_BASELINE.json has no cases")
+	}
+	timing := os.Getenv("RUN_BENCHCHECK") == "1"
+
+	for _, c := range base.Cases {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			m, err := market.Generate(market.Config{Sellers: c.Sellers, Buyers: c.Buyers, Seed: c.Seed})
+			if err != nil {
+				t.Fatalf("generating market: %v", err)
+			}
+
+			measure := func(opts core.Options, iters int) (time.Duration, *core.Result) {
+				bestD := time.Duration(0)
+				var res *core.Result
+				for k := 0; k < iters; k++ {
+					start := time.Now()
+					r, err := core.Run(m, opts)
+					d := time.Since(start)
+					if err != nil {
+						t.Fatalf("core.Run: %v", err)
+					}
+					if res == nil || d < bestD {
+						bestD, res = d, r
+					}
+				}
+				return bestD, res
+			}
+
+			_, res := measure(core.Options{}, 1)
+			if res.Welfare != c.Welfare {
+				t.Errorf("welfare drift: got %v, baseline %v", res.Welfare, c.Welfare)
+			}
+			if res.Matched != c.Matched {
+				t.Errorf("matched drift: got %d, baseline %d", res.Matched, c.Matched)
+			}
+			if res.TotalRounds() != c.Rounds {
+				t.Errorf("rounds drift: got %d, baseline %d", res.TotalRounds(), c.Rounds)
+			}
+
+			if !timing {
+				return
+			}
+			// Side-by-side timing on this machine: default engine vs the
+			// pre-optimization configuration, best of 5. A >2x slowdown of
+			// the default over plain sequential fails.
+			defDur, defRes := measure(core.Options{}, 5)
+			seqDur, seqRes := measure(core.Options{Workers: 1, DisableCoalitionCache: true}, 5)
+			if defRes.Welfare != seqRes.Welfare {
+				t.Errorf("default and sequential configurations disagree: welfare %v vs %v", defRes.Welfare, seqRes.Welfare)
+			}
+			t.Logf("default %v, sequential %v (%.2fx)", defDur, seqDur, float64(seqDur)/float64(defDur))
+			if defDur > 2*seqDur {
+				t.Errorf("default engine is >2x slower than plain sequential: %v vs %v", defDur, seqDur)
+			}
+		})
+	}
+}

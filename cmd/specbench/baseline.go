@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"specmatch/internal/core"
+	"specmatch/internal/market"
+)
+
+// Baseline is the engine benchmark record committed as BENCH_BASELINE.json.
+// The welfare/matched/rounds fields are exact goldens: the engine is
+// deterministic, so any drift is a behavior change, not noise. The timings
+// are informational (they depend on the recording machine); the benchguard
+// test re-measures both configurations side by side on the current machine
+// instead of trusting them.
+type Baseline struct {
+	GeneratedBy string         `json:"generated_by"`
+	GoMaxProcs  int            `json:"gomaxprocs"`
+	Cases       []BaselineCase `json:"cases"`
+}
+
+// BaselineCase records one market scale from the paper's evaluation (§V).
+type BaselineCase struct {
+	Name    string `json:"name"`
+	Sellers int    `json:"sellers"`
+	Buyers  int    `json:"buyers"`
+	Seed    int64  `json:"seed"`
+
+	// Exact goldens, identical at every Workers/cache setting.
+	Welfare float64 `json:"welfare"`
+	Matched int     `json:"matched"`
+	Rounds  int     `json:"rounds"`
+
+	// Informational timings from the recording machine: the engine's default
+	// configuration (parallel + coalition cache) versus the pre-optimization
+	// configuration (sequential, cache disabled), best of three runs each.
+	DefaultNs  int64   `json:"default_ns"`
+	SeqNs      int64   `json:"seq_ns"`
+	Speedup    float64 `json:"speedup"`
+	CacheHits  int     `json:"cache_hits"`
+	CacheIndep int     `json:"cache_independent"`
+	CacheMiss  int     `json:"cache_misses"`
+}
+
+// BaselineCases returns the market scales the baseline records: the largest
+// points of Figs. 7(a)/8(a) and 7(b)/8(b), plus a mid-size market.
+func BaselineCases(seed int64) []BaselineCase {
+	return []BaselineCase{
+		{Name: "fig7a-max", Sellers: 10, Buyers: 320, Seed: seed},
+		{Name: "fig7b-max", Sellers: 16, Buyers: 500, Seed: seed},
+		{Name: "mid", Sellers: 8, Buyers: 200, Seed: seed},
+	}
+}
+
+// MeasureBaselineCase fills in one case's goldens and timings, verifying
+// along the way that the optimized default configuration and the plain
+// sequential configuration produce identical results.
+func MeasureBaselineCase(c *BaselineCase) error {
+	m, err := market.Generate(market.Config{Sellers: c.Sellers, Buyers: c.Buyers, Seed: c.Seed})
+	if err != nil {
+		return fmt.Errorf("generating %s: %w", c.Name, err)
+	}
+	defaultOpts := core.Options{}
+	seqOpts := core.Options{Workers: 1, DisableCoalitionCache: true}
+
+	var defRes *core.Result
+	best := func(opts core.Options) (time.Duration, *core.Result, error) {
+		bestD := time.Duration(0)
+		var res *core.Result
+		for iter := 0; iter < 3; iter++ {
+			start := time.Now()
+			r, err := core.Run(m, opts)
+			d := time.Since(start)
+			if err != nil {
+				return 0, nil, err
+			}
+			if res == nil || d < bestD {
+				bestD, res = d, r
+			}
+		}
+		return bestD, res, nil
+	}
+
+	defDur, defRes, err := best(defaultOpts)
+	if err != nil {
+		return fmt.Errorf("%s default run: %w", c.Name, err)
+	}
+	seqDur, seqRes, err := best(seqOpts)
+	if err != nil {
+		return fmt.Errorf("%s sequential run: %w", c.Name, err)
+	}
+	if defRes.Welfare != seqRes.Welfare || defRes.Matched != seqRes.Matched ||
+		defRes.TotalRounds() != seqRes.TotalRounds() {
+		return fmt.Errorf("%s: default and sequential configurations disagree (welfare %v vs %v)",
+			c.Name, defRes.Welfare, seqRes.Welfare)
+	}
+
+	c.Welfare = defRes.Welfare
+	c.Matched = defRes.Matched
+	c.Rounds = defRes.TotalRounds()
+	c.DefaultNs = defDur.Nanoseconds()
+	c.SeqNs = seqDur.Nanoseconds()
+	if defDur > 0 {
+		c.Speedup = float64(seqDur) / float64(defDur)
+	}
+	c.CacheHits = defRes.Cache.Hits
+	c.CacheIndep = defRes.Cache.Independent
+	c.CacheMiss = defRes.Cache.Misses
+	return nil
+}
+
+// writeBaseline measures every baseline case and writes the JSON record.
+func writeBaseline(path string, seed int64, out io.Writer) error {
+	b := Baseline{
+		GeneratedBy: "specbench -baseline",
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Cases:       BaselineCases(seed),
+	}
+	for k := range b.Cases {
+		c := &b.Cases[k]
+		if err := MeasureBaselineCase(c); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%-12s M=%-3d N=%-4d welfare %.4f matched %d rounds %d  default %s seq %s (%.2fx)  cache %d/%d/%d\n",
+			c.Name, c.Sellers, c.Buyers, c.Welfare, c.Matched, c.Rounds,
+			time.Duration(c.DefaultNs), time.Duration(c.SeqNs), c.Speedup,
+			c.CacheHits, c.CacheIndep, c.CacheMiss)
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("writing baseline: %w", err)
+	}
+	fmt.Fprintf(out, "wrote %s\n", path)
+	return nil
+}

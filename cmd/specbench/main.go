@@ -33,16 +33,22 @@ func run(args []string, out io.Writer) error {
 		reps    = fs.Int("reps", 20, "replications per sweep point")
 		seed    = fs.Int64("seed", 1, "base seed")
 		workers = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		engineW = fs.Int("engine-workers", 0, "per-round seller fan-out inside each replication (0 = sequential; results identical at every setting)")
 		list    = fs.Bool("list", false, "list available figures and exit")
 		format  = fs.String("format", "table", "output format: table, csv, json")
 		plot    = fs.Bool("plot", false, "render an ASCII chart under each table")
 		check   = fs.Bool("check", false, "verify each figure against the paper's published shape")
+		basePth = fs.String("baseline", "", "write an engine benchmark baseline (welfare goldens + timings) to this path and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // -h/-help already printed usage
 		}
 		return err
+	}
+
+	if *basePth != "" {
+		return writeBaseline(*basePth, *seed, out)
 	}
 
 	catalog := experiment.Catalog()
@@ -62,7 +68,7 @@ func run(args []string, out io.Writer) error {
 		ids = []string{spec.ID}
 	}
 
-	cfg := experiment.RunConfig{Seed: *seed, Reps: *reps, Workers: *workers}
+	cfg := experiment.RunConfig{Seed: *seed, Reps: *reps, Workers: *workers, EngineWorkers: *engineW}
 	failures := 0
 	for _, id := range ids {
 		start := time.Now()

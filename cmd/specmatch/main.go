@@ -46,6 +46,8 @@ func run(args []string, out io.Writer) error {
 		verify     = fs.Bool("verify", false, "record the protocol trace and lint it against Algorithms 1-2")
 		compareOpt = fs.Bool("optimal", false, "also solve the centralized optimum (small markets only)")
 		jsonOut    = fs.Bool("json", false, "emit the result as JSON")
+		workers    = fs.Int("workers", 0, "per-round seller fan-out goroutines (0 = GOMAXPROCS, 1 = sequential; output is identical at every setting)")
+		noCache    = fs.Bool("no-cache", false, "disable the per-seller coalition cache (identical output; for benchmarking)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -68,10 +70,12 @@ func run(args []string, out io.Writer) error {
 		rec = trace.NewRecorder()
 	}
 	res, err := specmatch.Match(m, specmatch.MatchOptions{
-		MWIS:           alg,
-		SkipTransfer:   *skipP1,
-		SkipInvitation: *skipP2,
-		Recorder:       rec,
+		MWIS:                  alg,
+		Workers:               *workers,
+		DisableCoalitionCache: *noCache,
+		SkipTransfer:          *skipP1,
+		SkipInvitation:        *skipP2,
+		Recorder:              rec,
 	})
 	if err != nil {
 		return err
@@ -98,6 +102,7 @@ func run(args []string, out io.Writer) error {
 			"stage_i": res.StageI,
 			"phase_1": res.Phase1,
 			"phase_2": res.Phase2,
+			"cache":   res.Cache,
 			"stability": map[string]bool{
 				"interference_free":     rep.InterferenceFree,
 				"individually_rational": rep.IndividuallyRational,
@@ -128,6 +133,10 @@ func run(args []string, out io.Writer) error {
 		res.StageI.Rounds, res.Phase1.Rounds, res.Phase2.Rounds)
 	fmt.Fprintf(out, "welfare by stage: %.4f → %.4f → %.4f\n",
 		res.StageI.Welfare, res.Phase1.Welfare, res.Phase2.Welfare)
+	if !*noCache {
+		fmt.Fprintf(out, "coalition cache: %d memo hits, %d independent fast paths, %d solves\n",
+			res.Cache.Hits, res.Cache.Independent, res.Cache.Misses)
+	}
 	if *doSwap {
 		fmt.Fprintf(out, "swap stage: %d swaps, %d relocations, welfare +%.4f\n",
 			swapStats.Swaps, swapStats.Relocations, swapStats.WelfareGain)

@@ -23,6 +23,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"specmatch/internal/market"
 	"specmatch/internal/matching"
@@ -35,6 +36,22 @@ type Options struct {
 	// MWIS selects the seller-side coalition solver. Zero means mwis.GWMIN,
 	// the paper's linear-time greedy.
 	MWIS mwis.Algorithm
+
+	// Workers bounds the per-round seller fan-out. Within each Stage I round
+	// and each Stage II phase, sellers' coalition decisions depend only on
+	// the round's proposal batch and their own state, so the engine solves
+	// them on up to Workers goroutines and applies all matching mutations
+	// and trace events in seller-ID order afterwards. The output — matching,
+	// welfare, per-stage statistics, and the full protocol trace — is
+	// bit-identical at every setting. Zero means runtime.GOMAXPROCS(0); one
+	// runs fully sequential.
+	Workers int
+
+	// DisableCoalitionCache turns off the per-seller incremental coalition
+	// machinery (candidate-set memoization and the independent-set fast
+	// path). Output is identical either way; the knob exists so benchmarks
+	// and ablations can price the MWIS solver's raw hot path.
+	DisableCoalitionCache bool
 
 	// SkipTransfer and SkipInvitation disable Stage II Phase 1 / Phase 2 for
 	// ablations. The paper's algorithm runs both.
@@ -49,6 +66,12 @@ func (o Options) withDefaults() Options {
 	if o.MWIS == 0 {
 		o.MWIS = mwis.GWMIN
 	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
 	return o
 }
 
@@ -60,6 +83,18 @@ type StageStats struct {
 	Rounds   int     `json:"rounds"`
 	Welfare  float64 `json:"welfare"`
 	Messages int     `json:"messages"`
+}
+
+// CacheStats reports the incremental coalition machinery's work avoidance
+// across a run. Hits counts MWIS solves skipped because the seller's
+// candidate set was unchanged from an earlier decision (memoized);
+// Independent counts solves skipped because the candidate set was pairwise
+// interference-free, where every solver provably returns the whole set;
+// Misses counts the full MWIS solves that actually ran.
+type CacheStats struct {
+	Hits        int `json:"hits"`
+	Independent int `json:"independent"`
+	Misses      int `json:"misses"`
 }
 
 // Result is the outcome of a full two-stage run.
@@ -74,6 +109,10 @@ type Result struct {
 	Welfare float64 `json:"welfare"`
 	// Matched is the number of matched buyers.
 	Matched int `json:"matched"`
+
+	// Cache reports coalition-cache effectiveness (zero when the cache is
+	// disabled). Identical at every Options.Workers setting.
+	Cache CacheStats `json:"cache"`
 }
 
 // TotalRounds returns the end-to-end round count across all stages.
@@ -84,8 +123,9 @@ func (r *Result) TotalRounds() int {
 // Run executes the full two-stage algorithm on the market.
 func Run(m *market.Market, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
+	eng := newEngine(m, opts)
 
-	mu, stage1, err := RunStageI(m, opts)
+	mu, stage1, err := eng.runStageI()
 	if err != nil {
 		return nil, fmt.Errorf("core: stage I: %w", err)
 	}
@@ -94,7 +134,7 @@ func Run(m *market.Market, opts Options) (*Result, error) {
 	var inviteLists [][]int
 	if !opts.SkipTransfer {
 		var phase1 StageStats
-		inviteLists, phase1, err = runTransfer(m, mu, opts)
+		inviteLists, phase1, err = eng.runTransfer(mu)
 		if err != nil {
 			return nil, fmt.Errorf("core: stage II phase 1: %w", err)
 		}
@@ -103,7 +143,7 @@ func Run(m *market.Market, opts Options) (*Result, error) {
 	res.Phase1.Welfare = matching.Welfare(m, mu)
 
 	if !opts.SkipInvitation {
-		phase2, err := runInvitation(m, mu, inviteLists, opts)
+		phase2, err := eng.runInvitation(mu, inviteLists)
 		if err != nil {
 			return nil, fmt.Errorf("core: stage II phase 2: %w", err)
 		}
@@ -113,5 +153,6 @@ func Run(m *market.Market, opts Options) (*Result, error) {
 
 	res.Welfare = res.Phase2.Welfare
 	res.Matched = mu.MatchedCount()
+	res.Cache = eng.cacheStats()
 	return res, nil
 }

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"specmatch/internal/graph"
+	"specmatch/internal/market"
+	"specmatch/internal/mwis"
+)
+
+// engine holds the per-run state shared by both stages: the materialized
+// price rows, one MWIS solver (reusable scratch buffers) per seller, the
+// per-seller incremental coalition caches, and the bounded worker pool for
+// the per-round seller fan-out.
+//
+// Concurrency contract: within a round, seller i's coalition decision reads
+// only the round's immutable inputs (the proposal batch, the coalition
+// snapshot, the market) plus seller-i-private state (her solver, cache, and
+// result slot), so decisions fan out freely over Options.Workers goroutines.
+// All matching mutations and trace events are applied by the caller in
+// seller-ID order afterwards, which makes the output bit-identical to the
+// sequential engine at every worker count.
+type engine struct {
+	m    *market.Market
+	opts Options
+	rows [][]float64
+
+	solvers []mwis.Solver
+	caches  []coalitionCache // nil when Options.DisableCoalitionCache
+	out     [][]int          // per-seller decision slot for the current round
+	errs    []error          // per-seller error slot for the current round
+}
+
+func newEngine(m *market.Market, opts Options) *engine {
+	numSellers := m.M()
+	e := &engine{
+		m:       m,
+		opts:    opts,
+		rows:    priceRows(m),
+		solvers: make([]mwis.Solver, numSellers),
+		out:     make([][]int, numSellers),
+		errs:    make([]error, numSellers),
+	}
+	if !opts.DisableCoalitionCache {
+		e.caches = make([]coalitionCache, numSellers)
+	}
+	return e
+}
+
+// forEachSeller runs fn(i) for every seller in [0, M), fanning the calls out
+// over at most Options.Workers goroutines. fn must confine itself to
+// seller-i state per the engine's concurrency contract; callers merge the
+// per-seller results in seller-ID order afterwards, so the schedule the pool
+// happens to pick never affects the output.
+func (e *engine) forEachSeller(fn func(i int)) {
+	numSellers := e.m.M()
+	workers := e.opts.Workers
+	if workers > numSellers {
+		workers = numSellers
+	}
+	if workers <= 1 {
+		for i := 0; i < numSellers; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= numSellers {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// coalition returns seller i's most-preferred coalition among the candidate
+// buyers: the MWIS of the candidates on her channel's interference graph
+// weighted by her price row. With the cache enabled it first canonicalizes
+// the candidate set and skips the solve when the set was already decided
+// this run (memo hit) or is pairwise interference-free (every solver
+// provably returns the whole set). Returned slices may be shared with the
+// cache and with earlier callers; coalition slices are never mutated.
+func (e *engine) coalition(i int, candidates []int) ([]int, error) {
+	if e.caches == nil {
+		return e.solvers[i].Solve(e.opts.MWIS, e.m.Graph(i), e.rows[i], candidates)
+	}
+	c := &e.caches[i]
+	g := e.m.Graph(i)
+	canon, err := c.canonicalize(g, e.rows[i], candidates)
+	if err != nil {
+		return nil, err
+	}
+	if len(canon) == 0 {
+		return nil, nil
+	}
+	key := string(c.key)
+	if sel, ok := c.entries[key]; ok {
+		c.hits++
+		return sel, nil
+	}
+	var sel []int
+	if c.isIndependent(g, canon) {
+		// Fast path: a pairwise interference-free candidate set with
+		// positive weights is its own maximum-weight independent set, and
+		// every solver in package mwis returns exactly that set (GWMIN/
+		// GWMIN2 select every vertex since selections delete no candidates,
+		// GWMAX finds the induced subgraph already edgeless, Exact takes
+		// everything), sorted ascending — which canon already is.
+		c.independent++
+		sel = append([]int(nil), canon...)
+	} else {
+		c.misses++
+		sel, err = e.solvers[i].Solve(e.opts.MWIS, g, e.rows[i], canon)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if c.entries == nil {
+		c.entries = make(map[string][]int)
+	}
+	c.entries[key] = sel
+	return sel, nil
+}
+
+// cacheStats sums the per-seller counters. Per-seller counts are invariant
+// under the worker schedule, so the totals are too.
+func (e *engine) cacheStats() CacheStats {
+	var cs CacheStats
+	for i := range e.caches {
+		cs.Hits += e.caches[i].hits
+		cs.Independent += e.caches[i].independent
+		cs.Misses += e.caches[i].misses
+	}
+	return cs
+}
+
+// coalitionCache memoizes one seller's coalition decisions, keyed on the
+// canonical candidate buyer set. Every input other than the candidate set —
+// the channel's interference graph, the price row, the MWIS algorithm — is
+// fixed for a seller within a run, and every solver is deterministic, so
+// equal candidate sets always yield equal coalitions. Entries are never
+// invalidated mid-run for the same reason; a new engine (hence empty cache)
+// is built per run, so market mutations between runs cannot leak through.
+type coalitionCache struct {
+	entries map[string][]int
+	sorted  []int  // scratch: canonical candidate set
+	key     []byte // scratch: delta-varint encoding of sorted
+	mark    []bool // scratch: membership marks for the independence test
+
+	hits, independent, misses int
+}
+
+// canonicalize filters the candidates to positive-weight vertices, sorts and
+// deduplicates them (mirroring the solvers' own cleaning, so the cache key
+// identifies the decision exactly), and builds the lookup key into c.key.
+func (c *coalitionCache) canonicalize(g *graph.Graph, weights []float64, candidates []int) ([]int, error) {
+	out := c.sorted[:0]
+	for _, v := range candidates {
+		if v < 0 || v >= g.N() {
+			return nil, fmt.Errorf("coalition candidate %d out of range [0,%d)", v, g.N())
+		}
+		if weights[v] > 0 {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	dedup := out[:0]
+	for k, v := range out {
+		if k == 0 || v != out[k-1] {
+			dedup = append(dedup, v)
+		}
+	}
+	c.sorted = dedup
+	c.key = c.key[:0]
+	prev := 0
+	for _, v := range dedup { // delta-encoded: ids are sorted and distinct
+		c.key = binary.AppendUvarint(c.key, uint64(v-prev))
+		prev = v
+	}
+	return dedup, nil
+}
+
+// isIndependent reports whether no two vertices of set are adjacent in g,
+// in O(Σ deg) using the cache's membership scratch.
+func (c *coalitionCache) isIndependent(g *graph.Graph, set []int) bool {
+	if len(c.mark) < g.N() {
+		c.mark = make([]bool, g.N())
+	}
+	for _, v := range set {
+		c.mark[v] = true
+	}
+	independent := true
+	for _, v := range set {
+		g.EachNeighbor(v, func(u int) bool {
+			if u < len(c.mark) && c.mark[u] {
+				independent = false
+				return false
+			}
+			return true
+		})
+		if !independent {
+			break
+		}
+	}
+	for _, v := range set {
+		c.mark[v] = false
+	}
+	return independent
+}

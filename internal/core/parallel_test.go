@@ -1,0 +1,172 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"specmatch/internal/core"
+	"specmatch/internal/market"
+	"specmatch/internal/mwis"
+	"specmatch/internal/trace"
+)
+
+// runTraced executes core.Run with a recorder attached and returns the
+// result plus the full protocol trace.
+func runTraced(t *testing.T, m *market.Market, opts core.Options) (*core.Result, []trace.Event) {
+	t.Helper()
+	rec := trace.NewRecorder()
+	opts.Recorder = rec
+	res, err := core.Run(m, opts)
+	if err != nil {
+		t.Fatalf("core.Run(%+v): %v", opts, err)
+	}
+	return res, rec.Events()
+}
+
+// assertIdenticalRun fails unless got reproduces want exactly: same matching,
+// same welfare and counts, same per-stage statistics, same cache counters,
+// and the same protocol trace event for event. The trace comparison is the
+// strongest form of the determinism guarantee — not just the same fixed
+// point, but the same run.
+func assertIdenticalRun(t *testing.T, label string,
+	wantRes *core.Result, wantTrace []trace.Event,
+	gotRes *core.Result, gotTrace []trace.Event) {
+	t.Helper()
+	if !gotRes.Matching.Equal(wantRes.Matching) {
+		t.Errorf("%s: matching differs:\n got %v\nwant %v", label, gotRes.Matching, wantRes.Matching)
+	}
+	if gotRes.Welfare != wantRes.Welfare || gotRes.Matched != wantRes.Matched {
+		t.Errorf("%s: welfare/matched differ: got (%v, %d), want (%v, %d)",
+			label, gotRes.Welfare, gotRes.Matched, wantRes.Welfare, wantRes.Matched)
+	}
+	if gotRes.StageI != wantRes.StageI || gotRes.Phase1 != wantRes.Phase1 || gotRes.Phase2 != wantRes.Phase2 {
+		t.Errorf("%s: stage stats differ:\n got %+v %+v %+v\nwant %+v %+v %+v",
+			label, gotRes.StageI, gotRes.Phase1, gotRes.Phase2,
+			wantRes.StageI, wantRes.Phase1, wantRes.Phase2)
+	}
+	if gotRes.Cache != wantRes.Cache {
+		t.Errorf("%s: cache stats differ: got %+v, want %+v", label, gotRes.Cache, wantRes.Cache)
+	}
+	if len(gotTrace) != len(wantTrace) {
+		t.Errorf("%s: trace length differs: got %d events, want %d", label, len(gotTrace), len(wantTrace))
+		return
+	}
+	if !reflect.DeepEqual(gotTrace, wantTrace) {
+		for k := range wantTrace {
+			if gotTrace[k] != wantTrace[k] {
+				t.Errorf("%s: trace diverges at event %d: got %v, want %v", label, k, gotTrace[k], wantTrace[k])
+				return
+			}
+		}
+	}
+}
+
+// TestParallelEquivalenceSmall: across many seeds and MWIS algorithms, the
+// engine at Workers 2, 4 and 8 replays the sequential engine's full protocol
+// trace exactly. Run under -race this is also the data-race check for the
+// per-round seller fan-out.
+func TestParallelEquivalenceSmall(t *testing.T) {
+	algs := []mwis.Algorithm{mwis.GWMIN, mwis.GWMIN2, mwis.GreedyBest}
+	for seed := int64(0); seed < 20; seed++ {
+		m := generate(t, market.Config{Sellers: 6, Buyers: 40, Seed: seed})
+		for _, alg := range algs {
+			seqRes, seqTrace := runTraced(t, m, core.Options{MWIS: alg, Workers: 1})
+			for _, workers := range []int{2, 4, 8} {
+				parRes, parTrace := runTraced(t, m, core.Options{MWIS: alg, Workers: workers})
+				assertIdenticalRun(t, alg.String(), seqRes, seqTrace, parRes, parTrace)
+			}
+		}
+	}
+}
+
+// TestParallelEquivalenceMultiDemand covers the virtual-expansion paths: the
+// trace identity must also hold when physical participants expand to
+// multiple virtual sellers and buyers.
+func TestParallelEquivalenceMultiDemand(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		m := generate(t, market.Config{
+			Sellers: 4, Buyers: 12,
+			SellerChannels: []int{2, 1, 3, 2},
+			BuyerDemands:   []int{1, 2, 1, 3, 1, 2, 1, 1, 2, 1, 2, 1},
+			Seed:           seed,
+		})
+		seqRes, seqTrace := runTraced(t, m, core.Options{Workers: 1})
+		for _, workers := range []int{2, 4, 8} {
+			parRes, parTrace := runTraced(t, m, core.Options{Workers: workers})
+			assertIdenticalRun(t, "multi-demand", seqRes, seqTrace, parRes, parTrace)
+		}
+	}
+}
+
+// TestParallelEquivalenceFig7Scale replays the trace identity at the paper's
+// largest evaluation scale (Fig. 7b/8b: M = 16, N = 500), where rounds are
+// deep enough for scheduling differences to surface if the merge order were
+// ever wrong.
+func TestParallelEquivalenceFig7Scale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping Fig. 7-scale equivalence in -short mode")
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		m := generate(t, market.Config{Sellers: 16, Buyers: 500, Seed: seed})
+		seqRes, seqTrace := runTraced(t, m, core.Options{Workers: 1})
+		for _, workers := range []int{4, 8} {
+			parRes, parTrace := runTraced(t, m, core.Options{Workers: workers})
+			assertIdenticalRun(t, "fig7b", seqRes, seqTrace, parRes, parTrace)
+		}
+	}
+}
+
+// TestCoalitionCacheEquivalence: disabling the coalition cache must not
+// change the run at all, and on generated markets the enabled cache must
+// actually avoid work (the independent-set fast path fires; Stage I's last
+// quiet rounds always present singleton or interference-free candidate
+// sets).
+func TestCoalitionCacheEquivalence(t *testing.T) {
+	totalAvoided := 0
+	for seed := int64(0); seed < 10; seed++ {
+		m := generate(t, market.Config{Sellers: 8, Buyers: 80, Seed: seed})
+		onRes, onTrace := runTraced(t, m, core.Options{Workers: 1})
+		offRes, offTrace := runTraced(t, m, core.Options{Workers: 1, DisableCoalitionCache: true})
+		if offRes.Cache != (core.CacheStats{}) {
+			t.Errorf("seed %d: disabled cache reports stats %+v", seed, offRes.Cache)
+		}
+		// Compare everything except the cache counters, which necessarily
+		// differ between the two configurations.
+		offRes.Cache = onRes.Cache
+		assertIdenticalRun(t, "cache on/off", onRes, onTrace, offRes, offTrace)
+		totalAvoided += onRes.Cache.Hits + onRes.Cache.Independent
+	}
+	if totalAvoided == 0 {
+		t.Error("coalition cache avoided no solves across 10 markets; fast path is dead")
+	}
+}
+
+// TestStageIRoundGuardMultiDemand locks in the round-guard fix: the Stage I
+// bound must be derived from virtual participant counts (total preference
+// list length after dummy expansion), not physical ones. This market — one
+// physical seller with 6 channels, two physical buyers demanding 5 channels
+// each — legitimately needs more Stage I rounds than the physical-count
+// bound M_phys*N_phys + 2 = 4 would allow, so the old guard would abort a
+// convergent run.
+func TestStageIRoundGuardMultiDemand(t *testing.T) {
+	const physSellers, physBuyers = 1, 2
+	m := generate(t, market.Config{
+		Sellers:        physSellers,
+		Buyers:         physBuyers,
+		SellerChannels: []int{6},
+		BuyerDemands:   []int{5, 5},
+		Seed:           3,
+	})
+	if m.M() != 6 || m.N() != 10 {
+		t.Fatalf("virtual expansion: got M=%d N=%d, want 6 and 10", m.M(), m.N())
+	}
+	res, err := core.Run(m, core.Options{})
+	if err != nil {
+		t.Fatalf("multi-demand run aborted: %v", err)
+	}
+	physicalBound := physSellers*physBuyers + 2
+	if res.StageI.Rounds <= physicalBound {
+		t.Fatalf("stage I took %d rounds, within the physical-count bound %d; market no longer exercises the guard",
+			res.StageI.Rounds, physicalBound)
+	}
+}

@@ -28,6 +28,7 @@ func Repair(m *market.Market, mu *matching.Matching, opts Options) (Result, erro
 		}
 	}
 
+	eng := newEngine(m, opts)
 	res := Result{Matching: mu}
 	res.StageI.Welfare = matching.Welfare(m, mu)
 
@@ -35,7 +36,7 @@ func Repair(m *market.Market, mu *matching.Matching, opts Options) (Result, erro
 	if !opts.SkipTransfer {
 		var err error
 		var phase1 StageStats
-		inviteLists, phase1, err = runTransfer(m, mu, opts)
+		inviteLists, phase1, err = eng.runTransfer(mu)
 		if err != nil {
 			return Result{}, fmt.Errorf("core: repair transfer: %w", err)
 		}
@@ -44,7 +45,7 @@ func Repair(m *market.Market, mu *matching.Matching, opts Options) (Result, erro
 	res.Phase1.Welfare = matching.Welfare(m, mu)
 
 	if !opts.SkipInvitation {
-		phase2, err := runInvitation(m, mu, inviteLists, opts)
+		phase2, err := eng.runInvitation(mu, inviteLists)
 		if err != nil {
 			return Result{}, fmt.Errorf("core: repair invitation: %w", err)
 		}
@@ -54,5 +55,6 @@ func Repair(m *market.Market, mu *matching.Matching, opts Options) (Result, erro
 
 	res.Welfare = res.Phase2.Welfare
 	res.Matched = mu.MatchedCount()
+	res.Cache = eng.cacheStats()
 	return res, nil
 }

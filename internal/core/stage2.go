@@ -6,7 +6,6 @@ import (
 
 	"specmatch/internal/market"
 	"specmatch/internal/matching"
-	"specmatch/internal/mwis"
 	"specmatch/internal/trace"
 )
 
@@ -28,11 +27,12 @@ func currentUtility(m *market.Market, mu *matching.Matching, j int) float64 {
 // sellers decide against the coalition snapshot taken at the start of the
 // round, then all granted transfers take effect simultaneously — seller c
 // rejects buyer 5 against µ(c) = {1,2} even though buyer 2's simultaneous
-// transfer to seller a is granted in the same round.
-func runTransfer(m *market.Market, mu *matching.Matching, opts Options) ([][]int, StageStats, error) {
-	opts = opts.withDefaults()
+// transfer to seller a is granted in the same round. The snapshot semantics
+// are also what makes the per-seller fan-out safe: decisions read only the
+// snapshot, and grants are applied in seller-ID order afterwards.
+func (e *engine) runTransfer(mu *matching.Matching) ([][]int, StageStats, error) {
+	m := e.m
 	numSellers, numBuyers := m.M(), m.N()
-	rows := priceRows(m)
 	var stats StageStats
 
 	// T_j is consumed through a cursor into the buyer's descending
@@ -51,6 +51,9 @@ func runTransfer(m *market.Market, mu *matching.Matching, opts Options) ([][]int
 		inInvite[i] = make(map[int]struct{})
 	}
 
+	applicants := make([][]int, numSellers)
+	snapshot := make([][]int, numSellers)
+
 	// Each buyer applies at most M times, so M rounds suffice (Prop. 2).
 	maxRounds := numSellers + 2
 	for round := 1; ; round++ {
@@ -60,7 +63,10 @@ func runTransfer(m *market.Market, mu *matching.Matching, opts Options) ([][]int
 
 		// Application step: one application per buyer with a strictly
 		// better seller left to try.
-		applicants := make(map[int][]int, numSellers)
+		applicationsMade := 0
+		for i := range applicants {
+			applicants[i] = applicants[i][:0]
+		}
 		for j := 0; j < numBuyers; j++ {
 			cur := currentUtility(m, mu, j)
 			target := market.Unmatched
@@ -76,26 +82,29 @@ func runTransfer(m *market.Market, mu *matching.Matching, opts Options) ([][]int
 				continue
 			}
 			applicants[target] = append(applicants[target], j)
+			applicationsMade++
 			stats.Messages++
-			opts.Recorder.Record(trace.Event{Round: round, Kind: trace.KindTransferApply, Buyer: j, Seller: target})
+			e.opts.Recorder.Record(trace.Event{Round: round, Kind: trace.KindTransferApply, Buyer: j, Seller: target})
 		}
-		if len(applicants) == 0 {
+		if applicationsMade == 0 {
 			break
 		}
 		stats.Rounds = round
 
 		// Snapshot all coalitions before any seller decides.
-		snapshot := make([][]int, numSellers)
 		for i := 0; i < numSellers; i++ {
 			snapshot[i] = mu.Coalition(i)
 		}
 
-		// Decision step: each seller admits the best independent subset of
-		// applicants compatible with her (unevictable) snapshot coalition.
-		for i := 0; i < numSellers; i++ {
+		// Decision step: sellers admit the best independent subset of
+		// applicants compatible with their (unevictable) snapshot coalition,
+		// fanned out per seller; grants and trace events are applied in
+		// seller-ID order so the output is identical at every worker count.
+		e.forEachSeller(func(i int) {
+			e.out[i], e.errs[i] = nil, nil
 			applied := applicants[i]
 			if len(applied) == 0 {
-				continue
+				return
 			}
 			compatible := make([]int, 0, len(applied))
 			for _, j := range applied {
@@ -103,23 +112,30 @@ func runTransfer(m *market.Market, mu *matching.Matching, opts Options) ([][]int
 					compatible = append(compatible, j)
 				}
 			}
-			selected, err := mwis.Solve(opts.MWIS, m.Graph(i), rows[i], compatible)
-			if err != nil {
-				return nil, stats, fmt.Errorf("seller %d transfer coalition: %w", i, err)
+			e.out[i], e.errs[i] = e.coalition(i, compatible)
+		})
+		for i := 0; i < numSellers; i++ {
+			applied := applicants[i]
+			if len(applied) == 0 {
+				continue
 			}
+			if e.errs[i] != nil {
+				return nil, stats, fmt.Errorf("seller %d transfer coalition: %w", i, e.errs[i])
+			}
+			selected := e.out[i]
 			granted := make(map[int]struct{}, len(selected))
 			for _, j := range selected {
 				granted[j] = struct{}{}
 				if err := mu.Assign(i, j); err != nil {
 					return nil, stats, fmt.Errorf("transferring buyer %d to seller %d: %w", j, i, err)
 				}
-				opts.Recorder.Record(trace.Event{Round: round, Kind: trace.KindTransferAccept, Buyer: j, Seller: i})
+				e.opts.Recorder.Record(trace.Event{Round: round, Kind: trace.KindTransferAccept, Buyer: j, Seller: i})
 			}
 			for _, j := range applied {
 				if _, ok := granted[j]; ok {
 					continue
 				}
-				opts.Recorder.Record(trace.Event{Round: round, Kind: trace.KindTransferReject, Buyer: j, Seller: i})
+				e.opts.Recorder.Record(trace.Event{Round: round, Kind: trace.KindTransferReject, Buyer: j, Seller: i})
 				if _, dup := inInvite[i][j]; !dup {
 					inInvite[i][j] = struct{}{}
 					inviteLists[i] = append(inviteLists[i], j)
@@ -134,21 +150,22 @@ func runTransfer(m *market.Market, mu *matching.Matching, opts Options) ([][]int
 
 // runInvitation executes Stage II Phase 2 (Algorithm 2 lines 18–33), mutating
 // mu in place. Each seller first screens her invitation list down to buyers
-// compatible with her current coalition, then each round invites her
-// highest-price remaining candidate; a buyer accepts the best strictly
-// improving invitation she holds. After an acceptance the seller drops the
-// new member's interfering neighbors from her list (Algorithm 2 line 29).
-func runInvitation(m *market.Market, mu *matching.Matching, inviteLists [][]int, opts Options) (StageStats, error) {
-	opts = opts.withDefaults()
+// compatible with her current coalition — fanned out per seller, since
+// screening only reads the frozen post-Phase-1 matching — then each round
+// invites her highest-price remaining candidate; a buyer accepts the best
+// strictly improving invitation she holds. After an acceptance the seller
+// drops the new member's interfering neighbors from her list (Algorithm 2
+// line 29).
+func (e *engine) runInvitation(mu *matching.Matching, inviteLists [][]int) (StageStats, error) {
+	m := e.m
 	numSellers := m.M()
 	var stats StageStats
 
 	// Screening (Algorithm 2 lines 19–21).
 	pending := make([][]int, numSellers)
-	totalPending := 0
-	for i := 0; i < numSellers; i++ {
+	e.forEachSeller(func(i int) {
 		if i >= len(inviteLists) {
-			break
+			return
 		}
 		coalition := mu.Coalition(i)
 		for _, j := range inviteLists[i] {
@@ -167,6 +184,9 @@ func runInvitation(m *market.Market, mu *matching.Matching, inviteLists [][]int,
 			}
 			return pending[i][a] < pending[i][b]
 		})
+	})
+	totalPending := 0
+	for i := 0; i < numSellers; i++ {
 		totalPending += len(pending[i])
 	}
 
@@ -188,7 +208,7 @@ func runInvitation(m *market.Market, mu *matching.Matching, inviteLists [][]int,
 			inviters[j] = append(inviters[j], i)
 			invitedAny = true
 			stats.Messages++
-			opts.Recorder.Record(trace.Event{Round: round, Kind: trace.KindInvite, Buyer: j, Seller: i})
+			e.opts.Recorder.Record(trace.Event{Round: round, Kind: trace.KindInvite, Buyer: j, Seller: i})
 		}
 		if !invitedAny {
 			break
@@ -207,14 +227,14 @@ func runInvitation(m *market.Market, mu *matching.Matching, inviteLists [][]int,
 			bestPrice := currentUtility(m, mu, j)
 			for _, i := range inviters[j] {
 				if m.Price(i, j) <= bestPrice {
-					opts.Recorder.Record(trace.Event{Round: round, Kind: trace.KindInviteDecline, Buyer: j, Seller: i})
+					e.opts.Recorder.Record(trace.Event{Round: round, Kind: trace.KindInviteDecline, Buyer: j, Seller: i})
 					continue
 				}
 				if m.Graph(i).ConflictsWith(j, mu.Coalition(i)) {
 					// A buyer accepted earlier this round now interferes;
 					// the paper's line-29 pruning is applied below, but a
 					// same-round race is re-checked here for safety.
-					opts.Recorder.Record(trace.Event{Round: round, Kind: trace.KindInviteDecline, Buyer: j, Seller: i})
+					e.opts.Recorder.Record(trace.Event{Round: round, Kind: trace.KindInviteDecline, Buyer: j, Seller: i})
 					continue
 				}
 				best, bestPrice = i, m.Price(i, j)
@@ -225,7 +245,7 @@ func runInvitation(m *market.Market, mu *matching.Matching, inviteLists [][]int,
 			if err := mu.Assign(best, j); err != nil {
 				return stats, fmt.Errorf("inviting buyer %d to seller %d: %w", j, best, err)
 			}
-			opts.Recorder.Record(trace.Event{Round: round, Kind: trace.KindInviteAccept, Buyer: j, Seller: best})
+			e.opts.Recorder.Record(trace.Event{Round: round, Kind: trace.KindInviteAccept, Buyer: j, Seller: best})
 			// Algorithm 2 line 29: drop the new member's interfering
 			// neighbors from the accepting seller's list.
 			kept := pending[best][:0]

@@ -40,7 +40,9 @@ func AblationMWIS(cfg RunConfig) (*Figure, error) {
 				}
 				values := make(map[string]float64, len(algs))
 				for _, alg := range algs {
-					res, err := core.Run(m, core.Options{MWIS: alg})
+					eopts := cfg.engineOptions()
+					eopts.MWIS = alg
+					res, err := core.Run(m, eopts)
 					if err != nil {
 						return measurement{}, fmt.Errorf("experiment: %v: %w", alg, err)
 					}
@@ -76,7 +78,7 @@ func AblationStage2(cfg RunConfig) (*Figure, error) {
 				if err != nil {
 					return measurement{}, err
 				}
-				full, err := core.Run(m, core.Options{})
+				full, err := core.Run(m, cfg.engineOptions())
 				if err != nil {
 					return measurement{}, err
 				}
@@ -168,7 +170,7 @@ func AblationSwap(cfg RunConfig) (*Figure, error) {
 				if err != nil {
 					return measurement{}, err
 				}
-				res, err := core.Run(m, core.Options{})
+				res, err := core.Run(m, cfg.engineOptions())
 				if err != nil {
 					return measurement{}, err
 				}
@@ -217,7 +219,7 @@ func AblationAuction(cfg RunConfig) (*Figure, error) {
 				if err != nil {
 					return measurement{}, err
 				}
-				res, err := core.Run(m, core.Options{})
+				res, err := core.Run(m, cfg.engineOptions())
 				if err != nil {
 					return measurement{}, err
 				}
@@ -264,7 +266,7 @@ func AblationOnline(cfg RunConfig) (*Figure, error) {
 				if err != nil {
 					return measurement{}, err
 				}
-				s, err := online.NewSession(m, core.Options{})
+				s, err := online.NewSession(m, cfg.engineOptions())
 				if err != nil {
 					return measurement{}, err
 				}
@@ -330,7 +332,7 @@ func AblationOutage(cfg RunConfig) (*Figure, error) {
 				if err != nil {
 					return measurement{}, err
 				}
-				res, err := core.Run(m, core.Options{})
+				res, err := core.Run(m, cfg.engineOptions())
 				if err != nil {
 					return measurement{}, err
 				}
@@ -383,7 +385,7 @@ func AblationThresholds(cfg RunConfig) (*Figure, error) {
 				if err != nil {
 					return measurement{}, err
 				}
-				sync, err := core.Run(m, core.Options{})
+				sync, err := core.Run(m, cfg.engineOptions())
 				if err != nil {
 					return measurement{}, err
 				}
@@ -439,7 +441,7 @@ func AblationBundle(cfg RunConfig) (*Figure, error) {
 				if err != nil {
 					return measurement{}, err
 				}
-				res, err := core.Run(m, core.Options{})
+				res, err := core.Run(m, cfg.engineOptions())
 				if err != nil {
 					return measurement{}, err
 				}
@@ -486,7 +488,7 @@ func AblationRadio(cfg RunConfig) (*Figure, error) {
 				if err != nil {
 					return measurement{}, err
 				}
-				res, err := core.Run(m, core.Options{})
+				res, err := core.Run(m, cfg.engineOptions())
 				if err != nil {
 					return measurement{}, err
 				}

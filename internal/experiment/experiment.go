@@ -18,6 +18,7 @@ import (
 	"strings"
 	"sync"
 
+	"specmatch/internal/core"
 	"specmatch/internal/stats"
 	"specmatch/internal/xrand"
 )
@@ -30,6 +31,12 @@ type RunConfig struct {
 	Reps int
 	// Workers bounds parallel replications; zero means GOMAXPROCS.
 	Workers int
+	// EngineWorkers bounds the per-round seller fan-out inside each core.Run
+	// replication. Zero means sequential (1): replications already saturate
+	// the machine, so nesting engine parallelism under them would only
+	// oversubscribe. Set it above one when running few replications on a
+	// many-core box. Results are identical at every setting.
+	EngineWorkers int
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -39,7 +46,17 @@ func (c RunConfig) withDefaults() RunConfig {
 	if c.Workers == 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+	if c.EngineWorkers == 0 {
+		c.EngineWorkers = 1
+	}
 	return c
+}
+
+// engineOptions translates the config into the engine options every
+// replication should run under.
+func (c RunConfig) engineOptions() core.Options {
+	c = c.withDefaults()
+	return core.Options{Workers: c.EngineWorkers}
 }
 
 // Point is one sweep position with aggregated measurements per series.

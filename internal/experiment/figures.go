@@ -19,7 +19,7 @@ const (
 
 // fig6Measure runs both the optimal benchmark and the proposed algorithm on
 // one generated market.
-func fig6Measure(cfg market.Config) (measurement, error) {
+func fig6Measure(cfg market.Config, eopts core.Options) (measurement, error) {
 	m, err := market.Generate(cfg)
 	if err != nil {
 		return measurement{}, fmt.Errorf("experiment: generating market: %w", err)
@@ -28,7 +28,7 @@ func fig6Measure(cfg market.Config) (measurement, error) {
 	if err != nil {
 		return measurement{}, fmt.Errorf("experiment: optimal: %w", err)
 	}
-	res, err := core.Run(m, core.Options{})
+	res, err := core.Run(m, eopts)
 	if err != nil {
 		return measurement{}, fmt.Errorf("experiment: proposed: %w", err)
 	}
@@ -47,7 +47,7 @@ func Fig6a(cfg RunConfig) (*Figure, error) {
 		points = append(points, sweepPoint{
 			x: float64(n),
 			run: func(seed int64) (measurement, error) {
-				return fig6Measure(market.Config{Sellers: 4, Buyers: n, Seed: seed})
+				return fig6Measure(market.Config{Sellers: 4, Buyers: n, Seed: seed}, cfg.engineOptions())
 			},
 		})
 	}
@@ -72,7 +72,7 @@ func Fig6b(cfg RunConfig) (*Figure, error) {
 		points = append(points, sweepPoint{
 			x: float64(m),
 			run: func(seed int64) (measurement, error) {
-				return fig6Measure(market.Config{Sellers: m, Buyers: 8, Seed: seed})
+				return fig6Measure(market.Config{Sellers: m, Buyers: 8, Seed: seed}, cfg.engineOptions())
 			},
 		})
 	}
@@ -112,7 +112,7 @@ func Fig6c(cfg RunConfig) (*Figure, error) {
 				if err != nil {
 					return measurement{}, err
 				}
-				out, err := fig6Measure(mcfg)
+				out, err := fig6Measure(mcfg, cfg.engineOptions())
 				if err != nil {
 					return measurement{}, err
 				}
@@ -135,12 +135,12 @@ func Fig6c(cfg RunConfig) (*Figure, error) {
 
 // stageMeasure runs the proposed algorithm and reports cumulative welfare
 // (Fig. 7) or per-stage rounds (Fig. 8) for one market.
-func stageMeasure(cfg market.Config, rounds bool) (measurement, error) {
+func stageMeasure(cfg market.Config, eopts core.Options, rounds bool) (measurement, error) {
 	m, err := market.Generate(cfg)
 	if err != nil {
 		return measurement{}, fmt.Errorf("experiment: generating market: %w", err)
 	}
-	res, err := core.Run(m, core.Options{})
+	res, err := core.Run(m, eopts)
 	if err != nil {
 		return measurement{}, fmt.Errorf("experiment: proposed: %w", err)
 	}
@@ -161,14 +161,14 @@ func stageMeasure(cfg market.Config, rounds bool) (measurement, error) {
 var stageSeries = []string{SeriesStageI, SeriesPhase1, SeriesPhase2}
 
 // buyerSweep builds the N = 200..320 sweep of Figs. 7(a)/8(a) with M = 10.
-func buyerSweep(rounds bool) []sweepPoint {
+func buyerSweep(eopts core.Options, rounds bool) []sweepPoint {
 	var points []sweepPoint
 	for n := 200; n <= 320; n += 20 {
 		n := n
 		points = append(points, sweepPoint{
 			x: float64(n),
 			run: func(seed int64) (measurement, error) {
-				return stageMeasure(market.Config{Sellers: 10, Buyers: n, Seed: seed}, rounds)
+				return stageMeasure(market.Config{Sellers: 10, Buyers: n, Seed: seed}, eopts, rounds)
 			},
 		})
 	}
@@ -176,14 +176,14 @@ func buyerSweep(rounds bool) []sweepPoint {
 }
 
 // sellerSweep builds the M = 4..16 sweep of Figs. 7(b)/8(b) with N = 500.
-func sellerSweep(rounds bool) []sweepPoint {
+func sellerSweep(eopts core.Options, rounds bool) []sweepPoint {
 	var points []sweepPoint
 	for m := 4; m <= 16; m += 2 {
 		m := m
 		points = append(points, sweepPoint{
 			x: float64(m),
 			run: func(seed int64) (measurement, error) {
-				return stageMeasure(market.Config{Sellers: m, Buyers: 500, Seed: seed}, rounds)
+				return stageMeasure(market.Config{Sellers: m, Buyers: 500, Seed: seed}, eopts, rounds)
 			},
 		})
 	}
@@ -192,7 +192,7 @@ func sellerSweep(rounds bool) []sweepPoint {
 
 // similaritySweep builds the SRCC sweep of Figs. 7(c)/8(c) with M = 8,
 // N = 300.
-func similaritySweep(rounds bool) []sweepPoint {
+func similaritySweep(eopts core.Options, rounds bool) []sweepPoint {
 	const numSellers, numBuyers = 8, 300
 	var points []sweepPoint
 	for _, permuteM := range []int{numSellers, 6, 4, 3, 2, 0} {
@@ -213,7 +213,7 @@ func similaritySweep(rounds bool) []sweepPoint {
 				if err != nil {
 					return measurement{}, err
 				}
-				out, err := stageMeasure(mcfg, rounds)
+				out, err := stageMeasure(mcfg, eopts, rounds)
 				if err != nil {
 					return measurement{}, err
 				}
@@ -238,32 +238,32 @@ func stageFigure(cfg RunConfig, id, title, xLabel, yLabel string, points []sweep
 
 // Fig7a regenerates Fig. 7(a): cumulative welfare per stage, M = 10.
 func Fig7a(cfg RunConfig) (*Figure, error) {
-	return stageFigure(cfg, "7a", "Cumulative welfare per stage, M = 10", "buyers N", "social welfare", buyerSweep(false))
+	return stageFigure(cfg, "7a", "Cumulative welfare per stage, M = 10", "buyers N", "social welfare", buyerSweep(cfg.engineOptions(), false))
 }
 
 // Fig7b regenerates Fig. 7(b): cumulative welfare per stage, N = 500.
 func Fig7b(cfg RunConfig) (*Figure, error) {
-	return stageFigure(cfg, "7b", "Cumulative welfare per stage, N = 500", "sellers M", "social welfare", sellerSweep(false))
+	return stageFigure(cfg, "7b", "Cumulative welfare per stage, N = 500", "sellers M", "social welfare", sellerSweep(cfg.engineOptions(), false))
 }
 
 // Fig7c regenerates Fig. 7(c): cumulative welfare per stage versus
 // similarity, M = 8, N = 300.
 func Fig7c(cfg RunConfig) (*Figure, error) {
-	return stageFigure(cfg, "7c", "Cumulative welfare vs similarity, M = 8, N = 300", "similarity", "social welfare", similaritySweep(false))
+	return stageFigure(cfg, "7c", "Cumulative welfare vs similarity, M = 8, N = 300", "similarity", "social welfare", similaritySweep(cfg.engineOptions(), false))
 }
 
 // Fig8a regenerates Fig. 8(a): per-stage rounds, M = 10.
 func Fig8a(cfg RunConfig) (*Figure, error) {
-	return stageFigure(cfg, "8a", "Running time per stage, M = 10", "buyers N", "rounds", buyerSweep(true))
+	return stageFigure(cfg, "8a", "Running time per stage, M = 10", "buyers N", "rounds", buyerSweep(cfg.engineOptions(), true))
 }
 
 // Fig8b regenerates Fig. 8(b): per-stage rounds, N = 500.
 func Fig8b(cfg RunConfig) (*Figure, error) {
-	return stageFigure(cfg, "8b", "Running time per stage, N = 500", "sellers M", "rounds", sellerSweep(true))
+	return stageFigure(cfg, "8b", "Running time per stage, N = 500", "sellers M", "rounds", sellerSweep(cfg.engineOptions(), true))
 }
 
 // Fig8c regenerates Fig. 8(c): per-stage rounds versus similarity, M = 8,
 // N = 300.
 func Fig8c(cfg RunConfig) (*Figure, error) {
-	return stageFigure(cfg, "8c", "Running time vs similarity, M = 8, N = 300", "similarity", "rounds", similaritySweep(true))
+	return stageFigure(cfg, "8c", "Running time vs similarity, M = 8, N = 300", "similarity", "rounds", similaritySweep(cfg.engineOptions(), true))
 }

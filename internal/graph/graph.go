@@ -19,6 +19,7 @@ import (
 type Graph struct {
 	n     int
 	adj   []map[int]struct{}
+	nbr   [][]int // ascending neighbor lists, mirroring adj
 	edges int
 }
 
@@ -31,7 +32,7 @@ func New(n int) *Graph {
 	for i := range adj {
 		adj[i] = make(map[int]struct{})
 	}
-	return &Graph{n: n, adj: adj}
+	return &Graph{n: n, adj: adj, nbr: make([][]int, n)}
 }
 
 // N returns the number of vertices.
@@ -57,8 +58,23 @@ func (g *Graph) AddEdge(u, v int) error {
 	}
 	g.adj[u][v] = struct{}{}
 	g.adj[v][u] = struct{}{}
+	g.insertNeighbor(u, v)
+	g.insertNeighbor(v, u)
 	g.edges++
 	return nil
+}
+
+// insertNeighbor keeps nbr[u] sorted ascending. Neighbor lists are consumed
+// in order by every iteration helper, which keeps all downstream arithmetic
+// (e.g. the floating-point neighborhood sums in package mwis) bit-for-bit
+// reproducible across runs — map iteration order must never leak out.
+func (g *Graph) insertNeighbor(u, v int) {
+	lst := g.nbr[u]
+	k := sort.SearchInts(lst, v)
+	lst = append(lst, 0)
+	copy(lst[k+1:], lst[k:])
+	lst[k] = v
+	g.nbr[u] = lst
 }
 
 // HasEdge reports whether {u, v} is an edge. Out-of-range queries and
@@ -85,21 +101,18 @@ func (g *Graph) Neighbors(v int) []int {
 	if !g.validVertex(v) {
 		return nil
 	}
-	out := make([]int, 0, len(g.adj[v]))
-	for u := range g.adj[v] {
-		out = append(out, u)
-	}
-	sort.Ints(out)
-	return out
+	return append([]int(nil), g.nbr[v]...)
 }
 
-// EachNeighbor calls fn for every neighbor of v in unspecified order,
-// stopping early if fn returns false. It performs no allocation.
+// EachNeighbor calls fn for every neighbor of v in ascending order, stopping
+// early if fn returns false. It performs no allocation. The order is part of
+// the contract: callers accumulate floating-point sums over neighborhoods,
+// and reproducibility requires a fixed iteration order.
 func (g *Graph) EachNeighbor(v int, fn func(u int) bool) {
 	if !g.validVertex(v) {
 		return
 	}
-	for u := range g.adj[v] {
+	for _, u := range g.nbr[v] {
 		if !fn(u) {
 			return
 		}
@@ -133,18 +146,12 @@ func (g *Graph) ConflictsWith(v int, set []int) bool {
 func (g *Graph) Edges() [][2]int {
 	out := make([][2]int, 0, g.edges)
 	for u := 0; u < g.n; u++ {
-		for v := range g.adj[u] {
+		for _, v := range g.nbr[u] {
 			if u < v {
 				out = append(out, [2]int{u, v})
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i][0] != out[j][0] {
-			return out[i][0] < out[j][0]
-		}
-		return out[i][1] < out[j][1]
-	})
 	return out
 }
 
@@ -153,11 +160,9 @@ func (g *Graph) Clone() *Graph {
 	c := New(g.n)
 	for u := 0; u < g.n; u++ {
 		for v := range g.adj[u] {
-			if u < v {
-				c.adj[u][v] = struct{}{}
-				c.adj[v][u] = struct{}{}
-			}
+			c.adj[u][v] = struct{}{}
 		}
+		c.nbr[u] = append([]int(nil), g.nbr[u]...)
 	}
 	c.edges = g.edges
 	return c
@@ -184,7 +189,7 @@ func (g *Graph) InducedDegree(v int, in []bool) int {
 		return 0
 	}
 	d := 0
-	for u := range g.adj[v] {
+	for _, u := range g.nbr[v] {
 		if u < len(in) && in[u] {
 			d++
 		}

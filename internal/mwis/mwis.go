@@ -68,11 +68,37 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 // selected: a seller's preference (eq. (6)) is strict in total price, so a
 // zero-price buyer never improves a coalition. The result is sorted
 // ascending. Duplicate candidates are handled as one.
+//
+// Solve allocates fresh scratch per call; hot paths that solve repeatedly
+// over the same graph should hold a Solver and reuse its buffers.
 func Solve(alg Algorithm, g *graph.Graph, weights []float64, candidates []int) ([]int, error) {
+	var s Solver
+	return s.Solve(alg, g, weights, candidates)
+}
+
+// Solver runs the package's algorithms with reusable scratch buffers,
+// eliminating the per-call allocations (alive marks, dedup sets, search
+// order) that dominate the engine's coalition-formation hot path. Results
+// are bit-identical to the package-level Solve. The zero value is ready to
+// use; a Solver is not safe for concurrent use — create one per goroutine
+// (the matching engine keeps one per seller).
+type Solver struct {
+	cands  []int     // cleaned candidate list
+	alive  []bool    // alive marks for the greedy algorithms, cleared per call
+	seen   []bool    // dedup marks, cleared per call
+	order  []int     // exact: descending-weight search order
+	suffix []float64 // exact: remaining-weight bounds
+	cur    []int     // exact: current partial set
+}
+
+// Solve is the Solver counterpart of the package-level Solve: identical
+// semantics and output, but scratch buffers are reused across calls. Only
+// the returned set is freshly allocated (callers retain it).
+func (s *Solver) Solve(alg Algorithm, g *graph.Graph, weights []float64, candidates []int) ([]int, error) {
 	if len(weights) < g.N() {
 		return nil, fmt.Errorf("mwis: %d weights for %d vertices", len(weights), g.N())
 	}
-	cands, err := cleanCandidates(g, weights, candidates)
+	cands, err := s.cleanCandidates(g, weights, candidates)
 	if err != nil {
 		return nil, err
 	}
@@ -82,19 +108,19 @@ func Solve(alg Algorithm, g *graph.Graph, weights []float64, candidates []int) (
 	var set []int
 	switch alg {
 	case GWMIN:
-		set = gwmin(g, weights, cands, ratioGWMIN)
+		set = s.gwmin(g, weights, cands, ratioGWMIN)
 	case GWMIN2:
-		set = gwmin(g, weights, cands, ratioGWMIN2)
+		set = s.gwmin(g, weights, cands, ratioGWMIN2)
 	case GWMAX:
-		set = gwmax(g, weights, cands)
+		set = s.gwmax(g, weights, cands)
 	case GreedyBest:
 		set = bestOf(weights,
-			gwmin(g, weights, cands, ratioGWMIN),
-			gwmin(g, weights, cands, ratioGWMIN2),
-			gwmax(g, weights, cands),
+			s.gwmin(g, weights, cands, ratioGWMIN),
+			s.gwmin(g, weights, cands, ratioGWMIN2),
+			s.gwmax(g, weights, cands),
 		)
 	case Exact:
-		set = exact(g, weights, cands)
+		set = s.exact(g, weights, cands)
 	default:
 		return nil, fmt.Errorf("mwis: unsupported algorithm %v", alg)
 	}
@@ -111,24 +137,48 @@ func Weight(weights []float64, set []int) float64 {
 	return total
 }
 
-// cleanCandidates validates, deduplicates and filters the candidate list.
-func cleanCandidates(g *graph.Graph, weights []float64, candidates []int) ([]int, error) {
-	seen := make(map[int]struct{}, len(candidates))
-	out := make([]int, 0, len(candidates))
+// cleanCandidates validates, deduplicates and filters the candidate list
+// into the solver's candidate scratch. The dedup marks are cleared before
+// returning on every path, so the buffer is reusable immediately.
+func (s *Solver) cleanCandidates(g *graph.Graph, weights []float64, candidates []int) ([]int, error) {
+	if len(s.seen) < g.N() {
+		s.seen = make([]bool, g.N())
+	}
+	out := s.cands[:0]
+	var err error
 	for _, v := range candidates {
 		if v < 0 || v >= g.N() {
-			return nil, fmt.Errorf("mwis: candidate %d out of range [0,%d)", v, g.N())
+			err = fmt.Errorf("mwis: candidate %d out of range [0,%d)", v, g.N())
+			break
 		}
-		if _, dup := seen[v]; dup {
+		if s.seen[v] {
 			continue
 		}
-		seen[v] = struct{}{}
+		s.seen[v] = true
 		if weights[v] > 0 {
 			out = append(out, v)
 		}
 	}
+	for _, v := range candidates { // clear marks (only in-range vertices set)
+		if v >= 0 && v < len(s.seen) {
+			s.seen[v] = false
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
 	sort.Ints(out)
+	s.cands = out
 	return out, nil
+}
+
+// aliveFor returns the alive scratch sized for g, all false. Callers must
+// clear every mark they set before returning.
+func (s *Solver) aliveFor(n int) []bool {
+	if len(s.alive) < n {
+		s.alive = make([]bool, n)
+	}
+	return s.alive
 }
 
 // ratioFn scores an alive vertex; greater is better for selection.
@@ -152,8 +202,8 @@ func ratioGWMIN2(g *graph.Graph, weights []float64, alive []bool, v int) float64
 
 // gwmin implements the GWMIN family: repeatedly select the alive vertex with
 // the best ratio, add it to the set, and delete its closed neighborhood.
-func gwmin(g *graph.Graph, weights []float64, cands []int, ratio ratioFn) []int {
-	alive := make([]bool, g.N())
+func (s *Solver) gwmin(g *graph.Graph, weights []float64, cands []int, ratio ratioFn) []int {
+	alive := s.aliveFor(g.N())
 	for _, v := range cands {
 		alive[v] = true
 	}
@@ -182,14 +232,17 @@ func gwmin(g *graph.Graph, weights []float64, cands []int, ratio ratioFn) []int 
 			return true
 		})
 	}
+	for _, v := range cands { // clear marks for the next call
+		alive[v] = false
+	}
 	return set
 }
 
 // gwmax implements GWMAX: repeatedly delete the vertex minimizing
 // w(v)/(d(v)(d(v)+1)) among alive vertices with at least one alive neighbor;
 // when the alive-induced subgraph is edgeless, the survivors are the set.
-func gwmax(g *graph.Graph, weights []float64, cands []int) []int {
-	alive := make([]bool, g.N())
+func (s *Solver) gwmax(g *graph.Graph, weights []float64, cands []int) []int {
+	alive := s.aliveFor(g.N())
 	for _, v := range cands {
 		alive[v] = true
 	}
@@ -219,6 +272,7 @@ func gwmax(g *graph.Graph, weights []float64, cands []int) []int {
 		if alive[v] {
 			set = append(set, v)
 		}
+		alive[v] = false // clear marks for the next call
 	}
 	return set
 }
@@ -239,16 +293,21 @@ func bestOf(weights []float64, sets ...[]int) []int {
 // exact runs a branch-and-bound search over the candidates, ordered by
 // descending weight so that good incumbents are found early. The bound is the
 // incumbent-relative remaining-weight sum.
-func exact(g *graph.Graph, weights []float64, cands []int) []int {
-	order := append([]int(nil), cands...)
+func (s *Solver) exact(g *graph.Graph, weights []float64, cands []int) []int {
+	order := append(s.order[:0], cands...)
 	sort.Slice(order, func(a, b int) bool {
 		if weights[order[a]] != weights[order[b]] {
 			return weights[order[a]] > weights[order[b]]
 		}
 		return order[a] < order[b]
 	})
+	s.order = order
 	// suffix[i] = total weight of order[i:], the loosest admissible bound.
-	suffix := make([]float64, len(order)+1)
+	if cap(s.suffix) < len(order)+1 {
+		s.suffix = make([]float64, len(order)+1)
+	}
+	suffix := s.suffix[:len(order)+1]
+	suffix[len(order)] = 0
 	for i := len(order) - 1; i >= 0; i-- {
 		suffix[i] = suffix[i+1] + weights[order[i]]
 	}
@@ -256,7 +315,7 @@ func exact(g *graph.Graph, weights []float64, cands []int) []int {
 	var (
 		best   []int
 		bestW  float64
-		cur    []int
+		cur    = s.cur[:0]
 		curW   float64
 		search func(i int)
 	)
@@ -279,5 +338,6 @@ func exact(g *graph.Graph, weights []float64, cands []int) []int {
 		search(i + 1)
 	}
 	search(0)
+	s.cur = cur[:0] // retain capacity for the next call
 	return append([]int(nil), best...)
 }

@@ -1,0 +1,75 @@
+package mwis
+
+import (
+	"reflect"
+	"testing"
+
+	"specmatch/internal/graph"
+	"specmatch/internal/xrand"
+)
+
+// TestSolverReuseMatchesSolve: one Solver reused across many graphs, weight
+// vectors, algorithms and candidate subsets must return exactly what the
+// fresh-scratch package-level Solve returns — stale marks or under-cleared
+// buffers from a previous call would surface as a diff.
+func TestSolverReuseMatchesSolve(t *testing.T) {
+	algs := []Algorithm{GWMIN, GWMIN2, GWMAX, GreedyBest, Exact}
+	var s Solver
+	r := xrand.New(7)
+	for trial := 0; trial < 60; trial++ {
+		// Vary the graph size up and down so the reused buffers both grow
+		// and get partially reused.
+		n := 2 + r.Intn(14)
+		g := graph.Gnp(r, n, 0.3)
+		weights := make([]float64, n)
+		for v := range weights {
+			weights[v] = r.Float64() * 10
+		}
+		if trial%3 == 0 {
+			weights[r.Intn(n)] = 0 // exercise the non-positive filter
+		}
+		cands := make([]int, 0, n+2)
+		for v := 0; v < n; v++ {
+			if r.Float64() < 0.8 {
+				cands = append(cands, v)
+			}
+		}
+		cands = append(cands, cands...) // duplicates must collapse
+
+		for _, alg := range algs {
+			want, err := Solve(alg, g, weights, cands)
+			if err != nil {
+				t.Fatalf("trial %d %v: fresh Solve: %v", trial, alg, err)
+			}
+			got, err := s.Solve(alg, g, weights, cands)
+			if err != nil {
+				t.Fatalf("trial %d %v: reused Solve: %v", trial, alg, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("trial %d %v: reused solver diverged: got %v, want %v", trial, alg, got, want)
+			}
+		}
+
+		// An out-of-range candidate errors but must not poison the scratch
+		// for the next call.
+		if _, err := s.Solve(GWMIN, g, weights, []int{0, n + 5}); err == nil {
+			t.Fatalf("trial %d: out-of-range candidate accepted", trial)
+		}
+	}
+}
+
+// TestSolverZeroValue: the zero Solver is immediately usable.
+func TestSolverZeroValue(t *testing.T) {
+	g := graph.New(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	var s Solver
+	set, err := s.Solve(GWMIN, g, []float64{3, 2, 1}, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(set, []int{0, 2}) {
+		t.Errorf("got %v, want [0 2]", set)
+	}
+}

@@ -69,11 +69,15 @@ type MarketSpec = market.Spec
 // Matching is the matching function µ of Definition 1.
 type Matching = matching.Matching
 
-// MatchOptions configures the synchronous two-stage algorithm.
+// MatchOptions configures the synchronous two-stage algorithm, including
+// the engine's performance knobs: Workers bounds the per-round seller
+// fan-out and DisableCoalitionCache opts out of coalition-solve caching.
+// Output is bit-identical at every Workers/cache setting.
 type MatchOptions = core.Options
 
 // MatchResult is the outcome of the two-stage algorithm, including
-// per-stage welfare and round counts.
+// per-stage welfare and round counts, and the coalition-cache counters in
+// Cache.
 type MatchResult = core.Result
 
 // AsyncConfig configures the asynchronous protocol (§IV): network faults
