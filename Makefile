@@ -23,11 +23,11 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Guard the committed engine baseline: exact welfare goldens plus a
-# side-by-side timing check (default engine must stay within 2x of the
-# plain sequential configuration on this machine).
+# Guard the committed engine baseline: exact welfare goldens plus two
+# side-by-side timing checks on this machine (default engine within 2x of
+# plain sequential; instrumented engine within 2x of instrumentation off).
 benchcheck:
-	RUN_BENCHCHECK=1 $(GO) test -run TestBenchBaseline -count=1 -v .
+	RUN_BENCHCHECK=1 $(GO) test -run 'TestBenchBaseline|TestInstrumentationOverhead' -count=1 -v .
 
 # Regenerate BENCH_BASELINE.json (run after an intentional behavior change).
 baseline:

@@ -8,6 +8,7 @@ import (
 
 	"specmatch/internal/core"
 	"specmatch/internal/market"
+	"specmatch/internal/obs"
 )
 
 // benchBaseline mirrors the schema cmd/specbench writes to BENCH_BASELINE.json
@@ -103,6 +104,80 @@ func TestBenchBaseline(t *testing.T) {
 			t.Logf("default %v, sequential %v (%.2fx)", defDur, seqDur, float64(seqDur)/float64(defDur))
 			if defDur > 2*seqDur {
 				t.Errorf("default engine is >2x slower than plain sequential: %v vs %v", defDur, seqDur)
+			}
+		})
+	}
+}
+
+// TestInstrumentationOverhead guards the observability layer the same way
+// TestBenchBaseline guards the engine: attaching a live metrics registry and
+// event sink must not change the engine's output at all (always checked), and
+// must not slow the run by more than 2x measured side by side on this machine
+// (RUN_BENCHCHECK=1). The disabled path is a nil-registry check per call
+// site, so a regression here means instrumentation leaked onto a hot path.
+func TestInstrumentationOverhead(t *testing.T) {
+	data, err := os.ReadFile("BENCH_BASELINE.json")
+	if err != nil {
+		t.Fatalf("reading BENCH_BASELINE.json (regenerate with `go run ./cmd/specbench -baseline BENCH_BASELINE.json`): %v", err)
+	}
+	var base benchBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatalf("decoding BENCH_BASELINE.json: %v", err)
+	}
+	timing := os.Getenv("RUN_BENCHCHECK") == "1"
+
+	for _, c := range base.Cases {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			m, err := market.Generate(market.Config{Sellers: c.Sellers, Buyers: c.Buyers, Seed: c.Seed})
+			if err != nil {
+				t.Fatalf("generating market: %v", err)
+			}
+
+			measure := func(opts core.Options, iters int) (time.Duration, *core.Result) {
+				bestD := time.Duration(0)
+				var res *core.Result
+				for k := 0; k < iters; k++ {
+					start := time.Now()
+					r, err := core.Run(m, opts)
+					d := time.Since(start)
+					if err != nil {
+						t.Fatalf("core.Run: %v", err)
+					}
+					if res == nil || d < bestD {
+						bestD, res = d, r
+					}
+				}
+				return bestD, res
+			}
+
+			instrumented := core.Options{Metrics: obs.NewRegistry(), Events: obs.NewSink(1024)}
+			iters := 1
+			if timing {
+				iters = 5
+			}
+			offDur, offRes := measure(core.Options{}, iters)
+			onDur, onRes := measure(instrumented, iters)
+
+			// Observability must be a pure observer: same welfare, same
+			// matching size, same round count, matching the baseline golden.
+			if onRes.Welfare != offRes.Welfare || onRes.Welfare != c.Welfare {
+				t.Errorf("instrumentation changed welfare: on %v, off %v, baseline %v",
+					onRes.Welfare, offRes.Welfare, c.Welfare)
+			}
+			if onRes.Matched != offRes.Matched {
+				t.Errorf("instrumentation changed matched: on %d, off %d", onRes.Matched, offRes.Matched)
+			}
+			if onRes.TotalRounds() != offRes.TotalRounds() {
+				t.Errorf("instrumentation changed rounds: on %d, off %d", onRes.TotalRounds(), offRes.TotalRounds())
+			}
+
+			if !timing {
+				return
+			}
+			t.Logf("disabled %v, instrumented %v (%.2fx)", offDur, onDur, float64(onDur)/float64(offDur))
+			if onDur > 2*offDur {
+				t.Errorf("instrumented engine is >2x slower than disabled: %v vs %v", onDur, offDur)
 			}
 		})
 	}

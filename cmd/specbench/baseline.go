@@ -10,6 +10,7 @@ import (
 
 	"specmatch/internal/core"
 	"specmatch/internal/market"
+	"specmatch/internal/obs"
 )
 
 // Baseline is the engine benchmark record committed as BENCH_BASELINE.json.
@@ -39,12 +40,15 @@ type BaselineCase struct {
 	// Informational timings from the recording machine: the engine's default
 	// configuration (parallel + coalition cache) versus the pre-optimization
 	// configuration (sequential, cache disabled), best of three runs each.
-	DefaultNs  int64   `json:"default_ns"`
-	SeqNs      int64   `json:"seq_ns"`
-	Speedup    float64 `json:"speedup"`
-	CacheHits  int     `json:"cache_hits"`
-	CacheIndep int     `json:"cache_independent"`
-	CacheMiss  int     `json:"cache_misses"`
+	// InstrumentedNs times the default configuration with a live obs
+	// registry attached, recording what the observability layer costs.
+	DefaultNs      int64   `json:"default_ns"`
+	SeqNs          int64   `json:"seq_ns"`
+	InstrumentedNs int64   `json:"instrumented_ns"`
+	Speedup        float64 `json:"speedup"`
+	CacheHits      int     `json:"cache_hits"`
+	CacheIndep     int     `json:"cache_independent"`
+	CacheMiss      int     `json:"cache_misses"`
 }
 
 // BaselineCases returns the market scales the baseline records: the largest
@@ -94,10 +98,18 @@ func MeasureBaselineCase(c *BaselineCase) error {
 	if err != nil {
 		return fmt.Errorf("%s sequential run: %w", c.Name, err)
 	}
+	instDur, instRes, err := best(core.Options{Metrics: obs.NewRegistry()})
+	if err != nil {
+		return fmt.Errorf("%s instrumented run: %w", c.Name, err)
+	}
 	if defRes.Welfare != seqRes.Welfare || defRes.Matched != seqRes.Matched ||
 		defRes.TotalRounds() != seqRes.TotalRounds() {
 		return fmt.Errorf("%s: default and sequential configurations disagree (welfare %v vs %v)",
 			c.Name, defRes.Welfare, seqRes.Welfare)
+	}
+	if instRes.Welfare != defRes.Welfare {
+		return fmt.Errorf("%s: instrumentation changed welfare (%v vs %v)",
+			c.Name, instRes.Welfare, defRes.Welfare)
 	}
 
 	c.Welfare = defRes.Welfare
@@ -105,6 +117,7 @@ func MeasureBaselineCase(c *BaselineCase) error {
 	c.Rounds = defRes.TotalRounds()
 	c.DefaultNs = defDur.Nanoseconds()
 	c.SeqNs = seqDur.Nanoseconds()
+	c.InstrumentedNs = instDur.Nanoseconds()
 	if defDur > 0 {
 		c.Speedup = float64(seqDur) / float64(defDur)
 	}
@@ -126,9 +139,9 @@ func writeBaseline(path string, seed int64, out io.Writer) error {
 		if err := MeasureBaselineCase(c); err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "%-12s M=%-3d N=%-4d welfare %.4f matched %d rounds %d  default %s seq %s (%.2fx)  cache %d/%d/%d\n",
+		fmt.Fprintf(out, "%-12s M=%-3d N=%-4d welfare %.4f matched %d rounds %d  default %s seq %s instrumented %s (%.2fx)  cache %d/%d/%d\n",
 			c.Name, c.Sellers, c.Buyers, c.Welfare, c.Matched, c.Rounds,
-			time.Duration(c.DefaultNs), time.Duration(c.SeqNs), c.Speedup,
+			time.Duration(c.DefaultNs), time.Duration(c.SeqNs), time.Duration(c.InstrumentedNs), c.Speedup,
 			c.CacheHits, c.CacheIndep, c.CacheMiss)
 	}
 	data, err := json.MarshalIndent(b, "", "  ")

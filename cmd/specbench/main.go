@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"specmatch/internal/experiment"
+	"specmatch/internal/obs"
 )
 
 func main() {
@@ -29,16 +30,17 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("specbench", flag.ContinueOnError)
 	var (
-		figure  = fs.String("figure", "all", "figure id (6a..8c, ablation-*) or 'all'")
-		reps    = fs.Int("reps", 20, "replications per sweep point")
-		seed    = fs.Int64("seed", 1, "base seed")
-		workers = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		engineW = fs.Int("engine-workers", 0, "per-round seller fan-out inside each replication (0 = sequential; results identical at every setting)")
-		list    = fs.Bool("list", false, "list available figures and exit")
-		format  = fs.String("format", "table", "output format: table, csv, json")
-		plot    = fs.Bool("plot", false, "render an ASCII chart under each table")
-		check   = fs.Bool("check", false, "verify each figure against the paper's published shape")
-		basePth = fs.String("baseline", "", "write an engine benchmark baseline (welfare goldens + timings) to this path and exit")
+		figure      = fs.String("figure", "all", "figure id (6a..8c, ablation-*) or 'all'")
+		reps        = fs.Int("reps", 20, "replications per sweep point")
+		seed        = fs.Int64("seed", 1, "base seed")
+		workers     = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		engineW     = fs.Int("engine-workers", 0, "per-round seller fan-out inside each replication (0 = sequential; results identical at every setting)")
+		list        = fs.Bool("list", false, "list available figures and exit")
+		format      = fs.String("format", "table", "output format: table, csv, json")
+		plot        = fs.Bool("plot", false, "render an ASCII chart under each table")
+		check       = fs.Bool("check", false, "verify each figure against the paper's published shape")
+		basePth     = fs.String("baseline", "", "write an engine benchmark baseline (welfare goldens + timings) to this path and exit")
+		metricsJSON = fs.String("metrics-json", "", "write an aggregate engine metrics snapshot JSON ('-' = stdout) after the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -68,7 +70,11 @@ func run(args []string, out io.Writer) error {
 		ids = []string{spec.ID}
 	}
 
-	cfg := experiment.RunConfig{Seed: *seed, Reps: *reps, Workers: *workers, EngineWorkers: *engineW}
+	var reg *obs.Registry
+	if *metricsJSON != "" {
+		reg = obs.NewRegistry()
+	}
+	cfg := experiment.RunConfig{Seed: *seed, Reps: *reps, Workers: *workers, EngineWorkers: *engineW, Metrics: reg}
 	failures := 0
 	for _, id := range ids {
 		start := time.Now()
@@ -112,6 +118,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d figure(s) failed the published-shape check", failures)
+	}
+	if *metricsJSON != "" {
+		return obs.WriteSnapshotFile(reg, *metricsJSON, out)
 	}
 	return nil
 }

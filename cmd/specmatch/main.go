@@ -21,6 +21,7 @@ import (
 	"specmatch"
 	"specmatch/internal/market"
 	"specmatch/internal/mwis"
+	"specmatch/internal/obs"
 	"specmatch/internal/trace"
 )
 
@@ -34,20 +35,21 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("specmatch", flag.ContinueOnError)
 	var (
-		sellers    = fs.Int("sellers", 5, "number of sellers (channels) to generate")
-		buyers     = fs.Int("buyers", 40, "number of buyers to generate")
-		seed       = fs.Int64("seed", 1, "generation seed")
-		permuteM   = fs.Int("similarity-permute", -1, "similarity control: sort vectors then permute this many entries (-1 = raw i.i.d.)")
-		marketPath = fs.String("market", "", "load market JSON from this path ('-' = stdin) instead of generating")
-		mwisName   = fs.String("mwis", "gwmin", "coalition solver: gwmin, gwmin2, gwmax, greedy-best, exact")
-		skipP1     = fs.Bool("skip-transfer", false, "ablation: skip Stage II Phase 1")
-		skipP2     = fs.Bool("skip-invitation", false, "ablation: skip Stage II Phase 2")
-		doSwap     = fs.Bool("swap", false, "extension: run the coordinated-exchange stage after Stage II")
-		verify     = fs.Bool("verify", false, "record the protocol trace and lint it against Algorithms 1-2")
-		compareOpt = fs.Bool("optimal", false, "also solve the centralized optimum (small markets only)")
-		jsonOut    = fs.Bool("json", false, "emit the result as JSON")
-		workers    = fs.Int("workers", 0, "per-round seller fan-out goroutines (0 = GOMAXPROCS, 1 = sequential; output is identical at every setting)")
-		noCache    = fs.Bool("no-cache", false, "disable the per-seller coalition cache (identical output; for benchmarking)")
+		sellers     = fs.Int("sellers", 5, "number of sellers (channels) to generate")
+		buyers      = fs.Int("buyers", 40, "number of buyers to generate")
+		seed        = fs.Int64("seed", 1, "generation seed")
+		permuteM    = fs.Int("similarity-permute", -1, "similarity control: sort vectors then permute this many entries (-1 = raw i.i.d.)")
+		marketPath  = fs.String("market", "", "load market JSON from this path ('-' = stdin) instead of generating")
+		mwisName    = fs.String("mwis", "gwmin", "coalition solver: gwmin, gwmin2, gwmax, greedy-best, exact")
+		skipP1      = fs.Bool("skip-transfer", false, "ablation: skip Stage II Phase 1")
+		skipP2      = fs.Bool("skip-invitation", false, "ablation: skip Stage II Phase 2")
+		doSwap      = fs.Bool("swap", false, "extension: run the coordinated-exchange stage after Stage II")
+		verify      = fs.Bool("verify", false, "record the protocol trace and lint it against Algorithms 1-2")
+		compareOpt  = fs.Bool("optimal", false, "also solve the centralized optimum (small markets only)")
+		jsonOut     = fs.Bool("json", false, "emit the result as JSON")
+		workers     = fs.Int("workers", 0, "per-round seller fan-out goroutines (0 = GOMAXPROCS, 1 = sequential; output is identical at every setting)")
+		noCache     = fs.Bool("no-cache", false, "disable the per-seller coalition cache (identical output; for benchmarking)")
+		metricsJSON = fs.String("metrics-json", "", "write an engine metrics snapshot JSON to this path ('-' = stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -69,6 +71,10 @@ func run(args []string, out io.Writer) error {
 	if *verify {
 		rec = trace.NewRecorder()
 	}
+	var reg *obs.Registry
+	if *metricsJSON != "" {
+		reg = obs.NewRegistry()
+	}
 	res, err := specmatch.Match(m, specmatch.MatchOptions{
 		MWIS:                  alg,
 		Workers:               *workers,
@@ -76,9 +82,15 @@ func run(args []string, out io.Writer) error {
 		SkipTransfer:          *skipP1,
 		SkipInvitation:        *skipP2,
 		Recorder:              rec,
+		Metrics:               reg,
 	})
 	if err != nil {
 		return err
+	}
+	if *metricsJSON != "" {
+		if err := obs.WriteSnapshotFile(reg, *metricsJSON, out); err != nil {
+			return err
+		}
 	}
 	var traceViolations []string
 	if *verify {

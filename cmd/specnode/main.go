@@ -23,10 +23,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 
 	"specmatch/internal/agent"
 	"specmatch/internal/market"
+	"specmatch/internal/obs"
 	"specmatch/internal/wire"
 )
 
@@ -40,12 +44,14 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("specnode", flag.ContinueOnError)
 	var (
-		marketPath = fs.String("market", "", "market JSON path ('-' = stdin); required")
-		role       = fs.String("role", "all", "hub, buyer, seller, or all (in-process market)")
-		index      = fs.Int("index", 0, "participant index for -role buyer/seller")
-		addr       = fs.String("addr", "", "hub address (listen for hub, dial for nodes); empty = ephemeral localhost for hub/all")
-		buyerRule  = fs.String("buyer-rule", "rule-ii", "buyer transition rule: default, rule-i, rule-ii")
-		sellerRule = fs.String("seller-rule", "probabilistic", "seller transition rule: default, probabilistic")
+		marketPath  = fs.String("market", "", "market JSON path ('-' = stdin); required")
+		role        = fs.String("role", "all", "hub, buyer, seller, or all (in-process market)")
+		index       = fs.Int("index", 0, "participant index for -role buyer/seller")
+		addr        = fs.String("addr", "", "hub address (listen for hub, dial for nodes); empty = ephemeral localhost for hub/all")
+		buyerRule   = fs.String("buyer-rule", "rule-ii", "buyer transition rule: default, rule-i, rule-ii")
+		sellerRule  = fs.String("seller-rule", "probabilistic", "seller transition rule: default, probabilistic")
+		debugAddr   = fs.String("debug-addr", "", "serve /debug/metrics (JSON) and /debug/pprof/* on this address; empty = disabled")
+		metricsJSON = fs.String("metrics-json", "", "write a metrics snapshot JSON to this path ('-' = stdout) on success")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -80,57 +86,104 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	nodeCfg := wire.NodeConfig{Agent: agent.Config{BuyerRule: br, SellerRule: sr}}
-
-	switch *role {
-	case "all":
-		report, err := wire.MatchOverTCP(&m, nodeCfg, wire.HubConfig{Addr: *addr})
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "market quiesced after %d slots, %d messages relayed\n", report.Slots, report.Messages)
-		fmt.Fprintf(out, "matching: %v\n", report.Matching)
-		fmt.Fprintf(out, "welfare: %.4f\n", report.Welfare)
-		return nil
-	case "hub":
-		hub, err := wire.NewHub(&m, wire.HubConfig{Addr: *addr})
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "hub listening on %s, waiting for %d nodes\n", hub.Addr(), m.M()+m.N())
-		report, err := hub.Serve(&m)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "market quiesced after %d slots, %d messages relayed\n", report.Slots, report.Messages)
-		fmt.Fprintf(out, "matching: %v\n", report.Matching)
-		fmt.Fprintf(out, "welfare: %.4f\n", report.Welfare)
-		return nil
-	case "buyer":
-		if *addr == "" {
-			return fmt.Errorf("-addr is required for node roles")
-		}
-		matched, err := wire.RunBuyerNode(*addr, *index, &m, nodeCfg)
-		if err != nil {
-			return err
-		}
-		if matched == market.Unmatched {
-			fmt.Fprintf(out, "buyer %d: unmatched\n", *index)
-		} else {
-			fmt.Fprintf(out, "buyer %d: matched to seller %d (price %.4f)\n", *index, matched, m.Price(matched, *index))
-		}
-		return nil
-	case "seller":
-		if *addr == "" {
-			return fmt.Errorf("-addr is required for node roles")
-		}
-		coalition, err := wire.RunSellerNode(*addr, *index, &m, nodeCfg)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "seller %d: coalition %v\n", *index, coalition)
-		return nil
-	default:
-		return fmt.Errorf("unknown role %q (want hub, buyer, seller or all)", *role)
+	// One registry serves every role in this process: agent-, wire- and
+	// hub-level metrics all land in the same namespace (names in
+	// PROTOCOL.md), which is what both -debug-addr and -metrics-json expose.
+	var reg *obs.Registry
+	if *debugAddr != "" || *metricsJSON != "" {
+		reg = obs.NewRegistry()
 	}
+	if *debugAddr != "" {
+		ln, err := serveDebug(reg, *debugAddr)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = ln.Close() }()
+		fmt.Fprintf(out, "debug server on http://%s/debug/metrics\n", ln.Addr())
+	}
+
+	nodeCfg := wire.NodeConfig{
+		Agent:   agent.Config{BuyerRule: br, SellerRule: sr, Metrics: reg},
+		Metrics: reg,
+	}
+	hubCfg := wire.HubConfig{Addr: *addr, Metrics: reg}
+
+	runRole := func() error {
+		switch *role {
+		case "all":
+			report, err := wire.MatchOverTCP(&m, nodeCfg, hubCfg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "market quiesced after %d slots, %d messages relayed\n", report.Slots, report.Messages)
+			fmt.Fprintf(out, "matching: %v\n", report.Matching)
+			fmt.Fprintf(out, "welfare: %.4f\n", report.Welfare)
+			return nil
+		case "hub":
+			hub, err := wire.NewHub(&m, hubCfg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "hub listening on %s, waiting for %d nodes\n", hub.Addr(), m.M()+m.N())
+			report, err := hub.Serve(&m)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "market quiesced after %d slots, %d messages relayed\n", report.Slots, report.Messages)
+			fmt.Fprintf(out, "matching: %v\n", report.Matching)
+			fmt.Fprintf(out, "welfare: %.4f\n", report.Welfare)
+			return nil
+		case "buyer":
+			if *addr == "" {
+				return fmt.Errorf("-addr is required for node roles")
+			}
+			matched, err := wire.RunBuyerNode(*addr, *index, &m, nodeCfg)
+			if err != nil {
+				return err
+			}
+			if matched == market.Unmatched {
+				fmt.Fprintf(out, "buyer %d: unmatched\n", *index)
+			} else {
+				fmt.Fprintf(out, "buyer %d: matched to seller %d (price %.4f)\n", *index, matched, m.Price(matched, *index))
+			}
+			return nil
+		case "seller":
+			if *addr == "" {
+				return fmt.Errorf("-addr is required for node roles")
+			}
+			coalition, err := wire.RunSellerNode(*addr, *index, &m, nodeCfg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "seller %d: coalition %v\n", *index, coalition)
+			return nil
+		default:
+			return fmt.Errorf("unknown role %q (want hub, buyer, seller or all)", *role)
+		}
+	}
+	if err := runRole(); err != nil {
+		return err
+	}
+	if *metricsJSON != "" {
+		return obs.WriteSnapshotFile(reg, *metricsJSON, out)
+	}
+	return nil
+}
+
+// serveDebug starts the optional debug HTTP server on its own mux (the
+// default mux would leak pprof onto any future default-mux listener).
+func serveDebug(reg *obs.Registry, addr string) (net.Listener, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/metrics", obs.Handler(reg))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debug listener: %w", err)
+	}
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln, nil
 }

@@ -17,6 +17,7 @@ import (
 
 	"specmatch"
 	"specmatch/internal/agent"
+	"specmatch/internal/obs"
 	"specmatch/internal/simnet"
 )
 
@@ -42,6 +43,7 @@ func run(args []string, out io.Writer) error {
 		netSeed     = fs.Int64("net-seed", 1, "network fault seed")
 		concurrent  = fs.Bool("concurrent", false, "run one goroutine per agent instead of the sequential loop")
 		learnCDF    = fs.Bool("learn-cdf", false, "buyers estimate the price CDF from their own vectors (no common prior)")
+		metricsJSON = fs.String("metrics-json", "", "write an agent/simnet metrics snapshot JSON to this path ('-' = stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -64,13 +66,18 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	var reg *obs.Registry
+	if *metricsJSON != "" {
+		reg = obs.NewRegistry()
+	}
 	acfg := specmatch.AsyncConfig{
-		Net:             simnet.Config{DropProb: *drop, DelayMax: *delay, Seed: *netSeed},
+		Net:             simnet.Config{DropProb: *drop, DelayMax: *delay, Seed: *netSeed, Metrics: reg},
 		BuyerRule:       br,
 		SellerRule:      sr,
 		BuyerThreshold:  *buyerThres,
 		SellerThreshold: *sellerThres,
 		LearnCDF:        *learnCDF,
+		Metrics:         reg,
 	}
 	runner := specmatch.MatchAsync
 	if *concurrent {
@@ -102,6 +109,9 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "voided pairings (stale views under loss): %d\n", res.DisagreedPairs)
 	}
 	fmt.Fprintf(out, "stability:\n%v\n", rep)
+	if *metricsJSON != "" {
+		return obs.WriteSnapshotFile(reg, *metricsJSON, out)
+	}
 	return nil
 }
 

@@ -46,14 +46,16 @@ func RunConcurrent(m *market.Market, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("agent: network: %w", err)
 	}
 	interceptor := &slotBuffer{}
+	met := newMsgMeter(cfg.Metrics, cfg.Events)
+	sender := met.meter(interceptor)
 
 	buyers := make([]*buyerAgent, m.N())
 	for j := range buyers {
-		buyers[j] = newBuyerAgent(j, m, cfg, sched, interceptor)
+		buyers[j] = newBuyerAgent(j, m, cfg, sched, sender)
 	}
 	sellers := make([]*sellerAgent, m.M())
 	for i := range sellers {
-		sellers[i] = newSellerAgent(i, m, cfg, sched, interceptor)
+		sellers[i] = newSellerAgent(i, m, cfg, sched, sender)
 	}
 
 	res := &Result{}
@@ -75,6 +77,7 @@ func RunConcurrent(m *market.Market, cfg Config) (*Result, error) {
 				defer wg.Done()
 				b := buyers[j]
 				for _, msg := range inbox[simnet.Buyer(j)] {
+					met.onDeliver(msg)
 					b.handle(msg)
 				}
 				wasStageI := b.stage == 1
@@ -89,6 +92,7 @@ func RunConcurrent(m *market.Market, cfg Config) (*Result, error) {
 						res.EarlyBuyerTransitions++
 					}
 					statsMu.Unlock()
+					met.onTransition(simnet.KindBuyer, j, now)
 				}
 			}(j)
 		}
@@ -98,6 +102,7 @@ func RunConcurrent(m *market.Market, cfg Config) (*Result, error) {
 				defer wg.Done()
 				s := sellers[i]
 				for _, msg := range inbox[simnet.Seller(i)] {
+					met.onDeliver(msg)
 					s.handle(msg)
 				}
 				wasStageI := s.stage == 1
@@ -119,6 +124,7 @@ func RunConcurrent(m *market.Market, cfg Config) (*Result, error) {
 						res.EarlySellerTransitions++
 					}
 					statsMu.Unlock()
+					met.onTransition(simnet.KindSeller, i, now)
 				}
 			}(i)
 		}
@@ -143,6 +149,7 @@ func RunConcurrent(m *market.Market, cfg Config) (*Result, error) {
 	res.Matching, res.DisagreedPairs = assemble(m, buyers, sellers)
 	res.Welfare = matching.Welfare(m, res.Matching)
 	res.Net = inner.Stats()
+	met.onDone(res.Slots, res.Terminated)
 	return res, nil
 }
 

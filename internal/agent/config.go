@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"specmatch/internal/mwis"
+	"specmatch/internal/obs"
 	"specmatch/internal/simnet"
 	"specmatch/internal/trace"
 	"specmatch/internal/transition"
@@ -143,6 +144,20 @@ type Config struct {
 
 	// Recorder, when non-nil, receives protocol events.
 	Recorder *trace.Recorder
+
+	// Metrics, when non-nil, receives agent-layer instrumentation: per-type
+	// sent/delivered message counts (agent.sent.<type> and
+	// agent.delivered.<type>, one pair per protocol message), Stage II
+	// transition counts, and the agent.slots convergence gauge. Counters are
+	// cumulative across runs sharing the registry. Metric names are
+	// catalogued in PROTOCOL.md. Nil disables instrumentation at near-zero
+	// cost and never changes protocol behavior.
+	Metrics *obs.Registry
+
+	// Events, when non-nil, receives structured protocol events — one
+	// "agent.transition" per Stage II entry and one "agent.done" per run.
+	// Nil disables event recording entirely.
+	Events *obs.Sink
 }
 
 func (c Config) withDefaults(numSellers, numBuyers int) Config {

@@ -1,0 +1,110 @@
+package agent
+
+import (
+	"fmt"
+	"testing"
+
+	"specmatch/internal/market"
+	"specmatch/internal/obs"
+	"specmatch/internal/simnet"
+	"specmatch/internal/stability"
+)
+
+// TestFaultMatrix sweeps the protocol across a fault grid — drop probability
+// × extra delay, several seeds each — and checks the properties that must
+// survive an unreliable channel:
+//
+//   - the run terminates and the realized matching is interference-free and
+//     individually rational (welfare properties degrade under loss; safety
+//     properties must not);
+//   - the obs counters reconcile with the network's own Stats, and
+//     sent = delivered + dropped + in-flight at termination, so the metrics
+//     a deployment would alert on are provably consistent with the ground
+//     truth the simulator keeps.
+func TestFaultMatrix(t *testing.T) {
+	drops := []float64{0, 0.05, 0.15}
+	delays := []int{0, 1, 2}
+	for _, drop := range drops {
+		for _, delay := range delays {
+			for seed := int64(1); seed <= 3; seed++ {
+				name := fmt.Sprintf("drop=%.2f/delay=%d/seed=%d", drop, delay, seed)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					m, err := market.Generate(market.Config{Sellers: 3, Buyers: 15, Seed: seed})
+					if err != nil {
+						t.Fatal(err)
+					}
+					reg := obs.NewRegistry()
+					res, err := Run(m, Config{
+						Net: simnet.Config{
+							DropProb: drop,
+							DelayMax: delay,
+							Seed:     seed * 7,
+							Metrics:  reg,
+						},
+						BuyerRule:  BuyerRuleII,
+						SellerRule: SellerProbabilistic,
+						Metrics:    reg,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !res.Terminated {
+						t.Fatalf("run hit MaxSlots without quiescing (slots=%d)", res.Slots)
+					}
+
+					// Safety properties hold at every fault level.
+					if v := stability.CheckInterferenceFree(m, res.Matching); len(v) != 0 {
+						t.Errorf("interference violations: %v", v)
+					}
+					if v := stability.CheckIndividualRational(m, res.Matching); len(v) != 0 {
+						t.Errorf("IR violations: %v", v)
+					}
+
+					// The registry's simnet counters mirror the network's own
+					// Stats exactly.
+					if got := reg.CounterValue("simnet.sent"); got != int64(res.Net.Sent) {
+						t.Errorf("simnet.sent = %d, Stats.Sent = %d", got, res.Net.Sent)
+					}
+					if got := reg.CounterValue("simnet.delivered"); got != int64(res.Net.Delivered) {
+						t.Errorf("simnet.delivered = %d, Stats.Delivered = %d", got, res.Net.Delivered)
+					}
+					if got := reg.CounterValue("simnet.dropped"); got != int64(res.Net.Dropped) {
+						t.Errorf("simnet.dropped = %d, Stats.Dropped = %d", got, res.Net.Dropped)
+					}
+
+					// Conservation: every sent message is delivered, dropped,
+					// or still queued (the in_flight gauge) at termination.
+					inFlight := reg.GaugeValue("simnet.in_flight")
+					if inFlight < 0 {
+						t.Errorf("in_flight gauge went negative: %d", inFlight)
+					}
+					sent := reg.CounterValue("simnet.sent")
+					accounted := reg.CounterValue("simnet.delivered") + reg.CounterValue("simnet.dropped") + inFlight
+					if sent != accounted {
+						t.Errorf("conservation: sent %d != delivered+dropped+in_flight %d", sent, accounted)
+					}
+
+					// The agent layer's view agrees with the network's: what
+					// agents handed to the transport is what the network says
+					// was sent, and per-type deliveries sum to Delivered.
+					var agentSent, agentDelivered int64
+					for _, name := range PayloadNames() {
+						agentSent += reg.CounterValue("agent.sent." + name)
+						agentDelivered += reg.CounterValue("agent.delivered." + name)
+					}
+					if agentSent != sent {
+						t.Errorf("agent.sent.* total %d != simnet.sent %d", agentSent, sent)
+					}
+					if agentDelivered != reg.CounterValue("simnet.delivered") {
+						t.Errorf("agent.delivered.* total %d != simnet.delivered %d",
+							agentDelivered, reg.CounterValue("simnet.delivered"))
+					}
+					if got := reg.GaugeValue("agent.slots"); got != int64(res.Slots) {
+						t.Errorf("agent.slots gauge = %d, Result.Slots = %d", got, res.Slots)
+					}
+				})
+			}
+		}
+	}
+}

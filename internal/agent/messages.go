@@ -62,3 +62,42 @@ type Leave struct{}
 // SellerTransition notifies a seller's matched buyers that she entered Stage
 // II and will no longer evict them — buyer transition rule III.
 type SellerTransition struct{}
+
+// PayloadName returns the canonical protocol name of a message payload —
+// the same names package wire puts on the frame and PROTOCOL.md documents
+// ("propose", "proposal-decision", …) — or "" for an unregistered type.
+func PayloadName(p any) string {
+	switch p.(type) {
+	case Propose:
+		return "propose"
+	case ProposalDecision:
+		return "proposal-decision"
+	case Evict:
+		return "evict"
+	case Digest:
+		return "digest"
+	case TransferApply:
+		return "transfer-apply"
+	case TransferDecision:
+		return "transfer-decision"
+	case Invite:
+		return "invite"
+	case InviteResponse:
+		return "invite-response"
+	case Leave:
+		return "leave"
+	case SellerTransition:
+		return "seller-transition"
+	default:
+		return ""
+	}
+}
+
+// PayloadNames lists every protocol message name, in protocol order.
+func PayloadNames() []string {
+	return []string{
+		"propose", "proposal-decision", "evict", "digest",
+		"transfer-apply", "transfer-decision",
+		"invite", "invite-response", "leave", "seller-transition",
+	}
+}

@@ -1,0 +1,122 @@
+package agent
+
+import (
+	"fmt"
+
+	"specmatch/internal/obs"
+	"specmatch/internal/simnet"
+)
+
+// msgMeter holds the agent layer's prebuilt observability handles: one
+// sent/delivered counter pair per protocol message type, stage-transition
+// counters, and the slots-to-convergence gauge. The maps are built once and
+// only read afterwards, so metering is safe from the concurrent runner's
+// per-agent goroutines (the counters themselves are atomic). A nil *msgMeter
+// disables everything at the cost of one pointer check per call.
+type msgMeter struct {
+	events    *obs.Sink
+	sent      map[string]*obs.Counter // agent.sent.<type>
+	delivered map[string]*obs.Counter // agent.delivered.<type>
+
+	buyerTransitions  *obs.Counter // agent.transitions.buyer
+	sellerTransitions *obs.Counter // agent.transitions.seller
+	slots             *obs.Gauge   // agent.slots
+	runs              *obs.Counter // agent.runs
+}
+
+func newMsgMeter(reg *obs.Registry, events *obs.Sink) *msgMeter {
+	if reg == nil && !events.Enabled() {
+		return nil
+	}
+	names := PayloadNames()
+	mm := &msgMeter{
+		events:            events,
+		sent:              make(map[string]*obs.Counter, len(names)),
+		delivered:         make(map[string]*obs.Counter, len(names)),
+		buyerTransitions:  reg.Counter("agent.transitions.buyer"),
+		sellerTransitions: reg.Counter("agent.transitions.seller"),
+		slots:             reg.Gauge("agent.slots"),
+		runs:              reg.Counter("agent.runs"),
+	}
+	for _, name := range names {
+		mm.sent[name] = reg.Counter("agent.sent." + name)
+		mm.delivered[name] = reg.Counter("agent.delivered." + name)
+	}
+	return mm
+}
+
+// onSend counts one message handed to the transport.
+func (mm *msgMeter) onSend(msg simnet.Message) {
+	if mm == nil {
+		return
+	}
+	mm.sent[PayloadName(msg.Payload)].Inc()
+}
+
+// onDeliver counts one message handed to a recipient state machine.
+func (mm *msgMeter) onDeliver(msg simnet.Message) {
+	if mm == nil {
+		return
+	}
+	mm.delivered[PayloadName(msg.Payload)].Inc()
+}
+
+// onTransition records one agent's Stage I → Stage II transition. Safe from
+// concurrent per-agent goroutines; event order within a slot is therefore
+// unspecified, which is fine for a debugging sink.
+func (mm *msgMeter) onTransition(kind simnet.Kind, index, slot int) {
+	if mm == nil {
+		return
+	}
+	node := "seller"
+	c := mm.sellerTransitions
+	if kind == simnet.KindBuyer {
+		node = "buyer"
+		c = mm.buyerTransitions
+	}
+	c.Inc()
+	if mm.events.Enabled() {
+		mm.events.Emit(obs.Event{
+			Slot: slot,
+			Kind: "agent.transition",
+			Node: fmt.Sprintf("%s-%d", node, index),
+		})
+	}
+}
+
+// onDone records the run's slots-to-convergence.
+func (mm *msgMeter) onDone(slots int, terminated bool) {
+	if mm == nil {
+		return
+	}
+	mm.runs.Inc()
+	mm.slots.Set(int64(slots))
+	if mm.events.Enabled() {
+		mm.events.Emit(obs.Event{
+			Slot: slots,
+			Kind: "agent.done",
+			Note: fmt.Sprintf("terminated=%v", terminated),
+		})
+	}
+}
+
+// meteredSender wraps a netSender, counting every send by payload type.
+type meteredSender struct {
+	inner netSender
+	met   *msgMeter
+}
+
+// Send implements netSender.
+func (ms *meteredSender) Send(msg simnet.Message) {
+	ms.met.onSend(msg)
+	ms.inner.Send(msg)
+}
+
+// meter wraps sender with send metering when observability is on; with a nil
+// meter it returns the sender untouched, keeping the disabled path free.
+func (mm *msgMeter) meter(sender netSender) netSender {
+	if mm == nil {
+		return sender
+	}
+	return &meteredSender{inner: sender, met: mm}
+}

@@ -30,26 +30,38 @@ func (sb *sendBuffer) drain() []simnet.Message {
 type BuyerNode struct {
 	b   *buyerAgent
 	buf *sendBuffer
+	met *msgMeter
 }
 
 // NewBuyerNode creates the endpoint for buyer id. The config's network
-// settings are ignored — the caller owns the transport.
+// settings are ignored — the caller owns the transport — but Metrics and
+// Events are honored, so deployed nodes report the same agent.* metrics as
+// the simulated runners.
 func NewBuyerNode(id int, m *market.Market, cfg Config) *BuyerNode {
 	cfg = cfg.withDefaults(m.M(), m.N())
 	buf := &sendBuffer{}
+	met := newMsgMeter(cfg.Metrics, cfg.Events)
 	return &BuyerNode{
-		b:   newBuyerAgent(id, m, cfg, defaultSchedule(m.M(), m.N()), buf),
+		b:   newBuyerAgent(id, m, cfg, defaultSchedule(m.M(), m.N()), met.meter(buf)),
 		buf: buf,
+		met: met,
 	}
 }
 
 // Deliver feeds one inbound message to the state machine.
-func (n *BuyerNode) Deliver(msg simnet.Message) { n.b.handle(msg) }
+func (n *BuyerNode) Deliver(msg simnet.Message) {
+	n.met.onDeliver(msg)
+	n.b.handle(msg)
+}
 
 // Tick advances the node to the given slot and returns its outbound
 // messages.
 func (n *BuyerNode) Tick(now int) []simnet.Message {
+	wasStageI := n.b.stage == 1
 	n.b.tick(now)
+	if wasStageI && n.b.stage == 2 {
+		n.met.onTransition(simnet.KindBuyer, n.b.id, now)
+	}
 	return n.buf.drain()
 }
 
@@ -64,26 +76,36 @@ func (n *BuyerNode) MatchedTo() int { return n.b.matchedTo }
 type SellerNode struct {
 	s   *sellerAgent
 	buf *sendBuffer
+	met *msgMeter
 }
 
 // NewSellerNode creates the endpoint for seller id.
 func NewSellerNode(id int, m *market.Market, cfg Config) *SellerNode {
 	cfg = cfg.withDefaults(m.M(), m.N())
 	buf := &sendBuffer{}
+	met := newMsgMeter(cfg.Metrics, cfg.Events)
 	return &SellerNode{
-		s:   newSellerAgent(id, m, cfg, defaultSchedule(m.M(), m.N()), buf),
+		s:   newSellerAgent(id, m, cfg, defaultSchedule(m.M(), m.N()), met.meter(buf)),
 		buf: buf,
+		met: met,
 	}
 }
 
 // Deliver feeds one inbound message to the state machine.
-func (n *SellerNode) Deliver(msg simnet.Message) { n.s.handle(msg) }
+func (n *SellerNode) Deliver(msg simnet.Message) {
+	n.met.onDeliver(msg)
+	n.s.handle(msg)
+}
 
 // Tick advances the node to the given slot and returns its outbound
 // messages.
 func (n *SellerNode) Tick(now int) ([]simnet.Message, error) {
+	wasStageI := n.s.stage == 1
 	if err := n.s.tick(now); err != nil {
 		return nil, err
+	}
+	if wasStageI && n.s.stage == 2 {
+		n.met.onTransition(simnet.KindSeller, n.s.id, now)
 	}
 	return n.buf.drain(), nil
 }

@@ -67,14 +67,16 @@ func Run(m *market.Market, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("agent: network: %w", err)
 	}
+	met := newMsgMeter(cfg.Metrics, cfg.Events)
+	sender := met.meter(net)
 
 	buyers := make([]*buyerAgent, m.N())
 	for j := range buyers {
-		buyers[j] = newBuyerAgent(j, m, cfg, sched, net)
+		buyers[j] = newBuyerAgent(j, m, cfg, sched, sender)
 	}
 	sellers := make([]*sellerAgent, m.M())
 	for i := range sellers {
-		sellers[i] = newSellerAgent(i, m, cfg, sched, net)
+		sellers[i] = newSellerAgent(i, m, cfg, sched, sender)
 	}
 
 	res := &Result{Terminated: false}
@@ -82,6 +84,7 @@ func Run(m *market.Market, cfg Config) (*Result, error) {
 	sellerTransitions := make([]float64, 0, m.M())
 	for slot := 1; slot <= cfg.MaxSlots; slot++ {
 		for _, msg := range net.Step() {
+			met.onDeliver(msg)
 			switch msg.To.Kind {
 			case simnet.KindBuyer:
 				buyers[msg.To.Index].handle(msg)
@@ -98,6 +101,7 @@ func Run(m *market.Market, cfg Config) (*Result, error) {
 				if net.Now() < sched.stageII {
 					res.EarlyBuyerTransitions++
 				}
+				met.onTransition(simnet.KindBuyer, b.id, net.Now())
 			}
 		}
 		for _, s := range sellers {
@@ -111,6 +115,7 @@ func Run(m *market.Market, cfg Config) (*Result, error) {
 				if net.Now() < sched.stageII {
 					res.EarlySellerTransitions++
 				}
+				met.onTransition(simnet.KindSeller, s.id, net.Now())
 			}
 		}
 		if quiesced(buyers, sellers, net) {
@@ -128,6 +133,7 @@ func Run(m *market.Market, cfg Config) (*Result, error) {
 	res.Matching, res.DisagreedPairs = assemble(m, buyers, sellers)
 	res.Welfare = matching.Welfare(m, res.Matching)
 	res.Net = net.Stats()
+	met.onDone(res.Slots, res.Terminated)
 	return res, nil
 }
 

@@ -28,6 +28,7 @@ import (
 	"specmatch/internal/market"
 	"specmatch/internal/matching"
 	"specmatch/internal/mwis"
+	"specmatch/internal/obs"
 	"specmatch/internal/trace"
 )
 
@@ -60,6 +61,19 @@ type Options struct {
 
 	// Recorder, when non-nil, receives one event per protocol step.
 	Recorder *trace.Recorder
+
+	// Metrics, when non-nil, receives engine instrumentation: per-round wall
+	// time (core.round_seconds), MWIS solves vs. coalition-cache work
+	// avoidance (core.mwis.solves, core.cache.*), evictions, and per-stage
+	// round/message counts. Counters are cumulative across runs sharing the
+	// registry, so one registry can aggregate a whole experiment. Metric
+	// names are catalogued in PROTOCOL.md. Nil disables instrumentation at
+	// near-zero cost and never changes behavior.
+	Metrics *obs.Registry
+
+	// Events, when non-nil, receives one structured round summary per engine
+	// round (kind "core.round"). Nil disables event recording entirely.
+	Events *obs.Sink
 }
 
 func (o Options) withDefaults() Options {
@@ -154,5 +168,6 @@ func Run(m *market.Market, opts Options) (*Result, error) {
 	res.Welfare = res.Phase2.Welfare
 	res.Matched = mu.MatchedCount()
 	res.Cache = eng.cacheStats()
+	eng.publish(res)
 	return res, nil
 }

@@ -6,10 +6,12 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"specmatch/internal/graph"
 	"specmatch/internal/market"
 	"specmatch/internal/mwis"
+	"specmatch/internal/obs"
 )
 
 // engine holds the per-run state shared by both stages: the materialized
@@ -33,6 +35,68 @@ type engine struct {
 	caches  []coalitionCache // nil when Options.DisableCoalitionCache
 	out     [][]int          // per-seller decision slot for the current round
 	errs    []error          // per-seller error slot for the current round
+
+	solves    atomic.Int64 // MWIS solves actually executed (atomic: fan-out)
+	evictions int64        // Stage I evictions (merged in seller-ID order)
+	met       *coreMetrics // nil when observability is off
+}
+
+// coreMetrics holds the engine's observability handles. It exists only when
+// Options.Metrics or Options.Events is set; a nil *coreMetrics keeps the
+// disabled path to a single pointer check per round.
+type coreMetrics struct {
+	reg    *obs.Registry
+	events *obs.Sink
+	rounds *obs.Histogram // core.round_seconds
+}
+
+// roundTimer starts timing one engine round; zero when observability is off.
+func (e *engine) roundTimer() time.Time {
+	if e.met == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// observeRound records one round's wall time and, when the event sink is
+// enabled, a structured round summary. Called from the sequential section
+// of each round loop.
+func (e *engine) observeRound(stage string, round, messages int, start time.Time) {
+	if e.met == nil {
+		return
+	}
+	d := time.Since(start)
+	e.met.rounds.Observe(d.Seconds())
+	if e.met.events.Enabled() {
+		e.met.events.Emit(obs.Event{
+			Slot: round,
+			Kind: "core.round",
+			Note: fmt.Sprintf("%s messages=%d dur=%s", stage, messages, d),
+		})
+	}
+}
+
+// publish flushes the run's aggregate counters onto the registry. The
+// per-run values are invariant under the worker schedule, so so are the
+// registry totals.
+func (e *engine) publish(res *Result) {
+	if e.met == nil || e.met.reg == nil {
+		return
+	}
+	reg := e.met.reg
+	reg.Counter("core.runs").Inc()
+	reg.Counter("core.rounds.stage_i").Add(int64(res.StageI.Rounds))
+	reg.Counter("core.rounds.phase_1").Add(int64(res.Phase1.Rounds))
+	reg.Counter("core.rounds.phase_2").Add(int64(res.Phase2.Rounds))
+	reg.Counter("core.messages.stage_i").Add(int64(res.StageI.Messages))
+	reg.Counter("core.messages.phase_1").Add(int64(res.Phase1.Messages))
+	reg.Counter("core.messages.phase_2").Add(int64(res.Phase2.Messages))
+	reg.Counter("core.mwis.solves").Add(e.solves.Load())
+	reg.Counter("core.cache.hits").Add(int64(res.Cache.Hits))
+	reg.Counter("core.cache.independent").Add(int64(res.Cache.Independent))
+	reg.Counter("core.cache.misses").Add(int64(res.Cache.Misses))
+	reg.Counter("core.evictions").Add(e.evictions)
+	reg.Counter("core.invitations").Add(int64(res.Phase2.Messages))
 }
 
 func newEngine(m *market.Market, opts Options) *engine {
@@ -47,6 +111,13 @@ func newEngine(m *market.Market, opts Options) *engine {
 	}
 	if !opts.DisableCoalitionCache {
 		e.caches = make([]coalitionCache, numSellers)
+	}
+	if opts.Metrics != nil || opts.Events.Enabled() {
+		e.met = &coreMetrics{
+			reg:    opts.Metrics,
+			events: opts.Events,
+			rounds: opts.Metrics.Histogram("core.round_seconds", obs.TimeBuckets()),
+		}
 	}
 	return e
 }
@@ -95,6 +166,7 @@ func (e *engine) forEachSeller(fn func(i int)) {
 // cache and with earlier callers; coalition slices are never mutated.
 func (e *engine) coalition(i int, candidates []int) ([]int, error) {
 	if e.caches == nil {
+		e.solves.Add(1)
 		return e.solvers[i].Solve(e.opts.MWIS, e.m.Graph(i), e.rows[i], candidates)
 	}
 	c := &e.caches[i]
@@ -123,6 +195,7 @@ func (e *engine) coalition(i int, candidates []int) ([]int, error) {
 		sel = append([]int(nil), canon...)
 	} else {
 		c.misses++
+		e.solves.Add(1)
 		sel, err = e.solvers[i].Solve(e.opts.MWIS, g, e.rows[i], canon)
 		if err != nil {
 			return nil, err

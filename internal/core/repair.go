@@ -56,5 +56,6 @@ func Repair(m *market.Market, mu *matching.Matching, opts Options) (Result, erro
 	res.Welfare = res.Phase2.Welfare
 	res.Matched = mu.MatchedCount()
 	res.Cache = eng.cacheStats()
+	eng.publish(&res)
 	return res, nil
 }

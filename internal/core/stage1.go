@@ -52,6 +52,7 @@ func (e *engine) runStageI() (*matching.Matching, StageStats, error) {
 		if round > maxRounds {
 			return nil, stats, fmt.Errorf("stage I exceeded its %d-proposal round bound", maxRounds)
 		}
+		roundStart := e.roundTimer()
 
 		// Proposal step: one proposal per unmatched buyer with options left.
 		proposalsMade := 0
@@ -105,6 +106,7 @@ func (e *engine) runStageI() (*matching.Matching, StageStats, error) {
 			for _, j := range waiting[i] { // evictions
 				if _, ok := keep[j]; !ok {
 					mu.Unassign(j)
+					e.evictions++
 					e.opts.Recorder.Record(trace.Event{Round: round, Kind: trace.KindEvict, Buyer: j, Seller: i})
 				}
 			}
@@ -123,6 +125,7 @@ func (e *engine) runStageI() (*matching.Matching, StageStats, error) {
 			}
 			waiting[i] = selected
 		}
+		e.observeRound("stage_i", round, proposalsMade, roundStart)
 	}
 
 	stats.Welfare = matching.Welfare(m, mu)

@@ -60,6 +60,7 @@ func (e *engine) runTransfer(mu *matching.Matching) ([][]int, StageStats, error)
 		if round > maxRounds {
 			return nil, stats, fmt.Errorf("phase 1 exceeded its O(M)=%d round bound", maxRounds)
 		}
+		roundStart := e.roundTimer()
 
 		// Application step: one application per buyer with a strictly
 		// better seller left to try.
@@ -142,6 +143,7 @@ func (e *engine) runTransfer(mu *matching.Matching) ([][]int, StageStats, error)
 				}
 			}
 		}
+		e.observeRound("phase_1", round, applicationsMade, roundStart)
 	}
 
 	stats.Welfare = matching.Welfare(m, mu)
@@ -195,10 +197,11 @@ func (e *engine) runInvitation(mu *matching.Matching, inviteLists [][]int) (Stag
 		if round > maxRounds {
 			return stats, fmt.Errorf("phase 2 exceeded its %d round bound", maxRounds)
 		}
+		roundStart := e.roundTimer()
 
 		// Invitation step: each seller invites her best remaining candidate.
 		inviters := make(map[int][]int) // buyer → sellers inviting this round
-		invitedAny := false
+		invitesMade := 0
 		for i := 0; i < numSellers; i++ {
 			if len(pending[i]) == 0 {
 				continue
@@ -206,11 +209,11 @@ func (e *engine) runInvitation(mu *matching.Matching, inviteLists [][]int) (Stag
 			j := pending[i][0]
 			pending[i] = pending[i][1:] // removed regardless of outcome (line 31)
 			inviters[j] = append(inviters[j], i)
-			invitedAny = true
+			invitesMade++
 			stats.Messages++
 			e.opts.Recorder.Record(trace.Event{Round: round, Kind: trace.KindInvite, Buyer: j, Seller: i})
 		}
-		if !invitedAny {
+		if invitesMade == 0 {
 			break
 		}
 		stats.Rounds = round
@@ -256,6 +259,7 @@ func (e *engine) runInvitation(mu *matching.Matching, inviteLists [][]int) (Stag
 			}
 			pending[best] = kept
 		}
+		e.observeRound("phase_2", round, invitesMade, roundStart)
 	}
 
 	stats.Welfare = matching.Welfare(m, mu)

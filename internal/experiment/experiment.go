@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"specmatch/internal/core"
+	"specmatch/internal/obs"
 	"specmatch/internal/stats"
 	"specmatch/internal/xrand"
 )
@@ -37,6 +38,16 @@ type RunConfig struct {
 	// oversubscribe. Set it above one when running few replications on a
 	// many-core box. Results are identical at every setting.
 	EngineWorkers int
+
+	// Metrics, when non-nil, aggregates engine instrumentation across every
+	// replication of the figure (the registry's counters are atomic, so
+	// parallel replications share it safely). Measured results are identical
+	// either way.
+	Metrics *obs.Registry
+
+	// Events, when non-nil, receives one "experiment.rep" event per
+	// completed replication (Slot = sweep-point index).
+	Events *obs.Sink
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -56,7 +67,7 @@ func (c RunConfig) withDefaults() RunConfig {
 // replication should run under.
 func (c RunConfig) engineOptions() core.Options {
 	c = c.withDefaults()
-	return core.Options{Workers: c.EngineWorkers}
+	return core.Options{Workers: c.EngineWorkers, Metrics: c.Metrics}
 }
 
 // Point is one sweep position with aggregated measurements per series.
@@ -137,6 +148,13 @@ func runSweep(cfg RunConfig, series []string, points []sweepPoint) ([]Point, err
 			for jb := range jobs {
 				seed := xrand.Split(cfg.Seed, jb.point*1_000_003+jb.rep)
 				m, err := points[jb.point].run(seed)
+				if cfg.Events.Enabled() {
+					note := fmt.Sprintf("rep=%d seed=%d", jb.rep, seed)
+					if err != nil {
+						note += " err=" + err.Error()
+					}
+					cfg.Events.Emit(obs.Event{Slot: jb.point, Kind: "experiment.rep", Note: note})
+				}
 				outcomes <- outcome{point: jb.point, m: m, err: err}
 			}
 		}()

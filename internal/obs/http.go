@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+)
+
+// Handler serves the registry as an expvar-style indented JSON snapshot —
+// the payload behind specnode's -debug-addr /debug/metrics endpoint. A nil
+// registry serves an empty snapshot.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+}
+
+// WriteSnapshotFile writes the registry snapshot as indented JSON to path,
+// or to stdout when path is "-". It backs the CLIs' -metrics-json flag; a
+// nil registry writes an empty snapshot.
+func WriteSnapshotFile(r *Registry, path string, stdout io.Writer) error {
+	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: snapshot marshal: %w", err)
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("obs: snapshot write: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestNilRegistryAndMetrics: the disabled path — nil registry, nil handles,
+// nil sink — must be a total no-op, never a panic.
+func TestNilRegistryAndMetrics(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter should read 0")
+	}
+	g := r.Gauge("y")
+	g.Set(3)
+	g.Add(-1)
+	if g.Value() != 0 {
+		t.Error("nil gauge should read 0")
+	}
+	h := r.Histogram("z", TimeBuckets())
+	h.Observe(0.5)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram should read 0")
+	}
+	if snap := r.Snapshot(); snap.Counters != nil || snap.Gauges != nil || snap.Histograms != nil {
+		t.Error("nil registry snapshot should be empty")
+	}
+	if r.CounterValue("x") != 0 || r.GaugeValue("y") != 0 || r.CounterNames() != nil {
+		t.Error("nil registry accessors should read zero values")
+	}
+
+	var s *Sink
+	if s.Enabled() {
+		t.Error("nil sink should be disabled")
+	}
+	s.Emit(Event{Slot: 1, Kind: "k"})
+	if s.Len() != 0 || s.Events() != nil || s.Dropped() != 0 {
+		t.Error("nil sink should discard everything")
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("msgs")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("msgs") != c {
+		t.Error("same name should return the same counter")
+	}
+	if r.CounterValue("msgs") != 5 || r.CounterValue("absent") != 0 {
+		t.Error("CounterValue mismatch")
+	}
+	g := r.Gauge("depth")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Errorf("gauge = %d, want 7", got)
+	}
+	if names := r.CounterNames(); !reflect.DeepEqual(names, []string{"msgs"}) {
+		t.Errorf("CounterNames = %v", names)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 10})
+	for _, v := range []float64{0.5, 1, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("count = %d, want 4", h.Count())
+	}
+	if got, want := h.Sum(), 106.5; got != want {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+	snap := r.Snapshot().Histograms["lat"]
+	wantCounts := []int64{2, 1, 1} // ≤1: {0.5, 1}; ≤10: {5}; overflow: {100}
+	for i, b := range snap.Buckets {
+		if b.Count != wantCounts[i] {
+			t.Errorf("bucket %d = %d, want %d", i, b.Count, wantCounts[i])
+		}
+	}
+	if !math.IsInf(snap.Buckets[2].UpperBound, 1) {
+		t.Error("last bucket should be the +Inf overflow")
+	}
+}
+
+// TestSnapshotJSON: a snapshot with an overflow bucket must marshal (the
+// raw +Inf would be rejected by encoding/json).
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Inc()
+	r.Gauge("b").Set(2)
+	r.Histogram("c", []float64{1}).Observe(3)
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatalf("snapshot marshal: %v", err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("snapshot unmarshal: %v", err)
+	}
+	for _, key := range []string{"counters", "gauges", "histograms"} {
+		if _, ok := decoded[key]; !ok {
+			t.Errorf("snapshot JSON missing %q", key)
+		}
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	s := NewSink(0)
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < perWorker; k++ {
+				r.Counter("n").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h", []float64{0.5}).Observe(1)
+				if s.Enabled() {
+					s.Emit(Event{Slot: k, Kind: "tick"})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := int64(workers * perWorker)
+	if got := r.CounterValue("n"); got != total {
+		t.Errorf("counter = %d, want %d", got, total)
+	}
+	if got := r.GaugeValue("g"); got != total {
+		t.Errorf("gauge = %d, want %d", got, total)
+	}
+	h := r.Histogram("h", nil)
+	if h.Count() != total || h.Sum() != float64(total) {
+		t.Errorf("histogram count/sum = %d/%v, want %d", h.Count(), h.Sum(), total)
+	}
+	if got := int64(s.Len()) + s.Dropped(); got != total {
+		t.Errorf("sink stored+dropped = %d, want %d", got, total)
+	}
+}
+
+func TestSinkLimit(t *testing.T) {
+	s := NewSink(2)
+	for k := 0; k < 5; k++ {
+		s.Emit(Event{Slot: k, Kind: "e"})
+	}
+	if s.Len() != 2 || s.Dropped() != 3 {
+		t.Errorf("len/dropped = %d/%d, want 2/3", s.Len(), s.Dropped())
+	}
+	events := s.Events()
+	if events[0].Slot != 0 || events[1].Slot != 1 {
+		t.Errorf("sink should keep the earliest events, got %v", events)
+	}
+	if got := events[0].String(); got == "" {
+		t.Error("event String should be non-empty")
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(3)
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/metrics", nil))
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("handler body: %v", err)
+	}
+	if snap.Counters["hits"] != 3 {
+		t.Errorf("handler counters = %v", snap.Counters)
+	}
+	// A nil registry serves an empty object rather than erroring.
+	rec = httptest.NewRecorder()
+	Handler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/metrics", nil))
+	if rec.Code != 200 {
+		t.Errorf("nil-registry handler status = %d", rec.Code)
+	}
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Event is one structured protocol event, scoped to the slot (asynchronous
+// runtimes) or round (synchronous engine) in which it happened. Node and
+// Peer identify participants ("buyer#3", "seller#1") when applicable.
+type Event struct {
+	Slot int    `json:"slot"`
+	Kind string `json:"kind"`
+	Node string `json:"node,omitempty"`
+	Peer string `json:"peer,omitempty"`
+	Note string `json:"note,omitempty"`
+}
+
+// String renders the event in a compact single-line form.
+func (e Event) String() string {
+	s := fmt.Sprintf("[s%04d] %s", e.Slot, e.Kind)
+	if e.Node != "" {
+		s += " " + e.Node
+	}
+	if e.Peer != "" {
+		s += " → " + e.Peer
+	}
+	if e.Note != "" {
+		s += " " + e.Note
+	}
+	return s
+}
+
+// Sink accumulates events up to a bounded length. A nil *Sink is valid and
+// discards everything — the fast path instrumented code relies on: call
+// sites guard event construction with Enabled() so a disabled sink costs
+// one nil check and no allocation. Safe for concurrent use when enabled.
+type Sink struct {
+	mu      sync.Mutex
+	events  []Event
+	limit   int
+	dropped int64
+}
+
+// NewSink returns an empty sink holding at most limit events (≤ 0 means
+// 65536). Once full, further events are counted but not stored.
+func NewSink(limit int) *Sink {
+	if limit <= 0 {
+		limit = 1 << 16
+	}
+	return &Sink{limit: limit}
+}
+
+// Enabled reports whether emitting to this sink does anything. Guard event
+// construction with it so the disabled path allocates nothing.
+func (s *Sink) Enabled() bool { return s != nil }
+
+// Emit records one event. No-op on nil.
+func (s *Sink) Emit(e Event) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.events) >= s.limit {
+		s.dropped++
+		return
+	}
+	s.events = append(s.events, e)
+}
+
+// Events returns a copy of the recorded events in emission order.
+func (s *Sink) Events() []Event {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// Len returns the number of stored events.
+func (s *Sink) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// Dropped returns how many events arrived after the sink filled.
+func (s *Sink) Dropped() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"specmatch/internal/obs"
 	"specmatch/internal/xrand"
 )
 
@@ -95,6 +96,14 @@ type Config struct {
 	Blackouts []Blackout
 	// Seed drives drop and delay randomness.
 	Seed int64
+
+	// Metrics, when non-nil, receives network instrumentation mirroring
+	// Stats (simnet.sent, simnet.delivered, simnet.dropped) plus
+	// simnet.delayed (messages that drew a nonzero extra delay) and the
+	// simnet.in_flight depth gauge. Counters are cumulative across networks
+	// sharing the registry; the gauge reflects the most recent network.
+	// Nil disables instrumentation and never changes delivery behavior.
+	Metrics *obs.Registry
 }
 
 // Stats counts network activity.
@@ -114,6 +123,29 @@ type Network struct {
 	nextSeq int
 	pending map[int][]Message
 	stats   Stats
+	met     *netMetrics // nil when Config.Metrics is nil
+}
+
+// netMetrics holds the network's registry handles, built once at New.
+type netMetrics struct {
+	sent      *obs.Counter
+	delivered *obs.Counter
+	dropped   *obs.Counter
+	delayed   *obs.Counter
+	inFlight  *obs.Gauge
+}
+
+func newNetMetrics(reg *obs.Registry) *netMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &netMetrics{
+		sent:      reg.Counter("simnet.sent"),
+		delivered: reg.Counter("simnet.delivered"),
+		dropped:   reg.Counter("simnet.dropped"),
+		delayed:   reg.Counter("simnet.delayed"),
+		inFlight:  reg.Gauge("simnet.in_flight"),
+	}
 }
 
 // New returns an empty network at slot 0.
@@ -130,6 +162,7 @@ func New(cfg Config) (*Network, error) {
 		rng:     r,
 		rngInt:  r,
 		pending: make(map[int][]Message),
+		met:     newNetMetrics(cfg.Metrics),
 	}, nil
 }
 
@@ -152,16 +185,19 @@ func (n *Network) InFlight() int {
 // (now + 1 + delay), or drops it per the fault configuration.
 func (n *Network) Send(msg Message) {
 	n.stats.Sent++
+	if n.met != nil {
+		n.met.sent.Inc()
+	}
 	msg.seq = n.nextSeq
 	n.nextSeq++
 	for _, b := range n.cfg.Blackouts {
 		if b.covers(n.now) {
-			n.stats.Dropped++
+			n.drop()
 			return
 		}
 	}
 	if n.cfg.DropProb > 0 && n.rng.Float64() < n.cfg.DropProb {
-		n.stats.Dropped++
+		n.drop()
 		return
 	}
 	delay := 0
@@ -170,6 +206,19 @@ func (n *Network) Send(msg Message) {
 	}
 	due := n.now + 1 + delay
 	n.pending[due] = append(n.pending[due], msg)
+	if n.met != nil {
+		n.met.inFlight.Add(1)
+		if delay > 0 {
+			n.met.delayed.Inc()
+		}
+	}
+}
+
+func (n *Network) drop() {
+	n.stats.Dropped++
+	if n.met != nil {
+		n.met.dropped.Inc()
+	}
 }
 
 // Step advances to the next slot and returns the messages due in it, in
@@ -188,5 +237,9 @@ func (n *Network) Step() []Message {
 		return due[a].seq < due[b].seq
 	})
 	n.stats.Delivered += len(due)
+	if n.met != nil && len(due) > 0 {
+		n.met.delivered.Add(int64(len(due)))
+		n.met.inFlight.Add(-int64(len(due)))
+	}
 	return due
 }

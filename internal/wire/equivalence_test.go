@@ -1,0 +1,91 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"specmatch/internal/agent"
+	"specmatch/internal/market"
+	"specmatch/internal/obs"
+	"specmatch/internal/stability"
+)
+
+// msgCounts collects the agent layer's per-type message metrics plus the
+// stage-transition counters from a registry, keyed for direct comparison.
+func msgCounts(reg *obs.Registry) map[string]int64 {
+	out := make(map[string]int64, 2*10+2)
+	for _, name := range agent.PayloadNames() {
+		out["sent."+name] = reg.CounterValue("agent.sent." + name)
+		out["delivered."+name] = reg.CounterValue("agent.delivered." + name)
+	}
+	out["transitions.buyer"] = reg.CounterValue("agent.transitions.buyer")
+	out["transitions.seller"] = reg.CounterValue("agent.transitions.seller")
+	return out
+}
+
+// TestThreeRuntimeEquivalence runs the same seeded markets through all three
+// protocol runtimes — the sequential simulator (agent.Run), the
+// goroutine-per-agent simulator (agent.RunConcurrent), and an in-process TCP
+// deployment (MatchOverTCP) — and asserts they produce identical final
+// matchings AND identical per-type message-count metrics. The runtimes share
+// the buyer/seller state machines, and on a reliable network the hub's
+// next-slot relay matches simnet's one-slot latency exactly, so any
+// divergence in either the outcome or the traffic profile is a transport
+// bug, not protocol noise.
+func TestThreeRuntimeEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		m, err := market.Generate(market.Config{Sellers: 3, Buyers: 12, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mkCfg := func(reg *obs.Registry) agent.Config {
+			return agent.Config{
+				BuyerRule:  agent.BuyerRuleII,
+				SellerRule: agent.SellerProbabilistic,
+				Metrics:    reg,
+			}
+		}
+
+		regSeq := obs.NewRegistry()
+		seq, err := agent.Run(m, mkCfg(regSeq))
+		if err != nil {
+			t.Fatalf("seed %d: sequential run: %v", seed, err)
+		}
+		regCon := obs.NewRegistry()
+		con, err := agent.RunConcurrent(m, mkCfg(regCon))
+		if err != nil {
+			t.Fatalf("seed %d: concurrent run: %v", seed, err)
+		}
+		// All TCP nodes share one registry, so the deployment's aggregate
+		// agent.* counters are directly comparable to the simulated runs'.
+		regTCP := obs.NewRegistry()
+		report, err := MatchOverTCP(m, NodeConfig{Agent: mkCfg(regTCP)}, HubConfig{})
+		if err != nil {
+			t.Fatalf("seed %d: TCP run: %v", seed, err)
+		}
+
+		if !seq.Matching.Equal(con.Matching) {
+			t.Errorf("seed %d: concurrent matching %v != sequential %v", seed, con.Matching, seq.Matching)
+		}
+		if !seq.Matching.Equal(report.Matching) {
+			t.Errorf("seed %d: TCP matching %v != sequential %v", seed, report.Matching, seq.Matching)
+		}
+		if v := stability.CheckInterferenceFree(m, seq.Matching); len(v) != 0 {
+			t.Errorf("seed %d: interference %v", seed, v)
+		}
+
+		want := msgCounts(regSeq)
+		if got := msgCounts(regCon); !reflect.DeepEqual(got, want) {
+			t.Errorf("seed %d: concurrent message metrics diverge\n got %v\nwant %v", seed, got, want)
+		}
+		if got := msgCounts(regTCP); !reflect.DeepEqual(got, want) {
+			t.Errorf("seed %d: TCP message metrics diverge\n got %v\nwant %v", seed, got, want)
+		}
+
+		// Sanity: the protocol actually exchanged messages, so the metric
+		// comparison above compared real traffic rather than all-zeros.
+		if want["sent.propose"] == 0 || want["delivered.propose"] == 0 {
+			t.Errorf("seed %d: no proposals metered: %v", seed, want)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"specmatch/internal/agent"
+	"specmatch/internal/simnet"
+)
+
+// everyPayload is one message of every protocol type, with representative
+// field values.
+func everyPayload() []any {
+	return []any{
+		agent.Propose{Price: 0.75},
+		agent.ProposalDecision{Accepted: true, Proposers: []int{0, 2, 5}},
+		agent.Evict{},
+		agent.Digest{Proposers: []int{1, 3}},
+		agent.TransferApply{Price: 0.25},
+		agent.TransferDecision{Accepted: false},
+		agent.Invite{},
+		agent.InviteResponse{Accepted: true},
+		agent.Leave{},
+		agent.SellerTransition{},
+	}
+}
+
+// TestCodecRoundTripAllTypes pins the encode/decode contract for every
+// protocol message type: the wire name matches agent.PayloadName and the
+// decoded message equals the original.
+func TestCodecRoundTripAllTypes(t *testing.T) {
+	for _, payload := range everyPayload() {
+		msg := simnet.Message{From: simnet.Buyer(3), To: simnet.Seller(1), Payload: payload}
+		wm, err := EncodeMsg(msg)
+		if err != nil {
+			t.Fatalf("encode %T: %v", payload, err)
+		}
+		if want := agent.PayloadName(payload); wm.Type != want {
+			t.Errorf("wire name for %T = %q, want %q", payload, wm.Type, want)
+		}
+		got, err := DecodeMsg(wm)
+		if err != nil {
+			t.Fatalf("decode %T: %v", payload, err)
+		}
+		if !reflect.DeepEqual(got, msg) {
+			t.Errorf("round trip %T: got %+v, want %+v", payload, got, msg)
+		}
+	}
+}
+
+// mustFrameBytes serializes a frame the way the hub/node loops do; the
+// inputs are fixed seed values, so failure is a programming error.
+func mustFrameBytes(f frame) []byte {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, f); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzCodec feeds arbitrary byte streams to the frame reader and, for frames
+// that parse, to the message decoder. The contract under attack: malformed
+// input yields a clean error, never a panic or unbounded allocation, and any
+// message that decodes must re-encode to the same wire type.
+func FuzzCodec(f *testing.F) {
+	// Seed corpus: one tick frame per protocol message type, plus the other
+	// frame kinds, plus adversarial variants.
+	for _, payload := range everyPayload() {
+		wm, err := EncodeMsg(simnet.Message{From: simnet.Buyer(0), To: simnet.Seller(0), Payload: payload})
+		if err != nil {
+			f.Fatalf("seed encode: %v", err)
+		}
+		data := mustFrameBytes(frame{Tick: &Tick{Slot: 1, Inbox: []WireMsg{wm}}})
+		f.Add(data)
+		f.Add(data[:len(data)/2]) // truncated body
+		f.Add(data[:3])           // truncated length prefix
+		mutated := bytes.Clone(data)
+		mutated[5] ^= 0xff // corrupt JSON start
+		f.Add(mutated)
+	}
+	f.Add(mustFrameBytes(frame{Hello: &Hello{Node: NodeRef{Kind: "buyer", Index: 2}}}))
+	f.Add(mustFrameBytes(frame{EndSlot: &EndSlot{Idle: true}}))
+	f.Add(mustFrameBytes(frame{Done: &Done{}}))
+	f.Add(mustFrameBytes(frame{Final: &Final{Node: NodeRef{Kind: "seller"}, Coalition: []int{1}}}))
+	// Oversized length prefix: announced size above MaxFrame must be
+	// rejected before any allocation.
+	var huge [8]byte
+	binary.BigEndian.PutUint32(huge[:4], MaxFrame+1)
+	f.Add(huge[:])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var fr frame
+		if err := ReadFrame(bytes.NewReader(data), &fr); err != nil {
+			return // clean rejection is the contract for malformed input
+		}
+		if fr.Tick == nil {
+			return
+		}
+		for _, wm := range fr.Tick.Inbox {
+			msg, err := DecodeMsg(wm)
+			if err != nil {
+				continue // unknown type / bad payload: clean error
+			}
+			re, err := EncodeMsg(msg)
+			if err != nil {
+				t.Fatalf("decoded message failed to re-encode: %v (wire %+v)", err, wm)
+			}
+			if re.Type != wm.Type {
+				t.Fatalf("re-encode changed type %q -> %q", wm.Type, re.Type)
+			}
+		}
+	})
+}

@@ -8,6 +8,7 @@ import (
 
 	"specmatch/internal/market"
 	"specmatch/internal/matching"
+	"specmatch/internal/obs"
 )
 
 // HubConfig tunes the coordinator.
@@ -19,6 +20,14 @@ type HubConfig struct {
 	MaxSlots int
 	// IOTimeout bounds each network read/write; zero means 10s.
 	IOTimeout time.Duration
+
+	// Metrics, when non-nil, receives hub instrumentation: relayed frame and
+	// payload-byte counts per message type (wire.frames.<type>,
+	// wire.bytes.<type>), the per-slot latency histogram
+	// (wire.slot_seconds), and I/O deadline failures (wire.errors.io).
+	// Metric names are catalogued in PROTOCOL.md. Nil disables
+	// instrumentation and never changes relay behavior.
+	Metrics *obs.Registry
 }
 
 func (c HubConfig) withDefaults(numSellers, numBuyers int) HubConfig {
@@ -68,25 +77,34 @@ func (h *Hub) Addr() string { return h.ln.Addr().String() }
 // Close releases the listener. Serve closes it on return as well.
 func (h *Hub) Close() error { return h.ln.Close() }
 
-// conn wraps a node connection with framing and deadlines.
+// conn wraps a node connection with framing, deadlines, and an optional
+// error counter (wire.errors.io; nil-safe no-op when metrics are off).
 type conn struct {
 	c       net.Conn
 	timeout time.Duration
+	ioErrs  *obs.Counter
 }
 
 func (nc *conn) write(f frame) error {
 	if err := nc.c.SetWriteDeadline(time.Now().Add(nc.timeout)); err != nil {
+		nc.ioErrs.Inc()
 		return fmt.Errorf("wire: set deadline: %w", err)
 	}
-	return WriteFrame(nc.c, f)
+	if err := WriteFrame(nc.c, f); err != nil {
+		nc.ioErrs.Inc()
+		return err
+	}
+	return nil
 }
 
 func (nc *conn) read() (frame, error) {
 	if err := nc.c.SetReadDeadline(time.Now().Add(nc.timeout)); err != nil {
+		nc.ioErrs.Inc()
 		return frame{}, fmt.Errorf("wire: set deadline: %w", err)
 	}
 	var f frame
 	if err := ReadFrame(nc.c, &f); err != nil {
+		nc.ioErrs.Inc()
 		return frame{}, err
 	}
 	return f, nil
@@ -98,6 +116,11 @@ func (nc *conn) read() (frame, error) {
 func (h *Hub) Serve(m *market.Market) (HubReport, error) {
 	defer func() { _ = h.ln.Close() }()
 	var report HubReport
+	hm := newHubMetrics(h.cfg.Metrics)
+	var ioErrs *obs.Counter
+	if hm != nil {
+		ioErrs = hm.ioErrors
+	}
 
 	total := h.numSellers + h.numBuyers
 	nodes := make(map[NodeRef]*conn, total)
@@ -106,7 +129,7 @@ func (h *Hub) Serve(m *market.Market) (HubReport, error) {
 		if err != nil {
 			return report, fmt.Errorf("wire: hub accept: %w", err)
 		}
-		nc := &conn{c: raw, timeout: h.cfg.IOTimeout}
+		nc := &conn{c: raw, timeout: h.cfg.IOTimeout, ioErrs: ioErrs}
 		f, err := nc.read()
 		if err != nil || f.Hello == nil {
 			_ = raw.Close()
@@ -143,6 +166,7 @@ func (h *Hub) Serve(m *market.Market) (HubReport, error) {
 	// Slot loop: pending messages sent in slot t deliver in slot t+1.
 	pending := make(map[NodeRef][]WireMsg)
 	for slot := 1; slot <= h.cfg.MaxSlots; slot++ {
+		slotStart := hm.slotTimer()
 		for _, ref := range order {
 			inbox := pending[ref]
 			delete(pending, ref)
@@ -165,9 +189,11 @@ func (h *Hub) Serve(m *market.Market) (HubReport, error) {
 			for _, wm := range f.EndSlot.Outbox {
 				pending[wm.To] = append(pending[wm.To], wm)
 				report.Messages++
+				hm.onRelay(wm)
 			}
 		}
 		report.Slots = slot
+		hm.observeSlot(slotStart)
 		if allIdle && len(pending) == 0 {
 			break
 		}

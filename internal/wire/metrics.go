@@ -1,0 +1,101 @@
+package wire
+
+import (
+	"time"
+
+	"specmatch/internal/agent"
+	"specmatch/internal/obs"
+)
+
+// hubMetrics holds the hub's observability handles: per-type frame and
+// payload-byte counters for relayed messages, the per-slot latency
+// histogram, and the shared I/O error counter. Built once at Serve; a nil
+// *hubMetrics disables everything at one pointer check per use.
+type hubMetrics struct {
+	frames      map[string]*obs.Counter // wire.frames.<type>
+	bytes       map[string]*obs.Counter // wire.bytes.<type>, payload bytes
+	slotSeconds *obs.Histogram          // wire.slot_seconds
+	ioErrors    *obs.Counter            // wire.errors.io
+}
+
+func newHubMetrics(reg *obs.Registry) *hubMetrics {
+	if reg == nil {
+		return nil
+	}
+	names := agent.PayloadNames()
+	hm := &hubMetrics{
+		frames:      make(map[string]*obs.Counter, len(names)),
+		bytes:       make(map[string]*obs.Counter, len(names)),
+		slotSeconds: reg.Histogram("wire.slot_seconds", obs.TimeBuckets()),
+		ioErrors:    reg.Counter("wire.errors.io"),
+	}
+	for _, name := range names {
+		hm.frames[name] = reg.Counter("wire.frames." + name)
+		hm.bytes[name] = reg.Counter("wire.bytes." + name)
+	}
+	return hm
+}
+
+// onRelay counts one protocol message passing through the hub. Unknown
+// types hit a nil counter, which is a safe no-op.
+func (hm *hubMetrics) onRelay(wm WireMsg) {
+	if hm == nil {
+		return
+	}
+	hm.frames[wm.Type].Inc()
+	hm.bytes[wm.Type].Add(int64(len(wm.Payload)))
+}
+
+// slotTimer starts timing one hub slot; zero when metrics are off.
+func (hm *hubMetrics) slotTimer() time.Time {
+	if hm == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// observeSlot records one slot's wall time (tick fan-out through end-slot
+// collection).
+func (hm *hubMetrics) observeSlot(start time.Time) {
+	if hm == nil {
+		return
+	}
+	hm.slotSeconds.Observe(time.Since(start).Seconds())
+}
+
+// nodeMetrics holds a node process's wire-level error counters.
+type nodeMetrics struct {
+	ioErrors     *obs.Counter // wire.errors.io
+	encodeErrors *obs.Counter // wire.errors.encode
+	decodeErrors *obs.Counter // wire.errors.decode
+}
+
+func newNodeMetrics(reg *obs.Registry) *nodeMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &nodeMetrics{
+		ioErrors:     reg.Counter("wire.errors.io"),
+		encodeErrors: reg.Counter("wire.errors.encode"),
+		decodeErrors: reg.Counter("wire.errors.decode"),
+	}
+}
+
+func (nm *nodeMetrics) onEncodeError() {
+	if nm != nil {
+		nm.encodeErrors.Inc()
+	}
+}
+
+func (nm *nodeMetrics) onDecodeError() {
+	if nm != nil {
+		nm.decodeErrors.Inc()
+	}
+}
+
+func (nm *nodeMetrics) ioErrCounter() *obs.Counter {
+	if nm == nil {
+		return nil
+	}
+	return nm.ioErrors
+}

@@ -7,16 +7,24 @@ import (
 
 	"specmatch/internal/agent"
 	"specmatch/internal/market"
+	"specmatch/internal/obs"
 	"specmatch/internal/simnet"
 )
 
 // NodeConfig tunes a node process.
 type NodeConfig struct {
 	// Agent configures the protocol state machine (transition rules etc.);
-	// its network settings are ignored — TCP is the network.
+	// its network settings are ignored — TCP is the network. Its Metrics and
+	// Events fields are honored: the wrapped state machine reports the same
+	// agent.* metrics as the simulated runners.
 	Agent agent.Config
 	// IOTimeout bounds each read/write; zero means 10s.
 	IOTimeout time.Duration
+
+	// Metrics, when non-nil, receives wire-level node instrumentation:
+	// encode/decode failures (wire.errors.encode, wire.errors.decode) and
+	// I/O deadline failures (wire.errors.io). Nil disables it.
+	Metrics *obs.Registry
 }
 
 func (c NodeConfig) withDefaults() NodeConfig {
@@ -33,7 +41,7 @@ func RunBuyerNode(addr string, j int, m *market.Market, cfg NodeConfig) (int, er
 	cfg = cfg.withDefaults()
 	node := agent.NewBuyerNode(j, m, cfg.Agent)
 	final := Final{Node: NodeRef{Kind: "buyer", Index: j}}
-	err := runNode(addr, final.Node, cfg.IOTimeout,
+	err := runNode(addr, final.Node, cfg.IOTimeout, newNodeMetrics(cfg.Metrics),
 		func(msg simnet.Message) { node.Deliver(msg) },
 		func(now int) ([]simnet.Message, bool, error) {
 			out := node.Tick(now)
@@ -56,7 +64,7 @@ func RunSellerNode(addr string, i int, m *market.Market, cfg NodeConfig) ([]int,
 	cfg = cfg.withDefaults()
 	node := agent.NewSellerNode(i, m, cfg.Agent)
 	final := Final{Node: NodeRef{Kind: "seller", Index: i}}
-	err := runNode(addr, final.Node, cfg.IOTimeout,
+	err := runNode(addr, final.Node, cfg.IOTimeout, newNodeMetrics(cfg.Metrics),
 		func(msg simnet.Message) { node.Deliver(msg) },
 		func(now int) ([]simnet.Message, bool, error) {
 			out, err := node.Tick(now)
@@ -78,6 +86,7 @@ func runNode(
 	addr string,
 	self NodeRef,
 	timeout time.Duration,
+	nm *nodeMetrics,
 	deliver func(simnet.Message),
 	tick func(now int) (out []simnet.Message, idle bool, err error),
 	finalState func() Final,
@@ -87,7 +96,7 @@ func runNode(
 		return fmt.Errorf("wire: node dial: %w", err)
 	}
 	defer func() { _ = raw.Close() }()
-	nc := &conn{c: raw, timeout: timeout}
+	nc := &conn{c: raw, timeout: timeout, ioErrs: nm.ioErrCounter()}
 
 	if err := nc.write(frame{Hello: &Hello{Node: self}}); err != nil {
 		return fmt.Errorf("wire: node hello: %w", err)
@@ -102,6 +111,7 @@ func runNode(
 			for _, wm := range f.Tick.Inbox {
 				msg, err := DecodeMsg(wm)
 				if err != nil {
+					nm.onDecodeError()
 					return err
 				}
 				deliver(msg)
@@ -114,6 +124,7 @@ func runNode(
 			for _, msg := range out {
 				wm, err := EncodeMsg(msg)
 				if err != nil {
+					nm.onEncodeError()
 					return err
 				}
 				end.Outbox = append(end.Outbox, wm)
