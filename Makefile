@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench benchcheck baseline figures check fmt vet clean
+.PHONY: all build test test-short race bench benchcheck baseline figures check fmt vet clean serve-smoke
 
 all: build test
 
@@ -36,6 +36,11 @@ baseline:
 # Regenerate every evaluation figure and verify the published shapes.
 figures:
 	$(GO) run ./cmd/specbench -figure all -reps 20 -check
+
+# End-to-end smoke of the serving path: specserved + specload at ≥1000
+# req/s, zero lost events, clean SIGTERM drain, non-empty metrics dump.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 check: vet test-short
 

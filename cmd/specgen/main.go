@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"specmatch"
+	"specmatch/internal/obs"
 )
 
 func main() {
@@ -38,6 +39,7 @@ func run(args []string, out io.Writer) error {
 		rangeMax = fs.Float64("range", 5, "max channel transmission range")
 		channels = fs.String("channels", "", "comma-separated per-seller channel counts (dummy expansion)")
 		demands  = fs.String("demands", "", "comma-separated per-buyer channel demands (dummy expansion)")
+		metrics  = fs.String("metrics-json", "", "write a metrics snapshot JSON (gen.* instance-shape gauges) to this path ('-' = stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -70,7 +72,23 @@ func run(args []string, out io.Writer) error {
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
-	return enc.Encode(m)
+	if err := enc.Encode(m); err != nil {
+		return err
+	}
+	if *metrics != "" {
+		reg := obs.NewRegistry()
+		reg.Gauge("gen.virtual_sellers").Set(int64(m.M()))
+		reg.Gauge("gen.virtual_buyers").Set(int64(m.N()))
+		edges := 0
+		for i := 0; i < m.M(); i++ {
+			edges += m.Graph(i).M()
+		}
+		reg.Gauge("gen.interference_edges").Set(int64(edges))
+		// Stderr keeps the snapshot out of the market JSON when both go to
+		// stdout.
+		return obs.WriteSnapshotFile(reg, *metrics, os.Stderr)
+	}
+	return nil
 }
 
 func parseCounts(s string) ([]int, error) {

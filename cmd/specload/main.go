@@ -1,0 +1,376 @@
+// Command specload is a closed-loop load generator for specserved: it
+// creates a fleet of market sessions, drives churn events at a target rate
+// from concurrent workers, and reports throughput and latency percentiles.
+// After the run it reconciles its client-side view against the server's
+// /debug/metrics counters — every event request the server acknowledged
+// with 200 must appear in server.events.applied, so "zero lost events" is
+// checked end to end, not assumed.
+//
+//	specserved -addr 127.0.0.1:7937 &
+//	specload -addr 127.0.0.1:7937 -sessions 8 -concurrency 8 -duration 5s -report -
+//
+// Exit status is non-zero when events were lost or the measured rate falls
+// short of -min-rps, which is what lets `make serve-smoke` assert the
+// serving path instead of eyeballing it.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"specmatch/internal/market"
+	"specmatch/internal/obs"
+	"specmatch/internal/online"
+	"specmatch/internal/server"
+	"specmatch/internal/xrand"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "specload:", err)
+		os.Exit(1)
+	}
+}
+
+// Report is the JSON document -report writes.
+type Report struct {
+	DurationSeconds float64 `json:"duration_seconds"`
+	Sessions        int     `json:"sessions"`
+	Concurrency     int     `json:"concurrency"`
+	TargetRPS       float64 `json:"target_rps,omitempty"`
+
+	Requests    int64   `json:"requests"`
+	OK          int64   `json:"ok"`
+	Rejected    int64   `json:"rejected_429"`
+	Errors      int64   `json:"errors"`
+	Throughput  float64 `json:"throughput_rps"`
+	LatencyMS   Latency `json:"latency_ms"`
+	EventsOK    int64   `json:"events_accepted"`
+	Applied     int64   `json:"server_events_applied"`
+	LostEvents  int64   `json:"lost_events"`
+	Reconciled  bool    `json:"reconciled"`
+	FinalActive int     `json:"final_active_buyers"`
+}
+
+// Latency summarizes the merged per-request latency distribution.
+type Latency struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// worker is one closed-loop client: it owns a slice of the session fleet
+// and a local belief of each session's active buyers and channel states, so
+// it can generate plausible churn without querying the server on the hot
+// path. Beliefs may drift when sessions are shared — harmless, since
+// duplicate arrivals and departures are idempotent no-ops server-side.
+type worker struct {
+	r        *rand.Rand
+	client   *http.Client
+	base     string
+	sessions []*sessionState
+	interval time.Duration
+
+	requests, ok, rejected, errors int64
+	latencies                      []float64
+}
+
+type sessionState struct {
+	id       string
+	buyers   int
+	channels int
+	active   []bool
+	offline  []bool
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("specload", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:7937", "specserved address (host:port or URL)")
+		sessions    = fs.Int("sessions", 8, "market sessions to create")
+		sellers     = fs.Int("sellers", 4, "sellers per generated market")
+		buyers      = fs.Int("buyers", 24, "buyers per generated market")
+		seed        = fs.Int64("seed", 1, "generation and churn seed")
+		duration    = fs.Duration("duration", 5*time.Second, "load duration")
+		concurrency = fs.Int("concurrency", 8, "concurrent closed-loop workers")
+		rps         = fs.Float64("rps", 0, "target aggregate request rate (0 = unthrottled)")
+		chanChurn   = fs.Float64("channel-churn", 0.05, "probability an event is a channel up/down instead of buyer churn")
+		batch       = fs.Int("batch", 3, "buyers toggled per churn event")
+		timeout     = fs.Duration("timeout", 5*time.Second, "per-request client timeout")
+		reportPath  = fs.String("report", "", "write the JSON report to this path ('-' = stdout)")
+		minRPS      = fs.Float64("min-rps", 0, "fail unless the sustained OK rate reaches this")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help already printed usage
+		}
+		return err
+	}
+	if *sessions < 1 || *concurrency < 1 {
+		return fmt.Errorf("-sessions and -concurrency must be positive")
+	}
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	client := &http.Client{Timeout: *timeout}
+
+	// Create the session fleet.
+	states := make([]*sessionState, *sessions)
+	for k := range states {
+		m, err := market.Generate(market.Config{Sellers: *sellers, Buyers: *buyers, Seed: xrand.Split(*seed, k)})
+		if err != nil {
+			return err
+		}
+		body, err := json.Marshal(server.CreateRequest{Spec: m.Spec()})
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(base+"/v1/sessions", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("creating session %d: %w", k, err)
+		}
+		var created server.CreateResponse
+		decodeErr := json.NewDecoder(resp.Body).Decode(&created)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			return fmt.Errorf("creating session %d: HTTP %d", k, resp.StatusCode)
+		}
+		if decodeErr != nil {
+			return fmt.Errorf("creating session %d: %w", k, decodeErr)
+		}
+		states[k] = &sessionState{
+			id:       created.ID,
+			buyers:   created.Buyers,
+			channels: created.Channels,
+			active:   make([]bool, created.Buyers),
+			offline:  make([]bool, created.Channels),
+		}
+	}
+
+	// Partition sessions across workers; with fewer sessions than workers
+	// they are shared round-robin.
+	workers := make([]*worker, *concurrency)
+	var interval time.Duration
+	if *rps > 0 {
+		interval = time.Duration(float64(*concurrency) / *rps * float64(time.Second))
+	}
+	for w := range workers {
+		wk := &worker{
+			r:        xrand.NewStream(*seed, w+1),
+			client:   client,
+			base:     base,
+			interval: interval,
+		}
+		for k := w; k < len(states); k += *concurrency {
+			wk.sessions = append(wk.sessions, states[k])
+		}
+		if len(wk.sessions) == 0 {
+			wk.sessions = append(wk.sessions, states[w%len(states)])
+		}
+		workers[w] = wk
+	}
+
+	start := time.Now()
+	deadline := start.Add(*duration)
+	var wg sync.WaitGroup
+	for _, wk := range workers {
+		wg.Add(1)
+		go func(wk *worker) {
+			defer wg.Done()
+			wk.loop(deadline, *chanChurn, *batch)
+		}(wk)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := Report{
+		DurationSeconds: elapsed.Seconds(),
+		Sessions:        *sessions,
+		Concurrency:     *concurrency,
+		TargetRPS:       *rps,
+	}
+	var all []float64
+	for _, wk := range workers {
+		rep.Requests += wk.requests
+		rep.OK += wk.ok
+		rep.Rejected += wk.rejected
+		rep.Errors += wk.errors
+		all = append(all, wk.latencies...)
+	}
+	rep.EventsOK = rep.OK
+	rep.Throughput = float64(rep.OK) / elapsed.Seconds()
+	rep.LatencyMS = percentiles(all)
+
+	// Reconcile: every 200 the server sent us must be an applied event.
+	// The server can apply slightly more than we count (a request whose
+	// response we abandoned at the client timeout), never fewer.
+	snap, err := fetchSnapshot(client, base)
+	if err != nil {
+		return fmt.Errorf("metrics reconciliation: %w", err)
+	}
+	rep.Applied = snap.Counters["server.events.applied"]
+	rep.LostEvents = rep.EventsOK - rep.Applied
+	if rep.LostEvents < 0 {
+		rep.LostEvents = 0
+	}
+	rep.Reconciled = true
+	rep.FinalActive = finalActive(client, base, states)
+
+	if *reportPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if *reportPath == "-" {
+			_, _ = out.Write(data)
+		} else if err := os.WriteFile(*reportPath, data, 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(out, "specload: %d requests in %.2fs (%.0f ok/s), ok=%d rejected=%d errors=%d\n",
+		rep.Requests, rep.DurationSeconds, rep.Throughput, rep.OK, rep.Rejected, rep.Errors)
+	fmt.Fprintf(out, "latency ms: p50=%.3f p90=%.3f p99=%.3f max=%.3f\n",
+		rep.LatencyMS.P50, rep.LatencyMS.P90, rep.LatencyMS.P99, rep.LatencyMS.Max)
+	fmt.Fprintf(out, "reconcile: accepted=%d applied=%d lost=%d\n", rep.EventsOK, rep.Applied, rep.LostEvents)
+
+	if rep.LostEvents > 0 {
+		return fmt.Errorf("%d events accepted but not applied", rep.LostEvents)
+	}
+	if *minRPS > 0 && rep.Throughput < *minRPS {
+		return fmt.Errorf("throughput %.0f ok/s below -min-rps %.0f", rep.Throughput, *minRPS)
+	}
+	return nil
+}
+
+// loop issues event requests until the deadline, pacing to the worker's
+// share of the target rate when one is set.
+func (wk *worker) loop(deadline time.Time, chanChurn float64, batch int) {
+	next := time.Now()
+	for {
+		now := time.Now()
+		if !now.Before(deadline) {
+			return
+		}
+		if wk.interval > 0 {
+			if now.Before(next) {
+				time.Sleep(next.Sub(now))
+			}
+			next = next.Add(wk.interval)
+		}
+		ss := wk.sessions[wk.r.Intn(len(wk.sessions))]
+		ev := wk.makeEvent(ss, chanChurn, batch)
+		wk.post(ss, ev)
+	}
+}
+
+// makeEvent generates one churn event from the worker's belief of the
+// session state and updates the belief optimistically.
+func (wk *worker) makeEvent(ss *sessionState, chanChurn float64, batch int) online.Event {
+	var ev online.Event
+	if wk.r.Float64() < chanChurn && ss.channels > 0 {
+		i := wk.r.Intn(ss.channels)
+		if ss.offline[i] {
+			ev.ChannelUp = append(ev.ChannelUp, i)
+		} else {
+			ev.ChannelDown = append(ev.ChannelDown, i)
+		}
+		ss.offline[i] = !ss.offline[i]
+		return ev
+	}
+	for b := 0; b < batch; b++ {
+		j := wk.r.Intn(ss.buyers)
+		if ss.active[j] {
+			ev.Depart = append(ev.Depart, j)
+		} else {
+			ev.Arrive = append(ev.Arrive, j)
+		}
+		ss.active[j] = !ss.active[j]
+	}
+	return ev
+}
+
+func (wk *worker) post(ss *sessionState, ev online.Event) {
+	body, err := json.Marshal(ev)
+	if err != nil {
+		wk.errors++
+		return
+	}
+	wk.requests++
+	start := time.Now()
+	resp, err := wk.client.Post(wk.base+"/v1/sessions/"+ss.id+"/events", "application/json", bytes.NewReader(body))
+	lat := time.Since(start)
+	if err != nil {
+		wk.errors++
+		return
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	wk.latencies = append(wk.latencies, float64(lat)/float64(time.Millisecond))
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		wk.ok++
+	case resp.StatusCode == http.StatusTooManyRequests:
+		wk.rejected++
+		time.Sleep(2 * time.Millisecond) // brief backoff on admission rejects
+	default:
+		wk.errors++
+	}
+}
+
+func percentiles(lat []float64) Latency {
+	if len(lat) == 0 {
+		return Latency{}
+	}
+	sort.Float64s(lat)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(lat)-1))
+		return lat[i]
+	}
+	return Latency{P50: at(0.50), P90: at(0.90), P99: at(0.99), Max: lat[len(lat)-1]}
+}
+
+func fetchSnapshot(client *http.Client, base string) (obs.Snapshot, error) {
+	var snap obs.Snapshot
+	resp, err := client.Get(base + "/debug/metrics")
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return snap, json.NewDecoder(resp.Body).Decode(&snap)
+}
+
+// finalActive sums active buyers across the fleet from the server's own
+// snapshots — a sanity signal that the sessions really churned.
+func finalActive(client *http.Client, base string, states []*sessionState) int {
+	total := 0
+	for _, ss := range states {
+		resp, err := client.Get(base + "/v1/sessions/" + ss.id)
+		if err != nil {
+			continue
+		}
+		var got server.CreateResponse
+		if json.NewDecoder(resp.Body).Decode(&got) == nil {
+			total += got.Active
+		}
+		resp.Body.Close()
+	}
+	return total
+}

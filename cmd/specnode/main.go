@@ -18,19 +18,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"net"
-	"net/http"
-	"net/http/pprof"
 	"os"
+	"time"
 
 	"specmatch/internal/agent"
 	"specmatch/internal/market"
 	"specmatch/internal/obs"
+	"specmatch/internal/server"
 	"specmatch/internal/wire"
 )
 
@@ -93,13 +93,14 @@ func run(args []string, out io.Writer) error {
 	if *debugAddr != "" || *metricsJSON != "" {
 		reg = obs.NewRegistry()
 	}
+	var debug *server.HTTPServer
 	if *debugAddr != "" {
-		ln, err := serveDebug(reg, *debugAddr)
+		var err error
+		debug, err = server.ListenAndServe(*debugAddr, server.DebugMux(reg))
 		if err != nil {
-			return err
+			return fmt.Errorf("debug listener: %w", err)
 		}
-		defer func() { _ = ln.Close() }()
-		fmt.Fprintf(out, "debug server on http://%s/debug/metrics\n", ln.Addr())
+		fmt.Fprintf(out, "debug server on http://%s/debug/metrics\n", debug.Addr())
 	}
 
 	nodeCfg := wire.NodeConfig{
@@ -161,29 +162,21 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("unknown role %q (want hub, buyer, seller or all)", *role)
 		}
 	}
-	if err := runRole(); err != nil {
-		return err
+	runErr := runRole()
+	if debug != nil {
+		// Shut the debug server down cleanly so the port is released and a
+		// serve loop that died mid-run surfaces instead of being swallowed.
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := debug.Shutdown(ctx); err != nil && runErr == nil {
+			runErr = fmt.Errorf("debug server: %w", err)
+		}
+	}
+	if runErr != nil {
+		return runErr
 	}
 	if *metricsJSON != "" {
 		return obs.WriteSnapshotFile(reg, *metricsJSON, out)
 	}
 	return nil
-}
-
-// serveDebug starts the optional debug HTTP server on its own mux (the
-// default mux would leak pprof onto any future default-mux listener).
-func serveDebug(reg *obs.Registry, addr string) (net.Listener, error) {
-	mux := http.NewServeMux()
-	mux.Handle("/debug/metrics", obs.Handler(reg))
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("debug listener: %w", err)
-	}
-	go func() { _ = http.Serve(ln, mux) }()
-	return ln, nil
 }

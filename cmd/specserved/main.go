@@ -1,0 +1,103 @@
+// Command specserved hosts live spectrum-market sessions behind an
+// HTTP/JSON API: create a market, stream churn events into it, trigger
+// rebuilds, and read the current matching — the paper's mechanism run as a
+// continuously operating, multi-tenant service instead of a one-shot batch.
+//
+// Sessions live in a sharded store (one event-loop goroutine per shard, so
+// per-session operations stay deterministic), shard queues are bounded with
+// 429 + Retry-After on overload, every request carries a deadline, and
+// SIGTERM drains gracefully: stop accepting, flush the queues, then exit.
+//
+//	specserved -addr 127.0.0.1:7937
+//	curl -XPOST localhost:7937/v1/sessions -d "{\"spec\": $(specgen -sellers 3 -buyers 8)}"
+//	curl -XPOST localhost:7937/v1/sessions/m00000001/events -d '{"arrive":[0,1,2]}'
+//	curl localhost:7937/v1/sessions/m00000001
+//	curl localhost:7937/debug/metrics
+//
+// Routes, payloads, and the server.* metric names are documented in
+// PROTOCOL.md; cmd/specload drives this server at a target rate.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"specmatch/internal/core"
+	"specmatch/internal/obs"
+	"specmatch/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "specserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("specserved", flag.ContinueOnError)
+	var (
+		addr           = fs.String("addr", "127.0.0.1:7937", "listen address (port 0 = ephemeral, printed on startup)")
+		shards         = fs.Int("shards", 0, "session shards, one event-loop goroutine each (0 = GOMAXPROCS)")
+		queueDepth     = fs.Int("queue-depth", 256, "per-shard pending-operation bound; beyond it requests get 429")
+		maxSessions    = fs.Int("max-sessions", 16384, "cap on live sessions across all shards")
+		requestTimeout = fs.Duration("request-timeout", 5*time.Second, "per-request deadline")
+		drainTimeout   = fs.Duration("drain-timeout", 10*time.Second, "bound on the SIGTERM graceful drain")
+		engineWorkers  = fs.Int("engine-workers", 1, "core engine fan-out per session step (1 = sequential; shards already parallelize)")
+		metricsJSON    = fs.String("metrics-json", "", "write a final metrics snapshot JSON to this path ('-' = stdout) on clean exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help already printed usage
+		}
+		return err
+	}
+
+	reg := obs.NewRegistry()
+	srv := server.New(server.Config{
+		Shards:         *shards,
+		QueueDepth:     *queueDepth,
+		MaxSessions:    *maxSessions,
+		RequestTimeout: *requestTimeout,
+		Engine:         core.Options{Workers: *engineWorkers},
+		Metrics:        reg,
+	})
+	hs, err := server.ListenAndServe(*addr, srv.Handler())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "specserved listening on http://%s\n", hs.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		// Signal received: drain below.
+	case err := <-hs.ServeErr():
+		srv.Drain()
+		return fmt.Errorf("serve: %w", err)
+	}
+	stop()
+
+	fmt.Fprintln(out, "draining: refusing new work, flushing shard queues")
+	sdCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	shutdownErr := hs.Shutdown(sdCtx)
+	srv.Drain()
+
+	fmt.Fprintf(out, "drained: %d live sessions, %d events applied\n",
+		srv.Store().Len(), reg.CounterValue("server.events.applied"))
+	if *metricsJSON != "" {
+		if err := obs.WriteSnapshotFile(reg, *metricsJSON, out); err != nil {
+			return err
+		}
+	}
+	return shutdownErr
+}

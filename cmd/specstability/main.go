@@ -22,6 +22,7 @@ import (
 	"specmatch"
 	"specmatch/internal/market"
 	"specmatch/internal/matching"
+	"specmatch/internal/obs"
 )
 
 func main() {
@@ -37,6 +38,7 @@ func run(args []string, out io.Writer) error {
 		marketPath   = fs.String("market", "", "market JSON path ('-' = stdin); required")
 		matchingPath = fs.String("matching", "", "matching JSON path; empty = run the two-stage algorithm")
 		maxWitness   = fs.Int("max-witnesses", 5, "cap on printed violations per property")
+		metricsJSON  = fs.String("metrics-json", "", "write an engine metrics snapshot JSON to this path ('-' = stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -53,9 +55,13 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("market: %w", err)
 	}
 
+	var reg *obs.Registry
+	if *metricsJSON != "" {
+		reg = obs.NewRegistry()
+	}
 	var mu *matching.Matching
 	if *matchingPath == "" {
-		res, err := specmatch.Match(m, specmatch.MatchOptions{})
+		res, err := specmatch.Match(m, specmatch.MatchOptions{Metrics: reg})
 		if err != nil {
 			return err
 		}
@@ -107,7 +113,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *matchingPath != "" {
-		res, err := specmatch.Match(m, specmatch.MatchOptions{})
+		res, err := specmatch.Match(m, specmatch.MatchOptions{Metrics: reg})
 		if err != nil {
 			return err
 		}
@@ -116,6 +122,9 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, " (given matching is %.1f%% of it)", 100*welfare/res.Welfare)
 		}
 		fmt.Fprintln(out)
+	}
+	if *metricsJSON != "" {
+		return obs.WriteSnapshotFile(reg, *metricsJSON, out)
 	}
 	return nil
 }

@@ -20,6 +20,7 @@ import (
 
 	"specmatch"
 	"specmatch/internal/core"
+	"specmatch/internal/obs"
 	"specmatch/internal/paperexample"
 	"specmatch/internal/trace"
 )
@@ -34,19 +35,33 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("spectoy", flag.ContinueOnError)
 	counter := fs.Bool("counter", false, "replay the Fig. 4–5 counterexample instead of the toy")
+	metricsJSON := fs.String("metrics-json", "", "write an engine metrics snapshot JSON to this path ('-' = stdout)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // -h/-help already printed usage
 		}
 		return err
 	}
-	if *counter {
-		return runCounterexample(out)
+	var reg *obs.Registry
+	if *metricsJSON != "" {
+		reg = obs.NewRegistry()
 	}
-	return runToy(out)
+	var err error
+	if *counter {
+		err = runCounterexample(out, reg)
+	} else {
+		err = runToy(out, reg)
+	}
+	if err != nil {
+		return err
+	}
+	if *metricsJSON != "" {
+		return obs.WriteSnapshotFile(reg, *metricsJSON, out)
+	}
+	return nil
 }
 
-func runToy(out io.Writer) error {
+func runToy(out io.Writer, reg *obs.Registry) error {
 	m := paperexample.Toy()
 	fmt.Fprintln(out, "The paper's toy market (Fig. 3): 5 buyers, 3 sellers (channels a=0, b=1, c=2).")
 	fmt.Fprintln(out, "Utility vectors (channel a, b, c) per buyer:")
@@ -56,7 +71,7 @@ func runToy(out io.Writer) error {
 	fmt.Fprintln(out)
 
 	rec := trace.NewRecorder()
-	res, err := core.Run(m, core.Options{Recorder: rec})
+	res, err := core.Run(m, core.Options{Recorder: rec, Metrics: reg})
 	if err != nil {
 		return err
 	}
@@ -98,10 +113,10 @@ func runToy(out io.Writer) error {
 	return nil
 }
 
-func runCounterexample(out io.Writer) error {
+func runCounterexample(out io.Writer, reg *obs.Registry) error {
 	m := paperexample.Counterexample()
 	fmt.Fprintln(out, "The paper's counterexample (Figs. 4–5): 9 buyers, 3 sellers.")
-	res, err := core.Run(m, core.Options{})
+	res, err := core.Run(m, core.Options{Metrics: reg})
 	if err != nil {
 		return err
 	}

@@ -19,6 +19,7 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"sort"
 	"strconv"
@@ -219,6 +220,30 @@ func (b Bucket) MarshalJSON() ([]byte, error) {
 		LE    string `json:"le"`
 		Count int64  `json:"count"`
 	}{LE: le, Count: b.Count})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON, so clients of the HTTP
+// snapshot endpoints (specload's reconciliation pass, the serve-smoke
+// harness) can decode a /debug/metrics payload back into a Snapshot.
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		LE    string `json:"le"`
+		Count int64  `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	b.Count = raw.Count
+	if raw.LE == "" || raw.LE == "+Inf" {
+		b.UpperBound = math.Inf(1)
+		return nil
+	}
+	v, err := strconv.ParseFloat(raw.LE, 64)
+	if err != nil {
+		return fmt.Errorf("obs: bucket bound %q: %w", raw.LE, err)
+	}
+	b.UpperBound = v
+	return nil
 }
 
 // HistogramSnapshot is a histogram's state at snapshot time.

@@ -10,13 +10,18 @@
 //   - an arrival joins unmatched and competes through transfer applications
 //     and invitations, which never evict incumbents.
 //
-// Incremental repair keeps every §III guarantee for the active
-// sub-market — interference-freeness, individual rationality, Nash
-// stability — because Stage II's proofs only need an interference-free
-// starting state. The price of incrementality is welfare: incumbents are
-// never displaced, so a long-lived session can drift below what a fresh
-// two-stage run would achieve; Session.Rebuild and the ablation harness
-// quantify that drift.
+// Incremental repair keeps interference-freeness and individual
+// rationality for the active sub-market after every event, because Stage
+// II's mechanisms only need an interference-free starting state. Nash
+// stability is restored in the common case but is not guaranteed from an
+// arbitrary churn state: Phase 1's per-buyer preference cursor never
+// rewinds, so a buyer rejected by a coalition that later shrinks (channel
+// churn reshuffling demand) can keep a profitable unilateral move. The
+// other price of incrementality is welfare: incumbents are never
+// displaced, so a long-lived session can drift below what a fresh
+// two-stage run would achieve. Session.Rebuild repairs both — it re-runs
+// the full algorithm and (with adopt) keeps the better matching; the
+// ablation harness quantifies the drift.
 package online
 
 import (
@@ -37,6 +42,41 @@ type Event struct {
 	Depart      []int `json:"depart,omitempty"`
 	ChannelUp   []int `json:"channel_up,omitempty"`
 	ChannelDown []int `json:"channel_down,omitempty"`
+}
+
+// Validate checks every index in the event against a market with the given
+// numbers of virtual channels and buyers, without applying anything. Step
+// validates with it before mutating, so a rejected event leaves the session
+// untouched; servers can call it up front to turn bad input into a client
+// error before queueing work.
+func (ev Event) Validate(channels, buyers int) error {
+	for _, j := range ev.Depart {
+		if j < 0 || j >= buyers {
+			return fmt.Errorf("online: departing buyer %d out of range [0,%d)", j, buyers)
+		}
+	}
+	for _, j := range ev.Arrive {
+		if j < 0 || j >= buyers {
+			return fmt.Errorf("online: arriving buyer %d out of range [0,%d)", j, buyers)
+		}
+	}
+	for _, i := range ev.ChannelDown {
+		if i < 0 || i >= channels {
+			return fmt.Errorf("online: channel %d out of range [0,%d)", i, channels)
+		}
+	}
+	for _, i := range ev.ChannelUp {
+		if i < 0 || i >= channels {
+			return fmt.Errorf("online: channel %d out of range [0,%d)", i, channels)
+		}
+	}
+	return nil
+}
+
+// Empty reports whether the event carries no churn at all.
+func (ev Event) Empty() bool {
+	return len(ev.Arrive) == 0 && len(ev.Depart) == 0 &&
+		len(ev.ChannelUp) == 0 && len(ev.ChannelDown) == 0
 }
 
 // StepStats reports one Step.
@@ -61,6 +101,7 @@ type Session struct {
 	active  []bool
 	offline []bool // channels withdrawn from the market
 	mu      *matching.Matching
+	steps   int
 }
 
 // NewSession starts a session on the given market with no active buyers and
@@ -80,6 +121,12 @@ func NewSession(m *market.Market, opts core.Options) (*Session, error) {
 
 // ChannelOnline reports whether channel i is currently offered.
 func (s *Session) ChannelOnline(i int) bool { return !s.offline[i] }
+
+// Market returns the session's base market. The caller must not mutate it.
+func (s *Session) Market() *market.Market { return s.base }
+
+// Steps returns the number of successfully applied churn events.
+func (s *Session) Steps() int { return s.steps }
 
 // Matching returns the session's current matching. The caller must not
 // mutate it; use Step and Rebuild.
@@ -132,13 +179,15 @@ func (s *Session) effectiveMarket() *market.Market {
 	return m
 }
 
-// Step applies one churn event and repairs the matching incrementally.
+// Step applies one churn event and repairs the matching incrementally. The
+// event is validated in full before anything is applied, so a failed Step
+// leaves the session exactly as it was.
 func (s *Session) Step(ev Event) (StepStats, error) {
 	var st StepStats
+	if err := ev.Validate(len(s.offline), len(s.active)); err != nil {
+		return st, err
+	}
 	for _, j := range ev.Depart {
-		if j < 0 || j >= len(s.active) {
-			return st, fmt.Errorf("online: departing buyer %d out of range [0,%d)", j, len(s.active))
-		}
 		if !s.active[j] {
 			continue
 		}
@@ -147,9 +196,6 @@ func (s *Session) Step(ev Event) (StepStats, error) {
 		st.Departed++
 	}
 	for _, j := range ev.Arrive {
-		if j < 0 || j >= len(s.active) {
-			return st, fmt.Errorf("online: arriving buyer %d out of range [0,%d)", j, len(s.active))
-		}
 		if s.active[j] {
 			continue
 		}
@@ -157,9 +203,6 @@ func (s *Session) Step(ev Event) (StepStats, error) {
 		st.Arrived++
 	}
 	for _, i := range ev.ChannelDown {
-		if i < 0 || i >= len(s.offline) {
-			return st, fmt.Errorf("online: channel %d out of range [0,%d)", i, len(s.offline))
-		}
 		if s.offline[i] {
 			continue
 		}
@@ -172,9 +215,6 @@ func (s *Session) Step(ev Event) (StepStats, error) {
 		}
 	}
 	for _, i := range ev.ChannelUp {
-		if i < 0 || i >= len(s.offline) {
-			return st, fmt.Errorf("online: channel %d out of range [0,%d)", i, len(s.offline))
-		}
 		if !s.offline[i] {
 			continue
 		}
@@ -187,24 +227,71 @@ func (s *Session) Step(ev Event) (StepStats, error) {
 	if err != nil {
 		return st, fmt.Errorf("online: repair: %w", err)
 	}
+	s.steps++
 	st.Welfare = res.Welfare
 	st.Matched = res.Matched
 	st.RepairMoves = res.Phase1.Rounds + res.Phase2.Rounds
 	return st, nil
 }
 
-// Rebuild discards the incremental state and re-runs the full two-stage
-// algorithm over the active sub-market — the "fresh" reference the ablation
-// compares incremental repair against. It returns the fresh welfare without
-// replacing the session state unless adopt is true.
+// Rebuild re-runs the full two-stage algorithm over the active sub-market —
+// the "fresh" reference the ablation compares incremental repair against.
+// With adopt false it returns the fresh welfare without touching the session
+// state. With adopt true the session keeps whichever matching has higher
+// welfare — the fresh run or the incumbent incremental state — and returns
+// the kept welfare, so adoption is monotone: both heuristics can win on a
+// given instant, and a scheduled Rebuild(true) must never make a live
+// session worse.
 func (s *Session) Rebuild(adopt bool) (float64, error) {
 	em := s.effectiveMarket()
 	res, err := core.Run(em, s.opts)
 	if err != nil {
 		return 0, fmt.Errorf("online: rebuild: %w", err)
 	}
-	if adopt {
-		s.mu = res.Matching
+	if !adopt {
+		return res.Welfare, nil
 	}
+	if cur := matching.Welfare(em, s.mu); res.Welfare < cur {
+		return cur, nil
+	}
+	s.mu = res.Matching
 	return res.Welfare, nil
+}
+
+// Snapshot is a JSON-ready view of a session's current state — the payload
+// behind specserved's GET /v1/sessions/{id}.
+type Snapshot struct {
+	Channels int     `json:"channels"`
+	Buyers   int     `json:"buyers"`
+	Active   int     `json:"active"`
+	Matched  int     `json:"matched"`
+	Welfare  float64 `json:"welfare"`
+	Steps    int     `json:"steps"`
+	// OfflineChannels lists channels currently withdrawn by their sellers.
+	OfflineChannels []int `json:"offline_channels,omitempty"`
+	// Assignment[j] is buyer j's seller, -1 (market.Unmatched) when
+	// unmatched or inactive.
+	Assignment []int `json:"assignment"`
+}
+
+// Snapshot captures the session's current state.
+func (s *Session) Snapshot() Snapshot {
+	snap := Snapshot{
+		Channels: s.base.M(),
+		Buyers:   s.base.N(),
+		Active:   s.ActiveCount(),
+		Matched:  s.mu.MatchedCount(),
+		Welfare:  s.Welfare(),
+		Steps:    s.steps,
+	}
+	for i, off := range s.offline {
+		if off {
+			snap.OfflineChannels = append(snap.OfflineChannels, i)
+		}
+	}
+	snap.Assignment = make([]int, s.base.N())
+	for j := range snap.Assignment {
+		snap.Assignment[j] = s.mu.SellerOf(j)
+	}
+	return snap
 }

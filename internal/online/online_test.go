@@ -1,6 +1,11 @@
 package online
 
 import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
 	"testing"
 
 	"specmatch/internal/core"
@@ -339,5 +344,215 @@ func TestChannelEventValidation(t *testing.T) {
 	}
 	if _, err := s.Step(Event{ChannelUp: []int{-1}}); err == nil {
 		t.Error("out-of-range channel up should fail")
+	}
+}
+
+// checkServiceInvariants asserts the guarantees that hold after *every*
+// repair from an arbitrary churn state: interference-freeness, individual
+// rationality, and structural validity. Nash stability is deliberately not
+// asserted here — Phase 1's per-buyer preference cursor never rewinds, so a
+// buyer rejected by a coalition that later shrinks (e.g. after a channel
+// comes back online and reshuffles demand) can be left with a profitable
+// unilateral move. A fresh two-stage run (Rebuild) restores it; the
+// seeded traces in TestChurnMaintainsStability still pin the common case
+// where repair does too.
+func checkServiceInvariants(t *testing.T, s *Session) {
+	t.Helper()
+	em := s.effectiveMarket()
+	rep := stability.Check(em, s.Matching())
+	if !rep.InterferenceFree {
+		t.Fatalf("interference: %v", rep.Interference)
+	}
+	if !rep.IndividuallyRational {
+		t.Fatalf("IR violations: %v", rep.IR)
+	}
+	if err := s.Matching().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomChurn draws one mixed buyer/channel churn event against the
+// session's current state.
+func randomChurn(s *Session, m *market.Market, r *rand.Rand) Event {
+	var ev Event
+	for j := 0; j < m.N(); j++ {
+		if s.Active(j) {
+			if r.Float64() < 0.12 {
+				ev.Depart = append(ev.Depart, j)
+			}
+		} else if r.Float64() < 0.3 {
+			ev.Arrive = append(ev.Arrive, j)
+		}
+	}
+	for i := 0; i < m.M(); i++ {
+		if s.ChannelOnline(i) {
+			if r.Float64() < 0.06 {
+				ev.ChannelDown = append(ev.ChannelDown, i)
+			}
+		} else if r.Float64() < 0.4 {
+			ev.ChannelUp = append(ev.ChannelUp, i)
+		}
+	}
+	return ev
+}
+
+// TestLongRunChurnInvariants is the serving-path endurance test: hundreds
+// of randomized churn steps per seed, interference-freeness and individual
+// rationality asserted after every single Step, with periodic adopting
+// rebuilds interleaved the way a deployed specserved session would see
+// them.
+func TestLongRunChurnInvariants(t *testing.T) {
+	steps := 150
+	if testing.Short() {
+		steps = 40
+	}
+	for _, seed := range []int64{21, 22, 23} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			s, m := newSession(t, 5, 28, seed)
+			r := xrand.New(seed * 1000)
+			applied := 0
+			for step := 0; step < steps; step++ {
+				ev := randomChurn(s, m, r)
+				if _, err := s.Step(ev); err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+				applied++
+				checkServiceInvariants(t, s)
+				if step%25 == 24 {
+					if _, err := s.Rebuild(true); err != nil {
+						t.Fatalf("rebuild at step %d: %v", step, err)
+					}
+					checkServiceInvariants(t, s)
+				}
+			}
+			if s.Steps() != applied {
+				t.Errorf("Steps() = %d, want %d", s.Steps(), applied)
+			}
+		})
+	}
+}
+
+// TestRebuildAdoptNeverLowersWelfare: across a drifting churn trace, an
+// adopting rebuild must never report (or leave behind) lower welfare than
+// the incremental state it considered replacing — the monotonicity that
+// makes scheduled rebuilds safe to run against live sessions.
+func TestRebuildAdoptNeverLowersWelfare(t *testing.T) {
+	for _, seed := range []int64{31, 32, 33, 34} {
+		s, m := newSession(t, 5, 24, seed)
+		r := xrand.New(seed)
+		for step := 0; step < 30; step++ {
+			if _, err := s.Step(randomChurn(s, m, r)); err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			before := s.Welfare()
+			got, err := s.Rebuild(true)
+			if err != nil {
+				t.Fatalf("seed %d step %d: rebuild: %v", seed, step, err)
+			}
+			if got < before-1e-9 {
+				t.Fatalf("seed %d step %d: adopting rebuild reported %.6f < incremental %.6f",
+					seed, step, got, before)
+			}
+			if after := s.Welfare(); math.Abs(after-got) > 1e-9 {
+				t.Fatalf("seed %d step %d: session welfare %.6f != reported %.6f",
+					seed, step, after, got)
+			}
+			checkServiceInvariants(t, s)
+		}
+	}
+}
+
+// TestFailedStepLeavesSessionUntouched: Step validates the whole event
+// before mutating, so a batch with one bad index applies none of its valid
+// churn.
+func TestFailedStepLeavesSessionUntouched(t *testing.T) {
+	s, m := newSession(t, 4, 12, 13)
+	all := make([]int, m.N())
+	for j := range all {
+		all[j] = j
+	}
+	if _, err := s.Step(Event{Arrive: all}); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Snapshot()
+	bad := Event{
+		Depart:      []int{0, 1},
+		ChannelDown: []int{0},
+		Arrive:      []int{m.N()}, // out of range — poisons the whole batch
+	}
+	if _, err := s.Step(bad); err == nil {
+		t.Fatal("invalid batch should fail")
+	}
+	if after := s.Snapshot(); !reflect.DeepEqual(before, after) {
+		t.Errorf("failed Step mutated the session:\n before %+v\n after  %+v", before, after)
+	}
+	if s.Steps() != 1 {
+		t.Errorf("Steps() = %d after a failed step, want 1", s.Steps())
+	}
+}
+
+// TestSnapshot checks the JSON-ready view against the session's accessors
+// and that it survives an encode/decode round trip.
+func TestSnapshot(t *testing.T) {
+	s, m := newSession(t, 4, 10, 14)
+	if _, err := s.Step(Event{Arrive: []int{0, 1, 2, 3, 4, 5}, ChannelDown: []int{2}}); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	if snap.Channels != m.M() || snap.Buyers != m.N() {
+		t.Errorf("dims (%d,%d), want (%d,%d)", snap.Channels, snap.Buyers, m.M(), m.N())
+	}
+	if snap.Active != s.ActiveCount() || snap.Matched != s.Matching().MatchedCount() {
+		t.Errorf("active/matched %d/%d disagree with session %d/%d",
+			snap.Active, snap.Matched, s.ActiveCount(), s.Matching().MatchedCount())
+	}
+	if snap.Welfare != s.Welfare() || snap.Steps != s.Steps() {
+		t.Errorf("welfare/steps %v/%d disagree with session %v/%d",
+			snap.Welfare, snap.Steps, s.Welfare(), s.Steps())
+	}
+	if !reflect.DeepEqual(snap.OfflineChannels, []int{2}) {
+		t.Errorf("offline channels %v, want [2]", snap.OfflineChannels)
+	}
+	for j, i := range snap.Assignment {
+		if i != s.Matching().SellerOf(j) {
+			t.Errorf("assignment[%d] = %d, want %d", j, i, s.Matching().SellerOf(j))
+		}
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, back) {
+		t.Errorf("snapshot did not round-trip:\n %+v\n %+v", snap, back)
+	}
+}
+
+// TestEventHelpers covers Validate and Empty directly.
+func TestEventHelpers(t *testing.T) {
+	if !(Event{}).Empty() {
+		t.Error("zero event should be empty")
+	}
+	if (Event{ChannelUp: []int{0}}).Empty() {
+		t.Error("channel churn is not empty")
+	}
+	ok := Event{Arrive: []int{0}, Depart: []int{4}, ChannelUp: []int{0}, ChannelDown: []int{2}}
+	if err := ok.Validate(3, 5); err != nil {
+		t.Errorf("valid event rejected: %v", err)
+	}
+	for _, bad := range []Event{
+		{Arrive: []int{5}},
+		{Depart: []int{-1}},
+		{ChannelUp: []int{3}},
+		{ChannelDown: []int{-2}},
+	} {
+		if err := bad.Validate(3, 5); err == nil {
+			t.Errorf("event %+v should fail validation", bad)
+		}
 	}
 }

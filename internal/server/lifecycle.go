@@ -1,0 +1,92 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"specmatch/internal/obs"
+)
+
+// HTTPServer runs an http.Server on its own listener with serve-error
+// surfacing and graceful shutdown — the lifecycle both specserved's API
+// listener and specnode's debug endpoint share. Listen errors are returned
+// synchronously by ListenAndServe; a Serve that dies mid-run surfaces on
+// ServeErr and again from Shutdown, so callers can no longer lose either
+// kind silently.
+type HTTPServer struct {
+	srv *http.Server
+	ln  net.Listener
+	err chan error // terminal Serve error; nil after a graceful close
+}
+
+// ListenAndServe binds addr (":0" or "host:0" picks an ephemeral port — read
+// the result's Addr) and serves h in a background goroutine.
+func ListenAndServe(addr string, h http.Handler) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	hs := &HTTPServer{
+		srv: &http.Server{Handler: h, ReadHeaderTimeout: 10 * time.Second},
+		ln:  ln,
+		err: make(chan error, 1),
+	}
+	go func() {
+		serveErr := hs.srv.Serve(ln)
+		if errors.Is(serveErr, http.ErrServerClosed) {
+			serveErr = nil
+		}
+		hs.err <- serveErr
+	}()
+	return hs, nil
+}
+
+// Addr returns the bound listen address.
+func (hs *HTTPServer) Addr() net.Addr { return hs.ln.Addr() }
+
+// ServeErr delivers the terminal Serve error exactly once: a non-nil value
+// if the serve loop died on its own, nil after a graceful Shutdown. Select
+// on it to notice a mid-run failure.
+func (hs *HTTPServer) ServeErr() <-chan error { return hs.err }
+
+// Shutdown stops accepting new connections, waits (up to ctx's deadline)
+// for in-flight requests to finish, releases the port, and returns the
+// shutdown or serve error, whichever came first.
+func (hs *HTTPServer) Shutdown(ctx context.Context) error {
+	err := hs.srv.Shutdown(ctx)
+	select {
+	case serveErr := <-hs.err:
+		if err == nil {
+			err = serveErr
+		}
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	return err
+}
+
+// DebugMux builds the standard debug mux — /debug/metrics over the registry
+// plus the net/http/pprof handlers — on a private mux so nothing leaks onto
+// http.DefaultServeMux. Shared by specnode's -debug-addr endpoint; specserved
+// mounts the same handlers on its API mux.
+func DebugMux(reg *obs.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/metrics", obs.Handler(reg))
+	registerPprof(mux)
+	return mux
+}
+
+// registerPprof mounts the standard pprof handlers on mux.
+func registerPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -1,0 +1,150 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"specmatch/internal/market"
+	"specmatch/internal/obs"
+	"specmatch/internal/online"
+	"specmatch/internal/xrand"
+)
+
+// TestConcurrentClientsReconcile hammers one server from many goroutines —
+// the race-detector target CI runs with `go test -race ./internal/server` —
+// and then reconciles the client-side view against the server's obs
+// counters: every event request acknowledged with 200 must have been
+// applied by a shard loop (accepted = applied, the "zero lost events"
+// contract), and the sessions must still satisfy the matching invariants
+// the shards are supposed to serialize for.
+func TestConcurrentClientsReconcile(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, ts := newTestServer(t, Config{Shards: 4, QueueDepth: 64, Metrics: reg})
+
+	const nSessions = 6
+	const nClients = 12
+	const perClient = 40
+
+	type fleet struct {
+		id string
+		m  *market.Market
+	}
+	sessions := make([]fleet, nSessions)
+	for k := range sessions {
+		m := testMarket(t, 3, 12, int64(100+k))
+		var created CreateResponse
+		resp := doJSON(t, "POST", ts.URL+"/v1/sessions", CreateRequest{Spec: m.Spec()}, &created)
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create %d: HTTP %d", k, resp.StatusCode)
+		}
+		sessions[k] = fleet{id: created.ID, m: m}
+	}
+
+	var accepted, rejected atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < nClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := xrand.NewStream(7, c)
+			for i := 0; i < perClient; i++ {
+				s := sessions[r.Intn(len(sessions))]
+				switch r.Intn(10) {
+				case 0: // read
+					resp := doJSON(t, "GET", ts.URL+"/v1/sessions/"+s.id, nil, nil)
+					resp.Body.Close()
+				case 1: // rebuild
+					resp := doJSON(t, "POST", ts.URL+"/v1/sessions/"+s.id+"/rebuild", RebuildRequest{}, nil)
+					resp.Body.Close()
+				default: // churn
+					ev := online.Event{}
+					for b := 0; b < 3; b++ {
+						j := r.Intn(s.m.N())
+						if r.Intn(2) == 0 {
+							ev.Arrive = append(ev.Arrive, j)
+						} else {
+							ev.Depart = append(ev.Depart, j)
+						}
+					}
+					body, _ := json.Marshal(ev)
+					resp, err := http.Post(ts.URL+"/v1/sessions/"+s.id+"/events", "application/json", bytes.NewReader(body))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					resp.Body.Close()
+					switch resp.StatusCode {
+					case http.StatusOK:
+						accepted.Add(1)
+					case http.StatusTooManyRequests:
+						rejected.Add(1)
+					default:
+						t.Errorf("event POST: HTTP %d", resp.StatusCode)
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	applied := reg.CounterValue("server.events.applied")
+	if applied != accepted.Load() {
+		t.Fatalf("lost events: %d accepted with 200 but %d applied (rejected %d)",
+			accepted.Load(), applied, rejected.Load())
+	}
+	if accepted.Load() == 0 {
+		t.Fatal("no events went through; test proved nothing")
+	}
+
+	// Every session must still be interference-free and individually
+	// rational: shards serialized all concurrent steps correctly.
+	for _, s := range sessions {
+		var got CreateResponse
+		resp := doJSON(t, "GET", ts.URL+"/v1/sessions/"+s.id, nil, &got)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("final get: HTTP %d", resp.StatusCode)
+		}
+		coalitions := make(map[int][]int)
+		for j, i := range got.Assignment {
+			if i >= 0 {
+				coalitions[i] = append(coalitions[i], j)
+			}
+		}
+		matched := 0
+		for i, members := range coalitions {
+			matched += len(members)
+			for a := 0; a < len(members); a++ {
+				for b := a + 1; b < len(members); b++ {
+					if s.m.Interferes(i, members[a], members[b]) {
+						t.Errorf("session %s: buyers %d,%d interfere on channel %d",
+							s.id, members[a], members[b], i)
+					}
+				}
+				if s.m.Price(i, members[a]) <= 0 {
+					t.Errorf("session %s: buyer %d matched at non-positive price", s.id, members[a])
+				}
+			}
+		}
+		if matched != got.Matched {
+			t.Errorf("session %s: snapshot matched %d vs assignment %d", s.id, got.Matched, matched)
+		}
+		if got.Welfare < 0 {
+			t.Errorf("session %s: negative welfare %v", s.id, got.Welfare)
+		}
+	}
+
+	// Shard gauges and the store total must agree.
+	var perShard int64
+	for i := 0; i < 4; i++ {
+		perShard += reg.GaugeValue(fmt.Sprintf("server.shard.%d.sessions", i))
+	}
+	if perShard != int64(nSessions) || srv.Store().Len() != nSessions {
+		t.Errorf("session gauges: per-shard sum %d, store %d, want %d",
+			perShard, srv.Store().Len(), nSessions)
+	}
+}

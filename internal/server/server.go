@@ -1,0 +1,255 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"specmatch/internal/market"
+	"specmatch/internal/obs"
+	"specmatch/internal/online"
+)
+
+// maxBodyBytes bounds request bodies; a market spec for a few thousand
+// virtual participants fits comfortably.
+const maxBodyBytes = 32 << 20
+
+// Server is the HTTP/JSON front end over a sharded session Store. Construct
+// with New; serve Handler(); Drain on shutdown.
+type Server struct {
+	cfg   Config
+	store *Store
+	mux   *http.ServeMux
+	reg   *obs.Registry
+}
+
+// CreateRequest is the body of POST /v1/sessions.
+type CreateRequest struct {
+	// Spec is the market to host, in the interchange form specgen emits.
+	Spec market.Spec `json:"spec"`
+}
+
+// CreateResponse is the reply to POST /v1/sessions.
+type CreateResponse struct {
+	ID string `json:"id"`
+	online.Snapshot
+}
+
+// RebuildRequest is the body of POST /v1/sessions/{id}/rebuild. An empty
+// body means adopt=true.
+type RebuildRequest struct {
+	Adopt *bool `json:"adopt,omitempty"`
+}
+
+// RebuildResponse is the reply to POST /v1/sessions/{id}/rebuild.
+type RebuildResponse struct {
+	Welfare float64 `json:"welfare"`
+	Adopted bool    `json:"adopted"`
+}
+
+// ListResponse is the reply to GET /v1/sessions.
+type ListResponse struct {
+	Sessions []string `json:"sessions"`
+	Count    int      `json:"count"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// New builds a server (and its store) from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg, store: NewStore(cfg), reg: cfg.Metrics}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.route("create", s.handleCreate))
+	mux.HandleFunc("GET /v1/sessions", s.route("list", s.handleList))
+	mux.HandleFunc("GET /v1/sessions/{id}", s.route("get", s.handleGet))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.route("delete", s.handleDelete))
+	mux.HandleFunc("POST /v1/sessions/{id}/events", s.route("events", s.handleEvents))
+	mux.HandleFunc("POST /v1/sessions/{id}/rebuild", s.route("rebuild", s.handleRebuild))
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.Handle("GET /debug/metrics", obs.Handler(cfg.Metrics))
+	registerPprof(mux)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the server's root handler: the /v1 session API plus
+// /healthz and /debug/metrics.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Store exposes the underlying session store (tests, drain hooks).
+func (s *Server) Store() *Store { return s.store }
+
+// Drain flushes and closes the store. Call after the HTTP listener has
+// stopped accepting (HTTPServer.Shutdown): by then every in-flight handler
+// has returned, so all admitted work is applied before Drain returns.
+func (s *Server) Drain() { s.store.Close() }
+
+// route wraps a handler with per-route instrumentation and the per-request
+// deadline: a request counter, a latency histogram, and a context that
+// expires after Config.RequestTimeout.
+func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
+	reqs := s.reg.Counter("server.requests." + name)
+	lat := s.reg.Histogram("server.request_seconds."+name, obs.TimeBuckets())
+	return func(w http.ResponseWriter, r *http.Request) {
+		reqs.Inc()
+		start := time.Now()
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		h(w, r.WithContext(ctx))
+		lat.Observe(time.Since(start).Seconds())
+	}
+}
+
+// errBadRequest marks client errors (malformed JSON, invalid specs or
+// events) for the 400 mapping.
+var errBadRequest = errors.New("bad request")
+
+func badRequest(err error) error {
+	return fmt.Errorf("%w: %s", errBadRequest, err)
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	s.reg.Counter(fmt.Sprintf("server.status.%d", code)).Inc()
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	if v != nil {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	}
+}
+
+// writeError maps store and validation errors onto status codes: 404 for
+// unknown sessions, 429 (+ Retry-After) for admission rejections, 503 while
+// draining, 504 for deadline-abandoned operations, 400 for bad input.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrSessionLimit):
+		w.Header().Set("Retry-After", "1")
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		code = http.StatusGatewayTimeout
+	case errors.Is(err, errBadRequest):
+		code = http.StatusBadRequest
+	}
+	s.writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest(err)
+	}
+	return nil
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	m, err := market.FromSpec(req.Spec)
+	if err != nil {
+		s.writeError(w, badRequest(err))
+		return
+	}
+	id, snap, err := s.store.Create(r.Context(), m)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, CreateResponse{ID: id, Snapshot: snap})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	ids, err := s.store.List(r.Context())
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, ListResponse{Sessions: ids, Count: len(ids)})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.store.Get(r.Context(), r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, CreateResponse{ID: r.PathValue("id"), Snapshot: snap})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.store.Delete(r.Context(), r.PathValue("id")); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusNoContent, nil)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	var ev online.Event
+	if err := decodeBody(r, &ev); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	stats, err := s.store.Step(r.Context(), r.PathValue("id"), ev)
+	if err != nil {
+		// Step fails only on events that don't fit the session's market
+		// (validated before any mutation), or on store-level rejections.
+		if !errors.Is(err, ErrNotFound) && !errors.Is(err, ErrQueueFull) &&
+			!errors.Is(err, ErrDraining) && !errors.Is(err, context.DeadlineExceeded) &&
+			!errors.Is(err, context.Canceled) {
+			err = badRequest(err)
+		}
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, stats)
+}
+
+func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
+	adopt := true
+	var req RebuildRequest
+	if r.ContentLength != 0 {
+		if err := decodeBody(r, &req); err != nil {
+			s.writeError(w, err)
+			return
+		}
+		if req.Adopt != nil {
+			adopt = *req.Adopt
+		}
+	}
+	welfare, adopted, err := s.store.Rebuild(r.Context(), r.PathValue("id"), adopt)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, RebuildResponse{Welfare: welfare, Adopted: adopted})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.store.closing.RLock()
+	draining := s.store.draining
+	s.store.closing.RUnlock()
+	if draining {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "sessions": s.store.Len()})
+}

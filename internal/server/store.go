@@ -1,0 +1,395 @@
+// Package server is the serving layer that turns the one-shot matching
+// engine into a continuously operating spectrum market: it hosts many
+// concurrent online.Sessions in a sharded store behind an HTTP/JSON API
+// (cmd/specserved). Each shard's sessions are owned by a single goroutine
+// running an event loop over a bounded queue, so per-session operations are
+// serialized — deterministic and lock-free on the hot path — while distinct
+// shards serve tenants in parallel. Overload is handled by admission
+// control at the queue (ErrQueueFull → HTTP 429 with Retry-After), not by
+// unbounded buffering, and a draining store refuses new work while flushing
+// what it already accepted, which is what makes SIGTERM lossless:
+// everything admitted is applied before the process exits.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"specmatch/internal/core"
+	"specmatch/internal/market"
+	"specmatch/internal/obs"
+	"specmatch/internal/online"
+)
+
+// Store errors, mapped onto HTTP status codes by the handler layer.
+var (
+	// ErrNotFound reports an unknown session id (HTTP 404).
+	ErrNotFound = errors.New("server: session not found")
+	// ErrQueueFull reports an overloaded shard; the client should back off
+	// and retry (HTTP 429 + Retry-After).
+	ErrQueueFull = errors.New("server: shard queue full")
+	// ErrSessionLimit reports that the store holds MaxSessions live
+	// sessions (HTTP 429 + Retry-After).
+	ErrSessionLimit = errors.New("server: session limit reached")
+	// ErrDraining reports a store that is shutting down (HTTP 503).
+	ErrDraining = errors.New("server: draining")
+)
+
+// Config tunes the store and its HTTP front end.
+type Config struct {
+	// Shards is the number of session shards, each with its own event-loop
+	// goroutine and queue. Zero means runtime.GOMAXPROCS(0).
+	Shards int
+	// QueueDepth bounds each shard's pending-operation queue; a full queue
+	// rejects with ErrQueueFull instead of buffering without limit. Zero
+	// means 256.
+	QueueDepth int
+	// MaxSessions caps live sessions across all shards. Zero means 16384.
+	MaxSessions int
+	// RequestTimeout is the per-request deadline the HTTP layer applies to
+	// every /v1 operation. Zero means 5s.
+	RequestTimeout time.Duration
+	// Engine is the core.Options template every hosted session runs with.
+	// Leave Workers at 1 for serving: shards already parallelize across
+	// sessions, and per-step fan-out would oversubscribe the host.
+	Engine core.Options
+	// Metrics receives the server.* instrumentation (names in PROTOCOL.md).
+	// Nil disables it.
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 16384
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	return c
+}
+
+type opResult struct {
+	v   any
+	err error
+}
+
+// op is one unit of shard work. fn runs on the shard's goroutine, so it may
+// touch the shard's session map without locking.
+type op struct {
+	ctx  context.Context
+	fn   func() (any, error)
+	done chan opResult // buffered(1): the shard never blocks on delivery
+}
+
+type shard struct {
+	ops      chan op
+	sessions map[string]*online.Session
+
+	queueGauge *obs.Gauge
+	sessGauge  *obs.Gauge
+}
+
+// Store is the sharded session store. Construct with NewStore; Close drains
+// it. All methods are safe for concurrent use.
+type Store struct {
+	cfg    Config
+	shards []*shard
+
+	// closing guards the draining flag against the shard channels being
+	// closed mid-send: do holds it shared only across the admission check
+	// and the enqueue, Close holds it exclusively while closing.
+	closing  sync.RWMutex
+	draining bool
+
+	nextID atomic.Uint64
+	live   atomic.Int64 // live sessions, for the MaxSessions admission check
+	wg     sync.WaitGroup
+
+	sessGauge       *obs.Gauge
+	created         *obs.Counter
+	deleted         *obs.Counter
+	rejectFull      *obs.Counter
+	rejectLimit     *obs.Counter
+	rejectDraining  *obs.Counter
+	expired         *obs.Counter
+	eventsApplied   *obs.Counter
+	rebuilds        *obs.Counter
+	rebuildsAdopted *obs.Counter
+	churnArrived    *obs.Counter
+	churnDeparted   *obs.Counter
+	churnChanUp     *obs.Counter
+	churnChanDown   *obs.Counter
+	churnDisplaced  *obs.Counter
+}
+
+// NewStore starts the shard event loops and returns the store.
+func NewStore(cfg Config) *Store {
+	cfg = cfg.withDefaults()
+	reg := cfg.Metrics
+	st := &Store{
+		cfg:             cfg,
+		sessGauge:       reg.Gauge("server.sessions"),
+		created:         reg.Counter("server.sessions.created"),
+		deleted:         reg.Counter("server.sessions.deleted"),
+		rejectFull:      reg.Counter("server.rejected.queue_full"),
+		rejectLimit:     reg.Counter("server.rejected.session_limit"),
+		rejectDraining:  reg.Counter("server.rejected.draining"),
+		expired:         reg.Counter("server.expired"),
+		eventsApplied:   reg.Counter("server.events.applied"),
+		rebuilds:        reg.Counter("server.rebuilds"),
+		rebuildsAdopted: reg.Counter("server.rebuilds.adopted"),
+		churnArrived:    reg.Counter("server.churn.arrived"),
+		churnDeparted:   reg.Counter("server.churn.departed"),
+		churnChanUp:     reg.Counter("server.churn.channels_up"),
+		churnChanDown:   reg.Counter("server.churn.channels_down"),
+		churnDisplaced:  reg.Counter("server.churn.displaced"),
+	}
+	st.shards = make([]*shard, cfg.Shards)
+	for i := range st.shards {
+		sh := &shard{
+			ops:        make(chan op, cfg.QueueDepth),
+			sessions:   make(map[string]*online.Session),
+			queueGauge: reg.Gauge(fmt.Sprintf("server.shard.%d.queue_depth", i)),
+			sessGauge:  reg.Gauge(fmt.Sprintf("server.shard.%d.sessions", i)),
+		}
+		st.shards[i] = sh
+		st.wg.Add(1)
+		go st.runShard(sh)
+	}
+	return st
+}
+
+// runShard is a shard's event loop: it owns the shard's session map and
+// executes admitted operations one at a time, in admission order, until the
+// queue is closed and drained.
+func (st *Store) runShard(sh *shard) {
+	defer st.wg.Done()
+	for o := range sh.ops {
+		sh.queueGauge.Add(-1)
+		if o.ctx != nil && o.ctx.Err() != nil {
+			// The client already gave up on this deadline; skip the work so
+			// an overloaded shard sheds abandoned requests instead of
+			// burning its queue budget on them.
+			st.expired.Inc()
+			o.done <- opResult{err: o.ctx.Err()}
+			continue
+		}
+		v, err := o.fn()
+		o.done <- opResult{v: v, err: err}
+	}
+}
+
+// shardOf pins a session id to a shard for its whole lifetime.
+func (st *Store) shardOf(id string) *shard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(id))
+	return st.shards[h.Sum32()%uint32(len(st.shards))]
+}
+
+// do admits one operation onto a shard queue and waits for its result. A
+// full queue or a draining store rejects immediately; a context that
+// expires while the operation is queued abandons it (the shard discards it
+// unapplied when it surfaces).
+func (st *Store) do(ctx context.Context, sh *shard, fn func() (any, error)) (any, error) {
+	o := op{ctx: ctx, fn: fn, done: make(chan opResult, 1)}
+	st.closing.RLock()
+	if st.draining {
+		st.closing.RUnlock()
+		st.rejectDraining.Inc()
+		return nil, ErrDraining
+	}
+	select {
+	case sh.ops <- o:
+		sh.queueGauge.Add(1)
+		st.closing.RUnlock()
+	default:
+		st.closing.RUnlock()
+		st.rejectFull.Inc()
+		return nil, ErrQueueFull
+	}
+	if ctx == nil {
+		r := <-o.done
+		return r.v, r.err
+	}
+	select {
+	case r := <-o.done:
+		return r.v, r.err
+	case <-ctx.Done():
+		// The op stays queued; the shard loop sees the expired context and
+		// skips it without applying. If the shard was already mid-apply the
+		// result lands in the buffered done channel and is dropped — in
+		// that one race the server-side applied counters can exceed the
+		// client's accepted count, never the other way around.
+		return nil, ctx.Err()
+	}
+}
+
+// Create places a new session for the market on a shard and returns its id
+// and initial snapshot. The market must already be validated.
+func (st *Store) Create(ctx context.Context, m *market.Market) (string, online.Snapshot, error) {
+	if st.live.Load() >= int64(st.cfg.MaxSessions) {
+		st.rejectLimit.Inc()
+		return "", online.Snapshot{}, ErrSessionLimit
+	}
+	id := fmt.Sprintf("m%08x", st.nextID.Add(1))
+	sh := st.shardOf(id)
+	v, err := st.do(ctx, sh, func() (any, error) {
+		s, err := online.NewSession(m, st.cfg.Engine)
+		if err != nil {
+			return nil, err
+		}
+		sh.sessions[id] = s
+		sh.sessGauge.Add(1)
+		st.sessGauge.Add(1)
+		st.created.Inc()
+		st.live.Add(1)
+		return s.Snapshot(), nil
+	})
+	if err != nil {
+		return "", online.Snapshot{}, err
+	}
+	return id, v.(online.Snapshot), nil
+}
+
+// Step applies one churn event to a session. The error is ErrNotFound for
+// unknown ids; any other error is the event failing validation against the
+// session's market.
+func (st *Store) Step(ctx context.Context, id string, ev online.Event) (online.StepStats, error) {
+	sh := st.shardOf(id)
+	v, err := st.do(ctx, sh, func() (any, error) {
+		s, ok := sh.sessions[id]
+		if !ok {
+			return nil, ErrNotFound
+		}
+		stats, err := s.Step(ev)
+		if err != nil {
+			return nil, err
+		}
+		st.eventsApplied.Inc()
+		st.churnArrived.Add(int64(stats.Arrived))
+		st.churnDeparted.Add(int64(stats.Departed))
+		st.churnChanUp.Add(int64(stats.ChannelsUp))
+		st.churnChanDown.Add(int64(stats.ChannelsDown))
+		st.churnDisplaced.Add(int64(stats.Displaced))
+		return stats, nil
+	})
+	if err != nil {
+		return online.StepStats{}, err
+	}
+	return v.(online.StepStats), nil
+}
+
+// Rebuild re-runs the two-stage algorithm over a session's active
+// sub-market; see online.Session.Rebuild for the adopt semantics. Adopted
+// reports whether the session state changed.
+func (st *Store) Rebuild(ctx context.Context, id string, adopt bool) (welfare float64, adopted bool, err error) {
+	sh := st.shardOf(id)
+	v, err := st.do(ctx, sh, func() (any, error) {
+		s, ok := sh.sessions[id]
+		if !ok {
+			return nil, ErrNotFound
+		}
+		before := s.Welfare()
+		w, err := s.Rebuild(adopt)
+		if err != nil {
+			return nil, err
+		}
+		st.rebuilds.Inc()
+		changed := adopt && w > before
+		if changed {
+			st.rebuildsAdopted.Inc()
+		}
+		return [2]any{w, changed}, nil
+	})
+	if err != nil {
+		return 0, false, err
+	}
+	r := v.([2]any)
+	return r[0].(float64), r[1].(bool), nil
+}
+
+// Get snapshots a session's current state.
+func (st *Store) Get(ctx context.Context, id string) (online.Snapshot, error) {
+	sh := st.shardOf(id)
+	v, err := st.do(ctx, sh, func() (any, error) {
+		s, ok := sh.sessions[id]
+		if !ok {
+			return nil, ErrNotFound
+		}
+		return s.Snapshot(), nil
+	})
+	if err != nil {
+		return online.Snapshot{}, err
+	}
+	return v.(online.Snapshot), nil
+}
+
+// Delete removes a session.
+func (st *Store) Delete(ctx context.Context, id string) error {
+	sh := st.shardOf(id)
+	_, err := st.do(ctx, sh, func() (any, error) {
+		if _, ok := sh.sessions[id]; !ok {
+			return nil, ErrNotFound
+		}
+		delete(sh.sessions, id)
+		sh.sessGauge.Add(-1)
+		st.sessGauge.Add(-1)
+		st.deleted.Inc()
+		st.live.Add(-1)
+		return nil, nil
+	})
+	return err
+}
+
+// List returns the ids of all live sessions, sorted.
+func (st *Store) List(ctx context.Context) ([]string, error) {
+	var ids []string
+	for _, sh := range st.shards {
+		v, err := st.do(ctx, sh, func() (any, error) {
+			out := make([]string, 0, len(sh.sessions))
+			for id := range sh.sessions {
+				out = append(out, id)
+			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, v.([]string)...)
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Len returns the number of live sessions.
+func (st *Store) Len() int { return int(st.live.Load()) }
+
+// Close drains the store: new operations are refused with ErrDraining,
+// every operation already admitted runs to completion, and the shard
+// goroutines exit. Callers fronting the store with an HTTP server should
+// stop the listener first (HTTPServer.Shutdown) so no handler is mid-admit.
+// Close is idempotent.
+func (st *Store) Close() {
+	st.closing.Lock()
+	if !st.draining {
+		st.draining = true
+		for _, sh := range st.shards {
+			close(sh.ops)
+		}
+	}
+	st.closing.Unlock()
+	st.wg.Wait()
+}

@@ -1,0 +1,52 @@
+#!/bin/sh
+# Smoke-test the serving path end to end: start specserved on an ephemeral
+# port, drive it with specload at ≥1000 req/s, reconcile accepted vs applied
+# events (zero lost), then assert a clean SIGTERM drain and a non-empty
+# metrics dump. Run via `make serve-smoke`.
+set -eu
+
+work=$(mktemp -d)
+srv_pid=""
+cleanup() {
+    [ -n "$srv_pid" ] && kill "$srv_pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+go build -o "$work/specserved" ./cmd/specserved
+go build -o "$work/specload" ./cmd/specload
+
+"$work/specserved" -addr 127.0.0.1:0 -metrics-json "$work/metrics.json" \
+    >"$work/serve.log" 2>&1 &
+srv_pid=$!
+
+addr=""
+i=0
+while [ $i -lt 50 ]; do
+    addr=$(sed -n 's#^specserved listening on http://\([^ ]*\)$#\1#p' "$work/serve.log")
+    [ -n "$addr" ] && break
+    kill -0 "$srv_pid" 2>/dev/null || { echo "specserved died on startup:"; cat "$work/serve.log"; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$addr" ] || { echo "specserved never reported its address:"; cat "$work/serve.log"; exit 1; }
+echo "specserved up on $addr (pid $srv_pid)"
+
+# specload exits non-zero on lost events or a rate below -min-rps.
+"$work/specload" -addr "$addr" -sessions 8 -concurrency 8 -duration 3s \
+    -min-rps 1000 -report "$work/report.json"
+
+kill -TERM "$srv_pid"
+drain_status=0
+wait "$srv_pid" || drain_status=$?
+srv_pid=""
+if [ "$drain_status" -ne 0 ]; then
+    echo "specserved exited $drain_status on SIGTERM (want clean drain):"
+    cat "$work/serve.log"
+    exit 1
+fi
+grep -q '^drained:' "$work/serve.log" || { echo "no drain line in log:"; cat "$work/serve.log"; exit 1; }
+grep -q 'server.events.applied' "$work/metrics.json" || { echo "metrics dump missing counters"; exit 1; }
+
+echo "serve-smoke OK"
+cat "$work/report.json"
