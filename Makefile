@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench benchcheck baseline figures check fmt vet clean serve-smoke
+.PHONY: all build test test-short race bench benchcheck baseline figures check fmt vet clean serve-smoke trace-smoke
 
 all: build test
 
@@ -41,6 +41,12 @@ figures:
 # req/s, zero lost events, clean SIGTERM drain, non-empty metrics dump.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# End-to-end smoke of the tracing path: specserved under specload, SIGQUIT
+# flight-recorder dump while serving, specstrace -check reassembles it with
+# zero orphan spans and the full request chain present.
+trace-smoke:
+	./scripts/trace_smoke.sh
 
 check: vet test-short
 

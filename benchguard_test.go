@@ -9,6 +9,7 @@ import (
 	"specmatch/internal/core"
 	"specmatch/internal/market"
 	"specmatch/internal/obs"
+	"specmatch/internal/trace"
 )
 
 // benchBaseline mirrors the schema cmd/specbench writes to BENCH_BASELINE.json
@@ -110,11 +111,13 @@ func TestBenchBaseline(t *testing.T) {
 }
 
 // TestInstrumentationOverhead guards the observability layer the same way
-// TestBenchBaseline guards the engine: attaching a live metrics registry and
-// event sink must not change the engine's output at all (always checked), and
-// must not slow the run by more than 2x measured side by side on this machine
-// (RUN_BENCHCHECK=1). The disabled path is a nil-registry check per call
-// site, so a regression here means instrumentation leaked onto a hot path.
+// TestBenchBaseline guards the engine: attaching a live metrics registry,
+// event sink, and flight recorder (the always-on configuration specserved
+// runs with) must not change the engine's output at all (always checked),
+// and must not slow the run by more than 2x measured side by side on this
+// machine (RUN_BENCHCHECK=1). The disabled path is a nil-handle check per
+// call site, so a regression here means instrumentation leaked onto a hot
+// path.
 func TestInstrumentationOverhead(t *testing.T) {
 	data, err := os.ReadFile("BENCH_BASELINE.json")
 	if err != nil {
@@ -151,7 +154,11 @@ func TestInstrumentationOverhead(t *testing.T) {
 				return bestD, res
 			}
 
-			instrumented := core.Options{Metrics: obs.NewRegistry(), Events: obs.NewSink(1024)}
+			instrumented := core.Options{
+				Metrics: obs.NewRegistry(),
+				Events:  obs.NewSink(1024),
+				Flight:  trace.NewFlight(1 << 15),
+			}
 			iters := 1
 			if timing {
 				iters = 5

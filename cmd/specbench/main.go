@@ -119,6 +119,14 @@ func run(args []string, out io.Writer) error {
 	if failures > 0 {
 		return fmt.Errorf("%d figure(s) failed the published-shape check", failures)
 	}
+	if reg != nil {
+		// The engine's own round-latency histogram, summarized with the
+		// bucket-interpolated quantile estimator — no raw samples kept.
+		if h := reg.Histogram("core.round_seconds", obs.TimeBuckets()); h.Count() > 0 {
+			fmt.Fprintf(out, "engine rounds: %d, round ms: p50=%.4f p90=%.4f p99=%.4f\n",
+				h.Count(), h.Quantile(0.50)*1e3, h.Quantile(0.90)*1e3, h.Quantile(0.99)*1e3)
+		}
+	}
 	if *metricsJSON != "" {
 		return obs.WriteSnapshotFile(reg, *metricsJSON, out)
 	}

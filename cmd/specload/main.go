@@ -24,7 +24,6 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
-	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -33,6 +32,7 @@ import (
 	"specmatch/internal/obs"
 	"specmatch/internal/online"
 	"specmatch/internal/server"
+	"specmatch/internal/trace"
 	"specmatch/internal/xrand"
 )
 
@@ -63,7 +63,9 @@ type Report struct {
 	FinalActive int     `json:"final_active_buyers"`
 }
 
-// Latency summarizes the merged per-request latency distribution.
+// Latency summarizes the merged per-request latency distribution: the
+// percentiles are bucket-interpolated estimates from a shared
+// obs.Histogram (LatencyBuckets resolution, ~12% error), the max is exact.
 type Latency struct {
 	P50 float64 `json:"p50"`
 	P90 float64 `json:"p90"`
@@ -83,8 +85,12 @@ type worker struct {
 	sessions []*sessionState
 	interval time.Duration
 
+	// lat is shared by every worker (Histogram is atomic); maxSec is this
+	// worker's exact maximum, merged at the end — buckets can't recover it.
+	lat    *obs.Histogram
+	maxSec float64
+
 	requests, ok, rejected, errors int64
-	latencies                      []float64
 }
 
 type sessionState struct {
@@ -168,12 +174,14 @@ func run(args []string, out io.Writer) error {
 	if *rps > 0 {
 		interval = time.Duration(float64(*concurrency) / *rps * float64(time.Second))
 	}
+	lat := obs.NewRegistry().Histogram("specload.request_seconds", obs.LatencyBuckets())
 	for w := range workers {
 		wk := &worker{
 			r:        xrand.NewStream(*seed, w+1),
 			client:   client,
 			base:     base,
 			interval: interval,
+			lat:      lat,
 		}
 		for k := w; k < len(states); k += *concurrency {
 			wk.sessions = append(wk.sessions, states[k])
@@ -203,17 +211,26 @@ func run(args []string, out io.Writer) error {
 		Concurrency:     *concurrency,
 		TargetRPS:       *rps,
 	}
-	var all []float64
+	maxSec := 0.0
 	for _, wk := range workers {
 		rep.Requests += wk.requests
 		rep.OK += wk.ok
 		rep.Rejected += wk.rejected
 		rep.Errors += wk.errors
-		all = append(all, wk.latencies...)
+		if wk.maxSec > maxSec {
+			maxSec = wk.maxSec
+		}
 	}
 	rep.EventsOK = rep.OK
 	rep.Throughput = float64(rep.OK) / elapsed.Seconds()
-	rep.LatencyMS = percentiles(all)
+	if lat.Count() > 0 {
+		rep.LatencyMS = Latency{
+			P50: lat.Quantile(0.50) * 1e3,
+			P90: lat.Quantile(0.90) * 1e3,
+			P99: lat.Quantile(0.99) * 1e3,
+			Max: maxSec * 1e3,
+		}
+	}
 
 	// Reconcile: every 200 the server sent us must be an applied event.
 	// The server can apply slightly more than we count (a request whose
@@ -310,17 +327,31 @@ func (wk *worker) post(ss *sessionState, ev online.Event) {
 		wk.errors++
 		return
 	}
+	req, err := http.NewRequest(http.MethodPost, wk.base+"/v1/sessions/"+ss.id+"/events", bytes.NewReader(body))
+	if err != nil {
+		wk.errors++
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	// A fresh traceparent per request makes each event a distinct trace in
+	// the server's flight recorder, findable by the echoed X-Request-Id.
+	req.Header.Set("traceparent", trace.FormatTraceparent(trace.SpanContext{
+		Trace: trace.NewTraceID(), Span: trace.NewSpanID(),
+	}))
 	wk.requests++
 	start := time.Now()
-	resp, err := wk.client.Post(wk.base+"/v1/sessions/"+ss.id+"/events", "application/json", bytes.NewReader(body))
-	lat := time.Since(start)
+	resp, err := wk.client.Do(req)
+	lat := time.Since(start).Seconds()
 	if err != nil {
 		wk.errors++
 		return
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	wk.latencies = append(wk.latencies, float64(lat)/float64(time.Millisecond))
+	wk.lat.Observe(lat)
+	if lat > wk.maxSec {
+		wk.maxSec = lat
+	}
 	switch {
 	case resp.StatusCode == http.StatusOK:
 		wk.ok++
@@ -330,18 +361,6 @@ func (wk *worker) post(ss *sessionState, ev online.Event) {
 	default:
 		wk.errors++
 	}
-}
-
-func percentiles(lat []float64) Latency {
-	if len(lat) == 0 {
-		return Latency{}
-	}
-	sort.Float64s(lat)
-	at := func(q float64) float64 {
-		i := int(q * float64(len(lat)-1))
-		return lat[i]
-	}
-	return Latency{P50: at(0.50), P90: at(0.90), P99: at(0.99), Max: lat[len(lat)-1]}
 }
 
 func fetchSnapshot(client *http.Client, base string) (obs.Snapshot, error) {

@@ -25,12 +25,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"specmatch/internal/agent"
 	"specmatch/internal/market"
 	"specmatch/internal/obs"
 	"specmatch/internal/server"
+	"specmatch/internal/trace"
 	"specmatch/internal/wire"
 )
 
@@ -50,8 +53,10 @@ func run(args []string, out io.Writer) error {
 		addr        = fs.String("addr", "", "hub address (listen for hub, dial for nodes); empty = ephemeral localhost for hub/all")
 		buyerRule   = fs.String("buyer-rule", "rule-ii", "buyer transition rule: default, rule-i, rule-ii")
 		sellerRule  = fs.String("seller-rule", "probabilistic", "seller transition rule: default, probabilistic")
-		debugAddr   = fs.String("debug-addr", "", "serve /debug/metrics (JSON) and /debug/pprof/* on this address; empty = disabled")
+		debugAddr   = fs.String("debug-addr", "", "serve /debug/metrics (JSON), /debug/trace and /debug/pprof/* on this address; empty = disabled")
 		metricsJSON = fs.String("metrics-json", "", "write a metrics snapshot JSON to this path ('-' = stdout) on success")
+		flightCap   = fs.Int("flight", 1<<16, "flight-recorder capacity in spans, a bounded ring always recording (0 disables tracing)")
+		traceDump   = fs.String("trace-dump", "specnode-trace.json", "flight-recorder dump path, written on SIGQUIT (and on success when set explicitly)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -59,6 +64,14 @@ func run(args []string, out io.Writer) error {
 		}
 		return err
 	}
+	// An exit dump is only written when the operator asked for one; the
+	// default path exists so a bare SIGQUIT still lands somewhere predictable.
+	dumpOnExit := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "trace-dump" {
+			dumpOnExit = true
+		}
+	})
 	if *marketPath == "" {
 		return fmt.Errorf("-market is required")
 	}
@@ -93,10 +106,20 @@ func run(args []string, out io.Writer) error {
 	if *debugAddr != "" || *metricsJSON != "" {
 		reg = obs.NewRegistry()
 	}
+	// The flight recorder is always on (like the hub/node metrics, it is a
+	// bounded ring; the cost is a few atomic ops per span) so a hung or
+	// misbehaving deployment can be inspected after the fact: SIGQUIT dumps
+	// the ring without exiting, and -debug-addr serves it at /debug/trace.
+	var fl *trace.Flight
+	if *flightCap > 0 {
+		fl = trace.NewFlight(*flightCap)
+	}
+	stopQuit := dumpOnSIGQUIT(fl, *traceDump, out)
+	defer stopQuit()
 	var debug *server.HTTPServer
 	if *debugAddr != "" {
 		var err error
-		debug, err = server.ListenAndServe(*debugAddr, server.DebugMux(reg))
+		debug, err = server.ListenAndServe(*debugAddr, server.DebugMux(reg, fl))
 		if err != nil {
 			return fmt.Errorf("debug listener: %w", err)
 		}
@@ -106,8 +129,9 @@ func run(args []string, out io.Writer) error {
 	nodeCfg := wire.NodeConfig{
 		Agent:   agent.Config{BuyerRule: br, SellerRule: sr, Metrics: reg},
 		Metrics: reg,
+		Flight:  fl,
 	}
-	hubCfg := wire.HubConfig{Addr: *addr, Metrics: reg}
+	hubCfg := wire.HubConfig{Addr: *addr, Metrics: reg, Flight: fl}
 
 	runRole := func() error {
 		switch *role {
@@ -175,8 +199,62 @@ func run(args []string, out io.Writer) error {
 	if runErr != nil {
 		return runErr
 	}
+	if dumpOnExit {
+		dumpFlight(fl, *traceDump, out, "exit")
+	}
 	if *metricsJSON != "" {
 		return obs.WriteSnapshotFile(reg, *metricsJSON, out)
 	}
 	return nil
+}
+
+// dumpFlight writes the flight recorder as Chrome trace-event JSON,
+// atomically (tmp + rename) so a concurrent reader never sees a torn file.
+// No-op with a nil flight or empty path.
+func dumpFlight(fl *trace.Flight, path string, out io.Writer, reason string) {
+	if fl == nil || path == "" {
+		return
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		fmt.Fprintf(out, "flight recorder: dump failed: %v\n", err)
+		return
+	}
+	werr := trace.WriteChromeFlight(f, fl)
+	cerr := f.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, path)
+	}
+	if werr != nil {
+		_ = os.Remove(tmp)
+		fmt.Fprintf(out, "flight recorder: dump failed: %v\n", werr)
+		return
+	}
+	fmt.Fprintf(out, "flight recorder: dumped %d spans to %s (%s)\n", len(fl.Snapshot()), path, reason)
+}
+
+// dumpOnSIGQUIT installs a handler that dumps the flight recorder on each
+// SIGQUIT without exiting. The returned stop function uninstalls it.
+func dumpOnSIGQUIT(fl *trace.Flight, path string, out io.Writer) func() {
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-quit:
+				dumpFlight(fl, path, out, "SIGQUIT")
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		signal.Stop(quit)
+		close(done)
+	}
 }

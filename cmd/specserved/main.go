@@ -26,12 +26,14 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"specmatch/internal/core"
 	"specmatch/internal/obs"
 	"specmatch/internal/server"
+	"specmatch/internal/trace"
 )
 
 func main() {
@@ -52,6 +54,9 @@ func run(args []string, out io.Writer) error {
 		drainTimeout   = fs.Duration("drain-timeout", 10*time.Second, "bound on the SIGTERM graceful drain")
 		engineWorkers  = fs.Int("engine-workers", 1, "core engine fan-out per session step (1 = sequential; shards already parallelize)")
 		metricsJSON    = fs.String("metrics-json", "", "write a final metrics snapshot JSON to this path ('-' = stdout) on clean exit")
+		flightCap      = fs.Int("flight", 1<<16, "flight-recorder capacity in spans, a bounded ring always recording (0 disables tracing)")
+		traceDump      = fs.String("trace-dump", "specserved-trace.json", "flight-recorder dump path, written on SIGQUIT, on any 5xx (rate-limited), and at drain")
+		sessionEvents  = fs.Int("session-events", 4096, "per-session protocol-event bound; overflow is counted as dropped (-1 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -61,6 +66,11 @@ func run(args []string, out io.Writer) error {
 	}
 
 	reg := obs.NewRegistry()
+	var fl *trace.Flight
+	if *flightCap > 0 {
+		fl = trace.NewFlight(*flightCap)
+	}
+	dump := newTraceDumper(fl, *traceDump, out)
 	srv := server.New(server.Config{
 		Shards:         *shards,
 		QueueDepth:     *queueDepth,
@@ -68,6 +78,9 @@ func run(args []string, out io.Writer) error {
 		RequestTimeout: *requestTimeout,
 		Engine:         core.Options{Workers: *engineWorkers},
 		Metrics:        reg,
+		Flight:         fl,
+		OnServerError:  dump.onServerError,
+		SessionEvents:  *sessionEvents,
 	})
 	hs, err := server.ListenAndServe(*addr, srv.Handler())
 	if err != nil {
@@ -77,6 +90,8 @@ func run(args []string, out io.Writer) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	stopQuit := dump.onSIGQUIT()
+	defer stopQuit()
 	select {
 	case <-ctx.Done():
 		// Signal received: drain below.
@@ -94,10 +109,91 @@ func run(args []string, out io.Writer) error {
 
 	fmt.Fprintf(out, "drained: %d live sessions, %d events applied\n",
 		srv.Store().Len(), reg.CounterValue("server.events.applied"))
+	dump.dump("drain")
 	if *metricsJSON != "" {
 		if err := obs.WriteSnapshotFile(reg, *metricsJSON, out); err != nil {
 			return err
 		}
 	}
 	return shutdownErr
+}
+
+// traceDumper writes crash-safe flight-recorder dumps: atomically (tmp +
+// rename, so a reader never sees a torn file) and rate-limited for the 5xx
+// hook (at most one dump per 10s, so an error storm cannot turn into a disk
+// storm). All methods are safe with a nil Flight or empty path — they do
+// nothing.
+type traceDumper struct {
+	fl       *trace.Flight
+	path     string
+	out      io.Writer
+	lastDump atomic.Int64 // unix nanos of the last 5xx-triggered dump
+}
+
+func newTraceDumper(fl *trace.Flight, path string, out io.Writer) *traceDumper {
+	return &traceDumper{fl: fl, path: path, out: out}
+}
+
+// dump writes the current snapshot; reason is echoed in the log line.
+func (d *traceDumper) dump(reason string) {
+	if d.fl == nil || d.path == "" {
+		return
+	}
+	tmp := d.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		fmt.Fprintf(d.out, "flight recorder: dump failed: %v\n", err)
+		return
+	}
+	werr := trace.WriteChromeFlight(f, d.fl)
+	cerr := f.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, d.path)
+	}
+	if werr != nil {
+		_ = os.Remove(tmp)
+		fmt.Fprintf(d.out, "flight recorder: dump failed: %v\n", werr)
+		return
+	}
+	n := len(d.fl.Snapshot())
+	fmt.Fprintf(d.out, "flight recorder: dumped %d spans to %s (%s)\n", n, d.path, reason)
+}
+
+// onServerError is the server's 5xx hook: dump, at most once per 10s.
+func (d *traceDumper) onServerError() {
+	if d.fl == nil || d.path == "" {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := d.lastDump.Load()
+	if now-last < int64(10*time.Second) || !d.lastDump.CompareAndSwap(last, now) {
+		return
+	}
+	d.dump("5xx")
+}
+
+// onSIGQUIT installs a handler goroutine that dumps on each SIGQUIT without
+// exiting — the classic flight-recorder inspection signal. The returned stop
+// function uninstalls it.
+func (d *traceDumper) onSIGQUIT() func() {
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-quit:
+				d.dump("SIGQUIT")
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		signal.Stop(quit)
+		close(done)
+	}
 }

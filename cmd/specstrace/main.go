@@ -1,0 +1,466 @@
+// Command specstrace turns flight-recorder dumps back into causal stories:
+// it ingests one or more Chrome trace-event JSON files (specserved's
+// -trace-dump, specnode's SIGQUIT dump, or /debug/trace output), reassembles
+// the span trees, and reports per-span-name latency breakdowns, per-session
+// round timelines with the gating seller per round (the critical path of a
+// matching round is its slowest MWIS solve), and an ASCII Gantt of the
+// slowest traces.
+//
+//	specstrace specserved-trace.json
+//	specstrace -json hub-trace.json node0-trace.json   # multi-process merge
+//	specstrace -check dump.json                        # non-zero exit on orphan spans
+//
+// Orphans — spans whose parent id is missing from the merged dump and whose
+// attrs don't mark the parent as remote (remote=1) — indicate broken
+// propagation or a wrapped ring, so -check is what CI asserts after a load
+// run. Pass every per-process dump of one deployment together: a parent
+// recorded by another process's flight recorder resolves once merged.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"specmatch/internal/stats"
+	"specmatch/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "specstrace:", err)
+		os.Exit(1)
+	}
+}
+
+// Report is the -json document; the text output renders the same analysis.
+type Report struct {
+	Files   int  `json:"files"`
+	Spans   int  `json:"spans"`
+	Traces  int  `json:"traces"`
+	Orphans int  `json:"orphans"`
+	Check   bool `json:"check_passed"`
+
+	Names  []NameStat     `json:"names"`
+	Slow   []TraceSummary `json:"slowest_traces"`
+	Orphan []OrphanSpan   `json:"orphan_spans,omitempty"`
+}
+
+// NameStat is the latency breakdown for one span name.
+type NameStat struct {
+	Name    string  `json:"name"`
+	Count   int     `json:"count"`
+	P50MS   float64 `json:"p50_ms"`
+	P90MS   float64 `json:"p90_ms"`
+	P99MS   float64 `json:"p99_ms"`
+	MaxMS   float64 `json:"max_ms"`
+	TotalMS float64 `json:"total_ms"`
+}
+
+// TraceSummary is one reassembled trace.
+type TraceSummary struct {
+	Trace      string      `json:"trace"`
+	Spans      int         `json:"spans"`
+	DurationMS float64     `json:"duration_ms"`
+	Roots      []string    `json:"roots"`
+	Rounds     []RoundInfo `json:"rounds,omitempty"`
+}
+
+// RoundInfo is one engine round inside a trace: its stage, wall time, and
+// the gating seller — the argmax-duration core.solve child, i.e. the solve
+// the round could not finish without.
+type RoundInfo struct {
+	Stage        string  `json:"stage"`
+	Round        int     `json:"round"`
+	DurationMS   float64 `json:"duration_ms"`
+	Messages     int     `json:"messages"`
+	GatingSeller int     `json:"gating_seller"` // -1 when the round ran no solves
+	GatingMS     float64 `json:"gating_ms"`
+}
+
+// OrphanSpan identifies a span whose parent could not be resolved.
+type OrphanSpan struct {
+	Trace  string `json:"trace"`
+	Span   string `json:"span"`
+	Parent string `json:"parent"`
+	Name   string `json:"name"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("specstrace", flag.ContinueOnError)
+	var (
+		asJSON = fs.Bool("json", false, "emit the analysis as JSON instead of text")
+		check  = fs.Bool("check", false, "exit non-zero when the dump has orphan spans (or no spans at all)")
+		top    = fs.Int("top", 3, "render a timeline for this many slowest traces")
+		width  = fs.Int("width", 48, "Gantt bar width in characters")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: specstrace [flags] dump.json [dump2.json ...]  ('-' = stdin)")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help already printed usage
+		}
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("no dump files given (usage: specstrace dump.json ...)")
+	}
+
+	spans, err := loadDumps(fs.Args())
+	if err != nil {
+		return err
+	}
+	rep := analyze(spans, fs.NArg(), *top)
+
+	if *asJSON {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		_, _ = out.Write(data)
+	} else {
+		render(out, rep, spans, *top, *width)
+	}
+
+	if *check {
+		if rep.Spans == 0 {
+			return fmt.Errorf("check: dump contains no spans")
+		}
+		if rep.Orphans > 0 {
+			return fmt.Errorf("check: %d orphan spans (broken propagation or wrapped ring)", rep.Orphans)
+		}
+	}
+	return nil
+}
+
+// loadDumps reads and merges every dump file, deduplicating spans by
+// (trace, span) id — the same span can appear in two dumps when one was
+// taken from /debug/trace and another at drain.
+func loadDumps(paths []string) ([]trace.Span, error) {
+	type key struct {
+		t trace.TraceID
+		s trace.SpanID
+	}
+	seen := make(map[key]bool)
+	var all []trace.Span
+	for _, path := range paths {
+		var r io.Reader
+		if path == "-" {
+			r = os.Stdin
+		} else {
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			r = f
+		}
+		spans, err := trace.ReadChrome(r)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		for _, s := range spans {
+			k := key{s.Trace, s.ID}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			all = append(all, s)
+		}
+	}
+	return all, nil
+}
+
+// traceTree is one trace's spans, indexed for tree walks.
+type traceTree struct {
+	id       trace.TraceID
+	spans    []trace.Span
+	children map[trace.SpanID][]int // parent span id -> indices into spans
+	roots    []int
+	orphans  []int
+	start    time.Time
+	end      time.Time
+}
+
+func (tt *traceTree) duration() time.Duration { return tt.end.Sub(tt.start) }
+
+// buildTrees groups spans by trace id and resolves parents. A span with a
+// non-zero parent that is absent from the merged set is an orphan unless its
+// attrs carry remote=1 (the parent lives in the caller's process — specload,
+// a curl with traceparent — and was never expected in this dump).
+func buildTrees(spans []trace.Span) []*traceTree {
+	byTrace := make(map[trace.TraceID]*traceTree)
+	var order []*traceTree
+	for _, s := range spans {
+		tt := byTrace[s.Trace]
+		if tt == nil {
+			tt = &traceTree{id: s.Trace, children: make(map[trace.SpanID][]int)}
+			byTrace[s.Trace] = tt
+			order = append(order, tt)
+		}
+		tt.spans = append(tt.spans, s)
+	}
+	for _, tt := range order {
+		// Sort by start so children lists come out in timeline order.
+		sort.Slice(tt.spans, func(a, b int) bool { return tt.spans[a].Start.Before(tt.spans[b].Start) })
+		present := make(map[trace.SpanID]bool, len(tt.spans))
+		for _, s := range tt.spans {
+			present[s.ID] = true
+		}
+		tt.start, tt.end = tt.spans[0].Start, tt.spans[0].End
+		for i, s := range tt.spans {
+			if s.Start.Before(tt.start) {
+				tt.start = s.Start
+			}
+			if s.End.After(tt.end) {
+				tt.end = s.End
+			}
+			switch {
+			case s.Parent.IsZero():
+				tt.roots = append(tt.roots, i)
+			case present[s.Parent]:
+				tt.children[s.Parent] = append(tt.children[s.Parent], i)
+			case hasAttr(s.Attrs, "remote=1"):
+				tt.roots = append(tt.roots, i) // parent is external by design
+			default:
+				tt.orphans = append(tt.orphans, i)
+			}
+		}
+	}
+	return order
+}
+
+func analyze(spans []trace.Span, files, top int) Report {
+	rep := Report{Files: files, Spans: len(spans)}
+	trees := buildTrees(spans)
+	rep.Traces = len(trees)
+
+	// Per-name latency breakdown over every span in the dump.
+	byName := make(map[string][]float64)
+	for _, s := range spans {
+		byName[s.Name] = append(byName[s.Name], float64(s.Duration())/1e6)
+	}
+	for name, ds := range byName {
+		sort.Float64s(ds)
+		var total float64
+		for _, d := range ds {
+			total += d
+		}
+		rep.Names = append(rep.Names, NameStat{
+			Name:    name,
+			Count:   len(ds),
+			P50MS:   stats.Quantile(ds, 0.50),
+			P90MS:   stats.Quantile(ds, 0.90),
+			P99MS:   stats.Quantile(ds, 0.99),
+			MaxMS:   ds[len(ds)-1],
+			TotalMS: total,
+		})
+	}
+	sort.Slice(rep.Names, func(a, b int) bool { return rep.Names[a].TotalMS > rep.Names[b].TotalMS })
+
+	sort.Slice(trees, func(a, b int) bool { return trees[a].duration() > trees[b].duration() })
+	for _, tt := range trees {
+		for _, i := range tt.orphans {
+			s := tt.spans[i]
+			rep.Orphan = append(rep.Orphan, OrphanSpan{
+				Trace: s.Trace.String(), Span: s.ID.String(), Parent: s.Parent.String(), Name: s.Name,
+			})
+		}
+		if len(rep.Slow) >= top {
+			continue
+		}
+		ts := TraceSummary{
+			Trace:      tt.id.String(),
+			Spans:      len(tt.spans),
+			DurationMS: float64(tt.duration()) / 1e6,
+			Rounds:     rounds(tt),
+		}
+		for _, i := range tt.roots {
+			ts.Roots = append(ts.Roots, tt.spans[i].Name)
+		}
+		rep.Slow = append(rep.Slow, ts)
+	}
+	rep.Orphans = len(rep.Orphan)
+	rep.Check = rep.Spans > 0 && rep.Orphans == 0
+	return rep
+}
+
+// rounds extracts the engine-round timeline of one trace: every core.round
+// span in start order, with the gating seller read off its slowest
+// core.solve child.
+func rounds(tt *traceTree) []RoundInfo {
+	var out []RoundInfo
+	for i, s := range tt.spans {
+		if s.Name != "core.round" {
+			continue
+		}
+		ri := RoundInfo{
+			Stage:        attrStr(s.Attrs, "stage"),
+			Round:        attrInt(s.Attrs, "round", 0),
+			DurationMS:   float64(s.Duration()) / 1e6,
+			Messages:     attrInt(s.Attrs, "messages", 0),
+			GatingSeller: -1,
+		}
+		for _, ci := range tt.children[tt.spans[i].ID] {
+			c := tt.spans[ci]
+			if c.Name != "core.solve" {
+				continue
+			}
+			if d := float64(c.Duration()) / 1e6; d > ri.GatingMS || ri.GatingSeller < 0 {
+				ri.GatingMS = d
+				ri.GatingSeller = attrInt(c.Attrs, "seller", -1)
+			}
+		}
+		out = append(out, ri)
+	}
+	return out
+}
+
+// render writes the human-readable analysis: header, per-name table, and a
+// round timeline plus Gantt for the slowest traces.
+func render(out io.Writer, rep Report, spans []trace.Span, top, width int) {
+	fmt.Fprintf(out, "specstrace: %d spans, %d traces, %d orphans (%d files)\n\n",
+		rep.Spans, rep.Traces, rep.Orphans, rep.Files)
+	if rep.Spans == 0 {
+		return
+	}
+
+	fmt.Fprintf(out, "%-18s %8s %10s %10s %10s %10s %12s\n",
+		"span", "count", "p50 ms", "p90 ms", "p99 ms", "max ms", "total ms")
+	for _, ns := range rep.Names {
+		fmt.Fprintf(out, "%-18s %8d %10.4f %10.4f %10.4f %10.4f %12.3f\n",
+			ns.Name, ns.Count, ns.P50MS, ns.P90MS, ns.P99MS, ns.MaxMS, ns.TotalMS)
+	}
+
+	trees := buildTrees(spans)
+	sort.Slice(trees, func(a, b int) bool { return trees[a].duration() > trees[b].duration() })
+	for k, tt := range trees {
+		if k >= top {
+			break
+		}
+		fmt.Fprintf(out, "\ntrace %s: %d spans, %.3fms\n",
+			tt.id.String(), len(tt.spans), float64(tt.duration())/1e6)
+		if rs := rounds(tt); len(rs) > 0 {
+			fmt.Fprintf(out, "  %-8s %6s %9s %9s  %s\n", "stage", "round", "ms", "msgs", "gating seller (ms)")
+			for _, ri := range rs {
+				gate := "-"
+				if ri.GatingSeller >= 0 {
+					gate = fmt.Sprintf("seller %d (%.4f)", ri.GatingSeller, ri.GatingMS)
+				}
+				fmt.Fprintf(out, "  %-8s %6d %9.4f %9d  %s\n", ri.Stage, ri.Round, ri.DurationMS, ri.Messages, gate)
+			}
+		}
+		gantt(out, tt, width)
+	}
+	for _, o := range rep.Orphan {
+		fmt.Fprintf(out, "\norphan: %s span=%s parent=%s trace=%s", o.Name, o.Span, o.Parent, o.Trace)
+	}
+	if len(rep.Orphan) > 0 {
+		fmt.Fprintln(out)
+	}
+}
+
+// ganttMaxLines bounds the timeline so a dump with thousands of solve spans
+// stays readable; the per-name table above still covers everything.
+const ganttMaxLines = 48
+
+// gantt renders the trace tree as an indented ASCII timeline: one line per
+// span, depth-first with children in start order, the bar scaled to the
+// trace's [start, end] window.
+func gantt(out io.Writer, tt *traceTree, width int) {
+	if width < 8 {
+		width = 8
+	}
+	total := tt.duration()
+	if total <= 0 {
+		total = time.Nanosecond
+	}
+	lines := 0
+	var walk func(idx, depth int)
+	walk = func(idx, depth int) {
+		if lines >= ganttMaxLines {
+			return
+		}
+		lines++
+		s := tt.spans[idx]
+		lo := int(float64(s.Start.Sub(tt.start)) / float64(total) * float64(width))
+		hi := int(float64(s.End.Sub(tt.start)) / float64(total) * float64(width))
+		if hi >= width {
+			hi = width - 1
+		}
+		if hi < lo {
+			hi = lo
+		}
+		bar := make([]byte, width)
+		for i := range bar {
+			switch {
+			case i >= lo && i <= hi:
+				bar[i] = '#'
+			default:
+				bar[i] = '.'
+			}
+		}
+		label := strings.Repeat("  ", depth) + s.Name
+		if len(label) > 26 {
+			label = label[:25] + "~"
+		}
+		fmt.Fprintf(out, "  %-26s |%s| %.4fms\n", label, bar, float64(s.Duration())/1e6)
+		for _, ci := range tt.children[s.ID] {
+			walk(ci, depth+1)
+		}
+	}
+	for _, r := range tt.roots {
+		walk(r, 0)
+	}
+	// Orphans still carry timing; show them unparented at depth 0.
+	for _, o := range tt.orphans {
+		walk(o, 0)
+	}
+	if extra := len(tt.spans) - lines; extra > 0 {
+		fmt.Fprintf(out, "  ... %d more spans (raise -width/-top or use -json for everything)\n", extra)
+	}
+}
+
+// hasAttr reports whether the space-separated attrs string contains the
+// exact k=v token.
+func hasAttr(attrs, kv string) bool {
+	for _, tok := range strings.Fields(attrs) {
+		if tok == kv {
+			return true
+		}
+	}
+	return false
+}
+
+// attrStr returns the value of key in a "k=v k=v" attrs string, or "".
+func attrStr(attrs, key string) string {
+	for _, tok := range strings.Fields(attrs) {
+		if v, ok := strings.CutPrefix(tok, key+"="); ok {
+			return v
+		}
+	}
+	return ""
+}
+
+// attrInt returns the integer value of key, or def when absent/malformed.
+func attrInt(attrs, key string, def int) int {
+	v := attrStr(attrs, key)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return def
+	}
+	return n
+}

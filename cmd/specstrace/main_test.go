@@ -1,0 +1,144 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"specmatch/internal/trace"
+)
+
+// writeDump writes spans as a Chrome trace-event file and returns its path.
+func writeDump(t *testing.T, name string, spans []trace.Span) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteChrome(f, spans, uint64(len(spans)), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// tree builds a small but complete service trace: http -> shard op -> step
+// -> repair -> two rounds, each with solves carrying seller= attrs.
+func tree(t *testing.T) []trace.Span {
+	t.Helper()
+	base := time.Unix(1700000000, 0)
+	tid := trace.NewTraceID()
+	mk := func(name string, parent trace.SpanID, startMS, durMS int, attrs string) trace.Span {
+		return trace.Span{
+			Trace: tid, ID: trace.NewSpanID(), Parent: parent, Name: name,
+			Start: base.Add(time.Duration(startMS) * time.Millisecond),
+			End:   base.Add(time.Duration(startMS+durMS) * time.Millisecond),
+			Attrs: attrs,
+		}
+	}
+	http := mk("http.events", trace.NewSpanID(), 0, 20, "remote=1 status=200")
+	op := mk("server.shard_op", http.ID, 1, 18, "")
+	step := mk("online.step", op.ID, 2, 16, "")
+	repair := mk("core.repair", step.ID, 3, 14, "")
+	round1 := mk("core.round", repair.ID, 3, 8, "stage=stage_i round=1 messages=5")
+	solve10 := mk("core.solve", round1.ID, 4, 2, "seller=0 candidates=3 src=solve")
+	solve11 := mk("core.solve", round1.ID, 4, 6, "seller=1 candidates=4 src=solve")
+	round2 := mk("core.round", repair.ID, 11, 6, "stage=phase_1 round=2 messages=2")
+	solve20 := mk("core.solve", round2.ID, 12, 4, "seller=2 candidates=2 src=hit")
+	return []trace.Span{http, op, step, repair, round1, solve10, solve11, round2, solve20}
+}
+
+func TestAnalyzeTree(t *testing.T) {
+	path := writeDump(t, "dump.json", tree(t))
+	var out strings.Builder
+	if err := run([]string{"-check", path}, &out); err != nil {
+		t.Fatalf("check on a coherent tree failed: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"9 spans, 1 traces, 0 orphans",
+		"core.solve", "http.events", // per-name table rows
+		"seller 1 (6.0000)", // round 1's gating seller is the slowest solve
+		"seller 2 (4.0000)",
+		"stage_i", "phase_1",
+		"|", "#", // the Gantt
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestAnalyzeJSON(t *testing.T) {
+	path := writeDump(t, "dump.json", tree(t))
+	var out strings.Builder
+	if err := run([]string{"-json", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{`"spans": 9`, `"orphans": 0`, `"gating_seller": 1`, `"check_passed": true`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestOrphanDetection(t *testing.T) {
+	spans := tree(t)
+	// Re-parent one solve onto an id nobody recorded: specstrace must call
+	// it an orphan, and -check must fail.
+	spans[5].Parent = trace.NewSpanID()
+	path := writeDump(t, "dump.json", spans)
+	var out strings.Builder
+	err := run([]string{"-check", path}, &out)
+	if err == nil || !strings.Contains(err.Error(), "orphan") {
+		t.Fatalf("check err = %v, want orphan failure", err)
+	}
+	if !strings.Contains(out.String(), "1 orphans") {
+		t.Errorf("output did not count the orphan:\n%s", out.String())
+	}
+}
+
+// TestMultiFileMerge: a parent recorded in one process's dump resolves a
+// child recorded in another's, and duplicated spans are deduplicated.
+func TestMultiFileMerge(t *testing.T) {
+	spans := tree(t)
+	hub := writeDump(t, "hub.json", spans[:4])
+	node := writeDump(t, "node.json", spans[3:]) // spans[3] appears in both
+	var out strings.Builder
+	if err := run([]string{"-check", hub, node}, &out); err != nil {
+		t.Fatalf("merged dumps failed check: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "9 spans") {
+		t.Errorf("merge did not deduplicate:\n%s", out.String())
+	}
+	// Each half alone is full of orphans.
+	if err := run([]string{"-check", node}, &strings.Builder{}); err == nil {
+		t.Error("node dump alone must fail the orphan check")
+	}
+}
+
+func TestCheckEmptyDump(t *testing.T) {
+	path := writeDump(t, "dump.json", nil)
+	if err := run([]string{"-check", path}, &strings.Builder{}); err == nil {
+		t.Error("check must fail on an empty dump")
+	}
+	// Without -check an empty dump is fine (you may just be early).
+	if err := run([]string{path}, &strings.Builder{}); err != nil {
+		t.Errorf("plain run on empty dump: %v", err)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if err := run([]string{}, &strings.Builder{}); err == nil {
+		t.Error("no dump files should fail")
+	}
+	if err := run([]string{"/nonexistent/dump.json"}, &strings.Builder{}); err == nil {
+		t.Error("missing file should fail")
+	}
+}

@@ -3,6 +3,7 @@ package agent
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 
 	"specmatch/internal/market"
@@ -41,7 +42,12 @@ func RunConcurrent(m *market.Market, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults(m.M(), m.N())
 	sched := defaultSchedule(m.M(), m.N())
 
-	inner, err := simnet.New(cfg.Net)
+	root := cfg.Flight.Start(cfg.SpanParent, "agent.run")
+	defer root.End()
+	netCfg := cfg.Net
+	netCfg.Flight = cfg.Flight
+	netCfg.SpanParent = root.Context()
+	inner, err := simnet.New(netCfg)
 	if err != nil {
 		return nil, fmt.Errorf("agent: network: %w", err)
 	}
@@ -78,7 +84,12 @@ func RunConcurrent(m *market.Market, cfg Config) (*Result, error) {
 				b := buyers[j]
 				for _, msg := range inbox[simnet.Buyer(j)] {
 					met.onDeliver(msg)
+					h := cfg.Flight.Start(root.Context(), "agent.handle")
 					b.handle(msg)
+					if h.Active() {
+						h.Annotate("slot=" + strconv.Itoa(now) + " to=" + msg.To.String() + " type=" + PayloadName(msg.Payload))
+					}
+					h.End()
 				}
 				wasStageI := b.stage == 1
 				b.tick(now)
@@ -103,7 +114,12 @@ func RunConcurrent(m *market.Market, cfg Config) (*Result, error) {
 				s := sellers[i]
 				for _, msg := range inbox[simnet.Seller(i)] {
 					met.onDeliver(msg)
+					h := cfg.Flight.Start(root.Context(), "agent.handle")
 					s.handle(msg)
+					if h.Active() {
+						h.Annotate("slot=" + strconv.Itoa(now) + " to=" + msg.To.String() + " type=" + PayloadName(msg.Payload))
+					}
+					h.End()
 				}
 				wasStageI := s.stage == 1
 				if err := s.tick(now); err != nil {
@@ -150,6 +166,10 @@ func RunConcurrent(m *market.Market, cfg Config) (*Result, error) {
 	res.Welfare = matching.Welfare(m, res.Matching)
 	res.Net = inner.Stats()
 	met.onDone(res.Slots, res.Terminated)
+	if root.Active() {
+		root.Annotate(fmt.Sprintf("runtime=concurrent slots=%d terminated=%t matched=%d welfare=%.6g",
+			res.Slots, res.Terminated, res.Matching.MatchedCount(), res.Welfare))
+	}
 	return res, nil
 }
 

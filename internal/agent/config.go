@@ -158,6 +158,14 @@ type Config struct {
 	// "agent.transition" per Stage II entry and one "agent.done" per run.
 	// Nil disables event recording entirely.
 	Events *obs.Sink
+
+	// Flight, when non-nil, receives causal spans: agent.run as the run's
+	// root, one agent.handle per delivered protocol message, and simnet.slot
+	// per network slot (propagated into Net). Nil disables tracing.
+	Flight *trace.Flight
+
+	// SpanParent parents the run's root span; zero starts a fresh trace.
+	SpanParent trace.SpanContext
 }
 
 func (c Config) withDefaults(numSellers, numBuyers int) Config {

@@ -3,6 +3,7 @@ package agent
 import (
 	"specmatch/internal/market"
 	"specmatch/internal/simnet"
+	"specmatch/internal/trace"
 )
 
 // BuyerNode and SellerNode wrap the agent state machines for external
@@ -28,9 +29,11 @@ func (sb *sendBuffer) drain() []simnet.Message {
 
 // BuyerNode is a transport-agnostic buyer protocol endpoint.
 type BuyerNode struct {
-	b   *buyerAgent
-	buf *sendBuffer
-	met *msgMeter
+	b          *buyerAgent
+	buf        *sendBuffer
+	met        *msgMeter
+	fl         *trace.Flight
+	spanParent trace.SpanContext
 }
 
 // NewBuyerNode creates the endpoint for buyer id. The config's network
@@ -45,13 +48,29 @@ func NewBuyerNode(id int, m *market.Market, cfg Config) *BuyerNode {
 		b:   newBuyerAgent(id, m, cfg, defaultSchedule(m.M(), m.N()), met.meter(buf)),
 		buf: buf,
 		met: met,
+		fl:  cfg.Flight,
 	}
 }
 
+// SetSpanParent sets the default parent for spans recorded by Deliver — the
+// transport's current tick or frame span.
+func (n *BuyerNode) SetSpanParent(sc trace.SpanContext) { n.spanParent = sc }
+
 // Deliver feeds one inbound message to the state machine.
 func (n *BuyerNode) Deliver(msg simnet.Message) {
+	n.DeliverTraced(msg, n.spanParent)
+}
+
+// DeliverTraced is Deliver under an explicit trace parent, recording one
+// agent.handle span per message when the node carries a Flight.
+func (n *BuyerNode) DeliverTraced(msg simnet.Message, parent trace.SpanContext) {
+	h := n.fl.Start(parent, "agent.handle")
 	n.met.onDeliver(msg)
 	n.b.handle(msg)
+	if h.Active() {
+		h.Annotate("to=" + msg.To.String() + " type=" + PayloadName(msg.Payload))
+	}
+	h.End()
 }
 
 // Tick advances the node to the given slot and returns its outbound
@@ -74,9 +93,11 @@ func (n *BuyerNode) MatchedTo() int { return n.b.matchedTo }
 
 // SellerNode is a transport-agnostic seller protocol endpoint.
 type SellerNode struct {
-	s   *sellerAgent
-	buf *sendBuffer
-	met *msgMeter
+	s          *sellerAgent
+	buf        *sendBuffer
+	met        *msgMeter
+	fl         *trace.Flight
+	spanParent trace.SpanContext
 }
 
 // NewSellerNode creates the endpoint for seller id.
@@ -88,13 +109,28 @@ func NewSellerNode(id int, m *market.Market, cfg Config) *SellerNode {
 		s:   newSellerAgent(id, m, cfg, defaultSchedule(m.M(), m.N()), met.meter(buf)),
 		buf: buf,
 		met: met,
+		fl:  cfg.Flight,
 	}
 }
 
+// SetSpanParent sets the default parent for spans recorded by Deliver.
+func (n *SellerNode) SetSpanParent(sc trace.SpanContext) { n.spanParent = sc }
+
 // Deliver feeds one inbound message to the state machine.
 func (n *SellerNode) Deliver(msg simnet.Message) {
+	n.DeliverTraced(msg, n.spanParent)
+}
+
+// DeliverTraced is Deliver under an explicit trace parent, recording one
+// agent.handle span per message when the node carries a Flight.
+func (n *SellerNode) DeliverTraced(msg simnet.Message, parent trace.SpanContext) {
+	h := n.fl.Start(parent, "agent.handle")
 	n.met.onDeliver(msg)
 	n.s.handle(msg)
+	if h.Active() {
+		h.Annotate("to=" + msg.To.String() + " type=" + PayloadName(msg.Payload))
+	}
+	h.End()
 }
 
 // Tick advances the node to the given slot and returns its outbound

@@ -2,6 +2,7 @@ package agent
 
 import (
 	"fmt"
+	"strconv"
 
 	"specmatch/internal/market"
 	"specmatch/internal/matching"
@@ -63,7 +64,12 @@ func Run(m *market.Market, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults(m.M(), m.N())
 	sched := defaultSchedule(m.M(), m.N())
 
-	net, err := simnet.New(cfg.Net)
+	root := cfg.Flight.Start(cfg.SpanParent, "agent.run")
+	defer root.End()
+	netCfg := cfg.Net
+	netCfg.Flight = cfg.Flight
+	netCfg.SpanParent = root.Context()
+	net, err := simnet.New(netCfg)
 	if err != nil {
 		return nil, fmt.Errorf("agent: network: %w", err)
 	}
@@ -85,12 +91,17 @@ func Run(m *market.Market, cfg Config) (*Result, error) {
 	for slot := 1; slot <= cfg.MaxSlots; slot++ {
 		for _, msg := range net.Step() {
 			met.onDeliver(msg)
+			h := cfg.Flight.Start(root.Context(), "agent.handle")
 			switch msg.To.Kind {
 			case simnet.KindBuyer:
 				buyers[msg.To.Index].handle(msg)
 			case simnet.KindSeller:
 				sellers[msg.To.Index].handle(msg)
 			}
+			if h.Active() {
+				h.Annotate("slot=" + strconv.Itoa(net.Now()) + " to=" + msg.To.String() + " type=" + PayloadName(msg.Payload))
+			}
+			h.End()
 		}
 		for _, b := range buyers {
 			wasStageI := b.stage == 1
@@ -134,6 +145,10 @@ func Run(m *market.Market, cfg Config) (*Result, error) {
 	res.Welfare = matching.Welfare(m, res.Matching)
 	res.Net = net.Stats()
 	met.onDone(res.Slots, res.Terminated)
+	if root.Active() {
+		root.Annotate(fmt.Sprintf("runtime=sequential slots=%d terminated=%t matched=%d welfare=%.6g",
+			res.Slots, res.Terminated, res.Matching.MatchedCount(), res.Welfare))
+	}
 	return res, nil
 }
 

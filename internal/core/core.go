@@ -74,6 +74,17 @@ type Options struct {
 	// Events, when non-nil, receives one structured round summary per engine
 	// round (kind "core.round"). Nil disables event recording entirely.
 	Events *obs.Sink
+
+	// Flight, when non-nil, receives causal spans: core.run (or core.repair)
+	// as the run's root, core.round per engine round, and core.solve per
+	// seller coalition decision — the span tree that says which seller gated
+	// which round. Span names are catalogued in PROTOCOL.md. Nil disables
+	// tracing at near-zero cost and never changes behavior.
+	Flight *trace.Flight
+
+	// SpanParent parents the run's root span under an enclosing trace (an
+	// HTTP request, an online session step). Zero starts a fresh trace.
+	SpanParent trace.SpanContext
 }
 
 func (o Options) withDefaults() Options {
@@ -138,6 +149,9 @@ func (r *Result) TotalRounds() int {
 func Run(m *market.Market, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	eng := newEngine(m, opts)
+	span := opts.Flight.Start(opts.SpanParent, "core.run")
+	defer span.End()
+	eng.runCtx = span.Context()
 
 	mu, stage1, err := eng.runStageI()
 	if err != nil {
@@ -169,5 +183,8 @@ func Run(m *market.Market, opts Options) (*Result, error) {
 	res.Matched = mu.MatchedCount()
 	res.Cache = eng.cacheStats()
 	eng.publish(res)
+	if span.Active() {
+		span.Annotate(fmt.Sprintf("rounds=%d matched=%d welfare=%.6g", res.TotalRounds(), res.Matched, res.Welfare))
+	}
 	return res, nil
 }

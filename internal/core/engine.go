@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"specmatch/internal/market"
 	"specmatch/internal/mwis"
 	"specmatch/internal/obs"
+	"specmatch/internal/trace"
 )
 
 // engine holds the per-run state shared by both stages: the materialized
@@ -39,6 +41,15 @@ type engine struct {
 	solves    atomic.Int64 // MWIS solves actually executed (atomic: fan-out)
 	evictions int64        // Stage I evictions (merged in seller-ID order)
 	met       *coreMetrics // nil when observability is off
+
+	// fl and the two span contexts drive causal tracing. runCtx parents the
+	// per-round spans; roundCtx parents the per-seller core.solve spans and is
+	// written by the round loop's sequential section before the seller
+	// fan-out, so the worker goroutines read it race-free (the go statement
+	// and wg.Wait() order the accesses).
+	fl       *trace.Flight
+	runCtx   trace.SpanContext
+	roundCtx trace.SpanContext
 }
 
 // coreMetrics holds the engine's observability handles. It exists only when
@@ -112,6 +123,10 @@ func newEngine(m *market.Market, opts Options) *engine {
 	if !opts.DisableCoalitionCache {
 		e.caches = make([]coalitionCache, numSellers)
 	}
+	e.fl = opts.Flight
+	// Stand-alone entry points (RunStageI, the stage-II helpers) have no run
+	// root; parenting their rounds on SpanParent keeps them in one trace.
+	e.runCtx = opts.SpanParent
 	if opts.Metrics != nil || opts.Events.Enabled() {
 		e.met = &coreMetrics{
 			reg:    opts.Metrics,
@@ -120,6 +135,25 @@ func newEngine(m *market.Market, opts Options) *engine {
 		}
 	}
 	return e
+}
+
+// startRound opens one core.round span and points roundCtx at it so the
+// round's coalition decisions parent correctly. Must be called from the
+// sequential section of a round loop, before the seller fan-out.
+func (e *engine) startRound() trace.SpanHandle {
+	span := e.fl.Start(e.runCtx, "core.round")
+	e.roundCtx = span.Context()
+	return span
+}
+
+// endRound annotates and closes one round span. The terminating probe round
+// (no messages made) never reaches here, so its span is silently discarded —
+// un-Ended spans are never recorded.
+func (e *engine) endRound(span *trace.SpanHandle, stage string, round, messages int) {
+	if span.Active() {
+		span.Annotate("stage=" + stage + " round=" + itoa(round) + " messages=" + itoa(messages))
+	}
+	span.End()
 }
 
 // forEachSeller runs fn(i) for every seller in [0, M), fanning the calls out
@@ -164,26 +198,50 @@ func (e *engine) forEachSeller(fn func(i int)) {
 // this run (memo hit) or is pairwise interference-free (every solver
 // provably returns the whole set). Returned slices may be shared with the
 // cache and with earlier callers; coalition slices are never mutated.
+//
+// Every decision — including cache hits — records a core.solve span under the
+// current round, annotated with the seller, candidate count, and how the
+// decision was reached (src=solve|hit|independent|empty). Safe from the
+// seller fan-out: Flight is concurrency-safe and roundCtx is fixed for the
+// round.
 func (e *engine) coalition(i int, candidates []int) ([]int, error) {
+	span := e.fl.Start(e.roundCtx, "core.solve")
+	sel, src, err := e.decideCoalition(i, candidates)
+	if span.Active() {
+		span.Annotate("seller=" + itoa(i) + " candidates=" + itoa(len(candidates)) + " src=" + src)
+		if err != nil {
+			span.Annotate("err=1")
+		}
+	}
+	span.End()
+	return sel, err
+}
+
+// itoa is strconv.Itoa under a name short enough for span-attr call sites.
+func itoa(v int) string { return strconv.Itoa(v) }
+
+func (e *engine) decideCoalition(i int, candidates []int) ([]int, string, error) {
 	if e.caches == nil {
 		e.solves.Add(1)
-		return e.solvers[i].Solve(e.opts.MWIS, e.m.Graph(i), e.rows[i], candidates)
+		sel, err := e.solvers[i].Solve(e.opts.MWIS, e.m.Graph(i), e.rows[i], candidates)
+		return sel, "solve", err
 	}
 	c := &e.caches[i]
 	g := e.m.Graph(i)
 	canon, err := c.canonicalize(g, e.rows[i], candidates)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	if len(canon) == 0 {
-		return nil, nil
+		return nil, "empty", nil
 	}
 	key := string(c.key)
 	if sel, ok := c.entries[key]; ok {
 		c.hits++
-		return sel, nil
+		return sel, "hit", nil
 	}
 	var sel []int
+	src := "solve"
 	if c.isIndependent(g, canon) {
 		// Fast path: a pairwise interference-free candidate set with
 		// positive weights is its own maximum-weight independent set, and
@@ -192,20 +250,21 @@ func (e *engine) coalition(i int, candidates []int) ([]int, error) {
 		// GWMAX finds the induced subgraph already edgeless, Exact takes
 		// everything), sorted ascending — which canon already is.
 		c.independent++
+		src = "independent"
 		sel = append([]int(nil), canon...)
 	} else {
 		c.misses++
 		e.solves.Add(1)
 		sel, err = e.solvers[i].Solve(e.opts.MWIS, g, e.rows[i], canon)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 	}
 	if c.entries == nil {
 		c.entries = make(map[string][]int)
 	}
 	c.entries[key] = sel
-	return sel, nil
+	return sel, src, nil
 }
 
 // cacheStats sums the per-seller counters. Per-seller counts are invariant

@@ -29,6 +29,9 @@ func Repair(m *market.Market, mu *matching.Matching, opts Options) (Result, erro
 	}
 
 	eng := newEngine(m, opts)
+	span := opts.Flight.Start(opts.SpanParent, "core.repair")
+	defer span.End()
+	eng.runCtx = span.Context()
 	res := Result{Matching: mu}
 	res.StageI.Welfare = matching.Welfare(m, mu)
 
@@ -57,5 +60,8 @@ func Repair(m *market.Market, mu *matching.Matching, opts Options) (Result, erro
 	res.Matched = mu.MatchedCount()
 	res.Cache = eng.cacheStats()
 	eng.publish(&res)
+	if span.Active() {
+		span.Annotate(fmt.Sprintf("rounds=%d matched=%d welfare=%.6g", res.TotalRounds(), res.Matched, res.Welfare))
+	}
 	return res, nil
 }

@@ -53,6 +53,7 @@ func (e *engine) runStageI() (*matching.Matching, StageStats, error) {
 			return nil, stats, fmt.Errorf("stage I exceeded its %d-proposal round bound", maxRounds)
 		}
 		roundStart := e.roundTimer()
+		roundSpan := e.startRound()
 
 		// Proposal step: one proposal per unmatched buyer with options left.
 		proposalsMade := 0
@@ -126,6 +127,7 @@ func (e *engine) runStageI() (*matching.Matching, StageStats, error) {
 			waiting[i] = selected
 		}
 		e.observeRound("stage_i", round, proposalsMade, roundStart)
+		e.endRound(&roundSpan, "stage_i", round, proposalsMade)
 	}
 
 	stats.Welfare = matching.Welfare(m, mu)

@@ -61,6 +61,7 @@ func (e *engine) runTransfer(mu *matching.Matching) ([][]int, StageStats, error)
 			return nil, stats, fmt.Errorf("phase 1 exceeded its O(M)=%d round bound", maxRounds)
 		}
 		roundStart := e.roundTimer()
+		roundSpan := e.startRound()
 
 		// Application step: one application per buyer with a strictly
 		// better seller left to try.
@@ -144,6 +145,7 @@ func (e *engine) runTransfer(mu *matching.Matching) ([][]int, StageStats, error)
 			}
 		}
 		e.observeRound("phase_1", round, applicationsMade, roundStart)
+		e.endRound(&roundSpan, "phase_1", round, applicationsMade)
 	}
 
 	stats.Welfare = matching.Welfare(m, mu)
@@ -198,6 +200,7 @@ func (e *engine) runInvitation(mu *matching.Matching, inviteLists [][]int) (Stag
 			return stats, fmt.Errorf("phase 2 exceeded its %d round bound", maxRounds)
 		}
 		roundStart := e.roundTimer()
+		roundSpan := e.startRound()
 
 		// Invitation step: each seller invites her best remaining candidate.
 		inviters := make(map[int][]int) // buyer → sellers inviting this round
@@ -260,6 +263,7 @@ func (e *engine) runInvitation(mu *matching.Matching, inviteLists [][]int) (Stag
 			pending[best] = kept
 		}
 		e.observeRound("phase_2", round, invitesMade, roundStart)
+		e.endRound(&roundSpan, "phase_2", round, invitesMade)
 	}
 
 	stats.Welfare = matching.Welfare(m, mu)

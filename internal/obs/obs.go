@@ -98,6 +98,18 @@ func TimeBuckets() []float64 {
 	return []float64{1e-6, 4e-6, 16e-6, 64e-6, 256e-6, 1e-3, 4e-3, 16e-3, 64e-3, 256e-3, 1, 4, 16}
 }
 
+// LatencyBuckets is a finer layout for request latencies: 50µs … 20s in
+// ×1.25 steps (58 buckets), which bounds Quantile's interpolation error to
+// ~12% — tight enough for load-test percentiles without tracking every
+// sample.
+func LatencyBuckets() []float64 {
+	out := make([]float64, 0, 64)
+	for v := 50e-6; v < 20; v *= 1.25 {
+		out = append(out, v)
+	}
+	return out
+}
+
 // Observe records one value. No-op on nil.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
@@ -129,6 +141,67 @@ func (h *Histogram) Sum() float64 {
 		return 0
 	}
 	return math.Float64frombits(h.sum.Load())
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts:
+// the crossing bucket is found by cumulative rank and the value linearly
+// interpolated within its bounds (from zero for the first bucket). The
+// overflow bucket has no upper bound, so it reports the largest finite
+// bound. Zero on nil or empty histograms. The shared-histogram +
+// Quantile pair replaces keeping (and sorting) every raw sample, which is
+// what the load generator does across its workers.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	counts := make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return quantile(q, h.bounds, counts)
+}
+
+// quantile is the shared estimator over (bounds, counts-with-overflow).
+func quantile(q float64, bounds []float64, counts []int64) float64 {
+	if len(bounds) == 0 {
+		return 0
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i >= len(bounds) { // overflow bucket: no finite upper bound
+				return bounds[len(bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (bounds[i]-lo)*frac
+		}
+		cum += c
+	}
+	return bounds[len(bounds)-1]
 }
 
 // Registry is a named metric namespace. The zero value is not usable;
@@ -251,6 +324,21 @@ type HistogramSnapshot struct {
 	Count   int64    `json:"count"`
 	Sum     float64  `json:"sum"`
 	Buckets []Bucket `json:"buckets"`
+}
+
+// Quantile estimates the q-quantile from the snapshot's buckets, with the
+// same interpolation as Histogram.Quantile — so a /debug/metrics client can
+// compute percentiles from the wire form.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	bounds := make([]float64, 0, len(s.Buckets))
+	counts := make([]int64, 0, len(s.Buckets))
+	for _, b := range s.Buckets {
+		if !math.IsInf(b.UpperBound, 1) {
+			bounds = append(bounds, b.UpperBound)
+		}
+		counts = append(counts, b.Count)
+	}
+	return quantile(q, bounds, counts)
 }
 
 // Snapshot is a point-in-time copy of a registry, ready for JSON encoding

@@ -190,3 +190,76 @@ func TestHandler(t *testing.T) {
 		t.Errorf("nil-registry handler status = %d", rec.Code)
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2, 4, 8})
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile must be 0")
+	}
+	// 100 observations uniform in (0,1]: every quantile lands in the first
+	// bucket and interpolates linearly from 0 to 1.
+	for k := 1; k <= 100; k++ {
+		h.Observe(float64(k) / 100)
+	}
+	if got := h.Quantile(0.5); got < 0.4 || got > 0.6 {
+		t.Errorf("p50 = %v, want ~0.5", got)
+	}
+	if got := h.Quantile(1); got != 1 {
+		t.Errorf("p100 = %v, want 1 (first bucket upper bound)", got)
+	}
+	// Push everything past the last bound: the overflow bucket has no upper
+	// bound, so the estimator reports the largest finite one.
+	h2 := r.Histogram("lat2", []float64{1, 2})
+	h2.Observe(50)
+	if got := h2.Quantile(0.99); got != 2 {
+		t.Errorf("overflow quantile = %v, want 2", got)
+	}
+	// Clamping.
+	if got := h2.Quantile(-3); got != h2.Quantile(0) {
+		t.Errorf("q<0 not clamped: %v", got)
+	}
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Error("nil histogram quantile must be 0")
+	}
+}
+
+func TestSnapshotQuantileMatchesHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", LatencyBuckets())
+	for k := 1; k <= 1000; k++ {
+		h.Observe(float64(k) * 1e-4) // 0.1ms .. 100ms
+	}
+	snap := r.Snapshot().Histograms["lat"]
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if hq, sq := h.Quantile(q), snap.Quantile(q); hq != sq {
+			t.Errorf("q=%v: histogram %v != snapshot %v", q, hq, sq)
+		}
+	}
+	// And the wire form round-trips: marshal the snapshot, decode it, and
+	// the quantiles still agree (the /debug/metrics client path).
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if hq, bq := h.Quantile(0.9), back.Histograms["lat"].Quantile(0.9); hq != bq {
+		t.Errorf("decoded p90 = %v, want %v", bq, hq)
+	}
+}
+
+func TestLatencyBucketsAscending(t *testing.T) {
+	b := LatencyBuckets()
+	if len(b) < 40 {
+		t.Fatalf("LatencyBuckets too coarse: %d buckets", len(b))
+	}
+	for k := 1; k < len(b); k++ {
+		if b[k] <= b[k-1] {
+			t.Fatalf("bucket %d (%v) not above bucket %d (%v)", k, b[k], k-1, b[k-1])
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"specmatch/internal/core"
 	"specmatch/internal/market"
 	"specmatch/internal/matching"
+	"specmatch/internal/trace"
 )
 
 // Event is one batch of market churn, applied atomically before a repair
@@ -128,6 +129,10 @@ func (s *Session) Market() *market.Market { return s.base }
 // Steps returns the number of successfully applied churn events.
 func (s *Session) Steps() int { return s.steps }
 
+// Recorder returns the protocol-event recorder the session's engine runs
+// with; nil when event recording is off.
+func (s *Session) Recorder() *trace.Recorder { return s.opts.Recorder }
+
 // Matching returns the session's current matching. The caller must not
 // mutate it; use Step and Rebuild.
 func (s *Session) Matching() *matching.Matching { return s.mu }
@@ -183,6 +188,16 @@ func (s *Session) effectiveMarket() *market.Market {
 // event is validated in full before anything is applied, so a failed Step
 // leaves the session exactly as it was.
 func (s *Session) Step(ev Event) (StepStats, error) {
+	return s.StepTraced(ev, trace.SpanContext{})
+}
+
+// StepTraced is Step with an explicit trace parent: when the session's
+// engine options carry a Flight, the step records an online.step span under
+// parent (the serving layer passes its shard-op span) and the repair run's
+// core spans nest beneath it.
+func (s *Session) StepTraced(ev Event, parent trace.SpanContext) (StepStats, error) {
+	span := s.opts.Flight.Start(parent, "online.step")
+	defer span.End()
 	var st StepStats
 	if err := ev.Validate(len(s.offline), len(s.active)); err != nil {
 		return st, err
@@ -223,7 +238,9 @@ func (s *Session) Step(ev Event) (StepStats, error) {
 	}
 
 	em := s.effectiveMarket()
-	res, err := core.Repair(em, s.mu, s.opts)
+	opts := s.opts
+	opts.SpanParent = span.Context()
+	res, err := core.Repair(em, s.mu, opts)
 	if err != nil {
 		return st, fmt.Errorf("online: repair: %w", err)
 	}
@@ -231,6 +248,10 @@ func (s *Session) Step(ev Event) (StepStats, error) {
 	st.Welfare = res.Welfare
 	st.Matched = res.Matched
 	st.RepairMoves = res.Phase1.Rounds + res.Phase2.Rounds
+	if span.Active() {
+		span.Annotate(fmt.Sprintf("step=%d arrived=%d departed=%d displaced=%d matched=%d welfare=%.6g",
+			s.steps, st.Arrived, st.Departed, st.Displaced, st.Matched, st.Welfare))
+	}
 	return st, nil
 }
 
@@ -243,19 +264,35 @@ func (s *Session) Step(ev Event) (StepStats, error) {
 // given instant, and a scheduled Rebuild(true) must never make a live
 // session worse.
 func (s *Session) Rebuild(adopt bool) (float64, error) {
+	return s.RebuildTraced(adopt, trace.SpanContext{})
+}
+
+// RebuildTraced is Rebuild with an explicit trace parent, mirroring
+// StepTraced: the fresh run's core spans nest under an online.rebuild span.
+func (s *Session) RebuildTraced(adopt bool, parent trace.SpanContext) (float64, error) {
+	span := s.opts.Flight.Start(parent, "online.rebuild")
+	defer span.End()
 	em := s.effectiveMarket()
-	res, err := core.Run(em, s.opts)
+	opts := s.opts
+	opts.SpanParent = span.Context()
+	res, err := core.Run(em, opts)
 	if err != nil {
 		return 0, fmt.Errorf("online: rebuild: %w", err)
 	}
-	if !adopt {
-		return res.Welfare, nil
+	welfare := res.Welfare
+	adopted := adopt
+	switch {
+	case !adopt:
+	case matching.Welfare(em, s.mu) > res.Welfare:
+		welfare = matching.Welfare(em, s.mu)
+		adopted = false
+	default:
+		s.mu = res.Matching
 	}
-	if cur := matching.Welfare(em, s.mu); res.Welfare < cur {
-		return cur, nil
+	if span.Active() {
+		span.Annotate(fmt.Sprintf("adopt=%t adopted=%t welfare=%.6g", adopt, adopted, welfare))
 	}
-	s.mu = res.Matching
-	return res.Welfare, nil
+	return welfare, nil
 }
 
 // Snapshot is a JSON-ready view of a session's current state — the payload

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"specmatch/internal/obs"
+	"specmatch/internal/trace"
 )
 
 // HTTPServer runs an http.Server on its own listener with serve-error
@@ -71,13 +72,16 @@ func (hs *HTTPServer) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// DebugMux builds the standard debug mux — /debug/metrics over the registry
-// plus the net/http/pprof handlers — on a private mux so nothing leaks onto
-// http.DefaultServeMux. Shared by specnode's -debug-addr endpoint; specserved
-// mounts the same handlers on its API mux.
-func DebugMux(reg *obs.Registry) *http.ServeMux {
+// DebugMux builds the standard debug mux — /debug/metrics over the registry,
+// /debug/trace over the flight recorder, plus the net/http/pprof handlers —
+// on a private mux so nothing leaks onto http.DefaultServeMux. Shared by
+// specnode's -debug-addr endpoint; specserved mounts the same handlers on
+// its API mux. Both reg and fl may be nil (the endpoints serve empty
+// documents).
+func DebugMux(reg *obs.Registry, fl *trace.Flight) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/metrics", obs.Handler(reg))
+	mux.Handle("/debug/trace", trace.Handler(fl))
 	registerPprof(mux)
 	return mux
 }

@@ -6,11 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"specmatch/internal/market"
 	"specmatch/internal/obs"
 	"specmatch/internal/online"
+	"specmatch/internal/trace"
 )
 
 // maxBodyBytes bounds request bodies; a market spec for a few thousand
@@ -74,6 +76,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/sessions/{id}/rebuild", s.route("rebuild", s.handleRebuild))
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.Handle("GET /debug/metrics", obs.Handler(cfg.Metrics))
+	mux.Handle("GET /debug/trace", trace.Handler(cfg.Flight))
 	registerPprof(mux)
 	s.mux = mux
 	return s
@@ -92,8 +95,13 @@ func (s *Server) Store() *Store { return s.store }
 func (s *Server) Drain() { s.store.Close() }
 
 // route wraps a handler with per-route instrumentation and the per-request
-// deadline: a request counter, a latency histogram, and a context that
-// expires after Config.RequestTimeout.
+// deadline: a request counter, a latency histogram, a context that expires
+// after Config.RequestTimeout, and — when the server carries a Flight — an
+// http.<name> span. A client-supplied traceparent header parents the span
+// (annotated remote=1, since that parent lives in the caller's process);
+// either way the trace id is echoed as X-Request-Id so a client can quote
+// the id when reporting a failure and the operator can find the exact spans
+// in a flight dump.
 func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
 	reqs := s.reg.Counter("server.requests." + name)
 	lat := s.reg.Histogram("server.request_seconds."+name, obs.TimeBuckets())
@@ -102,10 +110,41 @@ func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
 		start := time.Now()
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
+		parent, remote := trace.ParseTraceparent(r.Header.Get("traceparent"))
+		span := s.cfg.Flight.Start(parent, "http."+name)
+		if span.Active() {
+			if remote {
+				span.Annotate("remote=1")
+			}
+			ctx = trace.ContextWith(ctx, span.Context())
+			w.Header().Set("X-Request-Id", span.Context().Trace.String())
+		} else if remote {
+			w.Header().Set("X-Request-Id", parent.Trace.String())
+		}
 		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
-		h(w, r.WithContext(ctx))
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r.WithContext(ctx))
 		lat.Observe(time.Since(start).Seconds())
+		if span.Active() {
+			span.Annotate("status=" + strconv.Itoa(sw.status))
+		}
+		span.End()
+		if sw.status >= 500 && s.cfg.OnServerError != nil {
+			s.cfg.OnServerError()
+		}
 	}
+}
+
+// statusWriter captures the response status for the route span and the 5xx
+// hook.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
 }
 
 // errBadRequest marks client errors (malformed JSON, invalid specs or

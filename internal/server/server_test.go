@@ -15,6 +15,7 @@ import (
 	"specmatch/internal/market"
 	"specmatch/internal/obs"
 	"specmatch/internal/online"
+	"specmatch/internal/trace"
 )
 
 func testMarket(t *testing.T, sellers, buyers int, seed int64) *market.Market {
@@ -199,7 +200,7 @@ func blockShard(t *testing.T, st *Store) (release func()) {
 	gate := make(chan struct{})
 	started := make(chan struct{})
 	go func() {
-		_, _ = st.do(nil, st.shards[0], func() (any, error) {
+		_, _ = st.do(nil, st.shards[0], func(trace.SpanContext) (any, error) {
 			close(started)
 			<-gate
 			return nil, nil
@@ -222,7 +223,7 @@ func TestAdmissionControl(t *testing.T) {
 	// Fill the one queue slot.
 	filled := make(chan struct{})
 	go func() {
-		_, _ = st.do(nil, st.shards[0], func() (any, error) { return nil, nil })
+		_, _ = st.do(nil, st.shards[0], func(trace.SpanContext) (any, error) { return nil, nil })
 		close(filled)
 	}()
 	// Wait for the filler to be admitted (queue gauge = 1).

@@ -18,6 +18,7 @@ import (
 	"hash/fnv"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,6 +27,7 @@ import (
 	"specmatch/internal/market"
 	"specmatch/internal/obs"
 	"specmatch/internal/online"
+	"specmatch/internal/trace"
 )
 
 // Store errors, mapped onto HTTP status codes by the handler layer.
@@ -63,6 +65,28 @@ type Config struct {
 	// Metrics receives the server.* instrumentation (names in PROTOCOL.md).
 	// Nil disables it.
 	Metrics *obs.Registry
+
+	// Flight, when non-nil, records causal spans across the serving path:
+	// http.<route> per request (parented on the client's traceparent header),
+	// server.shard_op per executed store operation, and — via the sessions'
+	// engine options — online.step / core.* beneath them. Nil disables
+	// tracing.
+	Flight *trace.Flight
+
+	// OnServerError, when non-nil, is called (from the handler goroutine)
+	// after any request completes with a 5xx status — specserved hooks a
+	// rate-limited flight-recorder dump here so the spans around a failure
+	// are preserved even if the process never receives a signal.
+	OnServerError func()
+
+	// SessionEvents bounds each hosted session's protocol-event recorder:
+	// every Create gives the session its OWN bounded trace.Recorder keeping
+	// at most this many events (overflow is counted, not retained), so a
+	// long-lived session cannot grow without bound and shards never share
+	// recorder state. Zero means 4096; negative disables per-session
+	// recording entirely. A Recorder set on the Engine template is ignored —
+	// sharing one recorder across shards would race.
+	SessionEvents int
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +102,9 @@ func (c Config) withDefaults() Config {
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 5 * time.Second
 	}
+	if c.SessionEvents == 0 {
+		c.SessionEvents = 4096
+	}
 	return c
 }
 
@@ -87,11 +114,17 @@ type opResult struct {
 }
 
 // op is one unit of shard work. fn runs on the shard's goroutine, so it may
-// touch the shard's session map without locking.
+// touch the shard's session map without locking; it receives the op's
+// server.shard_op span context to parent any session-level spans.
 type op struct {
 	ctx  context.Context
-	fn   func() (any, error)
+	fn   func(sc trace.SpanContext) (any, error)
 	done chan opResult // buffered(1): the shard never blocks on delivery
+
+	// sc and enq exist only when the store traces: the submitting request's
+	// span context and the enqueue time (for the queue_wait_us annotation).
+	sc  trace.SpanContext
+	enq time.Time
 }
 
 type shard struct {
@@ -187,7 +220,15 @@ func (st *Store) runShard(sh *shard) {
 			o.done <- opResult{err: o.ctx.Err()}
 			continue
 		}
-		v, err := o.fn()
+		span := st.cfg.Flight.Start(o.sc, "server.shard_op")
+		if span.Active() && !o.enq.IsZero() {
+			span.Annotate("queue_wait_us=" + strconv.FormatInt(time.Since(o.enq).Microseconds(), 10))
+		}
+		v, err := o.fn(span.Context())
+		if span.Active() && err != nil {
+			span.Annotate("err=1")
+		}
+		span.End()
 		o.done <- opResult{v: v, err: err}
 	}
 }
@@ -203,8 +244,14 @@ func (st *Store) shardOf(id string) *shard {
 // full queue or a draining store rejects immediately; a context that
 // expires while the operation is queued abandons it (the shard discards it
 // unapplied when it surfaces).
-func (st *Store) do(ctx context.Context, sh *shard, fn func() (any, error)) (any, error) {
+func (st *Store) do(ctx context.Context, sh *shard, fn func(sc trace.SpanContext) (any, error)) (any, error) {
 	o := op{ctx: ctx, fn: fn, done: make(chan opResult, 1)}
+	if st.cfg.Flight.Enabled() {
+		if ctx != nil {
+			o.sc = trace.FromContext(ctx)
+		}
+		o.enq = time.Now()
+	}
 	st.closing.RLock()
 	if st.draining {
 		st.closing.RUnlock()
@@ -246,8 +293,16 @@ func (st *Store) Create(ctx context.Context, m *market.Market) (string, online.S
 	}
 	id := fmt.Sprintf("m%08x", st.nextID.Add(1))
 	sh := st.shardOf(id)
-	v, err := st.do(ctx, sh, func() (any, error) {
-		s, err := online.NewSession(m, st.cfg.Engine)
+	v, err := st.do(ctx, sh, func(trace.SpanContext) (any, error) {
+		// Each session owns its engine options: its own bounded recorder
+		// (never shared across shards) and the store's flight recorder.
+		eng := st.cfg.Engine
+		eng.Recorder = nil
+		if st.cfg.SessionEvents > 0 {
+			eng.Recorder = trace.NewBoundedRecorder(st.cfg.SessionEvents)
+		}
+		eng.Flight = st.cfg.Flight
+		s, err := online.NewSession(m, eng)
 		if err != nil {
 			return nil, err
 		}
@@ -269,12 +324,12 @@ func (st *Store) Create(ctx context.Context, m *market.Market) (string, online.S
 // session's market.
 func (st *Store) Step(ctx context.Context, id string, ev online.Event) (online.StepStats, error) {
 	sh := st.shardOf(id)
-	v, err := st.do(ctx, sh, func() (any, error) {
+	v, err := st.do(ctx, sh, func(sc trace.SpanContext) (any, error) {
 		s, ok := sh.sessions[id]
 		if !ok {
 			return nil, ErrNotFound
 		}
-		stats, err := s.Step(ev)
+		stats, err := s.StepTraced(ev, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -297,13 +352,13 @@ func (st *Store) Step(ctx context.Context, id string, ev online.Event) (online.S
 // reports whether the session state changed.
 func (st *Store) Rebuild(ctx context.Context, id string, adopt bool) (welfare float64, adopted bool, err error) {
 	sh := st.shardOf(id)
-	v, err := st.do(ctx, sh, func() (any, error) {
+	v, err := st.do(ctx, sh, func(sc trace.SpanContext) (any, error) {
 		s, ok := sh.sessions[id]
 		if !ok {
 			return nil, ErrNotFound
 		}
 		before := s.Welfare()
-		w, err := s.Rebuild(adopt)
+		w, err := s.RebuildTraced(adopt, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -324,7 +379,7 @@ func (st *Store) Rebuild(ctx context.Context, id string, adopt bool) (welfare fl
 // Get snapshots a session's current state.
 func (st *Store) Get(ctx context.Context, id string) (online.Snapshot, error) {
 	sh := st.shardOf(id)
-	v, err := st.do(ctx, sh, func() (any, error) {
+	v, err := st.do(ctx, sh, func(trace.SpanContext) (any, error) {
 		s, ok := sh.sessions[id]
 		if !ok {
 			return nil, ErrNotFound
@@ -340,7 +395,7 @@ func (st *Store) Get(ctx context.Context, id string) (online.Snapshot, error) {
 // Delete removes a session.
 func (st *Store) Delete(ctx context.Context, id string) error {
 	sh := st.shardOf(id)
-	_, err := st.do(ctx, sh, func() (any, error) {
+	_, err := st.do(ctx, sh, func(trace.SpanContext) (any, error) {
 		if _, ok := sh.sessions[id]; !ok {
 			return nil, ErrNotFound
 		}
@@ -358,7 +413,7 @@ func (st *Store) Delete(ctx context.Context, id string) error {
 func (st *Store) List(ctx context.Context) ([]string, error) {
 	var ids []string
 	for _, sh := range st.shards {
-		v, err := st.do(ctx, sh, func() (any, error) {
+		v, err := st.do(ctx, sh, func(trace.SpanContext) (any, error) {
 			out := make([]string, 0, len(sh.sessions))
 			for id := range sh.sessions {
 				out = append(out, id)

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"specmatch/internal/obs"
+	"specmatch/internal/trace"
 	"specmatch/internal/xrand"
 )
 
@@ -104,6 +105,14 @@ type Config struct {
 	// sharing the registry; the gauge reflects the most recent network.
 	// Nil disables instrumentation and never changes delivery behavior.
 	Metrics *obs.Registry
+
+	// Flight, when non-nil, records one simnet.slot span per non-empty slot,
+	// parented under SpanParent. Nil disables tracing and never changes
+	// delivery behavior.
+	Flight *trace.Flight
+
+	// SpanParent parents the per-slot spans (typically the agent.run root).
+	SpanParent trace.SpanContext
 }
 
 // Stats counts network activity.
@@ -227,6 +236,10 @@ func (n *Network) Step() []Message {
 	n.now++
 	due := n.pending[n.now]
 	delete(n.pending, n.now)
+	var span trace.SpanHandle
+	if len(due) > 0 {
+		span = n.cfg.Flight.Start(n.cfg.SpanParent, "simnet.slot")
+	}
 	sort.Slice(due, func(a, b int) bool {
 		if due[a].To != due[b].To {
 			return due[a].To.less(due[b].To)
@@ -241,5 +254,14 @@ func (n *Network) Step() []Message {
 		n.met.delivered.Add(int64(len(due)))
 		n.met.inFlight.Add(-int64(len(due)))
 	}
+	if span.Active() {
+		span.Annotate(fmt.Sprintf("slot=%d delivered=%d", n.now, len(due)))
+	}
+	span.End()
 	return due
 }
+
+// SetSpanParent re-parents subsequent simnet.slot spans, so a caller that
+// opens its run root only after constructing the network can still nest the
+// slots beneath it.
+func (n *Network) SetSpanParent(sc trace.SpanContext) { n.cfg.SpanParent = sc }

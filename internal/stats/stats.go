@@ -105,6 +105,29 @@ func Mean(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
+// Quantile returns the q-quantile (q in [0,1]) of an ascending-sorted
+// sample, linearly interpolated between order statistics — the exact-sample
+// counterpart to obs.Histogram.Quantile's bucket estimate. Returns 0 for
+// empty input; q is clamped to [0,1].
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo] + (sorted[lo+1]-sorted[lo])*frac
+}
+
 // Variance returns the unbiased sample variance, or 0 for fewer than two
 // observations.
 func Variance(xs []float64) float64 {

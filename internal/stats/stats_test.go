@@ -225,3 +225,23 @@ func TestJainIndexBounds(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestQuantile(t *testing.T) {
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty input must give 0")
+	}
+	one := []float64{7}
+	if Quantile(one, 0) != 7 || Quantile(one, 1) != 7 {
+		t.Error("single sample must be every quantile")
+	}
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.125, 1.5}, // interpolated
+		{-1, 1}, {2, 5}, // clamped
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}

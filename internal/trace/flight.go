@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Flight is the flight recorder: a bounded ring buffer of completed spans,
+// cheap enough to leave always on in a serving process. Slot indices are
+// claimed with one atomic add (lock-free allocation, so concurrent
+// recorders never contend on a shared lock), and each slot then copies
+// under its own mutex so a wrapped-around writer and a snapshot reader
+// never tear a span. When the ring is full the oldest spans are overwritten
+// — a crash dump always holds the most recent window, which is the one that
+// explains the crash.
+//
+// A nil *Flight is valid and discards everything; every method and the
+// Start handle are nil-safe, so instrumented code never branches on
+// "tracing on?".
+type Flight struct {
+	slots []flightSlot
+	next  atomic.Uint64 // total spans ever recorded; slot = (next-1) % len
+}
+
+type flightSlot struct {
+	mu   sync.Mutex
+	span Span
+	set  bool
+}
+
+// NewFlight returns a recorder holding the most recent capacity spans.
+// Capacity below 16 is raised to 16.
+func NewFlight(capacity int) *Flight {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Flight{slots: make([]flightSlot, capacity)}
+}
+
+// Enabled reports whether spans are being kept.
+func (f *Flight) Enabled() bool { return f != nil }
+
+// Cap returns the ring capacity; zero on nil.
+func (f *Flight) Cap() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.slots)
+}
+
+// Record stores one completed span. No-op on nil.
+func (f *Flight) Record(s Span) {
+	if f == nil {
+		return
+	}
+	slot := &f.slots[(f.next.Add(1)-1)%uint64(len(f.slots))]
+	slot.mu.Lock()
+	slot.span = s
+	slot.set = true
+	slot.mu.Unlock()
+}
+
+// Recorded returns the total number of spans ever recorded (including
+// overwritten ones); zero on nil.
+func (f *Flight) Recorded() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.next.Load()
+}
+
+// Overwritten returns how many recorded spans have been pushed out of the
+// ring; zero on nil.
+func (f *Flight) Overwritten() uint64 {
+	if f == nil {
+		return 0
+	}
+	if n := f.next.Load(); n > uint64(len(f.slots)) {
+		return n - uint64(len(f.slots))
+	}
+	return 0
+}
+
+// Snapshot copies out the retained spans, ordered by start time (ties by
+// span id, for a deterministic dump). Safe concurrently with Record; spans
+// recorded while the snapshot is in progress may or may not appear.
+func (f *Flight) Snapshot() []Span {
+	if f == nil {
+		return nil
+	}
+	out := make([]Span, 0, len(f.slots))
+	for i := range f.slots {
+		slot := &f.slots[i]
+		slot.mu.Lock()
+		if slot.set {
+			out = append(out, slot.span)
+		}
+		slot.mu.Unlock()
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if !out[a].Start.Equal(out[b].Start) {
+			return out[a].Start.Before(out[b].Start)
+		}
+		return out[a].ID.String() < out[b].ID.String()
+	})
+	return out
+}
+
+// SpanHandle is a started span. End completes and records it; a handle from
+// a nil Flight is inert, so call sites need no nil checks. Handles are
+// values; do not share one across goroutines.
+type SpanHandle struct {
+	fl   *Flight
+	span Span
+}
+
+// Start opens a span under parent. A zero parent starts a new trace. On a
+// nil Flight it returns an inert handle whose Context is zero — children
+// started under it will themselves be roots if tracing is on elsewhere.
+func (f *Flight) Start(parent SpanContext, name string) SpanHandle {
+	if f == nil {
+		return SpanHandle{}
+	}
+	h := SpanHandle{fl: f}
+	h.span.Name = name
+	if parent.IsZero() {
+		h.span.Trace = NewTraceID()
+	} else {
+		h.span.Trace = parent.Trace
+		h.span.Parent = parent.Span
+	}
+	h.span.ID = NewSpanID()
+	h.span.Start = time.Now()
+	return h
+}
+
+// Active reports whether the handle belongs to a live recorder.
+func (h *SpanHandle) Active() bool { return h.fl != nil }
+
+// Context returns the reference children should be parented under; zero on
+// an inert handle.
+func (h *SpanHandle) Context() SpanContext {
+	if h.fl == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: h.span.Trace, Span: h.span.ID}
+}
+
+// Annotate sets (or appends to) the span's attribute string. Build the
+// string only when Active reports true — the point of the inert handle is
+// that the disabled path does no formatting work.
+func (h *SpanHandle) Annotate(attrs string) {
+	if h.fl == nil {
+		return
+	}
+	if h.span.Attrs == "" {
+		h.span.Attrs = attrs
+	} else {
+		h.span.Attrs += " " + attrs
+	}
+}
+
+// End completes the span and records it. No-op on an inert handle.
+func (h *SpanHandle) End() {
+	if h.fl == nil {
+		return
+	}
+	h.span.End = time.Now()
+	h.fl.Record(h.span)
+	h.fl = nil // a second End must not record twice
+}

@@ -1,0 +1,28 @@
+package trace
+
+import (
+	"net/http"
+	"strconv"
+)
+
+// Handler serves the flight recorder's retained spans as a Chrome
+// trace-event JSON dump — the /debug/trace endpoint. ?n=K limits the reply
+// to the K most recent spans (by start time). A nil Flight serves an empty
+// dump, matching the nil-registry idiom of /debug/metrics.
+func Handler(f *Flight) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		spans := f.Snapshot()
+		if s := r.URL.Query().Get("n"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 0 {
+				http.Error(w, "trace: ?n= must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			if n < len(spans) {
+				spans = spans[len(spans)-n:]
+			}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = WriteChrome(w, spans, f.Recorded(), f.Overwritten())
+	})
+}

@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the causal-span layer on top of the flat protocol recorder:
+// every unit of work — an engine round, a per-seller MWIS solve, an agent
+// message handle, a wire frame send/recv, an HTTP request, a session shard
+// op — opens a Span identified by (trace, span, parent) ids, so a dump can
+// be reassembled into the tree of what caused what. The span-name catalog
+// lives in PROTOCOL.md ("Span names").
+
+// TraceID identifies one causal tree end to end (a request, a run). The
+// zero value means "no trace".
+type TraceID [16]byte
+
+// SpanID identifies one span within a trace. The zero value means "no span"
+// (a root span has a zero parent).
+type SpanID [8]byte
+
+// IsZero reports whether the id is unset.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the id is unset.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String returns the id as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// String returns the id as 16 lowercase hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// ParseTraceID parses 32 hex digits.
+func ParseTraceID(s string) (TraceID, error) {
+	var t TraceID
+	if len(s) != 32 {
+		return t, fmt.Errorf("trace: trace id %q is not 32 hex digits", s)
+	}
+	if _, err := hex.Decode(t[:], []byte(s)); err != nil {
+		return t, fmt.Errorf("trace: trace id %q: %w", s, err)
+	}
+	return t, nil
+}
+
+// ParseSpanID parses 16 hex digits.
+func ParseSpanID(s string) (SpanID, error) {
+	var id SpanID
+	if len(s) != 16 {
+		return id, fmt.Errorf("trace: span id %q is not 16 hex digits", s)
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return id, fmt.Errorf("trace: span id %q: %w", s, err)
+	}
+	return id, nil
+}
+
+// Id generation: a process-random base mixed with an atomic counter through
+// the splitmix64 finalizer. Lock-free, unique within and (whp) across
+// processes, and deliberately not derived from any protocol seed — ids name
+// work, they never influence it.
+var (
+	idBase uint64
+	idCtr  atomic.Uint64
+)
+
+func init() {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		idBase = binary.LittleEndian.Uint64(b[:])
+	} else {
+		idBase = uint64(time.Now().UnixNano())
+	}
+}
+
+func nextID() uint64 {
+	x := idBase + idCtr.Add(1)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 { // zero is reserved for "unset"
+		x = 1
+	}
+	return x
+}
+
+// NewTraceID returns a fresh non-zero trace id.
+func NewTraceID() TraceID {
+	var t TraceID
+	binary.BigEndian.PutUint64(t[:8], nextID())
+	binary.BigEndian.PutUint64(t[8:], nextID())
+	return t
+}
+
+// NewSpanID returns a fresh non-zero span id.
+func NewSpanID() SpanID {
+	var s SpanID
+	binary.BigEndian.PutUint64(s[:], nextID())
+	return s
+}
+
+// SpanContext is the propagated reference to a live span: enough to parent
+// children under it, locally or across a process boundary (wire trace field,
+// HTTP traceparent header). The zero value means "no parent": starting a
+// span under it begins a new trace.
+type SpanContext struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// IsZero reports whether the context carries no trace.
+func (sc SpanContext) IsZero() bool { return sc.Trace.IsZero() }
+
+// Span is one completed unit of work.
+type Span struct {
+	Trace  TraceID
+	ID     SpanID
+	Parent SpanID // zero for trace roots
+	Name   string
+	Start  time.Time
+	End    time.Time
+	// Attrs is a compact "k=v k=v" annotation string. A flat string keeps
+	// ring-buffer slots cheap to copy; specstrace parses it back when it
+	// needs a value (e.g. the gating seller).
+	Attrs string
+}
+
+// Duration returns End-Start.
+func (s Span) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// Context returns the reference under which children of this span start.
+func (s Span) Context() SpanContext { return SpanContext{Trace: s.Trace, Span: s.ID} }
+
+// FormatTraceparent renders sc in the W3C trace-context form
+// "00-<32 hex trace>-<16 hex span>-01" — the HTTP header value and the wire
+// frame trace field.
+func FormatTraceparent(sc SpanContext) string {
+	return "00-" + sc.Trace.String() + "-" + sc.Span.String() + "-01"
+}
+
+// ParseTraceparent parses a W3C traceparent value. It returns ok=false (and
+// a zero context) on empty or malformed input — callers treat that as "no
+// inbound trace" rather than an error, per the spec's lenient contract.
+func ParseTraceparent(s string) (SpanContext, bool) {
+	var sc SpanContext
+	// version "00" through "fe", then fixed-width fields.
+	if len(s) < 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' || s[:2] == "ff" {
+		return sc, false
+	}
+	t, err := ParseTraceID(s[3:35])
+	if err != nil || t.IsZero() {
+		return SpanContext{}, false
+	}
+	id, err := ParseSpanID(s[36:52])
+	if err != nil || id.IsZero() {
+		return SpanContext{}, false
+	}
+	sc.Trace, sc.Span = t, id
+	return sc, true
+}
+
+// ctxKey keys the span context stored in a context.Context.
+type ctxKey struct{}
+
+// ContextWith returns ctx carrying sc, for layers (the HTTP handler → shard
+// queue path) that already thread a context.Context.
+func ContextWith(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// FromContext returns the span context carried by ctx, or the zero context.
+func FromContext(ctx context.Context) SpanContext {
+	if ctx == nil {
+		return SpanContext{}
+	}
+	sc, _ := ctx.Value(ctxKey{}).(SpanContext)
+	return sc
+}

@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 
 	"specmatch/internal/agent"
 	"specmatch/internal/simnet"
@@ -105,6 +106,12 @@ type WireMsg struct {
 	To      NodeRef         `json:"to"`
 	Type    string          `json:"type"`
 	Payload json.RawMessage `json:"payload,omitempty"`
+
+	// Trace is the sender's span context as a W3C traceparent, set when the
+	// sending node has tracing enabled; the receiving node parents the
+	// message's agent.handle span under it, stitching one causal tree across
+	// processes. Empty when tracing is off; decoders ignore unknown values.
+	Trace string `json:"trace,omitempty"`
 }
 
 // payloadCodec maps agent payload types to wire names and back.
@@ -203,6 +210,11 @@ type Hello struct {
 type Tick struct {
 	Slot  int       `json:"slot"`
 	Inbox []WireMsg `json:"inbox,omitempty"`
+
+	// Trace carries the hub's wire.slot span context as a W3C traceparent so
+	// node-side spans for this slot join the hub's trace. Empty when the hub
+	// runs without tracing.
+	Trace string `json:"trace,omitempty"`
 }
 
 // EndSlot closes a node's slot with its outbox and quiescence flag.
@@ -230,4 +242,25 @@ type frame struct {
 	EndSlot *EndSlot `json:"end_slot,omitempty"`
 	Done    *Done    `json:"done,omitempty"`
 	Final   *Final   `json:"final,omitempty"`
+}
+
+// itoa is strconv.Itoa under a name short enough for span-attr call sites.
+func itoa(v int) string { return strconv.Itoa(v) }
+
+// frameKind names a frame's populated arm, for span annotations.
+func frameKind(f frame) string {
+	switch {
+	case f.Hello != nil:
+		return "hello"
+	case f.Tick != nil:
+		return "tick"
+	case f.EndSlot != nil:
+		return "end_slot"
+	case f.Done != nil:
+		return "done"
+	case f.Final != nil:
+		return "final"
+	default:
+		return "empty"
+	}
 }

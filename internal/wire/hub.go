@@ -9,6 +9,7 @@ import (
 	"specmatch/internal/market"
 	"specmatch/internal/matching"
 	"specmatch/internal/obs"
+	"specmatch/internal/trace"
 )
 
 // HubConfig tunes the coordinator.
@@ -28,6 +29,13 @@ type HubConfig struct {
 	// Metric names are catalogued in PROTOCOL.md. Nil disables
 	// instrumentation and never changes relay behavior.
 	Metrics *obs.Registry
+
+	// Flight, when non-nil, records causal spans: wire.serve as the market's
+	// root, wire.slot per coordinated slot, and wire.send / wire.recv per
+	// frame. The slot's span context also rides each Tick frame (Tick.Trace)
+	// so node-side spans join the same trace. Nil disables tracing and never
+	// changes relay behavior.
+	Flight *trace.Flight
 }
 
 func (c HubConfig) withDefaults(numSellers, numBuyers int) HubConfig {
@@ -77,15 +85,45 @@ func (h *Hub) Addr() string { return h.ln.Addr().String() }
 // Close releases the listener. Serve closes it on return as well.
 func (h *Hub) Close() error { return h.ln.Close() }
 
-// conn wraps a node connection with framing, deadlines, and an optional
-// error counter (wire.errors.io; nil-safe no-op when metrics are off).
+// conn wraps a node connection with framing, deadlines, an optional error
+// counter (wire.errors.io; nil-safe no-op when metrics are off), and optional
+// frame spans. parent, when set, supplies the current span parent — the
+// owning loop's slot or tick context — and is only called from that loop's
+// goroutine.
 type conn struct {
 	c       net.Conn
 	timeout time.Duration
 	ioErrs  *obs.Counter
+	fl      *trace.Flight
+	parent  func() trace.SpanContext
 }
 
-func (nc *conn) write(f frame) error {
+// frameSpan opens a wire.send / wire.recv span under the loop's current
+// context. When the parent closure reports no active context (a node outside
+// any slot — handshake, done, final), the frame goes untraced rather than
+// starting a singleton trace per frame.
+func (nc *conn) frameSpan(name string) trace.SpanHandle {
+	if nc.parent == nil {
+		return trace.SpanHandle{}
+	}
+	p := nc.parent()
+	if p.IsZero() {
+		return trace.SpanHandle{}
+	}
+	return nc.fl.Start(p, name)
+}
+
+func (nc *conn) write(f frame) (err error) {
+	span := nc.frameSpan("wire.send")
+	defer func() {
+		if span.Active() {
+			span.Annotate("kind=" + frameKind(f))
+			if err != nil {
+				span.Annotate("err=1")
+			}
+		}
+		span.End()
+	}()
 	if err := nc.c.SetWriteDeadline(time.Now().Add(nc.timeout)); err != nil {
 		nc.ioErrs.Inc()
 		return fmt.Errorf("wire: set deadline: %w", err)
@@ -97,12 +135,21 @@ func (nc *conn) write(f frame) error {
 	return nil
 }
 
-func (nc *conn) read() (frame, error) {
+func (nc *conn) read() (f frame, err error) {
+	span := nc.frameSpan("wire.recv")
+	defer func() {
+		if span.Active() {
+			span.Annotate("kind=" + frameKind(f))
+			if err != nil {
+				span.Annotate("err=1")
+			}
+		}
+		span.End()
+	}()
 	if err := nc.c.SetReadDeadline(time.Now().Add(nc.timeout)); err != nil {
 		nc.ioErrs.Inc()
 		return frame{}, fmt.Errorf("wire: set deadline: %w", err)
 	}
-	var f frame
 	if err := ReadFrame(nc.c, &f); err != nil {
 		nc.ioErrs.Inc()
 		return frame{}, err
@@ -122,6 +169,13 @@ func (h *Hub) Serve(m *market.Market) (HubReport, error) {
 		ioErrs = hm.ioErrors
 	}
 
+	root := h.cfg.Flight.Start(trace.SpanContext{}, "wire.serve")
+	defer root.End()
+	// cur is the parent for the hub's frame spans: the current slot's span
+	// once the slot loop starts, the serve root before and after. Serve runs
+	// on one goroutine, so the conns' parent closures read it race-free.
+	cur := root.Context()
+
 	total := h.numSellers + h.numBuyers
 	nodes := make(map[NodeRef]*conn, total)
 	for len(nodes) < total {
@@ -129,7 +183,8 @@ func (h *Hub) Serve(m *market.Market) (HubReport, error) {
 		if err != nil {
 			return report, fmt.Errorf("wire: hub accept: %w", err)
 		}
-		nc := &conn{c: raw, timeout: h.cfg.IOTimeout, ioErrs: ioErrs}
+		nc := &conn{c: raw, timeout: h.cfg.IOTimeout, ioErrs: ioErrs,
+			fl: h.cfg.Flight, parent: func() trace.SpanContext { return cur }}
 		f, err := nc.read()
 		if err != nil || f.Hello == nil {
 			_ = raw.Close()
@@ -167,10 +222,17 @@ func (h *Hub) Serve(m *market.Market) (HubReport, error) {
 	pending := make(map[NodeRef][]WireMsg)
 	for slot := 1; slot <= h.cfg.MaxSlots; slot++ {
 		slotStart := hm.slotTimer()
+		slotSpan := h.cfg.Flight.Start(root.Context(), "wire.slot")
+		tickTrace := ""
+		if slotSpan.Active() {
+			cur = slotSpan.Context()
+			tickTrace = trace.FormatTraceparent(cur)
+		}
+		relayed := 0
 		for _, ref := range order {
 			inbox := pending[ref]
 			delete(pending, ref)
-			if err := nodes[ref].write(frame{Tick: &Tick{Slot: slot, Inbox: inbox}}); err != nil {
+			if err := nodes[ref].write(frame{Tick: &Tick{Slot: slot, Inbox: inbox, Trace: tickTrace}}); err != nil {
 				return report, fmt.Errorf("wire: tick %v: %w", ref, err)
 			}
 		}
@@ -189,11 +251,17 @@ func (h *Hub) Serve(m *market.Market) (HubReport, error) {
 			for _, wm := range f.EndSlot.Outbox {
 				pending[wm.To] = append(pending[wm.To], wm)
 				report.Messages++
+				relayed++
 				hm.onRelay(wm)
 			}
 		}
 		report.Slots = slot
 		hm.observeSlot(slotStart)
+		if slotSpan.Active() {
+			slotSpan.Annotate("slot=" + itoa(slot) + " relayed=" + itoa(relayed))
+		}
+		slotSpan.End()
+		cur = root.Context()
 		if allIdle && len(pending) == 0 {
 			break
 		}
@@ -234,5 +302,8 @@ func (h *Hub) Serve(m *market.Market) (HubReport, error) {
 	}
 	report.Matching = mu
 	report.Welfare = matching.Welfare(m, mu)
+	if root.Active() {
+		root.Annotate(fmt.Sprintf("slots=%d messages=%d welfare=%.6g", report.Slots, report.Messages, report.Welfare))
+	}
 	return report, nil
 }

@@ -9,6 +9,7 @@ import (
 	"specmatch/internal/market"
 	"specmatch/internal/obs"
 	"specmatch/internal/simnet"
+	"specmatch/internal/trace"
 )
 
 // NodeConfig tunes a node process.
@@ -25,11 +26,21 @@ type NodeConfig struct {
 	// encode/decode failures (wire.errors.encode, wire.errors.decode) and
 	// I/O deadline failures (wire.errors.io). Nil disables it.
 	Metrics *obs.Registry
+
+	// Flight, when non-nil, records node-side causal spans: wire.tick per
+	// hub slot (parented on the Tick frame's traceparent, so they join the
+	// hub's trace), agent.handle per delivered message, and wire.send /
+	// wire.recv per frame. Defaults to Agent.Flight, so setting either knob
+	// traces the whole node.
+	Flight *trace.Flight
 }
 
 func (c NodeConfig) withDefaults() NodeConfig {
 	if c.IOTimeout == 0 {
 		c.IOTimeout = 10 * time.Second
+	}
+	if c.Flight == nil {
+		c.Flight = c.Agent.Flight
 	}
 	return c
 }
@@ -39,10 +50,12 @@ func (c NodeConfig) withDefaults() NodeConfig {
 // or market.Unmatched.
 func RunBuyerNode(addr string, j int, m *market.Market, cfg NodeConfig) (int, error) {
 	cfg = cfg.withDefaults()
-	node := agent.NewBuyerNode(j, m, cfg.Agent)
+	agentCfg := cfg.Agent
+	agentCfg.Flight = cfg.Flight
+	node := agent.NewBuyerNode(j, m, agentCfg)
 	final := Final{Node: NodeRef{Kind: "buyer", Index: j}}
-	err := runNode(addr, final.Node, cfg.IOTimeout, newNodeMetrics(cfg.Metrics),
-		func(msg simnet.Message) { node.Deliver(msg) },
+	err := runNode(addr, final.Node, cfg.IOTimeout, cfg.Flight, newNodeMetrics(cfg.Metrics),
+		func(msg simnet.Message, sc trace.SpanContext) { node.DeliverTraced(msg, sc) },
 		func(now int) ([]simnet.Message, bool, error) {
 			out := node.Tick(now)
 			return out, node.Idle(), nil
@@ -62,10 +75,12 @@ func RunBuyerNode(addr string, j int, m *market.Market, cfg NodeConfig) (int, er
 // hub announces completion. It returns the seller's final coalition.
 func RunSellerNode(addr string, i int, m *market.Market, cfg NodeConfig) ([]int, error) {
 	cfg = cfg.withDefaults()
-	node := agent.NewSellerNode(i, m, cfg.Agent)
+	agentCfg := cfg.Agent
+	agentCfg.Flight = cfg.Flight
+	node := agent.NewSellerNode(i, m, agentCfg)
 	final := Final{Node: NodeRef{Kind: "seller", Index: i}}
-	err := runNode(addr, final.Node, cfg.IOTimeout, newNodeMetrics(cfg.Metrics),
-		func(msg simnet.Message) { node.Deliver(msg) },
+	err := runNode(addr, final.Node, cfg.IOTimeout, cfg.Flight, newNodeMetrics(cfg.Metrics),
+		func(msg simnet.Message, sc trace.SpanContext) { node.DeliverTraced(msg, sc) },
 		func(now int) ([]simnet.Message, bool, error) {
 			out, err := node.Tick(now)
 			return out, node.Quiescent(), err
@@ -86,8 +101,9 @@ func runNode(
 	addr string,
 	self NodeRef,
 	timeout time.Duration,
+	fl *trace.Flight,
 	nm *nodeMetrics,
-	deliver func(simnet.Message),
+	deliver func(simnet.Message, trace.SpanContext),
 	tick func(now int) (out []simnet.Message, idle bool, err error),
 	finalState func() Final,
 ) error {
@@ -96,7 +112,11 @@ func runNode(
 		return fmt.Errorf("wire: node dial: %w", err)
 	}
 	defer func() { _ = raw.Close() }()
-	nc := &conn{c: raw, timeout: timeout, ioErrs: nm.ioErrCounter()}
+	// cur parents the node's frame spans: the current wire.tick span during
+	// a slot, zero outside one. The loop is single-goroutine.
+	var cur trace.SpanContext
+	nc := &conn{c: raw, timeout: timeout, ioErrs: nm.ioErrCounter(),
+		fl: fl, parent: func() trace.SpanContext { return cur }}
 
 	if err := nc.write(frame{Hello: &Hello{Node: self}}); err != nil {
 		return fmt.Errorf("wire: node hello: %w", err)
@@ -108,17 +128,32 @@ func runNode(
 		}
 		switch {
 		case f.Tick != nil:
+			// Parent this slot's work on the hub's wire.slot span when the
+			// Tick carries one, so every node's spans join the hub's trace.
+			parent, _ := trace.ParseTraceparent(f.Tick.Trace)
+			tickSpan := fl.Start(parent, "wire.tick")
+			cur = tickSpan.Context()
 			for _, wm := range f.Tick.Inbox {
 				msg, err := DecodeMsg(wm)
 				if err != nil {
 					nm.onDecodeError()
 					return err
 				}
-				deliver(msg)
+				// A message annotated with its sender's span context is
+				// handled under that context; otherwise under the tick.
+				msgParent := cur
+				if sc, ok := trace.ParseTraceparent(wm.Trace); ok {
+					msgParent = sc
+				}
+				deliver(msg, msgParent)
 			}
 			out, idle, err := tick(f.Tick.Slot)
 			if err != nil {
 				return err
+			}
+			outTrace := ""
+			if tickSpan.Active() {
+				outTrace = trace.FormatTraceparent(cur)
 			}
 			end := EndSlot{Idle: idle}
 			for _, msg := range out {
@@ -127,11 +162,18 @@ func runNode(
 					nm.onEncodeError()
 					return err
 				}
+				wm.Trace = outTrace
 				end.Outbox = append(end.Outbox, wm)
 			}
 			if err := nc.write(frame{EndSlot: &end}); err != nil {
 				return fmt.Errorf("wire: node end-slot: %w", err)
 			}
+			if tickSpan.Active() {
+				tickSpan.Annotate("node=" + self.Kind + "#" + itoa(self.Index) +
+					" slot=" + itoa(f.Tick.Slot) + " in=" + itoa(len(f.Tick.Inbox)) + " out=" + itoa(len(end.Outbox)))
+			}
+			tickSpan.End()
+			cur = trace.SpanContext{}
 		case f.Done != nil:
 			final := finalState()
 			if err := nc.write(frame{Final: &final}); err != nil {

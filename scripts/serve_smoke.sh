@@ -16,7 +16,7 @@ trap cleanup EXIT
 go build -o "$work/specserved" ./cmd/specserved
 go build -o "$work/specload" ./cmd/specload
 
-"$work/specserved" -addr 127.0.0.1:0 -metrics-json "$work/metrics.json" \
+"$work/specserved" -addr 127.0.0.1:0 -metrics-json "$work/metrics.json" -trace-dump "$work/trace.json" \
     >"$work/serve.log" 2>&1 &
 srv_pid=$!
 

@@ -1,0 +1,73 @@
+#!/bin/sh
+# Smoke-test the tracing path end to end: start specserved with its always-on
+# flight recorder, drive it with specload (each event request carries a fresh
+# traceparent), dump the ring with SIGQUIT while the server keeps running,
+# then drain and run specstrace -check over the dump — zero orphan spans, and
+# the full http -> shard op -> step -> engine chain present. Run via
+# `make trace-smoke`.
+set -eu
+
+work=$(mktemp -d)
+srv_pid=""
+cleanup() {
+    [ -n "$srv_pid" ] && kill "$srv_pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+go build -o "$work/specserved" ./cmd/specserved
+go build -o "$work/specload" ./cmd/specload
+go build -o "$work/specstrace" ./cmd/specstrace
+
+"$work/specserved" -addr 127.0.0.1:0 -trace-dump "$work/trace.json" \
+    >"$work/serve.log" 2>&1 &
+srv_pid=$!
+
+addr=""
+i=0
+while [ $i -lt 50 ]; do
+    addr=$(sed -n 's#^specserved listening on http://\([^ ]*\)$#\1#p' "$work/serve.log")
+    [ -n "$addr" ] && break
+    kill -0 "$srv_pid" 2>/dev/null || { echo "specserved died on startup:"; cat "$work/serve.log"; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$addr" ] || { echo "specserved never reported its address:"; cat "$work/serve.log"; exit 1; }
+echo "specserved up on $addr (pid $srv_pid)"
+
+"$work/specload" -addr "$addr" -sessions 4 -concurrency 4 -duration 2s
+
+# SIGQUIT is the flight-recorder inspection signal: the server dumps the ring
+# and keeps serving.
+kill -QUIT "$srv_pid"
+i=0
+while [ $i -lt 50 ]; do
+    grep -q 'flight recorder: dumped' "$work/serve.log" && break
+    sleep 0.1
+    i=$((i + 1))
+done
+grep -q 'flight recorder: dumped' "$work/serve.log" || { echo "no SIGQUIT dump:"; cat "$work/serve.log"; exit 1; }
+[ -s "$work/trace.json" ] || { echo "SIGQUIT dump is empty"; exit 1; }
+kill -0 "$srv_pid" 2>/dev/null || { echo "specserved exited on SIGQUIT (must keep serving)"; exit 1; }
+
+# The analyzer must reassemble the dump with zero orphan spans and see the
+# whole request chain.
+"$work/specstrace" -check "$work/trace.json" >"$work/analysis.txt"
+for span in http.events server.shard_op online.step core.repair core.round core.solve; do
+    grep -q "$span" "$work/analysis.txt" || { echo "analysis missing $span spans:"; cat "$work/analysis.txt"; exit 1; }
+done
+
+# Clean drain still works (and writes a second dump).
+kill -TERM "$srv_pid"
+drain_status=0
+wait "$srv_pid" || drain_status=$?
+srv_pid=""
+if [ "$drain_status" -ne 0 ]; then
+    echo "specserved exited $drain_status on SIGTERM (want clean drain):"
+    cat "$work/serve.log"
+    exit 1
+fi
+grep -q '^drained:' "$work/serve.log" || { echo "no drain line in log:"; cat "$work/serve.log"; exit 1; }
+
+echo "trace-smoke OK"
+head -20 "$work/analysis.txt"
