@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench benchcheck baseline figures check fmt vet clean serve-smoke trace-smoke
+.PHONY: all build test test-short race bench benchcheck baseline figures check fmt vet clean serve-smoke trace-smoke crash-smoke
 
 all: build test
 
@@ -23,11 +23,13 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Guard the committed engine baseline: exact welfare goldens plus two
+# Guard the committed engine baseline: exact welfare goldens plus
 # side-by-side timing checks on this machine (default engine within 2x of
-# plain sequential; instrumented engine within 2x of instrumentation off).
+# plain sequential; instrumented engine within 2x of instrumentation off;
+# WAL-on serving within 1.25x of WAL-off under a saturating workload).
 benchcheck:
 	RUN_BENCHCHECK=1 $(GO) test -run 'TestBenchBaseline|TestInstrumentationOverhead' -count=1 -v .
+	RUN_BENCHCHECK=1 $(GO) test -run 'TestWALOverhead' -count=1 -v ./internal/server/
 
 # Regenerate BENCH_BASELINE.json (run after an intentional behavior change).
 baseline:
@@ -47,6 +49,13 @@ serve-smoke:
 # zero orphan spans and the full request chain present.
 trace-smoke:
 	./scripts/trace_smoke.sh
+
+# End-to-end crash injection of the durable path: specserved with a WAL,
+# SIGKILLed under ≥1000 acked events/s of specload churn, restarted over the
+# same data dir, and verified against the client's ledger — every acked
+# event durable, recovered state bit-for-bit equal to a replay.
+crash-smoke:
+	./scripts/crash_smoke.sh
 
 check: vet test-short
 

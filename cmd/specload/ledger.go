@@ -1,0 +1,272 @@
+package main
+
+// Ledger recording and replay verification: the client side of the crash
+// test. With -ledger, specload keeps an exact, ordered record of every event
+// the server acknowledged per session (plus the tail whose fate is unknown —
+// in flight when the server died). With -verify, a later specload run checks
+// a restarted server against that ledger: every acked event must have
+// survived, and the recovered session state must be bit-for-bit what
+// replaying the ledger produces. The engine is deterministic (same events →
+// same matching), so verification replays the acked sequence into a fresh
+// session on the recovered server and deep-compares snapshots — welfare,
+// assignment, active buyers, step count — instead of trusting any summary
+// statistic alone.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"reflect"
+	"syscall"
+
+	"specmatch/internal/market"
+	"specmatch/internal/online"
+	"specmatch/internal/server"
+)
+
+// Ledger is the JSON document -ledger writes and -verify reads.
+type Ledger struct {
+	Seed     int64           `json:"seed"`
+	Sessions []SessionLedger `json:"sessions"`
+}
+
+// SessionLedger is one session's event history as the client saw it.
+type SessionLedger struct {
+	ID   string      `json:"id"`
+	Spec market.Spec `json:"spec"`
+	// Acked holds every event the server answered 200 for, in post order,
+	// with the StepStats it returned. These are durable by contract: the
+	// server fsyncs before acknowledging.
+	Acked []AckedEvent `json:"acked"`
+	// Unacked holds events posted after the last ack whose fate is unknown
+	// (timeout, connection reset — the request may or may not have been
+	// applied before the crash). Recovery may legally contain any prefix of
+	// this tail on top of the acked sequence, and nothing else.
+	Unacked []online.Event `json:"unacked,omitempty"`
+	// Ambiguous counts unknown-fate events that were later followed by an
+	// ack on the same session. Their position in the applied sequence cannot
+	// be pinned down client-side, so bit-for-bit verification is skipped for
+	// the session (step-count bounds still apply). Zero in a clean crash
+	// run: once the server dies, nothing acks afterwards.
+	Ambiguous int `json:"ambiguous,omitempty"`
+}
+
+// AckedEvent pairs an acknowledged event with the stats the server returned.
+type AckedEvent struct {
+	Event online.Event     `json:"event"`
+	Stats online.StepStats `json:"stats"`
+}
+
+// definitelyNotSent reports whether a request error proves the server never
+// saw the request (so it must not enter the unacked ledger). Connection
+// refused means no byte left this process.
+func definitelyNotSent(err error) bool {
+	return errors.Is(err, syscall.ECONNREFUSED)
+}
+
+// buildLedger assembles the ledger document from the per-session records.
+func buildLedger(seed int64, states []*sessionState) Ledger {
+	led := Ledger{Seed: seed}
+	for _, ss := range states {
+		sl := SessionLedger{
+			ID:        ss.id,
+			Spec:      ss.spec,
+			Acked:     ss.acked,
+			Unacked:   ss.unacked,
+			Ambiguous: ss.ambiguous,
+		}
+		if sl.Acked == nil {
+			sl.Acked = []AckedEvent{}
+		}
+		led.Sessions = append(led.Sessions, sl)
+	}
+	return led
+}
+
+func writeLedger(path string, led Ledger) error {
+	data, err := json.MarshalIndent(led, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// verifyDiff is the artifact written to -diff when verification fails: one
+// entry per failed session, with both sides of the comparison so the
+// mismatch can be inspected offline.
+type verifyDiff struct {
+	Session   string           `json:"session"`
+	Reason    string           `json:"reason"`
+	Acked     int              `json:"acked_events"`
+	Unacked   int              `json:"unacked_events"`
+	Recovered *online.Snapshot `json:"recovered,omitempty"`
+	Replayed  *online.Snapshot `json:"replayed,omitempty"`
+}
+
+// runVerify checks a (typically just-restarted) server against a ledger.
+// For every session: the recovered step count S must lie in
+// [acked, acked+unacked] — fewer means acked events were lost, more means
+// events appeared from nowhere — and replaying the acked sequence plus the
+// first S-acked unacked events into a fresh session must reproduce the
+// recovered snapshot exactly. Mismatches are written to diffPath (when set)
+// and make the run fail.
+func runVerify(client *http.Client, base, ledgerPath, diffPath string, out io.Writer) error {
+	data, err := os.ReadFile(ledgerPath)
+	if err != nil {
+		return err
+	}
+	var led Ledger
+	if err := json.Unmarshal(data, &led); err != nil {
+		return fmt.Errorf("parsing ledger %s: %w", ledgerPath, err)
+	}
+
+	var diffs []verifyDiff
+	fail := func(sl SessionLedger, reason string, recovered, replayed *online.Snapshot) {
+		diffs = append(diffs, verifyDiff{
+			Session: sl.ID, Reason: reason,
+			Acked: len(sl.Acked), Unacked: len(sl.Unacked),
+			Recovered: recovered, Replayed: replayed,
+		})
+		fmt.Fprintf(out, "verify: FAIL %s: %s\n", sl.ID, reason)
+	}
+
+	ackedTotal, unackedApplied, skipped := 0, 0, 0
+	for _, sl := range led.Sessions {
+		recovered, err := getSnapshot(client, base, sl.ID)
+		if err != nil {
+			fail(sl, fmt.Sprintf("recovered session unreadable: %v", err), nil, nil)
+			continue
+		}
+		a, s := len(sl.Acked), recovered.Steps
+		if s < a {
+			fail(sl, fmt.Sprintf("recovered %d steps but %d events were acknowledged: acked events lost", s, a), &recovered, nil)
+			continue
+		}
+		if s > a+len(sl.Unacked)+sl.Ambiguous {
+			fail(sl, fmt.Sprintf("recovered %d steps but client only posted %d (acked) + %d (unacked): phantom events",
+				s, a, len(sl.Unacked)+sl.Ambiguous), &recovered, nil)
+			continue
+		}
+		ackedTotal += a
+		if sl.Ambiguous > 0 {
+			skipped++
+			fmt.Fprintf(out, "verify: %s has %d ambiguous events; step bounds ok (%d in [%d,%d]), bit-for-bit skipped\n",
+				sl.ID, sl.Ambiguous, s, a, a+len(sl.Unacked)+sl.Ambiguous)
+			continue
+		}
+		unackedApplied += s - a
+		replayed, err := replaySession(client, base, sl, s-a)
+		if err != nil {
+			fail(sl, fmt.Sprintf("replay: %v", err), &recovered, nil)
+			continue
+		}
+		if !reflect.DeepEqual(recovered, replayed) {
+			fail(sl, "recovered snapshot differs from ledger replay", &recovered, &replayed)
+		}
+	}
+
+	fmt.Fprintf(out, "verify: %d sessions, %d acked events durable, %d unacked tail events applied, %d failed, %d skipped (ambiguous)\n",
+		len(led.Sessions), ackedTotal, unackedApplied, len(diffs), skipped)
+	if len(diffs) > 0 {
+		if diffPath != "" {
+			art, merr := json.MarshalIndent(diffs, "", "  ")
+			if merr == nil {
+				merr = os.WriteFile(diffPath, append(art, '\n'), 0o644)
+			}
+			if merr != nil {
+				fmt.Fprintf(out, "verify: writing diff artifact: %v\n", merr)
+			} else {
+				fmt.Fprintf(out, "verify: wrote recovered-vs-expected diff to %s\n", diffPath)
+			}
+		}
+		return fmt.Errorf("%d of %d sessions failed verification", len(diffs), len(led.Sessions))
+	}
+	return nil
+}
+
+// replaySession creates a fresh session from the ledger's spec, replays the
+// acked events plus the first extra unacked ones, cross-checks each acked
+// event's StepStats against what the original server returned, and hands
+// back the final snapshot. The temporary session is deleted afterwards.
+func replaySession(client *http.Client, base string, sl SessionLedger, extra int) (online.Snapshot, error) {
+	var zero online.Snapshot
+	body, err := json.Marshal(server.CreateRequest{Spec: sl.Spec})
+	if err != nil {
+		return zero, err
+	}
+	resp, err := client.Post(base+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return zero, err
+	}
+	var created server.CreateResponse
+	decodeErr := json.NewDecoder(resp.Body).Decode(&created)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return zero, fmt.Errorf("creating replay session: HTTP %d", resp.StatusCode)
+	}
+	if decodeErr != nil {
+		return zero, decodeErr
+	}
+	defer func() {
+		req, _ := http.NewRequest(http.MethodDelete, base+"/v1/sessions/"+created.ID, nil)
+		if resp, err := client.Do(req); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+
+	post := func(ev online.Event) (online.StepStats, error) {
+		var stats online.StepStats
+		body, err := json.Marshal(ev)
+		if err != nil {
+			return stats, err
+		}
+		resp, err := client.Post(base+"/v1/sessions/"+created.ID+"/events", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return stats, err
+		}
+		decodeErr := json.NewDecoder(resp.Body).Decode(&stats)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return stats, fmt.Errorf("replay event: HTTP %d", resp.StatusCode)
+		}
+		return stats, decodeErr
+	}
+	for k, ae := range sl.Acked {
+		stats, err := post(ae.Event)
+		if err != nil {
+			return zero, fmt.Errorf("acked event %d: %w", k, err)
+		}
+		if stats != ae.Stats {
+			return zero, fmt.Errorf("acked event %d: replayed stats %+v != acknowledged stats %+v", k, stats, ae.Stats)
+		}
+	}
+	for k := 0; k < extra; k++ {
+		if _, err := post(sl.Unacked[k]); err != nil {
+			return zero, fmt.Errorf("unacked event %d: %w", k, err)
+		}
+	}
+	return getSnapshot(client, base, created.ID)
+}
+
+func getSnapshot(client *http.Client, base, id string) (online.Snapshot, error) {
+	var zero online.Snapshot
+	resp, err := client.Get(base + "/v1/sessions/" + id)
+	if err != nil {
+		return zero, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return zero, fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	var got server.CreateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		return zero, err
+	}
+	return got.Snapshot, nil
+}

@@ -90,6 +90,9 @@ type worker struct {
 	lat    *obs.Histogram
 	maxSec float64
 
+	// record enables the per-session acked/unacked ledger (-ledger).
+	record bool
+
 	requests, ok, rejected, errors int64
 }
 
@@ -99,6 +102,14 @@ type sessionState struct {
 	channels int
 	active   []bool
 	offline  []bool
+
+	// Ledger recording (-ledger). Only the single owning worker touches
+	// these; the -sessions >= -concurrency requirement guarantees exclusive
+	// ownership, so the lists are the exact order events hit the server.
+	spec      market.Spec
+	acked     []AckedEvent
+	unacked   []online.Event
+	ambiguous int
 }
 
 func run(args []string, out io.Writer) error {
@@ -117,6 +128,9 @@ func run(args []string, out io.Writer) error {
 		timeout     = fs.Duration("timeout", 5*time.Second, "per-request client timeout")
 		reportPath  = fs.String("report", "", "write the JSON report to this path ('-' = stdout)")
 		minRPS      = fs.Float64("min-rps", 0, "fail unless the sustained OK rate reaches this")
+		ledgerPath  = fs.String("ledger", "", "record every acknowledged event (with stats) per session to this JSON file; requires -sessions >= -concurrency so each session has one writer; tolerates the server dying mid-run")
+		verifyPath  = fs.String("verify", "", "verify a recovered server against this ledger instead of generating load: acked events must be durable and recovered state must equal a replay of the ledger")
+		diffPath    = fs.String("diff", "", "with -verify: write a recovered-vs-expected diff artifact here on failure")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -127,12 +141,19 @@ func run(args []string, out io.Writer) error {
 	if *sessions < 1 || *concurrency < 1 {
 		return fmt.Errorf("-sessions and -concurrency must be positive")
 	}
+	if *ledgerPath != "" && *sessions < *concurrency {
+		return fmt.Errorf("-ledger needs -sessions >= -concurrency (%d < %d): each session must have exactly one writer for the ledger to be an exact event order", *sessions, *concurrency)
+	}
 	base := *addr
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
 	base = strings.TrimRight(base, "/")
 	client := &http.Client{Timeout: *timeout}
+
+	if *verifyPath != "" {
+		return runVerify(client, base, *verifyPath, *diffPath, out)
+	}
 
 	// Create the session fleet.
 	states := make([]*sessionState, *sessions)
@@ -164,6 +185,7 @@ func run(args []string, out io.Writer) error {
 			channels: created.Channels,
 			active:   make([]bool, created.Buyers),
 			offline:  make([]bool, created.Channels),
+			spec:     m.Spec(),
 		}
 	}
 
@@ -182,6 +204,7 @@ func run(args []string, out io.Writer) error {
 			base:     base,
 			interval: interval,
 			lat:      lat,
+			record:   *ledgerPath != "",
 		}
 		for k := w; k < len(states); k += *concurrency {
 			wk.sessions = append(wk.sessions, states[k])
@@ -232,20 +255,42 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	// Persist the ledger before talking to the server again: in a crash run
+	// the server is already dead and the ledger is the whole point.
+	if *ledgerPath != "" {
+		led := buildLedger(*seed, states)
+		if err := writeLedger(*ledgerPath, led); err != nil {
+			return fmt.Errorf("writing ledger: %w", err)
+		}
+		acked, unacked := 0, 0
+		for _, sl := range led.Sessions {
+			acked += len(sl.Acked)
+			unacked += len(sl.Unacked)
+		}
+		fmt.Fprintf(out, "ledger: %d sessions, %d acked events, %d unknown-fate tail events -> %s\n",
+			len(led.Sessions), acked, unacked, *ledgerPath)
+	}
+
 	// Reconcile: every 200 the server sent us must be an applied event.
 	// The server can apply slightly more than we count (a request whose
-	// response we abandoned at the client timeout), never fewer.
+	// response we abandoned at the client timeout), never fewer. With
+	// -ledger the server may be gone by now (crash runs kill it mid-load);
+	// the ledger verification pass covers what reconciliation would have.
 	snap, err := fetchSnapshot(client, base)
 	if err != nil {
-		return fmt.Errorf("metrics reconciliation: %w", err)
+		if *ledgerPath == "" {
+			return fmt.Errorf("metrics reconciliation: %w", err)
+		}
+		fmt.Fprintf(out, "reconcile skipped (server unreachable: %v); use -verify against the ledger after restart\n", err)
+	} else {
+		rep.Applied = snap.Counters["server.events.applied"]
+		rep.LostEvents = rep.EventsOK - rep.Applied
+		if rep.LostEvents < 0 {
+			rep.LostEvents = 0
+		}
+		rep.Reconciled = true
+		rep.FinalActive = finalActive(client, base, states)
 	}
-	rep.Applied = snap.Counters["server.events.applied"]
-	rep.LostEvents = rep.EventsOK - rep.Applied
-	if rep.LostEvents < 0 {
-		rep.LostEvents = 0
-	}
-	rep.Reconciled = true
-	rep.FinalActive = finalActive(client, base, states)
 
 	if *reportPath != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
@@ -263,7 +308,9 @@ func run(args []string, out io.Writer) error {
 		rep.Requests, rep.DurationSeconds, rep.Throughput, rep.OK, rep.Rejected, rep.Errors)
 	fmt.Fprintf(out, "latency ms: p50=%.3f p90=%.3f p99=%.3f max=%.3f\n",
 		rep.LatencyMS.P50, rep.LatencyMS.P90, rep.LatencyMS.P99, rep.LatencyMS.Max)
-	fmt.Fprintf(out, "reconcile: accepted=%d applied=%d lost=%d\n", rep.EventsOK, rep.Applied, rep.LostEvents)
+	if rep.Reconciled {
+		fmt.Fprintf(out, "reconcile: accepted=%d applied=%d lost=%d\n", rep.EventsOK, rep.Applied, rep.LostEvents)
+	}
 
 	if rep.LostEvents > 0 {
 		return fmt.Errorf("%d events accepted but not applied", rep.LostEvents)
@@ -344,9 +391,15 @@ func (wk *worker) post(ss *sessionState, ev online.Event) {
 	lat := time.Since(start).Seconds()
 	if err != nil {
 		wk.errors++
+		// The request may have been applied before the connection died —
+		// unknown fate, so it joins the unacked ledger tail. Connection
+		// refused proves the server never saw it.
+		if wk.record && !definitelyNotSent(err) {
+			ss.unacked = append(ss.unacked, ev)
+		}
 		return
 	}
-	_, _ = io.Copy(io.Discard, resp.Body)
+	respBody, readErr := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	wk.lat.Observe(lat)
 	if lat > wk.maxSec {
@@ -355,12 +408,44 @@ func (wk *worker) post(ss *sessionState, ev online.Event) {
 	switch {
 	case resp.StatusCode == http.StatusOK:
 		wk.ok++
+		if wk.record {
+			wk.recordAck(ss, ev, respBody, readErr)
+		}
 	case resp.StatusCode == http.StatusTooManyRequests:
 		wk.rejected++
 		time.Sleep(2 * time.Millisecond) // brief backoff on admission rejects
 	default:
 		wk.errors++
+		// 4xx/429/503 mean rejected before mutation. 5xx is not a durability
+		// promise either way, so treat it like a lost response.
+		if wk.record && resp.StatusCode >= 500 {
+			ss.unacked = append(ss.unacked, ev)
+		}
 	}
+}
+
+// recordAck appends an acknowledged event to the session's ledger. An ack
+// arriving while earlier events sit in the unknown tail makes those events
+// unplaceable in the applied order — they are demoted to an ambiguity count
+// and the session loses bit-for-bit verification (never happens in a crash
+// run: a dead server acks nothing).
+func (wk *worker) recordAck(ss *sessionState, ev online.Event, respBody []byte, readErr error) {
+	var stats online.StepStats
+	if readErr == nil {
+		readErr = json.Unmarshal(respBody, &stats)
+	}
+	if readErr != nil {
+		// Acked but stats unreadable: the event is durable, but without its
+		// stats the replay cross-check would false-fail.
+		ss.ambiguous += len(ss.unacked) + 1
+		ss.unacked = nil
+		return
+	}
+	if n := len(ss.unacked); n > 0 {
+		ss.ambiguous += n
+		ss.unacked = nil
+	}
+	ss.acked = append(ss.acked, AckedEvent{Event: ev, Stats: stats})
 }
 
 func fetchSnapshot(client *http.Client, base string) (obs.Snapshot, error) {

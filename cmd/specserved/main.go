@@ -7,6 +7,11 @@
 // per-session operations stay deterministic), shard queues are bounded with
 // 429 + Retry-After on overload, every request carries a deadline, and
 // SIGTERM drains gracefully: stop accepting, flush the queues, then exit.
+// With -data-dir the store is durable: every mutation is written to a
+// per-shard write-ahead log and acknowledged only after it is fsynced,
+// checkpoints bound replay time, and startup recovers every session —
+// kill -9 loses nothing a client was told succeeded. cmd/specwal inspects
+// the files offline.
 //
 //	specserved -addr 127.0.0.1:7937
 //	curl -XPOST localhost:7937/v1/sessions -d "{\"spec\": $(specgen -sellers 3 -buyers 8)}"
@@ -57,6 +62,10 @@ func run(args []string, out io.Writer) error {
 		flightCap      = fs.Int("flight", 1<<16, "flight-recorder capacity in spans, a bounded ring always recording (0 disables tracing)")
 		traceDump      = fs.String("trace-dump", "specserved-trace.json", "flight-recorder dump path, written on SIGQUIT, on any 5xx (rate-limited), and at drain")
 		sessionEvents  = fs.Int("session-events", 4096, "per-session protocol-event bound; overflow is counted as dropped (-1 disables)")
+		dataDir        = fs.String("data-dir", "", "durable session state: per-shard WAL + checkpoints under this directory; events ack only after fsync, startup recovers every session (empty = in-memory only)")
+		fsyncInterval  = fs.Duration("fsync-interval", 0, "WAL fsync batching interval (0 = 2ms default; negative = fsync every append)")
+		checkpointEach = fs.Int("checkpoint-every", 4096, "checkpoint + truncate a shard's WAL after this many durable records (negative = only at startup and drain)")
+		walRepair      = fs.Bool("wal-repair", false, "on recovery, truncate at mid-log corruption instead of refusing to start (data past the corruption is lost)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -71,19 +80,32 @@ func run(args []string, out io.Writer) error {
 		fl = trace.NewFlight(*flightCap)
 	}
 	dump := newTraceDumper(fl, *traceDump, out)
-	srv := server.New(server.Config{
-		Shards:         *shards,
-		QueueDepth:     *queueDepth,
-		MaxSessions:    *maxSessions,
-		RequestTimeout: *requestTimeout,
-		Engine:         core.Options{Workers: *engineWorkers},
-		Metrics:        reg,
-		Flight:         fl,
-		OnServerError:  dump.onServerError,
-		SessionEvents:  *sessionEvents,
+	srv, err := server.New(server.Config{
+		Shards:          *shards,
+		QueueDepth:      *queueDepth,
+		MaxSessions:     *maxSessions,
+		RequestTimeout:  *requestTimeout,
+		Engine:          core.Options{Workers: *engineWorkers},
+		Metrics:         reg,
+		Flight:          fl,
+		OnServerError:   dump.onServerError,
+		SessionEvents:   *sessionEvents,
+		DataDir:         *dataDir,
+		FsyncInterval:   *fsyncInterval,
+		CheckpointEvery: *checkpointEach,
+		WALRepair:       *walRepair,
 	})
+	if err != nil {
+		return err
+	}
+	if *dataDir != "" {
+		rec := srv.Store().Recovery
+		fmt.Fprintf(out, "recovered %d sessions from %s (%d events replayed, %d torn records dropped, %d repaired away)\n",
+			rec.Sessions, *dataDir, rec.Records, rec.TornRecords, rec.RepairedRecords)
+	}
 	hs, err := server.ListenAndServe(*addr, srv.Handler())
 	if err != nil {
+		srv.Drain() // close the WAL cleanly; the listener never started
 		return err
 	}
 	fmt.Fprintf(out, "specserved listening on http://%s\n", hs.Addr())

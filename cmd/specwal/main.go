@@ -1,0 +1,285 @@
+// Command specwal inspects specserved's durable session state offline: the
+// per-shard write-ahead logs and checkpoints under a -data-dir. It decodes
+// the same framing the server recovers from, so what it reports is exactly
+// what a restart would see.
+//
+//	specwal -data-dir /var/lib/specserved            # verify: per-shard summary
+//	specwal -data-dir /var/lib/specserved -mode dump # every log record as JSON lines
+//	specwal -data-dir /var/lib/specserved -mode snap # decoded checkpoint bodies
+//
+// verify exits non-zero on mid-log corruption (the condition specserved
+// refuses to start on without -wal-repair); a torn tail is reported but is
+// not an error — it is the expected signature of a crash mid-write and
+// recovery truncates it safely.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"specmatch/internal/wal"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "specwal:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("specwal", flag.ContinueOnError)
+	var (
+		dataDir = fs.String("data-dir", "", "specserved data directory (holds shard-* subdirectories)")
+		mode    = fs.String("mode", "verify", "verify | dump | snap")
+		shard   = fs.Int("shard", -1, "restrict to one shard (-1 = all)")
+		asJSON  = fs.Bool("json", false, "verify: emit the summary as JSON instead of text")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help already printed usage
+		}
+		return err
+	}
+	if *dataDir == "" {
+		return fmt.Errorf("-data-dir is required")
+	}
+	dirs, err := shardDirs(*dataDir, *shard)
+	if err != nil {
+		return err
+	}
+	switch *mode {
+	case "verify":
+		return verify(dirs, *asJSON, out)
+	case "dump":
+		return dump(dirs, out)
+	case "snap":
+		return dumpSnapshots(dirs, out)
+	}
+	return fmt.Errorf("unknown -mode %q (want verify, dump, or snap)", *mode)
+}
+
+// shardDirs lists the shard directories under dataDir, sorted, optionally
+// restricted to one.
+func shardDirs(dataDir string, only int) ([]string, error) {
+	entries, err := os.ReadDir(dataDir)
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "shard-") {
+			if only >= 0 && e.Name() != fmt.Sprintf("shard-%03d", only) {
+				continue
+			}
+			dirs = append(dirs, filepath.Join(dataDir, e.Name()))
+		}
+	}
+	sort.Strings(dirs)
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("no shard directories under %s", dataDir)
+	}
+	return dirs, nil
+}
+
+// fileReport summarizes one log or checkpoint file.
+type fileReport struct {
+	File    string `json:"file"`
+	Records int    `json:"records"`
+	Bytes   int64  `json:"bytes"`
+	MinLSN  uint64 `json:"min_lsn,omitempty"`
+	MaxLSN  uint64 `json:"max_lsn,omitempty"`
+	Torn    string `json:"torn,omitempty"`
+	Corrupt string `json:"corrupt,omitempty"`
+}
+
+type shardReport struct {
+	Dir         string       `json:"dir"`
+	Checkpoints []fileReport `json:"checkpoints"`
+	Logs        []fileReport `json:"logs"`
+}
+
+// scanDir reads every WAL file in one shard directory.
+func scanDir(dir string) (shardReport, error) {
+	rep := shardReport{Dir: dir}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return rep, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		isSnap := strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".ckpt")
+		isLog := strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log")
+		if !isSnap && !isLog {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return rep, err
+		}
+		fr := fileReport{File: name, Bytes: int64(len(data))}
+		recs, _, scanErr := wal.ScanFile(data)
+		fr.Records = len(recs)
+		for _, r := range recs {
+			if fr.MinLSN == 0 || r.LSN < fr.MinLSN {
+				fr.MinLSN = r.LSN
+			}
+			if r.LSN > fr.MaxLSN {
+				fr.MaxLSN = r.LSN
+			}
+		}
+		switch {
+		case scanErr == nil:
+		case errors.Is(scanErr, wal.ErrTornTail):
+			fr.Torn = scanErr.Error()
+		default:
+			fr.Corrupt = scanErr.Error()
+		}
+		if isSnap {
+			rep.Checkpoints = append(rep.Checkpoints, fr)
+		} else {
+			rep.Logs = append(rep.Logs, fr)
+		}
+	}
+	return rep, nil
+}
+
+func verify(dirs []string, asJSON bool, out io.Writer) error {
+	var reports []shardReport
+	corrupt := 0
+	for _, dir := range dirs {
+		rep, err := scanDir(dir)
+		if err != nil {
+			return err
+		}
+		reports = append(reports, rep)
+		for _, fr := range append(append([]fileReport{}, rep.Checkpoints...), rep.Logs...) {
+			if fr.Corrupt != "" {
+				corrupt++
+			}
+		}
+	}
+	if asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			return err
+		}
+	} else {
+		for _, rep := range reports {
+			fmt.Fprintf(out, "%s:\n", rep.Dir)
+			for _, fr := range append(append([]fileReport{}, rep.Checkpoints...), rep.Logs...) {
+				status := "ok"
+				if fr.Torn != "" {
+					status = "TORN TAIL (recoverable): " + fr.Torn
+				}
+				if fr.Corrupt != "" {
+					status = "CORRUPT: " + fr.Corrupt
+				}
+				fmt.Fprintf(out, "  %-28s %8d bytes  %5d records  lsn [%d,%d]  %s\n",
+					fr.File, fr.Bytes, fr.Records, fr.MinLSN, fr.MaxLSN, status)
+			}
+		}
+	}
+	if corrupt > 0 {
+		return fmt.Errorf("%d corrupt file(s); specserved will refuse these without -wal-repair", corrupt)
+	}
+	return nil
+}
+
+// dumpRecord is one log record as specwal prints it.
+type dumpRecord struct {
+	Shard string          `json:"shard"`
+	File  string          `json:"file"`
+	Type  string          `json:"type"`
+	LSN   uint64          `json:"lsn"`
+	Body  json.RawMessage `json:"body"`
+}
+
+func dump(dirs []string, out io.Writer) error {
+	enc := json.NewEncoder(out)
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), "wal-") && strings.HasSuffix(e.Name(), ".log") {
+				names = append(names, e.Name())
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			data, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				return err
+			}
+			recs, _, scanErr := wal.ScanFile(data)
+			for _, r := range recs {
+				body := json.RawMessage(r.Body)
+				if !json.Valid(r.Body) {
+					quoted, _ := json.Marshal(string(r.Body))
+					body = quoted
+				}
+				if err := enc.Encode(dumpRecord{
+					Shard: filepath.Base(dir), File: name,
+					Type: r.Type.String(), LSN: r.LSN, Body: body,
+				}); err != nil {
+					return err
+				}
+			}
+			if scanErr != nil && !errors.Is(scanErr, wal.ErrTornTail) {
+				return fmt.Errorf("%s/%s: %w", dir, name, scanErr)
+			}
+		}
+	}
+	return nil
+}
+
+func dumpSnapshots(dirs []string, out io.Writer) error {
+	enc := json.NewEncoder(out)
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), "snap-") && strings.HasSuffix(e.Name(), ".ckpt") {
+				names = append(names, e.Name())
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			data, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				return err
+			}
+			recs, _, scanErr := wal.ScanFile(data)
+			if scanErr != nil {
+				return fmt.Errorf("%s/%s: %w", dir, name, scanErr)
+			}
+			for _, r := range recs {
+				if err := enc.Encode(dumpRecord{
+					Shard: filepath.Base(dir), File: name,
+					Type: r.Type.String(), LSN: r.LSN, Body: json.RawMessage(r.Body),
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -296,7 +296,11 @@ func (s *Session) RebuildTraced(adopt bool, parent trace.SpanContext) (float64, 
 }
 
 // Snapshot is a JSON-ready view of a session's current state — the payload
-// behind specserved's GET /v1/sessions/{id}.
+// behind specserved's GET /v1/sessions/{id}, and (paired with the market
+// spec) the session's complete durable state: FromSnapshot rebuilds a
+// Session from it that behaves bit-identically to the original under every
+// future Step and Rebuild, which is what specserved's WAL checkpoints rely
+// on.
 type Snapshot struct {
 	Channels int     `json:"channels"`
 	Buyers   int     `json:"buyers"`
@@ -306,6 +310,10 @@ type Snapshot struct {
 	Steps    int     `json:"steps"`
 	// OfflineChannels lists channels currently withdrawn by their sellers.
 	OfflineChannels []int `json:"offline_channels,omitempty"`
+	// ActiveBuyers lists the buyers currently in the market — the matched
+	// ones are implied by Assignment, but arrived-yet-unmatched buyers are
+	// state too (they compete in every later repair).
+	ActiveBuyers []int `json:"active_buyers,omitempty"`
 	// Assignment[j] is buyer j's seller, -1 (market.Unmatched) when
 	// unmatched or inactive.
 	Assignment []int `json:"assignment"`
@@ -326,9 +334,80 @@ func (s *Session) Snapshot() Snapshot {
 			snap.OfflineChannels = append(snap.OfflineChannels, i)
 		}
 	}
+	for j, a := range s.active {
+		if a {
+			snap.ActiveBuyers = append(snap.ActiveBuyers, j)
+		}
+	}
 	snap.Assignment = make([]int, s.base.N())
 	for j := range snap.Assignment {
 		snap.Assignment[j] = s.mu.SellerOf(j)
 	}
 	return snap
+}
+
+// FromSnapshot rebuilds a session from its market and a Snapshot, verifying
+// the snapshot's internal consistency on the way in: dimensions must match
+// the market, every matched buyer must be active and on an online channel,
+// and the recomputed welfare and matched count must equal the recorded ones
+// exactly (both survive a JSON round-trip bit-for-bit, so any drift means
+// the snapshot does not describe a state this market can be in). The
+// restored session is bit-equivalent to the one Snapshot was taken from:
+// Step and Rebuild depend only on (market, active, offline, matching,
+// opts), all of which are reproduced.
+func FromSnapshot(m *market.Market, snap Snapshot, opts core.Options) (*Session, error) {
+	if snap.Channels != m.M() || snap.Buyers != m.N() {
+		return nil, fmt.Errorf("online: snapshot is %dx%d, market is %dx%d",
+			snap.Channels, snap.Buyers, m.M(), m.N())
+	}
+	if len(snap.Assignment) != m.N() {
+		return nil, fmt.Errorf("online: snapshot has %d assignments for %d buyers", len(snap.Assignment), m.N())
+	}
+	if snap.Steps < 0 {
+		return nil, fmt.Errorf("online: snapshot has negative step count %d", snap.Steps)
+	}
+	s, err := NewSession(m, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, i := range snap.OfflineChannels {
+		if i < 0 || i >= m.M() {
+			return nil, fmt.Errorf("online: snapshot offline channel %d out of range [0,%d)", i, m.M())
+		}
+		s.offline[i] = true
+	}
+	for _, j := range snap.ActiveBuyers {
+		if j < 0 || j >= m.N() {
+			return nil, fmt.Errorf("online: snapshot active buyer %d out of range [0,%d)", j, m.N())
+		}
+		s.active[j] = true
+	}
+	for j, i := range snap.Assignment {
+		if i == market.Unmatched {
+			continue
+		}
+		if i < 0 || i >= m.M() {
+			return nil, fmt.Errorf("online: snapshot assigns buyer %d to seller %d, out of range [0,%d)", j, i, m.M())
+		}
+		if !s.active[j] {
+			return nil, fmt.Errorf("online: snapshot matches inactive buyer %d", j)
+		}
+		if s.offline[i] {
+			return nil, fmt.Errorf("online: snapshot matches buyer %d to offline channel %d", j, i)
+		}
+		if err := s.mu.Assign(i, j); err != nil {
+			return nil, fmt.Errorf("online: snapshot assignment: %w", err)
+		}
+	}
+	s.steps = snap.Steps
+	if got := s.ActiveCount(); got != snap.Active {
+		return nil, fmt.Errorf("online: snapshot active count %d, listed buyers give %d", snap.Active, got)
+	}
+	if got := s.mu.MatchedCount(); got != snap.Matched {
+		return nil, fmt.Errorf("online: snapshot matched count %d, assignment gives %d", snap.Matched, got)
+	}
+	if got := s.Welfare(); got != snap.Welfare {
+		return nil, fmt.Errorf("online: snapshot welfare %v, restored state gives %v", snap.Welfare, got)
+	}
+	return s, nil
 }

@@ -63,10 +63,17 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
-// New builds a server (and its store) from cfg.
-func New(cfg Config) *Server {
+// New builds a server (and its store) from cfg. With a durable store
+// (Config.DataDir) it recovers every session from the WAL before returning;
+// the error is a recovery failure (or any other store-construction
+// failure), and the caller should not serve.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	s := &Server{cfg: cfg, store: NewStore(cfg), reg: cfg.Metrics}
+	store, err := NewStore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, store: store, reg: cfg.Metrics}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", s.route("create", s.handleCreate))
 	mux.HandleFunc("GET /v1/sessions", s.route("list", s.handleList))
@@ -79,7 +86,7 @@ func New(cfg Config) *Server {
 	mux.Handle("GET /debug/trace", trace.Handler(cfg.Flight))
 	registerPprof(mux)
 	s.mux = mux
-	return s
+	return s, nil
 }
 
 // Handler returns the server's root handler: the /v1 session API plus

@@ -31,7 +31,10 @@ func testMarket(t *testing.T, sellers, buyers int, seed int64) *market.Market {
 // tiny client for it. Drain runs via t.Cleanup after the listener stops.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	srv := New(cfg)
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -307,7 +310,10 @@ func TestSessionLimit(t *testing.T) {
 
 func TestDrainFlushesQueue(t *testing.T) {
 	reg := obs.NewRegistry()
-	st := NewStore(Config{Shards: 1, QueueDepth: 8, Metrics: reg})
+	st, err := NewStore(Config{Shards: 1, QueueDepth: 8, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
 	m := testMarket(t, 3, 8, 6)
 	id, _, err := st.Create(nil, m)
 	if err != nil {
@@ -360,7 +366,10 @@ func TestDrainFlushesQueue(t *testing.T) {
 
 func TestHealthAndMetricsEndpoints(t *testing.T) {
 	reg := obs.NewRegistry()
-	srv := New(Config{Shards: 1, Metrics: reg})
+	srv, err := New(Config{Shards: 1, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 
 	resp, err := http.Get(ts.URL + "/healthz")

@@ -13,9 +13,11 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
@@ -28,6 +30,7 @@ import (
 	"specmatch/internal/obs"
 	"specmatch/internal/online"
 	"specmatch/internal/trace"
+	"specmatch/internal/wal"
 )
 
 // Store errors, mapped onto HTTP status codes by the handler layer.
@@ -87,6 +90,29 @@ type Config struct {
 	// recording entirely. A Recorder set on the Engine template is ignored —
 	// sharing one recorder across shards would race.
 	SessionEvents int
+
+	// DataDir, when non-empty, makes the store durable: every mutation
+	// (create, applied event, adopting rebuild, delete) is written to a
+	// per-shard write-ahead log under DataDir and acknowledged only after
+	// the append is fsynced; periodic checkpoints bound replay time. On
+	// construction the store recovers every session from the newest
+	// checkpoint plus log replay. Empty keeps the store purely in-memory.
+	DataDir string
+	// FsyncInterval batches WAL fsyncs: appends accumulate and are synced
+	// together at this interval, so acknowledgement latency is bounded by
+	// it while throughput stays decoupled from fsync rate. Zero means 2ms;
+	// negative fsyncs every append (strict mode, mainly for tests).
+	FsyncInterval time.Duration
+	// CheckpointEvery rotates a shard's log after this many durable
+	// records: the shard state is snapshotted atomically and the old log
+	// deleted. Zero means 4096; negative disables periodic checkpoints
+	// (one is still written at open and close).
+	CheckpointEvery int
+	// WALRepair tolerates mid-log or mid-checkpoint corruption during
+	// recovery by truncating at the first corrupt frame instead of
+	// refusing to start. Everything after the truncation point is lost;
+	// without it, corruption anywhere but a torn tail is a startup error.
+	WALRepair bool
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +130,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SessionEvents == 0 {
 		c.SessionEvents = 4096
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 4096
 	}
 	return c
 }
@@ -133,6 +162,36 @@ type shard struct {
 
 	queueGauge *obs.Gauge
 	sessGauge  *obs.Gauge
+
+	// Durability state, owned by the shard goroutine (nil / zero when the
+	// store runs without a DataDir). nextLSN is the next record's sequence
+	// number; sinceCkpt counts durable records since the last checkpoint.
+	dir       *wal.Dir
+	nextLSN   uint64
+	sinceCkpt int
+}
+
+// durable wraps a shard-op result whose acknowledgement must wait for the
+// write-ahead log: the shard loop assigns the record an LSN, appends it,
+// and delivers v to the op's done channel only when the append is fsynced.
+// Ops on a non-durable store never produce one.
+type durable struct {
+	rec wal.Record
+	v   any
+}
+
+// durableResult wraps v for deferred acknowledgement when the shard is
+// durable; body is the record's JSON payload. Without a WAL it returns v
+// directly, acknowledged as soon as the op completes.
+func (sh *shard) durableResult(v any, typ wal.Type, body any) (any, error) {
+	if sh.dir == nil {
+		return v, nil
+	}
+	data, err := json.Marshal(body)
+	if err != nil {
+		return nil, fmt.Errorf("server: encoding wal record: %w", err)
+	}
+	return &durable{rec: wal.Record{Type: typ, Body: data}, v: v}, nil
 }
 
 // Store is the sharded session store. Construct with NewStore; Close drains
@@ -166,10 +225,41 @@ type Store struct {
 	churnChanUp     *obs.Counter
 	churnChanDown   *obs.Counter
 	churnDisplaced  *obs.Counter
+
+	walAppends       *obs.Counter
+	walAppendBytes   *obs.Counter
+	walFsyncs        *obs.Counter
+	walFsyncSeconds  *obs.Histogram
+	walCheckpoints   *obs.Counter
+	walCkptSeconds   *obs.Histogram
+	walErrors        *obs.Counter
+	walRecovSessions *obs.Counter
+	walRecovRecords  *obs.Counter
+	walRecovTorn     *obs.Counter
+	walRecovRepaired *obs.Counter
+
+	// Recovery summarizes what NewStore restored from the WAL (zero value
+	// for in-memory stores); specserved logs it on startup.
+	Recovery RecoveryStats
 }
 
-// NewStore starts the shard event loops and returns the store.
-func NewStore(cfg Config) *Store {
+// RecoveryStats reports one store recovery.
+type RecoveryStats struct {
+	// Sessions live after snapshot load + log replay.
+	Sessions int
+	// Records replayed from logs past the checkpoints.
+	Records int
+	// TornRecords dropped as torn tails (crash mid-write; never
+	// acknowledged, so dropping them is correct, not lossy).
+	TornRecords int
+	// RepairedRecords dropped beyond corruption under Config.WALRepair.
+	RepairedRecords int
+}
+
+// NewStore recovers any durable state under Config.DataDir, starts the
+// shard event loops, and returns the store. Without a DataDir it cannot
+// fail.
+func NewStore(cfg Config) (*Store, error) {
 	cfg = cfg.withDefaults()
 	reg := cfg.Metrics
 	st := &Store{
@@ -189,25 +279,69 @@ func NewStore(cfg Config) *Store {
 		churnChanUp:     reg.Counter("server.churn.channels_up"),
 		churnChanDown:   reg.Counter("server.churn.channels_down"),
 		churnDisplaced:  reg.Counter("server.churn.displaced"),
+
+		walAppends:       reg.Counter("server.wal.appends"),
+		walAppendBytes:   reg.Counter("server.wal.append_bytes"),
+		walFsyncs:        reg.Counter("server.wal.fsyncs"),
+		walFsyncSeconds:  reg.Histogram("server.wal.fsync_seconds", obs.TimeBuckets()),
+		walCheckpoints:   reg.Counter("server.wal.checkpoints"),
+		walCkptSeconds:   reg.Histogram("server.wal.checkpoint_seconds", obs.TimeBuckets()),
+		walErrors:        reg.Counter("server.wal.errors"),
+		walRecovSessions: reg.Counter("server.wal.recovered.sessions"),
+		walRecovRecords:  reg.Counter("server.wal.recovered.records"),
+		walRecovTorn:     reg.Counter("server.wal.recovered.torn_records"),
+		walRecovRepaired: reg.Counter("server.wal.recovered.repaired_records"),
 	}
 	st.shards = make([]*shard, cfg.Shards)
 	for i := range st.shards {
-		sh := &shard{
+		st.shards[i] = &shard{
 			ops:        make(chan op, cfg.QueueDepth),
 			sessions:   make(map[string]*online.Session),
 			queueGauge: reg.Gauge(fmt.Sprintf("server.shard.%d.queue_depth", i)),
 			sessGauge:  reg.Gauge(fmt.Sprintf("server.shard.%d.sessions", i)),
 		}
-		st.shards[i] = sh
+	}
+	if cfg.DataDir != "" {
+		if err := st.openWAL(); err != nil {
+			return nil, err
+		}
+	}
+	for _, sh := range st.shards {
 		st.wg.Add(1)
 		go st.runShard(sh)
 	}
-	return st
+	return st, nil
+}
+
+// shardDir is shard i's directory under DataDir.
+func (st *Store) shardDir(i int) string {
+	return filepath.Join(st.cfg.DataDir, fmt.Sprintf("shard-%03d", i))
+}
+
+// sessionOptions builds the engine options a hosted session runs with: the
+// store's Engine template plus the session's own bounded recorder (never
+// shared across shards) and the store's flight recorder. Used identically
+// on Create and on WAL recovery, so a recovered session's engine is
+// configured exactly like the original's.
+func (st *Store) sessionOptions() core.Options {
+	eng := st.cfg.Engine
+	eng.Recorder = nil
+	if st.cfg.SessionEvents > 0 {
+		eng.Recorder = trace.NewBoundedRecorder(st.cfg.SessionEvents)
+	}
+	eng.Flight = st.cfg.Flight
+	return eng
 }
 
 // runShard is a shard's event loop: it owns the shard's session map and
 // executes admitted operations one at a time, in admission order, until the
-// queue is closed and drained.
+// queue is closed and drained. On a durable store, mutations are appended
+// to the shard's WAL here and acknowledged from the fsync batcher — the
+// loop itself never waits on disk, so one shard's fsync latency never
+// stalls its queue. On exit the shard takes a final checkpoint and closes
+// its log, which blocks until every acknowledged record is on disk: that is
+// the drain barrier making SIGTERM lossless end to end
+// (accepted == applied == durable).
 func (st *Store) runShard(sh *shard) {
 	defer st.wg.Done()
 	for o := range sh.ops {
@@ -224,12 +358,87 @@ func (st *Store) runShard(sh *shard) {
 		if span.Active() && !o.enq.IsZero() {
 			span.Annotate("queue_wait_us=" + strconv.FormatInt(time.Since(o.enq).Microseconds(), 10))
 		}
-		v, err := o.fn(span.Context())
+		sc := span.Context() // End() inerts the handle; capture before it
+		v, err := o.fn(sc)
 		if span.Active() && err != nil {
 			span.Annotate("err=1")
 		}
 		span.End()
+		if d, ok := v.(*durable); ok && err == nil {
+			st.appendDurable(sh, d, o.done, sc)
+			sh.sinceCkpt++
+			if st.cfg.CheckpointEvery > 0 && sh.sinceCkpt >= st.cfg.CheckpointEvery {
+				st.checkpointShard(sh)
+			}
+			continue
+		}
 		o.done <- opResult{v: v, err: err}
+	}
+	if sh.dir != nil {
+		// Final checkpoint: syncs the tail of the log (releasing the last
+		// acknowledgements), snapshots the drained state, and truncates.
+		st.checkpointShard(sh)
+		if err := sh.dir.Sync(); err != nil {
+			st.walErrors.Inc()
+		}
+		_ = sh.dir.Close()
+	}
+}
+
+// appendDurable assigns the record its LSN, appends it to the shard's log,
+// and arranges for the op's acknowledgement to fire when the record is
+// fsynced. The wal.append span spans exactly that window — append to
+// durable — under the op's server.shard_op span.
+func (st *Store) appendDurable(sh *shard, d *durable, done chan opResult, parent trace.SpanContext) {
+	sh.nextLSN++
+	d.rec.LSN = sh.nextLSN
+	wspan := st.cfg.Flight.Start(parent, "wal.append")
+	if wspan.Active() {
+		wspan.Annotate(fmt.Sprintf("lsn=%d type=%s bytes=%d", d.rec.LSN, d.rec.Type, len(d.rec.Body)))
+	}
+	st.walAppends.Inc()
+	st.walAppendBytes.Add(int64(wal.EncodedSize(len(d.rec.Body))))
+	v := d.v
+	sh.dir.Append(d.rec, func(err error) {
+		if err != nil {
+			st.walErrors.Inc()
+			if wspan.Active() {
+				wspan.Annotate("err=1")
+			}
+			wspan.End()
+			done <- opResult{err: fmt.Errorf("server: wal append: %w", err)}
+			return
+		}
+		wspan.End()
+		done <- opResult{v: v}
+	})
+}
+
+// checkpointShard snapshots the shard's full state and rotates its log.
+// Runs on the shard goroutine, so the session map is stable; a failure
+// leaves the shard appending to its current log and is retried after the
+// next CheckpointEvery records.
+func (st *Store) checkpointShard(sh *shard) {
+	span := st.cfg.Flight.Start(trace.SpanContext{}, "wal.checkpoint")
+	defer span.End()
+	start := time.Now()
+	body, err := marshalCheckpoint(sh.sessions)
+	if err == nil {
+		err = sh.dir.Checkpoint(sh.nextLSN, body)
+	}
+	sh.sinceCkpt = 0
+	st.walCkptSeconds.Observe(time.Since(start).Seconds())
+	if err != nil {
+		st.walErrors.Inc()
+		if span.Active() {
+			span.Annotate("err=1")
+		}
+		return
+	}
+	st.walCheckpoints.Inc()
+	if span.Active() {
+		span.Annotate(fmt.Sprintf("gen=%d lsn=%d sessions=%d bytes=%d",
+			sh.dir.Gen(), sh.nextLSN, len(sh.sessions), len(body)))
 	}
 }
 
@@ -294,15 +503,8 @@ func (st *Store) Create(ctx context.Context, m *market.Market) (string, online.S
 	id := fmt.Sprintf("m%08x", st.nextID.Add(1))
 	sh := st.shardOf(id)
 	v, err := st.do(ctx, sh, func(trace.SpanContext) (any, error) {
-		// Each session owns its engine options: its own bounded recorder
-		// (never shared across shards) and the store's flight recorder.
-		eng := st.cfg.Engine
-		eng.Recorder = nil
-		if st.cfg.SessionEvents > 0 {
-			eng.Recorder = trace.NewBoundedRecorder(st.cfg.SessionEvents)
-		}
-		eng.Flight = st.cfg.Flight
-		s, err := online.NewSession(m, eng)
+		// Each session owns its engine options; see sessionOptions.
+		s, err := online.NewSession(m, st.sessionOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -311,7 +513,7 @@ func (st *Store) Create(ctx context.Context, m *market.Market) (string, online.S
 		st.sessGauge.Add(1)
 		st.created.Inc()
 		st.live.Add(1)
-		return s.Snapshot(), nil
+		return sh.durableResult(s.Snapshot(), wal.TypeCreate, createBody{ID: id, Spec: m.Spec()})
 	})
 	if err != nil {
 		return "", online.Snapshot{}, err
@@ -331,6 +533,8 @@ func (st *Store) Step(ctx context.Context, id string, ev online.Event) (online.S
 		}
 		stats, err := s.StepTraced(ev, sc)
 		if err != nil {
+			// Validation failed before any mutation: nothing reaches the
+			// WAL, the session is untouched, replay never sees the event.
 			return nil, err
 		}
 		st.eventsApplied.Inc()
@@ -339,7 +543,7 @@ func (st *Store) Step(ctx context.Context, id string, ev online.Event) (online.S
 		st.churnChanUp.Add(int64(stats.ChannelsUp))
 		st.churnChanDown.Add(int64(stats.ChannelsDown))
 		st.churnDisplaced.Add(int64(stats.Displaced))
-		return stats, nil
+		return sh.durableResult(stats, wal.TypeStep, stepBody{ID: id, Event: ev})
 	})
 	if err != nil {
 		return online.StepStats{}, err
@@ -367,7 +571,13 @@ func (st *Store) Rebuild(ctx context.Context, id string, adopt bool) (welfare fl
 		if changed {
 			st.rebuildsAdopted.Inc()
 		}
-		return [2]any{w, changed}, nil
+		if !adopt {
+			// A non-adopting rebuild is a pure read; nothing to log.
+			return [2]any{w, changed}, nil
+		}
+		// Replaying the record re-runs the deterministic engine, which
+		// reproduces the adoption decision — the record carries no result.
+		return sh.durableResult([2]any{w, changed}, wal.TypeRebuild, idBody{ID: id})
 	})
 	if err != nil {
 		return 0, false, err
@@ -404,7 +614,7 @@ func (st *Store) Delete(ctx context.Context, id string) error {
 		st.sessGauge.Add(-1)
 		st.deleted.Inc()
 		st.live.Add(-1)
-		return nil, nil
+		return sh.durableResult(nil, wal.TypeDelete, idBody{ID: id})
 	})
 	return err
 }
@@ -434,9 +644,12 @@ func (st *Store) Len() int { return int(st.live.Load()) }
 
 // Close drains the store: new operations are refused with ErrDraining,
 // every operation already admitted runs to completion, and the shard
-// goroutines exit. Callers fronting the store with an HTTP server should
-// stop the listener first (HTTPServer.Shutdown) so no handler is mid-admit.
-// Close is idempotent.
+// goroutines exit. On a durable store each shard additionally takes a final
+// checkpoint and blocks on the last WAL fsync before exiting, so when Close
+// returns every acknowledged mutation is on disk — the SIGTERM guarantee is
+// accepted == applied == durable, not just accepted == applied. Callers
+// fronting the store with an HTTP server should stop the listener first
+// (HTTPServer.Shutdown) so no handler is mid-admit. Close is idempotent.
 func (st *Store) Close() {
 	st.closing.Lock()
 	if !st.draining {

@@ -1,0 +1,283 @@
+package server
+
+// This file is the WAL glue: the record payloads the store logs, checkpoint
+// bodies, the data-dir meta file, and startup recovery. The wal package
+// owns bytes and files; this file owns what they mean — how a shard's
+// session map becomes a checkpoint and how records replay into live
+// sessions. Replay leans on the engine's bit-determinism (same market, same
+// event order ⇒ same matching), so a recovered session is indistinguishable
+// from one that never crashed.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"specmatch/internal/market"
+	"specmatch/internal/online"
+	"specmatch/internal/wal"
+)
+
+// createBody is the payload of a wal.TypeCreate record.
+type createBody struct {
+	ID   string      `json:"id"`
+	Spec market.Spec `json:"spec"`
+}
+
+// stepBody is the payload of a wal.TypeStep record. Only events that passed
+// Validate and were applied are logged, so replaying one cannot fail on an
+// intact log.
+type stepBody struct {
+	ID    string       `json:"id"`
+	Event online.Event `json:"event"`
+}
+
+// idBody is the payload of wal.TypeRebuild and wal.TypeDelete records.
+type idBody struct {
+	ID string `json:"id"`
+}
+
+// checkpointBody is a checkpoint file's payload: every session on the
+// shard, with the market spec and durable state needed to rebuild it.
+type checkpointBody struct {
+	Sessions []sessionCheckpoint `json:"sessions"`
+}
+
+type sessionCheckpoint struct {
+	ID    string          `json:"id"`
+	Spec  market.Spec     `json:"spec"`
+	State online.Snapshot `json:"state"`
+}
+
+// marshalCheckpoint serializes a shard's sessions, sorted by id so the
+// bytes are deterministic for a given state.
+func marshalCheckpoint(sessions map[string]*online.Session) ([]byte, error) {
+	cp := checkpointBody{Sessions: make([]sessionCheckpoint, 0, len(sessions))}
+	ids := make([]string, 0, len(sessions))
+	for id := range sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		s := sessions[id]
+		cp.Sessions = append(cp.Sessions, sessionCheckpoint{
+			ID:    id,
+			Spec:  s.Market().Spec(),
+			State: s.Snapshot(),
+		})
+	}
+	return json.Marshal(cp)
+}
+
+// metaFile pins the layout parameters a data dir was written with. Session
+// ids hash to shards, so reopening with a different shard count would strand
+// every session in the wrong directory; refusing with a clear error beats a
+// silent wrong-shard recovery.
+type metaFile struct {
+	Format int `json:"format"`
+	Shards int `json:"shards"`
+}
+
+const metaName = "meta.json"
+
+func (st *Store) checkMeta() error {
+	path := filepath.Join(st.cfg.DataDir, metaName)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		m, merr := json.Marshal(metaFile{Format: 1, Shards: st.cfg.Shards})
+		if merr != nil {
+			return merr
+		}
+		tmp := path + ".tmp"
+		if werr := os.WriteFile(tmp, append(m, '\n'), 0o644); werr != nil {
+			return werr
+		}
+		return os.Rename(tmp, path)
+	}
+	if err != nil {
+		return err
+	}
+	var m metaFile
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("server: %s: %w", metaName, err)
+	}
+	if m.Format != 1 {
+		return fmt.Errorf("server: %s: unsupported format %d", metaName, m.Format)
+	}
+	if m.Shards != st.cfg.Shards {
+		return fmt.Errorf("server: data dir %s was written with %d shards, store configured with %d; "+
+			"restart with -shards %d (session ids are sharded by hash, so the counts must match)",
+			st.cfg.DataDir, m.Shards, st.cfg.Shards, m.Shards)
+	}
+	return nil
+}
+
+// openWAL opens every shard directory, rebuilds the sessions from the
+// newest checkpoint plus log replay, writes a fresh post-recovery
+// checkpoint per shard (which also persists any torn-tail truncation), and
+// leaves each shard ready to append. Runs before the shard goroutines
+// start, so it may touch shard state directly.
+func (st *Store) openWAL() error {
+	if err := os.MkdirAll(st.cfg.DataDir, 0o755); err != nil {
+		return err
+	}
+	if err := st.checkMeta(); err != nil {
+		return err
+	}
+	stats := func(records, bytes int, took time.Duration) {
+		st.walFsyncs.Inc()
+		st.walFsyncSeconds.Observe(took.Seconds())
+	}
+	var maxID uint64
+	for i, sh := range st.shards {
+		dir, recd, err := wal.Open(st.shardDir(i), st.cfg.FsyncInterval, st.cfg.WALRepair, stats)
+		if err != nil {
+			return fmt.Errorf("server: shard %d: %w (restart with WAL repair to truncate at the corruption)", i, err)
+		}
+		sh.dir = dir
+		if err := st.replayShard(i, sh, recd); err != nil {
+			return err
+		}
+		sh.nextLSN = recd.MaxLSN
+		st.Recovery.Sessions += len(sh.sessions)
+		st.Recovery.TornRecords += recd.TornRecords
+		st.Recovery.RepairedRecords += recd.RepairedRecords
+		st.walRecovTorn.Add(int64(recd.TornRecords))
+		st.walRecovRepaired.Add(int64(recd.RepairedRecords))
+		st.walRecovSessions.Add(int64(len(sh.sessions)))
+
+		// Post-recovery checkpoint: the recovered state becomes the new
+		// baseline and the old (possibly torn) logs are deleted.
+		body, err := marshalCheckpoint(sh.sessions)
+		if err == nil {
+			err = sh.dir.Checkpoint(sh.nextLSN, body)
+		}
+		if err != nil {
+			return fmt.Errorf("server: shard %d: post-recovery checkpoint: %w", i, err)
+		}
+
+		// Restore gauges and the id high-water mark.
+		sh.sessGauge.Set(int64(len(sh.sessions)))
+		st.sessGauge.Add(int64(len(sh.sessions)))
+		st.live.Add(int64(len(sh.sessions)))
+		for id := range sh.sessions {
+			if n, err := strconv.ParseUint(strings.TrimPrefix(id, "m"), 16, 64); err == nil && n > maxID {
+				maxID = n
+			}
+		}
+	}
+	st.nextID.Store(maxID)
+	return nil
+}
+
+// replayShard rebuilds shard i's sessions: checkpoint load, then log
+// replay. An intact log cannot fail to replay (only validated events were
+// logged, and the engine is deterministic); a record that does fail is
+// treated like corruption — fatal without WALRepair, truncate-and-continue
+// with it.
+func (st *Store) replayShard(i int, sh *shard, recd *wal.Recovered) error {
+	if len(recd.SnapshotBody) > 0 {
+		var cp checkpointBody
+		if err := json.Unmarshal(recd.SnapshotBody, &cp); err != nil {
+			if !st.cfg.WALRepair {
+				return fmt.Errorf("server: shard %d: decoding checkpoint: %w", i, err)
+			}
+			st.Recovery.RepairedRecords++
+			st.walRecovRepaired.Inc()
+		} else {
+			for _, sc := range cp.Sessions {
+				m, err := market.FromSpec(sc.Spec)
+				if err == nil {
+					var s *online.Session
+					s, err = online.FromSnapshot(m, sc.State, st.sessionOptions())
+					if err == nil {
+						sh.sessions[sc.ID] = s
+						continue
+					}
+				}
+				if !st.cfg.WALRepair {
+					return fmt.Errorf("server: shard %d: restoring session %s: %w", i, sc.ID, err)
+				}
+				st.Recovery.RepairedRecords++
+				st.walRecovRepaired.Inc()
+			}
+		}
+	}
+	for k, r := range recd.Records {
+		if err := st.applyRecord(sh, r); err != nil {
+			if !st.cfg.WALRepair {
+				return fmt.Errorf("server: shard %d: replaying lsn %d: %w", i, r.LSN, err)
+			}
+			// Prefix semantics: everything from the bad record on is
+			// dropped, mirroring a truncation at the corruption point.
+			dropped := len(recd.Records) - k
+			st.Recovery.RepairedRecords += dropped
+			st.walRecovRepaired.Add(int64(dropped))
+			break
+		}
+		st.Recovery.Records++
+		st.walRecovRecords.Inc()
+	}
+	return nil
+}
+
+// applyRecord replays one log record against the shard's session map.
+func (st *Store) applyRecord(sh *shard, r wal.Record) error {
+	switch r.Type {
+	case wal.TypeCreate:
+		var b createBody
+		if err := json.Unmarshal(r.Body, &b); err != nil {
+			return fmt.Errorf("decoding create: %w", err)
+		}
+		m, err := market.FromSpec(b.Spec)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", b.ID, err)
+		}
+		s, err := online.NewSession(m, st.sessionOptions())
+		if err != nil {
+			return fmt.Errorf("create %s: %w", b.ID, err)
+		}
+		sh.sessions[b.ID] = s
+	case wal.TypeStep:
+		var b stepBody
+		if err := json.Unmarshal(r.Body, &b); err != nil {
+			return fmt.Errorf("decoding step: %w", err)
+		}
+		s, ok := sh.sessions[b.ID]
+		if !ok {
+			return fmt.Errorf("step for unknown session %s", b.ID)
+		}
+		if _, err := s.Step(b.Event); err != nil {
+			return fmt.Errorf("step %s: %w", b.ID, err)
+		}
+	case wal.TypeRebuild:
+		var b idBody
+		if err := json.Unmarshal(r.Body, &b); err != nil {
+			return fmt.Errorf("decoding rebuild: %w", err)
+		}
+		s, ok := sh.sessions[b.ID]
+		if !ok {
+			return fmt.Errorf("rebuild for unknown session %s", b.ID)
+		}
+		if _, err := s.Rebuild(true); err != nil {
+			return fmt.Errorf("rebuild %s: %w", b.ID, err)
+		}
+	case wal.TypeDelete:
+		var b idBody
+		if err := json.Unmarshal(r.Body, &b); err != nil {
+			return fmt.Errorf("decoding delete: %w", err)
+		}
+		if _, ok := sh.sessions[b.ID]; !ok {
+			return fmt.Errorf("delete for unknown session %s", b.ID)
+		}
+		delete(sh.sessions, b.ID)
+	default:
+		return fmt.Errorf("unexpected %s record in log", r.Type)
+	}
+	return nil
+}

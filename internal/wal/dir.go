@@ -1,0 +1,323 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Recovered is what Open found on disk: the newest readable checkpoint and
+// every log record past it, in application order. The caller rebuilds its
+// state from these, then MUST call Checkpoint before appending — that
+// rotates to a fresh generation, which is also what persists the truncation
+// of a torn tail.
+type Recovered struct {
+	// SnapshotBody is the newest readable checkpoint's body, nil when the
+	// directory had no (readable) checkpoint.
+	SnapshotBody []byte
+	// SnapshotLSN is the LSN the checkpoint covers through.
+	SnapshotLSN uint64
+	// Records are the log records with LSN > SnapshotLSN, oldest first.
+	Records []Record
+	// MaxLSN is the highest LSN seen anywhere (snapshot or logs).
+	MaxLSN uint64
+	// TornRecords counts tail frames dropped as torn writes.
+	TornRecords int
+	// RepairedRecords counts frames dropped past a mid-log corruption in
+	// repair mode (always 0 otherwise — without repair, corruption is an
+	// Open error).
+	RepairedRecords int
+	// RepairedSnapshots counts unreadable checkpoint files skipped in
+	// repair mode.
+	RepairedSnapshots int
+}
+
+// Dir is one shard's durable state: the current-generation log plus the
+// checkpoint files, rotated by Checkpoint. Append/Checkpoint are owned by
+// the shard goroutine; Sync/Close may be called during shutdown.
+type Dir struct {
+	path   string
+	every  time.Duration
+	stats  SyncStats
+	gen    uint64
+	log    *Log
+	closed bool
+}
+
+func snapName(gen uint64) string { return fmt.Sprintf("snap-%016x.ckpt", gen) }
+func logName(gen uint64) string  { return fmt.Sprintf("wal-%016x.log", gen) }
+
+func parseGen(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	g, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix), 16, 64)
+	return g, err == nil
+}
+
+// Open recovers a shard directory (creating it if absent). every is the
+// log's fsync batching interval (see Create); repair tolerates mid-log and
+// mid-checkpoint corruption by dropping everything from the first corrupt
+// frame on. After Open the Dir has no writable log yet: call Checkpoint
+// with the rebuilt state first.
+func Open(path string, every time.Duration, repair bool, stats SyncStats) (*Dir, *Recovered, error) {
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return nil, nil, err
+	}
+	entries, err := os.ReadDir(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var snapGens, logGens []uint64
+	for _, e := range entries {
+		if g, ok := parseGen(e.Name(), "snap-", ".ckpt"); ok {
+			snapGens = append(snapGens, g)
+		}
+		if g, ok := parseGen(e.Name(), "wal-", ".log"); ok {
+			logGens = append(logGens, g)
+		}
+		// Anything else (tmp files from a crashed rotation) is ignored and
+		// cleaned up by the next Checkpoint.
+	}
+	sort.Slice(snapGens, func(i, j int) bool { return snapGens[i] > snapGens[j] })
+	sort.Slice(logGens, func(i, j int) bool { return logGens[i] < logGens[j] })
+
+	rec := &Recovered{}
+	snapGen := uint64(0)
+	// Newest readable checkpoint wins; an unreadable one is fatal unless
+	// repair, because it may cover records the older snapshot does not.
+	for _, g := range snapGens {
+		body, lsn, err := readSnapshotFile(filepath.Join(path, snapName(g)))
+		if err != nil {
+			if !repair {
+				return nil, nil, fmt.Errorf("wal: checkpoint %s: %w", snapName(g), err)
+			}
+			rec.RepairedSnapshots++
+			continue
+		}
+		rec.SnapshotBody = body
+		rec.SnapshotLSN = lsn
+		rec.MaxLSN = lsn
+		snapGen = g
+		break
+	}
+
+	for _, g := range logGens {
+		if g < snapGen {
+			continue // fully covered by the checkpoint; deletion crashed
+		}
+		data, err := os.ReadFile(filepath.Join(path, logName(g)))
+		if err != nil {
+			return nil, nil, err
+		}
+		recs, _, err := ScanFile(data)
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrTornTail):
+			// Only the newest log may legitimately be torn: older generations
+			// were complete before the rotation that superseded them.
+			if g != logGens[len(logGens)-1] {
+				if !repair {
+					return nil, nil, fmt.Errorf("wal: %s: torn frame in non-final log: %w", logName(g), err)
+				}
+				rec.RepairedRecords++ // at least the dropped frame
+			} else {
+				rec.TornRecords++
+			}
+		default: // ErrCorrupt, ErrBadMagic, ...
+			if !repair {
+				return nil, nil, fmt.Errorf("wal: %s: %w", logName(g), err)
+			}
+			rec.RepairedRecords++
+		}
+		for _, r := range recs {
+			if r.LSN > rec.MaxLSN {
+				rec.MaxLSN = r.LSN
+			}
+			if r.LSN <= rec.SnapshotLSN {
+				continue // covered by the checkpoint (rotation crash window)
+			}
+			rec.Records = append(rec.Records, r)
+		}
+	}
+
+	d := &Dir{path: path, every: every, stats: stats, gen: maxU64(snapGen, lastU64(logGens))}
+	return d, rec, nil
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func lastU64(s []uint64) uint64 {
+	if len(s) == 0 {
+		return 0
+	}
+	return s[len(s)-1]
+}
+
+// Path returns the shard directory path.
+func (d *Dir) Path() string { return d.path }
+
+// Gen returns the current generation number.
+func (d *Dir) Gen() uint64 { return d.gen }
+
+// LogSize returns the current log's size in bytes (0 before the first
+// Checkpoint).
+func (d *Dir) LogSize() int64 {
+	if d.log == nil {
+		return 0
+	}
+	return d.log.Size()
+}
+
+// Checkpoint makes body the durable full state through lsn and truncates
+// the log: sync the old log (releasing its pending acknowledgements), write
+// the new snapshot atomically (tmp + rename + directory fsync), open a
+// fresh log, then delete the superseded generation's files. A crash at any
+// point leaves a directory Open can recover: the new snapshot only becomes
+// visible by its rename, and stale files are skipped by LSN.
+func (d *Dir) Checkpoint(lsn uint64, body []byte) error {
+	if d.closed {
+		return ErrClosed
+	}
+	if d.log != nil {
+		if err := d.log.Sync(); err != nil {
+			return err
+		}
+	}
+	next := d.gen + 1
+	if err := writeSnapshotFile(filepath.Join(d.path, snapName(next)), lsn, body); err != nil {
+		return err
+	}
+	nl, err := Create(filepath.Join(d.path, logName(next)), d.every, d.stats)
+	if err != nil {
+		return err
+	}
+	old := d.log
+	oldGen := d.gen
+	d.log, d.gen = nl, next
+	if old != nil {
+		_ = old.Close()
+	}
+	// Best-effort cleanup: anything this generation supersedes. Leftovers
+	// from a crash here are harmless and removed next time.
+	ents, _ := os.ReadDir(d.path)
+	for _, e := range ents {
+		if g, ok := parseGen(e.Name(), "snap-", ".ckpt"); ok && g < next {
+			_ = os.Remove(filepath.Join(d.path, e.Name()))
+		}
+		if g, ok := parseGen(e.Name(), "wal-", ".log"); ok && g <= oldGen {
+			_ = os.Remove(filepath.Join(d.path, e.Name()))
+		}
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			_ = os.Remove(filepath.Join(d.path, e.Name()))
+		}
+	}
+	return syncDir(d.path)
+}
+
+// Append appends one record to the current log; onDurable fires once it is
+// fsynced. Checkpoint must have been called at least once since Open.
+func (d *Dir) Append(r Record, onDurable func(error)) {
+	if d.log == nil {
+		if onDurable != nil {
+			onDurable(fmt.Errorf("wal: append before first checkpoint"))
+		}
+		return
+	}
+	d.log.Append(r, onDurable)
+}
+
+// Sync flushes the current log and waits for durability — the drain
+// barrier: after Sync returns, every acknowledged record is on disk.
+func (d *Dir) Sync() error {
+	if d.log == nil {
+		return nil
+	}
+	return d.log.Sync()
+}
+
+// Close syncs and closes the current log. Idempotent.
+func (d *Dir) Close() error {
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	if d.log == nil {
+		return nil
+	}
+	return d.log.Close()
+}
+
+// writeSnapshotFile writes a checkpoint: magic + one framed TypeSnapshot
+// record, via tmp + fsync + rename so a reader (or recovery) never sees a
+// partial file.
+func writeSnapshotFile(path string, lsn uint64, body []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 0, len(Magic)+EncodedSize(len(body)))
+	buf = append(buf, Magic[:]...)
+	buf = AppendRecord(buf, Record{Type: TypeSnapshot, LSN: lsn, Body: body})
+	_, err = f.Write(buf)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// readSnapshotFile loads and verifies a checkpoint file.
+func readSnapshotFile(path string) (body []byte, lsn uint64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	recs, n, err := ScanFile(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(recs) != 1 || recs[0].Type != TypeSnapshot || n != len(data) {
+		return nil, 0, fmt.Errorf("%w: checkpoint wants exactly one snapshot record, got %d", ErrCorrupt, len(recs))
+	}
+	return recs[0].Body, recs[0].LSN, nil
+}
+
+// syncDir fsyncs a directory so renames within it are durable.
+func syncDir(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	// Some filesystems refuse directory fsync; rename durability is then
+	// best-effort, which still preserves atomicity.
+	if errors.Is(err, os.ErrInvalid) {
+		err = nil
+	}
+	cerr := f.Close()
+	if err == nil {
+		err = cerr
+	}
+	return err
+}
