@@ -134,6 +134,73 @@ func TestDurableRestartRecoversSessions(t *testing.T) {
 	}
 }
 
+// Deleting the highest-numbered session and restarting must not regress the
+// id counter: a post-recovery Create must mint a fresh id, never one a
+// client already holds for a different session. Covers both recovery paths
+// — the counter persisted in checkpoint bodies (graceful close) and ids
+// harvested from replayed create records (crash image, where the deleted
+// session's id survives only in its create record).
+func TestNextIDNeverRegresses(t *testing.T) {
+	ctx := context.Background()
+	build := func(t *testing.T, st *Store) []string {
+		t.Helper()
+		var ids []string
+		for k := 0; k < 3; k++ {
+			m, err := market.Generate(market.Config{Sellers: 2, Buyers: 6, Seed: int64(k + 1)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			id, _, err := st.Create(ctx, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+		// ids are minted in sequence, so the last one is the high-water mark.
+		if err := st.Delete(ctx, ids[len(ids)-1]); err != nil {
+			t.Fatal(err)
+		}
+		return ids
+	}
+	checkFresh := func(t *testing.T, st *Store, issued []string) {
+		t.Helper()
+		m, err := market.Generate(market.Config{Sellers: 2, Buyers: 6, Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, _, err := st.Create(ctx, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, old := range issued {
+			if id == old {
+				t.Fatalf("recovered store re-issued id %s", id)
+			}
+		}
+	}
+
+	t.Run("graceful-close", func(t *testing.T) {
+		dir := t.TempDir()
+		st := mustStore(t, durableConfig(dir, 2))
+		ids := build(t, st)
+		st.Close()
+		st2 := mustStore(t, durableConfig(dir, 2))
+		defer st2.Close()
+		checkFresh(t, st2, ids)
+	})
+
+	t.Run("crash-image", func(t *testing.T) {
+		liveDir, imageDir := t.TempDir(), t.TempDir()
+		st := mustStore(t, durableConfig(liveDir, 2))
+		defer st.Close()
+		ids := build(t, st)
+		copyTree(t, liveDir, imageDir)
+		st2 := mustStore(t, durableConfig(imageDir, 2))
+		defer st2.Close()
+		checkFresh(t, st2, ids)
+	})
+}
+
 // copyTree clones a data directory — a poor man's crash image: the files as
 // they are mid-run, with live logs and no graceful checkpoint.
 func copyTree(t *testing.T, src, dst string) {

@@ -180,18 +180,31 @@ type durable struct {
 	v   any
 }
 
-// durableResult wraps v for deferred acknowledgement when the shard is
-// durable; body is the record's JSON payload. Without a WAL it returns v
-// directly, acknowledged as soon as the op completes.
-func (sh *shard) durableResult(v any, typ wal.Type, body any) (any, error) {
+// prepareDurable marshals a WAL record body for a mutation that has NOT
+// happened yet. Callers marshal before touching session state, so a marshal
+// failure rejects the op with the shard untouched — apply and log stay
+// atomic, and a checkpoint can never persist state the client was told
+// failed. On a non-durable store it returns nil; result on a nil *durable
+// passes the value straight through.
+func (sh *shard) prepareDurable(typ wal.Type, body any) (*durable, error) {
 	if sh.dir == nil {
-		return v, nil
+		return nil, nil
 	}
 	data, err := json.Marshal(body)
 	if err != nil {
 		return nil, fmt.Errorf("server: encoding wal record: %w", err)
 	}
-	return &durable{rec: wal.Record{Type: typ, Body: data}, v: v}, nil
+	return &durable{rec: wal.Record{Type: typ, Body: data}}, nil
+}
+
+// result attaches the op's acknowledgement value: deferred through the WAL
+// when d was prepared on a durable shard, immediate otherwise.
+func (d *durable) result(v any) any {
+	if d == nil {
+		return v
+	}
+	d.v = v
+	return d
 }
 
 // Store is the sharded session store. Construct with NewStore; Close drains
@@ -422,7 +435,7 @@ func (st *Store) checkpointShard(sh *shard) {
 	span := st.cfg.Flight.Start(trace.SpanContext{}, "wal.checkpoint")
 	defer span.End()
 	start := time.Now()
-	body, err := marshalCheckpoint(sh.sessions)
+	body, err := marshalCheckpoint(st.nextID.Load(), sh.sessions)
 	if err == nil {
 		err = sh.dir.Checkpoint(sh.nextLSN, body)
 	}
@@ -503,6 +516,10 @@ func (st *Store) Create(ctx context.Context, m *market.Market) (string, online.S
 	id := fmt.Sprintf("m%08x", st.nextID.Add(1))
 	sh := st.shardOf(id)
 	v, err := st.do(ctx, sh, func(trace.SpanContext) (any, error) {
+		d, err := sh.prepareDurable(wal.TypeCreate, createBody{ID: id, Spec: m.Spec()})
+		if err != nil {
+			return nil, err
+		}
 		// Each session owns its engine options; see sessionOptions.
 		s, err := online.NewSession(m, st.sessionOptions())
 		if err != nil {
@@ -513,7 +530,7 @@ func (st *Store) Create(ctx context.Context, m *market.Market) (string, online.S
 		st.sessGauge.Add(1)
 		st.created.Inc()
 		st.live.Add(1)
-		return sh.durableResult(s.Snapshot(), wal.TypeCreate, createBody{ID: id, Spec: m.Spec()})
+		return d.result(s.Snapshot()), nil
 	})
 	if err != nil {
 		return "", online.Snapshot{}, err
@@ -531,6 +548,10 @@ func (st *Store) Step(ctx context.Context, id string, ev online.Event) (online.S
 		if !ok {
 			return nil, ErrNotFound
 		}
+		d, err := sh.prepareDurable(wal.TypeStep, stepBody{ID: id, Event: ev})
+		if err != nil {
+			return nil, err
+		}
 		stats, err := s.StepTraced(ev, sc)
 		if err != nil {
 			// Validation failed before any mutation: nothing reaches the
@@ -543,7 +564,7 @@ func (st *Store) Step(ctx context.Context, id string, ev online.Event) (online.S
 		st.churnChanUp.Add(int64(stats.ChannelsUp))
 		st.churnChanDown.Add(int64(stats.ChannelsDown))
 		st.churnDisplaced.Add(int64(stats.Displaced))
-		return sh.durableResult(stats, wal.TypeStep, stepBody{ID: id, Event: ev})
+		return d.result(stats), nil
 	})
 	if err != nil {
 		return online.StepStats{}, err
@@ -561,6 +582,16 @@ func (st *Store) Rebuild(ctx context.Context, id string, adopt bool) (welfare fl
 		if !ok {
 			return nil, ErrNotFound
 		}
+		var d *durable
+		if adopt {
+			// Replaying the record re-runs the deterministic engine, which
+			// reproduces the adoption decision — the record carries no
+			// result. A non-adopting rebuild is a pure read; nothing to log.
+			var err error
+			if d, err = sh.prepareDurable(wal.TypeRebuild, idBody{ID: id}); err != nil {
+				return nil, err
+			}
+		}
 		before := s.Welfare()
 		w, err := s.RebuildTraced(adopt, sc)
 		if err != nil {
@@ -572,12 +603,9 @@ func (st *Store) Rebuild(ctx context.Context, id string, adopt bool) (welfare fl
 			st.rebuildsAdopted.Inc()
 		}
 		if !adopt {
-			// A non-adopting rebuild is a pure read; nothing to log.
 			return [2]any{w, changed}, nil
 		}
-		// Replaying the record re-runs the deterministic engine, which
-		// reproduces the adoption decision — the record carries no result.
-		return sh.durableResult([2]any{w, changed}, wal.TypeRebuild, idBody{ID: id})
+		return d.result([2]any{w, changed}), nil
 	})
 	if err != nil {
 		return 0, false, err
@@ -609,12 +637,16 @@ func (st *Store) Delete(ctx context.Context, id string) error {
 		if _, ok := sh.sessions[id]; !ok {
 			return nil, ErrNotFound
 		}
+		d, err := sh.prepareDurable(wal.TypeDelete, idBody{ID: id})
+		if err != nil {
+			return nil, err
+		}
 		delete(sh.sessions, id)
 		sh.sessGauge.Add(-1)
 		st.sessGauge.Add(-1)
 		st.deleted.Inc()
 		st.live.Add(-1)
-		return sh.durableResult(nil, wal.TypeDelete, idBody{ID: id})
+		return d.result(nil), nil
 	})
 	return err
 }

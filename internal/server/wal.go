@@ -45,6 +45,13 @@ type idBody struct {
 // checkpointBody is a checkpoint file's payload: every session on the
 // shard, with the market spec and durable state needed to rebuild it.
 type checkpointBody struct {
+	// NextID is the store-wide session-id counter at checkpoint time.
+	// Recovery takes the max over every shard's checkpoint and every
+	// replayed create record, so a restart never re-issues an id — inferring
+	// the counter from surviving session ids would let it regress after the
+	// highest-numbered session is deleted, aliasing a new session onto an id
+	// clients already hold.
+	NextID   uint64              `json:"next_id"`
 	Sessions []sessionCheckpoint `json:"sessions"`
 }
 
@@ -55,9 +62,9 @@ type sessionCheckpoint struct {
 }
 
 // marshalCheckpoint serializes a shard's sessions, sorted by id so the
-// bytes are deterministic for a given state.
-func marshalCheckpoint(sessions map[string]*online.Session) ([]byte, error) {
-	cp := checkpointBody{Sessions: make([]sessionCheckpoint, 0, len(sessions))}
+// bytes are deterministic for a given state, plus the store's id counter.
+func marshalCheckpoint(nextID uint64, sessions map[string]*online.Session) ([]byte, error) {
+	cp := checkpointBody{NextID: nextID, Sessions: make([]sessionCheckpoint, 0, len(sessions))}
 	ids := make([]string, 0, len(sessions))
 	for id := range sessions {
 		ids = append(ids, id)
@@ -133,6 +140,8 @@ func (st *Store) openWAL() error {
 		st.walFsyncs.Inc()
 		st.walFsyncSeconds.Observe(took.Seconds())
 	}
+	// First pass: replay every shard, accumulating the id high-water mark
+	// from checkpoints, replayed create records, and live session ids.
 	var maxID uint64
 	for i, sh := range st.shards {
 		dir, recd, err := wal.Open(st.shardDir(i), st.cfg.FsyncInterval, st.cfg.WALRepair, stats)
@@ -140,7 +149,7 @@ func (st *Store) openWAL() error {
 			return fmt.Errorf("server: shard %d: %w (restart with WAL repair to truncate at the corruption)", i, err)
 		}
 		sh.dir = dir
-		if err := st.replayShard(i, sh, recd); err != nil {
+		if err := st.replayShard(i, sh, recd, &maxID); err != nil {
 			return err
 		}
 		sh.nextLSN = recd.MaxLSN
@@ -151,28 +160,38 @@ func (st *Store) openWAL() error {
 		st.walRecovRepaired.Add(int64(recd.RepairedRecords))
 		st.walRecovSessions.Add(int64(len(sh.sessions)))
 
-		// Post-recovery checkpoint: the recovered state becomes the new
-		// baseline and the old (possibly torn) logs are deleted.
-		body, err := marshalCheckpoint(sh.sessions)
+		// Restore gauges and scan live ids (covers checkpoints from before
+		// the counter was persisted in the checkpoint body).
+		sh.sessGauge.Set(int64(len(sh.sessions)))
+		st.sessGauge.Add(int64(len(sh.sessions)))
+		st.live.Add(int64(len(sh.sessions)))
+		for id := range sh.sessions {
+			bumpIDHighWater(&maxID, id)
+		}
+	}
+	st.nextID.Store(maxID)
+
+	// Second pass, once the store-wide counter is known: the recovered state
+	// becomes each shard's new baseline and the old (possibly torn) logs are
+	// deleted.
+	for i, sh := range st.shards {
+		body, err := marshalCheckpoint(maxID, sh.sessions)
 		if err == nil {
 			err = sh.dir.Checkpoint(sh.nextLSN, body)
 		}
 		if err != nil {
 			return fmt.Errorf("server: shard %d: post-recovery checkpoint: %w", i, err)
 		}
-
-		// Restore gauges and the id high-water mark.
-		sh.sessGauge.Set(int64(len(sh.sessions)))
-		st.sessGauge.Add(int64(len(sh.sessions)))
-		st.live.Add(int64(len(sh.sessions)))
-		for id := range sh.sessions {
-			if n, err := strconv.ParseUint(strings.TrimPrefix(id, "m"), 16, 64); err == nil && n > maxID {
-				maxID = n
-			}
-		}
 	}
-	st.nextID.Store(maxID)
 	return nil
+}
+
+// bumpIDHighWater raises *maxID to a store-issued session id's number; ids
+// that do not parse (never minted by Create) are ignored.
+func bumpIDHighWater(maxID *uint64, id string) {
+	if n, err := strconv.ParseUint(strings.TrimPrefix(id, "m"), 16, 64); err == nil && n > *maxID {
+		*maxID = n
+	}
 }
 
 // replayShard rebuilds shard i's sessions: checkpoint load, then log
@@ -180,7 +199,7 @@ func (st *Store) openWAL() error {
 // logged, and the engine is deterministic); a record that does fail is
 // treated like corruption — fatal without WALRepair, truncate-and-continue
 // with it.
-func (st *Store) replayShard(i int, sh *shard, recd *wal.Recovered) error {
+func (st *Store) replayShard(i int, sh *shard, recd *wal.Recovered, maxID *uint64) error {
 	if len(recd.SnapshotBody) > 0 {
 		var cp checkpointBody
 		if err := json.Unmarshal(recd.SnapshotBody, &cp); err != nil {
@@ -190,6 +209,9 @@ func (st *Store) replayShard(i int, sh *shard, recd *wal.Recovered) error {
 			st.Recovery.RepairedRecords++
 			st.walRecovRepaired.Inc()
 		} else {
+			if cp.NextID > *maxID {
+				*maxID = cp.NextID
+			}
 			for _, sc := range cp.Sessions {
 				m, err := market.FromSpec(sc.Spec)
 				if err == nil {
@@ -209,7 +231,7 @@ func (st *Store) replayShard(i int, sh *shard, recd *wal.Recovered) error {
 		}
 	}
 	for k, r := range recd.Records {
-		if err := st.applyRecord(sh, r); err != nil {
+		if err := st.applyRecord(sh, r, maxID); err != nil {
 			if !st.cfg.WALRepair {
 				return fmt.Errorf("server: shard %d: replaying lsn %d: %w", i, r.LSN, err)
 			}
@@ -226,8 +248,10 @@ func (st *Store) replayShard(i int, sh *shard, recd *wal.Recovered) error {
 	return nil
 }
 
-// applyRecord replays one log record against the shard's session map.
-func (st *Store) applyRecord(sh *shard, r wal.Record) error {
+// applyRecord replays one log record against the shard's session map,
+// raising *maxID past every id a create record shows was issued — a session
+// created then deleted between checkpoints appears nowhere else.
+func (st *Store) applyRecord(sh *shard, r wal.Record, maxID *uint64) error {
 	switch r.Type {
 	case wal.TypeCreate:
 		var b createBody
@@ -243,6 +267,7 @@ func (st *Store) applyRecord(sh *shard, r wal.Record) error {
 			return fmt.Errorf("create %s: %w", b.ID, err)
 		}
 		sh.sessions[b.ID] = s
+		bumpIDHighWater(maxID, b.ID)
 	case wal.TypeStep:
 		var b stepBody
 		if err := json.Unmarshal(r.Body, &b); err != nil {

@@ -107,23 +107,45 @@ func Open(path string, every time.Duration, repair bool, stats SyncStats) (*Dir,
 		break
 	}
 
+	// Read EVERY log, even generations the checkpoint appears to supersede:
+	// the per-record 'LSN <= SnapshotLSN' filter below already makes replay
+	// idempotent, and a rotation that renamed the new snapshot but failed to
+	// create the new log leaves acknowledged records in the OLD generation's
+	// log. Skipping by generation number would silently drop them.
+	type scannedLog struct {
+		gen  uint64
+		recs []Record
+		err  error
+	}
+	logs := make([]scannedLog, 0, len(logGens))
 	for _, g := range logGens {
-		if g < snapGen {
-			continue // fully covered by the checkpoint; deletion crashed
-		}
 		data, err := os.ReadFile(filepath.Join(path, logName(g)))
 		if err != nil {
 			return nil, nil, err
 		}
-		recs, _, err := ScanFile(data)
+		recs, _, serr := ScanFile(data)
+		logs = append(logs, scannedLog{gen: g, recs: recs, err: serr})
+	}
+	for i, lg := range logs {
+		// A torn tail is the crash signature of the log that was still being
+		// appended to. That is usually the newest generation, but after a
+		// failed rotation the shard keeps appending to the old one — so a
+		// torn tail is legitimate exactly when no LATER generation holds
+		// records. A torn log with appended-to successors was complete when
+		// it was superseded; its damage is corruption, not a crash artifact.
+		laterHasRecords := false
+		for _, l2 := range logs[i+1:] {
+			if len(l2.recs) > 0 {
+				laterHasRecords = true
+				break
+			}
+		}
 		switch {
-		case err == nil:
-		case errors.Is(err, ErrTornTail):
-			// Only the newest log may legitimately be torn: older generations
-			// were complete before the rotation that superseded them.
-			if g != logGens[len(logGens)-1] {
+		case lg.err == nil:
+		case errors.Is(lg.err, ErrTornTail):
+			if laterHasRecords {
 				if !repair {
-					return nil, nil, fmt.Errorf("wal: %s: torn frame in non-final log: %w", logName(g), err)
+					return nil, nil, fmt.Errorf("wal: %s: torn frame in superseded log: %w", logName(lg.gen), lg.err)
 				}
 				rec.RepairedRecords++ // at least the dropped frame
 			} else {
@@ -131,11 +153,11 @@ func Open(path string, every time.Duration, repair bool, stats SyncStats) (*Dir,
 			}
 		default: // ErrCorrupt, ErrBadMagic, ...
 			if !repair {
-				return nil, nil, fmt.Errorf("wal: %s: %w", logName(g), err)
+				return nil, nil, fmt.Errorf("wal: %s: %w", logName(lg.gen), lg.err)
 			}
 			rec.RepairedRecords++
 		}
-		for _, r := range recs {
+		for _, r := range lg.recs {
 			if r.LSN > rec.MaxLSN {
 				rec.MaxLSN = r.LSN
 			}
@@ -180,11 +202,15 @@ func (d *Dir) LogSize() int64 {
 }
 
 // Checkpoint makes body the durable full state through lsn and truncates
-// the log: sync the old log (releasing its pending acknowledgements), write
-// the new snapshot atomically (tmp + rename + directory fsync), open a
-// fresh log, then delete the superseded generation's files. A crash at any
-// point leaves a directory Open can recover: the new snapshot only becomes
-// visible by its rename, and stale files are skipped by LSN.
+// the log: sync the old log (releasing its pending acknowledgements), open
+// the next generation's log, write the new snapshot atomically (tmp +
+// rename), fsync the directory, and only then delete the superseded
+// generation's files. A crash or failure at any point leaves a directory
+// Open can recover: the new snapshot only becomes visible by its rename, a
+// failed rotation aborts with the old generation still live (and recovery
+// reads every log, so records appended to it afterwards survive), and the
+// directory fsync orders the rename before the unlinks so no crash window
+// leaves neither generation readable.
 func (d *Dir) Checkpoint(lsn uint64, body []byte) error {
 	if d.closed {
 		return ErrClosed
@@ -195,11 +221,26 @@ func (d *Dir) Checkpoint(lsn uint64, body []byte) error {
 		}
 	}
 	next := d.gen + 1
-	if err := writeSnapshotFile(filepath.Join(d.path, snapName(next)), lsn, body); err != nil {
+	// New log before the snapshot rename: if either step fails the rotation
+	// aborts with the old generation fully intact and the shard keeps
+	// appending to its current log.
+	nextLog := filepath.Join(d.path, logName(next))
+	nl, err := Create(nextLog, d.every, d.stats)
+	if err != nil {
 		return err
 	}
-	nl, err := Create(filepath.Join(d.path, logName(next)), d.every, d.stats)
-	if err != nil {
+	if err := writeSnapshotFile(filepath.Join(d.path, snapName(next)), lsn, body); err != nil {
+		_ = nl.Close()
+		_ = os.Remove(nextLog)
+		return err
+	}
+	// Make the snapshot rename and the new log's directory entry durable
+	// BEFORE unlinking what they supersede: POSIX orders none of these
+	// metadata ops without an intervening fsync, so deleting first could
+	// persist the unlinks but not the rename across a crash.
+	if err := syncDir(d.path); err != nil {
+		_ = nl.Close()
+		_ = os.Remove(nextLog)
 		return err
 	}
 	old := d.log

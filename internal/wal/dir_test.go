@@ -276,6 +276,109 @@ func TestDirRotationCrashWindow(t *testing.T) {
 	}
 }
 
+// A rotation that renames the new snapshot but never creates the new log
+// (ENOSPC, crash between the two) leaves the shard appending acknowledged
+// records into the OLD generation's log. Recovery must read logs the
+// checkpoint appears to supersede and keep every record past the snapshot
+// LSN — skipping whole logs by generation number would drop acked data.
+func TestDirFailedRotationKeepsAckedRecords(t *testing.T) {
+	path := t.TempDir()
+	d, _ := openClean(t, path)
+	if err := d.Checkpoint(0, []byte("s0")); err != nil {
+		t.Fatal(err)
+	}
+	appendSync(t, d, 1, 5)
+	gen := d.Gen()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the partial rotation: snap-(gen+1) covering through lsn 3
+	// appears, but wal-(gen+1) does not; lsns 4 and 5 — acknowledged after
+	// the failed rotation — exist only in the old generation's log.
+	buf := append([]byte{}, Magic[:]...)
+	buf = AppendRecord(buf, Record{Type: TypeSnapshot, LSN: 3, Body: []byte("s3")})
+	if err := os.WriteFile(filepath.Join(path, snapName(gen+1)), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, rec := openClean(t, path) // acked data at stake: must not need repair
+	if string(rec.SnapshotBody) != "s3" || rec.SnapshotLSN != 3 {
+		t.Fatalf("recovered snapshot %q@%d, want s3@3", rec.SnapshotBody, rec.SnapshotLSN)
+	}
+	if len(rec.Records) != 2 || rec.Records[0].LSN != 4 || rec.Records[1].LSN != 5 {
+		t.Fatalf("recovered records %+v, want exactly lsn 4 and 5 from the superseded log", rec.Records)
+	}
+	if rec.MaxLSN != 5 || rec.TornRecords != 0 || rec.RepairedRecords != 0 {
+		t.Fatalf("recovery stats off: %+v", rec)
+	}
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same layout with a torn tail on the old log: it was still the shard's
+	// active log when the crash hit, so the torn frame is the ordinary
+	// crash signature — truncated silently, no repair required.
+	frame := AppendRecord(nil, Record{Type: TypeStep, LSN: 6, Body: []byte("never-acked")})
+	f, err := os.OpenFile(filepath.Join(path, logName(gen)), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(frame[:len(frame)/2]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	d3, rec3 := openClean(t, path)
+	defer d3.Close()
+	if len(rec3.Records) != 2 || rec3.TornRecords == 0 {
+		t.Fatalf("recovered %d records, torn %d; want 2 records and a torn count", len(rec3.Records), rec3.TornRecords)
+	}
+}
+
+// A torn frame in a log with appended-to later generations cannot be a
+// crash artifact — the shard had already moved on — and must be treated as
+// corruption: fatal without repair.
+func TestDirTornSupersededLogIsCorruption(t *testing.T) {
+	path := t.TempDir()
+	d, _ := openClean(t, path)
+	if err := d.Checkpoint(0, []byte("s0")); err != nil {
+		t.Fatal(err)
+	}
+	appendSync(t, d, 1, 4)
+	oldLog := filepath.Join(path, logName(d.Gen()))
+	oldData, err := os.ReadFile(oldLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Checkpoint(4, []byte("s4")); err != nil {
+		t.Fatal(err)
+	}
+	appendSync(t, d, 5, 2)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Resurrect the superseded log with a half frame at its tail: the next
+	// generation holds records, so this cannot be the active log's torn tail.
+	frame := AppendRecord(nil, Record{Type: TypeStep, LSN: 99, Body: []byte("damage")})
+	oldData = append(oldData, frame[:len(frame)/2]...)
+	if err := os.WriteFile(oldLog, oldData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := Open(path, time.Millisecond, false, nil); err == nil {
+		t.Fatal("Open accepted a torn superseded log without repair")
+	}
+	_, rec, err := Open(path, time.Millisecond, true, nil)
+	if err != nil {
+		t.Fatalf("Open with repair: %v", err)
+	}
+	if len(rec.Records) != 2 || rec.Records[0].LSN != 5 {
+		t.Fatalf("repair recovered %+v, want lsn 5 and 6", rec.Records)
+	}
+	if rec.RepairedRecords == 0 {
+		t.Fatal("repair did not count the damage")
+	}
+}
+
 func TestDirAppendBeforeCheckpoint(t *testing.T) {
 	d, _ := openClean(t, t.TempDir())
 	defer d.Close()

@@ -215,6 +215,12 @@ type Log struct {
 	every time.Duration
 	stats SyncStats
 
+	// flushMu serializes whole flushes: the file write happens outside mu
+	// (so appends never wait on disk), and without this two concurrent
+	// flushes — e.g. Sync's close-race fallback against Close's own flush —
+	// could write their batches out of order on the non-O_APPEND fd.
+	flushMu sync.Mutex
+
 	mu      sync.Mutex
 	f       *os.File
 	pending []byte
@@ -302,10 +308,13 @@ func (l *Log) Append(r Record, onDurable func(error)) {
 	}
 }
 
-// flush writes and fsyncs the pending batch and fires its callbacks. Only
-// the syncer goroutine (or, in strict mode, the appending goroutine) calls
-// it, so batches reach the file in order.
+// flush writes and fsyncs the pending batch and fires its callbacks.
+// Callers may race (syncer tick, strict-mode append, Sync's close fallback,
+// Close itself); flushMu serializes them so batches reach the file in the
+// order they were taken from pending.
 func (l *Log) flush() error {
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
 	l.mu.Lock()
 	buf, cbs, nrecs := l.pending, l.cbs, l.nrecs
 	l.pending, l.cbs, l.nrecs = nil, nil, 0
