@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench benchcheck baseline figures check fmt vet clean serve-smoke trace-smoke crash-smoke
+.PHONY: all build test test-short race bench benchcheck baseline figures check fmt vet clean serve-smoke trace-smoke crash-smoke churn-smoke
 
 all: build test
 
@@ -26,9 +26,11 @@ bench:
 # Guard the committed engine baseline: exact welfare goldens plus
 # side-by-side timing checks on this machine (default engine within 2x of
 # plain sequential; instrumented engine within 2x of instrumentation off;
-# WAL-on serving within 1.25x of WAL-off under a saturating workload).
+# incremental churn engine at least 4x faster than full recompute with
+# bit-identical per-step output; WAL-on serving within 1.25x of WAL-off
+# under a saturating workload).
 benchcheck:
-	RUN_BENCHCHECK=1 $(GO) test -run 'TestBenchBaseline|TestInstrumentationOverhead' -count=1 -v .
+	RUN_BENCHCHECK=1 $(GO) test -run 'TestBenchBaseline|TestInstrumentationOverhead|TestChurnBaseline' -count=1 -v .
 	RUN_BENCHCHECK=1 $(GO) test -run 'TestWALOverhead' -count=1 -v ./internal/server/
 
 # Regenerate BENCH_BASELINE.json (run after an intentional behavior change).
@@ -56,6 +58,12 @@ trace-smoke:
 # event durable, recovered state bit-for-bit equal to a replay.
 crash-smoke:
 	./scripts/crash_smoke.sh
+
+# End-to-end smoke of the incremental churn engine: specserved under a
+# churn-heavy specload mix, accepted == applied reconciliation, live
+# core.incremental.* counters, and the -disable-incremental escape hatch.
+churn-smoke:
+	./scripts/churn_smoke.sh
 
 check: vet test-short
 

@@ -9,6 +9,7 @@ import (
 	"specmatch/internal/core"
 	"specmatch/internal/market"
 	"specmatch/internal/obs"
+	"specmatch/internal/online"
 	"specmatch/internal/trace"
 )
 
@@ -24,6 +25,15 @@ type benchBaseline struct {
 		Matched int     `json:"matched"`
 		Rounds  int     `json:"rounds"`
 	} `json:"cases"`
+	Churn []struct {
+		Name    string  `json:"name"`
+		Sellers int     `json:"sellers"`
+		Buyers  int     `json:"buyers"`
+		Seed    int64   `json:"seed"`
+		Steps   int     `json:"steps"`
+		Welfare float64 `json:"welfare"`
+		Matched int     `json:"matched"`
+	} `json:"churn"`
 }
 
 // TestBenchBaseline guards the committed engine baseline on two axes.
@@ -105,6 +115,109 @@ func TestBenchBaseline(t *testing.T) {
 			t.Logf("default %v, sequential %v (%.2fx)", defDur, seqDur, float64(seqDur)/float64(defDur))
 			if defDur > 2*seqDur {
 				t.Errorf("default engine is >2x slower than plain sequential: %v vs %v", defDur, seqDur)
+			}
+		})
+	}
+}
+
+// TestChurnBaseline guards the incremental churn engine on the same two axes
+// as TestBenchBaseline.
+//
+// Welfare drift + path equivalence (always on): each churn case's
+// deterministic SyntheticChurn trace is replayed through both the incremental
+// engine and the full-recompute shadow path (DisableIncremental). Every step's
+// StepStats must be bit-identical between the two paths — the incremental
+// engine is an optimization, never a behavior change — and the final welfare
+// and matched count must reproduce the committed goldens exactly on both.
+// Regenerate with `go run ./cmd/specbench -baseline BENCH_BASELINE.json` when
+// a behavior change is intentional.
+//
+// Timing regression (RUN_BENCHCHECK=1, `make benchcheck`): the incremental
+// path must replay the trace at least 4x faster than the full path, measured
+// side by side on this machine, best of 5 replays each. The guard sits below
+// the ~25x the recording machine observed so machine noise cannot flake it,
+// but far above 1x so an accidental fallback to full recompute fails loudly.
+func TestChurnBaseline(t *testing.T) {
+	data, err := os.ReadFile("BENCH_BASELINE.json")
+	if err != nil {
+		t.Fatalf("reading BENCH_BASELINE.json (regenerate with `go run ./cmd/specbench -baseline BENCH_BASELINE.json`): %v", err)
+	}
+	var base benchBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatalf("decoding BENCH_BASELINE.json: %v", err)
+	}
+	if len(base.Churn) == 0 {
+		t.Fatal("BENCH_BASELINE.json has no churn cases")
+	}
+	timing := os.Getenv("RUN_BENCHCHECK") == "1"
+
+	for _, c := range base.Churn {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			m, err := market.Generate(market.Config{Sellers: c.Sellers, Buyers: c.Buyers, Seed: c.Seed})
+			if err != nil {
+				t.Fatalf("generating market: %v", err)
+			}
+			events := online.SyntheticChurn(m, c.Seed, c.Steps)
+
+			replay := func(disable bool, iters int) (time.Duration, *online.Session, []online.StepStats) {
+				bestD := time.Duration(0)
+				var bestSess *online.Session
+				var bestStats []online.StepStats
+				for k := 0; k < iters; k++ {
+					s, err := online.NewSession(m, core.Options{DisableIncremental: disable})
+					if err != nil {
+						t.Fatalf("NewSession: %v", err)
+					}
+					stats := make([]online.StepStats, 0, len(events))
+					start := time.Now()
+					for _, ev := range events {
+						st, err := s.Step(ev)
+						if err != nil {
+							t.Fatalf("Step: %v", err)
+						}
+						stats = append(stats, st)
+					}
+					d := time.Since(start)
+					if bestSess == nil || d < bestD {
+						bestD, bestSess, bestStats = d, s, stats
+					}
+				}
+				return bestD, bestSess, bestStats
+			}
+
+			iters := 1
+			if timing {
+				iters = 5
+			}
+			incDur, incSess, incStats := replay(false, iters)
+			fullDur, fullSess, fullStats := replay(true, iters)
+
+			// Welfare-unchanged: the two paths must agree bit for bit at
+			// every step, and both must match the committed goldens.
+			for k := range incStats {
+				if incStats[k] != fullStats[k] {
+					t.Fatalf("step %d stats diverge between paths:\n incremental %+v\n full        %+v",
+						k, incStats[k], fullStats[k])
+				}
+			}
+			if !incSess.Matching().Equal(fullSess.Matching()) {
+				t.Errorf("final matchings diverge between paths")
+			}
+			if got := incSess.Welfare(); got != c.Welfare {
+				t.Errorf("welfare drift: got %v, baseline %v", got, c.Welfare)
+			}
+			if got := incSess.Matching().MatchedCount(); got != c.Matched {
+				t.Errorf("matched drift: got %d, baseline %d", got, c.Matched)
+			}
+
+			if !timing {
+				return
+			}
+			t.Logf("incremental %v, full %v (%.2fx) over %d steps",
+				incDur, fullDur, float64(fullDur)/float64(incDur), c.Steps)
+			if fullDur < 4*incDur {
+				t.Errorf("incremental path is <4x faster than full recompute: %v vs %v", incDur, fullDur)
 			}
 		})
 	}

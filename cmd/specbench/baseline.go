@@ -11,6 +11,7 @@ import (
 	"specmatch/internal/core"
 	"specmatch/internal/market"
 	"specmatch/internal/obs"
+	"specmatch/internal/online"
 )
 
 // Baseline is the engine benchmark record committed as BENCH_BASELINE.json.
@@ -20,9 +21,10 @@ import (
 // test re-measures both configurations side by side on the current machine
 // instead of trusting them.
 type Baseline struct {
-	GeneratedBy string         `json:"generated_by"`
-	GoMaxProcs  int            `json:"gomaxprocs"`
-	Cases       []BaselineCase `json:"cases"`
+	GeneratedBy string              `json:"generated_by"`
+	GoMaxProcs  int                 `json:"gomaxprocs"`
+	Cases       []BaselineCase      `json:"cases"`
+	Churn       []ChurnBaselineCase `json:"churn"`
 }
 
 // BaselineCase records one market scale from the paper's evaluation (§V).
@@ -59,6 +61,108 @@ func BaselineCases(seed int64) []BaselineCase {
 		{Name: "fig7b-max", Sellers: 16, Buyers: 500, Seed: seed},
 		{Name: "mid", Sellers: 8, Buyers: 200, Seed: seed},
 	}
+}
+
+// ChurnBaselineCase records one churn-heavy online workload: a deterministic
+// online.SyntheticChurn trace replayed through a session on the incremental
+// engine and on the full-recompute shadow path (DisableIncremental). The
+// final welfare and matched count are exact goldens — both paths must
+// reproduce them bit-for-bit, and the recording run additionally verifies
+// per-step StepStats equality between the two paths.
+type ChurnBaselineCase struct {
+	Name    string `json:"name"`
+	Sellers int    `json:"sellers"`
+	Buyers  int    `json:"buyers"`
+	Seed    int64  `json:"seed"`
+	Steps   int    `json:"steps"`
+
+	// Exact goldens after replaying the whole trace, identical on both paths.
+	Welfare float64 `json:"welfare"`
+	Matched int     `json:"matched"`
+
+	// Informational timings from the recording machine, best of three full
+	// trace replays each; the per-step figures divide by Steps. The benchguard
+	// test re-measures both paths side by side instead of trusting them.
+	IncrementalStepNs int64   `json:"incremental_step_ns"`
+	FullStepNs        int64   `json:"full_step_ns"`
+	StepSpeedup       float64 `json:"step_speedup"`
+}
+
+// ChurnBaselineCases returns the churn workloads the baseline records: the
+// fig7a-scale market plus a mid-size one, each under 64 mixed churn steps.
+func ChurnBaselineCases(seed int64) []ChurnBaselineCase {
+	return []ChurnBaselineCase{
+		{Name: "churn-fig7a", Sellers: 10, Buyers: 320, Seed: seed, Steps: 64},
+		{Name: "churn-mid", Sellers: 8, Buyers: 200, Seed: seed, Steps: 64},
+	}
+}
+
+// MeasureChurnBaselineCase replays the case's synthetic churn trace through
+// both engine paths, verifies they agree step for step, and fills in the
+// goldens and timings.
+func MeasureChurnBaselineCase(c *ChurnBaselineCase) error {
+	m, err := market.Generate(market.Config{Sellers: c.Sellers, Buyers: c.Buyers, Seed: c.Seed})
+	if err != nil {
+		return fmt.Errorf("generating %s: %w", c.Name, err)
+	}
+	events := online.SyntheticChurn(m, c.Seed, c.Steps)
+
+	replay := func(disable bool) (time.Duration, *online.Session, []online.StepStats, error) {
+		bestD := time.Duration(0)
+		var bestSess *online.Session
+		var bestStats []online.StepStats
+		for iter := 0; iter < 3; iter++ {
+			s, err := online.NewSession(m, core.Options{DisableIncremental: disable})
+			if err != nil {
+				return 0, nil, nil, err
+			}
+			stats := make([]online.StepStats, 0, len(events))
+			start := time.Now()
+			for _, ev := range events {
+				st, err := s.Step(ev)
+				if err != nil {
+					return 0, nil, nil, err
+				}
+				stats = append(stats, st)
+			}
+			d := time.Since(start)
+			if bestSess == nil || d < bestD {
+				bestD, bestSess, bestStats = d, s, stats
+			}
+		}
+		return bestD, bestSess, bestStats, nil
+	}
+
+	incDur, incSess, incStats, err := replay(false)
+	if err != nil {
+		return fmt.Errorf("%s incremental replay: %w", c.Name, err)
+	}
+	fullDur, fullSess, fullStats, err := replay(true)
+	if err != nil {
+		return fmt.Errorf("%s full-path replay: %w", c.Name, err)
+	}
+	for k := range incStats {
+		if incStats[k] != fullStats[k] {
+			return fmt.Errorf("%s: step %d stats diverge between paths:\n incremental %+v\n full        %+v",
+				c.Name, k, incStats[k], fullStats[k])
+		}
+	}
+	if incSess.Welfare() != fullSess.Welfare() {
+		return fmt.Errorf("%s: final welfare diverges: incremental %v, full %v",
+			c.Name, incSess.Welfare(), fullSess.Welfare())
+	}
+	if !incSess.Matching().Equal(fullSess.Matching()) {
+		return fmt.Errorf("%s: final matchings diverge between paths", c.Name)
+	}
+
+	c.Welfare = incSess.Welfare()
+	c.Matched = incSess.Matching().MatchedCount()
+	c.IncrementalStepNs = incDur.Nanoseconds() / int64(c.Steps)
+	c.FullStepNs = fullDur.Nanoseconds() / int64(c.Steps)
+	if incDur > 0 {
+		c.StepSpeedup = float64(fullDur) / float64(incDur)
+	}
+	return nil
 }
 
 // MeasureBaselineCase fills in one case's goldens and timings, verifying
@@ -133,6 +237,7 @@ func writeBaseline(path string, seed int64, out io.Writer) error {
 		GeneratedBy: "specbench -baseline",
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Cases:       BaselineCases(seed),
+		Churn:       ChurnBaselineCases(seed),
 	}
 	for k := range b.Cases {
 		c := &b.Cases[k]
@@ -143,6 +248,15 @@ func writeBaseline(path string, seed int64, out io.Writer) error {
 			c.Name, c.Sellers, c.Buyers, c.Welfare, c.Matched, c.Rounds,
 			time.Duration(c.DefaultNs), time.Duration(c.SeqNs), time.Duration(c.InstrumentedNs), c.Speedup,
 			c.CacheHits, c.CacheIndep, c.CacheMiss)
+	}
+	for k := range b.Churn {
+		c := &b.Churn[k]
+		if err := MeasureChurnBaselineCase(c); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%-12s M=%-3d N=%-4d welfare %.4f matched %d steps %d  incremental %s/step full %s/step (%.2fx)\n",
+			c.Name, c.Sellers, c.Buyers, c.Welfare, c.Matched, c.Steps,
+			time.Duration(c.IncrementalStepNs), time.Duration(c.FullStepNs), c.StepSpeedup)
 	}
 	data, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {

@@ -59,6 +59,14 @@ type Options struct {
 	SkipTransfer   bool
 	SkipInvitation bool
 
+	// DisableIncremental forces online sessions onto the full recompute path:
+	// every Step rebuilds the effective sub-market and runs core.Repair from
+	// scratch instead of stepping the session's persistent Incremental engine.
+	// Output is bit-identical either way — the knob exists as an escape hatch
+	// and so benchmarks and the differential test harness can price one path
+	// against the other.
+	DisableIncremental bool
+
 	// Recorder, when non-nil, receives one event per protocol step.
 	Recorder *trace.Recorder
 
@@ -182,7 +190,7 @@ func Run(m *market.Market, opts Options) (*Result, error) {
 	res.Welfare = res.Phase2.Welfare
 	res.Matched = mu.MatchedCount()
 	res.Cache = eng.cacheStats()
-	eng.publish(res)
+	eng.publish(res, eng.solves.Load())
 	if span.Active() {
 		span.Annotate(fmt.Sprintf("rounds=%d matched=%d welfare=%.6g", res.TotalRounds(), res.Matched, res.Welfare))
 	}

@@ -33,6 +33,17 @@ type engine struct {
 	opts Options
 	rows [][]float64
 
+	// basePref, when non-nil, overrides the per-buyer preference orders used
+	// by runTransfer: entry j is buyer j's descending preference order over
+	// the *base* market, or nil when the buyer is inactive. The incremental
+	// engine owns and maintains the slice; the full path leaves it nil and
+	// derives orders from its own (effective) market.
+	basePref [][]int
+
+	// s2 pools the Stage II buffers. Allocated on first use; the persistent
+	// incremental engine reuses it across steps.
+	s2 *stage2State
+
 	solvers []mwis.Solver
 	caches  []coalitionCache // nil when Options.DisableCoalitionCache
 	out     [][]int          // per-seller decision slot for the current round
@@ -87,10 +98,12 @@ func (e *engine) observeRound(stage string, round, messages int, start time.Time
 	}
 }
 
-// publish flushes the run's aggregate counters onto the registry. The
-// per-run values are invariant under the worker schedule, so so are the
-// registry totals.
-func (e *engine) publish(res *Result) {
+// publish flushes one run's aggregate counters onto the registry. solves is
+// the run's own MWIS solve count — for a fresh engine that is the cumulative
+// e.solves, but the persistent incremental engine passes the per-step delta
+// so registry totals stay additive. The per-run values are invariant under
+// the worker schedule, so so are the registry totals.
+func (e *engine) publish(res *Result, solves int64) {
 	if e.met == nil || e.met.reg == nil {
 		return
 	}
@@ -102,7 +115,7 @@ func (e *engine) publish(res *Result) {
 	reg.Counter("core.messages.stage_i").Add(int64(res.StageI.Messages))
 	reg.Counter("core.messages.phase_1").Add(int64(res.Phase1.Messages))
 	reg.Counter("core.messages.phase_2").Add(int64(res.Phase2.Messages))
-	reg.Counter("core.mwis.solves").Add(e.solves.Load())
+	reg.Counter("core.mwis.solves").Add(solves)
 	reg.Counter("core.cache.hits").Add(int64(res.Cache.Hits))
 	reg.Counter("core.cache.independent").Add(int64(res.Cache.Independent))
 	reg.Counter("core.cache.misses").Add(int64(res.Cache.Misses))
@@ -260,7 +273,7 @@ func (e *engine) decideCoalition(i int, candidates []int) ([]int, string, error)
 			return nil, "", err
 		}
 	}
-	if c.entries == nil {
+	if c.entries == nil || len(c.entries) >= maxCoalitionCacheEntries {
 		c.entries = make(map[string][]int)
 	}
 	c.entries[key] = sel
@@ -279,18 +292,28 @@ func (e *engine) cacheStats() CacheStats {
 	return cs
 }
 
+// maxCoalitionCacheEntries bounds one seller's memo. A fresh per-run engine
+// never comes close; the bound exists for the persistent incremental engine,
+// whose memo accumulates across a session's whole lifetime. When full the
+// memo is simply dropped and restarts empty — the only cost is re-solving
+// sets already decided, never a wrong coalition.
+const maxCoalitionCacheEntries = 1 << 14
+
 // coalitionCache memoizes one seller's coalition decisions, keyed on the
 // canonical candidate buyer set. Every input other than the candidate set —
 // the channel's interference graph, the price row, the MWIS algorithm — is
 // fixed for a seller within a run, and every solver is deterministic, so
 // equal candidate sets always yield equal coalitions. Entries are never
-// invalidated mid-run for the same reason; a new engine (hence empty cache)
-// is built per run, so market mutations between runs cannot leak through.
+// invalidated for the same reason — this extends across the steps of an
+// incremental session, where the rows handed to the solver are always the
+// base prices filtered to active buyers and canonicalize drops zero-weight
+// (inactive) candidates, so a canonical set pins the decision regardless of
+// which step produced it.
 type coalitionCache struct {
 	entries map[string][]int
-	sorted  []int  // scratch: canonical candidate set
-	key     []byte // scratch: delta-varint encoding of sorted
-	mark    []bool // scratch: membership marks for the independence test
+	sorted  []int      // scratch: canonical candidate set
+	key     []byte     // scratch: delta-varint encoding of sorted
+	mask    graph.Bits // scratch: membership mask for the independence test
 
 	hits, independent, misses int
 }
@@ -325,30 +348,18 @@ func (c *coalitionCache) canonicalize(g *graph.Graph, weights []float64, candida
 	return dedup, nil
 }
 
-// isIndependent reports whether no two vertices of set are adjacent in g,
-// in O(Σ deg) using the cache's membership scratch.
+// isIndependent reports whether no two vertices of set are adjacent in g —
+// one AND-any word sweep per member against the cache's membership mask.
 func (c *coalitionCache) isIndependent(g *graph.Graph, set []int) bool {
-	if len(c.mark) < g.N() {
-		c.mark = make([]bool, g.N())
+	if len(c.mask) < g.Words() {
+		c.mask = make(graph.Bits, g.Words())
 	}
 	for _, v := range set {
-		c.mark[v] = true
+		c.mask.Set(v)
 	}
-	independent := true
+	independent := g.IsIndependentMask(set, c.mask)
 	for _, v := range set {
-		g.EachNeighbor(v, func(u int) bool {
-			if u < len(c.mark) && c.mark[u] {
-				independent = false
-				return false
-			}
-			return true
-		})
-		if !independent {
-			break
-		}
-	}
-	for _, v := range set {
-		c.mark[v] = false
+		c.mask.Clear(v)
 	}
 	return independent
 }

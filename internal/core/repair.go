@@ -59,7 +59,7 @@ func Repair(m *market.Market, mu *matching.Matching, opts Options) (Result, erro
 	res.Welfare = res.Phase2.Welfare
 	res.Matched = mu.MatchedCount()
 	res.Cache = eng.cacheStats()
-	eng.publish(&res)
+	eng.publish(&res, eng.solves.Load())
 	if span.Active() {
 		span.Annotate(fmt.Sprintf("rounds=%d matched=%d welfare=%.6g", res.TotalRounds(), res.Matched, res.Welfare))
 	}

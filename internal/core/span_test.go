@@ -109,47 +109,59 @@ func TestRunSpanTreeWorkersEqual(t *testing.T) {
 }
 
 // TestOnlineStepSpanChain: StepTraced parents the repair run under the
-// caller's context, so a service request chains online.step -> core.repair
-// -> core.round without gaps.
+// caller's context, so a service request chains online.step -> core.dirty
+// (the incremental repair pass) -> core.round without gaps, and with
+// DisableIncremental the same shape via core.repair instead.
 func TestOnlineStepSpanChain(t *testing.T) {
-	m := generate(t, market.Config{Sellers: 3, Buyers: 12, Seed: 5})
-	fl := trace.NewFlight(1 << 14)
-	s, err := online.NewSession(m, core.Options{Flight: fl})
-	if err != nil {
-		t.Fatal(err)
-	}
-	root := fl.Start(trace.SpanContext{}, "test.root")
-	if _, err := s.StepTraced(online.Event{Arrive: []int{0, 1, 2, 3}}, root.Context()); err != nil {
-		t.Fatal(err)
-	}
-	root.End()
+	for _, tc := range []struct {
+		name       string
+		disable    bool
+		repairSpan string
+	}{
+		{"incremental", false, "core.dirty"},
+		{"full", true, "core.repair"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := generate(t, market.Config{Sellers: 3, Buyers: 12, Seed: 5})
+			fl := trace.NewFlight(1 << 14)
+			s, err := online.NewSession(m, core.Options{Flight: fl, DisableIncremental: tc.disable})
+			if err != nil {
+				t.Fatal(err)
+			}
+			root := fl.Start(trace.SpanContext{}, "test.root")
+			if _, err := s.StepTraced(online.Event{Arrive: []int{0, 1, 2, 3}}, root.Context()); err != nil {
+				t.Fatal(err)
+			}
+			root.End()
 
-	spans := fl.Snapshot()
-	byID := make(map[trace.SpanID]trace.Span, len(spans))
-	for _, sp := range spans {
-		byID[sp.ID] = sp
-	}
-	parentName := func(sp trace.Span) string { return byID[sp.Parent].Name }
-	var sawStep, sawRepair bool
-	for _, sp := range spans {
-		switch sp.Name {
-		case "online.step":
-			sawStep = true
-			if parentName(sp) != "test.root" {
-				t.Errorf("online.step parent = %q, want test.root", parentName(sp))
+			spans := fl.Snapshot()
+			byID := make(map[trace.SpanID]trace.Span, len(spans))
+			for _, sp := range spans {
+				byID[sp.ID] = sp
 			}
-		case "core.repair":
-			sawRepair = true
-			if parentName(sp) != "online.step" {
-				t.Errorf("core.repair parent = %q, want online.step", parentName(sp))
+			parentName := func(sp trace.Span) string { return byID[sp.Parent].Name }
+			var sawStep, sawRepair bool
+			for _, sp := range spans {
+				switch sp.Name {
+				case "online.step":
+					sawStep = true
+					if parentName(sp) != "test.root" {
+						t.Errorf("online.step parent = %q, want test.root", parentName(sp))
+					}
+				case tc.repairSpan:
+					sawRepair = true
+					if parentName(sp) != "online.step" {
+						t.Errorf("%s parent = %q, want online.step", tc.repairSpan, parentName(sp))
+					}
+				case "core.round":
+					if parentName(sp) != tc.repairSpan {
+						t.Errorf("core.round parent = %q, want %s", parentName(sp), tc.repairSpan)
+					}
+				}
 			}
-		case "core.round":
-			if parentName(sp) != "core.repair" {
-				t.Errorf("core.round parent = %q, want core.repair", parentName(sp))
+			if !sawStep || !sawRepair {
+				t.Errorf("missing spans: step=%v repair(%s)=%v", sawStep, tc.repairSpan, sawRepair)
 			}
-		}
-	}
-	if !sawStep || !sawRepair {
-		t.Errorf("missing spans: step=%v repair=%v", sawStep, sawRepair)
+		})
 	}
 }

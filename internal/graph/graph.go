@@ -3,10 +3,17 @@
 // G_i = (V, E_i) over the set of virtual buyers; an edge connects two buyers
 // that may not reuse channel i simultaneously.
 //
-// Vertices are dense integer IDs [0, N). The representation keeps both an
-// adjacency-set index (O(1) edge queries, needed by preference relations and
-// stability checks) and degree bookkeeping (needed by the greedy MWIS
-// heuristics in package mwis).
+// Vertices are dense integer IDs [0, N). The representation keeps two views
+// of the adjacency structure, both maintained on every mutation:
+//
+//   - a word-parallel bitset row per vertex (Row), which makes edge queries,
+//     independence checks, conflict screening and the MWIS kernels in
+//     package mwis AND/ANDNOT/popcount word loops rather than per-neighbor
+//     branches, and
+//   - sorted neighbor slices (Neighbors, EachNeighbor), the compatibility
+//     view every order-sensitive consumer iterates — the ascending order is
+//     load-bearing, because downstream floating-point neighborhood sums must
+//     be bit-for-bit reproducible across runs and representations.
 package graph
 
 import (
@@ -18,8 +25,9 @@ import (
 // not usable; construct with New.
 type Graph struct {
 	n     int
-	adj   []map[int]struct{}
-	nbr   [][]int // ascending neighbor lists, mirroring adj
+	words int      // bitset words per adjacency row: WordsFor(n)
+	rows  []uint64 // row-major adjacency bitsets: row v is rows[v*words:(v+1)*words]
+	nbr   [][]int  // ascending neighbor lists, mirroring the bitset rows
 	edges int
 }
 
@@ -28,11 +36,13 @@ func New(n int) *Graph {
 	if n < 0 {
 		n = 0
 	}
-	adj := make([]map[int]struct{}, n)
-	for i := range adj {
-		adj[i] = make(map[int]struct{})
+	words := WordsFor(n)
+	return &Graph{
+		n:     n,
+		words: words,
+		rows:  make([]uint64, n*words),
+		nbr:   make([][]int, n),
 	}
-	return &Graph{n: n, adj: adj, nbr: make([][]int, n)}
 }
 
 // N returns the number of vertices.
@@ -40,6 +50,20 @@ func (g *Graph) N() int { return g.n }
 
 // M returns the number of edges.
 func (g *Graph) M() int { return g.edges }
+
+// Words returns the number of 64-bit words per adjacency row — the length
+// callers should size Bits scratch masks to when combining them with Row.
+func (g *Graph) Words() int { return g.words }
+
+// Row returns vertex v's adjacency bitset: bit u is set iff {v, u} is an
+// edge. The returned slice aliases the graph's storage — callers must treat
+// it as read-only. Out-of-range v returns nil (no set bits).
+func (g *Graph) Row(v int) Bits {
+	if !g.validVertex(v) {
+		return nil
+	}
+	return Bits(g.rows[v*g.words : (v+1)*g.words])
+}
 
 // validVertex reports whether v is a vertex of g.
 func (g *Graph) validVertex(v int) bool { return v >= 0 && v < g.n }
@@ -53,11 +77,11 @@ func (g *Graph) AddEdge(u, v int) error {
 	if u == v {
 		return fmt.Errorf("graph: self-loop on vertex %d", u)
 	}
-	if _, ok := g.adj[u][v]; ok {
+	if g.Row(u).Get(v) {
 		return nil
 	}
-	g.adj[u][v] = struct{}{}
-	g.adj[v][u] = struct{}{}
+	g.Row(u).Set(v)
+	g.Row(v).Set(u)
 	g.insertNeighbor(u, v)
 	g.insertNeighbor(v, u)
 	g.edges++
@@ -67,7 +91,7 @@ func (g *Graph) AddEdge(u, v int) error {
 // insertNeighbor keeps nbr[u] sorted ascending. Neighbor lists are consumed
 // in order by every iteration helper, which keeps all downstream arithmetic
 // (e.g. the floating-point neighborhood sums in package mwis) bit-for-bit
-// reproducible across runs — map iteration order must never leak out.
+// reproducible across runs.
 func (g *Graph) insertNeighbor(u, v int) {
 	lst := g.nbr[u]
 	k := sort.SearchInts(lst, v)
@@ -83,8 +107,7 @@ func (g *Graph) HasEdge(u, v int) bool {
 	if !g.validVertex(u) || !g.validVertex(v) || u == v {
 		return false
 	}
-	_, ok := g.adj[u][v]
-	return ok
+	return g.Row(u).Get(v)
 }
 
 // Degree returns the number of neighbors of v, or 0 for out-of-range v.
@@ -92,7 +115,7 @@ func (g *Graph) Degree(v int) int {
 	if !g.validVertex(v) {
 		return 0
 	}
-	return len(g.adj[v])
+	return len(g.nbr[v])
 }
 
 // Neighbors returns the neighbors of v in ascending order. The slice is a
@@ -132,14 +155,55 @@ func (g *Graph) IsIndependent(set []int) bool {
 	return true
 }
 
+// IsIndependentMask is the word-parallel IsIndependent: mask must hold
+// exactly the candidate set's bits (callers keep it as reusable scratch).
+// It runs in O(|set| · words) instead of O(|set|²).
+func (g *Graph) IsIndependentMask(set []int, mask Bits) bool {
+	for _, v := range set {
+		if g.validVertex(v) && AndAny(g.Row(v), mask) {
+			return false
+		}
+	}
+	return true
+}
+
 // ConflictsWith reports whether vertex v is adjacent to any vertex in set.
 func (g *Graph) ConflictsWith(v int, set []int) bool {
+	if !g.validVertex(v) {
+		return false
+	}
+	row := g.Row(v)
 	for _, u := range set {
-		if g.HasEdge(v, u) {
+		if row.Get(u) {
 			return true
 		}
 	}
 	return false
+}
+
+// ConflictsMask reports whether vertex v is adjacent to any vertex of the
+// mask — one AND-any word loop, the hot screening kernel of the incremental
+// repair path.
+func (g *Graph) ConflictsMask(v int, mask Bits) bool {
+	if !g.validVertex(v) {
+		return false
+	}
+	return AndAny(g.Row(v), mask)
+}
+
+// UnionRowsInto ORs the adjacency rows of every vertex set in seed into out:
+// out becomes (out ∪ N(seed)), the one-hop interference neighborhood. This
+// is the kernel behind the online engine's dirty-neighborhood closure —
+// isolated vertices contribute nothing, a clique seed saturates out with the
+// whole clique. out must have at least Words() words; seed may be shorter.
+func (g *Graph) UnionRowsInto(seed Bits, out Bits) {
+	seed.ForEach(func(v int) bool {
+		if v >= g.n {
+			return false // seed may cover a larger universe than g
+		}
+		out.Or(g.Row(v))
+		return true
+	})
 }
 
 // Edges returns all edges as ordered pairs (u < v), sorted lexicographically.
@@ -158,10 +222,8 @@ func (g *Graph) Edges() [][2]int {
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
 	c := New(g.n)
+	copy(c.rows, g.rows)
 	for u := 0; u < g.n; u++ {
-		for v := range g.adj[u] {
-			c.adj[u][v] = struct{}{}
-		}
 		c.nbr[u] = append([]int(nil), g.nbr[u]...)
 	}
 	c.edges = g.edges
@@ -183,7 +245,7 @@ func (g *Graph) Complement() *Graph {
 }
 
 // InducedDegree returns the number of neighbors of v inside the given vertex
-// subset (membership given as a bitset-like boolean slice of length N).
+// subset (membership given as a boolean slice of length N).
 func (g *Graph) InducedDegree(v int, in []bool) int {
 	if !g.validVertex(v) {
 		return 0
@@ -195,6 +257,15 @@ func (g *Graph) InducedDegree(v int, in []bool) int {
 		}
 	}
 	return d
+}
+
+// InducedDegreeMask returns the number of neighbors of v inside the mask —
+// popcount(Row(v) AND mask), the word-parallel InducedDegree.
+func (g *Graph) InducedDegreeMask(v int, mask Bits) int {
+	if !g.validVertex(v) {
+		return 0
+	}
+	return AndCount(g.Row(v), mask)
 }
 
 // String returns a compact human-readable description.

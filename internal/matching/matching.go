@@ -7,20 +7,26 @@
 // Peer effects enter through interference: a buyer in a coalition obtains her
 // full channel utility b_{i,j} if none of her interfering neighbors share the
 // coalition, and zero utility otherwise (§III-A).
+//
+// Coalitions are stored as one bitset over buyers per seller, so membership
+// tests are bit probes, iteration is word-parallel and always ascending, and
+// interference screening against an adjacency row from package graph is a
+// single AND-any sweep.
 package matching
 
 import (
 	"fmt"
-	"sort"
 
+	"specmatch/internal/graph"
 	"specmatch/internal/market"
 )
 
 // Matching is the function µ: buyers map to at most one seller, sellers to a
 // set of buyers. The zero value is not usable; construct with New.
 type Matching struct {
-	sellerOf []int              // per buyer: seller index or market.Unmatched
-	buyersOf []map[int]struct{} // per seller: matched buyer set
+	sellerOf []int        // per buyer: seller index or market.Unmatched
+	members  []graph.Bits // per seller: matched buyer set, one bit per buyer
+	counts   []int        // per seller: |µ(i)|
 }
 
 // New returns an empty matching for a market with m sellers and n buyers.
@@ -29,15 +35,17 @@ func New(m, n int) *Matching {
 	for j := range sellerOf {
 		sellerOf[j] = market.Unmatched
 	}
-	buyersOf := make([]map[int]struct{}, m)
-	for i := range buyersOf {
-		buyersOf[i] = make(map[int]struct{})
+	members := make([]graph.Bits, m)
+	words := graph.WordsFor(n)
+	backing := make(graph.Bits, m*words)
+	for i := range members {
+		members[i] = backing[i*words : (i+1)*words]
 	}
-	return &Matching{sellerOf: sellerOf, buyersOf: buyersOf}
+	return &Matching{sellerOf: sellerOf, members: members, counts: make([]int, m)}
 }
 
 // M returns the number of sellers.
-func (mu *Matching) M() int { return len(mu.buyersOf) }
+func (mu *Matching) M() int { return len(mu.members) }
 
 // N returns the number of buyers.
 func (mu *Matching) N() int { return len(mu.sellerOf) }
@@ -48,33 +56,45 @@ func (mu *Matching) SellerOf(j int) int { return mu.sellerOf[j] }
 // IsMatched reports whether buyer j holds a channel.
 func (mu *Matching) IsMatched(j int) bool { return mu.sellerOf[j] != market.Unmatched }
 
+// Members returns µ(i) as a bitset over buyers. The returned slice aliases
+// the matching's storage — callers must treat it as read-only, and it is
+// invalidated in content (not shape) by Assign/Unassign. It is the kernel
+// input for word-parallel screening: buyer j interferes with µ(i) on channel
+// i iff AndAny(g.Row(j), mu.Members(i)).
+func (mu *Matching) Members(i int) graph.Bits { return mu.members[i] }
+
 // Coalition returns µ(i), the buyers matched to seller i, sorted ascending.
 func (mu *Matching) Coalition(i int) []int {
-	out := make([]int, 0, len(mu.buyersOf[i]))
-	for j := range mu.buyersOf[i] {
+	out := make([]int, 0, mu.counts[i])
+	mu.members[i].ForEach(func(j int) bool {
 		out = append(out, j)
-	}
-	sort.Ints(out)
+		return true
+	})
 	return out
 }
 
+// AppendMembers appends the members of µ(i) to buf in ascending order and
+// returns it — the allocation-free Coalition.
+func (mu *Matching) AppendMembers(i int, buf []int) []int {
+	mu.members[i].ForEach(func(j int) bool {
+		buf = append(buf, j)
+		return true
+	})
+	return buf
+}
+
 // CoalitionSize returns |µ(i)| without allocating.
-func (mu *Matching) CoalitionSize(i int) int { return len(mu.buyersOf[i]) }
+func (mu *Matching) CoalitionSize(i int) int { return mu.counts[i] }
 
 // Contains reports whether buyer j ∈ µ(i).
 func (mu *Matching) Contains(i, j int) bool {
-	_, ok := mu.buyersOf[i][j]
-	return ok
+	return mu.members[i].Get(j)
 }
 
-// EachMember calls fn for every buyer in µ(i) in unspecified order, stopping
+// EachMember calls fn for every buyer in µ(i) in ascending order, stopping
 // early if fn returns false. It performs no allocation.
 func (mu *Matching) EachMember(i int, fn func(j int) bool) {
-	for j := range mu.buyersOf[i] {
-		if !fn(j) {
-			return
-		}
-	}
+	mu.members[i].ForEach(fn)
 }
 
 // Assign matches buyer j to seller i, detaching j from any previous seller.
@@ -87,14 +107,16 @@ func (mu *Matching) Assign(i, j int) error {
 	}
 	mu.Unassign(j)
 	mu.sellerOf[j] = i
-	mu.buyersOf[i][j] = struct{}{}
+	mu.members[i].Set(j)
+	mu.counts[i]++
 	return nil
 }
 
 // Unassign detaches buyer j from her seller, if any.
 func (mu *Matching) Unassign(j int) {
 	if prev := mu.sellerOf[j]; prev != market.Unmatched {
-		delete(mu.buyersOf[prev], j)
+		mu.members[prev].Clear(j)
+		mu.counts[prev]--
 		mu.sellerOf[j] = market.Unmatched
 	}
 }
@@ -103,11 +125,10 @@ func (mu *Matching) Unassign(j int) {
 func (mu *Matching) Clone() *Matching {
 	c := New(mu.M(), mu.N())
 	copy(c.sellerOf, mu.sellerOf)
-	for i, set := range mu.buyersOf {
-		for j := range set {
-			c.buyersOf[i][j] = struct{}{}
-		}
+	for i, set := range mu.members {
+		c.members[i].Copy(set)
 	}
+	copy(c.counts, mu.counts)
 	return c
 }
 
@@ -127,10 +148,8 @@ func (mu *Matching) Equal(other *Matching) bool {
 // MatchedCount returns the number of matched buyers.
 func (mu *Matching) MatchedCount() int {
 	count := 0
-	for _, s := range mu.sellerOf {
-		if s != market.Unmatched {
-			count++
-		}
+	for _, c := range mu.counts {
+		count += c
 	}
 	return count
 }
@@ -149,11 +168,22 @@ func (mu *Matching) Validate() error {
 			return fmt.Errorf("matching: buyer %d claims seller %d but is not in her coalition", j, i)
 		}
 	}
-	for i, set := range mu.buyersOf {
-		for j := range set {
-			if mu.sellerOf[j] != i {
-				return fmt.Errorf("matching: seller %d lists buyer %d whose seller is %d", i, j, mu.sellerOf[j])
+	for i := range mu.members {
+		count := 0
+		var bad error
+		mu.members[i].ForEach(func(j int) bool {
+			count++
+			if j >= mu.N() || mu.sellerOf[j] != i {
+				bad = fmt.Errorf("matching: seller %d lists buyer %d whose seller is %d", i, j, mu.sellerOf[j])
+				return false
 			}
+			return true
+		})
+		if bad != nil {
+			return bad
+		}
+		if count != mu.counts[i] {
+			return fmt.Errorf("matching: seller %d count %d, bitset has %d members", i, mu.counts[i], count)
 		}
 	}
 	return nil

@@ -1,6 +1,9 @@
 package matching
 
-import "specmatch/internal/market"
+import (
+	"specmatch/internal/graph"
+	"specmatch/internal/market"
+)
 
 // BuyerUtility returns buyer j's utility in the coalition of seller i with
 // the given members (which may or may not already include j): b_{i,j} if no
@@ -24,15 +27,10 @@ func BuyerUtilityIn(m *market.Market, mu *Matching, j int) float64 {
 	if i == market.Unmatched {
 		return 0
 	}
-	interferes := false
-	mu.EachMember(i, func(j2 int) bool {
-		if j2 != j && m.Interferes(i, j, j2) {
-			interferes = true
-			return false
-		}
-		return true
-	})
-	if interferes {
+	// One AND-any sweep of j's interference row against the coalition
+	// bitset. j's own bit is never in her row (no self-loops), so no
+	// explicit j2 != j exclusion is needed.
+	if graph.AndAny(m.Graph(i).Row(j), mu.Members(i)) {
 		return 0
 	}
 	return m.Price(i, j)

@@ -17,10 +17,15 @@ package mwis
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"specmatch/internal/graph"
 )
+
+// trailingZeros is math/bits.TrailingZeros64 under a name short enough for
+// the word-iteration loops.
+func trailingZeros(w uint64) int { return bits.TrailingZeros64(w) }
 
 // Algorithm selects a MWIS solving strategy.
 type Algorithm int
@@ -83,12 +88,12 @@ func Solve(alg Algorithm, g *graph.Graph, weights []float64, candidates []int) (
 // use; a Solver is not safe for concurrent use — create one per goroutine
 // (the matching engine keeps one per seller).
 type Solver struct {
-	cands  []int     // cleaned candidate list
-	alive  []bool    // alive marks for the greedy algorithms, cleared per call
-	seen   []bool    // dedup marks, cleared per call
-	order  []int     // exact: descending-weight search order
-	suffix []float64 // exact: remaining-weight bounds
-	cur    []int     // exact: current partial set
+	cands  []int      // cleaned candidate list
+	alive  graph.Bits // alive mask for the greedy algorithms, cleared per call
+	seen   []bool     // dedup marks, cleared per call
+	order  []int      // exact: descending-weight search order
+	suffix []float64  // exact: remaining-weight bounds
+	cur    []int      // exact: current partial set
 }
 
 // Solve is the Solver counterpart of the package-level Solve: identical
@@ -172,40 +177,49 @@ func (s *Solver) cleanCandidates(g *graph.Graph, weights []float64, candidates [
 	return out, nil
 }
 
-// aliveFor returns the alive scratch sized for g, all false. Callers must
-// clear every mark they set before returning.
-func (s *Solver) aliveFor(n int) []bool {
-	if len(s.alive) < n {
-		s.alive = make([]bool, n)
+// aliveFor returns the alive mask sized for g, all clear. Callers must
+// clear every bit they set before returning.
+func (s *Solver) aliveFor(n int) graph.Bits {
+	if words := graph.WordsFor(n); len(s.alive) < words {
+		s.alive = make(graph.Bits, words)
 	}
 	return s.alive
 }
 
 // ratioFn scores an alive vertex; greater is better for selection.
-type ratioFn func(g *graph.Graph, weights []float64, alive []bool, v int) float64
+type ratioFn func(g *graph.Graph, weights []float64, alive graph.Bits, v int) float64
 
-func ratioGWMIN(g *graph.Graph, weights []float64, alive []bool, v int) float64 {
-	return weights[v] / float64(g.InducedDegree(v, alive)+1)
+func ratioGWMIN(g *graph.Graph, weights []float64, alive graph.Bits, v int) float64 {
+	// Word-parallel induced degree: popcount(Row(v) AND alive).
+	return weights[v] / float64(g.InducedDegreeMask(v, alive)+1)
 }
 
-func ratioGWMIN2(g *graph.Graph, weights []float64, alive []bool, v int) float64 {
+func ratioGWMIN2(g *graph.Graph, weights []float64, alive graph.Bits, v int) float64 {
 	closed := weights[v]
-	g.EachNeighbor(v, func(u int) bool {
-		if alive[u] {
+	// Sum over alive neighbors. Bit iteration over Row(v) AND alive visits
+	// vertices in ascending ID order — the same order the sorted neighbor
+	// lists gave — so the float accumulation is bit-for-bit unchanged.
+	row := g.Row(v)
+	for i, w := range row {
+		w &= alive[i]
+		base := i << 6
+		for w != 0 {
+			u := base + trailingZeros(w)
 			closed += weights[u]
+			w &= w - 1
 		}
-		return true
-	})
+	}
 	// closed ≥ weights[v] > 0 for any selectable candidate.
 	return weights[v] / closed
 }
 
 // gwmin implements the GWMIN family: repeatedly select the alive vertex with
-// the best ratio, add it to the set, and delete its closed neighborhood.
+// the best ratio, add it to the set, and delete its closed neighborhood —
+// one ANDNOT word sweep against the selected vertex's adjacency row.
 func (s *Solver) gwmin(g *graph.Graph, weights []float64, cands []int, ratio ratioFn) []int {
 	alive := s.aliveFor(g.N())
 	for _, v := range cands {
-		alive[v] = true
+		alive.Set(v)
 	}
 	remaining := len(cands)
 	set := make([]int, 0, len(cands))
@@ -213,7 +227,7 @@ func (s *Solver) gwmin(g *graph.Graph, weights []float64, cands []int, ratio rat
 		best := -1
 		bestRatio := 0.0
 		for _, v := range cands { // ascending ID: ties keep the smaller ID
-			if !alive[v] {
+			if !alive.Get(v) {
 				continue
 			}
 			r := ratio(g, weights, alive, v)
@@ -222,18 +236,14 @@ func (s *Solver) gwmin(g *graph.Graph, weights []float64, cands []int, ratio rat
 			}
 		}
 		set = append(set, best)
-		alive[best] = false
+		alive.Clear(best)
 		remaining--
-		g.EachNeighbor(best, func(u int) bool {
-			if alive[u] {
-				alive[u] = false
-				remaining--
-			}
-			return true
-		})
+		row := g.Row(best)
+		remaining -= graph.AndCount(row, alive)
+		alive.AndNot(row)
 	}
 	for _, v := range cands { // clear marks for the next call
-		alive[v] = false
+		alive.Clear(v)
 	}
 	return set
 }
@@ -244,16 +254,16 @@ func (s *Solver) gwmin(g *graph.Graph, weights []float64, cands []int, ratio rat
 func (s *Solver) gwmax(g *graph.Graph, weights []float64, cands []int) []int {
 	alive := s.aliveFor(g.N())
 	for _, v := range cands {
-		alive[v] = true
+		alive.Set(v)
 	}
 	for {
 		worst := -1
 		worstRatio := 0.0
 		for _, v := range cands {
-			if !alive[v] {
+			if !alive.Get(v) {
 				continue
 			}
-			d := g.InducedDegree(v, alive)
+			d := g.InducedDegreeMask(v, alive)
 			if d == 0 {
 				continue
 			}
@@ -265,14 +275,14 @@ func (s *Solver) gwmax(g *graph.Graph, weights []float64, cands []int) []int {
 		if worst == -1 {
 			break // edgeless: done
 		}
-		alive[worst] = false
+		alive.Clear(worst)
 	}
 	set := make([]int, 0, len(cands))
 	for _, v := range cands {
-		if alive[v] {
+		if alive.Get(v) {
 			set = append(set, v)
 		}
-		alive[v] = false // clear marks for the next call
+		alive.Clear(v) // clear marks for the next call
 	}
 	return set
 }

@@ -1,0 +1,35 @@
+package online
+
+import (
+	"testing"
+
+	"specmatch/internal/core"
+	"specmatch/internal/market"
+)
+
+// benchmarkChurn drives the same deterministic churn-heavy trace through a
+// fresh session per iteration; disable toggles the incremental engine off.
+func benchmarkChurn(b *testing.B, sellers, buyers int, disable bool) {
+	m, err := market.Generate(market.Config{Sellers: sellers, Buyers: buyers, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := SyntheticChurn(m, 99, 64)
+	b.ResetTimer()
+	for k := 0; k < b.N; k++ {
+		b.StopTimer()
+		s, err := NewSession(m, core.Options{DisableIncremental: disable})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		for _, ev := range events {
+			if _, err := s.Step(ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkChurnIncremental(b *testing.B) { benchmarkChurn(b, 10, 320, false) }
+func BenchmarkChurnFullRepair(b *testing.B)  { benchmarkChurn(b, 10, 320, true) }

@@ -1,0 +1,194 @@
+package online
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"specmatch/internal/core"
+	"specmatch/internal/market"
+	"specmatch/internal/xrand"
+)
+
+// sessionPair is the differential harness: the same market driven through
+// the incremental engine and through a shadow full-recompute session
+// (DisableIncremental), with bit-for-bit equality demanded after every
+// event. StepStats carries welfare floats and the Snapshot carries the
+// recomputed welfare, so equality here means the incremental path replays
+// the full path's float arithmetic exactly — not just the same matching.
+type sessionPair struct {
+	inc  *Session // default path: persistent core.Incremental engine
+	full *Session // shadow: effective-market rebuild + core.Repair per step
+}
+
+func newSessionPair(t testing.TB, sellers, buyers int, seed int64) (*sessionPair, *market.Market) {
+	t.Helper()
+	m, err := market.Generate(market.Config{Sellers: sellers, Buyers: buyers, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := NewSession(m, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := NewSession(m, core.Options{DisableIncremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &sessionPair{inc: inc, full: full}, m
+}
+
+// step drives one event through both sessions and asserts prefix
+// equivalence: identical error outcome, bit-identical StepStats, equal
+// matchings, and bit-identical snapshots (assignment, active sets, exact
+// welfare float).
+func (p *sessionPair) step(t testing.TB, label string, ev Event) {
+	t.Helper()
+	stInc, errInc := p.inc.Step(ev)
+	stFull, errFull := p.full.Step(ev)
+	if (errInc != nil) != (errFull != nil) {
+		t.Fatalf("%s: error divergence: incremental %v, full %v", label, errInc, errFull)
+	}
+	if errInc != nil {
+		return // both rejected; Step guarantees no mutation on failure
+	}
+	if stInc != stFull {
+		t.Fatalf("%s: StepStats divergence:\n incremental %+v\n full        %+v", label, stInc, stFull)
+	}
+	p.compare(t, label)
+}
+
+// compare asserts the two sessions describe bit-identical states.
+func (p *sessionPair) compare(t testing.TB, label string) {
+	t.Helper()
+	if !p.inc.Matching().Equal(p.full.Matching()) {
+		t.Fatalf("%s: matchings diverged:\n incremental %v\n full        %v",
+			label, p.inc.Matching(), p.full.Matching())
+	}
+	snapInc, snapFull := p.inc.Snapshot(), p.full.Snapshot()
+	if !reflect.DeepEqual(snapInc, snapFull) {
+		t.Fatalf("%s: snapshots diverged:\n incremental %+v\n full        %+v", label, snapInc, snapFull)
+	}
+}
+
+// TestIncrementalDifferentialEquivalence is the tentpole's correctness pin:
+// across randomized mixed churn traces (arrivals, departures, channel
+// reclaims and re-offers, duplicates) on several market shapes, every
+// incremental step must be bit-for-bit equivalent to the shadow full
+// recompute — StepStats, matching, and snapshot welfare all exactly equal
+// at every prefix.
+func TestIncrementalDifferentialEquivalence(t *testing.T) {
+	steps := 60
+	if testing.Short() {
+		steps = 20
+	}
+	for _, tc := range []struct {
+		sellers, buyers int
+		seed            int64
+	}{
+		{3, 12, 41},
+		{5, 28, 42},
+		{8, 64, 43}, // buyer count crosses the 64-bit bitset word boundary
+		{2, 6, 44},
+	} {
+		tc := tc
+		t.Run(fmt.Sprintf("%dx%d_seed%d", tc.sellers, tc.buyers, tc.seed), func(t *testing.T) {
+			t.Parallel()
+			p, m := newSessionPair(t, tc.sellers, tc.buyers, tc.seed)
+			r := xrand.New(tc.seed * 7)
+			for step := 0; step < steps; step++ {
+				ev := randomChurn(p.inc, m, r)
+				p.step(t, fmt.Sprintf("step %d (%+v)", step, ev), ev)
+			}
+		})
+	}
+}
+
+// TestIncrementalRebuildAdoptEquivalence extends the rebuild-monotonicity
+// coverage to the persistent engine: adopting rebuilds interleave with
+// incremental steps, swapping the session's matching out from under the
+// incremental engine. The engine must keep replaying the full path exactly
+// from whatever matching the rebuild left behind, and the rebuild itself
+// must stay welfare-monotone on the incremental session.
+func TestIncrementalRebuildAdoptEquivalence(t *testing.T) {
+	for _, seed := range []int64{51, 52, 53} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			p, m := newSessionPair(t, 5, 24, seed)
+			r := xrand.New(seed * 13)
+			for step := 0; step < 40; step++ {
+				p.step(t, fmt.Sprintf("step %d", step), randomChurn(p.inc, m, r))
+				if step%10 != 9 {
+					continue
+				}
+				before := p.inc.Welfare()
+				gotInc, err := p.inc.Rebuild(true)
+				if err != nil {
+					t.Fatalf("step %d: incremental-session rebuild: %v", step, err)
+				}
+				gotFull, err := p.full.Rebuild(true)
+				if err != nil {
+					t.Fatalf("step %d: full-session rebuild: %v", step, err)
+				}
+				if gotInc != gotFull {
+					t.Fatalf("step %d: rebuild welfare diverged: incremental %v, full %v", step, gotInc, gotFull)
+				}
+				if gotInc < before-1e-9 {
+					t.Fatalf("step %d: adopting rebuild lowered welfare %v -> %v", step, before, gotInc)
+				}
+				p.compare(t, fmt.Sprintf("after rebuild at step %d", step))
+				checkServiceInvariants(t, p.inc)
+			}
+		})
+	}
+}
+
+// FuzzIncrementalStep feeds byte-program-driven event traces — every Event
+// type, duplicate indices, and out-of-range indices that must fail Validate
+// — through the differential pair, asserting bit-for-bit equality at every
+// prefix. Wired into the CI fuzz-smoke matrix.
+func FuzzIncrementalStep(f *testing.F) {
+	f.Add(int64(1), []byte{0, 0, 0, 1, 0, 2, 0, 3})             // arrivals
+	f.Add(int64(2), []byte{0, 0, 0, 1, 1, 0, 0, 0})             // arrive, depart, re-arrive
+	f.Add(int64(3), []byte{0, 0, 0, 1, 3, 0, 2, 0})             // channel down displaces, back up
+	f.Add(int64(4), []byte{4, 0, 4, 7, 4, 13, 4, 20})           // mixed batches
+	f.Add(int64(5), []byte{0, 0, 5, 0, 0, 1, 5, 9})             // invalid events interleaved
+	f.Add(int64(6), []byte{4, 3, 3, 1, 4, 5, 2, 1, 4, 9, 1, 2}) // churn-heavy mix
+	f.Fuzz(func(t *testing.T, seed int64, program []byte) {
+		p, m := newSessionPair(t, 4, 20, seed)
+		n, mm := m.N(), m.M()
+		ops := len(program) / 2
+		if ops > 100 {
+			ops = 100
+		}
+		for k := 0; k < ops; k++ {
+			op, arg := int(program[2*k])%6, int(program[2*k+1])
+			var ev Event
+			switch op {
+			case 0:
+				ev.Arrive = []int{arg % n}
+			case 1:
+				ev.Depart = []int{arg % n}
+			case 2:
+				ev.ChannelUp = []int{arg % mm}
+			case 3:
+				ev.ChannelDown = []int{arg % mm}
+			case 4:
+				// Mixed batch with duplicate and overlapping indices: the
+				// same buyer departing and arriving in one event, repeated
+				// entries, and simultaneous channel churn.
+				j := arg % n
+				ev.Arrive = []int{j, (j + 1) % n, j}
+				ev.Depart = []int{j, (j + 2) % n}
+				ev.ChannelDown = []int{arg % mm}
+				ev.ChannelUp = []int{(arg + 1) % mm}
+			case 5:
+				// Out of range: Validate must reject on both paths and leave
+				// both sessions untouched.
+				ev.Arrive = []int{n + arg}
+			}
+			p.step(t, fmt.Sprintf("op %d (%+v)", k, ev), ev)
+		}
+	})
+}

@@ -3,12 +3,22 @@
 // motivates DSA in the paper's introduction, though its evaluation is
 // static. A Session holds a long-running matching over a fixed buyer
 // population of which only a subset is active; arrivals and departures are
-// handled *incrementally* with the Stage II repair operator (core.Repair)
-// instead of re-running the whole algorithm:
+// handled *incrementally* with the Stage II repair operator instead of
+// re-running the whole algorithm:
 //
 //   - a departure releases the buyer's channel,
 //   - an arrival joins unmatched and competes through transfer applications
 //     and invitations, which never evict incumbents.
+//
+// By default Step runs the repair on a persistent per-session engine
+// (core.Incremental) that keeps effective prices, preference orders, and
+// coalition memos alive across steps and charges each step for the event's
+// dirty neighborhood rather than a from-scratch market rebuild; see
+// internal/core/incremental.go and DESIGN.md for the mechanism.
+// Options.DisableIncremental routes every step through an effective-market
+// rebuild plus core.Repair instead — the output is bit-identical either way
+// (StepStats, matching, welfare floats), which the differential harness in
+// this package and the churn benchguard enforce.
 //
 // Incremental repair keeps interference-freeness and individual
 // rationality for the active sub-market after every event, because Stage
@@ -103,6 +113,12 @@ type Session struct {
 	offline []bool // channels withdrawn from the market
 	mu      *matching.Matching
 	steps   int
+
+	// inc is the session's persistent incremental repair engine, created on
+	// the first Step unless opts.DisableIncremental. Both paths are
+	// bit-identical (the differential harness in this package proves it);
+	// the incremental one skips the per-step effective-market rebuild.
+	inc *core.Incremental
 }
 
 // NewSession starts a session on the given market with no active buyers and
@@ -202,6 +218,9 @@ func (s *Session) StepTraced(ev Event, parent trace.SpanContext) (StepStats, err
 	if err := ev.Validate(len(s.offline), len(s.active)); err != nil {
 		return st, err
 	}
+	// ch collects the effective transitions (no-op entries are dropped
+	// above each append) for the incremental engine's delta pass.
+	var ch core.Churn
 	for _, j := range ev.Depart {
 		if !s.active[j] {
 			continue
@@ -209,6 +228,7 @@ func (s *Session) StepTraced(ev Event, parent trace.SpanContext) (StepStats, err
 		s.active[j] = false
 		s.mu.Unassign(j)
 		st.Departed++
+		ch.Departed = append(ch.Departed, j)
 	}
 	for _, j := range ev.Arrive {
 		if s.active[j] {
@@ -216,6 +236,7 @@ func (s *Session) StepTraced(ev Event, parent trace.SpanContext) (StepStats, err
 		}
 		s.active[j] = true
 		st.Arrived++
+		ch.Arrived = append(ch.Arrived, j)
 	}
 	for _, i := range ev.ChannelDown {
 		if s.offline[i] {
@@ -223,10 +244,12 @@ func (s *Session) StepTraced(ev Event, parent trace.SpanContext) (StepStats, err
 		}
 		s.offline[i] = true
 		st.ChannelsDown++
+		ch.ChannelsDown = append(ch.ChannelsDown, i)
 		// The reclaiming seller displaces her whole coalition.
 		for _, j := range s.mu.Coalition(i) {
 			s.mu.Unassign(j)
 			st.Displaced++
+			ch.Displaced = append(ch.Displaced, j)
 		}
 	}
 	for _, i := range ev.ChannelUp {
@@ -235,12 +258,22 @@ func (s *Session) StepTraced(ev Event, parent trace.SpanContext) (StepStats, err
 		}
 		s.offline[i] = false
 		st.ChannelsUp++
+		ch.ChannelsUp = append(ch.ChannelsUp, i)
 	}
 
-	em := s.effectiveMarket()
-	opts := s.opts
-	opts.SpanParent = span.Context()
-	res, err := core.Repair(em, s.mu, opts)
+	var res core.Result
+	var err error
+	if s.opts.DisableIncremental {
+		em := s.effectiveMarket()
+		opts := s.opts
+		opts.SpanParent = span.Context()
+		res, err = core.Repair(em, s.mu, opts)
+	} else {
+		if s.inc == nil {
+			s.inc = core.NewIncremental(s.base, s.opts)
+		}
+		res, err = s.inc.Step(s.mu, ch, s.active, s.offline, span.Context())
+	}
 	if err != nil {
 		return st, fmt.Errorf("online: repair: %w", err)
 	}

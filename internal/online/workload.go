@@ -1,0 +1,47 @@
+package online
+
+import (
+	"specmatch/internal/market"
+	"specmatch/internal/xrand"
+)
+
+// SyntheticChurn generates a deterministic churn-heavy event trace for the
+// given market: per step a mix of arrivals, departures, and occasional
+// channel reclaims/re-offers, drawn against a simulated (active, offline)
+// state so the trace stays balanced instead of saturating. The same
+// (market shape, seed, steps) always yields the same trace — cmd/specbench
+// records churn baselines over it and the benchguard test replays it, so
+// the two must never derive workloads independently.
+func SyntheticChurn(m *market.Market, seed int64, steps int) []Event {
+	r := xrand.New(seed)
+	active := make([]bool, m.N())
+	offline := make([]bool, m.M())
+	events := make([]Event, steps)
+	for k := range events {
+		var ev Event
+		for j := 0; j < m.N(); j++ {
+			if active[j] {
+				if r.Float64() < 0.10 {
+					ev.Depart = append(ev.Depart, j)
+					active[j] = false
+				}
+			} else if r.Float64() < 0.25 {
+				ev.Arrive = append(ev.Arrive, j)
+				active[j] = true
+			}
+		}
+		for i := 0; i < m.M(); i++ {
+			if offline[i] {
+				if r.Float64() < 0.35 {
+					ev.ChannelUp = append(ev.ChannelUp, i)
+					offline[i] = false
+				}
+			} else if r.Float64() < 0.05 {
+				ev.ChannelDown = append(ev.ChannelDown, i)
+				offline[i] = true
+			}
+		}
+		events[k] = ev
+	}
+	return events
+}

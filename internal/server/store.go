@@ -333,9 +333,11 @@ func (st *Store) shardDir(i int) string {
 
 // sessionOptions builds the engine options a hosted session runs with: the
 // store's Engine template plus the session's own bounded recorder (never
-// shared across shards) and the store's flight recorder. Used identically
-// on Create and on WAL recovery, so a recovered session's engine is
-// configured exactly like the original's.
+// shared across shards), the store's flight recorder, and the store's
+// metrics registry so the engines' core.* / core.incremental.* counters
+// (names in PROTOCOL.md) aggregate into the server's /debug/metrics dump.
+// Used identically on Create and on WAL recovery, so a recovered session's
+// engine is configured exactly like the original's.
 func (st *Store) sessionOptions() core.Options {
 	eng := st.cfg.Engine
 	eng.Recorder = nil
@@ -343,6 +345,7 @@ func (st *Store) sessionOptions() core.Options {
 		eng.Recorder = trace.NewBoundedRecorder(st.cfg.SessionEvents)
 	}
 	eng.Flight = st.cfg.Flight
+	eng.Metrics = st.cfg.Metrics
 	return eng
 }
 

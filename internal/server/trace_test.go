@@ -14,8 +14,8 @@ import (
 // TestRequestTraceTree drives one event request through the full stack and
 // asserts the acceptance-criteria chain: the http span (parented on the
 // client's traceparent, marked remote=1) -> server.shard_op -> online.step
-// -> core.repair -> core.round -> core.solve, with zero orphan spans, and
-// the trace id echoed back as X-Request-Id.
+// -> core.dirty (the incremental repair pass) -> core.round -> core.solve,
+// with zero orphan spans, and the trace id echoed back as X-Request-Id.
 func TestRequestTraceTree(t *testing.T) {
 	fl := trace.NewFlight(1 << 14)
 	_, ts := newTestServer(t, Config{Shards: 1, Flight: fl})
@@ -65,8 +65,8 @@ func TestRequestTraceTree(t *testing.T) {
 			"http.events":     "",            // parent is the client's remote span
 			"server.shard_op": "http.events", // via trace.FromContext on the shard queue
 			"online.step":     "server.shard_op",
-			"core.repair":     "online.step",
-			"core.round":      "core.repair",
+			"core.dirty":      "online.step",
+			"core.round":      "core.dirty",
 			"core.solve":      "core.round",
 		}[s.Name]
 		if wantParent == "" {
@@ -76,7 +76,7 @@ func TestRequestTraceTree(t *testing.T) {
 			t.Errorf("%s parent = %q, want %q", s.Name, got, wantParent)
 		}
 	}
-	for _, name := range []string{"http.events", "server.shard_op", "online.step", "core.repair", "core.round", "core.solve"} {
+	for _, name := range []string{"http.events", "server.shard_op", "online.step", "core.dirty", "core.round", "core.solve"} {
 		if seen[name] == 0 {
 			t.Errorf("trace has no %s span (saw %v)", name, seen)
 		}
