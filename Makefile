@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench benchcheck baseline figures check fmt vet clean serve-smoke trace-smoke crash-smoke churn-smoke
+.PHONY: all build test test-short race bench benchcheck baseline figures check fmt vet clean serve-smoke trace-smoke crash-smoke churn-smoke compat-smoke
 
 all: build test
 
@@ -64,6 +64,13 @@ crash-smoke:
 # core.incremental.* counters, and the -disable-incremental escape hatch.
 churn-smoke:
 	./scripts/churn_smoke.sh
+
+# Schema-compatibility smoke: recover the committed v0-generation data dir
+# with the current binary, check it against its pinned state, drive the v1
+# binary wire format and a fork against it, and run `specwal` verify on
+# both generations of the same directory.
+compat-smoke:
+	./scripts/compat_smoke.sh
 
 check: vet test-short
 

@@ -11,7 +11,9 @@
 //
 // Exit status is non-zero when events were lost or the measured rate falls
 // short of -min-rps, which is what lets `make serve-smoke` assert the
-// serving path instead of eyeballing it.
+// serving path instead of eyeballing it. -binary switches the event posts
+// to the canonical binary eventlog batch format (the same bytes the server
+// logs to its WAL), exercising the unified schema end to end.
 package main
 
 import (
@@ -28,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"specmatch/internal/eventlog"
 	"specmatch/internal/market"
 	"specmatch/internal/obs"
 	"specmatch/internal/online"
@@ -92,6 +95,9 @@ type worker struct {
 
 	// record enables the per-session acked/unacked ledger (-ledger).
 	record bool
+	// binary posts events as canonical eventlog batches (-binary) instead
+	// of JSON; responses come back in the batch shape.
+	binary bool
 
 	requests, ok, rejected, errors int64
 }
@@ -128,6 +134,7 @@ func run(args []string, out io.Writer) error {
 		timeout     = fs.Duration("timeout", 5*time.Second, "per-request client timeout")
 		reportPath  = fs.String("report", "", "write the JSON report to this path ('-' = stdout)")
 		minRPS      = fs.Float64("min-rps", 0, "fail unless the sustained OK rate reaches this")
+		binary      = fs.Bool("binary", false, "post events as canonical binary eventlog batches instead of JSON (exercises the unified wire format end to end)")
 		ledgerPath  = fs.String("ledger", "", "record every acknowledged event (with stats) per session to this JSON file; requires -sessions >= -concurrency so each session has one writer; tolerates the server dying mid-run")
 		verifyPath  = fs.String("verify", "", "verify a recovered server against this ledger instead of generating load: acked events must be durable and recovered state must equal a replay of the ledger")
 		diffPath    = fs.String("diff", "", "with -verify: write a recovered-vs-expected diff artifact here on failure")
@@ -205,6 +212,7 @@ func run(args []string, out io.Writer) error {
 			interval: interval,
 			lat:      lat,
 			record:   *ledgerPath != "",
+			binary:   *binary,
 		}
 		for k := w; k < len(states); k += *concurrency {
 			wk.sessions = append(wk.sessions, states[k])
@@ -369,17 +377,24 @@ func (wk *worker) makeEvent(ss *sessionState, chanChurn float64, batch int) onli
 }
 
 func (wk *worker) post(ss *sessionState, ev online.Event) {
-	body, err := json.Marshal(ev)
-	if err != nil {
-		wk.errors++
-		return
+	var body []byte
+	contentType := "application/json"
+	if wk.binary {
+		body = eventlog.EncodeBatch([]online.Event{ev})
+		contentType = eventlog.ContentType
+	} else {
+		var err error
+		if body, err = json.Marshal(ev); err != nil {
+			wk.errors++
+			return
+		}
 	}
 	req, err := http.NewRequest(http.MethodPost, wk.base+"/v1/sessions/"+ss.id+"/events", bytes.NewReader(body))
 	if err != nil {
 		wk.errors++
 		return
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", contentType)
 	// A fresh traceparent per request makes each event a distinct trace in
 	// the server's flight recorder, findable by the echoed X-Request-Id.
 	req.Header.Set("traceparent", trace.FormatTraceparent(trace.SpanContext{
@@ -432,7 +447,19 @@ func (wk *worker) post(ss *sessionState, ev online.Event) {
 func (wk *worker) recordAck(ss *sessionState, ev online.Event, respBody []byte, readErr error) {
 	var stats online.StepStats
 	if readErr == nil {
-		readErr = json.Unmarshal(respBody, &stats)
+		if wk.binary {
+			// Binary posts always come back in the batch shape.
+			var br server.BatchResponse
+			readErr = json.Unmarshal(respBody, &br)
+			if readErr == nil && len(br.Results) != 1 {
+				readErr = fmt.Errorf("batch response has %d results, want 1", len(br.Results))
+			}
+			if readErr == nil {
+				stats = br.Results[0].StepStats
+			}
+		} else {
+			readErr = json.Unmarshal(respBody, &stats)
+		}
 	}
 	if readErr != nil {
 		// Acked but stats unreadable: the event is durable, but without its

@@ -10,12 +10,21 @@
 // With -data-dir the store is durable: every mutation is written to a
 // per-shard write-ahead log and acknowledged only after it is fsynced,
 // checkpoints bound replay time, and startup recovers every session —
-// kill -9 loses nothing a client was told succeeded. cmd/specwal inspects
-// the files offline.
+// kill -9 loses nothing a client was told succeeded. Log records, the
+// event wire format, and checkpoints all share one versioned schema
+// (internal/eventlog), so cmd/specwal inspects any of them offline and
+// pre-schema (v0 JSON) data dirs recover unchanged.
+//
+// Durable stores also support point-in-time forks: POST
+// /v1/sessions/{id}/fork?lsn=N replays the session's durable prefix up to
+// shard LSN N (0 or omitted = the current tail) into a brand-new live
+// session, so a past state can be re-branched without disturbing the
+// original.
 //
 //	specserved -addr 127.0.0.1:7937
 //	curl -XPOST localhost:7937/v1/sessions -d "{\"spec\": $(specgen -sellers 3 -buyers 8)}"
 //	curl -XPOST localhost:7937/v1/sessions/m00000001/events -d '{"arrive":[0,1,2]}'
+//	curl -XPOST localhost:7937/v1/sessions/m00000001/fork?lsn=12
 //	curl localhost:7937/v1/sessions/m00000001
 //	curl localhost:7937/debug/metrics
 //

@@ -1,16 +1,21 @@
-// Command specwal inspects specserved's durable session state offline: the
-// per-shard write-ahead logs and checkpoints under a -data-dir. It decodes
-// the same framing the server recovers from, so what it reports is exactly
-// what a restart would see.
+// Command specwal inspects the unified event stream wherever it lives: the
+// per-shard write-ahead logs and checkpoints under a specserved -data-dir,
+// or any standalone file of framed eventlog records — a copied log, a
+// checkpoint, or a captured binary batch body from POST .../events (the wire
+// format is byte-compatible with a log file by design). It decodes the same
+// framing and bodies the server recovers from, both generations (v0 JSON and
+// v1 binary), so what it reports is exactly what a restart would see.
 //
 //	specwal -data-dir /var/lib/specserved            # verify: per-shard summary
 //	specwal -data-dir /var/lib/specserved -mode dump # every log record as JSON lines
 //	specwal -data-dir /var/lib/specserved -mode snap # decoded checkpoint bodies
+//	specwal -file capture.bin                        # records of one file/capture
 //
 // verify exits non-zero on mid-log corruption (the condition specserved
-// refuses to start on without -wal-repair); a torn tail is reported but is
-// not an error — it is the expected signature of a crash mid-write and
-// recovery truncates it safely.
+// refuses to start on without -wal-repair), including bodies that fail to
+// decode inside intact frames; a torn tail is reported but is not an error —
+// it is the expected signature of a crash mid-write and recovery truncates
+// it safely.
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"sort"
 	"strings"
 
+	"specmatch/internal/eventlog"
 	"specmatch/internal/wal"
 )
 
@@ -38,6 +44,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("specwal", flag.ContinueOnError)
 	var (
 		dataDir = fs.String("data-dir", "", "specserved data directory (holds shard-* subdirectories)")
+		file    = fs.String("file", "", "inspect one standalone file of framed records (log, checkpoint, or captured binary batch) instead of a data dir")
 		mode    = fs.String("mode", "verify", "verify | dump | snap")
 		shard   = fs.Int("shard", -1, "restrict to one shard (-1 = all)")
 		asJSON  = fs.Bool("json", false, "verify: emit the summary as JSON instead of text")
@@ -48,8 +55,11 @@ func run(args []string, out io.Writer) error {
 		}
 		return err
 	}
+	if *file != "" {
+		return dumpFile(*file, out)
+	}
 	if *dataDir == "" {
-		return fmt.Errorf("-data-dir is required")
+		return fmt.Errorf("-data-dir or -file is required")
 	}
 	dirs, err := shardDirs(*dataDir, *shard)
 	if err != nil {
@@ -98,6 +108,10 @@ type fileReport struct {
 	MaxLSN  uint64 `json:"max_lsn,omitempty"`
 	Torn    string `json:"torn,omitempty"`
 	Corrupt string `json:"corrupt,omitempty"`
+	// BadBodies counts records whose body fails to decode under the event
+	// schema despite an intact frame — corruption-class damage (the CRC
+	// already passed, so it cannot be a torn write).
+	BadBodies int `json:"bad_bodies,omitempty"`
 }
 
 type shardReport struct {
@@ -138,6 +152,9 @@ func scanDir(dir string) (shardReport, error) {
 			if r.LSN > fr.MaxLSN {
 				fr.MaxLSN = r.LSN
 			}
+			if _, err := eventlog.JSONView(r.Type, r.Body); err != nil {
+				fr.BadBodies++
+			}
 		}
 		switch {
 		case scanErr == nil:
@@ -168,6 +185,7 @@ func verify(dirs []string, asJSON bool, out io.Writer) error {
 			if fr.Corrupt != "" {
 				corrupt++
 			}
+			corrupt += fr.BadBodies
 		}
 	}
 	if asJSON {
@@ -186,6 +204,9 @@ func verify(dirs []string, asJSON bool, out io.Writer) error {
 				}
 				if fr.Corrupt != "" {
 					status = "CORRUPT: " + fr.Corrupt
+				}
+				if fr.BadBodies > 0 {
+					status = fmt.Sprintf("CORRUPT: %d undecodable record bodies; %s", fr.BadBodies, status)
 				}
 				fmt.Fprintf(out, "  %-28s %8d bytes  %5d records  lsn [%d,%d]  %s\n",
 					fr.File, fr.Bytes, fr.Records, fr.MinLSN, fr.MaxLSN, status)
@@ -228,14 +249,9 @@ func dump(dirs []string, out io.Writer) error {
 			}
 			recs, _, scanErr := wal.ScanFile(data)
 			for _, r := range recs {
-				body := json.RawMessage(r.Body)
-				if !json.Valid(r.Body) {
-					quoted, _ := json.Marshal(string(r.Body))
-					body = quoted
-				}
 				if err := enc.Encode(dumpRecord{
 					Shard: filepath.Base(dir), File: name,
-					Type: r.Type.String(), LSN: r.LSN, Body: body,
+					Type: r.Type.String(), LSN: r.LSN, Body: bodyView(r),
 				}); err != nil {
 					return err
 				}
@@ -274,12 +290,61 @@ func dumpSnapshots(dirs []string, out io.Writer) error {
 			for _, r := range recs {
 				if err := enc.Encode(dumpRecord{
 					Shard: filepath.Base(dir), File: name,
-					Type: r.Type.String(), LSN: r.LSN, Body: json.RawMessage(r.Body),
+					Type: r.Type.String(), LSN: r.LSN, Body: bodyView(r),
 				}); err != nil {
 					return err
 				}
 			}
 		}
+	}
+	return nil
+}
+
+// bodyView decodes a record body to its JSON view (either generation); a
+// body that fails to decode is shown as a quoted string so the dump still
+// renders every intact frame.
+func bodyView(r wal.Record) json.RawMessage {
+	view, err := eventlog.JSONView(r.Type, r.Body)
+	if err != nil {
+		quoted, _ := json.Marshal(string(r.Body))
+		return quoted
+	}
+	return view
+}
+
+// dumpFile inspects one standalone file of framed records — a shard log, a
+// checkpoint, or a captured binary batch body (they share the format) —
+// printing each record as a JSON line and classifying any tail damage.
+// Mid-file corruption (or an undecodable body in an intact frame) is an
+// error; a torn tail is reported on stderr but, as in recovery, is not.
+func dumpFile(path string, out io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	recs, _, scanErr := wal.ScanFile(data)
+	enc := json.NewEncoder(out)
+	badBodies := 0
+	for _, r := range recs {
+		if _, err := eventlog.JSONView(r.Type, r.Body); err != nil {
+			badBodies++
+		}
+		if err := enc.Encode(dumpRecord{
+			File: filepath.Base(path),
+			Type: r.Type.String(), LSN: r.LSN, Body: bodyView(r),
+		}); err != nil {
+			return err
+		}
+	}
+	switch {
+	case scanErr == nil:
+	case errors.Is(scanErr, wal.ErrTornTail):
+		fmt.Fprintf(os.Stderr, "specwal: %s: torn tail (recoverable): %v\n", path, scanErr)
+	default:
+		return fmt.Errorf("%s: %w", path, scanErr)
+	}
+	if badBodies > 0 {
+		return fmt.Errorf("%s: %d undecodable record bodies in intact frames", path, badBodies)
 	}
 	return nil
 }

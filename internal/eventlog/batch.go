@@ -1,0 +1,51 @@
+package eventlog
+
+import (
+	"fmt"
+
+	"specmatch/internal/online"
+	"specmatch/internal/wal"
+)
+
+// ContentType is the MIME type of the canonical binary batch wire format on
+// POST /v1/sessions/{id}/events. Anything else on that route is treated as
+// the JSON view.
+const ContentType = "application/x-specmatch-eventlog"
+
+// EncodeBatch encodes an event batch in the canonical wire format: the WAL
+// magic followed by one framed wal.TypeStep record per event (LSN 0, empty
+// session id — the session is addressed out of band, by URL or by log
+// position). A batch is therefore byte-compatible with a WAL log file, which
+// is what lets specwal inspect wire captures with the same scanner it uses
+// on shard logs, and makes the batch format inherit wal.Scan's torn-tail
+// versus corruption classification verbatim.
+func EncodeBatch(events []online.Event) []byte {
+	buf := append(make([]byte, 0, 64*(len(events)+1)), wal.Magic[:]...)
+	for _, ev := range events {
+		buf = wal.AppendRecord(buf, wal.Record{Type: wal.TypeStep, Body: Step{Event: ev}.Encode()})
+	}
+	return buf
+}
+
+// DecodeBatch decodes a canonical batch. Framing errors pass through from
+// wal.ScanFile (so errors.Is against wal.ErrTornTail / wal.ErrCorrupt /
+// wal.ErrBadMagic works); a non-step record or an undecodable body inside an
+// intact frame is ErrMalformed.
+func DecodeBatch(data []byte) ([]online.Event, error) {
+	recs, _, err := wal.ScanFile(data)
+	if err != nil {
+		return nil, fmt.Errorf("eventlog: batch: %w", err)
+	}
+	events := make([]online.Event, 0, len(recs))
+	for k, r := range recs {
+		if r.Type != wal.TypeStep {
+			return nil, fmt.Errorf("%w: batch record %d is a %s record, want step", ErrMalformed, k, r.Type)
+		}
+		b, err := DecodeStep(r.Body)
+		if err != nil {
+			return nil, fmt.Errorf("eventlog: batch record %d: %w", k, err)
+		}
+		events = append(events, b.Event)
+	}
+	return events, nil
+}

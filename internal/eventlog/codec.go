@@ -1,0 +1,181 @@
+package eventlog
+
+// The public codec: Encode methods emit canonical v1 bytes, Decode functions
+// accept both generations (v0 JSON and v1 binary) behind one entry point per
+// record type. This file is the single place event bodies are serialized —
+// the server's WAL glue, the HTTP batch path, and specwal all call these.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"specmatch/internal/online"
+)
+
+// legacy dispatches on the first body byte: v0 bodies are JSON documents and
+// necessarily start with '{'; v1 bodies start with the schema version. An
+// empty body or an unknown leading byte is an explicit version error so a
+// future v2 reader bump can never be misread as data.
+func legacy(body []byte) (bool, error) {
+	if len(body) == 0 {
+		return false, fmt.Errorf("%w: empty body", ErrMalformed)
+	}
+	switch body[0] {
+	case '{':
+		return true, nil
+	case Version:
+		return false, nil
+	}
+	return false, fmt.Errorf("%w: leading byte 0x%02x", ErrVersion, body[0])
+}
+
+// decodeJSON is the v0 path: a strict unmarshal of the legacy JSON body.
+func decodeJSON(body []byte, v any) error {
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("%w: v0 json: %v", ErrMalformed, err)
+	}
+	return nil
+}
+
+// Encode returns the canonical v1 bytes of a create body.
+func (b Create) Encode() []byte {
+	out := append(make([]byte, 0, 64), Version)
+	out = appendString(out, b.ID)
+	return appendSpec(out, b.Spec)
+}
+
+// DecodeCreate decodes a create body of either generation.
+func DecodeCreate(body []byte) (Create, error) {
+	var b Create
+	if v0, err := legacy(body); err != nil {
+		return b, err
+	} else if v0 {
+		return b, decodeJSON(body, &b)
+	}
+	d := &dec{b: body[1:]}
+	b.ID = d.str()
+	b.Spec = d.spec()
+	return b, d.finish()
+}
+
+// Encode returns the canonical v1 bytes of a step body.
+func (b Step) Encode() []byte {
+	out := append(make([]byte, 0, 32), Version)
+	out = appendString(out, b.ID)
+	return appendEvent(out, b.Event)
+}
+
+// DecodeStep decodes a step body of either generation.
+func DecodeStep(body []byte) (Step, error) {
+	var b Step
+	if v0, err := legacy(body); err != nil {
+		return b, err
+	} else if v0 {
+		return b, decodeJSON(body, &b)
+	}
+	d := &dec{b: body[1:]}
+	b.ID = d.str()
+	b.Event = d.event()
+	return b, d.finish()
+}
+
+// Encode returns the canonical v1 bytes of a rebuild/delete body.
+func (b Ref) Encode() []byte {
+	out := append(make([]byte, 0, 16), Version)
+	return appendString(out, b.ID)
+}
+
+// DecodeRef decodes a rebuild/delete body of either generation.
+func DecodeRef(body []byte) (Ref, error) {
+	var b Ref
+	if v0, err := legacy(body); err != nil {
+		return b, err
+	} else if v0 {
+		return b, decodeJSON(body, &b)
+	}
+	d := &dec{b: body[1:]}
+	b.ID = d.str()
+	return b, d.finish()
+}
+
+// Encode returns the canonical v1 bytes of a fork body.
+func (b Fork) Encode() []byte {
+	out := append(make([]byte, 0, 256), Version)
+	out = appendString(out, b.ID)
+	out = appendString(out, b.From)
+	out = binary.AppendUvarint(out, b.AtLSN)
+	out = appendSpec(out, b.Spec)
+	return appendSnapshot(out, b.State)
+}
+
+// DecodeFork decodes a fork body. Fork records postdate the v0 generation,
+// but the JSON view is accepted anyway — bilingual decode is uniform.
+func DecodeFork(body []byte) (Fork, error) {
+	var b Fork
+	if v0, err := legacy(body); err != nil {
+		return b, err
+	} else if v0 {
+		return b, decodeJSON(body, &b)
+	}
+	d := &dec{b: body[1:]}
+	b.ID = d.str()
+	b.From = d.str()
+	b.AtLSN = d.uvarint()
+	b.Spec = d.spec()
+	b.State = d.snapshot()
+	return b, d.finish()
+}
+
+// Encode returns the canonical v1 bytes of a checkpoint body.
+func (b Checkpoint) Encode() []byte {
+	out := append(make([]byte, 0, 1024), Version)
+	out = binary.AppendUvarint(out, b.NextID)
+	out = binary.AppendUvarint(out, uint64(len(b.Sessions)))
+	for _, s := range b.Sessions {
+		out = appendString(out, s.ID)
+		out = appendSpec(out, s.Spec)
+		out = appendSnapshot(out, s.State)
+	}
+	return out
+}
+
+// DecodeCheckpoint decodes a checkpoint body of either generation.
+func DecodeCheckpoint(body []byte) (Checkpoint, error) {
+	var b Checkpoint
+	if v0, err := legacy(body); err != nil {
+		return b, err
+	} else if v0 {
+		return b, decodeJSON(body, &b)
+	}
+	d := &dec{b: body[1:]}
+	b.NextID = d.uvarint()
+	n := d.count(1)
+	for i := 0; i < n && d.err == nil; i++ {
+		b.Sessions = append(b.Sessions, SessionState{
+			ID:    d.str(),
+			Spec:  d.spec(),
+			State: d.snapshot(),
+		})
+	}
+	return b, d.finish()
+}
+
+// EncodeEvent returns the canonical v1 bytes of a bare churn event — the
+// serialized form of online.Event everywhere one travels alone.
+func EncodeEvent(ev online.Event) []byte {
+	return appendEvent(append(make([]byte, 0, 32), Version), ev)
+}
+
+// DecodeEvent decodes a bare event of either generation.
+func DecodeEvent(body []byte) (online.Event, error) {
+	if v0, err := legacy(body); err != nil {
+		return online.Event{}, err
+	} else if v0 {
+		var ev online.Event
+		return ev, decodeJSON(body, &ev)
+	}
+	d := &dec{b: body[1:]}
+	ev := d.event()
+	return ev, d.finish()
+}

@@ -1,0 +1,427 @@
+// Package eventlog is the one versioned encoding for session mutations. The
+// same body bytes flow through every surface that carries events: the
+// server's WAL records and checkpoints (internal/server logs these bodies
+// inside internal/wal frames), the HTTP batch wire format
+// (POST /v1/sessions/{id}/events with the binary content type), and the
+// specwal inspector. JSON remains a *view* — handlers accept and render it —
+// but the durable and canonical form is this package's binary layout, so
+// exactly one encode/decode implementation exists for event bodies.
+//
+// # Byte layout (schema version 1)
+//
+// Every body starts with a one-byte schema version (0x01). The rest is a
+// sequence of primitive fields with no padding:
+//
+//	uvarint  unsigned LEB128 (encoding/binary Uvarint)
+//	varint   zigzag LEB128 (encoding/binary Varint) — used for every int
+//	         that can be negative (assignment entries hold -1)
+//	f64      IEEE-754 bits as u64 little-endian (exact, no text round-trip)
+//	string   uvarint byte length | bytes
+//	[]int    uvarint count | count × varint
+//	[]f64    uvarint count | count × f64
+//
+// Composite payloads, in field order:
+//
+//	event      []int arrive | []int depart | []int channel_up | []int channel_down
+//	spec       uvarint M | uvarint N | M×N f64 prices (row-major)
+//	           | M × (uvarint e | e × (varint u, varint v))   interference edges
+//	           | []int seller_owner | []int buyer_owner
+//	           | uvarint np | np × (f64 x, f64 y)             buyer positions
+//	           | []f64 ranges
+//	snapshot   uvarint channels | uvarint buyers | uvarint active
+//	           | uvarint matched | f64 welfare | uvarint steps
+//	           | []int offline_channels | []int active_buyers | []int assignment
+//
+// Record bodies (the version byte, then):
+//
+//	create      string id | spec
+//	step        string id | event
+//	rebuild     string id
+//	delete      string id
+//	fork        string id | string from | uvarint at_lsn | spec | snapshot
+//	checkpoint  uvarint next_id | uvarint n | n × (string id | spec | snapshot)
+//
+// # Version negotiation
+//
+// The first body byte discriminates generations: 0x7b ('{') is a v0 JSON
+// document (what pre-schema servers logged), 0x01 is schema version 1,
+// anything else is an unknown future version and an explicit error. Every
+// Decode* function in this package accepts both generations, which is what
+// lets a store recover a v0 data dir bit-for-bit while writing v1: readers
+// are bilingual, writers emit only the current version. An upgraded store
+// rewrites its checkpoints in v1 on the first post-recovery rotation, so v0
+// bodies age out of a dir without a migration step; downgrading past a dir
+// that already holds v1 bodies is not supported.
+//
+// Framing (length prefix + CRC32C) is internal/wal's job — bodies here are
+// the payloads inside those frames — so torn-tail versus mid-stream
+// corruption classification is inherited from wal.Scan wherever a body
+// travels (logs, checkpoint files, and the batch wire format all use wal
+// frames). A body that fails to decode inside an intact frame is
+// ErrMalformed, which callers treat like frame corruption: it cannot be a
+// torn write, because the frame's CRC already passed.
+package eventlog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"specmatch/internal/geom"
+	"specmatch/internal/market"
+	"specmatch/internal/online"
+)
+
+// Version is the current schema version, and the first byte of every body
+// this package encodes.
+const Version = 1
+
+// Decode errors.
+var (
+	// ErrMalformed reports a body that does not parse under its declared
+	// schema version. Inside an intact CRC frame this is corruption-class
+	// damage (or an encoder bug), never a torn write.
+	ErrMalformed = errors.New("eventlog: malformed body")
+	// ErrVersion reports a body whose first byte is neither a v0 JSON
+	// document nor a known binary schema version.
+	ErrVersion = errors.New("eventlog: unsupported schema version")
+)
+
+// Create is the body of a wal.TypeCreate record. The JSON tags are the v0
+// wire names, so marshaling any body type yields exactly the legacy JSON
+// view.
+type Create struct {
+	ID   string      `json:"id"`
+	Spec market.Spec `json:"spec"`
+}
+
+// Step is the body of a wal.TypeStep record; batch wire records carry the
+// same shape with an empty ID (the session is addressed by URL).
+type Step struct {
+	ID    string       `json:"id"`
+	Event online.Event `json:"event"`
+}
+
+// Ref is the body of wal.TypeRebuild and wal.TypeDelete records.
+type Ref struct {
+	ID string `json:"id"`
+}
+
+// Fork is the body of a wal.TypeFork record: the complete state of session
+// ID as forked from session From at the source shard's LSN AtLSN. It carries
+// the full spec and snapshot (not a reference) because the fork lands on the
+// child's own shard — replaying the parent's log there is impossible, LSNs
+// are shard-local.
+type Fork struct {
+	ID    string          `json:"id"`
+	From  string          `json:"from"`
+	AtLSN uint64          `json:"at_lsn"`
+	Spec  market.Spec     `json:"spec"`
+	State online.Snapshot `json:"state"`
+}
+
+// Checkpoint is the body of a wal.TypeSnapshot record: every session on the
+// shard plus the store-wide id counter. Sessions are sorted by id by the
+// encoder's caller, making the bytes deterministic for a given state.
+type Checkpoint struct {
+	NextID   uint64         `json:"next_id"`
+	Sessions []SessionState `json:"sessions"`
+}
+
+// SessionState is one session inside a Checkpoint.
+type SessionState struct {
+	ID    string          `json:"id"`
+	Spec  market.Spec     `json:"spec"`
+	State online.Snapshot `json:"state"`
+}
+
+// --- encoding primitives ---
+
+func appendInts(b []byte, xs []int) []byte {
+	b = binary.AppendUvarint(b, uint64(len(xs)))
+	for _, x := range xs {
+		b = binary.AppendVarint(b, int64(x))
+	}
+	return b
+}
+
+func appendFloat(b []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+func appendFloats(b []byte, xs []float64) []byte {
+	b = binary.AppendUvarint(b, uint64(len(xs)))
+	for _, x := range xs {
+		b = appendFloat(b, x)
+	}
+	return b
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendEvent(b []byte, ev online.Event) []byte {
+	b = appendInts(b, ev.Arrive)
+	b = appendInts(b, ev.Depart)
+	b = appendInts(b, ev.ChannelUp)
+	return appendInts(b, ev.ChannelDown)
+}
+
+func appendSpec(b []byte, sp market.Spec) []byte {
+	m := len(sp.Prices)
+	n := 0
+	if m > 0 {
+		n = len(sp.Prices[0])
+	}
+	b = binary.AppendUvarint(b, uint64(m))
+	b = binary.AppendUvarint(b, uint64(n))
+	// Exactly M×N prices, row-major, as the layout documents. Ragged rows
+	// (inconsistent input; FromSpec rejects them) are padded or truncated to
+	// the declared width so the bytes always decode.
+	for _, row := range sp.Prices {
+		for j := 0; j < n; j++ {
+			var p float64
+			if j < len(row) {
+				p = row[j]
+			}
+			b = appendFloat(b, p)
+		}
+	}
+	// Exactly M edge rows, per the documented layout. A spec whose Edges
+	// length disagrees with Prices is inconsistent (FromSpec rejects it);
+	// encoding normalizes it rather than emitting undecodable bytes.
+	for i := 0; i < m; i++ {
+		var edges [][2]int
+		if i < len(sp.Edges) {
+			edges = sp.Edges[i]
+		}
+		b = binary.AppendUvarint(b, uint64(len(edges)))
+		for _, e := range edges {
+			b = binary.AppendVarint(b, int64(e[0]))
+			b = binary.AppendVarint(b, int64(e[1]))
+		}
+	}
+	b = appendInts(b, sp.SellerOwner)
+	b = appendInts(b, sp.BuyerOwner)
+	b = binary.AppendUvarint(b, uint64(len(sp.BuyerPos)))
+	for _, p := range sp.BuyerPos {
+		b = appendFloat(b, p.X)
+		b = appendFloat(b, p.Y)
+	}
+	return appendFloats(b, sp.Ranges)
+}
+
+func appendSnapshot(b []byte, s online.Snapshot) []byte {
+	b = binary.AppendUvarint(b, uint64(s.Channels))
+	b = binary.AppendUvarint(b, uint64(s.Buyers))
+	b = binary.AppendUvarint(b, uint64(s.Active))
+	b = binary.AppendUvarint(b, uint64(s.Matched))
+	b = appendFloat(b, s.Welfare)
+	b = binary.AppendUvarint(b, uint64(s.Steps))
+	b = appendInts(b, s.OfflineChannels)
+	b = appendInts(b, s.ActiveBuyers)
+	return appendInts(b, s.Assignment)
+}
+
+// --- decoding primitives ---
+
+// dec is a bounds-checked cursor over a v1 payload. Every accessor returns a
+// zero value once err is set, so decoders read fields unconditionally and
+// check err once at the end.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s at offset %d", ErrMalformed, what, d.off)
+	}
+}
+
+func (d *dec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) varint() int {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("bad varint")
+		return 0
+	}
+	d.off += n
+	return int(v)
+}
+
+// count reads an element count and rejects any value that could not fit in
+// the remaining bytes at elemSize bytes minimum per element — the guard that
+// keeps arbitrary input from turning into huge allocations.
+func (d *dec) count(elemSize int) int {
+	v := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if v > uint64(len(d.b)-d.off)/uint64(elemSize) {
+		d.fail(fmt.Sprintf("count %d exceeds remaining input", v))
+		return 0
+	}
+	return int(v)
+}
+
+func (d *dec) ints() []int {
+	n := d.count(1)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = d.varint()
+	}
+	if d.err != nil {
+		return nil
+	}
+	return out
+}
+
+func (d *dec) f64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b)-d.off < 8 {
+		d.fail("truncated float")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return v
+}
+
+func (d *dec) floats() []float64 {
+	n := d.count(8)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.f64()
+	}
+	if d.err != nil {
+		return nil
+	}
+	return out
+}
+
+func (d *dec) str() string {
+	n := d.count(1)
+	if d.err != nil {
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *dec) event() online.Event {
+	return online.Event{
+		Arrive:      d.ints(),
+		Depart:      d.ints(),
+		ChannelUp:   d.ints(),
+		ChannelDown: d.ints(),
+	}
+}
+
+func (d *dec) spec() market.Spec {
+	m := int(d.count(1))
+	n := 0
+	if d.err == nil {
+		v := d.uvarint()
+		// Each price row costs n×8 bytes; bound n by what one row could hold.
+		if m > 0 && v > uint64(len(d.b)-d.off)/8 {
+			d.fail(fmt.Sprintf("spec width %d exceeds remaining input", v))
+		}
+		n = int(v)
+	}
+	var sp market.Spec
+	if d.err != nil {
+		return sp
+	}
+	if uint64(m)*uint64(n) > uint64(len(d.b)-d.off)/8 {
+		d.fail(fmt.Sprintf("spec %dx%d exceeds remaining input", m, n))
+		return sp
+	}
+	if m > 0 {
+		sp.Prices = make([][]float64, m)
+		sp.Edges = make([][][2]int, m)
+	}
+	for i := 0; i < m; i++ {
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = d.f64()
+		}
+		sp.Prices[i] = row
+	}
+	for i := 0; i < m; i++ {
+		e := d.count(2)
+		edges := make([][2]int, e)
+		for k := range edges {
+			edges[k] = [2]int{d.varint(), d.varint()}
+		}
+		sp.Edges[i] = edges
+	}
+	sp.SellerOwner = d.ints()
+	sp.BuyerOwner = d.ints()
+	if np := d.count(16); np > 0 {
+		sp.BuyerPos = make([]geom.Point, np)
+		for i := range sp.BuyerPos {
+			sp.BuyerPos[i] = geom.Point{X: d.f64(), Y: d.f64()}
+		}
+	}
+	sp.Ranges = d.floats()
+	if d.err != nil {
+		return market.Spec{}
+	}
+	return sp
+}
+
+func (d *dec) snapshot() online.Snapshot {
+	return online.Snapshot{
+		Channels:        int(d.uvarint()),
+		Buyers:          int(d.uvarint()),
+		Active:          int(d.uvarint()),
+		Matched:         int(d.uvarint()),
+		Welfare:         d.f64(),
+		Steps:           int(d.uvarint()),
+		OfflineChannels: d.ints(),
+		ActiveBuyers:    d.ints(),
+		Assignment:      d.ints(),
+	}
+}
+
+// finish closes a body decode: the declared error if any, otherwise a check
+// that every byte was consumed (trailing garbage inside an intact frame is
+// corruption, not slack).
+func (d *dec) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(d.b)-d.off)
+	}
+	return nil
+}

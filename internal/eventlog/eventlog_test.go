@@ -1,0 +1,210 @@
+package eventlog
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"specmatch/internal/market"
+	"specmatch/internal/online"
+	"specmatch/internal/wal"
+)
+
+// sampleSpec is a real generated market spec, so every optional field
+// (owners, positions, ranges) is populated and round-trips are tested on
+// the shapes production actually produces.
+func sampleSpec(t *testing.T) market.Spec {
+	t.Helper()
+	m, err := market.Generate(market.Config{Sellers: 2, Buyers: 6, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Spec()
+}
+
+func sampleSnapshot() online.Snapshot {
+	return online.Snapshot{
+		Channels: 3, Buyers: 5, Active: 2, Matched: 2,
+		Welfare: 1.25, Steps: 7,
+		OfflineChannels: []int{1},
+		ActiveBuyers:    []int{0, 4},
+		Assignment:      []int{2, -1, -1, -1, 0},
+	}
+}
+
+func sampleEvent() online.Event {
+	return online.Event{Arrive: []int{0, 3}, Depart: []int{1}, ChannelDown: []int{2}}
+}
+
+// Every body type must decode its own canonical encoding back to an equal
+// value — decode is the left inverse of encode.
+func TestRoundTripAllTypes(t *testing.T) {
+	spec := sampleSpec(t)
+
+	cr := Create{ID: "m00000001", Spec: spec}
+	if got, err := DecodeCreate(cr.Encode()); err != nil || !reflect.DeepEqual(got, cr) {
+		t.Fatalf("create round trip: err=%v\n got %+v\nwant %+v", err, got, cr)
+	}
+	stp := Step{ID: "m00000002", Event: sampleEvent()}
+	if got, err := DecodeStep(stp.Encode()); err != nil || !reflect.DeepEqual(got, stp) {
+		t.Fatalf("step round trip: err=%v\n got %+v\nwant %+v", err, got, stp)
+	}
+	// A batch-wire step has no id and an empty event; both extremes matter.
+	empty := Step{}
+	if got, err := DecodeStep(empty.Encode()); err != nil || !reflect.DeepEqual(got, empty) {
+		t.Fatalf("empty step round trip: err=%v got %+v", err, got)
+	}
+	ref := Ref{ID: "m0000000a"}
+	if got, err := DecodeRef(ref.Encode()); err != nil || !reflect.DeepEqual(got, ref) {
+		t.Fatalf("ref round trip: err=%v got %+v", err, got)
+	}
+	fk := Fork{ID: "m00000009", From: "m00000001", AtLSN: 12345, Spec: spec, State: sampleSnapshot()}
+	if got, err := DecodeFork(fk.Encode()); err != nil || !reflect.DeepEqual(got, fk) {
+		t.Fatalf("fork round trip: err=%v\n got %+v\nwant %+v", err, got, fk)
+	}
+	cp := Checkpoint{NextID: 42, Sessions: []SessionState{
+		{ID: "m00000001", Spec: spec, State: sampleSnapshot()},
+		{ID: "m00000003", Spec: spec, State: online.Snapshot{Channels: 2, Buyers: 6, Assignment: []int{-1, -1, -1, -1, -1, -1}}},
+	}}
+	if got, err := DecodeCheckpoint(cp.Encode()); err != nil || !reflect.DeepEqual(got, cp) {
+		t.Fatalf("checkpoint round trip: err=%v\n got %+v\nwant %+v", err, got, cp)
+	}
+	if got, err := DecodeCheckpoint(Checkpoint{NextID: 1}.Encode()); err != nil || !reflect.DeepEqual(got, Checkpoint{NextID: 1}) {
+		t.Fatalf("empty checkpoint round trip: err=%v got %+v", err, got)
+	}
+	ev := sampleEvent()
+	if got, err := DecodeEvent(EncodeEvent(ev)); err != nil || !reflect.DeepEqual(got, ev) {
+		t.Fatalf("event round trip: err=%v got %+v", err, got)
+	}
+}
+
+// Decoders must accept the v0 generation: the JSON the pre-schema server
+// logged, which is exactly what the body structs marshal to (the struct tags
+// are the v0 wire names).
+func TestDecodeV0JSON(t *testing.T) {
+	spec := sampleSpec(t)
+	mustJSON := func(v any) []byte {
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	cr := Create{ID: "m00000001", Spec: spec}
+	if got, err := DecodeCreate(mustJSON(cr)); err != nil || !reflect.DeepEqual(got, cr) {
+		t.Fatalf("v0 create: err=%v\n got %+v\nwant %+v", err, got, cr)
+	}
+	stp := Step{ID: "m00000002", Event: sampleEvent()}
+	if got, err := DecodeStep(mustJSON(stp)); err != nil || !reflect.DeepEqual(got, stp) {
+		t.Fatalf("v0 step: err=%v got %+v", err, got)
+	}
+	ref := Ref{ID: "m0000000a"}
+	if got, err := DecodeRef(mustJSON(ref)); err != nil || !reflect.DeepEqual(got, ref) {
+		t.Fatalf("v0 ref: err=%v got %+v", err, got)
+	}
+	cp := Checkpoint{NextID: 9, Sessions: []SessionState{{ID: "m00000001", Spec: spec, State: sampleSnapshot()}}}
+	if got, err := DecodeCheckpoint(mustJSON(cp)); err != nil || !reflect.DeepEqual(got, cp) {
+		t.Fatalf("v0 checkpoint: err=%v\n got %+v\nwant %+v", err, got, cp)
+	}
+	ev := sampleEvent()
+	if got, err := DecodeEvent(mustJSON(ev)); err != nil || !reflect.DeepEqual(got, ev) {
+		t.Fatalf("v0 event: err=%v got %+v", err, got)
+	}
+}
+
+// Version negotiation: empty bodies and unknown leading bytes are explicit,
+// classified errors, and trailing garbage after a valid v1 payload is
+// malformed rather than silently ignored.
+func TestDecodeErrors(t *testing.T) {
+	if _, err := DecodeStep(nil); !errors.Is(err, ErrMalformed) {
+		t.Errorf("empty body: got %v, want ErrMalformed", err)
+	}
+	if _, err := DecodeStep([]byte{0x02, 0x00}); !errors.Is(err, ErrVersion) {
+		t.Errorf("unknown version byte: got %v, want ErrVersion", err)
+	}
+	if _, err := DecodeStep([]byte(`{"id": 7}`)); !errors.Is(err, ErrMalformed) {
+		t.Errorf("bad v0 json: got %v, want ErrMalformed", err)
+	}
+	trailing := append(Step{ID: "x"}.Encode(), 0xff)
+	if _, err := DecodeStep(trailing); !errors.Is(err, ErrMalformed) {
+		t.Errorf("trailing bytes: got %v, want ErrMalformed", err)
+	}
+	truncated := Create{ID: "m1", Spec: sampleSpec(t)}.Encode()
+	if _, err := DecodeCreate(truncated[:len(truncated)-3]); !errors.Is(err, ErrMalformed) {
+		t.Errorf("truncated body: got %v, want ErrMalformed", err)
+	}
+	// A hostile count must be rejected before allocation, not OOM.
+	hostile := append([]byte{Version}, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f)
+	if _, err := DecodeRef(hostile); !errors.Is(err, ErrMalformed) {
+		t.Errorf("hostile count: got %v, want ErrMalformed", err)
+	}
+}
+
+// The batch wire format round-trips and inherits the wal package's damage
+// taxonomy: truncation is a torn tail, flipped bytes are corruption, and a
+// non-step record inside a structurally intact batch is malformed.
+func TestBatchRoundTripAndClassification(t *testing.T) {
+	events := []online.Event{
+		{Arrive: []int{0, 1, 2}},
+		{Depart: []int{1}, ChannelUp: []int{0}},
+		{},
+	}
+	data := EncodeBatch(events)
+	got, err := DecodeBatch(data)
+	if err != nil || !reflect.DeepEqual(got, events) {
+		t.Fatalf("batch round trip: err=%v\n got %+v\nwant %+v", err, got, events)
+	}
+	if got, err := DecodeBatch(EncodeBatch(nil)); err != nil || len(got) != 0 {
+		t.Fatalf("empty batch: err=%v got %+v", err, got)
+	}
+
+	if _, err := DecodeBatch(data[:len(data)-3]); !errors.Is(err, wal.ErrTornTail) {
+		t.Errorf("truncated batch: got %v, want wal.ErrTornTail", err)
+	}
+	flipped := append([]byte(nil), data...)
+	flipped[len(wal.Magic)+9] ^= 0x01 // inside the first frame's payload
+	if _, err := DecodeBatch(flipped); !errors.Is(err, wal.ErrCorrupt) {
+		t.Errorf("flipped batch byte: got %v, want wal.ErrCorrupt", err)
+	}
+	if _, err := DecodeBatch([]byte("not a batch at all")); !errors.Is(err, wal.ErrBadMagic) {
+		t.Errorf("no magic: got %v, want wal.ErrBadMagic", err)
+	}
+	wrongType := append([]byte(nil), wal.Magic[:]...)
+	wrongType = wal.AppendRecord(wrongType, wal.Record{Type: wal.TypeDelete, Body: Ref{ID: "m1"}.Encode()})
+	if _, err := DecodeBatch(wrongType); !errors.Is(err, ErrMalformed) {
+		t.Errorf("non-step record: got %v, want ErrMalformed", err)
+	}
+}
+
+// JSONView renders both generations to the same legacy JSON: v0 bodies pass
+// through verbatim, v1 bodies decode and re-marshal to an equivalent
+// document (the struct tags are the v0 names, so the views are comparable).
+func TestJSONView(t *testing.T) {
+	stp := Step{ID: "m00000002", Event: sampleEvent()}
+	wantJSON, err := json.Marshal(stp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1View, err := JSONView(wal.TypeStep, stp.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v1View) != string(wantJSON) {
+		t.Errorf("v1 view = %s, want %s", v1View, wantJSON)
+	}
+	v0View, err := JSONView(wal.TypeStep, wantJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v0View) != string(wantJSON) {
+		t.Errorf("v0 view = %s, want it verbatim %s", v0View, wantJSON)
+	}
+	if _, err := JSONView(wal.TypeStep, []byte{0x02}); !errors.Is(err, ErrVersion) {
+		t.Errorf("unknown version: got %v, want ErrVersion", err)
+	}
+	if _, err := JSONView(wal.Type(99), stp.Encode()); !errors.Is(err, ErrMalformed) {
+		t.Errorf("unknown record type: got %v, want ErrMalformed", err)
+	}
+}

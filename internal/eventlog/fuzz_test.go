@@ -1,0 +1,139 @@
+package eventlog
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"specmatch/internal/market"
+	"specmatch/internal/online"
+	"specmatch/internal/wal"
+)
+
+// FuzzEventCodec hammers every body decoder with arbitrary bytes. Whatever
+// the input: no decoder may panic; every failure must be classified as
+// ErrMalformed or ErrVersion; and any body that does decode must re-encode
+// to canonical v1 bytes that decode back to the same value (decode is a left
+// inverse of encode, for both generations). Stability is checked on the
+// bytes, not the structs, so NaN payloads smuggled in through fuzzed float
+// bits cannot false-fail a struct comparison. Batches additionally inherit
+// internal/wal's framing taxonomy, which is asserted here too.
+func FuzzEventCodec(f *testing.F) {
+	m, err := market.Generate(market.Config{Sellers: 2, Buyers: 5, Seed: 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	spec := m.Spec()
+	snap := online.Snapshot{Channels: 2, Buyers: 5, Active: 1, Welfare: 0.5, Steps: 2,
+		ActiveBuyers: []int{3}, Assignment: []int{-1, -1, -1, 1, -1}}
+
+	// Canonical v1 bodies of every type.
+	f.Add(Create{ID: "m00000001", Spec: spec}.Encode())
+	f.Add(Step{ID: "m00000001", Event: online.Event{Arrive: []int{0, 1}, ChannelDown: []int{1}}}.Encode())
+	f.Add(Ref{ID: "m00000001"}.Encode())
+	f.Add(Fork{ID: "m00000002", From: "m00000001", AtLSN: 7, Spec: spec, State: snap}.Encode())
+	f.Add(Checkpoint{NextID: 2, Sessions: []SessionState{{ID: "m00000001", Spec: spec, State: snap}}}.Encode())
+	f.Add(EncodeEvent(online.Event{Depart: []int{4}}))
+	// v0 JSON bodies — the bilingual path.
+	for _, v := range []any{
+		Create{ID: "m00000001", Spec: spec},
+		Step{ID: "m00000001", Event: online.Event{Arrive: []int{2}}},
+		Ref{ID: "m00000001"},
+		Checkpoint{NextID: 2, Sessions: []SessionState{{ID: "m00000001", Spec: spec, State: snap}}},
+	} {
+		j, err := json.Marshal(v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(j)
+	}
+	// Batch wire format, intact and truncated.
+	batch := EncodeBatch([]online.Event{{Arrive: []int{0}}, {Depart: []int{0}}})
+	f.Add(batch)
+	f.Add(batch[:len(batch)-3])
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	f.Add(bytes.Repeat([]byte{0xff}, 32))
+
+	type codec struct {
+		name   string
+		decode func([]byte) (reencoded []byte, err error)
+	}
+	codecs := []codec{
+		{"create", func(b []byte) ([]byte, error) {
+			v, err := DecodeCreate(b)
+			return v.Encode(), err
+		}},
+		{"step", func(b []byte) ([]byte, error) {
+			v, err := DecodeStep(b)
+			return v.Encode(), err
+		}},
+		{"ref", func(b []byte) ([]byte, error) {
+			v, err := DecodeRef(b)
+			return v.Encode(), err
+		}},
+		{"fork", func(b []byte) ([]byte, error) {
+			v, err := DecodeFork(b)
+			return v.Encode(), err
+		}},
+		{"checkpoint", func(b []byte) ([]byte, error) {
+			v, err := DecodeCheckpoint(b)
+			return v.Encode(), err
+		}},
+		{"event", func(b []byte) ([]byte, error) {
+			v, err := DecodeEvent(b)
+			return EncodeEvent(v), err
+		}},
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, c := range codecs {
+			re, err := c.decode(data)
+			if err != nil {
+				if !errors.Is(err, ErrMalformed) && !errors.Is(err, ErrVersion) {
+					t.Fatalf("%s: unclassified decode error: %v", c.name, err)
+				}
+				continue
+			}
+			// Left inverse, byte-stable: the canonical re-encoding must decode
+			// to a value that re-encodes to the very same bytes.
+			re2, err := c.decode(re)
+			if err != nil {
+				t.Fatalf("%s: canonical re-encoding does not decode: %v", c.name, err)
+			}
+			if !bytes.Equal(re, re2) {
+				t.Fatalf("%s: canonical encoding is not a fixed point:\n first %x\nsecond %x", c.name, re, re2)
+			}
+		}
+
+		// The batch decoder shares internal/wal's framing; its failures must
+		// stay within the combined taxonomy and its successes must round-trip.
+		events, err := DecodeBatch(data)
+		if err != nil {
+			if !errors.Is(err, ErrMalformed) && !errors.Is(err, ErrVersion) &&
+				!errors.Is(err, wal.ErrTornTail) && !errors.Is(err, wal.ErrCorrupt) &&
+				!errors.Is(err, wal.ErrBadMagic) {
+				t.Fatalf("batch: unclassified decode error: %v", err)
+			}
+			return
+		}
+		re := EncodeBatch(events)
+		events2, err := DecodeBatch(re)
+		if err != nil {
+			t.Fatalf("batch: canonical re-encoding does not decode: %v", err)
+		}
+		if !bytes.Equal(re, EncodeBatch(events2)) {
+			t.Fatalf("batch: canonical encoding is not a fixed point")
+		}
+
+		// The JSON view must be equally total: never a panic, always valid
+		// JSON or a classified error, across every record type.
+		for _, typ := range []wal.Type{wal.TypeCreate, wal.TypeStep, wal.TypeRebuild, wal.TypeDelete, wal.TypeSnapshot, wal.TypeFork} {
+			view, err := JSONView(typ, data)
+			if err == nil && !json.Valid(view) {
+				t.Fatalf("JSONView(%s) returned invalid JSON: %s", typ, view)
+			}
+		}
+	})
+}

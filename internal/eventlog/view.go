@@ -1,0 +1,47 @@
+package eventlog
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"specmatch/internal/wal"
+)
+
+// JSONView renders a record body as its JSON view for humans and tools
+// (specwal dump/snap). v0 bodies already are JSON and pass through verbatim;
+// v1 bodies decode by record type and re-marshal under the same field names,
+// so the view is identical across generations.
+func JSONView(typ wal.Type, body []byte) (json.RawMessage, error) {
+	if v0, err := legacy(body); err != nil {
+		return nil, err
+	} else if v0 {
+		if !json.Valid(body) {
+			return nil, fmt.Errorf("%w: v0 body is not valid JSON", ErrMalformed)
+		}
+		return json.RawMessage(append([]byte(nil), body...)), nil
+	}
+	var v any
+	var err error
+	switch typ {
+	case wal.TypeCreate:
+		v, err = DecodeCreate(body)
+	case wal.TypeStep:
+		v, err = DecodeStep(body)
+	case wal.TypeRebuild, wal.TypeDelete:
+		v, err = DecodeRef(body)
+	case wal.TypeFork:
+		v, err = DecodeFork(body)
+	case wal.TypeSnapshot:
+		v, err = DecodeCheckpoint(body)
+	default:
+		return nil, fmt.Errorf("%w: no body schema for %s records", ErrMalformed, typ)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

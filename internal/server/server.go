@@ -1,14 +1,18 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
+	"specmatch/internal/eventlog"
 	"specmatch/internal/market"
 	"specmatch/internal/obs"
 	"specmatch/internal/online"
@@ -52,6 +56,30 @@ type RebuildResponse struct {
 	Adopted bool    `json:"adopted"`
 }
 
+// EventResponse is the reply to a single-event POST /v1/sessions/{id}/events:
+// the step's stats plus, on a durable store, the LSN of its WAL record. The
+// embedded StepStats keeps the body a superset of the pre-batch reply, so
+// older clients that unmarshal into online.StepStats still work.
+type EventResponse struct {
+	online.StepStats
+	LSN uint64 `json:"lsn,omitempty"`
+}
+
+// BatchResponse is the reply to a batch POST /v1/sessions/{id}/events (a
+// JSON array or a binary eventlog body): one result per event, in order.
+type BatchResponse struct {
+	Results []EventResponse `json:"results"`
+	Count   int             `json:"count"`
+}
+
+// ForkResponse is the reply to POST /v1/sessions/{id}/fork.
+type ForkResponse struct {
+	ID    string `json:"id"`
+	From  string `json:"from"`
+	AtLSN uint64 `json:"at_lsn"`
+	online.Snapshot
+}
+
 // ListResponse is the reply to GET /v1/sessions.
 type ListResponse struct {
 	Sessions []string `json:"sessions"`
@@ -81,6 +109,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.route("delete", s.handleDelete))
 	mux.HandleFunc("POST /v1/sessions/{id}/events", s.route("events", s.handleEvents))
 	mux.HandleFunc("POST /v1/sessions/{id}/rebuild", s.route("rebuild", s.handleRebuild))
+	mux.HandleFunc("POST /v1/sessions/{id}/fork", s.route("fork", s.handleFork))
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.Handle("GET /debug/metrics", obs.Handler(cfg.Metrics))
 	mux.Handle("GET /debug/trace", trace.Handler(cfg.Flight))
@@ -175,7 +204,9 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 
 // writeError maps store and validation errors onto status codes: 404 for
 // unknown sessions, 429 (+ Retry-After) for admission rejections, 503 while
-// draining, 504 for deadline-abandoned operations, 400 for bad input.
+// draining, 504 for deadline-abandoned operations, 501 for forks on an
+// in-memory store, 409 for fork LSNs outside the retained window, 400 for
+// bad input.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
 	switch {
@@ -188,6 +219,10 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		code = http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		code = http.StatusGatewayTimeout
+	case errors.Is(err, ErrNotDurable):
+		code = http.StatusNotImplemented
+	case errors.Is(err, ErrLSNHorizon):
+		code = http.StatusConflict
 	case errors.Is(err, errBadRequest):
 		code = http.StatusBadRequest
 	}
@@ -248,15 +283,50 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusNoContent, nil)
 }
 
-func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+// decodeEvents parses the events route's three accepted bodies: the
+// canonical binary batch (by Content-Type), a JSON array of events, or the
+// original single JSON event. single distinguishes the legacy one-event
+// reply shape from the batch reply.
+func decodeEvents(r *http.Request) (events []online.Event, single bool, err error) {
+	if strings.HasPrefix(r.Header.Get("Content-Type"), eventlog.ContentType) {
+		data, err := io.ReadAll(r.Body)
+		if err != nil {
+			return nil, false, badRequest(err)
+		}
+		events, err = eventlog.DecodeBatch(data)
+		if err != nil {
+			return nil, false, badRequest(err)
+		}
+		return events, false, nil
+	}
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		return nil, false, badRequest(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if t := bytes.TrimLeft(data, " \t\r\n"); len(t) > 0 && t[0] == '[' {
+		if err := dec.Decode(&events); err != nil {
+			return nil, false, badRequest(err)
+		}
+		return events, false, nil
+	}
 	var ev online.Event
-	if err := decodeBody(r, &ev); err != nil {
+	if err := dec.Decode(&ev); err != nil {
+		return nil, false, badRequest(err)
+	}
+	return []online.Event{ev}, true, nil
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	events, single, err := decodeEvents(r)
+	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	stats, err := s.store.Step(r.Context(), r.PathValue("id"), ev)
+	results, err := s.store.StepBatch(r.Context(), r.PathValue("id"), events)
 	if err != nil {
-		// Step fails only on events that don't fit the session's market
+		// StepBatch fails only on events that don't fit the session's market
 		// (validated before any mutation), or on store-level rejections.
 		if !errors.Is(err, ErrNotFound) && !errors.Is(err, ErrQueueFull) &&
 			!errors.Is(err, ErrDraining) && !errors.Is(err, context.DeadlineExceeded) &&
@@ -266,7 +336,34 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, stats)
+	out := make([]EventResponse, len(results))
+	for i, res := range results {
+		out[i] = EventResponse{StepStats: res.Stats, LSN: res.LSN}
+	}
+	if single {
+		s.writeJSON(w, http.StatusOK, out[0])
+		return
+	}
+	s.writeJSON(w, http.StatusOK, BatchResponse{Results: out, Count: len(out)})
+}
+
+// handleFork serves POST /v1/sessions/{id}/fork?lsn=N: a new session from
+// id's durable prefix through LSN N (omitted or 0 means the current tail).
+func (s *Server) handleFork(w http.ResponseWriter, r *http.Request) {
+	var lsn uint64
+	if q := r.URL.Query().Get("lsn"); q != "" {
+		var err error
+		if lsn, err = strconv.ParseUint(q, 10, 64); err != nil {
+			s.writeError(w, badRequest(fmt.Errorf("lsn: %w", err)))
+			return
+		}
+	}
+	res, err := s.store.Fork(r.Context(), r.PathValue("id"), lsn)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, ForkResponse{ID: res.ID, From: res.From, AtLSN: res.AtLSN, Snapshot: res.Snapshot})
 }
 
 func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {

@@ -13,7 +13,6 @@ package server
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -26,6 +25,7 @@ import (
 	"time"
 
 	"specmatch/internal/core"
+	"specmatch/internal/eventlog"
 	"specmatch/internal/market"
 	"specmatch/internal/obs"
 	"specmatch/internal/online"
@@ -45,6 +45,14 @@ var (
 	ErrSessionLimit = errors.New("server: session limit reached")
 	// ErrDraining reports a store that is shutting down (HTTP 503).
 	ErrDraining = errors.New("server: draining")
+	// ErrNotDurable reports a fork on an in-memory store: a point-in-time
+	// fork replays the durable log, which does not exist without a DataDir
+	// (HTTP 501).
+	ErrNotDurable = errors.New("server: fork requires a durable store (run with a data dir)")
+	// ErrLSNHorizon reports a fork lsn outside the retained window: past the
+	// shard's durable tail, below the newest checkpoint (files before it are
+	// deleted on rotation), or before the session existed (HTTP 409).
+	ErrLSNHorizon = errors.New("server: lsn outside the retained window")
 )
 
 // Config tunes the store and its HTTP front end.
@@ -172,29 +180,25 @@ type shard struct {
 }
 
 // durable wraps a shard-op result whose acknowledgement must wait for the
-// write-ahead log: the shard loop assigns the record an LSN, appends it,
-// and delivers v to the op's done channel only when the append is fsynced.
-// Ops on a non-durable store never produce one.
+// write-ahead log: the shard loop assigns each record an LSN, appends them
+// in order, and delivers v to the op's done channel only when the LAST
+// record is fsynced — one acknowledgement per op, even when the op logged a
+// whole batch. Ops on a non-durable store never produce one.
 type durable struct {
-	rec wal.Record
-	v   any
+	recs []wal.Record
+	v    any
 }
 
-// prepareDurable marshals a WAL record body for a mutation that has NOT
-// happened yet. Callers marshal before touching session state, so a marshal
-// failure rejects the op with the shard untouched — apply and log stay
-// atomic, and a checkpoint can never persist state the client was told
-// failed. On a non-durable store it returns nil; result on a nil *durable
-// passes the value straight through.
-func (sh *shard) prepareDurable(typ wal.Type, body any) (*durable, error) {
+// prepareDurable frames one WAL record body for a mutation that has NOT
+// happened yet. Bodies are encoded (via internal/eventlog) before touching
+// session state, so apply and log stay atomic and a checkpoint can never
+// persist state the client was told failed. On a non-durable store it
+// returns nil; result on a nil *durable passes the value straight through.
+func (sh *shard) prepareDurable(typ wal.Type, body []byte) *durable {
 	if sh.dir == nil {
-		return nil, nil
+		return nil
 	}
-	data, err := json.Marshal(body)
-	if err != nil {
-		return nil, fmt.Errorf("server: encoding wal record: %w", err)
-	}
-	return &durable{rec: wal.Record{Type: typ, Body: data}}, nil
+	return &durable{recs: []wal.Record{{Type: typ, Body: body}}}
 }
 
 // result attaches the op's acknowledgement value: deferred through the WAL
@@ -225,6 +229,7 @@ type Store struct {
 
 	sessGauge       *obs.Gauge
 	created         *obs.Counter
+	forked          *obs.Counter
 	deleted         *obs.Counter
 	rejectFull      *obs.Counter
 	rejectLimit     *obs.Counter
@@ -279,6 +284,7 @@ func NewStore(cfg Config) (*Store, error) {
 		cfg:             cfg,
 		sessGauge:       reg.Gauge("server.sessions"),
 		created:         reg.Counter("server.sessions.created"),
+		forked:          reg.Counter("server.sessions.forked"),
 		deleted:         reg.Counter("server.sessions.deleted"),
 		rejectFull:      reg.Counter("server.rejected.queue_full"),
 		rejectLimit:     reg.Counter("server.rejected.session_limit"),
@@ -382,7 +388,7 @@ func (st *Store) runShard(sh *shard) {
 		span.End()
 		if d, ok := v.(*durable); ok && err == nil {
 			st.appendDurable(sh, d, o.done, sc)
-			sh.sinceCkpt++
+			sh.sinceCkpt += len(d.recs)
 			if st.cfg.CheckpointEvery > 0 && sh.sinceCkpt >= st.cfg.CheckpointEvery {
 				st.checkpointShard(sh)
 			}
@@ -401,33 +407,48 @@ func (st *Store) runShard(sh *shard) {
 	}
 }
 
-// appendDurable assigns the record its LSN, appends it to the shard's log,
-// and arranges for the op's acknowledgement to fire when the record is
-// fsynced. The wal.append span spans exactly that window — append to
-// durable — under the op's server.shard_op span.
+// appendDurable assigns each record its LSN, appends them to the shard's
+// log in order, and arranges for the op's acknowledgement to fire when the
+// final record is fsynced. One callback decides the op: the log is
+// sticky-failed and fires callbacks in append order, so an earlier record
+// cannot fail while a later one succeeds — the last record's durability
+// implies the whole op's. Each wal.append span covers exactly its record's
+// append-to-durable window under the op's server.shard_op span.
 func (st *Store) appendDurable(sh *shard, d *durable, done chan opResult, parent trace.SpanContext) {
-	sh.nextLSN++
-	d.rec.LSN = sh.nextLSN
-	wspan := st.cfg.Flight.Start(parent, "wal.append")
-	if wspan.Active() {
-		wspan.Annotate(fmt.Sprintf("lsn=%d type=%s bytes=%d", d.rec.LSN, d.rec.Type, len(d.rec.Body)))
+	if len(d.recs) == 0 {
+		done <- opResult{v: d.v}
+		return
 	}
-	st.walAppends.Inc()
-	st.walAppendBytes.Add(int64(wal.EncodedSize(len(d.rec.Body))))
 	v := d.v
-	sh.dir.Append(d.rec, func(err error) {
-		if err != nil {
-			st.walErrors.Inc()
-			if wspan.Active() {
-				wspan.Annotate("err=1")
+	for i := range d.recs {
+		sh.nextLSN++
+		d.recs[i].LSN = sh.nextLSN
+		rec := d.recs[i]
+		wspan := st.cfg.Flight.Start(parent, "wal.append")
+		if wspan.Active() {
+			wspan.Annotate(fmt.Sprintf("lsn=%d type=%s bytes=%d", rec.LSN, rec.Type, len(rec.Body)))
+		}
+		st.walAppends.Inc()
+		st.walAppendBytes.Add(int64(wal.EncodedSize(len(rec.Body))))
+		final := i == len(d.recs)-1
+		sh.dir.Append(rec, func(err error) {
+			if err != nil {
+				st.walErrors.Inc()
+				if wspan.Active() {
+					wspan.Annotate("err=1")
+				}
+				wspan.End()
+				if final {
+					done <- opResult{err: fmt.Errorf("server: wal append: %w", err)}
+				}
+				return
 			}
 			wspan.End()
-			done <- opResult{err: fmt.Errorf("server: wal append: %w", err)}
-			return
-		}
-		wspan.End()
-		done <- opResult{v: v}
-	})
+			if final {
+				done <- opResult{v: v}
+			}
+		})
+	}
 }
 
 // checkpointShard snapshots the shard's full state and rotates its log.
@@ -438,10 +459,8 @@ func (st *Store) checkpointShard(sh *shard) {
 	span := st.cfg.Flight.Start(trace.SpanContext{}, "wal.checkpoint")
 	defer span.End()
 	start := time.Now()
-	body, err := marshalCheckpoint(st.nextID.Load(), sh.sessions)
-	if err == nil {
-		err = sh.dir.Checkpoint(sh.nextLSN, body)
-	}
+	body := marshalCheckpoint(st.nextID.Load(), sh.sessions)
+	err := sh.dir.Checkpoint(sh.nextLSN, body)
 	sh.sinceCkpt = 0
 	st.walCkptSeconds.Observe(time.Since(start).Seconds())
 	if err != nil {
@@ -519,9 +538,9 @@ func (st *Store) Create(ctx context.Context, m *market.Market) (string, online.S
 	id := fmt.Sprintf("m%08x", st.nextID.Add(1))
 	sh := st.shardOf(id)
 	v, err := st.do(ctx, sh, func(trace.SpanContext) (any, error) {
-		d, err := sh.prepareDurable(wal.TypeCreate, createBody{ID: id, Spec: m.Spec()})
-		if err != nil {
-			return nil, err
+		var d *durable
+		if sh.dir != nil {
+			d = sh.prepareDurable(wal.TypeCreate, eventlog.Create{ID: id, Spec: m.Spec()}.Encode())
 		}
 		// Each session owns its engine options; see sessionOptions.
 		s, err := online.NewSession(m, st.sessionOptions())
@@ -541,38 +560,88 @@ func (st *Store) Create(ctx context.Context, m *market.Market) (string, online.S
 	return id, v.(online.Snapshot), nil
 }
 
+// StepResult is one applied event's acknowledgement: its stats plus, on a
+// durable store, the LSN its WAL record was assigned (0 in-memory).
+type StepResult struct {
+	Stats online.StepStats
+	LSN   uint64
+}
+
 // Step applies one churn event to a session. The error is ErrNotFound for
 // unknown ids; any other error is the event failing validation against the
 // session's market.
 func (st *Store) Step(ctx context.Context, id string, ev online.Event) (online.StepStats, error) {
+	res, err := st.StepBatch(ctx, id, []online.Event{ev})
+	if err != nil {
+		return online.StepStats{}, err
+	}
+	return res[0].Stats, nil
+}
+
+// StepBatch applies a batch of churn events to a session as ONE shard
+// operation: every event is validated against the session's market before
+// anything is applied (validation is static in the market's dimensions), so
+// one bad event rejects the whole batch with the session untouched — the
+// single-event contract, batch-wide. Each applied event gets its own WAL
+// record and LSN; the batch is acknowledged once, when the last record is
+// durable.
+func (st *Store) StepBatch(ctx context.Context, id string, events []online.Event) ([]StepResult, error) {
 	sh := st.shardOf(id)
 	v, err := st.do(ctx, sh, func(sc trace.SpanContext) (any, error) {
 		s, ok := sh.sessions[id]
 		if !ok {
 			return nil, ErrNotFound
 		}
-		d, err := sh.prepareDurable(wal.TypeStep, stepBody{ID: id, Event: ev})
-		if err != nil {
-			return nil, err
+		m := s.Market()
+		for k, ev := range events {
+			if err := ev.Validate(m.M(), m.N()); err != nil {
+				if len(events) > 1 {
+					return nil, fmt.Errorf("event %d: %w", k, err)
+				}
+				return nil, err
+			}
 		}
-		stats, err := s.StepTraced(ev, sc)
-		if err != nil {
-			// Validation failed before any mutation: nothing reaches the
-			// WAL, the session is untouched, replay never sees the event.
-			return nil, err
+		results := make([]StepResult, 0, len(events))
+		var recs []wal.Record
+		// The LSNs these records will receive are exact, not speculative:
+		// the shard goroutine runs appendDurable immediately after this
+		// function returns, with no other op in between, assigning
+		// base+1 … base+len(recs) in order.
+		base := sh.nextLSN
+		for k, ev := range events {
+			var body []byte
+			if sh.dir != nil {
+				body = eventlog.Step{ID: id, Event: ev}.Encode()
+			}
+			stats, err := s.StepTraced(ev, sc)
+			if err != nil {
+				// Unreachable for pre-validated events (StepTraced fails only
+				// on validation); defensively the batch fails un-acked, and
+				// nothing from it reaches the WAL.
+				return nil, fmt.Errorf("event %d: %w", k, err)
+			}
+			st.eventsApplied.Inc()
+			st.churnArrived.Add(int64(stats.Arrived))
+			st.churnDeparted.Add(int64(stats.Departed))
+			st.churnChanUp.Add(int64(stats.ChannelsUp))
+			st.churnChanDown.Add(int64(stats.ChannelsDown))
+			st.churnDisplaced.Add(int64(stats.Displaced))
+			res := StepResult{Stats: stats}
+			if sh.dir != nil {
+				recs = append(recs, wal.Record{Type: wal.TypeStep, Body: body})
+				res.LSN = base + uint64(len(recs))
+			}
+			results = append(results, res)
 		}
-		st.eventsApplied.Inc()
-		st.churnArrived.Add(int64(stats.Arrived))
-		st.churnDeparted.Add(int64(stats.Departed))
-		st.churnChanUp.Add(int64(stats.ChannelsUp))
-		st.churnChanDown.Add(int64(stats.ChannelsDown))
-		st.churnDisplaced.Add(int64(stats.Displaced))
-		return d.result(stats), nil
+		if sh.dir == nil {
+			return results, nil
+		}
+		return &durable{recs: recs, v: results}, nil
 	})
 	if err != nil {
-		return online.StepStats{}, err
+		return nil, err
 	}
-	return v.(online.StepStats), nil
+	return v.([]StepResult), nil
 }
 
 // Rebuild re-runs the two-stage algorithm over a session's active
@@ -590,10 +659,7 @@ func (st *Store) Rebuild(ctx context.Context, id string, adopt bool) (welfare fl
 			// Replaying the record re-runs the deterministic engine, which
 			// reproduces the adoption decision — the record carries no
 			// result. A non-adopting rebuild is a pure read; nothing to log.
-			var err error
-			if d, err = sh.prepareDurable(wal.TypeRebuild, idBody{ID: id}); err != nil {
-				return nil, err
-			}
+			d = sh.prepareDurable(wal.TypeRebuild, eventlog.Ref{ID: id}.Encode())
 		}
 		before := s.Welfare()
 		w, err := s.RebuildTraced(adopt, sc)
@@ -640,10 +706,7 @@ func (st *Store) Delete(ctx context.Context, id string) error {
 		if _, ok := sh.sessions[id]; !ok {
 			return nil, ErrNotFound
 		}
-		d, err := sh.prepareDurable(wal.TypeDelete, idBody{ID: id})
-		if err != nil {
-			return nil, err
-		}
+		d := sh.prepareDurable(wal.TypeDelete, eventlog.Ref{ID: id}.Encode())
 		delete(sh.sessions, id)
 		sh.sessGauge.Add(-1)
 		st.sessGauge.Add(-1)

@@ -2,11 +2,12 @@ package server
 
 // This file is the WAL glue: the record payloads the store logs, checkpoint
 // bodies, the data-dir meta file, and startup recovery. The wal package
-// owns bytes and files; this file owns what they mean — how a shard's
-// session map becomes a checkpoint and how records replay into live
-// sessions. Replay leans on the engine's bit-determinism (same market, same
-// event order ⇒ same matching), so a recovered session is indistinguishable
-// from one that never crashed.
+// owns bytes and files; internal/eventlog owns the body encoding (v1 binary
+// canonical, v0 JSON still decoded for pre-schema data dirs); this file owns
+// what the records mean — how a shard's session map becomes a checkpoint and
+// how records replay into live sessions. Replay leans on the engine's
+// bit-determinism (same market, same event order ⇒ same matching), so a
+// recovered session is indistinguishable from one that never crashed.
 
 import (
 	"encoding/json"
@@ -18,53 +19,16 @@ import (
 	"strings"
 	"time"
 
+	"specmatch/internal/eventlog"
 	"specmatch/internal/market"
 	"specmatch/internal/online"
 	"specmatch/internal/wal"
 )
 
-// createBody is the payload of a wal.TypeCreate record.
-type createBody struct {
-	ID   string      `json:"id"`
-	Spec market.Spec `json:"spec"`
-}
-
-// stepBody is the payload of a wal.TypeStep record. Only events that passed
-// Validate and were applied are logged, so replaying one cannot fail on an
-// intact log.
-type stepBody struct {
-	ID    string       `json:"id"`
-	Event online.Event `json:"event"`
-}
-
-// idBody is the payload of wal.TypeRebuild and wal.TypeDelete records.
-type idBody struct {
-	ID string `json:"id"`
-}
-
-// checkpointBody is a checkpoint file's payload: every session on the
-// shard, with the market spec and durable state needed to rebuild it.
-type checkpointBody struct {
-	// NextID is the store-wide session-id counter at checkpoint time.
-	// Recovery takes the max over every shard's checkpoint and every
-	// replayed create record, so a restart never re-issues an id — inferring
-	// the counter from surviving session ids would let it regress after the
-	// highest-numbered session is deleted, aliasing a new session onto an id
-	// clients already hold.
-	NextID   uint64              `json:"next_id"`
-	Sessions []sessionCheckpoint `json:"sessions"`
-}
-
-type sessionCheckpoint struct {
-	ID    string          `json:"id"`
-	Spec  market.Spec     `json:"spec"`
-	State online.Snapshot `json:"state"`
-}
-
 // marshalCheckpoint serializes a shard's sessions, sorted by id so the
 // bytes are deterministic for a given state, plus the store's id counter.
-func marshalCheckpoint(nextID uint64, sessions map[string]*online.Session) ([]byte, error) {
-	cp := checkpointBody{NextID: nextID, Sessions: make([]sessionCheckpoint, 0, len(sessions))}
+func marshalCheckpoint(nextID uint64, sessions map[string]*online.Session) []byte {
+	cp := eventlog.Checkpoint{NextID: nextID, Sessions: make([]eventlog.SessionState, 0, len(sessions))}
 	ids := make([]string, 0, len(sessions))
 	for id := range sessions {
 		ids = append(ids, id)
@@ -72,13 +36,13 @@ func marshalCheckpoint(nextID uint64, sessions map[string]*online.Session) ([]by
 	sort.Strings(ids)
 	for _, id := range ids {
 		s := sessions[id]
-		cp.Sessions = append(cp.Sessions, sessionCheckpoint{
+		cp.Sessions = append(cp.Sessions, eventlog.SessionState{
 			ID:    id,
 			Spec:  s.Market().Spec(),
 			State: s.Snapshot(),
 		})
 	}
-	return json.Marshal(cp)
+	return cp.Encode()
 }
 
 // metaFile pins the layout parameters a data dir was written with. Session
@@ -175,11 +139,7 @@ func (st *Store) openWAL() error {
 	// becomes each shard's new baseline and the old (possibly torn) logs are
 	// deleted.
 	for i, sh := range st.shards {
-		body, err := marshalCheckpoint(maxID, sh.sessions)
-		if err == nil {
-			err = sh.dir.Checkpoint(sh.nextLSN, body)
-		}
-		if err != nil {
+		if err := sh.dir.Checkpoint(sh.nextLSN, marshalCheckpoint(maxID, sh.sessions)); err != nil {
 			return fmt.Errorf("server: shard %d: post-recovery checkpoint: %w", i, err)
 		}
 	}
@@ -201,8 +161,8 @@ func bumpIDHighWater(maxID *uint64, id string) {
 // with it.
 func (st *Store) replayShard(i int, sh *shard, recd *wal.Recovered, maxID *uint64) error {
 	if len(recd.SnapshotBody) > 0 {
-		var cp checkpointBody
-		if err := json.Unmarshal(recd.SnapshotBody, &cp); err != nil {
+		cp, err := eventlog.DecodeCheckpoint(recd.SnapshotBody)
+		if err != nil {
 			if !st.cfg.WALRepair {
 				return fmt.Errorf("server: shard %d: decoding checkpoint: %w", i, err)
 			}
@@ -254,8 +214,8 @@ func (st *Store) replayShard(i int, sh *shard, recd *wal.Recovered, maxID *uint6
 func (st *Store) applyRecord(sh *shard, r wal.Record, maxID *uint64) error {
 	switch r.Type {
 	case wal.TypeCreate:
-		var b createBody
-		if err := json.Unmarshal(r.Body, &b); err != nil {
+		b, err := eventlog.DecodeCreate(r.Body)
+		if err != nil {
 			return fmt.Errorf("decoding create: %w", err)
 		}
 		m, err := market.FromSpec(b.Spec)
@@ -269,8 +229,8 @@ func (st *Store) applyRecord(sh *shard, r wal.Record, maxID *uint64) error {
 		sh.sessions[b.ID] = s
 		bumpIDHighWater(maxID, b.ID)
 	case wal.TypeStep:
-		var b stepBody
-		if err := json.Unmarshal(r.Body, &b); err != nil {
+		b, err := eventlog.DecodeStep(r.Body)
+		if err != nil {
 			return fmt.Errorf("decoding step: %w", err)
 		}
 		s, ok := sh.sessions[b.ID]
@@ -281,8 +241,8 @@ func (st *Store) applyRecord(sh *shard, r wal.Record, maxID *uint64) error {
 			return fmt.Errorf("step %s: %w", b.ID, err)
 		}
 	case wal.TypeRebuild:
-		var b idBody
-		if err := json.Unmarshal(r.Body, &b); err != nil {
+		b, err := eventlog.DecodeRef(r.Body)
+		if err != nil {
 			return fmt.Errorf("decoding rebuild: %w", err)
 		}
 		s, ok := sh.sessions[b.ID]
@@ -293,14 +253,31 @@ func (st *Store) applyRecord(sh *shard, r wal.Record, maxID *uint64) error {
 			return fmt.Errorf("rebuild %s: %w", b.ID, err)
 		}
 	case wal.TypeDelete:
-		var b idBody
-		if err := json.Unmarshal(r.Body, &b); err != nil {
+		b, err := eventlog.DecodeRef(r.Body)
+		if err != nil {
 			return fmt.Errorf("decoding delete: %w", err)
 		}
 		if _, ok := sh.sessions[b.ID]; !ok {
 			return fmt.Errorf("delete for unknown session %s", b.ID)
 		}
 		delete(sh.sessions, b.ID)
+	case wal.TypeFork:
+		// A fork record is self-contained: the child's complete state at the
+		// moment it split off, replayed exactly like a checkpointed session.
+		b, err := eventlog.DecodeFork(r.Body)
+		if err != nil {
+			return fmt.Errorf("decoding fork: %w", err)
+		}
+		m, err := market.FromSpec(b.Spec)
+		if err != nil {
+			return fmt.Errorf("fork %s: %w", b.ID, err)
+		}
+		s, err := online.FromSnapshot(m, b.State, st.sessionOptions())
+		if err != nil {
+			return fmt.Errorf("fork %s: %w", b.ID, err)
+		}
+		sh.sessions[b.ID] = s
+		bumpIDHighWater(maxID, b.ID)
 	default:
 		return fmt.Errorf("unexpected %s record in log", r.Type)
 	}

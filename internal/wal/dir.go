@@ -69,9 +69,33 @@ func Open(path string, every time.Duration, repair bool, stats SyncStats) (*Dir,
 	if err := os.MkdirAll(path, 0o755); err != nil {
 		return nil, nil, err
 	}
-	entries, err := os.ReadDir(path)
+	rec, snapGen, logGens, err := readState(path, repair)
 	if err != nil {
 		return nil, nil, err
+	}
+	d := &Dir{path: path, every: every, stats: stats, gen: maxU64(snapGen, lastU64(logGens))}
+	return d, rec, nil
+}
+
+// ReadState recovers a shard directory's durable state without opening it
+// for writing: the same newest-checkpoint-plus-log-replay scan Open runs,
+// against whatever files are on disk right now. It is the read side of a
+// point-in-time fork — the owning Dir may keep appending concurrently, since
+// the scan only sees bytes already written (callers wanting the acknowledged
+// tail should Sync first). Strict: any damage beyond a torn tail is an
+// error.
+func ReadState(path string) (*Recovered, error) {
+	rec, _, _, err := readState(path, false)
+	return rec, err
+}
+
+// readState scans a shard directory: newest readable checkpoint, then every
+// log record past its LSN, in generation order. Shared by Open (which then
+// owns the directory) and ReadState (which never writes).
+func readState(path string, repair bool) (*Recovered, uint64, []uint64, error) {
+	entries, err := os.ReadDir(path)
+	if err != nil {
+		return nil, 0, nil, err
 	}
 	var snapGens, logGens []uint64
 	for _, e := range entries {
@@ -95,7 +119,7 @@ func Open(path string, every time.Duration, repair bool, stats SyncStats) (*Dir,
 		body, lsn, err := readSnapshotFile(filepath.Join(path, snapName(g)))
 		if err != nil {
 			if !repair {
-				return nil, nil, fmt.Errorf("wal: checkpoint %s: %w", snapName(g), err)
+				return nil, 0, nil, fmt.Errorf("wal: checkpoint %s: %w", snapName(g), err)
 			}
 			rec.RepairedSnapshots++
 			continue
@@ -121,7 +145,7 @@ func Open(path string, every time.Duration, repair bool, stats SyncStats) (*Dir,
 	for _, g := range logGens {
 		data, err := os.ReadFile(filepath.Join(path, logName(g)))
 		if err != nil {
-			return nil, nil, err
+			return nil, 0, nil, err
 		}
 		recs, _, serr := ScanFile(data)
 		logs = append(logs, scannedLog{gen: g, recs: recs, err: serr})
@@ -145,7 +169,7 @@ func Open(path string, every time.Duration, repair bool, stats SyncStats) (*Dir,
 		case errors.Is(lg.err, ErrTornTail):
 			if laterHasRecords {
 				if !repair {
-					return nil, nil, fmt.Errorf("wal: %s: torn frame in superseded log: %w", logName(lg.gen), lg.err)
+					return nil, 0, nil, fmt.Errorf("wal: %s: torn frame in superseded log: %w", logName(lg.gen), lg.err)
 				}
 				rec.RepairedRecords++ // at least the dropped frame
 			} else {
@@ -153,7 +177,7 @@ func Open(path string, every time.Duration, repair bool, stats SyncStats) (*Dir,
 			}
 		default: // ErrCorrupt, ErrBadMagic, ...
 			if !repair {
-				return nil, nil, fmt.Errorf("wal: %s: %w", logName(lg.gen), lg.err)
+				return nil, 0, nil, fmt.Errorf("wal: %s: %w", logName(lg.gen), lg.err)
 			}
 			rec.RepairedRecords++
 		}
@@ -168,8 +192,7 @@ func Open(path string, every time.Duration, repair bool, stats SyncStats) (*Dir,
 		}
 	}
 
-	d := &Dir{path: path, every: every, stats: stats, gen: maxU64(snapGen, lastU64(logGens))}
-	return d, rec, nil
+	return rec, snapGen, logGens, nil
 }
 
 func maxU64(a, b uint64) uint64 {

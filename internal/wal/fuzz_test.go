@@ -35,7 +35,7 @@ func FuzzWALDecode(f *testing.F) {
 		}
 		var re []byte
 		for _, r := range recs {
-			if r.Type < TypeCreate || r.Type > TypeSnapshot {
+			if r.Type < TypeCreate || r.Type > TypeFork {
 				t.Fatalf("decoded record with invalid type %d", r.Type)
 			}
 			if len(r.Body) > MaxRecordLen {

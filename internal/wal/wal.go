@@ -58,6 +58,11 @@ const (
 	// TypeSnapshot is the single record of a checkpoint file: body = full
 	// shard state at the record's LSN.
 	TypeSnapshot Type = 5
+	// TypeFork records a session born as a point-in-time fork: body = the
+	// child's id plus the full spec and state it started from. It carries
+	// state (not a parent reference) because the child lands on its own
+	// shard, where the parent's shard-local LSNs mean nothing.
+	TypeFork Type = 6
 )
 
 func (t Type) String() string {
@@ -72,6 +77,8 @@ func (t Type) String() string {
 		return "delete"
 	case TypeSnapshot:
 		return "snapshot"
+	case TypeFork:
+		return "fork"
 	}
 	return fmt.Sprintf("type(%d)", uint8(t))
 }
@@ -170,7 +177,7 @@ func Scan(data []byte) (recs []Record, n int, err error) {
 			return recs, off, fmt.Errorf("%w: crc mismatch at offset %d", ErrCorrupt, off)
 		}
 		typ := Type(payload[0])
-		if typ < TypeCreate || typ > TypeSnapshot {
+		if typ < TypeCreate || typ > TypeFork {
 			return recs, off, fmt.Errorf("%w: unknown record type %d at offset %d", ErrCorrupt, typ, off)
 		}
 		body := make([]byte, plen-metaSize)
