@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench benchcheck baseline figures check fmt vet clean serve-smoke trace-smoke crash-smoke churn-smoke compat-smoke
+.PHONY: all build test test-short race bench benchcheck baseline figures check fmt vet clean serve-smoke trace-smoke crash-smoke churn-smoke compat-smoke replica-smoke
 
 all: build test
 
@@ -64,6 +64,14 @@ crash-smoke:
 # core.incremental.* counters, and the -disable-incremental escape hatch.
 churn-smoke:
 	./scripts/churn_smoke.sh
+
+# End-to-end failover injection of the replication path: a leader plus a
+# WAL-streaming follower, the leader SIGKILLed under ≥2000 acked events/s
+# of cluster-routed specload churn, the follower promoted over HTTP, and
+# the ledger verified against the promoted node — zero acked-and-lost
+# events across the failover, both data dirs specwal-clean.
+replica-smoke:
+	./scripts/replica_smoke.sh
 
 # Schema-compatibility smoke: recover the committed v0-generation data dir
 # with the current binary, check it against its pinned state, drive the v1

@@ -1,0 +1,204 @@
+package main
+
+// Cluster routing: the client side of failover. With -cluster, specload
+// knows every node of a replicated deployment and routes all traffic at one
+// of them at a time. When that node refuses connections (crashed) or gates
+// writes with 503 (it is a follower), the router advances to the next node,
+// so a leader SIGKILL plus promote shows up as a brief error burst followed
+// by acks from the new leader — and the ledger keeps its guarantees across
+// the switch: an attempt whose fate is unknown joins the unacked tail once
+// per attempt (each attempt can have been applied at most once), and a
+// retry that later succeeds demotes that tail to the ambiguity count via
+// the normal recordAck path, so acked-and-lost stays a hard failure while
+// duplicated-by-retry merely loses bit-for-bit precision for that session.
+//
+// Single-node runs (no -cluster, or one entry) take exactly one attempt per
+// request, preserving the pre-cluster behavior.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"specmatch/internal/replica"
+)
+
+// router tracks which node requests currently target. Workers share one
+// router; advance is CAS-guarded so concurrent failures move past a dead
+// node once instead of racing around the ring.
+type router struct {
+	nodes []string
+	cur   atomic.Int32
+}
+
+func newRouter(nodes []string) *router { return &router{nodes: nodes} }
+
+func (rt *router) base() string { return rt.nodes[rt.cur.Load()] }
+
+func (rt *router) clustered() bool { return len(rt.nodes) > 1 }
+
+// attempts is the per-request try budget: twice around the ring, so a
+// request issued mid-failover can reach the promoted node after bouncing
+// off both the dead leader and the not-yet-promoted follower, without
+// spinning forever when the whole cluster is down.
+func (rt *router) attempts() int {
+	if len(rt.nodes) == 1 {
+		return 1
+	}
+	return 2 * len(rt.nodes)
+}
+
+// advance moves to the next node after a failure against from, preferring
+// an explicit leader hint (the X-Leader header a gated follower returns)
+// when it names a different known node. If another worker already moved
+// on, this is a no-op.
+func (rt *router) advance(from, hint string) {
+	cur := rt.cur.Load()
+	if rt.nodes[cur] != from {
+		return
+	}
+	if hint != "" {
+		h := normalizeNode(hint)
+		for i, n := range rt.nodes {
+			if n == h && n != from {
+				rt.cur.CompareAndSwap(cur, int32(i))
+				return
+			}
+		}
+	}
+	rt.cur.CompareAndSwap(cur, (cur+1)%int32(len(rt.nodes)))
+}
+
+// normalizeNode canonicalizes a node address so -cluster entries, -addr,
+// and X-Leader hints compare equal.
+func normalizeNode(addr string) string {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimRight(addr, "/")
+}
+
+// parseCluster splits a -cluster list into normalized node URLs.
+func parseCluster(list string) ([]string, error) {
+	var nodes []string
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		nodes = append(nodes, normalizeNode(part))
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("-cluster has no nodes")
+	}
+	return nodes, nil
+}
+
+// postCluster posts to the router's current node, failing over on
+// connection refusal or a follower's write gate. It serves the sequential
+// setup and verify paths; the worker hot path has its own ledger-aware
+// loop in post.
+func postCluster(client *http.Client, rt *router, path, contentType string, body []byte) (*http.Response, error) {
+	var lastErr error
+	for try := 0; try < rt.attempts(); try++ {
+		if try > 0 {
+			time.Sleep(50 * time.Millisecond)
+		}
+		base := rt.base()
+		resp, err := client.Post(base+path, contentType, bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			if rt.clustered() {
+				rt.advance(base, "")
+				continue
+			}
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable && rt.clustered() {
+			hint := resp.Header.Get("X-Leader")
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			lastErr = fmt.Errorf("HTTP 503 from %s%s", base, path)
+			rt.advance(base, hint)
+			continue
+		}
+		return resp, nil
+	}
+	return nil, lastErr
+}
+
+// NodeReport surfaces one node's /v1/status document in the specload
+// report, so a run's output shows each node's role and durable position.
+type NodeReport struct {
+	URL    string              `json:"url"`
+	Error  string              `json:"error,omitempty"`
+	Status *replica.NodeStatus `json:"status,omitempty"`
+}
+
+// fetchNodeStatuses asks every node for /v1/status. Unreachable nodes
+// (e.g. the SIGKILLed leader in a failover run) report the error instead.
+func fetchNodeStatuses(client *http.Client, rt *router) []NodeReport {
+	reports := make([]NodeReport, 0, len(rt.nodes))
+	for _, n := range rt.nodes {
+		nr := NodeReport{URL: n}
+		st, err := replica.FetchStatus(context.Background(), client, n)
+		if err != nil {
+			nr.Error = err.Error()
+		} else {
+			nr.Status = st
+		}
+		reports = append(reports, nr)
+	}
+	return reports
+}
+
+// printNodeStatuses writes one summary line per node.
+func printNodeStatuses(out io.Writer, reports []NodeReport) {
+	for _, nr := range reports {
+		if nr.Status == nil {
+			fmt.Fprintf(out, "node %s: unreachable (%s)\n", nr.URL, nr.Error)
+			continue
+		}
+		st := nr.Status
+		var maxDurable, maxCkpt uint64
+		for _, sh := range st.Shards {
+			if sh.DurableLSN > maxDurable {
+				maxDurable = sh.DurableLSN
+			}
+			if sh.CheckpointLSN > maxCkpt {
+				maxCkpt = sh.CheckpointLSN
+			}
+		}
+		fmt.Fprintf(out, "node %s: role=%s durable=%t sessions=%d shards=%d max_durable_lsn=%d max_checkpoint_lsn=%d\n",
+			nr.URL, st.Role, st.Durable, st.Sessions, len(st.Shards), maxDurable, maxCkpt)
+	}
+}
+
+// pickVerifyNode returns the node -verify should target: the first
+// reachable one, preferring a node that does not report itself follower —
+// verification creates replay sessions, which a follower's write gate
+// rejects.
+func pickVerifyNode(client *http.Client, rt *router) string {
+	first := ""
+	for _, n := range rt.nodes {
+		st, err := replica.FetchStatus(context.Background(), client, n)
+		if err != nil {
+			continue
+		}
+		if first == "" {
+			first = n
+		}
+		if st.Role != replica.RoleFollower {
+			return n
+		}
+	}
+	if first != "" {
+		return first
+	}
+	return rt.base()
+}

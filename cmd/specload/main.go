@@ -26,7 +26,6 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
-	"strings"
 	"sync"
 	"time"
 
@@ -64,6 +63,10 @@ type Report struct {
 	LostEvents  int64   `json:"lost_events"`
 	Reconciled  bool    `json:"reconciled"`
 	FinalActive int     `json:"final_active_buyers"`
+
+	// Nodes holds every node's /v1/status document (one entry even without
+	// -cluster), so the report records each node's role and durable LSNs.
+	Nodes []NodeReport `json:"nodes,omitempty"`
 }
 
 // Latency summarizes the merged per-request latency distribution: the
@@ -84,7 +87,7 @@ type Latency struct {
 type worker struct {
 	r        *rand.Rand
 	client   *http.Client
-	base     string
+	rt       *router
 	sessions []*sessionState
 	interval time.Duration
 
@@ -122,6 +125,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("specload", flag.ContinueOnError)
 	var (
 		addr        = fs.String("addr", "127.0.0.1:7937", "specserved address (host:port or URL)")
+		clusterList = fs.String("cluster", "", "comma-separated node addresses (leader first); overrides -addr. Requests fail over to the next node on connection refusal or a follower's 503 write gate, so a SIGKILLed leader plus a promoted follower keeps the run going; -verify picks the first reachable non-follower node")
 		sessions    = fs.Int("sessions", 8, "market sessions to create")
 		sellers     = fs.Int("sellers", 4, "sellers per generated market")
 		buyers      = fs.Int("buyers", 24, "buyers per generated market")
@@ -151,15 +155,18 @@ func run(args []string, out io.Writer) error {
 	if *ledgerPath != "" && *sessions < *concurrency {
 		return fmt.Errorf("-ledger needs -sessions >= -concurrency (%d < %d): each session must have exactly one writer for the ledger to be an exact event order", *sessions, *concurrency)
 	}
-	base := *addr
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
+	nodes := []string{normalizeNode(*addr)}
+	if *clusterList != "" {
+		var err error
+		if nodes, err = parseCluster(*clusterList); err != nil {
+			return err
+		}
 	}
-	base = strings.TrimRight(base, "/")
+	rt := newRouter(nodes)
 	client := &http.Client{Timeout: *timeout}
 
 	if *verifyPath != "" {
-		return runVerify(client, base, *verifyPath, *diffPath, out)
+		return runVerify(client, pickVerifyNode(client, rt), *verifyPath, *diffPath, out)
 	}
 
 	// Create the session fleet.
@@ -173,7 +180,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		resp, err := client.Post(base+"/v1/sessions", "application/json", bytes.NewReader(body))
+		resp, err := postCluster(client, rt, "/v1/sessions", "application/json", body)
 		if err != nil {
 			return fmt.Errorf("creating session %d: %w", k, err)
 		}
@@ -208,7 +215,7 @@ func run(args []string, out io.Writer) error {
 		wk := &worker{
 			r:        xrand.NewStream(*seed, w+1),
 			client:   client,
-			base:     base,
+			rt:       rt,
 			interval: interval,
 			lat:      lat,
 			record:   *ledgerPath != "",
@@ -284,7 +291,7 @@ func run(args []string, out io.Writer) error {
 	// response we abandoned at the client timeout), never fewer. With
 	// -ledger the server may be gone by now (crash runs kill it mid-load);
 	// the ledger verification pass covers what reconciliation would have.
-	snap, err := fetchSnapshot(client, base)
+	snap, err := fetchSnapshot(client, rt.base())
 	if err != nil {
 		if *ledgerPath == "" {
 			return fmt.Errorf("metrics reconciliation: %w", err)
@@ -297,8 +304,9 @@ func run(args []string, out io.Writer) error {
 			rep.LostEvents = 0
 		}
 		rep.Reconciled = true
-		rep.FinalActive = finalActive(client, base, states)
+		rep.FinalActive = finalActive(client, rt.base(), states)
 	}
+	rep.Nodes = fetchNodeStatuses(client, rt)
 
 	if *reportPath != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
@@ -319,6 +327,7 @@ func run(args []string, out io.Writer) error {
 	if rep.Reconciled {
 		fmt.Fprintf(out, "reconcile: accepted=%d applied=%d lost=%d\n", rep.EventsOK, rep.Applied, rep.LostEvents)
 	}
+	printNodeStatuses(out, rep.Nodes)
 
 	if rep.LostEvents > 0 {
 		return fmt.Errorf("%d events accepted but not applied", rep.LostEvents)
@@ -376,6 +385,15 @@ func (wk *worker) makeEvent(ss *sessionState, chanChurn float64, batch int) onli
 	return ev
 }
 
+// post delivers one event, failing over across cluster nodes when there
+// are any. Every attempt whose fate is unknown (transport error after the
+// request left, or a non-503 5xx) joins the unacked ledger tail before the
+// next attempt — each attempt can have been applied at most once, so the
+// verify bounds stay sound even when a retry later succeeds (recordAck
+// then demotes the tail to the ambiguity count). Connection refusal and
+// the follower's 503 write gate are definitely-not-applied, so they retry
+// cleanly without touching the ledger. With a single node the budget is
+// one attempt and the behavior is exactly the pre-cluster one.
 func (wk *worker) post(ss *sessionState, ev online.Event) {
 	var body []byte
 	contentType := "application/json"
@@ -389,54 +407,80 @@ func (wk *worker) post(ss *sessionState, ev online.Event) {
 			return
 		}
 	}
-	req, err := http.NewRequest(http.MethodPost, wk.base+"/v1/sessions/"+ss.id+"/events", bytes.NewReader(body))
-	if err != nil {
-		wk.errors++
-		return
-	}
-	req.Header.Set("Content-Type", contentType)
-	// A fresh traceparent per request makes each event a distinct trace in
-	// the server's flight recorder, findable by the echoed X-Request-Id.
-	req.Header.Set("traceparent", trace.FormatTraceparent(trace.SpanContext{
-		Trace: trace.NewTraceID(), Span: trace.NewSpanID(),
-	}))
-	wk.requests++
-	start := time.Now()
-	resp, err := wk.client.Do(req)
-	lat := time.Since(start).Seconds()
-	if err != nil {
-		wk.errors++
-		// The request may have been applied before the connection died —
-		// unknown fate, so it joins the unacked ledger tail. Connection
-		// refused proves the server never saw it.
-		if wk.record && !definitelyNotSent(err) {
-			ss.unacked = append(ss.unacked, ev)
+	for try := 0; try < wk.rt.attempts(); try++ {
+		if try > 0 {
+			time.Sleep(25 * time.Millisecond) // failover pause: let a promote land
 		}
-		return
-	}
-	respBody, readErr := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	wk.lat.Observe(lat)
-	if lat > wk.maxSec {
-		wk.maxSec = lat
-	}
-	switch {
-	case resp.StatusCode == http.StatusOK:
-		wk.ok++
-		if wk.record {
-			wk.recordAck(ss, ev, respBody, readErr)
+		base := wk.rt.base()
+		req, err := http.NewRequest(http.MethodPost, base+"/v1/sessions/"+ss.id+"/events", bytes.NewReader(body))
+		if err != nil {
+			wk.errors++
+			return
 		}
-	case resp.StatusCode == http.StatusTooManyRequests:
-		wk.rejected++
-		time.Sleep(2 * time.Millisecond) // brief backoff on admission rejects
-	default:
-		wk.errors++
-		// 4xx/429/503 mean rejected before mutation. 5xx is not a durability
-		// promise either way, so treat it like a lost response.
-		if wk.record && resp.StatusCode >= 500 {
-			ss.unacked = append(ss.unacked, ev)
+		req.Header.Set("Content-Type", contentType)
+		// A fresh traceparent per request makes each event a distinct trace in
+		// the server's flight recorder, findable by the echoed X-Request-Id.
+		req.Header.Set("traceparent", trace.FormatTraceparent(trace.SpanContext{
+			Trace: trace.NewTraceID(), Span: trace.NewSpanID(),
+		}))
+		wk.requests++
+		start := time.Now()
+		resp, err := wk.client.Do(req)
+		lat := time.Since(start).Seconds()
+		if err != nil {
+			// The request may have been applied before the connection died —
+			// unknown fate, so it joins the unacked ledger tail. Connection
+			// refused proves the server never saw it.
+			if wk.record && !definitelyNotSent(err) {
+				ss.unacked = append(ss.unacked, ev)
+			}
+			wk.rt.advance(base, "")
+			continue
+		}
+		respBody, readErr := io.ReadAll(resp.Body)
+		leaderHint := resp.Header.Get("X-Leader")
+		resp.Body.Close()
+		wk.lat.Observe(lat)
+		if lat > wk.maxSec {
+			wk.maxSec = lat
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			wk.ok++
+			if wk.record {
+				wk.recordAck(ss, ev, respBody, readErr)
+			}
+			return
+		case resp.StatusCode == http.StatusTooManyRequests:
+			wk.rejected++
+			time.Sleep(2 * time.Millisecond) // brief backoff on admission rejects
+			return
+		case resp.StatusCode == http.StatusServiceUnavailable && wk.rt.clustered():
+			// Follower write gate or a draining node: rejected before any
+			// mutation, so retry against the next node (or the leader the
+			// follower named in X-Leader) without widening the ledger.
+			wk.rt.advance(base, leaderHint)
+			continue
+		case resp.StatusCode >= 500 && wk.rt.clustered():
+			// No durability promise either way: unknown fate, then retry.
+			if wk.record {
+				ss.unacked = append(ss.unacked, ev)
+			}
+			wk.rt.advance(base, leaderHint)
+			continue
+		default:
+			wk.errors++
+			// 4xx/429/503 mean rejected before mutation. 5xx is not a durability
+			// promise either way, so treat it like a lost response.
+			if wk.record && resp.StatusCode >= 500 {
+				ss.unacked = append(ss.unacked, ev)
+			}
+			return
 		}
 	}
+	// Budget exhausted without an ack; any unknown-fate attempts are
+	// already in the unacked tail.
+	wk.errors++
 }
 
 // recordAck appends an acknowledged event to the session's ledger. An ack

@@ -38,14 +38,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"specmatch/internal/core"
 	"specmatch/internal/obs"
+	"specmatch/internal/replica"
 	"specmatch/internal/server"
 	"specmatch/internal/trace"
 )
@@ -76,6 +79,7 @@ func run(args []string, out io.Writer) error {
 		fsyncInterval  = fs.Duration("fsync-interval", 0, "WAL fsync batching interval (0 = 2ms default; negative = fsync every append)")
 		checkpointEach = fs.Int("checkpoint-every", 4096, "checkpoint + truncate a shard's WAL after this many durable records (negative = only at startup and drain)")
 		walRepair      = fs.Bool("wal-repair", false, "on recovery, truncate at mid-log corruption instead of refusing to start (data past the corruption is lost)")
+		follow         = fs.String("follow", "", "run as a read-only replica of this leader URL (e.g. http://127.0.0.1:7937): tail every shard's WAL stream, apply locally, serve reads; requires -data-dir. POST /v1/replica/promote turns the node into a leader")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -90,6 +94,23 @@ func run(args []string, out io.Writer) error {
 		fl = trace.NewFlight(*flightCap)
 	}
 	dump := newTraceDumper(fl, *traceDump, out)
+	if *follow != "" {
+		// A follower's shard count must match its leader's (records are
+		// streamed per shard), so learn it from the leader before the store
+		// opens. This also verifies the leader is up and durable.
+		*follow = strings.TrimRight(*follow, "/")
+		n, err := leaderShards(*follow)
+		if err != nil {
+			return err
+		}
+		if *dataDir == "" {
+			return fmt.Errorf("-follow requires -data-dir: a replica appends the leader's records to its own WAL")
+		}
+		if *shards != 0 && *shards != n {
+			return fmt.Errorf("-shards %d does not match the leader's %d shards (session ids are sharded by hash, so the counts must match)", *shards, n)
+		}
+		*shards = n
+	}
 	srv, err := server.New(server.Config{
 		Shards:          *shards,
 		QueueDepth:      *queueDepth,
@@ -113,6 +134,33 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "recovered %d sessions from %s (%d events replayed, %d torn records dropped, %d repaired away)\n",
 			rec.Sessions, *dataDir, rec.Records, rec.TornRecords, rec.RepairedRecords)
 	}
+	var fol *replica.Follower
+	if *follow != "" {
+		// Resume each shard's stream from this store's own durable tail:
+		// everything below it survived our recovery, everything above comes
+		// from the leader.
+		from := make([]uint64, 0, *shards)
+		for _, sl := range srv.Store().ShardStatuses() {
+			from = append(from, sl.DurableLSN)
+		}
+		fol, err = replica.Start(replica.Config{
+			Leader:  *follow,
+			Shards:  *shards,
+			From:    from,
+			Apply:   srv.Store().ApplyReplicated,
+			Metrics: reg,
+			Flight:  fl,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(out, format+"\n", args...)
+			},
+		})
+		if err != nil {
+			srv.Drain()
+			return err
+		}
+		srv.BecomeFollower(*follow, fol.Status, fol.Stop)
+		fmt.Fprintf(out, "following %s (%d shards); writes are gated until promote\n", *follow, *shards)
+	}
 	hs, err := server.ListenAndServe(*addr, srv.Handler())
 	if err != nil {
 		srv.Drain() // close the WAL cleanly; the listener never started
@@ -128,12 +176,21 @@ func run(args []string, out io.Writer) error {
 	case <-ctx.Done():
 		// Signal received: drain below.
 	case err := <-hs.ServeErr():
+		if fol != nil {
+			fol.Stop()
+		}
 		srv.Drain()
 		return fmt.Errorf("serve: %w", err)
 	}
 	stop()
 
 	fmt.Fprintln(out, "draining: refusing new work, flushing shard queues")
+	if fol != nil {
+		// Stop tailing before the drain barrier so no replicated apply
+		// races the final checkpoints. Idempotent if promote already ran.
+		fol.Stop()
+	}
+	srv.StopStreams()
 	sdCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	shutdownErr := hs.Shutdown(sdCtx)
@@ -148,6 +205,31 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return shutdownErr
+}
+
+// leaderShards asks a leader's /v1/status for its shard count, retrying for
+// a few seconds so a follower can start alongside a still-booting leader.
+func leaderShards(leader string) (int, error) {
+	client := &http.Client{}
+	var lastErr error
+	for attempt := 0; attempt < 40; attempt++ {
+		if attempt > 0 {
+			time.Sleep(250 * time.Millisecond)
+		}
+		st, err := replica.FetchStatus(context.Background(), client, leader)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if !st.Durable {
+			return 0, fmt.Errorf("leader %s runs in-memory; -follow needs a leader started with -data-dir", leader)
+		}
+		if len(st.Shards) == 0 {
+			return 0, fmt.Errorf("leader %s reports no shards", leader)
+		}
+		return len(st.Shards), nil
+	}
+	return 0, fmt.Errorf("leader %s unreachable: %w", leader, lastErr)
 }
 
 // traceDumper writes crash-safe flight-recorder dumps: atomically (tmp +

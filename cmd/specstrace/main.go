@@ -51,6 +51,24 @@ type Report struct {
 	Names  []NameStat     `json:"names"`
 	Slow   []TraceSummary `json:"slowest_traces"`
 	Orphan []OrphanSpan   `json:"orphan_spans,omitempty"`
+
+	// Replication summarizes replica.lag spans when the dump came from a
+	// follower (one span per shard per leader poll), so the analysis says
+	// how stale the node was — a gating-seller timeline from a lagging
+	// follower reflects replicated state, not the leader's latest.
+	Replication []ReplicaLag `json:"replication,omitempty"`
+}
+
+// ReplicaLag is one shard's replication staleness as seen in the dump:
+// the newest sample's position plus the peak lag across all samples.
+type ReplicaLag struct {
+	Shard      int `json:"shard"`
+	Samples    int `json:"samples"`
+	LastLagLSN int `json:"last_lag_lsn"`
+	LastLagMS  int `json:"last_lag_ms"`
+	MaxLagLSN  int `json:"max_lag_lsn"`
+	AppliedLSN int `json:"applied_lsn"`
+	LeaderLSN  int `json:"leader_lsn"`
 }
 
 // NameStat is the latency breakdown for one span name.
@@ -267,6 +285,7 @@ func analyze(spans []trace.Span, files, top int) Report {
 		})
 	}
 	sort.Slice(rep.Names, func(a, b int) bool { return rep.Names[a].TotalMS > rep.Names[b].TotalMS })
+	rep.Replication = replicaLag(spans)
 
 	sort.Slice(trees, func(a, b int) bool { return trees[a].duration() > trees[b].duration() })
 	for _, tt := range trees {
@@ -293,6 +312,44 @@ func analyze(spans []trace.Span, files, top int) Report {
 	rep.Orphans = len(rep.Orphan)
 	rep.Check = rep.Spans > 0 && rep.Orphans == 0
 	return rep
+}
+
+// replicaLag folds every replica.lag span into a per-shard staleness
+// summary: peak lag over all samples, position from the newest one.
+func replicaLag(spans []trace.Span) []ReplicaLag {
+	type acc struct {
+		rl   ReplicaLag
+		last time.Time
+	}
+	byShard := make(map[int]*acc)
+	for _, s := range spans {
+		if s.Name != "replica.lag" {
+			continue
+		}
+		shard := attrInt(s.Attrs, "shard", -1)
+		a := byShard[shard]
+		if a == nil {
+			a = &acc{rl: ReplicaLag{Shard: shard}}
+			byShard[shard] = a
+		}
+		a.rl.Samples++
+		if l := attrInt(s.Attrs, "lag_lsn", 0); l > a.rl.MaxLagLSN {
+			a.rl.MaxLagLSN = l
+		}
+		if !s.Start.Before(a.last) {
+			a.last = s.Start
+			a.rl.LastLagLSN = attrInt(s.Attrs, "lag_lsn", 0)
+			a.rl.LastLagMS = attrInt(s.Attrs, "lag_ms", 0)
+			a.rl.AppliedLSN = attrInt(s.Attrs, "applied_lsn", 0)
+			a.rl.LeaderLSN = attrInt(s.Attrs, "leader_lsn", 0)
+		}
+	}
+	var out []ReplicaLag
+	for _, a := range byShard {
+		out = append(out, a.rl)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Shard < out[b].Shard })
+	return out
 }
 
 // rounds extracts the engine-round timeline of one trace: every core.round
@@ -340,6 +397,18 @@ func render(out io.Writer, rep Report, spans []trace.Span, top, width int) {
 	for _, ns := range rep.Names {
 		fmt.Fprintf(out, "%-18s %8d %10.4f %10.4f %10.4f %10.4f %12.3f\n",
 			ns.Name, ns.Count, ns.P50MS, ns.P90MS, ns.P99MS, ns.MaxMS, ns.TotalMS)
+	}
+	if len(rep.Replication) > 0 {
+		fmt.Fprintln(out)
+		for _, rl := range rep.Replication {
+			if rl.LastLagLSN > 0 {
+				fmt.Fprintf(out, "replication: shard %d STALE by %d LSNs (lag %d ms, applied %d of leader %d; peak %d over %d samples) — timelines below reflect replicated state\n",
+					rl.Shard, rl.LastLagLSN, rl.LastLagMS, rl.AppliedLSN, rl.LeaderLSN, rl.MaxLagLSN, rl.Samples)
+			} else {
+				fmt.Fprintf(out, "replication: shard %d in sync (applied lsn %d, peak lag %d LSNs over %d samples)\n",
+					rl.Shard, rl.AppliedLSN, rl.MaxLagLSN, rl.Samples)
+			}
+		}
 	}
 
 	trees := buildTrees(spans)

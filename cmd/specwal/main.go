@@ -174,7 +174,9 @@ func scanDir(dir string) (shardReport, error) {
 
 func verify(dirs []string, asJSON bool, out io.Writer) error {
 	var reports []shardReport
-	corrupt := 0
+	corrupt, torn, files, records := 0, 0, 0, 0
+	var bytes int64
+	var maxLSN uint64
 	for _, dir := range dirs {
 		rep, err := scanDir(dir)
 		if err != nil {
@@ -186,6 +188,15 @@ func verify(dirs []string, asJSON bool, out io.Writer) error {
 				corrupt++
 			}
 			corrupt += fr.BadBodies
+			if fr.Torn != "" {
+				torn++
+			}
+			files++
+			records += fr.Records
+			bytes += fr.Bytes
+			if fr.MaxLSN > maxLSN {
+				maxLSN = fr.MaxLSN
+			}
 		}
 	}
 	if asJSON {
@@ -212,6 +223,12 @@ func verify(dirs []string, asJSON bool, out io.Writer) error {
 					fr.File, fr.Bytes, fr.Records, fr.MinLSN, fr.MaxLSN, status)
 			}
 		}
+	}
+	// One aggregate line a script (or a replica operator comparing two data
+	// dirs) can grep: total coverage plus the LSN high-water mark.
+	if !asJSON {
+		fmt.Fprintf(out, "verify: %d shards, %d files, %d records, %d bytes, max_lsn=%d, torn=%d, corrupt=%d\n",
+			len(reports), files, records, bytes, maxLSN, torn, corrupt)
 	}
 	if corrupt > 0 {
 		return fmt.Errorf("%d corrupt file(s); specserved will refuse these without -wal-repair", corrupt)

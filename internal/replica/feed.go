@@ -1,0 +1,138 @@
+package replica
+
+import (
+	"encoding/binary"
+	"sync"
+)
+
+// BatchWriter is where a Feed pushes durable batches for one subscriber —
+// in practice the stream handler's deadline-wrapped HTTP response. A write
+// error (or deadline) permanently fails the subscriber; the Feed drops it
+// and the follower reconnects and catches up from the files. It is called
+// with the Feed's lock held, which is exactly the point: the write to the
+// kernel socket buffer happens-before any later publish, keeping the stream
+// in LSN order, and the deadline bounds how long a stalled peer can hold up
+// the fsync path.
+type BatchWriter interface {
+	WriteBatch(b []byte) error
+}
+
+// Feed broadcasts one shard's durable WAL batches to connected stream
+// subscribers. Publish is invoked from the WAL's post-fsync hook, so every
+// byte a subscriber receives is durable on the leader, and reaches the
+// subscriber before the leader acks it to a client.
+type Feed struct {
+	mu   sync.Mutex
+	last uint64 // highest LSN published (init: the durable tail at startup)
+	subs map[*Subscriber]struct{}
+}
+
+// NewFeed returns a Feed whose published high-water starts at the shard's
+// recovered durable LSN (nothing below it will ever be published).
+func NewFeed(last uint64) *Feed {
+	return &Feed{last: last, subs: make(map[*Subscriber]struct{})}
+}
+
+// Subscriber is one attached stream.
+type Subscriber struct {
+	w    BatchWriter
+	skip uint64 // drop records with LSN <= skip (file-catch-up overlap)
+	done chan struct{}
+	err  error
+}
+
+// NewSubscriber wraps a BatchWriter for attachment.
+func NewSubscriber(w BatchWriter) *Subscriber {
+	return &Subscriber{w: w, done: make(chan struct{})}
+}
+
+// Done is closed when the subscriber has been dropped after a write
+// failure; Err then reports why.
+func (s *Subscriber) Done() <-chan struct{} { return s.done }
+
+// Err returns the write error that dropped the subscriber, if any.
+func (s *Subscriber) Err() error { return s.err }
+
+// Last returns the highest LSN published so far.
+func (f *Feed) Last() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.last
+}
+
+// Subscribers returns the number of attached streams.
+func (f *Feed) Subscribers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.subs)
+}
+
+// Attach registers sub to receive every future publish, provided the feed
+// has not already published past cursor (the highest LSN the subscriber got
+// from the files). ok=false means records in (cursor, Last] were published
+// while the subscriber was catching up — it must read more from the files
+// and try again. On ok, records the subscriber already has (a batch can be
+// fsynced, and hence file-visible, before its publish runs) are filtered by
+// LSN so the stream never duplicates.
+func (f *Feed) Attach(sub *Subscriber, cursor uint64) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.last > cursor {
+		return false
+	}
+	sub.skip = cursor
+	f.subs[sub] = struct{}{}
+	return true
+}
+
+// Detach removes sub; safe if already dropped.
+func (f *Feed) Detach(sub *Subscriber) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.subs, sub)
+}
+
+// Publish fans one durable batch (framed bytes, no magic) out to every
+// subscriber. Runs on the WAL's flushing goroutine; a failing or stalled
+// subscriber is dropped, never retried, never blocks beyond its writer's
+// deadline.
+func (f *Feed) Publish(batch []byte, lastLSN uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if lastLSN > f.last {
+		f.last = lastLSN
+	}
+	for sub := range f.subs {
+		b := batch
+		if sub.skip > 0 {
+			b = cutBatch(b, sub.skip)
+			if len(b) > 0 {
+				sub.skip = 0 // overlap ends at the first delivered record
+			}
+			if len(b) == 0 {
+				continue
+			}
+		}
+		if err := sub.w.WriteBatch(b); err != nil {
+			sub.err = err
+			delete(f.subs, sub)
+			close(sub.done)
+		}
+	}
+}
+
+// cutBatch returns the suffix of a framed batch starting at the first
+// record with LSN > skip. The bytes were produced by this process's own
+// appends, so frame headers are trusted (no CRC re-check).
+func cutBatch(batch []byte, skip uint64) []byte {
+	off := 0
+	for off+17 <= len(batch) {
+		plen := int(binary.LittleEndian.Uint32(batch[off : off+4]))
+		lsn := binary.LittleEndian.Uint64(batch[off+9 : off+17])
+		if lsn > skip {
+			return batch[off:]
+		}
+		off += 8 + plen
+	}
+	return nil
+}

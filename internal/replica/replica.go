@@ -1,0 +1,85 @@
+// Package replica turns specserved's per-shard WALs into a replicated log.
+//
+// The design exploits an invariant the wal package already provides: a WAL
+// log file, a wire batch, and a checkpoint all share one framed encoding.
+// Replication therefore needs no new format — the leader streams the exact
+// framed bytes it fsyncs (plus, when a follower is behind the truncation
+// horizon, one framed TypeSnapshot record shipped from its newest
+// checkpoint), and the follower appends what it reads to its own WAL and
+// applies it through the same replay path recovery uses.
+//
+// Leader side: each shard owns a Feed, published to from the WAL's
+// post-fsync hook — a batch reaches every connected subscriber's socket
+// before the client ack for that batch fires, so an acked record is in the
+// follower's kernel buffer even if the leader is SIGKILLed immediately
+// after the ack. Replication stays asynchronous: acks never wait on
+// followers, and a slow subscriber is dropped (it reconnects and catches up
+// from the files).
+//
+// Follower side: Follower runs one tailer per shard against the leader's
+// /v1/replica/shards/{id}/stream endpoint, hands decoded records to the
+// store's replicated-apply path (which appends them to the follower's own
+// WAL, preserving the leader's LSNs), polls the leader's /v1/status for the
+// lag gauges, and stops cleanly on promotion.
+package replica
+
+import "strconv"
+
+// Role names a node's replication role as reported by /v1/status.
+const (
+	RoleLeader   = "leader"
+	RoleFollower = "follower"
+)
+
+// ShardLSN is one shard's durable position — the per-shard row of the
+// /v1/status document.
+type ShardLSN struct {
+	Shard         int    `json:"shard"`
+	DurableLSN    uint64 `json:"durable_lsn"`
+	CheckpointLSN uint64 `json:"checkpoint_lsn"`
+}
+
+// NodeStatus is the /v1/status document: every node reports its role and,
+// when durable, each shard's LSN high-water marks.
+type NodeStatus struct {
+	Role     string     `json:"role"`
+	Leader   string     `json:"leader,omitempty"` // followers: the upstream URL
+	Durable  bool       `json:"durable"`
+	Sessions int        `json:"sessions"`
+	Shards   []ShardLSN `json:"shards,omitempty"`
+}
+
+// ShardFollow is one shard's replication progress on a follower.
+type ShardFollow struct {
+	Shard      int    `json:"shard"`
+	AppliedLSN uint64 `json:"applied_lsn"`
+	LeaderLSN  uint64 `json:"leader_lsn"`
+	LagLSN     uint64 `json:"lag_lsn"`
+	LagMS      int64  `json:"lag_ms"`
+	Connected  bool   `json:"connected"`
+}
+
+// FollowerStatus is the follower half of the /v1/replica/status document.
+type FollowerStatus struct {
+	Leader string        `json:"leader"`
+	Shards []ShardFollow `json:"shards"`
+}
+
+// StreamStatus is one shard's leader-side stream state.
+type StreamStatus struct {
+	Shard        int    `json:"shard"`
+	Subscribers  int    `json:"subscribers"`
+	PublishedLSN uint64 `json:"published_lsn"`
+}
+
+// ReplicaStatus is the /v1/replica/status document.
+type ReplicaStatus struct {
+	Role    string          `json:"role"`
+	Follow  *FollowerStatus `json:"follow,omitempty"`  // followers
+	Streams []StreamStatus  `json:"streams,omitempty"` // durable leaders
+}
+
+// StreamPath returns the leader-side stream endpoint path for a shard.
+func StreamPath(shard int) string {
+	return "/v1/replica/shards/" + strconv.Itoa(shard) + "/stream"
+}

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"specmatch/internal/eventlog"
@@ -30,6 +31,13 @@ type Server struct {
 	store *Store
 	mux   *http.ServeMux
 	reg   *obs.Registry
+
+	// repl is the node's replication role; see replica.go. Zero value =
+	// leader (every standalone node is one).
+	repl replState
+	// streamsDone ends live replication streams at drain; see StopStreams.
+	streamsDone chan struct{}
+	stopStreams sync.Once
 }
 
 // CreateRequest is the body of POST /v1/sessions.
@@ -101,15 +109,21 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg, store: store, reg: cfg.Metrics}
+	s := &Server{cfg: cfg, store: store, reg: cfg.Metrics, streamsDone: make(chan struct{})}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/sessions", s.route("create", s.handleCreate))
+	// Write routes go through the follower gate: a follower serves reads
+	// and replication but refuses mutations with 503 + an X-Leader hint.
+	mux.HandleFunc("POST /v1/sessions", s.route("create", s.gated(s.handleCreate)))
 	mux.HandleFunc("GET /v1/sessions", s.route("list", s.handleList))
 	mux.HandleFunc("GET /v1/sessions/{id}", s.route("get", s.handleGet))
-	mux.HandleFunc("DELETE /v1/sessions/{id}", s.route("delete", s.handleDelete))
-	mux.HandleFunc("POST /v1/sessions/{id}/events", s.route("events", s.handleEvents))
-	mux.HandleFunc("POST /v1/sessions/{id}/rebuild", s.route("rebuild", s.handleRebuild))
-	mux.HandleFunc("POST /v1/sessions/{id}/fork", s.route("fork", s.handleFork))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.route("delete", s.gated(s.handleDelete)))
+	mux.HandleFunc("POST /v1/sessions/{id}/events", s.route("events", s.gated(s.handleEvents)))
+	mux.HandleFunc("POST /v1/sessions/{id}/rebuild", s.route("rebuild", s.gated(s.handleRebuild)))
+	mux.HandleFunc("POST /v1/sessions/{id}/fork", s.route("fork", s.gated(s.handleFork)))
+	mux.HandleFunc("GET /v1/status", s.route("status", s.handleStatus))
+	mux.HandleFunc("GET /v1/replica/status", s.route("replica_status", s.handleReplicaStatus))
+	mux.HandleFunc("POST /v1/replica/promote", s.route("promote", s.handlePromote))
+	mux.HandleFunc("GET /v1/replica/shards/{shard}/stream", s.handleStream)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.Handle("GET /debug/metrics", obs.Handler(cfg.Metrics))
 	mux.Handle("GET /debug/trace", trace.Handler(cfg.Flight))
@@ -128,7 +142,10 @@ func (s *Server) Store() *Store { return s.store }
 // Drain flushes and closes the store. Call after the HTTP listener has
 // stopped accepting (HTTPServer.Shutdown): by then every in-flight handler
 // has returned, so all admitted work is applied before Drain returns.
-func (s *Server) Drain() { s.store.Close() }
+func (s *Server) Drain() {
+	s.StopStreams()
+	s.store.Close()
+}
 
 // route wraps a handler with per-route instrumentation and the per-request
 // deadline: a request counter, a latency histogram, a context that expires

@@ -29,6 +29,7 @@ import (
 	"specmatch/internal/market"
 	"specmatch/internal/obs"
 	"specmatch/internal/online"
+	"specmatch/internal/replica"
 	"specmatch/internal/trace"
 	"specmatch/internal/wal"
 )
@@ -177,6 +178,16 @@ type shard struct {
 	dir       *wal.Dir
 	nextLSN   uint64
 	sinceCkpt int
+
+	// LSN high-water marks readable without touching the shard queue (the
+	// /v1/status path must answer while the queue is jammed): durableLSN
+	// advances as records fsync, ckptLSN as checkpoints rotate.
+	durableLSN atomic.Uint64
+	ckptLSN    atomic.Uint64
+
+	// feed broadcasts durable batches to replication subscribers; non-nil
+	// exactly when dir is.
+	feed *replica.Feed
 }
 
 // durable wraps a shard-op result whose acknowledgement must wait for the
@@ -187,6 +198,10 @@ type shard struct {
 type durable struct {
 	recs []wal.Record
 	v    any
+	// preassigned marks records replicated from a leader: they arrive with
+	// the leader's LSNs, which appendDurable must preserve instead of
+	// assigning fresh ones.
+	preassigned bool
 }
 
 // prepareDurable frames one WAL record body for a mutation that has NOT
@@ -421,8 +436,12 @@ func (st *Store) appendDurable(sh *shard, d *durable, done chan opResult, parent
 	}
 	v := d.v
 	for i := range d.recs {
-		sh.nextLSN++
-		d.recs[i].LSN = sh.nextLSN
+		if d.preassigned {
+			sh.nextLSN = d.recs[i].LSN
+		} else {
+			sh.nextLSN++
+			d.recs[i].LSN = sh.nextLSN
+		}
 		rec := d.recs[i]
 		wspan := st.cfg.Flight.Start(parent, "wal.append")
 		if wspan.Active() {
@@ -444,6 +463,8 @@ func (st *Store) appendDurable(sh *shard, d *durable, done chan opResult, parent
 				return
 			}
 			wspan.End()
+			// Callbacks fire in append order, so this store is monotone.
+			sh.durableLSN.Store(rec.LSN)
 			if final {
 				done <- opResult{v: v}
 			}
@@ -455,7 +476,7 @@ func (st *Store) appendDurable(sh *shard, d *durable, done chan opResult, parent
 // Runs on the shard goroutine, so the session map is stable; a failure
 // leaves the shard appending to its current log and is retried after the
 // next CheckpointEvery records.
-func (st *Store) checkpointShard(sh *shard) {
+func (st *Store) checkpointShard(sh *shard) error {
 	span := st.cfg.Flight.Start(trace.SpanContext{}, "wal.checkpoint")
 	defer span.End()
 	start := time.Now()
@@ -468,13 +489,18 @@ func (st *Store) checkpointShard(sh *shard) {
 		if span.Active() {
 			span.Annotate("err=1")
 		}
-		return
+		return err
 	}
+	// Checkpoint synced the log first, so everything through nextLSN is
+	// durable and now also covered by the snapshot.
+	sh.durableLSN.Store(sh.nextLSN)
+	sh.ckptLSN.Store(sh.nextLSN)
 	st.walCheckpoints.Inc()
 	if span.Active() {
 		span.Annotate(fmt.Sprintf("gen=%d lsn=%d sessions=%d bytes=%d",
 			sh.dir.Gen(), sh.nextLSN, len(sh.sessions), len(body)))
 	}
+	return nil
 }
 
 // shardOf pins a session id to a shard for its whole lifetime.

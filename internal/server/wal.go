@@ -22,6 +22,7 @@ import (
 	"specmatch/internal/eventlog"
 	"specmatch/internal/market"
 	"specmatch/internal/online"
+	"specmatch/internal/replica"
 	"specmatch/internal/wal"
 )
 
@@ -117,6 +118,12 @@ func (st *Store) openWAL() error {
 			return err
 		}
 		sh.nextLSN = recd.MaxLSN
+		sh.durableLSN.Store(recd.MaxLSN)
+		// The replication feed starts at the recovered tail: nothing below it
+		// will ever be published, so stream subscribers read older records
+		// from the files and attach for everything after.
+		sh.feed = replica.NewFeed(recd.MaxLSN)
+		dir.SetOnDurable(sh.feed.Publish)
 		st.Recovery.Sessions += len(sh.sessions)
 		st.Recovery.TornRecords += recd.TornRecords
 		st.Recovery.RepairedRecords += recd.RepairedRecords
@@ -142,6 +149,7 @@ func (st *Store) openWAL() error {
 		if err := sh.dir.Checkpoint(sh.nextLSN, marshalCheckpoint(maxID, sh.sessions)); err != nil {
 			return fmt.Errorf("server: shard %d: post-recovery checkpoint: %w", i, err)
 		}
+		sh.ckptLSN.Store(sh.nextLSN)
 	}
 	return nil
 }

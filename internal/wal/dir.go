@@ -41,12 +41,13 @@ type Recovered struct {
 // checkpoint files, rotated by Checkpoint. Append/Checkpoint are owned by
 // the shard goroutine; Sync/Close may be called during shutdown.
 type Dir struct {
-	path   string
-	every  time.Duration
-	stats  SyncStats
-	gen    uint64
-	log    *Log
-	closed bool
+	path      string
+	every     time.Duration
+	stats     SyncStats
+	onDurable DurableFunc
+	gen       uint64
+	log       *Log
+	closed    bool
 }
 
 func snapName(gen uint64) string { return fmt.Sprintf("snap-%016x.ckpt", gen) }
@@ -215,6 +216,16 @@ func (d *Dir) Path() string { return d.path }
 // Gen returns the current generation number.
 func (d *Dir) Gen() uint64 { return d.gen }
 
+// SetOnDurable installs the post-fsync batch observer on the current log and
+// every log a future Checkpoint rotates to (see DurableFunc). Called by the
+// shard goroutine, or before the first Checkpoint.
+func (d *Dir) SetOnDurable(fn DurableFunc) {
+	d.onDurable = fn
+	if d.log != nil {
+		d.log.SetOnDurable(fn)
+	}
+}
+
 // LogSize returns the current log's size in bytes (0 before the first
 // Checkpoint).
 func (d *Dir) LogSize() int64 {
@@ -252,6 +263,7 @@ func (d *Dir) Checkpoint(lsn uint64, body []byte) error {
 	if err != nil {
 		return err
 	}
+	nl.SetOnDurable(d.onDurable)
 	if err := writeSnapshotFile(filepath.Join(d.path, snapName(next)), lsn, body); err != nil {
 		_ = nl.Close()
 		_ = os.Remove(nextLog)

@@ -212,6 +212,14 @@ func ScanFile(data []byte) ([]Record, int, error) {
 // dependency-free.
 type SyncStats func(records, bytes int, took time.Duration)
 
+// DurableFunc observes every batch the instant it becomes durable: batch is
+// the exact framed bytes just written and fsynced (no magic prefix), lastLSN
+// the highest LSN in it. It runs on the flushing goroutine after fsync
+// succeeds and BEFORE the batch's durability callbacks fire — so anything it
+// publishes (e.g. a replication stream) happens-before the client ack. It
+// must not block indefinitely: the fsync path waits on it.
+type DurableFunc func(batch []byte, lastLSN uint64)
+
 // Log is an append-only record file with batched fsync. Append is called
 // only by the owning shard goroutine; the durability callbacks fire from
 // the log's syncer goroutine (or inline when FsyncInterval < 0). A Log
@@ -228,13 +236,15 @@ type Log struct {
 	// could write their batches out of order on the non-O_APPEND fd.
 	flushMu sync.Mutex
 
-	mu      sync.Mutex
-	f       *os.File
-	pending []byte
-	cbs     []func(error)
-	nrecs   int
-	failed  error // sticky first write/sync error
-	closed  bool
+	mu        sync.Mutex
+	f         *os.File
+	pending   []byte
+	cbs       []func(error)
+	nrecs     int
+	lastLSN   uint64 // highest LSN appended (pending or flushed)
+	onDurable DurableFunc
+	failed    error // sticky first write/sync error
+	closed    bool
 
 	syncReq chan chan error
 	done    chan struct{}
@@ -280,6 +290,14 @@ func Create(path string, every time.Duration, stats SyncStats) (*Log, error) {
 // Path returns the log's file path.
 func (l *Log) Path() string { return l.path }
 
+// SetOnDurable installs (or clears) the post-fsync batch observer. Safe to
+// call while the log is live; it takes effect for the next flushed batch.
+func (l *Log) SetOnDurable(fn DurableFunc) {
+	l.mu.Lock()
+	l.onDurable = fn
+	l.mu.Unlock()
+}
+
 // Size returns the current durable-or-pending size in bytes.
 func (l *Log) Size() int64 {
 	l.mu.Lock()
@@ -305,6 +323,9 @@ func (l *Log) Append(r Record, onDurable func(error)) {
 	}
 	l.pending = AppendRecord(l.pending, r)
 	l.nrecs++
+	if r.LSN > l.lastLSN {
+		l.lastLSN = r.LSN
+	}
 	if onDurable != nil {
 		l.cbs = append(l.cbs, onDurable)
 	}
@@ -324,6 +345,7 @@ func (l *Log) flush() error {
 	defer l.flushMu.Unlock()
 	l.mu.Lock()
 	buf, cbs, nrecs := l.pending, l.cbs, l.nrecs
+	batchLast, publish := l.lastLSN, l.onDurable
 	l.pending, l.cbs, l.nrecs = nil, nil, 0
 	if len(buf) == 0 {
 		err := l.failed
@@ -359,6 +381,11 @@ func (l *Log) flush() error {
 	}
 	l.mu.Unlock()
 
+	if err == nil && publish != nil {
+		// Publish the durable bytes before the acks below: a subscriber (the
+		// replication stream) sees every record no later than its client does.
+		publish(buf, batchLast)
+	}
 	if err == nil && l.stats != nil {
 		l.stats(nrecs, len(buf), took)
 	}

@@ -1,0 +1,133 @@
+#!/bin/sh
+# Failover-inject the replication path end to end: start a durable leader
+# and a streaming follower (-follow), drive churn-heavy load through the
+# cluster-aware specload with a client-side ledger, SIGKILL the leader
+# mid-load (≥2000 acked events/s), promote the follower over HTTP, and let
+# the load run ride the failover onto the new leader. Afterwards: verify
+# the ledger against the promoted node (zero acked-and-lost events),
+# specwal-verify both data dirs, and check the role flip on /v1/status.
+# Run via `make replica-smoke`.
+#
+# Set REPLICA_SMOKE_OUT to a directory to keep the ledger, report, diff,
+# and logs on failure (CI uploads it as an artifact).
+set -eu
+
+work=$(mktemp -d)
+leader_pid=""
+follower_pid=""
+status=1
+cleanup() {
+    [ -n "$leader_pid" ] && kill -KILL "$leader_pid" 2>/dev/null || true
+    [ -n "$follower_pid" ] && kill -KILL "$follower_pid" 2>/dev/null || true
+    if [ "$status" -ne 0 ] && [ -n "${REPLICA_SMOKE_OUT:-}" ]; then
+        mkdir -p "$REPLICA_SMOKE_OUT"
+        for f in ledger.json report.json diff.json leader.log follower.log load.log verify.log; do
+            [ -f "$work/$f" ] && cp "$work/$f" "$REPLICA_SMOKE_OUT/" || true
+        done
+        echo "replica-smoke artifacts copied to $REPLICA_SMOKE_OUT"
+    fi
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+go build -o "$work/specserved" ./cmd/specserved
+go build -o "$work/specload" ./cmd/specload
+go build -o "$work/specwal" ./cmd/specwal
+
+# wait_addr LOGFILE PID: echoes the listen address once the server reports it.
+wait_addr() {
+    i=0
+    while [ $i -lt 100 ]; do
+        a=$(sed -n 's#^specserved listening on http://\([^ ]*\)$#\1#p' "$1")
+        if [ -n "$a" ]; then echo "$a"; return 0; fi
+        kill -0 "$2" 2>/dev/null || return 1
+        sleep 0.1
+        i=$((i + 1))
+    done
+    return 1
+}
+
+# role ADDR: echoes the node's role from /v1/status.
+role() {
+    curl -sf "http://$1/v1/status" | sed -n 's/.*"role": *"\([a-z]*\)".*/\1/p' | head -1
+}
+
+"$work/specserved" -addr 127.0.0.1:0 -data-dir "$work/leader" -shards 4 >"$work/leader.log" 2>&1 &
+leader_pid=$!
+leader_addr=$(wait_addr "$work/leader.log" "$leader_pid") || { echo "leader never came up:"; cat "$work/leader.log"; exit 1; }
+echo "leader up on $leader_addr (pid $leader_pid)"
+
+"$work/specserved" -addr 127.0.0.1:0 -data-dir "$work/follower" -follow "http://$leader_addr" >"$work/follower.log" 2>&1 &
+follower_pid=$!
+follower_addr=$(wait_addr "$work/follower.log" "$follower_pid") || { echo "follower never came up:"; cat "$work/follower.log"; exit 1; }
+echo "follower up on $follower_addr (pid $follower_pid), streaming from the leader"
+
+[ "$(role "$leader_addr")" = "leader" ] || { echo "leader /v1/status role is not leader"; exit 1; }
+[ "$(role "$follower_addr")" = "follower" ] || { echo "follower /v1/status role is not follower"; exit 1; }
+
+# Churn-heavy load through the cluster router, recording a ledger. No
+# -min-rps: the failover window deliberately burns a few hundred ms of
+# errors; the pre-kill rate is asserted from the acked count below.
+"$work/specload" -cluster "$leader_addr,$follower_addr" -sessions 16 -concurrency 16 \
+    -duration 6s -rps 4000 -channel-churn 0.3 \
+    -ledger "$work/ledger.json" -report "$work/report.json" >"$work/load.log" 2>&1 &
+load_pid=$!
+
+sleep 2
+kill -KILL "$leader_pid"
+kill_t=2 # seconds of live churn before the SIGKILL
+echo "SIGKILLed the leader after ${kill_t}s of load"
+leader_pid=""
+
+# Promote the follower. Retry briefly: the kill and the promote race the
+# follower noticing its streams died, but promote must win within a second.
+promoted=""
+i=0
+while [ $i -lt 20 ]; do
+    if curl -sf -X POST "http://$follower_addr/v1/replica/promote" >/dev/null 2>&1; then
+        promoted=1
+        break
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$promoted" ] || { echo "promote never succeeded:"; cat "$work/follower.log"; exit 1; }
+[ "$(role "$follower_addr")" = "leader" ] || { echo "follower did not flip to leader after promote"; exit 1; }
+echo "follower promoted to leader"
+
+wait "$load_pid" || { echo "specload failed (lost acked events or router gave up):"; cat "$work/load.log"; exit 1; }
+cat "$work/load.log"
+
+acked=$(sed -n 's/^ledger: [0-9]* sessions, \([0-9]*\) acked events.*/\1/p' "$work/load.log")
+[ -n "$acked" ] || { echo "no ledger line in specload output"; exit 1; }
+if [ "$acked" -lt $((kill_t * 2000)) ]; then
+    echo "only $acked acked events in ${kill_t}s of pre-kill churn; need >= 2000/s"
+    exit 1
+fi
+
+# Offline inspection of both data dirs: the killed leader may carry a torn
+# tail (expected crash signature); corruption anywhere is fatal.
+"$work/specwal" -data-dir "$work/leader" -mode verify
+"$work/specwal" -data-dir "$work/follower" -mode verify
+
+# The verdict: every event the cluster acked — before or after failover —
+# must be durable on the promoted node. -cluster makes -verify pick the
+# first reachable non-follower node, which is the promoted follower (the
+# old leader is dead). Writes diff.json on mismatch.
+"$work/specload" -cluster "$leader_addr,$follower_addr" -verify "$work/ledger.json" -diff "$work/diff.json" \
+    >"$work/verify.log" 2>&1 || { echo "ledger verification FAILED:"; cat "$work/verify.log"; exit 1; }
+cat "$work/verify.log"
+
+kill -TERM "$follower_pid"
+drain_status=0
+wait "$follower_pid" || drain_status=$?
+follower_pid=""
+if [ "$drain_status" -ne 0 ]; then
+    echo "promoted node exited $drain_status on SIGTERM (want clean drain):"
+    cat "$work/follower.log"
+    exit 1
+fi
+grep -q '^drained:' "$work/follower.log" || { echo "no drain line in follower log:"; cat "$work/follower.log"; exit 1; }
+
+status=0
+echo "replica-smoke OK: $acked acked events survived a leader SIGKILL + promote"
