@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench benchcheck baseline figures check fmt vet clean serve-smoke trace-smoke crash-smoke churn-smoke compat-smoke replica-smoke
+.PHONY: all build test test-short race bench benchcheck baseline figures check fmt vet clean serve-smoke trace-smoke crash-smoke churn-smoke compat-smoke replica-smoke mon-smoke
 
 all: build test
 
@@ -72,6 +72,13 @@ churn-smoke:
 # events across the failover, both data dirs specwal-clean.
 replica-smoke:
 	./scripts/replica_smoke.sh
+
+# Fleet-telemetry smoke: leader + follower under churny specload, specmon
+# -check green against the live cluster, a provoked overload captured as an
+# anomaly evidence pair (flight dump + CPU profile) listed by /debug/evidence
+# and specmon, clean drains, and specwal-clean data dirs afterwards.
+mon-smoke:
+	./scripts/mon_smoke.sh
 
 # Schema-compatibility smoke: recover the committed v0-generation data dir
 # with the current binary, check it against its pinned state, drive the v1

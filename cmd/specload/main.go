@@ -67,6 +67,25 @@ type Report struct {
 	// Nodes holds every node's /v1/status document (one entry even without
 	// -cluster), so the report records each node's role and durable LSNs.
 	Nodes []NodeReport `json:"nodes,omitempty"`
+
+	// Timeline is the per-interval series -timeline records: the same delta
+	// machinery as the server's /debug/metrics/series, so a load run's
+	// client-side view lines up tick for tick with a specmon timeline.
+	Timeline []TimelinePoint `json:"timeline,omitempty"`
+}
+
+// TimelinePoint is one -timeline interval: client-side throughput and
+// interval latency quantiles computed from histogram bucket deltas.
+type TimelinePoint struct {
+	StartMS  int64   `json:"start_ms"`
+	EndMS    int64   `json:"end_ms"`
+	Requests int64   `json:"requests"`
+	OK       int64   `json:"ok"`
+	Rejected int64   `json:"rejected_429"`
+	Errors   int64   `json:"errors"`
+	OKPerSec float64 `json:"ok_per_sec"`
+	P50MS    float64 `json:"p50_ms"`
+	P99MS    float64 `json:"p99_ms"`
 }
 
 // Latency summarizes the merged per-request latency distribution: the
@@ -95,6 +114,11 @@ type worker struct {
 	// worker's exact maximum, merged at the end — buckets can't recover it.
 	lat    *obs.Histogram
 	maxSec float64
+
+	// Shared outcome counters feeding the -timeline rollup; nil (no-op)
+	// handles when the timeline is off. The per-worker int64 fields below
+	// stay authoritative for the whole-run report.
+	cReq, cOK, cRej, cErr *obs.Counter
 
 	// record enables the per-session acked/unacked ledger (-ledger).
 	record bool
@@ -142,6 +166,7 @@ func run(args []string, out io.Writer) error {
 		ledgerPath  = fs.String("ledger", "", "record every acknowledged event (with stats) per session to this JSON file; requires -sessions >= -concurrency so each session has one writer; tolerates the server dying mid-run")
 		verifyPath  = fs.String("verify", "", "verify a recovered server against this ledger instead of generating load: acked events must be durable and recovered state must equal a replay of the ledger")
 		diffPath    = fs.String("diff", "", "with -verify: write a recovered-vs-expected diff artifact here on failure")
+		timeline    = fs.Duration("timeline", 0, "record a per-interval throughput/latency series at this sampling interval and embed it in the JSON report (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -210,7 +235,16 @@ func run(args []string, out io.Writer) error {
 	if *rps > 0 {
 		interval = time.Duration(float64(*concurrency) / *rps * float64(time.Second))
 	}
-	lat := obs.NewRegistry().Histogram("specload.request_seconds", obs.LatencyBuckets())
+	// One registry holds the client-side instrumentation: the shared latency
+	// histogram and, when -timeline is on, the outcome counters the rollup
+	// samples into per-interval windows.
+	reg := obs.NewRegistry()
+	lat := reg.Histogram("specload.request_seconds", obs.LatencyBuckets())
+	var rollup *obs.Rollup
+	if *timeline > 0 {
+		rollup = obs.NewRollup(reg, *timeline, int(*duration / *timeline)+16)
+		rollup.Start()
+	}
 	for w := range workers {
 		wk := &worker{
 			r:        xrand.NewStream(*seed, w+1),
@@ -220,6 +254,12 @@ func run(args []string, out io.Writer) error {
 			lat:      lat,
 			record:   *ledgerPath != "",
 			binary:   *binary,
+		}
+		if *timeline > 0 {
+			wk.cReq = reg.Counter("specload.requests")
+			wk.cOK = reg.Counter("specload.ok")
+			wk.cRej = reg.Counter("specload.rejected")
+			wk.cErr = reg.Counter("specload.errors")
 		}
 		for k := w; k < len(states); k += *concurrency {
 			wk.sessions = append(wk.sessions, states[k])
@@ -242,6 +282,7 @@ func run(args []string, out io.Writer) error {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	rollup.Stop() // final flush catches the tail interval
 
 	rep := Report{
 		DurationSeconds: elapsed.Seconds(),
@@ -269,6 +310,7 @@ func run(args []string, out io.Writer) error {
 			Max: maxSec * 1e3,
 		}
 	}
+	rep.Timeline = buildTimeline(rollup)
 
 	// Persist the ledger before talking to the server again: in a crash run
 	// the server is already dead and the ledger is the whole point.
@@ -404,6 +446,7 @@ func (wk *worker) post(ss *sessionState, ev online.Event) {
 		var err error
 		if body, err = json.Marshal(ev); err != nil {
 			wk.errors++
+			wk.cErr.Inc()
 			return
 		}
 	}
@@ -415,6 +458,7 @@ func (wk *worker) post(ss *sessionState, ev online.Event) {
 		req, err := http.NewRequest(http.MethodPost, base+"/v1/sessions/"+ss.id+"/events", bytes.NewReader(body))
 		if err != nil {
 			wk.errors++
+			wk.cErr.Inc()
 			return
 		}
 		req.Header.Set("Content-Type", contentType)
@@ -424,6 +468,7 @@ func (wk *worker) post(ss *sessionState, ev online.Event) {
 			Trace: trace.NewTraceID(), Span: trace.NewSpanID(),
 		}))
 		wk.requests++
+		wk.cReq.Inc()
 		start := time.Now()
 		resp, err := wk.client.Do(req)
 		lat := time.Since(start).Seconds()
@@ -447,12 +492,14 @@ func (wk *worker) post(ss *sessionState, ev online.Event) {
 		switch {
 		case resp.StatusCode == http.StatusOK:
 			wk.ok++
+			wk.cOK.Inc()
 			if wk.record {
 				wk.recordAck(ss, ev, respBody, readErr)
 			}
 			return
 		case resp.StatusCode == http.StatusTooManyRequests:
 			wk.rejected++
+			wk.cRej.Inc()
 			time.Sleep(2 * time.Millisecond) // brief backoff on admission rejects
 			return
 		case resp.StatusCode == http.StatusServiceUnavailable && wk.rt.clustered():
@@ -470,6 +517,7 @@ func (wk *worker) post(ss *sessionState, ev online.Event) {
 			continue
 		default:
 			wk.errors++
+			wk.cErr.Inc()
 			// 4xx/429/503 mean rejected before mutation. 5xx is not a durability
 			// promise either way, so treat it like a lost response.
 			if wk.record && resp.StatusCode >= 500 {
@@ -481,6 +529,7 @@ func (wk *worker) post(ss *sessionState, ev online.Event) {
 	// Budget exhausted without an ack; any unknown-fate attempts are
 	// already in the unacked tail.
 	wk.errors++
+	wk.cErr.Inc()
 }
 
 // recordAck appends an acknowledged event to the session's ledger. An ack
@@ -517,6 +566,33 @@ func (wk *worker) recordAck(ss *sessionState, ev online.Event, respBody []byte, 
 		ss.unacked = nil
 	}
 	ss.acked = append(ss.acked, AckedEvent{Event: ev, Stats: stats})
+}
+
+// buildTimeline reduces the rollup's delta windows to report points. Empty
+// windows before the load started (or a nil rollup, -timeline off) produce
+// nothing.
+func buildTimeline(rollup *obs.Rollup) []TimelinePoint {
+	var points []TimelinePoint
+	for _, w := range rollup.Windows(0) {
+		p := TimelinePoint{
+			StartMS:  w.StartMS,
+			EndMS:    w.EndMS,
+			Requests: w.Counters["specload.requests"],
+			OK:       w.Counters["specload.ok"],
+			Rejected: w.Counters["specload.rejected"],
+			Errors:   w.Counters["specload.errors"],
+			OKPerSec: w.Rate("specload.ok"),
+		}
+		if len(points) == 0 && p.Requests == 0 {
+			continue // leading idle windows (fleet creation) are noise
+		}
+		if hs := w.Histograms["specload.request_seconds"]; hs.Count > 0 {
+			p.P50MS = hs.Quantile(0.50) * 1e3
+			p.P99MS = hs.Quantile(0.99) * 1e3
+		}
+		points = append(points, p)
+	}
+	return points
 }
 
 func fetchSnapshot(client *http.Client, base string) (obs.Snapshot, error) {

@@ -118,8 +118,13 @@ func run(args []string, out io.Writer) error {
 	defer stopQuit()
 	var debug *server.HTTPServer
 	if *debugAddr != "" {
+		// The debug endpoint gets the windowed series view too: a 1s rollup
+		// over the process registry, flushed when the debug server stops.
+		ru := obs.NewRollup(reg, time.Second, 300)
+		ru.Start()
+		defer ru.Stop()
 		var err error
-		debug, err = server.ListenAndServe(*debugAddr, server.DebugMux(reg, fl))
+		debug, err = server.ListenAndServe(*debugAddr, server.DebugMux(reg, fl, ru))
 		if err != nil {
 			return fmt.Errorf("debug listener: %w", err)
 		}

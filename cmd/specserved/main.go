@@ -42,7 +42,6 @@ import (
 	"os"
 	"os/signal"
 	"strings"
-	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -80,6 +79,15 @@ func run(args []string, out io.Writer) error {
 		checkpointEach = fs.Int("checkpoint-every", 4096, "checkpoint + truncate a shard's WAL after this many durable records (negative = only at startup and drain)")
 		walRepair      = fs.Bool("wal-repair", false, "on recovery, truncate at mid-log corruption instead of refusing to start (data past the corruption is lost)")
 		follow         = fs.String("follow", "", "run as a read-only replica of this leader URL (e.g. http://127.0.0.1:7937): tail every shard's WAL stream, apply locally, serve reads; requires -data-dir. POST /v1/replica/promote turns the node into a leader")
+		sampleInterval = fs.Duration("sample-interval", time.Second, "metrics sampling interval for /debug/metrics/series and the anomaly watchdog (negative = disable the sampler)")
+		seriesWindows  = fs.Int("series-windows", 300, "delta windows retained by the series ring")
+		evidenceDir    = fs.String("evidence-dir", "", "where anomaly evidence (flight dump + CPU profile) lands, served at /debug/evidence (empty = <data-dir>/evidence; no data dir disables capture)")
+		anomP99        = fs.Float64("anomaly-p99-factor", 0, "anomaly trigger: interval p99 above this multiple of the trailing baseline (0 = default 4)")
+		anomQueue      = fs.Float64("anomaly-queue-frac", 0, "anomaly trigger: any shard queue above this fraction of -queue-depth (0 = default 0.9)")
+		anomLag        = fs.Int64("anomaly-lag-lsn", 0, "anomaly trigger: follower lag above this many LSNs (0 = default 65536, negative = off)")
+		anomSustain    = fs.Int("anomaly-sustain", 0, "consecutive anomalous windows before evidence capture (0 = default 3)")
+		anomRate       = fs.Duration("anomaly-rate-limit", 0, "per-trigger-type evidence capture budget (0 = default 60s, negative = unlimited)")
+		anomOff        = fs.Bool("anomaly-off", false, "disable the anomaly watchdog")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -125,6 +133,17 @@ func run(args []string, out io.Writer) error {
 		FsyncInterval:   *fsyncInterval,
 		CheckpointEvery: *checkpointEach,
 		WALRepair:       *walRepair,
+		SampleInterval:  *sampleInterval,
+		SeriesWindows:   *seriesWindows,
+		EvidenceDir:     *evidenceDir,
+		Anomaly: server.AnomalyConfig{
+			Disabled:  *anomOff,
+			P99Factor: *anomP99,
+			QueueFrac: *anomQueue,
+			LagLSN:    *anomLag,
+			Sustain:   *anomSustain,
+			RateLimit: *anomRate,
+		},
 	})
 	if err != nil {
 		return err
@@ -233,24 +252,30 @@ func leaderShards(leader string) (int, error) {
 }
 
 // traceDumper writes crash-safe flight-recorder dumps: atomically (tmp +
-// rename, so a reader never sees a torn file) and rate-limited for the 5xx
-// hook (at most one dump per 10s, so an error storm cannot turn into a disk
-// storm). All methods are safe with a nil Flight or empty path — they do
-// nothing.
+// rename, so a reader never sees a torn file) and rate-limited *per trigger
+// type* — 5xx, SIGQUIT, and drain each get their own budget (one dump per
+// 10s), so a 5xx storm cannot starve an operator's SIGQUIT dump, and
+// neither can starve the watchdog's anomaly captures (which budget
+// separately again, inside internal/server). All methods are safe with a
+// nil Flight or empty path — they do nothing.
 type traceDumper struct {
-	fl       *trace.Flight
-	path     string
-	out      io.Writer
-	lastDump atomic.Int64 // unix nanos of the last 5xx-triggered dump
+	fl   *trace.Flight
+	path string
+	out  io.Writer
+	gate *server.RateGate
 }
 
 func newTraceDumper(fl *trace.Flight, path string, out io.Writer) *traceDumper {
-	return &traceDumper{fl: fl, path: path, out: out}
+	return &traceDumper{fl: fl, path: path, out: out, gate: server.NewRateGate(10 * time.Second)}
 }
 
-// dump writes the current snapshot; reason is echoed in the log line.
+// dump writes the current snapshot; reason is echoed in the log line and
+// keys the rate limit.
 func (d *traceDumper) dump(reason string) {
 	if d.fl == nil || d.path == "" {
+		return
+	}
+	if !d.gate.Allow(reason) {
 		return
 	}
 	tmp := d.path + ".tmp"
@@ -276,16 +301,9 @@ func (d *traceDumper) dump(reason string) {
 	fmt.Fprintf(d.out, "flight recorder: dumped %d spans to %s (%s)\n", n, d.path, reason)
 }
 
-// onServerError is the server's 5xx hook: dump, at most once per 10s.
+// onServerError is the server's 5xx hook; dump() itself applies the
+// per-trigger budget.
 func (d *traceDumper) onServerError() {
-	if d.fl == nil || d.path == "" {
-		return
-	}
-	now := time.Now().UnixNano()
-	last := d.lastDump.Load()
-	if now-last < int64(10*time.Second) || !d.lastDump.CompareAndSwap(last, now) {
-		return
-	}
 	d.dump("5xx")
 }
 

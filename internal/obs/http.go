@@ -6,6 +6,8 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
+	"time"
 )
 
 // Handler serves the registry as an expvar-style indented JSON snapshot —
@@ -17,6 +19,49 @@ func Handler(r *Registry) http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(r.Snapshot())
+	})
+}
+
+// Series is the /debug/metrics/series document: the node's retained delta
+// windows, oldest first, plus the sampling interval a reader needs to turn
+// deltas into rates.
+type Series struct {
+	IntervalSeconds float64  `json:"interval_seconds"`
+	Windows         []Window `json:"windows"`
+}
+
+// SeriesHandler serves the rollup's retained windows as JSON — the
+// /debug/metrics/series endpoint. ?window=30s bounds the reply to windows
+// ending within the trailing duration; ?n=K to the newest K windows (both
+// given, the stricter wins). A nil rollup serves an empty series, matching
+// the nil-registry idiom of /debug/metrics.
+func SeriesHandler(r *Rollup) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		doc := Series{IntervalSeconds: r.Interval().Seconds()}
+		if s := req.URL.Query().Get("window"); s != "" {
+			d, err := time.ParseDuration(s)
+			if err != nil || d <= 0 {
+				http.Error(w, "obs: ?window= must be a positive duration", http.StatusBadRequest)
+				return
+			}
+			doc.Windows = r.Span(d)
+		} else {
+			doc.Windows = r.Windows(0)
+		}
+		if s := req.URL.Query().Get("n"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 0 {
+				http.Error(w, "obs: ?n= must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			if n < len(doc.Windows) {
+				doc.Windows = doc.Windows[len(doc.Windows)-n:]
+			}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(doc)
 	})
 }
 

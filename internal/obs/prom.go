@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the Prometheus text-exposition view of a registry, the
+// payload behind /debug/metrics/prom: the same cumulative state as
+// /debug/metrics, rendered in the text format (version 0.0.4) external
+// scrapers already speak. Metric names keep their PROTOCOL.md identity
+// with the characters Prometheus rejects mapped to underscores
+// (server.wal.fsync_seconds -> server_wal_fsync_seconds). Output is
+// deterministic: names are emitted in sorted order and bucket bounds
+// formatted with a fixed notation, so two snapshots of the same state
+// render byte-identically — diffable, and safe to pin in golden tests.
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName maps a registry metric name onto the Prometheus grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			b.WriteByte('_')
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// promFloat formats a sample value; Prometheus accepts Go's 'g' notation.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm renders a snapshot in the Prometheus text exposition format:
+// counters and gauges as single samples, histograms as cumulative
+// le-labelled buckets plus _sum and _count — cumulative both ways (bucket
+// counts accumulate across bounds, and values accumulate since process
+// start), which is what scrapers expect; the per-interval view stays on
+// /debug/metrics/series.
+func WriteProm(w io.Writer, s Snapshot) error {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		hs := s.Histograms[name]
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		var cum int64
+		for _, b := range hs.Buckets {
+			cum += b.Count
+			le := "+Inf"
+			if !math.IsInf(b.UpperBound, 1) {
+				le = promFloat(b.UpperBound)
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", pn, promFloat(hs.Sum), pn, hs.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PromHandler serves the registry in the Prometheus text exposition
+// format — the /debug/metrics/prom endpoint. A nil registry serves an
+// empty document.
+func PromHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		_ = WriteProm(w, r.Snapshot())
+	})
+}

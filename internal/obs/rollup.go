@@ -1,0 +1,324 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Window is one sampling interval's *delta* view of a registry: how much
+// each counter advanced, where each gauge ended, and which histogram
+// buckets filled during the interval. Because histogram deltas keep the
+// full bucket layout, true per-interval quantiles fall out of
+// HistogramSnapshot.Quantile on the delta buckets — something a cumulative
+// snapshot can never give you once the process has been up for a while.
+type Window struct {
+	// Seq is the sample's monotone index since the rollup started; a gap
+	// between consecutive windows a reader holds means the ring evicted
+	// some in between.
+	Seq uint64 `json:"seq"`
+	// StartMS/EndMS bound the interval in Unix milliseconds.
+	StartMS int64 `json:"start_ms"`
+	EndMS   int64 `json:"end_ms"`
+
+	// Counters holds each counter's advance over the interval. A counter
+	// that went backwards (process restart feeding a fresh registry into an
+	// old name, or a wrapped value) is treated as reset: the delta is its
+	// new value, never negative.
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Gauges holds each gauge's value at the END of the interval —
+	// last-value semantics, not a delta.
+	Gauges map[string]int64 `json:"gauges,omitempty"`
+	// Histograms holds per-interval bucket deltas (count and sum are deltas
+	// too). A histogram whose cumulative counts regressed is treated as
+	// reset, like counters.
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Seconds returns the window's duration.
+func (w Window) Seconds() float64 {
+	return float64(w.EndMS-w.StartMS) / 1e3
+}
+
+// Rate returns the named counter's per-second rate over the window; zero
+// for absent counters or empty windows.
+func (w Window) Rate(name string) float64 {
+	s := w.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(w.Counters[name]) / s
+}
+
+// MergeHistogram sums two delta snapshots bucket by bucket — the cluster
+// aggregation primitive (specmon merges the same metric's deltas across
+// nodes before computing fleet-wide quantiles). The layouts must match;
+// mismatched snapshots return a with ok=false.
+func MergeHistogram(a, b HistogramSnapshot) (HistogramSnapshot, bool) {
+	if len(a.Buckets) == 0 {
+		return b, true
+	}
+	if len(b.Buckets) == 0 {
+		return a, true
+	}
+	if len(a.Buckets) != len(b.Buckets) {
+		return a, false
+	}
+	out := HistogramSnapshot{
+		Count:   a.Count + b.Count,
+		Sum:     a.Sum + b.Sum,
+		Buckets: make([]Bucket, len(a.Buckets)),
+	}
+	for i := range a.Buckets {
+		if a.Buckets[i].UpperBound != b.Buckets[i].UpperBound {
+			return a, false
+		}
+		out.Buckets[i] = Bucket{UpperBound: a.Buckets[i].UpperBound, Count: a.Buckets[i].Count + b.Buckets[i].Count}
+	}
+	return out, true
+}
+
+// Rollup samples a registry on a fixed interval and retains the most
+// recent windows of deltas in a bounded ring — the node-local time-series
+// layer behind /debug/metrics/series. Construct with NewRollup, then
+// Start; Stop flushes a final partial window and joins the sampler
+// goroutine. A nil *Rollup is valid everywhere and holds no windows,
+// matching the registry's nil idiom.
+//
+// The sampler reads the registry through Snapshot (each metric is read
+// atomically), so it never contends with writers beyond the registry's own
+// name-lookup mutex; metric updates stay lock-free. Delta math is exact:
+// over any run without resets, a counter's deltas across all windows sum
+// to its final value (the conservation property the race test pins).
+type Rollup struct {
+	reg      *Registry
+	interval time.Duration
+	onSample func(Window)
+
+	mu    sync.Mutex
+	ring  []Window
+	size  int // live windows in the ring
+	next  int // ring slot the next window lands in
+	seq   uint64
+	prev  Snapshot
+	prevT time.Time
+
+	stop    chan struct{}
+	done    chan struct{}
+	started bool
+	stopped bool
+}
+
+// NewRollup builds a rollup over reg sampling every interval, retaining
+// the newest capacity windows. Interval and capacity are clamped to sane
+// minima (10ms, 16). Nil on a nil registry.
+func NewRollup(reg *Registry, interval time.Duration, capacity int) *Rollup {
+	if reg == nil {
+		return nil
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Rollup{
+		reg:      reg,
+		interval: interval,
+		ring:     make([]Window, capacity),
+		prev:     reg.Snapshot(),
+		prevT:    time.Now(),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Interval returns the sampling interval; zero on nil.
+func (r *Rollup) Interval() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return r.interval
+}
+
+// SetOnSample installs a callback invoked with every new window, on the
+// sampler goroutine (or the Sample caller). Install before Start; the
+// watchdog in internal/server hangs off this hook.
+func (r *Rollup) SetOnSample(fn func(Window)) {
+	if r == nil {
+		return
+	}
+	r.onSample = fn
+}
+
+// Start launches the sampler goroutine. No-op on nil or if already
+// started.
+func (r *Rollup) Start() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.started {
+		r.mu.Unlock()
+		return
+	}
+	r.started = true
+	r.mu.Unlock()
+	go func() {
+		defer close(r.done)
+		t := time.NewTicker(r.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				r.Sample()
+			case <-r.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop ends the sampler and flushes one final (possibly partial) window,
+// so drain-time activity is not lost between the last tick and exit.
+// Idempotent; safe on a never-started rollup.
+func (r *Rollup) Stop() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.stopped = true
+	started := r.started
+	r.mu.Unlock()
+	close(r.stop)
+	if started {
+		<-r.done
+	}
+	r.Sample()
+}
+
+// Sample takes one sample now: diff the registry against the previous
+// snapshot, append the delta window to the ring, and invoke the OnSample
+// hook. Exposed for tests and for callers that pace sampling themselves
+// (specload's timeline uses the ticker; tests call Sample directly).
+func (r *Rollup) Sample() Window {
+	if r == nil {
+		return Window{}
+	}
+	cur := r.reg.Snapshot()
+	now := time.Now()
+
+	r.mu.Lock()
+	w := diffSnapshots(r.prev, cur)
+	w.Seq = r.seq
+	w.StartMS = r.prevT.UnixMilli()
+	w.EndMS = now.UnixMilli()
+	r.seq++
+	r.prev = cur
+	r.prevT = now
+	r.ring[r.next] = w
+	r.next = (r.next + 1) % len(r.ring)
+	if r.size < len(r.ring) {
+		r.size++
+	}
+	fn := r.onSample
+	r.mu.Unlock()
+
+	if fn != nil {
+		fn(w)
+	}
+	return w
+}
+
+// Windows returns the newest n windows (0 or negative = all retained),
+// oldest first.
+func (r *Rollup) Windows(n int) []Window {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n <= 0 || n > r.size {
+		n = r.size
+	}
+	out := make([]Window, 0, n)
+	start := r.next - n
+	if start < 0 {
+		start += len(r.ring)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, r.ring[(start+i)%len(r.ring)])
+	}
+	return out
+}
+
+// Span returns the retained windows whose end falls within the trailing
+// duration d, oldest first.
+func (r *Rollup) Span(d time.Duration) []Window {
+	if r == nil {
+		return nil
+	}
+	cutoff := time.Now().Add(-d).UnixMilli()
+	all := r.Windows(0)
+	for i, w := range all {
+		if w.EndMS >= cutoff {
+			return all[i:]
+		}
+	}
+	return nil
+}
+
+// diffSnapshots computes cur minus prev under reset semantics: any
+// regression (counter value, histogram count, or any bucket) restarts the
+// delta at the current value.
+func diffSnapshots(prev, cur Snapshot) Window {
+	var w Window
+	if len(cur.Counters) > 0 {
+		w.Counters = make(map[string]int64, len(cur.Counters))
+		for name, v := range cur.Counters {
+			d := v - prev.Counters[name]
+			if d < 0 { // reset or wraparound: restart at the new value
+				d = v
+			}
+			w.Counters[name] = d
+		}
+	}
+	if len(cur.Gauges) > 0 {
+		w.Gauges = make(map[string]int64, len(cur.Gauges))
+		for name, v := range cur.Gauges {
+			w.Gauges[name] = v
+		}
+	}
+	if len(cur.Histograms) > 0 {
+		w.Histograms = make(map[string]HistogramSnapshot, len(cur.Histograms))
+		for name, hs := range cur.Histograms {
+			w.Histograms[name] = diffHistogram(prev.Histograms[name], hs)
+		}
+	}
+	return w
+}
+
+// diffHistogram subtracts bucket by bucket; any regression (shrunk count,
+// shrunk bucket, or a changed layout) treats the histogram as reset and
+// returns the current snapshot whole.
+func diffHistogram(prev, cur HistogramSnapshot) HistogramSnapshot {
+	if len(prev.Buckets) != len(cur.Buckets) || cur.Count < prev.Count {
+		return cur
+	}
+	out := HistogramSnapshot{
+		Count:   cur.Count - prev.Count,
+		Sum:     cur.Sum - prev.Sum,
+		Buckets: make([]Bucket, len(cur.Buckets)),
+	}
+	for i := range cur.Buckets {
+		d := cur.Buckets[i].Count - prev.Buckets[i].Count
+		if d < 0 {
+			return cur
+		}
+		out.Buckets[i] = Bucket{UpperBound: cur.Buckets[i].UpperBound, Count: d}
+	}
+	return out
+}

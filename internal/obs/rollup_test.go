@@ -1,0 +1,363 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRollupCounterDeltas pins the delta math: per-window deltas are the
+// counter's advance, and across a run without resets they sum back to the
+// final value (conservation).
+func TestRollupCounterDeltas(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("x")
+	r := NewRollup(reg, time.Second, 16)
+
+	c.Add(5)
+	w1 := r.Sample()
+	if got := w1.Counters["x"]; got != 5 {
+		t.Fatalf("window 1 delta = %d, want 5", got)
+	}
+	c.Add(7)
+	w2 := r.Sample()
+	if got := w2.Counters["x"]; got != 7 {
+		t.Fatalf("window 2 delta = %d, want 7", got)
+	}
+	w3 := r.Sample()
+	if got := w3.Counters["x"]; got != 0 {
+		t.Fatalf("idle window delta = %d, want 0", got)
+	}
+	var sum int64
+	for _, w := range r.Windows(0) {
+		sum += w.Counters["x"]
+	}
+	if sum != c.Value() {
+		t.Fatalf("deltas sum to %d, counter is %d", sum, c.Value())
+	}
+	if w1.Seq != 0 || w2.Seq != 1 || w3.Seq != 2 {
+		t.Fatalf("seqs = %d,%d,%d, want 0,1,2", w1.Seq, w2.Seq, w3.Seq)
+	}
+}
+
+// TestRollupCounterReset pins the reset/wraparound rule: a counter that
+// went backwards restarts its delta at the new value instead of emitting a
+// negative (or wildly huge) delta.
+func TestRollupCounterReset(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("x")
+	r := NewRollup(reg, time.Second, 16)
+
+	c.Add(100)
+	r.Sample()
+	// Simulate a reset: the same name now carries a smaller value (a
+	// restarted process re-registering, or a wrapped counter).
+	c.Add(-97) // 100 -> 3
+	w := r.Sample()
+	if got := w.Counters["x"]; got != 3 {
+		t.Fatalf("post-reset delta = %d, want 3 (restart at new value)", got)
+	}
+}
+
+// TestRollupGaugeLastValue pins gauge semantics: the window carries the
+// value at sample time, not a delta.
+func TestRollupGaugeLastValue(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("depth")
+	r := NewRollup(reg, time.Second, 16)
+
+	g.Set(40)
+	g.Set(12)
+	w := r.Sample()
+	if got := w.Gauges["depth"]; got != 12 {
+		t.Fatalf("gauge last-value = %d, want 12", got)
+	}
+}
+
+// TestRollupHistogramDeltaQuantiles is the heart of the series layer: a
+// window's histogram delta must yield the same quantiles as a fresh
+// histogram fed only that window's observations — i.e. true per-interval
+// percentiles, uncontaminated by the cumulative past.
+func TestRollupHistogramDeltaQuantiles(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", LatencyBuckets())
+	r := NewRollup(reg, time.Second, 16)
+
+	// A slow first interval that would dominate cumulative quantiles.
+	for i := 0; i < 1000; i++ {
+		h.Observe(1.0) // 1s
+	}
+	r.Sample()
+
+	// A fast second interval.
+	ref := NewRegistry().Histogram("ref", LatencyBuckets())
+	for i := 0; i < 1000; i++ {
+		v := 0.001 + float64(i%10)*0.0001
+		h.Observe(v)
+		ref.Observe(v)
+	}
+	w := r.Sample()
+	ws := w.Histograms["lat"]
+	if ws.Count != 1000 {
+		t.Fatalf("delta count = %d, want 1000", ws.Count)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		got, want := ws.Quantile(q), ref.Quantile(q)
+		if got != want {
+			t.Errorf("delta q%.3f = %v, recomputed %v", q, got, want)
+		}
+		if got > 0.01 {
+			t.Errorf("q%.3f = %v still contaminated by the slow first interval", q, got)
+		}
+	}
+	if ws.Sum <= 0 || ws.Sum >= 1000 {
+		t.Errorf("delta sum = %v, want the second interval's ~1.45", ws.Sum)
+	}
+}
+
+// TestRollupHistogramReset: a shrunken histogram (restart) restarts the
+// delta at the full current state rather than going negative.
+func TestRollupHistogramReset(t *testing.T) {
+	prev := HistogramSnapshot{Count: 10, Sum: 5, Buckets: []Bucket{{UpperBound: 1, Count: 10}, {UpperBound: math.Inf(1), Count: 0}}}
+	cur := HistogramSnapshot{Count: 3, Sum: 1, Buckets: []Bucket{{UpperBound: 1, Count: 3}, {UpperBound: math.Inf(1), Count: 0}}}
+	got := diffHistogram(prev, cur)
+	if got.Count != 3 || got.Buckets[0].Count != 3 {
+		t.Fatalf("reset histogram delta = %+v, want the current snapshot whole", got)
+	}
+}
+
+// TestRollupRingEviction: the ring retains exactly capacity windows, the
+// newest ones, with sequence numbers intact.
+func TestRollupRingEviction(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("x")
+	r := NewRollup(reg, time.Second, 16) // capacity floor is 16
+
+	for i := 0; i < 40; i++ {
+		c.Inc()
+		r.Sample()
+	}
+	ws := r.Windows(0)
+	if len(ws) != 16 {
+		t.Fatalf("retained %d windows, want 16", len(ws))
+	}
+	for i, w := range ws {
+		if want := uint64(24 + i); w.Seq != want {
+			t.Fatalf("window %d seq = %d, want %d (newest 16 of 40)", i, w.Seq, want)
+		}
+		if w.Counters["x"] != 1 {
+			t.Fatalf("window %d delta = %d, want 1", i, w.Counters["x"])
+		}
+	}
+	if got := r.Windows(4); len(got) != 4 || got[3].Seq != 39 {
+		t.Fatalf("Windows(4) = %d windows ending seq %d, want 4 ending 39", len(got), got[len(got)-1].Seq)
+	}
+}
+
+// TestRollupSamplerRace runs the sampler against concurrent writers (the
+// always-on serving configuration) and checks conservation: after Stop's
+// final flush, the per-window deltas must sum to exactly the writers'
+// totals. Run under -race this also proves sampler-vs-writer safety.
+func TestRollupSamplerRace(t *testing.T) {
+	reg := NewRegistry()
+	r := NewRollup(reg, 10*time.Millisecond, 4096)
+	r.Start()
+
+	const writers = 8
+	const perWriter = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := reg.Counter("ops")
+			g := reg.Gauge("depth")
+			h := reg.Histogram("lat", TimeBuckets())
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				h.Observe(float64(i%100) * 1e-4)
+			}
+		}(w)
+	}
+	wg.Wait()
+	r.Stop()
+
+	var ops, hcount int64
+	for _, w := range r.Windows(0) {
+		ops += w.Counters["ops"]
+		hcount += w.Histograms["lat"].Count
+	}
+	if want := int64(writers * perWriter); ops != want {
+		t.Fatalf("counter deltas sum to %d, want %d", ops, want)
+	}
+	if want := int64(writers * perWriter); hcount != want {
+		t.Fatalf("histogram count deltas sum to %d, want %d", hcount, want)
+	}
+	// Stop is idempotent and Sample-after-Stop still works.
+	r.Stop()
+}
+
+// TestSeriesHandler drives the HTTP surface: full dump, ?n=, ?window=, the
+// Content-Type header, and the nil-rollup empty document.
+func TestSeriesHandler(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("x")
+	r := NewRollup(reg, time.Second, 16)
+	for i := 0; i < 5; i++ {
+		c.Inc()
+		r.Sample()
+	}
+
+	get := func(url string) (*httptest.ResponseRecorder, Series) {
+		rec := httptest.NewRecorder()
+		SeriesHandler(r).ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		var doc Series
+		if rec.Code == 200 {
+			if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+				t.Fatalf("decoding %s: %v", url, err)
+			}
+		}
+		return rec, doc
+	}
+
+	rec, doc := get("/debug/metrics/series")
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	if len(doc.Windows) != 5 || doc.IntervalSeconds != 1 {
+		t.Fatalf("full dump: %d windows interval %v, want 5 windows interval 1s", len(doc.Windows), doc.IntervalSeconds)
+	}
+
+	_, doc = get("/debug/metrics/series?n=2")
+	if len(doc.Windows) != 2 || doc.Windows[1].Seq != 4 {
+		t.Fatalf("?n=2 returned %d windows ending seq %d", len(doc.Windows), doc.Windows[len(doc.Windows)-1].Seq)
+	}
+
+	_, doc = get("/debug/metrics/series?window=10m")
+	if len(doc.Windows) != 5 {
+		t.Fatalf("?window=10m returned %d windows, want all 5 (they are fresh)", len(doc.Windows))
+	}
+
+	if rec, _ := get("/debug/metrics/series?window=bogus"); rec.Code != 400 {
+		t.Errorf("bad window param: HTTP %d, want 400", rec.Code)
+	}
+	if rec, _ := get("/debug/metrics/series?n=-1"); rec.Code != 400 {
+		t.Errorf("bad n param: HTTP %d, want 400", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	SeriesHandler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/metrics/series", nil))
+	if rec.Code != 200 {
+		t.Errorf("nil rollup: HTTP %d, want 200 empty series", rec.Code)
+	}
+}
+
+// TestMergeHistogram pins the cluster-merge primitive.
+func TestMergeHistogram(t *testing.T) {
+	mk := func(counts ...int64) HistogramSnapshot {
+		hs := HistogramSnapshot{Buckets: make([]Bucket, len(counts))}
+		for i, c := range counts {
+			ub := float64(i + 1)
+			if i == len(counts)-1 {
+				ub = math.Inf(1)
+			}
+			hs.Buckets[i] = Bucket{UpperBound: ub, Count: c}
+			hs.Count += c
+		}
+		return hs
+	}
+	a, b := mk(1, 2, 3), mk(10, 20, 30)
+	m, ok := MergeHistogram(a, b)
+	if !ok || m.Count != 66 || m.Buckets[1].Count != 22 {
+		t.Fatalf("merge = %+v ok=%v", m, ok)
+	}
+	if _, ok := MergeHistogram(mk(1, 2), mk(1, 2, 3)); ok {
+		t.Fatal("mismatched layouts must not merge")
+	}
+	if m, ok := MergeHistogram(HistogramSnapshot{}, b); !ok || m.Count != b.Count {
+		t.Fatal("empty merges to the other side")
+	}
+}
+
+// TestPromExposition pins the Prometheus text format byte for byte:
+// sorted names, sanitized identifiers, cumulative buckets, _sum/_count.
+func TestPromExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("server.requests.events").Add(42)
+	reg.Counter("agent.sent.invite").Add(7)
+	reg.Gauge("server.sessions").Set(3)
+	h := reg.Histogram("rt", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE agent_sent_invite counter
+agent_sent_invite 7
+# TYPE server_requests_events counter
+server_requests_events 42
+# TYPE server_sessions gauge
+server_sessions 3
+# TYPE rt histogram
+rt_bucket{le="0.1"} 2
+rt_bucket{le="1"} 3
+rt_bucket{le="+Inf"} 4
+rt_sum 5.6
+rt_count 4
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Determinism: a second render of the same state is byte-identical.
+	var buf2 bytes.Buffer
+	_ = WriteProm(&buf2, reg.Snapshot())
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("two renders of the same state differ")
+	}
+
+	rec := httptest.NewRecorder()
+	PromHandler(reg).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/metrics/prom", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != PromContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, PromContentType)
+	}
+	if rec.Body.String() != want {
+		t.Error("handler body differs from WriteProm")
+	}
+}
+
+// TestSnapshotJSONDeterministic pins /debug/metrics determinism: two
+// marshals of the same snapshot are byte-identical with sorted metric
+// names, so golden tests and diffs can rely on the output.
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	for _, n := range []string{"b.two", "a.one", "c.three", "a.zero"} {
+		reg.Counter(n).Inc()
+		reg.Gauge(n + ".g").Set(1)
+	}
+	reg.Histogram("z.h", TimeBuckets()).Observe(0.1)
+	one, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one, two) {
+		t.Fatal("two marshals of the same snapshot differ")
+	}
+	if i, j := bytes.Index(one, []byte(`"a.one"`)), bytes.Index(one, []byte(`"b.two"`)); i < 0 || j < 0 || i > j {
+		t.Fatalf("counter names not sorted in output: a.one at %d, b.two at %d", i, j)
+	}
+}

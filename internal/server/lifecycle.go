@@ -72,15 +72,17 @@ func (hs *HTTPServer) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// DebugMux builds the standard debug mux — /debug/metrics over the registry,
-// /debug/trace over the flight recorder, plus the net/http/pprof handlers —
-// on a private mux so nothing leaks onto http.DefaultServeMux. Shared by
-// specnode's -debug-addr endpoint; specserved mounts the same handlers on
-// its API mux. Both reg and fl may be nil (the endpoints serve empty
-// documents).
-func DebugMux(reg *obs.Registry, fl *trace.Flight) *http.ServeMux {
+// DebugMux builds the standard debug mux — /debug/metrics over the registry
+// (snapshot, series over the rollup, Prometheus exposition), /debug/trace
+// over the flight recorder, plus the net/http/pprof handlers — on a private
+// mux so nothing leaks onto http.DefaultServeMux. Shared by specnode's
+// -debug-addr endpoint; specserved mounts the same handlers on its API mux.
+// reg, ru, and fl may all be nil (the endpoints serve empty documents).
+func DebugMux(reg *obs.Registry, fl *trace.Flight, ru *obs.Rollup) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/metrics", obs.Handler(reg))
+	mux.Handle("/debug/metrics/series", obs.SeriesHandler(ru))
+	mux.Handle("/debug/metrics/prom", obs.PromHandler(reg))
 	mux.Handle("/debug/trace", trace.Handler(fl))
 	registerPprof(mux)
 	return mux

@@ -32,6 +32,12 @@ type Server struct {
 	mux   *http.ServeMux
 	reg   *obs.Registry
 
+	// rollup is the always-on series sampler behind /debug/metrics/series;
+	// watchdog turns its windows into anomaly evidence. Both may be nil
+	// (no registry, or sampling disabled).
+	rollup   *obs.Rollup
+	watchdog *Watchdog
+
 	// repl is the node's replication role; see replica.go. Zero value =
 	// leader (every standalone node is one).
 	repl replState
@@ -110,6 +116,14 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{cfg: cfg, store: store, reg: cfg.Metrics, streamsDone: make(chan struct{})}
+	if cfg.Metrics != nil && cfg.SampleInterval > 0 {
+		s.rollup = obs.NewRollup(cfg.Metrics, cfg.SampleInterval, cfg.SeriesWindows)
+		if dir := cfg.evidenceDir(); dir != "" && !cfg.Anomaly.Disabled {
+			s.watchdog = newWatchdog(cfg.Metrics, cfg.Flight, dir, cfg.QueueDepth, cfg.Anomaly)
+			s.rollup.SetOnSample(s.watchdog.Observe)
+		}
+		s.rollup.Start()
+	}
 	mux := http.NewServeMux()
 	// Write routes go through the follower gate: a follower serves reads
 	// and replication but refuses mutations with 503 + an X-Leader hint.
@@ -126,6 +140,9 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/replica/shards/{shard}/stream", s.handleStream)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.Handle("GET /debug/metrics", obs.Handler(cfg.Metrics))
+	mux.Handle("GET /debug/metrics/series", obs.SeriesHandler(s.rollup))
+	mux.Handle("GET /debug/metrics/prom", obs.PromHandler(cfg.Metrics))
+	mux.Handle("GET /debug/evidence", evidenceHandler(cfg.evidenceDir()))
 	mux.Handle("GET /debug/trace", trace.Handler(cfg.Flight))
 	registerPprof(mux)
 	s.mux = mux
@@ -139,10 +156,18 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Store exposes the underlying session store (tests, drain hooks).
 func (s *Server) Store() *Store { return s.store }
 
+// Rollup exposes the node's series sampler (tests, embedding callers);
+// nil when sampling is disabled.
+func (s *Server) Rollup() *obs.Rollup { return s.rollup }
+
 // Drain flushes and closes the store. Call after the HTTP listener has
 // stopped accepting (HTTPServer.Shutdown): by then every in-flight handler
-// has returned, so all admitted work is applied before Drain returns.
+// has returned, so all admitted work is applied before Drain returns. The
+// sampler is stopped first — its final flush catches drain-time activity —
+// and the watchdog is given time to finish any in-flight evidence capture.
 func (s *Server) Drain() {
+	s.rollup.Stop()
+	s.watchdog.Close()
 	s.StopStreams()
 	s.store.Close()
 }

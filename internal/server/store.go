@@ -122,6 +122,38 @@ type Config struct {
 	// refusing to start. Everything after the truncation point is lost;
 	// without it, corruption anywhere but a torn tail is a startup error.
 	WALRepair bool
+
+	// SampleInterval paces the always-on metrics sampler that feeds
+	// /debug/metrics/series and the anomaly watchdog: every interval the
+	// registry is snapshotted and the delta window appended to a bounded
+	// ring. Zero means 1s; negative disables the sampler (the series
+	// endpoint then serves an empty document and no watchdog runs). The
+	// sampler also needs Metrics to be non-nil.
+	SampleInterval time.Duration
+	// SeriesWindows bounds the retained delta windows (the series ring
+	// capacity). Zero means 300 — five minutes of history at the default
+	// interval.
+	SeriesWindows int
+	// EvidenceDir is where anomaly evidence (flight dumps + CPU profiles)
+	// lands, served by GET /debug/evidence. Empty with DataDir set means
+	// DataDir/evidence; empty without a DataDir disables anomaly capture.
+	EvidenceDir string
+	// Anomaly tunes the watchdog that turns sustained series anomalies
+	// into evidence captures; see AnomalyConfig. Zero values mean
+	// defaults.
+	Anomaly AnomalyConfig
+}
+
+// evidenceDir resolves the node's evidence home: explicit EvidenceDir, else
+// a durable store's DataDir/evidence, else none.
+func (c Config) evidenceDir() string {
+	if c.EvidenceDir != "" {
+		return c.EvidenceDir
+	}
+	if c.DataDir != "" {
+		return filepath.Join(c.DataDir, "evidence")
+	}
+	return ""
 }
 
 func (c Config) withDefaults() Config {
@@ -142,6 +174,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CheckpointEvery == 0 {
 		c.CheckpointEvery = 4096
+	}
+	if c.SampleInterval == 0 {
+		c.SampleInterval = time.Second
+	}
+	if c.SeriesWindows <= 0 {
+		c.SeriesWindows = 300
 	}
 	return c
 }

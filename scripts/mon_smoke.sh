@@ -1,0 +1,163 @@
+#!/bin/sh
+# Fleet-telemetry smoke: a durable leader plus a streaming follower under
+# churny specload, watched by specmon. Asserts, in order:
+#   1. `specmon -check` is green at load (p99, error-rate, replica-lag SLOs)
+#      against the live two-node cluster.
+#   2. The client-side ledger verifies against the leader and the specload
+#      -timeline series landed in the JSON report.
+#   3. A provoked overload (huge markets -> slow repairs -> a saturated
+#      16-deep shard queue and a p99 blowup) makes the anomaly watchdog
+#      capture an evidence pair — flight-recorder dump + CPU profile — in
+#      the leader's evidence dir, listed by /debug/evidence and by specmon.
+#   4. Both nodes drain cleanly on SIGTERM and both data dirs are
+#      specwal-clean afterwards.
+# Run via `make mon-smoke`.
+#
+# Set MON_SMOKE_OUT to a directory to keep logs and reports on failure
+# (CI uploads it as an artifact).
+set -eu
+
+work=$(mktemp -d)
+leader_pid=""
+follower_pid=""
+status=1
+cleanup() {
+    [ -n "$leader_pid" ] && kill -KILL "$leader_pid" 2>/dev/null || true
+    [ -n "$follower_pid" ] && kill -KILL "$follower_pid" 2>/dev/null || true
+    if [ "$status" -ne 0 ] && [ -n "${MON_SMOKE_OUT:-}" ]; then
+        mkdir -p "$MON_SMOKE_OUT"
+        for f in ledger.json report.json diff.json leader.log follower.log \
+            load.log burst.log check.log verify.log mon.jsonl evidence.json; do
+            [ -f "$work/$f" ] && cp "$work/$f" "$MON_SMOKE_OUT/" || true
+        done
+        echo "mon-smoke artifacts copied to $MON_SMOKE_OUT"
+    fi
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+go build -o "$work/specserved" ./cmd/specserved
+go build -o "$work/specload" ./cmd/specload
+go build -o "$work/specmon" ./cmd/specmon
+go build -o "$work/specwal" ./cmd/specwal
+
+# wait_addr LOGFILE PID: echoes the listen address once the server reports it.
+wait_addr() {
+    i=0
+    while [ $i -lt 100 ]; do
+        a=$(sed -n 's#^specserved listening on http://\([^ ]*\)$#\1#p' "$1")
+        if [ -n "$a" ]; then echo "$a"; return 0; fi
+        kill -0 "$2" 2>/dev/null || return 1
+        sleep 0.1
+        i=$((i + 1))
+    done
+    return 1
+}
+
+# A small queue and a fast sampler so the overload phase is observable:
+# 2 shards x 16 deep, 100ms delta windows, capture after 2 anomalous
+# windows in a row, queue trigger at half depth.
+"$work/specserved" -addr 127.0.0.1:0 -data-dir "$work/leader" -shards 2 \
+    -queue-depth 16 -sample-interval 100ms \
+    -anomaly-sustain 2 -anomaly-queue-frac 0.5 \
+    >"$work/leader.log" 2>&1 &
+leader_pid=$!
+leader_addr=$(wait_addr "$work/leader.log" "$leader_pid") || { echo "leader never came up:"; cat "$work/leader.log"; exit 1; }
+echo "leader up on $leader_addr (pid $leader_pid)"
+
+"$work/specserved" -addr 127.0.0.1:0 -data-dir "$work/follower" \
+    -follow "http://$leader_addr" -sample-interval 100ms \
+    >"$work/follower.log" 2>&1 &
+follower_pid=$!
+follower_addr=$(wait_addr "$work/follower.log" "$follower_pid") || { echo "follower never came up:"; cat "$work/follower.log"; exit 1; }
+echo "follower up on $follower_addr (pid $follower_pid), streaming from the leader"
+
+# Phase 1: steady churny load with a ledger and a client-side -timeline,
+# throttled well under the shard queues so the cluster is healthy.
+"$work/specload" -addr "$leader_addr" -sessions 8 -concurrency 4 \
+    -duration 6s -rps 500 -channel-churn 0.3 -timeline 250ms \
+    -ledger "$work/ledger.json" -report "$work/report.json" \
+    >"$work/load.log" 2>&1 &
+load_pid=$!
+
+# specmon -check rides along while the load runs: the SLO gate must be
+# green against the live two-node fleet.
+sleep 1
+"$work/specmon" -check -interval 500ms -duration 3s \
+    -slo-p99 1s -slo-error-rate 0.01 -slo-lag-lsn 100000 \
+    "http://$leader_addr" "http://$follower_addr" \
+    >"$work/check.log" 2>&1 || { echo "specmon -check FAILED on a healthy cluster:"; cat "$work/check.log"; exit 1; }
+cat "$work/check.log"
+
+wait "$load_pid" || { echo "steady-phase specload failed:"; cat "$work/load.log"; exit 1; }
+cat "$work/load.log"
+
+# The -timeline satellite: the report embeds a non-trivial per-interval series.
+points=$(grep -c '"start_ms"' "$work/report.json" || true)
+if [ "$points" -lt 3 ]; then
+    echo "report timeline has $points points, want >= 3"
+    exit 1
+fi
+echo "timeline: $points per-interval points in report.json"
+
+# Every acked event is durable on the live leader before we start abusing it.
+"$work/specload" -addr "$leader_addr" -verify "$work/ledger.json" -diff "$work/diff.json" \
+    >"$work/verify.log" 2>&1 || { echo "ledger verification FAILED:"; cat "$work/verify.log"; exit 1; }
+cat "$work/verify.log"
+
+# Phase 2: provoke an anomaly. Big markets make each repair expensive, so
+# 32 unthrottled workers pile real work onto two 16-deep queues: sustained
+# saturation (and a p99 blowup vs the phase-1 baseline) must trip the
+# watchdog. 429s are expected and harmless here.
+"$work/specload" -addr "$leader_addr" -sessions 8 -concurrency 32 \
+    -sellers 48 -buyers 384 -duration 3s -channel-churn 0.5 \
+    >"$work/burst.log" 2>&1 || { echo "overload specload failed outright:"; cat "$work/burst.log"; exit 1; }
+cat "$work/burst.log"
+
+# The evidence pair: a flight dump and its CPU profile under the same stem.
+# The profile lands asynchronously (2s capture), so poll.
+evidence=""
+i=0
+while [ $i -lt 100 ]; do
+    for t in "$work/leader/evidence"/anomaly-*.trace.json; do
+        [ -f "$t" ] || continue
+        stem=${t%.trace.json}
+        if [ -f "$stem.pprof" ]; then evidence="$stem"; break 2; fi
+    done
+    sleep 0.2
+    i=$((i + 1))
+done
+if [ -z "$evidence" ]; then
+    echo "no anomaly evidence pair in $work/leader/evidence after overload:"
+    ls -l "$work/leader/evidence" 2>/dev/null || echo "(no evidence dir)"
+    cat "$work/leader.log"
+    exit 1
+fi
+echo "evidence pair captured: $(basename "$evidence").{trace.json,pprof}"
+
+# The server lists it on /debug/evidence and specmon surfaces it per node.
+curl -sf "http://$leader_addr/debug/evidence" >"$work/evidence.json"
+grep -q "$(basename "$evidence").pprof" "$work/evidence.json" || { echo "/debug/evidence does not list the pprof:"; cat "$work/evidence.json"; exit 1; }
+"$work/specmon" -json -interval 300ms -duration 700ms "http://$leader_addr" >"$work/mon.jsonl"
+grep -q 'anomaly-' "$work/mon.jsonl" || { echo "specmon timeline does not list the evidence:"; cat "$work/mon.jsonl"; exit 1; }
+echo "evidence visible via /debug/evidence and specmon"
+
+# Clean drain on both nodes, then offline verification of both data dirs.
+kill -TERM "$follower_pid"
+drain_status=0
+wait "$follower_pid" || drain_status=$?
+follower_pid=""
+[ "$drain_status" -eq 0 ] || { echo "follower exited $drain_status on SIGTERM:"; cat "$work/follower.log"; exit 1; }
+
+kill -TERM "$leader_pid"
+drain_status=0
+wait "$leader_pid" || drain_status=$?
+leader_pid=""
+[ "$drain_status" -eq 0 ] || { echo "leader exited $drain_status on SIGTERM:"; cat "$work/leader.log"; exit 1; }
+grep -q '^drained:' "$work/leader.log" || { echo "no drain line in leader log:"; cat "$work/leader.log"; exit 1; }
+
+"$work/specwal" -data-dir "$work/leader" -mode verify
+"$work/specwal" -data-dir "$work/follower" -mode verify
+
+status=0
+echo "mon-smoke OK: SLOs green at load, anomaly evidence captured and listed, clean drain"
