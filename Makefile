@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench benchcheck baseline figures check fmt vet clean serve-smoke trace-smoke crash-smoke churn-smoke compat-smoke replica-smoke mon-smoke
+.PHONY: all build test test-short race bench benchcheck baseline figures check fmt vet clean serve-smoke trace-smoke crash-smoke churn-smoke compat-smoke replica-smoke mon-smoke soak-smoke
 
 all: build test
 
@@ -79,6 +79,15 @@ replica-smoke:
 # and specmon, clean drains, and specwal-clean data dirs afterwards.
 mon-smoke:
 	./scripts/mon_smoke.sh
+
+# Long-run scenario soak: leader + follower under a 5-minute specload
+# -scenario mobile,diurnal,flash workload (diurnal Poisson waves, flash
+# crowds, random-waypoint Move events), specmon -check green mid-soak,
+# zero lost events, ledger verified, a rebuild-policy welfare drift report,
+# and both data dirs specwal-clean. SOAK_DURATION/SOAK_PERIOD/SOAK_RPS
+# shrink or scale the soak.
+soak-smoke:
+	./scripts/soak_smoke.sh
 
 # Schema-compatibility smoke: recover the committed v0-generation data dir
 # with the current binary, check it against its pinned state, drive the v1

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
@@ -159,7 +160,12 @@ func TestChurnBaseline(t *testing.T) {
 			if err != nil {
 				t.Fatalf("generating market: %v", err)
 			}
+			// Same name dispatch as cmd/specbench's ChurnTrace: *-mobile-*
+			// cases replay the churn+mobility trace, the rest plain churn.
 			events := online.SyntheticChurn(m, c.Seed, c.Steps)
+			if strings.Contains(c.Name, "-mobile") {
+				events = online.SyntheticMobileChurn(m, c.Seed, c.Steps)
+			}
 
 			replay := func(disable bool, iters int) (time.Duration, *online.Session, []online.StepStats) {
 				bestD := time.Duration(0)

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"specmatch/internal/core"
@@ -89,12 +90,26 @@ type ChurnBaselineCase struct {
 }
 
 // ChurnBaselineCases returns the churn workloads the baseline records: the
-// fig7a-scale market plus a mid-size one, each under 64 mixed churn steps.
+// fig7a-scale market plus a mid-size one, each under 64 mixed churn steps,
+// and a mobility case whose trace adds random-waypoint Move events (buyer
+// rewires) on top of the same churn mix.
 func ChurnBaselineCases(seed int64) []ChurnBaselineCase {
 	return []ChurnBaselineCase{
 		{Name: "churn-fig7a", Sellers: 10, Buyers: 320, Seed: seed, Steps: 64},
 		{Name: "churn-mid", Sellers: 8, Buyers: 200, Seed: seed, Steps: 64},
+		{Name: "churn-mobile-fig7a", Sellers: 10, Buyers: 320, Seed: seed, Steps: 64},
 	}
+}
+
+// ChurnTrace derives a case's event trace from its name: cases named
+// *-mobile-* replay online.SyntheticMobileChurn, the rest plain
+// online.SyntheticChurn. Both the recorder here and the benchguard replayer
+// call this, keeping the never-derive-independently contract intact.
+func ChurnTrace(c ChurnBaselineCase, m *market.Market) []online.Event {
+	if strings.Contains(c.Name, "-mobile") {
+		return online.SyntheticMobileChurn(m, c.Seed, c.Steps)
+	}
+	return online.SyntheticChurn(m, c.Seed, c.Steps)
 }
 
 // MeasureChurnBaselineCase replays the case's synthetic churn trace through
@@ -105,7 +120,7 @@ func MeasureChurnBaselineCase(c *ChurnBaselineCase) error {
 	if err != nil {
 		return fmt.Errorf("generating %s: %w", c.Name, err)
 	}
-	events := online.SyntheticChurn(m, c.Seed, c.Steps)
+	events := ChurnTrace(*c, m)
 
 	replay := func(disable bool) (time.Duration, *online.Session, []online.StepStats, error) {
 		bestD := time.Duration(0)

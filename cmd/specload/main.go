@@ -23,13 +23,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
 	"specmatch/internal/eventlog"
+	"specmatch/internal/geom"
 	"specmatch/internal/market"
 	"specmatch/internal/obs"
 	"specmatch/internal/online"
@@ -51,6 +54,7 @@ type Report struct {
 	Sessions        int     `json:"sessions"`
 	Concurrency     int     `json:"concurrency"`
 	TargetRPS       float64 `json:"target_rps,omitempty"`
+	Scenario        string  `json:"scenario,omitempty"`
 
 	Requests    int64   `json:"requests"`
 	OK          int64   `json:"ok"`
@@ -86,6 +90,11 @@ type TimelinePoint struct {
 	OKPerSec float64 `json:"ok_per_sec"`
 	P50MS    float64 `json:"p50_ms"`
 	P99MS    float64 `json:"p99_ms"`
+	// Empty marks a window that saw no requests at all. Scenario valleys
+	// (a diurnal trough at low -rps) legitimately produce such windows;
+	// they stay in the series as explicit gaps so a plotted timeline shows
+	// the trough instead of silently splicing the peaks together.
+	Empty bool `json:"empty,omitempty"`
 }
 
 // Latency summarizes the merged per-request latency distribution: the
@@ -96,6 +105,78 @@ type Latency struct {
 	P90 float64 `json:"p90"`
 	P99 float64 `json:"p99"`
 	Max float64 `json:"max"`
+}
+
+// scenario is the -scenario workload shape: a combination of components
+// that turn the steady closed-loop load into a time-varying open-loop one.
+// Requests form a nonhomogeneous Poisson process — workers draw exponential
+// gaps at the peak rate and thin them by the curve's current factor, so
+// arrivals and departures are Poisson at every instant and the rate follows
+// the curve exactly.
+type scenario struct {
+	diurnal bool // sinusoidal rate curve, one cycle per period
+	flash   bool // flash-crowd burst pinning the rate to peak late in each cycle
+	mobile  bool // random-waypoint mobility riding on churn events
+	period  time.Duration
+	start   time.Time
+}
+
+// parseScenario accepts a comma-separated component list: "diurnal",
+// "flash", "mobile" in any combination (e.g. "mobile,diurnal,flash").
+func parseScenario(spec string, period time.Duration) (*scenario, error) {
+	sc := &scenario{period: period}
+	for _, tok := range strings.Split(spec, ",") {
+		switch strings.TrimSpace(tok) {
+		case "diurnal":
+			sc.diurnal = true
+		case "flash":
+			sc.flash = true
+		case "mobile":
+			sc.mobile = true
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown -scenario component %q (want diurnal, flash, mobile)", tok)
+		}
+	}
+	if !sc.diurnal && !sc.flash && !sc.mobile {
+		return nil, fmt.Errorf("-scenario %q selects no components", spec)
+	}
+	if sc.period <= 0 {
+		return nil, fmt.Errorf("-scenario-period must be positive")
+	}
+	return sc, nil
+}
+
+// phase maps a wall-clock instant to [0,1) within the current cycle.
+func (sc *scenario) phase(now time.Time) float64 {
+	ph := math.Mod(now.Sub(sc.start).Seconds()/sc.period.Seconds(), 1)
+	if ph < 0 {
+		ph += 1
+	}
+	return ph
+}
+
+// inFlash reports whether the instant falls inside the flash-crowd burst —
+// the [0.70, 0.80) slice of each cycle.
+func (sc *scenario) inFlash(now time.Time) bool {
+	ph := sc.phase(now)
+	return sc.flash && ph >= 0.70 && ph < 0.80
+}
+
+// factor is the rate multiplier in (0, 1]: -rps is the peak aggregate rate
+// and the curve only ever thins it. The diurnal curve swings [0.10, 1.00];
+// flash without diurnal idles at 0.35; the burst pins to 1.0 either way.
+func (sc *scenario) factor(now time.Time) float64 {
+	f := 1.0
+	if sc.diurnal {
+		f = 0.55 + 0.45*math.Sin(2*math.Pi*sc.phase(now))
+	} else if sc.flash {
+		f = 0.35
+	}
+	if sc.inFlash(now) {
+		f = 1.0
+	}
+	return f
 }
 
 // worker is one closed-loop client: it owns a slice of the session fleet
@@ -120,6 +201,13 @@ type worker struct {
 	// stay authoritative for the whole-run report.
 	cReq, cOK, cRej, cErr *obs.Counter
 
+	// Scenario mode (-scenario): the workload shape, the per-worker peak
+	// event rate the curve thins, and the probability a churn event also
+	// carries random-waypoint moves.
+	sc       *scenario
+	peakRate float64
+	moveProb float64
+
 	// record enables the per-session acked/unacked ledger (-ledger).
 	record bool
 	// binary posts events as canonical eventlog batches (-binary) instead
@@ -143,6 +231,13 @@ type sessionState struct {
 	acked     []AckedEvent
 	unacked   []online.Event
 	ambiguous int
+
+	// Random-waypoint mobility state (-scenario with the mobile component;
+	// exclusive ownership guaranteed the same way as the ledger's): pos
+	// mirrors the server-side buyer positions, wp is each buyer's current
+	// waypoint. Empty when the market carries no geometry.
+	pos []geom.Point
+	wp  []geom.Point
 }
 
 func run(args []string, out io.Writer) error {
@@ -167,6 +262,9 @@ func run(args []string, out io.Writer) error {
 		verifyPath  = fs.String("verify", "", "verify a recovered server against this ledger instead of generating load: acked events must be durable and recovered state must equal a replay of the ledger")
 		diffPath    = fs.String("diff", "", "with -verify: write a recovered-vs-expected diff artifact here on failure")
 		timeline    = fs.Duration("timeline", 0, "record a per-interval throughput/latency series at this sampling interval and embed it in the JSON report (0 = off)")
+		scenarioStr = fs.String("scenario", "", "drive a time-varying open-loop workload instead of steady closed-loop churn: comma-separated components from diurnal (sinusoidal rate curve), flash (flash-crowd bursts), mobile (random-waypoint buyer mobility). Requests become a Poisson process whose rate follows the curve; -rps sets the peak and is required; needs -sessions >= -concurrency")
+		scenPeriod  = fs.Duration("scenario-period", time.Minute, "diurnal/flash cycle length for -scenario")
+		moveProb    = fs.Float64("move-prob", 0.25, "with -scenario mobile: probability a churn event also carries random-waypoint moves")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -179,6 +277,19 @@ func run(args []string, out io.Writer) error {
 	}
 	if *ledgerPath != "" && *sessions < *concurrency {
 		return fmt.Errorf("-ledger needs -sessions >= -concurrency (%d < %d): each session must have exactly one writer for the ledger to be an exact event order", *sessions, *concurrency)
+	}
+	var sc *scenario
+	if *scenarioStr != "" {
+		var err error
+		if sc, err = parseScenario(*scenarioStr, *scenPeriod); err != nil {
+			return err
+		}
+		if *rps <= 0 {
+			return fmt.Errorf("-scenario needs -rps > 0: the curve thins a peak rate, it cannot scale an unthrottled one")
+		}
+		if *sessions < *concurrency {
+			return fmt.Errorf("-scenario needs -sessions >= -concurrency (%d < %d): mobility state must have exactly one writer per session", *sessions, *concurrency)
+		}
 	}
 	nodes := []string{normalizeNode(*addr)}
 	if *clusterList != "" {
@@ -226,6 +337,16 @@ func run(args []string, out io.Writer) error {
 			offline:  make([]bool, created.Channels),
 			spec:     m.Spec(),
 		}
+		if sc != nil && sc.mobile {
+			if spec := states[k].spec; len(spec.BuyerPos) == created.Buyers {
+				states[k].pos = append([]geom.Point(nil), spec.BuyerPos...)
+				states[k].wp = make([]geom.Point, created.Buyers)
+				wpr := xrand.New(xrand.Split(*seed, 1000+k))
+				for j := range states[k].wp {
+					states[k].wp[j] = geom.PaperArea().RandomPoint(wpr)
+				}
+			}
+		}
 	}
 
 	// Partition sessions across workers; with fewer sessions than workers
@@ -252,6 +373,9 @@ func run(args []string, out io.Writer) error {
 			rt:       rt,
 			interval: interval,
 			lat:      lat,
+			sc:       sc,
+			peakRate: *rps / float64(*concurrency),
+			moveProb: *moveProb,
 			record:   *ledgerPath != "",
 			binary:   *binary,
 		}
@@ -271,6 +395,9 @@ func run(args []string, out io.Writer) error {
 	}
 
 	start := time.Now()
+	if sc != nil {
+		sc.start = start
+	}
 	deadline := start.Add(*duration)
 	var wg sync.WaitGroup
 	for _, wk := range workers {
@@ -289,6 +416,7 @@ func run(args []string, out io.Writer) error {
 		Sessions:        *sessions,
 		Concurrency:     *concurrency,
 		TargetRPS:       *rps,
+		Scenario:        *scenarioStr,
 	}
 	maxSec := 0.0
 	for _, wk := range workers {
@@ -380,8 +508,11 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// loop issues event requests until the deadline, pacing to the worker's
-// share of the target rate when one is set.
+// loop issues event requests until the deadline. Steady mode paces to the
+// worker's share of the target rate; scenario mode draws exponential gaps at
+// the peak rate and thins each arrival by the curve's instantaneous factor —
+// the textbook construction of a nonhomogeneous Poisson process, so event
+// arrivals and departures are Poisson at every point of the curve.
 func (wk *worker) loop(deadline time.Time, chanChurn float64, batch int) {
 	next := time.Now()
 	for {
@@ -389,7 +520,16 @@ func (wk *worker) loop(deadline time.Time, chanChurn float64, batch int) {
 		if !now.Before(deadline) {
 			return
 		}
-		if wk.interval > 0 {
+		if wk.sc != nil {
+			gap := time.Duration(wk.r.ExpFloat64() / wk.peakRate * float64(time.Second))
+			if now.Add(gap).After(deadline) {
+				return
+			}
+			time.Sleep(gap)
+			if wk.r.Float64() >= wk.sc.factor(time.Now()) {
+				continue // thinned: this candidate arrival is off-curve
+			}
+		} else if wk.interval > 0 {
 			if now.Before(next) {
 				time.Sleep(next.Sub(now))
 			}
@@ -402,10 +542,14 @@ func (wk *worker) loop(deadline time.Time, chanChurn float64, batch int) {
 }
 
 // makeEvent generates one churn event from the worker's belief of the
-// session state and updates the belief optimistically.
+// session state and updates the belief optimistically. In scenario mode a
+// flash-crowd burst biases churn to pure arrivals (the crowd shows up; it
+// drains through normal churn afterwards) and the mobile component attaches
+// random-waypoint moves to a slice of events.
 func (wk *worker) makeEvent(ss *sessionState, chanChurn float64, batch int) online.Event {
 	var ev online.Event
-	if wk.r.Float64() < chanChurn && ss.channels > 0 {
+	flash := wk.sc != nil && wk.sc.inFlash(time.Now())
+	if !flash && wk.r.Float64() < chanChurn && ss.channels > 0 {
 		i := wk.r.Intn(ss.channels)
 		if ss.offline[i] {
 			ev.ChannelUp = append(ev.ChannelUp, i)
@@ -417,6 +561,9 @@ func (wk *worker) makeEvent(ss *sessionState, chanChurn float64, batch int) onli
 	}
 	for b := 0; b < batch; b++ {
 		j := wk.r.Intn(ss.buyers)
+		if flash && ss.active[j] {
+			continue // burst traffic only joins; never kicks anyone out
+		}
 		if ss.active[j] {
 			ev.Depart = append(ev.Depart, j)
 		} else {
@@ -424,7 +571,33 @@ func (wk *worker) makeEvent(ss *sessionState, chanChurn float64, batch int) onli
 		}
 		ss.active[j] = !ss.active[j]
 	}
+	if wk.sc != nil && wk.sc.mobile && len(ss.pos) > 0 && wk.r.Float64() < wk.moveProb {
+		ev.Move = wk.makeMoves(ss)
+	}
 	return ev
+}
+
+// makeMoves advances one to three buyers a stride along their waypoint legs,
+// redrawing a fresh waypoint whenever one is reached — the random-waypoint
+// model over the deployment area, tracked client-side so the posted
+// positions form coherent trajectories rather than teleports.
+func (wk *worker) makeMoves(ss *sessionState) []online.BuyerMove {
+	const stride = 1.25
+	moves := make([]online.BuyerMove, 0, 3)
+	for n := 1 + wk.r.Intn(3); n > 0; n-- {
+		j := wk.r.Intn(len(ss.pos))
+		p, dst := ss.pos[j], ss.wp[j]
+		dx, dy := dst.X-p.X, dst.Y-p.Y
+		if d := math.Hypot(dx, dy); d <= stride {
+			p = dst
+			ss.wp[j] = geom.PaperArea().RandomPoint(wk.r)
+		} else {
+			p = geom.Point{X: p.X + dx/d*stride, Y: p.Y + dy/d*stride}
+		}
+		ss.pos[j] = p
+		moves = append(moves, online.BuyerMove{Buyer: j, To: p})
+	}
+	return moves
 }
 
 // post delivers one event, failing over across cluster nodes when there
@@ -568,12 +741,20 @@ func (wk *worker) recordAck(ss *sessionState, ev online.Event, respBody []byte, 
 	ss.acked = append(ss.acked, AckedEvent{Event: ev, Stats: stats})
 }
 
-// buildTimeline reduces the rollup's delta windows to report points. Empty
-// windows before the load started (or a nil rollup, -timeline off) produce
-// nothing.
+// buildTimeline reduces the rollup's delta windows to report points (nil
+// rollup, -timeline off, produces nothing).
 func buildTimeline(rollup *obs.Rollup) []TimelinePoint {
+	return timelinePoints(rollup.Windows(0))
+}
+
+// timelinePoints is buildTimeline's pure core. Leading idle windows (fleet
+// creation before any load) are trimmed as noise, but zero-request windows
+// after load has started are kept and marked Empty: a scenario valley that
+// produced no requests is data, and silently dropping the window would
+// splice its neighbors into a series that never dipped.
+func timelinePoints(ws []obs.Window) []TimelinePoint {
 	var points []TimelinePoint
-	for _, w := range rollup.Windows(0) {
+	for _, w := range ws {
 		p := TimelinePoint{
 			StartMS:  w.StartMS,
 			EndMS:    w.EndMS,
@@ -583,8 +764,11 @@ func buildTimeline(rollup *obs.Rollup) []TimelinePoint {
 			Errors:   w.Counters["specload.errors"],
 			OKPerSec: w.Rate("specload.ok"),
 		}
-		if len(points) == 0 && p.Requests == 0 {
-			continue // leading idle windows (fleet creation) are noise
+		if p.Requests == 0 {
+			if len(points) == 0 {
+				continue // leading idle windows (fleet creation) are noise
+			}
+			p.Empty = true
 		}
 		if hs := w.Histograms["specload.request_seconds"]; hs.Count > 0 {
 			p.P50MS = hs.Quantile(0.50) * 1e3

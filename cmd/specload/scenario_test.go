@@ -1,0 +1,107 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"specmatch/internal/obs"
+)
+
+// Zero-request windows after load has started must survive into the series
+// as explicit Empty points — a scenario valley is data, not noise — while
+// leading idle windows are still trimmed.
+func TestTimelineKeepsEmptyWindows(t *testing.T) {
+	win := func(start int64, requests, ok int64) obs.Window {
+		return obs.Window{
+			StartMS:  start,
+			EndMS:    start + 1000,
+			Counters: map[string]int64{"specload.requests": requests, "specload.ok": ok},
+		}
+	}
+	points := timelinePoints([]obs.Window{
+		win(0, 0, 0),    // pre-load: trimmed
+		win(1000, 0, 0), // pre-load: trimmed
+		win(2000, 5, 5),
+		win(3000, 0, 0), // valley: kept, Empty
+		win(4000, 0, 0), // valley: kept, Empty
+		win(5000, 8, 7),
+	})
+	if len(points) != 4 {
+		t.Fatalf("got %d points, want 4 (2 trimmed): %+v", len(points), points)
+	}
+	wantEmpty := []bool{false, true, true, false}
+	for i, p := range points {
+		if p.Empty != wantEmpty[i] {
+			t.Errorf("point %d (start %d): Empty=%v, want %v", i, p.StartMS, p.Empty, wantEmpty[i])
+		}
+	}
+	if points[1].OKPerSec != 0 || points[1].Requests != 0 {
+		t.Errorf("empty point carries traffic: %+v", points[1])
+	}
+	if points[3].OK != 7 {
+		t.Errorf("last point OK=%d, want 7", points[3].OK)
+	}
+}
+
+func TestTimelineAllIdle(t *testing.T) {
+	ws := []obs.Window{
+		{StartMS: 0, EndMS: 1000, Counters: map[string]int64{}},
+		{StartMS: 1000, EndMS: 2000, Counters: map[string]int64{}},
+	}
+	if points := timelinePoints(ws); len(points) != 0 {
+		t.Fatalf("all-idle rollup produced %d points, want 0", len(points))
+	}
+}
+
+func TestParseScenario(t *testing.T) {
+	sc, err := parseScenario("mobile,diurnal,flash", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.mobile || !sc.diurnal || !sc.flash {
+		t.Fatalf("components not all set: %+v", sc)
+	}
+	for _, bad := range []string{"", "tsunami", "diurnal,tsunami"} {
+		if _, err := parseScenario(bad, time.Minute); err == nil {
+			t.Errorf("parseScenario(%q) accepted", bad)
+		}
+	}
+	if _, err := parseScenario("diurnal", 0); err == nil {
+		t.Error("zero period accepted")
+	}
+}
+
+// The curve is a thinning factor: always in (0, 1], hitting 1.0 inside a
+// flash burst and dipping through a diurnal valley.
+func TestScenarioFactorBounds(t *testing.T) {
+	sc, err := parseScenario("diurnal,flash", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.start = time.Unix(0, 0)
+	minF, maxF := 2.0, 0.0
+	for s := 0; s < 60; s++ {
+		f := sc.factor(sc.start.Add(time.Duration(s) * time.Second))
+		if f <= 0 || f > 1 {
+			t.Fatalf("factor at +%ds = %v, out of (0,1]", s, f)
+		}
+		if f < minF {
+			minF = f
+		}
+		if f > maxF {
+			maxF = f
+		}
+	}
+	if maxF != 1.0 {
+		t.Errorf("flash burst never pinned the rate to peak: max factor %v", maxF)
+	}
+	if minF > 0.2 {
+		t.Errorf("diurnal valley too shallow: min factor %v", minF)
+	}
+	if !sc.inFlash(sc.start.Add(45 * time.Second)) {
+		t.Error("+45s (phase 0.75) should be inside the flash burst")
+	}
+	if sc.inFlash(sc.start.Add(10 * time.Second)) {
+		t.Error("+10s (phase 0.17) should be outside the flash burst")
+	}
+}

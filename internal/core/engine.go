@@ -304,11 +304,15 @@ const maxCoalitionCacheEntries = 1 << 14
 // the channel's interference graph, the price row, the MWIS algorithm — is
 // fixed for a seller within a run, and every solver is deterministic, so
 // equal candidate sets always yield equal coalitions. Entries are never
-// invalidated for the same reason — this extends across the steps of an
-// incremental session, where the rows handed to the solver are always the
-// base prices filtered to active buyers and canonicalize drops zero-weight
-// (inactive) candidates, so a canonical set pins the decision regardless of
-// which step produced it.
+// invalidated within a run for the same reason — and this extends across
+// the steps of an incremental session, where the rows handed to the solver
+// are always the base prices filtered to active buyers and canonicalize
+// drops zero-weight (inactive) candidates, so a canonical set pins the
+// decision regardless of which step produced it. The one exception is
+// mobility: a Move event rewires a channel's interference graph, which is
+// part of the decision a memoized set pins, so the incremental engine drops
+// the rewired channel's whole memo (Churn.Rewired) — drop, never patch,
+// matching the capacity policy below.
 type coalitionCache struct {
 	entries map[string][]int
 	sorted  []int      // scratch: canonical candidate set

@@ -14,7 +14,9 @@
 //   - the per-seller coalition memo persists across steps. Solver weights
 //     are always base price × active indicator and canonicalization drops
 //     zero-weight candidates, so a canonical candidate set identifies its
-//     coalition forever — entries never go stale;
+//     coalition for as long as the channel's interference graph stands; a
+//     Move event that rewires a channel drops that channel's whole memo
+//     (the graph is an input to every memoized decision);
 //   - the dirty neighborhood of the event (churned buyers plus their
 //     interference closure across online channels, via the graph package's
 //     word-parallel UnionRowsInto kernel) bounds where new MWIS work can
@@ -51,6 +53,17 @@ type Churn struct {
 	Displaced    []int
 	ChannelsUp   []int
 	ChannelsDown []int
+
+	// Moved lists buyers relocated by the step (the session already rewired
+	// the base market's graphs); MovedOldNbrs their pre-move interference
+	// neighbors across channels (duplicates allowed — consumers set bits),
+	// so the dirty closure covers dissolved conflicts as well as created
+	// ones. Rewired lists the channels whose graph actually changed; the
+	// engine drops those channels' coalition memos, which would otherwise
+	// pin decisions made against the old graph.
+	Moved        []int
+	MovedOldNbrs []int
+	Rewired      []int
 }
 
 // incMetrics holds the incremental engine's observability handles; nil when
@@ -188,6 +201,13 @@ func (inc *Incremental) apply(ch Churn) {
 			}
 		}
 	}
+	// A rewired interference graph invalidates every coalition the channel's
+	// memo pinned; moves change no price, so rows and views stand.
+	if inc.eng.caches != nil {
+		for _, i := range ch.Rewired {
+			inc.eng.caches[i].entries = nil
+		}
+	}
 }
 
 // computeDirty derives the event's dirty neighborhood: the churned buyers
@@ -216,6 +236,15 @@ func (inc *Incremental) computeDirty(ch Churn, cold bool) (dirtyBuyers, dirtySel
 		for _, j := range ch.Displaced {
 			inc.seed.Set(j)
 		}
+		// A moved buyer dirties both neighborhoods: the new one via her own
+		// (already rewired) rows, the old one via the pre-move neighbor list
+		// the session collected before rewiring.
+		for _, j := range ch.Moved {
+			inc.seed.Set(j)
+		}
+		for _, j := range ch.MovedOldNbrs {
+			inc.seed.Set(j)
+		}
 	}
 	inc.closure.Or(inc.seed)
 	for i := 0; i < numSellers; i++ {
@@ -228,6 +257,9 @@ func (inc *Incremental) computeDirty(ch Churn, cold bool) (dirtyBuyers, dirtySel
 		inc.dirtySel.Set(i)
 	}
 	for _, i := range ch.ChannelsUp {
+		inc.dirtySel.Set(i)
+	}
+	for _, i := range ch.Rewired {
 		inc.dirtySel.Set(i)
 	}
 	inc.closure.ForEach(func(j int) bool {

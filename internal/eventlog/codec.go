@@ -13,21 +13,29 @@ import (
 	"specmatch/internal/online"
 )
 
-// legacy dispatches on the first body byte: v0 bodies are JSON documents and
-// necessarily start with '{'; v1 bodies start with the schema version. An
-// empty body or an unknown leading byte is an explicit version error so a
-// future v2 reader bump can never be misread as data.
-func legacy(body []byte) (bool, error) {
+// schema dispatches on the first body byte: v0 bodies are JSON documents
+// and necessarily start with '{'; binary bodies start with their schema
+// version, accepted up to maxVer (body types that carry no mobility payload
+// stop at Version; step/event bodies accept VersionMove too). An empty body
+// or an out-of-range leading byte is an explicit version error so a future
+// reader bump can never be misread as data.
+func schema(body []byte, maxVer byte) (v0 bool, ver byte, err error) {
 	if len(body) == 0 {
-		return false, fmt.Errorf("%w: empty body", ErrMalformed)
+		return false, 0, fmt.Errorf("%w: empty body", ErrMalformed)
 	}
-	switch body[0] {
-	case '{':
-		return true, nil
-	case Version:
-		return false, nil
+	switch {
+	case body[0] == '{':
+		return true, 0, nil
+	case body[0] >= Version && body[0] <= maxVer:
+		return false, body[0], nil
 	}
-	return false, fmt.Errorf("%w: leading byte 0x%02x", ErrVersion, body[0])
+	return false, 0, fmt.Errorf("%w: leading byte 0x%02x", ErrVersion, body[0])
+}
+
+// legacy is schema for the body types that never carry moves.
+func legacy(body []byte) (bool, error) {
+	v0, _, err := schema(body, Version)
+	return v0, err
 }
 
 // decodeJSON is the v0 path: a strict unmarshal of the legacy JSON body.
@@ -59,24 +67,29 @@ func DecodeCreate(body []byte) (Create, error) {
 	return b, d.finish()
 }
 
-// Encode returns the canonical v1 bytes of a step body.
+// Encode returns the canonical bytes of a step body: v1, or v2 when the
+// event carries moves (move-free steps stay byte-identical to v1).
 func (b Step) Encode() []byte {
-	out := append(make([]byte, 0, 32), Version)
+	ver := eventVersion(b.Event)
+	out := append(make([]byte, 0, 32), ver)
 	out = appendString(out, b.ID)
-	return appendEvent(out, b.Event)
+	return appendEvent(out, b.Event, ver)
 }
 
-// DecodeStep decodes a step body of either generation.
+// DecodeStep decodes a step body of any generation, including the v2
+// mobility extension.
 func DecodeStep(body []byte) (Step, error) {
 	var b Step
-	if v0, err := legacy(body); err != nil {
+	v0, ver, err := schema(body, VersionMove)
+	if err != nil {
 		return b, err
-	} else if v0 {
+	}
+	if v0 {
 		return b, decodeJSON(body, &b)
 	}
 	d := &dec{b: body[1:]}
 	b.ID = d.str()
-	b.Event = d.event()
+	b.Event = d.event(ver)
 	return b, d.finish()
 }
 
@@ -161,21 +174,26 @@ func DecodeCheckpoint(body []byte) (Checkpoint, error) {
 	return b, d.finish()
 }
 
-// EncodeEvent returns the canonical v1 bytes of a bare churn event — the
-// serialized form of online.Event everywhere one travels alone.
+// EncodeEvent returns the canonical bytes of a bare churn event — the
+// serialized form of online.Event everywhere one travels alone. Move-free
+// events encode as v1, move-bearing ones as v2.
 func EncodeEvent(ev online.Event) []byte {
-	return appendEvent(append(make([]byte, 0, 32), Version), ev)
+	ver := eventVersion(ev)
+	return appendEvent(append(make([]byte, 0, 32), ver), ev, ver)
 }
 
-// DecodeEvent decodes a bare event of either generation.
+// DecodeEvent decodes a bare event of any generation, including the v2
+// mobility extension.
 func DecodeEvent(body []byte) (online.Event, error) {
-	if v0, err := legacy(body); err != nil {
+	v0, ver, err := schema(body, VersionMove)
+	if err != nil {
 		return online.Event{}, err
-	} else if v0 {
+	}
+	if v0 {
 		var ev online.Event
 		return ev, decodeJSON(body, &ev)
 	}
 	d := &dec{b: body[1:]}
-	ev := d.event()
+	ev := d.event(ver)
 	return ev, d.finish()
 }

@@ -23,6 +23,8 @@
 // Composite payloads, in field order:
 //
 //	event      []int arrive | []int depart | []int channel_up | []int channel_down
+//	           | under schema version 2 only, one trailing field:
+//	             moves = uvarint count | count × (varint buyer, f64 x, f64 y)
 //	spec       uvarint M | uvarint N | M×N f64 prices (row-major)
 //	           | M × (uvarint e | e × (varint u, varint v))   interference edges
 //	           | []int seller_owner | []int buyer_owner
@@ -44,9 +46,10 @@
 // # Version negotiation
 //
 // The first body byte discriminates generations: 0x7b ('{') is a v0 JSON
-// document (what pre-schema servers logged), 0x01 is schema version 1,
-// anything else is an unknown future version and an explicit error. Every
-// Decode* function in this package accepts both generations, which is what
+// document (what pre-schema servers logged), 0x01 is schema version 1, 0x02
+// (step and bare-event bodies only) is the mobility extension, anything
+// else is an unknown future version and an explicit error. Every Decode*
+// function in this package accepts all its generations, which is what
 // lets a store recover a v0 data dir bit-for-bit while writing v1: readers
 // are bilingual, writers emit only the current version. An upgraded store
 // rewrites its checkpoints in v1 on the first post-recovery rotation, so v0
@@ -73,9 +76,22 @@ import (
 	"specmatch/internal/online"
 )
 
-// Version is the current schema version, and the first byte of every body
-// this package encodes.
+// Version is the base schema version, and the first byte of every body this
+// package encodes that carries no mobility payload.
 const Version = 1
+
+// VersionMove is the schema version of step/event bodies that carry buyer
+// moves: the v1 field sequence followed by one trailing field,
+//
+//	moves   uvarint count | count × (varint buyer, f64 x, f64 y)
+//
+// Writers emit VersionMove only when the event actually holds moves, so
+// move-free traffic stays byte-identical to v1 (pre-mobility readers,
+// replication streams, and committed goldens are unaffected), while a
+// pre-mobility reader faced with a move rejects the version byte cleanly
+// instead of misreading the trailing field. Only step and bare-event bodies
+// may use it; every other record type rejects it as an unsupported version.
+const VersionMove = 2
 
 // Decode errors.
 var (
@@ -163,11 +179,31 @@ func appendString(b []byte, s string) []byte {
 	return append(b, s...)
 }
 
-func appendEvent(b []byte, ev online.Event) []byte {
+// eventVersion returns the schema version an event encodes under: Version
+// when move-free, VersionMove when moves are present (see the constant).
+func eventVersion(ev online.Event) byte {
+	if len(ev.Move) > 0 {
+		return VersionMove
+	}
+	return Version
+}
+
+// appendEvent appends an event's fields under the given schema version; the
+// trailing moves field exists only under VersionMove.
+func appendEvent(b []byte, ev online.Event, ver byte) []byte {
 	b = appendInts(b, ev.Arrive)
 	b = appendInts(b, ev.Depart)
 	b = appendInts(b, ev.ChannelUp)
-	return appendInts(b, ev.ChannelDown)
+	b = appendInts(b, ev.ChannelDown)
+	if ver == VersionMove {
+		b = binary.AppendUvarint(b, uint64(len(ev.Move)))
+		for _, mv := range ev.Move {
+			b = binary.AppendVarint(b, int64(mv.Buyer))
+			b = appendFloat(b, mv.To.X)
+			b = appendFloat(b, mv.To.Y)
+		}
+	}
+	return b
 }
 
 func appendSpec(b []byte, sp market.Spec) []byte {
@@ -337,13 +373,32 @@ func (d *dec) str() string {
 	return s
 }
 
-func (d *dec) event() online.Event {
-	return online.Event{
+func (d *dec) event(ver byte) online.Event {
+	ev := online.Event{
 		Arrive:      d.ints(),
 		Depart:      d.ints(),
 		ChannelUp:   d.ints(),
 		ChannelDown: d.ints(),
 	}
+	if ver == VersionMove {
+		ev.Move = d.moves()
+	}
+	return ev
+}
+
+func (d *dec) moves() []online.BuyerMove {
+	n := d.count(17) // varint buyer (≥1 byte) + two f64
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]online.BuyerMove, n)
+	for i := range out {
+		out[i] = online.BuyerMove{Buyer: d.varint(), To: geom.Point{X: d.f64(), Y: d.f64()}}
+	}
+	if d.err != nil {
+		return nil
+	}
+	return out
 }
 
 func (d *dec) spec() market.Spec {

@@ -121,8 +121,22 @@ func TestDecodeErrors(t *testing.T) {
 	if _, err := DecodeStep(nil); !errors.Is(err, ErrMalformed) {
 		t.Errorf("empty body: got %v, want ErrMalformed", err)
 	}
-	if _, err := DecodeStep([]byte{0x02, 0x00}); !errors.Is(err, ErrVersion) {
+	if _, err := DecodeStep([]byte{0x03, 0x00}); !errors.Is(err, ErrVersion) {
 		t.Errorf("unknown version byte: got %v, want ErrVersion", err)
+	}
+	// VersionMove is a step/event-only extension: every other record type
+	// still rejects the byte as an unsupported version.
+	if _, err := DecodeCreate([]byte{VersionMove, 0x00}); !errors.Is(err, ErrVersion) {
+		t.Errorf("v2 create: got %v, want ErrVersion", err)
+	}
+	if _, err := DecodeRef([]byte{VersionMove, 0x00}); !errors.Is(err, ErrVersion) {
+		t.Errorf("v2 ref: got %v, want ErrVersion", err)
+	}
+	if _, err := DecodeFork([]byte{VersionMove, 0x00}); !errors.Is(err, ErrVersion) {
+		t.Errorf("v2 fork: got %v, want ErrVersion", err)
+	}
+	if _, err := DecodeCheckpoint([]byte{VersionMove, 0x00}); !errors.Is(err, ErrVersion) {
+		t.Errorf("v2 checkpoint: got %v, want ErrVersion", err)
 	}
 	if _, err := DecodeStep([]byte(`{"id": 7}`)); !errors.Is(err, ErrMalformed) {
 		t.Errorf("bad v0 json: got %v, want ErrMalformed", err)
@@ -201,8 +215,11 @@ func TestJSONView(t *testing.T) {
 	if string(v0View) != string(wantJSON) {
 		t.Errorf("v0 view = %s, want it verbatim %s", v0View, wantJSON)
 	}
-	if _, err := JSONView(wal.TypeStep, []byte{0x02}); !errors.Is(err, ErrVersion) {
+	if _, err := JSONView(wal.TypeStep, []byte{0x03}); !errors.Is(err, ErrVersion) {
 		t.Errorf("unknown version: got %v, want ErrVersion", err)
+	}
+	if _, err := JSONView(wal.TypeCreate, []byte{0x02}); !errors.Is(err, ErrVersion) {
+		t.Errorf("v2 create view: got %v, want ErrVersion", err)
 	}
 	if _, err := JSONView(wal.Type(99), stp.Encode()); !errors.Is(err, ErrMalformed) {
 		t.Errorf("unknown record type: got %v, want ErrMalformed", err)

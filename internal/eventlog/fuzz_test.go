@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"math"
 	"testing"
 
+	"specmatch/internal/geom"
 	"specmatch/internal/market"
 	"specmatch/internal/online"
 	"specmatch/internal/wal"
@@ -35,10 +37,24 @@ func FuzzEventCodec(f *testing.F) {
 	f.Add(Fork{ID: "m00000002", From: "m00000001", AtLSN: 7, Spec: spec, State: snap}.Encode())
 	f.Add(Checkpoint{NextID: 2, Sessions: []SessionState{{ID: "m00000001", Spec: spec, State: snap}}}.Encode())
 	f.Add(EncodeEvent(online.Event{Depart: []int{4}}))
+	// v2 mobility bodies: canonical move-bearing step and bare event, plus
+	// hand-damaged variants of the new decode path — a ragged trailing point
+	// (truncated mid-move), NaN coordinates (valid bytes, the engine layer
+	// rejects them), and an out-of-range buyer index (codec-valid too: the
+	// codec has no market to validate against).
+	moved := Step{ID: "m00000001", Event: online.Event{
+		Arrive: []int{0},
+		Move:   []online.BuyerMove{{Buyer: 1, To: geom.Point{X: 2.5, Y: -7}}, {Buyer: 4, To: geom.Point{}}},
+	}}.Encode()
+	f.Add(moved)
+	f.Add(moved[:len(moved)-9]) // ragged: second move loses its y coordinate
+	f.Add(EncodeEvent(online.Event{Move: []online.BuyerMove{{Buyer: 0, To: geom.Point{X: math.NaN(), Y: math.Inf(1)}}}}))
+	f.Add(EncodeEvent(online.Event{Move: []online.BuyerMove{{Buyer: -3, To: geom.Point{X: 1, Y: 1}}}}))
 	// v0 JSON bodies — the bilingual path.
 	for _, v := range []any{
 		Create{ID: "m00000001", Spec: spec},
 		Step{ID: "m00000001", Event: online.Event{Arrive: []int{2}}},
+		Step{ID: "m00000001", Event: online.Event{Move: []online.BuyerMove{{Buyer: 2, To: geom.Point{X: 3, Y: 4}}}}},
 		Ref{ID: "m00000001"},
 		Checkpoint{NextID: 2, Sessions: []SessionState{{ID: "m00000001", Spec: spec, State: snap}}},
 	} {

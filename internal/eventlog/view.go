@@ -9,12 +9,15 @@ import (
 
 // JSONView renders a record body as its JSON view for humans and tools
 // (specwal dump/snap). v0 bodies already are JSON and pass through verbatim;
-// v1 bodies decode by record type and re-marshal under the same field names,
-// so the view is identical across generations.
+// binary bodies decode by record type — each typed decoder negotiates the
+// versions its record type supports (steps accept the v2 mobility
+// extension) — and re-marshal under the same field names, so the view is
+// identical across generations.
 func JSONView(typ wal.Type, body []byte) (json.RawMessage, error) {
-	if v0, err := legacy(body); err != nil {
-		return nil, err
-	} else if v0 {
+	if len(body) == 0 {
+		return nil, fmt.Errorf("%w: empty body", ErrMalformed)
+	}
+	if body[0] == '{' {
 		if !json.Valid(body) {
 			return nil, fmt.Errorf("%w: v0 body is not valid JSON", ErrMalformed)
 		}

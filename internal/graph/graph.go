@@ -18,6 +18,7 @@ package graph
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 )
 
@@ -189,6 +190,71 @@ func (g *Graph) ConflictsMask(v int, mask Bits) bool {
 		return false
 	}
 	return AndAny(g.Row(v), mask)
+}
+
+// RewireVertex replaces vertex v's entire neighborhood in place: after the
+// call, v is adjacent to exactly the vertices in neighbors (duplicates are
+// idempotent; self-loops and out-of-range entries are errors, applied
+// atomically — a bad input leaves g untouched). Both adjacency views are
+// maintained for v and for every vertex whose adjacency to v changed, found
+// by one word-parallel XOR pass over v's row rather than per-edge scans.
+// This is the mobility kernel: a buyer moving re-derives her interference
+// row per channel, and only the symmetric difference of the old and new
+// neighborhoods is touched. It reports whether any edge changed.
+func (g *Graph) RewireVertex(v int, neighbors []int) (bool, error) {
+	if !g.validVertex(v) {
+		return false, fmt.Errorf("graph: rewire vertex %d out of range [0,%d)", v, g.n)
+	}
+	newRow := NewBits(g.n)
+	for _, u := range neighbors {
+		if !g.validVertex(u) {
+			return false, fmt.Errorf("graph: rewire neighbor %d out of range [0,%d)", u, g.n)
+		}
+		if u == v {
+			return false, fmt.Errorf("graph: self-loop on vertex %d", v)
+		}
+		newRow.Set(u)
+	}
+	row := g.Row(v)
+	changed := false
+	for w := 0; w < g.words; w++ {
+		diff := row[w] ^ newRow[w]
+		if diff == 0 {
+			continue
+		}
+		changed = true
+		base := w << 6
+		for diff != 0 {
+			b := bits.TrailingZeros64(diff)
+			diff &^= 1 << uint(b)
+			u := base + b
+			if newRow.Get(u) {
+				g.Row(u).Set(v)
+				g.insertNeighbor(u, v)
+				g.edges++
+			} else {
+				g.Row(u).Clear(v)
+				g.removeNeighbor(u, v)
+				g.edges--
+			}
+		}
+		row[w] = newRow[w]
+	}
+	if changed {
+		lst := g.nbr[v][:0]
+		newRow.ForEach(func(u int) bool { lst = append(lst, u); return true })
+		g.nbr[v] = lst
+	}
+	return changed, nil
+}
+
+// removeNeighbor drops v from nbr[u], preserving the ascending order.
+func (g *Graph) removeNeighbor(u, v int) {
+	lst := g.nbr[u]
+	k := sort.SearchInts(lst, v)
+	if k < len(lst) && lst[k] == v {
+		g.nbr[u] = append(lst[:k], lst[k+1:]...)
+	}
 }
 
 // UnionRowsInto ORs the adjacency rows of every vertex set in seed into out:

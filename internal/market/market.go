@@ -105,6 +105,70 @@ func (m *Market) Range(i int) (float64, bool) {
 	return m.ranges[i], true
 }
 
+// HasGeometry reports whether the market retains full deployment geometry —
+// a position for every virtual buyer and a transmission range for every
+// channel — the precondition for mobility (MoveBuyer). Generated markets
+// have it; abstract (New/FromSpec-without-geometry) markets do not.
+func (m *Market) HasGeometry() bool {
+	return m.N() > 0 && len(m.buyerPos) == m.N() && len(m.ranges) == m.M()
+}
+
+// Clone returns a copy of m whose mutable state — interference graphs and
+// buyer positions, the two things MoveBuyer touches — is deep-copied.
+// Prices, owner maps, and ranges are immutable after construction and are
+// shared. Sessions clone the market they are given so mobility never leaks
+// into the caller's instance.
+func (m *Market) Clone() *Market {
+	c := *m
+	c.graphs = make([]*graph.Graph, len(m.graphs))
+	for i, g := range m.graphs {
+		c.graphs[i] = g.Clone()
+	}
+	c.buyerPos = append([]geom.Point(nil), m.buyerPos...)
+	return &c
+}
+
+// MoveBuyer relocates virtual buyer j to p and re-derives j's interference
+// edges on every channel from the market's radio rule at calibration: two
+// buyers conflict on channel i when they are within its transmission range
+// (the disk rule, which the SINR model reproduces at its nominal threshold)
+// or share a physical owner — co-owner edges are structural (§II-A) and
+// survive any move, keeping Validate an invariant. Only j's rows are
+// rewired, via the graph's in-place kernel. It returns the channels whose
+// graph actually changed, ascending; a move that flips no edge returns an
+// empty set but still records the position, so later moves measure from p.
+func (m *Market) MoveBuyer(j int, p geom.Point) ([]int, error) {
+	if !m.HasGeometry() {
+		return nil, fmt.Errorf("market: move buyer %d: market retains no geometry", j)
+	}
+	if j < 0 || j >= m.N() {
+		return nil, fmt.Errorf("market: move buyer %d out of range [0,%d)", j, m.N())
+	}
+	m.buyerPos[j] = p
+	var changed []int
+	nbrs := make([]int, 0, m.N()-1)
+	for i, g := range m.graphs {
+		r2 := m.ranges[i] * m.ranges[i]
+		nbrs = nbrs[:0]
+		for k := 0; k < m.N(); k++ {
+			if k == j {
+				continue
+			}
+			if m.buyerOwner[k] == m.buyerOwner[j] || p.DistSq(m.buyerPos[k]) <= r2 {
+				nbrs = append(nbrs, k)
+			}
+		}
+		flipped, err := g.RewireVertex(j, nbrs)
+		if err != nil {
+			return nil, fmt.Errorf("market: move buyer %d: channel %d: %w", j, i, err)
+		}
+		if flipped {
+			changed = append(changed, i)
+		}
+	}
+	return changed, nil
+}
+
 // Interferes reports whether buyers j and j2 interfere on channel i
 // (e^i_{j,j2} = 1).
 func (m *Market) Interferes(i, j, j2 int) bool { return m.graphs[i].HasEdge(j, j2) }

@@ -1,0 +1,209 @@
+package market
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"specmatch/internal/geom"
+	"specmatch/internal/graph"
+	"specmatch/internal/xrand"
+)
+
+// geoMarket builds a market with explicit geometry: per-channel graphs are
+// constructed naively from the rewire predicate (co-owned buyers always
+// conflict; otherwise DistSq <= range^2), the same rule MoveBuyer re-derives
+// incrementally. Tests compare the incremental result against this
+// from-scratch construction.
+func geoMarket(t *testing.T, positions []geom.Point, owners []int, ranges []float64) *Market {
+	t.Helper()
+	n := len(positions)
+	prices := make([][]float64, len(ranges))
+	for i := range prices {
+		prices[i] = make([]float64, n)
+		for j := range prices[i] {
+			prices[i][j] = float64(1 + (i+j)%5)
+		}
+	}
+	graphs := make([]*graph.Graph, len(ranges))
+	for i := range graphs {
+		graphs[i] = predicateGraph(positions, owners, ranges[i])
+	}
+	m, err := New(prices, graphs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.buyerOwner = append([]int(nil), owners...)
+	m.buyerPos = append([]geom.Point(nil), positions...)
+	m.ranges = append([]float64(nil), ranges...)
+	return m
+}
+
+func predicateGraph(positions []geom.Point, owners []int, rng float64) *graph.Graph {
+	g := graph.New(len(positions))
+	r2 := rng * rng
+	for j := range positions {
+		for k := j + 1; k < len(positions); k++ {
+			if owners[j] == owners[k] || positions[j].DistSq(positions[k]) <= r2 {
+				if err := g.AddEdge(j, k); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return g
+}
+
+func randomDeployment(r interface{ Float64() float64 }, n int) ([]geom.Point, []int) {
+	positions := make([]geom.Point, n)
+	owners := make([]int, n)
+	for j := range positions {
+		positions[j] = geom.Point{X: r.Float64() * 10, Y: r.Float64() * 10}
+		owners[j] = j
+	}
+	// One co-owned pair so every trace carries owner edges that must survive
+	// arbitrary rewires regardless of distance.
+	if n >= 2 {
+		owners[n-1] = owners[0]
+	}
+	return positions, owners
+}
+
+// TestMoveBuyerMatchesNaiveRebuild: after every incremental MoveBuyer, each
+// channel graph must equal the graph rebuilt from scratch over the current
+// positions — the mobility analogue of the churn engine's differential pin.
+func TestMoveBuyerMatchesNaiveRebuild(t *testing.T) {
+	for _, seed := range []int64{61, 62, 63} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			r := xrand.New(seed)
+			positions, owners := randomDeployment(r, 17)
+			ranges := []float64{1.2, 2.5, 4}
+			m := geoMarket(t, positions, owners, ranges)
+			for step := 0; step < 60; step++ {
+				j := int(r.Float64() * float64(len(positions)))
+				p := geom.Point{X: r.Float64() * 10, Y: r.Float64() * 10}
+				if _, err := m.MoveBuyer(j, p); err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+				positions[j] = p
+				for i := range ranges {
+					want := predicateGraph(positions, owners, ranges[i])
+					if got := m.Graph(i); got.M() != want.M() || !reflect.DeepEqual(got.Edges(), want.Edges()) {
+						t.Fatalf("step %d channel %d: incremental graph diverged from rebuild\n got %v\nwant %v",
+							step, i, got.Edges(), want.Edges())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMoveOutAndBackRestoresRows: moving a buyer away and then back to its
+// exact original position must restore every channel's interference rows —
+// neighbor lists, edge counts, and reported rewired channels all symmetric.
+func TestMoveOutAndBackRestoresRows(t *testing.T) {
+	r := xrand.New(71)
+	positions, owners := randomDeployment(r, 13)
+	ranges := []float64{1.5, 3}
+	m := geoMarket(t, positions, owners, ranges)
+	for j := 0; j < m.N(); j++ {
+		home, ok := m.BuyerPos(j)
+		if !ok {
+			t.Fatalf("buyer %d lost its position", j)
+		}
+		before := make([][]int, m.M())
+		counts := make([]int, m.M())
+		for i := 0; i < m.M(); i++ {
+			before[i] = m.Graph(i).Neighbors(j)
+			counts[i] = m.Graph(i).M()
+		}
+		out, err := m.MoveBuyer(j, geom.Point{X: -50, Y: -50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := m.MoveBuyer(j, home)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(out, back) {
+			t.Errorf("buyer %d: asymmetric rewired channels: out %v, back %v", j, out, back)
+		}
+		for i := 0; i < m.M(); i++ {
+			if got := m.Graph(i).Neighbors(j); !reflect.DeepEqual(got, before[i]) {
+				t.Errorf("buyer %d channel %d: neighbors %v after round trip, want %v", j, i, got, before[i])
+			}
+			if got := m.Graph(i).M(); got != counts[i] {
+				t.Errorf("buyer %d channel %d: %d edges after round trip, want %d", j, i, got, counts[i])
+			}
+		}
+	}
+}
+
+// TestRangeMonotonicityUnderRewires: a market whose channels hear further
+// (larger conflict ranges) must conflict on a superset of edges, and
+// arbitrary mobility must preserve that containment channel by channel —
+// the radio-model monotonicity the paper's disk calibration relies on.
+func TestRangeMonotonicityUnderRewires(t *testing.T) {
+	r := xrand.New(83)
+	positions, owners := randomDeployment(r, 19)
+	near := []float64{1, 2, 3}
+	far := []float64{1.5, 3, 4.5}
+	a := geoMarket(t, positions, owners, near)
+	b := geoMarket(t, positions, owners, far)
+	assertSubset := func(step int) {
+		t.Helper()
+		for i := range near {
+			for _, e := range a.Graph(i).Edges() {
+				if !b.Graph(i).HasEdge(e[0], e[1]) {
+					t.Fatalf("step %d channel %d: edge %v present at range %.1f but missing at %.1f",
+						step, i, e, near[i], far[i])
+				}
+			}
+		}
+	}
+	assertSubset(-1)
+	for step := 0; step < 80; step++ {
+		j := int(r.Float64() * float64(len(positions)))
+		p := geom.Point{X: r.Float64() * 10, Y: r.Float64() * 10}
+		if _, err := a.MoveBuyer(j, p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.MoveBuyer(j, p); err != nil {
+			t.Fatal(err)
+		}
+		assertSubset(step)
+	}
+}
+
+// TestMoveBuyerErrors: geometry-less and out-of-range moves are rejected
+// without mutating the market.
+func TestMoveBuyerErrors(t *testing.T) {
+	abstract, err := New(
+		[][]float64{{1, 2}, {3, 4}},
+		[]*graph.Graph{graph.New(2), graph.Complete(2)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abstract.HasGeometry() {
+		t.Fatal("abstract market claims geometry")
+	}
+	if _, err := abstract.MoveBuyer(0, geom.Point{X: 1, Y: 1}); err == nil {
+		t.Error("geometry-less move accepted")
+	}
+
+	r := xrand.New(91)
+	positions, owners := randomDeployment(r, 5)
+	m := geoMarket(t, positions, owners, []float64{2})
+	edges := m.Graph(0).Edges()
+	for _, j := range []int{-1, 5, 99} {
+		if _, err := m.MoveBuyer(j, geom.Point{}); err == nil {
+			t.Errorf("out-of-range buyer %d accepted", j)
+		}
+	}
+	if !reflect.DeepEqual(m.Graph(0).Edges(), edges) {
+		t.Error("rejected move mutated the graph")
+	}
+}

@@ -2,10 +2,12 @@ package online
 
 import (
 	"fmt"
+	"math"
 	"reflect"
 	"testing"
 
 	"specmatch/internal/core"
+	"specmatch/internal/geom"
 	"specmatch/internal/market"
 	"specmatch/internal/xrand"
 )
@@ -155,6 +157,8 @@ func FuzzIncrementalStep(f *testing.F) {
 	f.Add(int64(4), []byte{4, 0, 4, 7, 4, 13, 4, 20})           // mixed batches
 	f.Add(int64(5), []byte{0, 0, 5, 0, 0, 1, 5, 9})             // invalid events interleaved
 	f.Add(int64(6), []byte{4, 3, 3, 1, 4, 5, 2, 1, 4, 9, 1, 2}) // churn-heavy mix
+	f.Add(int64(7), []byte{0, 0, 6, 0, 6, 61, 6, 122, 1, 0})    // arrive, hop around, depart
+	f.Add(int64(8), []byte{6, 5, 7, 2, 6, 5, 7, 3, 4, 1})       // moves interleaved with invalid moves
 	f.Fuzz(func(t *testing.T, seed int64, program []byte) {
 		p, m := newSessionPair(t, 4, 20, seed)
 		n, mm := m.N(), m.M()
@@ -163,7 +167,7 @@ func FuzzIncrementalStep(f *testing.F) {
 			ops = 100
 		}
 		for k := 0; k < ops; k++ {
-			op, arg := int(program[2*k])%6, int(program[2*k+1])
+			op, arg := int(program[2*k])%8, int(program[2*k+1])
 			var ev Event
 			switch op {
 			case 0:
@@ -187,6 +191,21 @@ func FuzzIncrementalStep(f *testing.F) {
 				// Out of range: Validate must reject on both paths and leave
 				// both sessions untouched.
 				ev.Arrive = []int{n + arg}
+			case 6:
+				// Move to a deterministic waypoint on an 11x11 lattice over
+				// the deployment area — coarse enough that fuzzed traces
+				// revisit points, exercising same-point moves and row
+				// restoration alongside genuine rewires.
+				ev.Move = []BuyerMove{{Buyer: arg % n,
+					To: geom.Point{X: float64(arg % 11), Y: float64((arg / 11) % 11)}}}
+			case 7:
+				// Invalid move: out-of-range buyer or non-finite coordinate,
+				// rejected identically on both paths with no mutation.
+				if arg%2 == 0 {
+					ev.Move = []BuyerMove{{Buyer: n + arg, To: geom.Point{X: 1, Y: 1}}}
+				} else {
+					ev.Move = []BuyerMove{{Buyer: arg % n, To: geom.Point{X: math.NaN(), Y: 0}}}
+				}
 			}
 			p.step(t, fmt.Sprintf("op %d (%+v)", k, ev), ev)
 		}

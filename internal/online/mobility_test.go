@@ -1,0 +1,179 @@
+package online
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"specmatch/internal/core"
+	"specmatch/internal/geom"
+	"specmatch/internal/graph"
+	"specmatch/internal/market"
+	"specmatch/internal/xrand"
+)
+
+// arriveAll brings every buyer online in one step.
+func arriveAll(t *testing.T, s *Session) {
+	t.Helper()
+	var ev Event
+	for j := 0; j < s.Market().N(); j++ {
+		ev.Arrive = append(ev.Arrive, j)
+	}
+	if _, err := s.Step(ev); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMoveSamePointNoOp: a position report that repeats the buyer's current
+// coordinates is metamorphically a no-op — it counts as a move (Moved is a
+// pure function of the event) but changes no interference row, displaces
+// nobody, and leaves matching, welfare, and the whole snapshot untouched
+// except the step counter.
+func TestMoveSamePointNoOp(t *testing.T) {
+	for _, seed := range []int64{101, 102, 103} {
+		s, m := newSession(t, 4, 18, seed)
+		arriveAll(t, s)
+		before := s.Snapshot()
+		for j := 0; j < m.N(); j++ {
+			p, ok := s.Market().BuyerPos(j)
+			if !ok {
+				t.Fatalf("seed %d: buyer %d has no position", seed, j)
+			}
+			st, err := s.Step(Event{Move: []BuyerMove{{Buyer: j, To: p}}})
+			if err != nil {
+				t.Fatalf("seed %d buyer %d: %v", seed, j, err)
+			}
+			if st.Moved != 1 || st.Displaced != 0 {
+				t.Fatalf("seed %d buyer %d: Moved=%d Displaced=%d, want 1, 0", seed, j, st.Moved, st.Displaced)
+			}
+			if st.Welfare != before.Welfare {
+				t.Fatalf("seed %d buyer %d: welfare drifted %v -> %v on a same-point move",
+					seed, j, before.Welfare, st.Welfare)
+			}
+		}
+		after := s.Snapshot()
+		before.Steps = after.Steps
+		if !reflect.DeepEqual(before, after) {
+			t.Fatalf("seed %d: same-point moves changed the snapshot\nbefore %+v\nafter  %+v", seed, before, after)
+		}
+	}
+}
+
+// TestMoveUnmatchedBuyer: moving a buyer that is inactive (or active but
+// unmatched) rewires its interference rows without touching the matching —
+// and when the buyer later arrives, it is matched against the rows its last
+// move left behind, identically on both engine paths.
+func TestMoveUnmatchedBuyer(t *testing.T) {
+	p, m := newSessionPair(t, 4, 18, 111)
+	r := xrand.New(111)
+	// Everyone except buyer 0 arrives; buyer 0 wanders while parked.
+	var ev Event
+	for j := 1; j < m.N(); j++ {
+		ev.Arrive = append(ev.Arrive, j)
+	}
+	p.step(t, "arrive all but 0", ev)
+	for k := 0; k < 10; k++ {
+		mv := Event{Move: []BuyerMove{{Buyer: 0, To: geom.Point{X: r.Float64() * 10, Y: r.Float64() * 10}}}}
+		muBefore := p.inc.Matching().Clone()
+		st, err := p.inc.Step(mv)
+		if err != nil {
+			t.Fatalf("hop %d: %v", k, err)
+		}
+		if _, err := p.full.Step(mv); err != nil {
+			t.Fatalf("hop %d (full): %v", k, err)
+		}
+		if st.Displaced != 0 {
+			t.Fatalf("hop %d: moving an unmatched buyer displaced %d buyers", k, st.Displaced)
+		}
+		if !p.inc.Matching().Equal(muBefore) {
+			t.Fatalf("hop %d: moving an unmatched buyer changed the matching", k)
+		}
+		p.compare(t, fmt.Sprintf("hop %d", k))
+	}
+	p.step(t, "late arrival after wandering", Event{Arrive: []int{0}})
+	checkServiceInvariants(t, p.inc)
+}
+
+// TestMoveOutAndBackRestoresSessionRows: at the session level, moving an
+// active buyer far away and straight back restores every channel's
+// interference rows in the live market the engine matches against.
+func TestMoveOutAndBackRestoresSessionRows(t *testing.T) {
+	s, m := newSession(t, 4, 18, 121)
+	arriveAll(t, s)
+	for j := 0; j < m.N(); j++ {
+		home, _ := s.Market().BuyerPos(j)
+		before := make([][]int, s.Market().M())
+		for i := range before {
+			before[i] = s.Market().Graph(i).Neighbors(j)
+		}
+		if _, err := s.Step(Event{Move: []BuyerMove{{Buyer: j, To: geom.Point{X: 99, Y: 99}}}}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Step(Event{Move: []BuyerMove{{Buyer: j, To: home}}}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range before {
+			if got := s.Market().Graph(i).Neighbors(j); !reflect.DeepEqual(got, before[i]) {
+				t.Fatalf("buyer %d channel %d: rows not restored: %v, want %v", j, i, got, before[i])
+			}
+		}
+		checkServiceInvariants(t, s)
+	}
+}
+
+// TestMoveRequiresGeometry: a session over an abstract market (no positions,
+// no ranges) rejects move events up front and stays untouched; the same
+// event with the move stripped is accepted.
+func TestMoveRequiresGeometry(t *testing.T) {
+	m, err := market.New(
+		[][]float64{{3, 2, 1}, {1, 2, 3}},
+		[]*graph.Graph{graph.New(3), graph.Complete(3)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(m, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := Event{Arrive: []int{0, 1}, Move: []BuyerMove{{Buyer: 2, To: geom.Point{X: 1, Y: 1}}}}
+	if _, err := s.Step(ev); err == nil {
+		t.Fatal("geometry-less session accepted a move event")
+	}
+	if s.Steps() != 0 || s.ActiveCount() != 0 {
+		t.Fatal("rejected move event mutated the session")
+	}
+	if _, err := s.Step(Event{Arrive: []int{0, 1}}); err != nil {
+		t.Fatalf("move-free event on the same session: %v", err)
+	}
+}
+
+// TestSessionMarketIsolated: NewSession clones the base market, so mobility
+// inside one session never leaks into the caller's market or into a sibling
+// session built from the same instance — the invariant the differential
+// harness itself depends on.
+func TestSessionMarketIsolated(t *testing.T) {
+	m, err := market.Generate(market.Config{Sellers: 3, Buyers: 12, Seed: 131})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewSession(m, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSession(m, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	origEdges := m.Graph(0).Edges()
+	bEdges := b.Market().Graph(0).Edges()
+	if _, err := a.Step(Event{Move: []BuyerMove{{Buyer: 0, To: geom.Point{X: 42, Y: 42}}}}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Graph(0).Edges(), origEdges) {
+		t.Error("session move mutated the caller's market")
+	}
+	if !reflect.DeepEqual(b.Market().Graph(0).Edges(), bEdges) {
+		t.Error("session move leaked into a sibling session")
+	}
+}

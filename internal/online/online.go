@@ -36,12 +36,22 @@ package online
 
 import (
 	"fmt"
+	"math"
 
 	"specmatch/internal/core"
+	"specmatch/internal/geom"
 	"specmatch/internal/market"
 	"specmatch/internal/matching"
 	"specmatch/internal/trace"
 )
+
+// BuyerMove relocates one virtual buyer to a new deployment position. The
+// session re-derives the buyer's interference edges on every channel from
+// the market's radio rule, so a move can both create and dissolve conflicts.
+type BuyerMove struct {
+	Buyer int        `json:"buyer"`
+	To    geom.Point `json:"to"`
+}
 
 // Event is one batch of market churn, applied atomically before a repair
 // pass. Buyer indices refer to the base market's virtual buyers; channel
@@ -53,6 +63,10 @@ type Event struct {
 	Depart      []int `json:"depart,omitempty"`
 	ChannelUp   []int `json:"channel_up,omitempty"`
 	ChannelDown []int `json:"channel_down,omitempty"`
+	// Move relocates buyers (active or not) and rewires their interference
+	// rows; it needs a market that retains geometry (market.HasGeometry).
+	// Moves are applied in order, after all other churn in the event.
+	Move []BuyerMove `json:"move,omitempty"`
 }
 
 // Validate checks every index in the event against a market with the given
@@ -81,13 +95,28 @@ func (ev Event) Validate(channels, buyers int) error {
 			return fmt.Errorf("online: channel %d out of range [0,%d)", i, channels)
 		}
 	}
+	for _, mv := range ev.Move {
+		if mv.Buyer < 0 || mv.Buyer >= buyers {
+			return fmt.Errorf("online: moving buyer %d out of range [0,%d)", mv.Buyer, buyers)
+		}
+		if !finitePoint(mv.To) {
+			return fmt.Errorf("online: buyer %d move to non-finite position %v", mv.Buyer, mv.To)
+		}
+	}
 	return nil
+}
+
+// finitePoint rejects NaN and infinite coordinates, which would poison every
+// later distance comparison (NaN compares false, so a NaN-positioned buyer
+// would silently drop all her geometric edges).
+func finitePoint(p geom.Point) bool {
+	return !math.IsNaN(p.X) && !math.IsInf(p.X, 0) && !math.IsNaN(p.Y) && !math.IsInf(p.Y, 0)
 }
 
 // Empty reports whether the event carries no churn at all.
 func (ev Event) Empty() bool {
 	return len(ev.Arrive) == 0 && len(ev.Depart) == 0 &&
-		len(ev.ChannelUp) == 0 && len(ev.ChannelDown) == 0
+		len(ev.ChannelUp) == 0 && len(ev.ChannelDown) == 0 && len(ev.Move) == 0
 }
 
 // StepStats reports one Step.
@@ -96,9 +125,13 @@ type StepStats struct {
 	Departed     int `json:"departed"`
 	ChannelsUp   int `json:"channels_up"`
 	ChannelsDown int `json:"channels_down"`
-	// Displaced counts buyers who lost their channel to a reclaim this
-	// step (before repair re-seats whoever it can).
-	Displaced   int     `json:"displaced"`
+	// Displaced counts buyers who lost their channel to a reclaim or to a
+	// move into conflict this step (before repair re-seats whoever it can).
+	Displaced int `json:"displaced"`
+	// Moved counts every applied move, including moves to the current
+	// position — the count is a pure function of the event, so replays and
+	// duplicate deliveries reproduce it exactly.
+	Moved       int     `json:"moved"`
 	Welfare     float64 `json:"welfare"`
 	Matched     int     `json:"matched"`
 	RepairMoves int     `json:"repair_moves"` // transfer + invitation rounds
@@ -122,13 +155,16 @@ type Session struct {
 }
 
 // NewSession starts a session on the given market with no active buyers and
-// an empty matching.
+// an empty matching. The session clones the market's mutable state (graphs,
+// positions), so Move events never leak into the caller's instance — two
+// sessions over one market stay independent, and replaying a trace against
+// the same market always starts from the same geometry.
 func NewSession(m *market.Market, opts core.Options) (*Session, error) {
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("online: invalid market: %w", err)
 	}
 	return &Session{
-		base:    m,
+		base:    m.Clone(),
 		opts:    opts,
 		active:  make([]bool, m.N()),
 		offline: make([]bool, m.M()),
@@ -218,6 +254,9 @@ func (s *Session) StepTraced(ev Event, parent trace.SpanContext) (StepStats, err
 	if err := ev.Validate(len(s.offline), len(s.active)); err != nil {
 		return st, err
 	}
+	if len(ev.Move) > 0 && !s.base.HasGeometry() {
+		return st, fmt.Errorf("online: move events need a market with geometry (positions and ranges)")
+	}
 	// ch collects the effective transitions (no-op entries are dropped
 	// above each append) for the incremental engine's delta pass.
 	var ch core.Churn
@@ -259,6 +298,34 @@ func (s *Session) StepTraced(ev Event, parent trace.SpanContext) (StepStats, err
 		s.offline[i] = false
 		st.ChannelsUp++
 		ch.ChannelsUp = append(ch.ChannelsUp, i)
+	}
+	for _, mv := range ev.Move {
+		j := mv.Buyer
+		// The pre-move neighborhood seeds the dirty closure alongside the
+		// post-move one: dissolved conflicts free the old neighbors too.
+		for i := 0; i < s.base.M(); i++ {
+			s.base.Graph(i).EachNeighbor(j, func(k int) bool {
+				ch.MovedOldNbrs = append(ch.MovedOldNbrs, k)
+				return true
+			})
+		}
+		rewired, err := s.base.MoveBuyer(j, mv.To)
+		if err != nil {
+			// Unreachable after the geometry and Validate checks above.
+			return st, fmt.Errorf("online: %w", err)
+		}
+		st.Moved++
+		ch.Moved = append(ch.Moved, j)
+		ch.Rewired = append(ch.Rewired, rewired...)
+		// Only j's edges changed, so only j's own seat can have become
+		// conflicted; the mover, not the incumbent, loses it.
+		if i := s.mu.SellerOf(j); i != market.Unmatched {
+			if s.base.InterfererIn(i, j, s.mu.Coalition(i)) {
+				s.mu.Unassign(j)
+				st.Displaced++
+				ch.Displaced = append(ch.Displaced, j)
+			}
+		}
 	}
 
 	var res core.Result

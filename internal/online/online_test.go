@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"specmatch/internal/core"
+	"specmatch/internal/geom"
 	"specmatch/internal/market"
 	"specmatch/internal/matching"
 	"specmatch/internal/stability"
@@ -372,7 +373,10 @@ func checkServiceInvariants(t *testing.T, s *Session) {
 }
 
 // randomChurn draws one mixed buyer/channel churn event against the
-// session's current state.
+// session's current state. Mobility rides along on every trace: random
+// waypoints over the deployment area, an occasional same-point move (a
+// position report that changes nothing), and moves of inactive buyers whose
+// interference rows must still rewire.
 func randomChurn(s *Session, m *market.Market, r *rand.Rand) Event {
 	var ev Event
 	for j := 0; j < m.N(); j++ {
@@ -392,6 +396,16 @@ func randomChurn(s *Session, m *market.Market, r *rand.Rand) Event {
 		} else if r.Float64() < 0.4 {
 			ev.ChannelUp = append(ev.ChannelUp, i)
 		}
+	}
+	for j := 0; j < m.N(); j++ {
+		if r.Float64() >= 0.08 {
+			continue
+		}
+		to := geom.Point{X: r.Float64() * 10, Y: r.Float64() * 10}
+		if r.Float64() < 0.15 {
+			to, _ = s.Market().BuyerPos(j)
+		}
+		ev.Move = append(ev.Move, BuyerMove{Buyer: j, To: to})
 	}
 	return ev
 }

@@ -1,6 +1,9 @@
 package online
 
 import (
+	"math"
+
+	"specmatch/internal/geom"
 	"specmatch/internal/market"
 	"specmatch/internal/xrand"
 )
@@ -40,6 +43,72 @@ func SyntheticChurn(m *market.Market, seed int64, steps int) []Event {
 				ev.ChannelDown = append(ev.ChannelDown, i)
 				offline[i] = true
 			}
+		}
+		events[k] = ev
+	}
+	return events
+}
+
+// SyntheticMobileChurn is SyntheticChurn plus mobility: each step a slice of
+// the population advances a bounded stride along a random-waypoint leg over
+// the paper's deployment area — the same trajectory model specload's
+// scenario mode drives live. Strides are short on the area's scale, so each
+// move rewires a handful of interference edges rather than teleporting a
+// buyer across the map; moves cover active and inactive buyers alike (a
+// parked buyer's rows still rewire). The same (market shape, seed, steps)
+// always yields the same trace: the churn+mobility benchmark baseline is
+// recorded over this generator and the benchguard replays it, under the same
+// never-derive-independently contract as SyntheticChurn. The market must
+// retain geometry (market.HasGeometry) for the trace to be steppable.
+func SyntheticMobileChurn(m *market.Market, seed int64, steps int) []Event {
+	const stride = 0.6
+	r := xrand.New(seed)
+	area := geom.PaperArea()
+	active := make([]bool, m.N())
+	offline := make([]bool, m.M())
+	pos := make([]geom.Point, m.N())
+	wp := make([]geom.Point, m.N())
+	for j := range pos {
+		pos[j], _ = m.BuyerPos(j)
+		wp[j] = area.RandomPoint(r)
+	}
+	events := make([]Event, steps)
+	for k := range events {
+		var ev Event
+		for j := 0; j < m.N(); j++ {
+			if active[j] {
+				if r.Float64() < 0.10 {
+					ev.Depart = append(ev.Depart, j)
+					active[j] = false
+				}
+			} else if r.Float64() < 0.25 {
+				ev.Arrive = append(ev.Arrive, j)
+				active[j] = true
+			}
+		}
+		for i := 0; i < m.M(); i++ {
+			if offline[i] {
+				if r.Float64() < 0.35 {
+					ev.ChannelUp = append(ev.ChannelUp, i)
+					offline[i] = false
+				}
+			} else if r.Float64() < 0.05 {
+				ev.ChannelDown = append(ev.ChannelDown, i)
+				offline[i] = true
+			}
+		}
+		for j := 0; j < m.N(); j++ {
+			if r.Float64() >= 0.05 {
+				continue
+			}
+			dx, dy := wp[j].X-pos[j].X, wp[j].Y-pos[j].Y
+			if d := math.Hypot(dx, dy); d <= stride {
+				pos[j] = wp[j]
+				wp[j] = area.RandomPoint(r)
+			} else {
+				pos[j] = geom.Point{X: pos[j].X + dx/d*stride, Y: pos[j].Y + dy/d*stride}
+			}
+			ev.Move = append(ev.Move, BuyerMove{Buyer: j, To: pos[j]})
 		}
 		events[k] = ev
 	}

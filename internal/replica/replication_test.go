@@ -22,6 +22,7 @@ import (
 	"testing"
 	"time"
 
+	"specmatch/internal/geom"
 	"specmatch/internal/market"
 	"specmatch/internal/obs"
 	"specmatch/internal/online"
@@ -189,6 +190,12 @@ func TestFollowerEquivalenceAcrossPrefixes(t *testing.T) {
 					if r.Float64() < 0.2 {
 						ev.ChannelDown = []int{r.Intn(3)}
 					}
+					if r.Float64() < 0.3 {
+						// Mobility rides the stream too: followers replay the v2
+						// step bodies and must rewire identically.
+						ev.Move = []online.BuyerMove{{Buyer: r.Intn(buyers),
+							To: geom.Point{X: r.Float64() * 10, Y: r.Float64() * 10}}}
+					}
 					if _, err := leader.srv.Store().Step(ctx, id, ev); err != nil {
 						t.Fatalf("op %d: step: %v", i, err)
 					}
@@ -219,7 +226,11 @@ func TestFollowerEquivalenceAcrossPrefixes(t *testing.T) {
 				t.Fatalf("promote: HTTP %d", resp.StatusCode)
 			}
 			for _, id := range ids {
-				ev := online.Event{Arrive: []int{1}, Depart: []int{2}}
+				// The move probes replicated geometry, not just matching state:
+				// identical Displaced counts require identical post-replay
+				// interference graphs and buyer positions on both nodes.
+				ev := online.Event{Arrive: []int{1}, Depart: []int{2},
+					Move: []online.BuyerMove{{Buyer: 3, To: geom.Point{X: 4.5, Y: 4.5}}}}
 				sL, errL := leader.srv.Store().Step(ctx, id, ev)
 				sF, errF := follower.srv.Store().Step(ctx, id, ev)
 				if (errL == nil) != (errF == nil) {

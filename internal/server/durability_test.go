@@ -13,6 +13,8 @@ import (
 	"testing"
 	"time"
 
+	"specmatch/internal/eventlog"
+	"specmatch/internal/geom"
 	"specmatch/internal/market"
 	"specmatch/internal/obs"
 	"specmatch/internal/online"
@@ -699,7 +701,12 @@ func FuzzWALReplay(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	for _, ev := range []online.Event{{Arrive: []int{0, 1, 2}}, {Depart: []int{1}}, {ChannelDown: []int{0}}} {
+	for _, ev := range []online.Event{
+		{Arrive: []int{0, 1, 2}},
+		{Depart: []int{1}},
+		{Move: []online.BuyerMove{{Buyer: 0, To: geom.Point{X: 5, Y: 5}}, {Buyer: 4, To: geom.Point{X: 0.5, Y: 9}}}},
+		{ChannelDown: []int{0}},
+	} {
 		if _, err := st.Step(ctx, id, ev); err != nil {
 			f.Fatal(err)
 		}
@@ -722,6 +729,19 @@ func FuzzWALReplay(f *testing.F) {
 	f.Add([]byte{})
 	// A step for a session that was never created: replay must reject it.
 	f.Add(wal.AppendRecord(nil, wal.Record{Type: wal.TypeStep, LSN: 1, Body: []byte(`{"id":"m00000099","event":{"arrive":[0]}}`)}))
+	// v2 move bodies that the codec accepts but the engine must reject on
+	// replay: an out-of-range buyer index and a NaN coordinate. Both framed
+	// as well-formed records so the failure happens at apply time.
+	f.Add(wal.AppendRecord(nil, wal.Record{Type: wal.TypeStep, LSN: 1, Body: eventlog.Step{
+		ID:    "m00000001",
+		Event: online.Event{Move: []online.BuyerMove{{Buyer: 99, To: geom.Point{X: 1, Y: 1}}}},
+	}.Encode()}))
+	f.Add(wal.AppendRecord(nil, wal.Record{Type: wal.TypeStep, LSN: 1, Body: []byte(`{"id":"m00000001","event":{"move":[{"buyer":0,"to":{"x":null,"y":1e999}}]}}`)}))
+	// A ragged v2 body: truncated mid-move, must be classified as corruption.
+	moved := eventlog.Step{ID: "m00000001", Event: online.Event{
+		Move: []online.BuyerMove{{Buyer: 2, To: geom.Point{X: 3, Y: 4}}},
+	}}.Encode()
+	f.Add(wal.AppendRecord(nil, wal.Record{Type: wal.TypeStep, LSN: 1, Body: moved[:len(moved)-5]}))
 
 	f.Fuzz(func(t *testing.T, logBytes []byte) {
 		dir := t.TempDir()

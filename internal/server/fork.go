@@ -215,5 +215,9 @@ func (st *Store) assembleFork(id string, at uint64, recd *wal.Recovered) (forked
 	if s == nil {
 		return forkedState{}, fmt.Errorf("%w: session %s did not exist at lsn %d", ErrLSNHorizon, id, at)
 	}
-	return forkedState{spec: m.Spec(), state: s.Snapshot(), at: at}, nil
+	// The spec must come from the session's own market, not the one it was
+	// built from: sessions clone their market, and replayed move events
+	// rewire the clone's geometry and graphs — the create-time market never
+	// sees them.
+	return forkedState{spec: s.Market().Spec(), state: s.Snapshot(), at: at}, nil
 }

@@ -165,7 +165,10 @@ func TestForkEquivalenceEveryPrefix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	trace := online.SyntheticChurn(m, 17, 25)
+	// Mobile churn: the trace carries Move events, so every fork must come
+	// back with the session's post-move geometry and graphs (the spec is
+	// taken from the session's own market), not the create-time deployment.
+	trace := online.SyntheticMobileChurn(m, 17, 25)
 	for _, ev := range trace { // LSNs 2..len(trace)+1
 		if _, err := st.Step(ctx, id, ev); err != nil {
 			t.Fatal(err)

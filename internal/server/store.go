@@ -296,6 +296,7 @@ type Store struct {
 	churnChanUp     *obs.Counter
 	churnChanDown   *obs.Counter
 	churnDisplaced  *obs.Counter
+	churnMoved      *obs.Counter
 
 	walAppends       *obs.Counter
 	walAppendBytes   *obs.Counter
@@ -351,6 +352,7 @@ func NewStore(cfg Config) (*Store, error) {
 		churnChanUp:     reg.Counter("server.churn.channels_up"),
 		churnChanDown:   reg.Counter("server.churn.channels_down"),
 		churnDisplaced:  reg.Counter("server.churn.displaced"),
+		churnMoved:      reg.Counter("server.churn.moved"),
 
 		walAppends:       reg.Counter("server.wal.appends"),
 		walAppendBytes:   reg.Counter("server.wal.append_bytes"),
@@ -658,7 +660,14 @@ func (st *Store) StepBatch(ctx context.Context, id string, events []online.Event
 		}
 		m := s.Market()
 		for k, ev := range events {
-			if err := ev.Validate(m.M(), m.N()); err != nil {
+			err := ev.Validate(m.M(), m.N())
+			if err == nil && len(ev.Move) > 0 && !m.HasGeometry() {
+				// Pre-checked here, not left to StepTraced: a mid-batch
+				// geometry failure would break the all-or-nothing contract
+				// after earlier events had already been applied and logged.
+				err = fmt.Errorf("move events need a market with geometry (positions and ranges)")
+			}
+			if err != nil {
 				if len(events) > 1 {
 					return nil, fmt.Errorf("event %d: %w", k, err)
 				}
@@ -690,6 +699,7 @@ func (st *Store) StepBatch(ctx context.Context, id string, events []online.Event
 			st.churnChanUp.Add(int64(stats.ChannelsUp))
 			st.churnChanDown.Add(int64(stats.ChannelsDown))
 			st.churnDisplaced.Add(int64(stats.Displaced))
+			st.churnMoved.Add(int64(stats.Moved))
 			res := StepResult{Stats: stats}
 			if sh.dir != nil {
 				recs = append(recs, wal.Record{Type: wal.TypeStep, Body: body})

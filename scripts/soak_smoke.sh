@@ -1,0 +1,172 @@
+#!/bin/sh
+# Long-run scenario soak of the mobility path: a durable leader plus a
+# streaming follower under `specload -scenario mobile,diurnal,flash` — a
+# nonhomogeneous Poisson workload with diurnal rate waves, flash-crowd
+# bursts, and random-waypoint Move events rewiring interference graphs
+# live. Asserts, in order:
+#   1. `specmon -check` is green mid-soak (p99, error-rate, replica-lag
+#      SLOs) against the live two-node cluster.
+#   2. Zero lost events: the specload report reconciles accepted ==
+#      applied, the scenario and -timeline series (with explicit empty
+#      valley windows) landed in the JSON report, and the server's
+#      `server.churn.moved` counter proves moves actually rewired graphs.
+#   3. The client-side ledger verifies against the leader: every acked
+#      event durable, recovered state bit-for-bit equal to a replay.
+#   4. Rebuild-policy welfare drift is measured per session — the online
+#      incremental-repair welfare versus a fresh non-adopting
+#      POST /v1/sessions/{id}/rebuild — and reported as a mean/max summary.
+#   5. Both nodes drain cleanly on SIGTERM, both data dirs are
+#      specwal-clean, and the WAL/checkpoint footprint is reported.
+# Run via `make soak-smoke`. The full soak is 5 minutes; set SOAK_DURATION
+# (Go duration), SOAK_PERIOD, and SOAK_RPS to shrink or scale it.
+#
+# Set SOAK_SMOKE_OUT to a directory to keep the ledger, report, diff, and
+# logs on failure (CI uploads it as an artifact).
+set -eu
+
+dur=${SOAK_DURATION:-300s}
+period=${SOAK_PERIOD:-75s}
+rps=${SOAK_RPS:-300}
+
+work=$(mktemp -d)
+leader_pid=""
+follower_pid=""
+status=1
+cleanup() {
+    [ -n "$leader_pid" ] && kill -KILL "$leader_pid" 2>/dev/null || true
+    [ -n "$follower_pid" ] && kill -KILL "$follower_pid" 2>/dev/null || true
+    if [ "$status" -ne 0 ] && [ -n "${SOAK_SMOKE_OUT:-}" ]; then
+        mkdir -p "$SOAK_SMOKE_OUT"
+        for f in ledger.json report.json diff.json leader.log follower.log \
+            load.log check.log verify.log metrics.json drift.txt; do
+            [ -f "$work/$f" ] && cp "$work/$f" "$SOAK_SMOKE_OUT/" || true
+        done
+        echo "soak-smoke artifacts copied to $SOAK_SMOKE_OUT"
+    fi
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+go build -o "$work/specserved" ./cmd/specserved
+go build -o "$work/specload" ./cmd/specload
+go build -o "$work/specmon" ./cmd/specmon
+go build -o "$work/specwal" ./cmd/specwal
+
+# wait_addr LOGFILE PID: echoes the listen address once the server reports it.
+wait_addr() {
+    i=0
+    while [ $i -lt 100 ]; do
+        a=$(sed -n 's#^specserved listening on http://\([^ ]*\)$#\1#p' "$1")
+        if [ -n "$a" ]; then echo "$a"; return 0; fi
+        kill -0 "$2" 2>/dev/null || return 1
+        sleep 0.1
+        i=$((i + 1))
+    done
+    return 1
+}
+
+"$work/specserved" -addr 127.0.0.1:0 -data-dir "$work/leader" -shards 4 \
+    >"$work/leader.log" 2>&1 &
+leader_pid=$!
+leader_addr=$(wait_addr "$work/leader.log" "$leader_pid") || { echo "leader never came up:"; cat "$work/leader.log"; exit 1; }
+echo "leader up on $leader_addr (pid $leader_pid)"
+
+"$work/specserved" -addr 127.0.0.1:0 -data-dir "$work/follower" \
+    -follow "http://$leader_addr" >"$work/follower.log" 2>&1 &
+follower_pid=$!
+follower_addr=$(wait_addr "$work/follower.log" "$follower_pid") || { echo "follower never came up:"; cat "$work/follower.log"; exit 1; }
+echo "follower up on $follower_addr (pid $follower_pid), streaming from the leader"
+
+# The soak itself: an open-loop time-varying workload. -rps is the peak the
+# diurnal curve thins; the flash component pins it back to peak late in each
+# cycle; the mobile component walks buyers along random waypoints, turning a
+# slice of churn events into live interference-graph rewires.
+echo "soak: scenario mobile,diurnal,flash for $dur (period $period, peak $rps rps)"
+"$work/specload" -addr "$leader_addr" -sessions 8 -concurrency 4 \
+    -scenario mobile,diurnal,flash -scenario-period "$period" \
+    -duration "$dur" -rps "$rps" -channel-churn 0.2 -timeline 5s \
+    -ledger "$work/ledger.json" -report "$work/report.json" \
+    >"$work/load.log" 2>&1 &
+load_pid=$!
+
+# specmon -check rides along mid-soak: the SLO gate (tail latency, error
+# rate, replication lag) must be green against the live two-node fleet.
+sleep 5
+"$work/specmon" -check -interval 1s -duration 10s \
+    -slo-p99 1s -slo-error-rate 0.01 -slo-lag-lsn 100000 \
+    "http://$leader_addr" "http://$follower_addr" \
+    >"$work/check.log" 2>&1 || { echo "specmon -check FAILED mid-soak:"; cat "$work/check.log"; exit 1; }
+cat "$work/check.log"
+
+wait "$load_pid" || { echo "soak specload failed:"; cat "$work/load.log"; exit 1; }
+cat "$work/load.log"
+
+# Zero lost events, reconciled against the server's own applied counter.
+grep -q '"lost_events": 0' "$work/report.json" || { echo "lost events:"; cat "$work/report.json"; exit 1; }
+grep -q '"reconciled": true' "$work/report.json" || { echo "accepted != applied:"; cat "$work/report.json"; exit 1; }
+grep -q '"scenario": "mobile,diurnal,flash"' "$work/report.json" || { echo "report did not record the scenario"; exit 1; }
+
+# The -timeline series landed; scenario valleys may appear as explicit
+# empty windows rather than silent gaps.
+points=$(grep -c '"start_ms"' "$work/report.json" || true)
+[ "$points" -ge 3 ] || { echo "report timeline has $points points, want >= 3"; exit 1; }
+empties=$(grep -c '"empty": true' "$work/report.json" || true)
+echo "timeline: $points per-interval points ($empties explicit empty windows)"
+
+# Moves really flowed: the mobility counter must have advanced.
+curl -sf "http://$leader_addr/debug/metrics" >"$work/metrics.json"
+moved=$(sed -n 's/.*"server.churn.moved": *\([0-9]*\).*/\1/p' "$work/metrics.json" | head -1)
+[ -n "$moved" ] && [ "$moved" -gt 0 ] || {
+    echo "no buyer moves applied (server.churn.moved = ${moved:-missing})"; exit 1; }
+echo "mobility: $moved buyer moves applied server-side"
+
+# Every acked event — churn and moves alike — is durable and the recovered
+# state is bit-for-bit what replaying the ledger produces.
+"$work/specload" -addr "$leader_addr" -verify "$work/ledger.json" -diff "$work/diff.json" \
+    >"$work/verify.log" 2>&1 || { echo "ledger verification FAILED:"; cat "$work/verify.log"; exit 1; }
+cat "$work/verify.log"
+
+# Rebuild-policy welfare drift: for each soaked session, the welfare the
+# online incremental-repair policy holds versus a fresh two-stage rebuild
+# over the same active sub-market (non-adopting, a pure read). Either
+# heuristic can win on a given instant; the drift is reported, not gated.
+ids=$(curl -sf "http://$leader_addr/v1/sessions" | tr -d '\n\t ' | sed -n 's/.*"sessions":\[\([^]]*\)\].*/\1/p' | tr -d '"' | tr ',' ' ')
+[ -n "$ids" ] || { echo "no sessions listed for the drift report"; exit 1; }
+for id in $ids; do
+    online=$(curl -sf "http://$leader_addr/v1/sessions/$id" | sed -n 's/.*"welfare": *\([-0-9.eE+]*\).*/\1/p' | head -1)
+    fresh=$(curl -sf -X POST -H 'Content-Type: application/json' -d '{"adopt": false}' \
+        "http://$leader_addr/v1/sessions/$id/rebuild" | sed -n 's/.*"welfare": *\([-0-9.eE+]*\).*/\1/p' | head -1)
+    [ -n "$online" ] && [ -n "$fresh" ] || { echo "unreadable welfare for session $id"; exit 1; }
+    echo "$id $online $fresh"
+done >"$work/drift.txt"
+awk '{
+    drift = ($3 != 0) ? ($3 - $2) / $3 * 100 : 0
+    printf "  %s online %.4f rebuild %.4f drift %+.2f%%\n", $1, $2, $3, drift
+    sum += drift; n++
+    a = drift < 0 ? -drift : drift
+    if (a > maxa) maxa = a
+} END {
+    if (n == 0) exit 1
+    printf "welfare drift: %d sessions, mean %+.2f%%, max |drift| %.2f%%\n", n, sum / n, maxa
+}' "$work/drift.txt"
+
+# Clean drain on both nodes, then offline verification of both data dirs:
+# specwal-clean, with the WAL/checkpoint footprint on the aggregate lines.
+kill -TERM "$follower_pid"
+drain_status=0
+wait "$follower_pid" || drain_status=$?
+follower_pid=""
+[ "$drain_status" -eq 0 ] || { echo "follower exited $drain_status on SIGTERM:"; cat "$work/follower.log"; exit 1; }
+
+kill -TERM "$leader_pid"
+drain_status=0
+wait "$leader_pid" || drain_status=$?
+leader_pid=""
+[ "$drain_status" -eq 0 ] || { echo "leader exited $drain_status on SIGTERM:"; cat "$work/leader.log"; exit 1; }
+grep -q '^drained:' "$work/leader.log" || { echo "no drain line in leader log:"; cat "$work/leader.log"; exit 1; }
+
+"$work/specwal" -data-dir "$work/leader" -mode verify | tail -1
+"$work/specwal" -data-dir "$work/follower" -mode verify | tail -1
+
+status=0
+echo "soak-smoke OK: scenario soak reconciled with zero lost events, $moved moves, ledger verified, clean drains"
